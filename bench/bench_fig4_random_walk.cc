@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Figure 4 reproduction: the random-memory-walk microbenchmark.
+ *
+ *   4a) footprint of the executing (walker) thread vs its E-cache
+ *       misses;
+ *   4b) decay of a sleeping *independent* thread's footprint, several
+ *       initial footprints;
+ *   4c) sleeping *dependent* thread, q = 0.5, several initial
+ *       footprints (grows or decays toward qN);
+ *   4d) sleeping dependent threads with different sharing coefficients.
+ *
+ * Each curve is its own run, as in the paper ("different curves
+ * correspond to different initial footprint sizes"): sleepers from
+ * different scenarios must not alias each other's cache state. The walk
+ * region is 16x the cache so the model's uniform-access assumption
+ * holds. Every curve prints observed and predicted series; the run
+ * fails if the mean absolute relative error exceeds the paper's
+ * "excellent correspondence" tolerance.
+ */
+
+#include <iostream>
+
+#include "atl/sim/experiment.hh"
+#include "atl/util/table.hh"
+#include "atl/workloads/random_walk.hh"
+
+using namespace atl;
+
+namespace
+{
+
+int failures = 0;
+
+constexpr uint64_t walkRegionLines = 131072; // 8MB, 16x the E-cache
+
+std::vector<std::pair<double, double>>
+observedSeries(const std::vector<FootprintSample> &samples)
+{
+    std::vector<std::pair<double, double>> pts;
+    for (const auto &s : samples)
+        pts.emplace_back(static_cast<double>(s.misses) / 1000.0,
+                         s.observed);
+    return pts;
+}
+
+std::vector<std::pair<double, double>>
+predictedSeries(const std::vector<FootprintSample> &samples)
+{
+    std::vector<std::pair<double, double>> pts;
+    for (const auto &s : samples)
+        pts.emplace_back(static_cast<double>(s.misses) / 1000.0,
+                         s.predicted);
+    return pts;
+}
+
+void
+check(const std::string &label, double error, double limit)
+{
+    std::cout << label << ": mean |pred-obs|/obs = "
+              << TextTable::num(error * 100, 1) << "% (limit "
+              << TextTable::num(limit * 100, 0) << "%)\n";
+    if (error > limit) {
+        std::cerr << "FAIL: " << label << " error above limit\n";
+        ++failures;
+    }
+}
+
+struct CurveResult
+{
+    std::vector<FootprintSample> samples;
+    double error = 0.0;
+};
+
+/**
+ * One run: the walker plus at most one sleeper; track either the walker
+ * (executing case) or the sleeper (independent/dependent case).
+ */
+CurveResult
+runCurve(uint64_t steps, bool track_walker,
+         const std::vector<RandomWalkWorkload::SleeperSpec> &sleepers,
+         FootprintMonitor::Kind kind, double q)
+{
+    MachineConfig cfg;
+    cfg.numCpus = 1;
+    cfg.modelSchedulerFootprint = false;
+    Machine machine(cfg);
+    Tracer tracer(machine);
+    FootprintMonitor monitor(machine, tracer, 0, 256);
+
+    RandomWalkWorkload::Params params;
+    params.walkerLines = walkRegionLines;
+    params.steps = steps;
+    params.sleepers = sleepers;
+    RandomWalkWorkload workload(params);
+
+    WorkloadEnv env{machine, &tracer};
+    workload.setup(env);
+    workload.onWalkStart([&] {
+        monitor.setDriver(workload.walkerTid());
+        if (track_walker) {
+            machine.flushAllCaches();
+            monitor.track(workload.walkerTid(),
+                          FootprintMonitor::Kind::Executing);
+        } else {
+            monitor.track(workload.sleeperTids()[0], kind, q);
+        }
+    });
+    machine.run();
+    if (!workload.verify()) {
+        std::cerr << "FAIL: random walk did not verify\n";
+        ++failures;
+    }
+
+    ThreadId tracked = track_walker ? workload.walkerTid()
+                                    : workload.sleeperTids()[0];
+    return {monitor.samples(tracked),
+            monitor.meanAbsRelError(tracked, 128.0)};
+}
+
+void
+emit(FigureWriter &fig, const std::string &label, const CurveResult &r)
+{
+    fig.series("observed " + label, observedSeries(r.samples), 4);
+    fig.series("predicted " + label, predictedSeries(r.samples), 4);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Reproducing paper Figure 4 (random memory walk, "
+                 "1-cpu UltraSPARC-1 model, N = 8192 lines)\n\n";
+
+    // ---- 4a: the executing thread ------------------------------------
+    {
+        FigureWriter fig(std::cout, "4a", "E-cache misses (thousands)",
+                         "footprint (lines)");
+        CurveResult r = runCurve(250000, true, {},
+                                 FootprintMonitor::Kind::Executing, 0.0);
+        emit(fig, "S0=0", r);
+        check("4a executing thread", r.error, 0.05);
+    }
+
+    // ---- 4b: independent sleepers decay ------------------------------
+    {
+        FigureWriter fig(std::cout, "4b", "E-cache misses (thousands)",
+                         "footprint (lines)");
+        for (uint64_t s0 : {6000ull, 3000ull, 1000ull}) {
+            CurveResult r =
+                runCurve(150000, false, {{s0, 0.0, s0}},
+                         FootprintMonitor::Kind::Independent, 0.0);
+            std::string label = "S0~" + std::to_string(s0);
+            emit(fig, label, r);
+            check("4b independent sleeper " + label, r.error, 0.10);
+        }
+    }
+
+    // ---- 4c: dependent sleeper, q=0.5, varying initial footprint -----
+    {
+        FigureWriter fig(std::cout, "4c", "E-cache misses (thousands)",
+                         "footprint (lines)");
+        struct Scenario
+        {
+            uint64_t warm;
+            const char *label;
+        };
+        for (const Scenario &sc :
+             {Scenario{0, "S0=0"}, {8000, "S0~8000"}, {4000, "S0~4000"}}) {
+            CurveResult r =
+                runCurve(250000, false, {{0, 0.5, sc.warm}},
+                         FootprintMonitor::Kind::Dependent, 0.5);
+            emit(fig, std::string("q=0.5 ") + sc.label, r);
+            check(std::string("4c dependent sleeper ") + sc.label,
+                  r.error, 0.12);
+        }
+    }
+
+    // ---- 4d: dependent sleepers with different q ----------------------
+    {
+        FigureWriter fig(std::cout, "4d", "E-cache misses (thousands)",
+                         "footprint (lines)");
+        for (double q : {0.75, 0.5, 0.25}) {
+            CurveResult r =
+                runCurve(250000, false, {{0, q, 0}},
+                         FootprintMonitor::Kind::Dependent, q);
+            std::string label = "q=" + TextTable::num(q, 2);
+            emit(fig, label, r);
+            check("4d dependent sleeper " + label, r.error, 0.12);
+        }
+    }
+
+    if (failures) {
+        std::cerr << "fig4: " << failures << " check(s) FAILED\n";
+        return 1;
+    }
+    std::cout << "\nfig4: OK — observed footprints match the model "
+                 "(paper: 'excellent correspondence')\n";
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Micro-benchmarks of the core runtime primitives (google-benchmark):
+ * fiber context switch, modelled memory access, thread create/join
+ * round trip, and the scheduler's dispatch path. These bound the
+ * simulator's own speed (host ns per simulated event), not simulated
+ * cycles.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "atl/runtime/context.hh"
+#include "atl/runtime/machine.hh"
+
+using namespace atl;
+
+namespace
+{
+
+void
+BM_FiberSwitch(benchmark::State &state)
+{
+    FiberStack stack(64 * 1024);
+    Fiber engine, worker;
+    bool stop = false;
+    worker.arm(stack, [&] {
+        while (!stop)
+            Fiber::switchTo(worker, engine);
+        // A fiber entry must never return: park permanently.
+        for (;;)
+            Fiber::switchTo(worker, engine);
+    });
+    for (auto _ : state)
+        Fiber::switchTo(engine, worker); // two context switches
+    stop = true;
+    Fiber::switchTo(engine, worker);
+    state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_FiberSwitch);
+
+void
+BM_ModelledAccessHit(benchmark::State &state)
+{
+    MachineConfig cfg;
+    cfg.modelSchedulerFootprint = false;
+    Machine m(cfg);
+    VAddr va = m.alloc(64, 64);
+    // Drive accesses from inside a thread via a generator fiber that
+    // yields to the bench loop through counters.
+    uint64_t accesses = 0;
+    uint64_t target = 0;
+    m.spawn([&] {
+        m.read(va, 64);
+        while (accesses < target) {
+            m.read(va, 32);
+            ++accesses;
+        }
+    });
+    // Warm and measure in one run: measure total wall time of the run
+    // divided by accesses.
+    target = 2000000;
+    auto t0 = std::chrono::steady_clock::now();
+    m.run();
+    auto dt = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(accesses);
+    }
+    state.counters["ns_per_hit_access"] =
+        dt * 1e9 / static_cast<double>(target);
+}
+BENCHMARK(BM_ModelledAccessHit)->Iterations(1);
+
+void
+BM_ThreadCreateJoin(benchmark::State &state)
+{
+    // Host cost of a full simulated thread lifecycle, amortised.
+    uint64_t count = 20000;
+    MachineConfig cfg;
+    cfg.modelSchedulerFootprint = false;
+    Machine m(cfg);
+    m.spawn([&] {
+        for (uint64_t i = 0; i < count; ++i) {
+            ThreadId t = m.spawn([] {});
+            m.join(t);
+        }
+    });
+    auto t0 = std::chrono::steady_clock::now();
+    m.run();
+    auto dt = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(count);
+    state.counters["ns_per_thread"] =
+        dt * 1e9 / static_cast<double>(count);
+}
+BENCHMARK(BM_ThreadCreateJoin)->Iterations(1);
+
+void
+BM_DispatchPathLff(benchmark::State &state)
+{
+    // Scheduler dispatch cost with a populated heap: yield storms.
+    uint64_t yields = 50000;
+    MachineConfig cfg;
+    cfg.policy = PolicyKind::LFF;
+    cfg.modelSchedulerFootprint = false;
+    Machine m(cfg);
+    VAddr va = m.alloc(200 * 64, 64);
+    for (int t = 0; t < 16; ++t) {
+        m.spawn([&m, va, yields] {
+            m.read(va, 200 * 64);
+            for (uint64_t i = 0; i < yields / 16; ++i)
+                m.yield();
+        });
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    m.run();
+    auto dt = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(yields);
+    state.counters["ns_per_dispatch"] =
+        dt * 1e9 / static_cast<double>(m.totalSwitches());
+}
+BENCHMARK(BM_DispatchPathLff)->Iterations(1);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Table 5 reproduction: CRT relative to FCFS — percentage of E-cache
+ * misses eliminated and relative performance, on the 1-cpu Ultra-1 and
+ * the 8-cpu Enterprise 5000 models, for tasks, merge, photo and tsp.
+ *
+ * Paper's rows for reference (E-misses eliminated / relative perf):
+ *   tasks:  92% | 64%   2.38 | 1.45
+ *   merge:  57% | 77%   1.59 | 1.50
+ *   photo:  -1% | 71%   0.97 | 2.12
+ *   tsp:    12% | 73%   1.04 | 1.51
+ * We reproduce the shape (signs, ordering, rough factors), not the
+ * absolute numbers of the authors' hardware.
+ */
+
+#include "policy_matrix.hh"
+
+using namespace atl;
+using namespace atl::bench;
+
+int
+main()
+{
+    int failures = 0;
+    std::cout << "Reproducing paper Table 5 (CRT relative to FCFS)\n\n";
+
+    std::vector<MatrixRow> uni = runMatrix(1, failures);
+    std::vector<MatrixRow> smp = runMatrix(8, failures);
+
+    TextTable table("Table 5: CRT relative to FCFS");
+    table.header({"app", "E-misses eliminated (1cpu)",
+                  "E-misses eliminated (8cpu)", "rel perf (1cpu)",
+                  "rel perf (8cpu)", "paper (1cpu/8cpu)"});
+
+    const char *paper_ref[] = {
+        "92%/64%, 2.38/1.45", "57%/77%, 1.59/1.50",
+        "-1%/71%, 0.97/2.12", "12%/73%, 1.04/1.51"};
+
+    for (size_t i = 0; i < uni.size(); ++i) {
+        const MatrixRow &u = uni[i];
+        const MatrixRow &s = smp[i];
+        double elim1 = RunMetrics::missesEliminated(u.fcfs, u.crt);
+        double elim8 = RunMetrics::missesEliminated(s.fcfs, s.crt);
+        double perf1 = RunMetrics::speedup(u.fcfs, u.crt);
+        double perf8 = RunMetrics::speedup(s.fcfs, s.crt);
+        table.row({u.app, TextTable::pct(elim1), TextTable::pct(elim8),
+                   TextTable::num(perf1, 2), TextTable::num(perf8, 2),
+                   paper_ref[i]});
+
+        // Shape assertions per application.
+        if (u.app == "tasks" && (elim1 < 0.6 || perf1 < 1.5)) {
+            std::cerr << "FAIL: tasks 1cpu shape\n";
+            ++failures;
+        }
+        if (u.app == "merge" && (elim1 < 0.2 || perf1 < 1.05)) {
+            std::cerr << "FAIL: merge 1cpu shape\n";
+            ++failures;
+        }
+        if (u.app == "photo" && (perf1 < 0.85 || perf1 > 1.25)) {
+            std::cerr << "FAIL: photo 1cpu should be ~neutral\n";
+            ++failures;
+        }
+        // (>= 25%: see EXPERIMENTS.md on the compulsory-miss ceiling.)
+        if (elim8 < 0.25) {
+            std::cerr << "FAIL: " << u.app
+                      << " 8cpu should eliminate a large share of "
+                         "misses\n";
+            ++failures;
+        }
+        if (perf8 < 1.02) {
+            std::cerr << "FAIL: " << u.app
+                      << " 8cpu should run faster under CRT\n";
+            ++failures;
+        }
+    }
+    table.print(std::cout);
+
+    if (failures) {
+        std::cerr << "table5: " << failures << " check(s) FAILED\n";
+        return 1;
+    }
+    std::cout << "table5: OK — CRT-vs-FCFS shape matches the paper\n";
+    return 0;
+}

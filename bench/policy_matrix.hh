@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Shared harness for the Section 5 performance experiments (Figures 8
+ * and 9, Table 5): runs the four applications of Table 4 (tasks, merge,
+ * photo, tsp) under FCFS, LFF and CRT on a given machine width with the
+ * paper's platform timing, and prints the paper-style charts.
+ */
+
+#ifndef ATL_BENCH_POLICY_MATRIX_HH
+#define ATL_BENCH_POLICY_MATRIX_HH
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "atl/sim/experiment.hh"
+#include "atl/util/table.hh"
+#include "atl/workloads/mergesort.hh"
+#include "atl/workloads/photo.hh"
+#include "atl/workloads/tasks.hh"
+#include "atl/workloads/tsp.hh"
+
+namespace atl::bench
+{
+
+/** Machine config for the paper's platforms: 1-cpu Ultra-1 (42-cycle
+ *  miss) or the N-cpu Enterprise 5000 (50/80-cycle misses). */
+inline MachineConfig
+platformConfig(unsigned n_cpus, PolicyKind policy)
+{
+    MachineConfig cfg;
+    cfg.numCpus = n_cpus;
+    cfg.policy = policy;
+    return cfg; // the miss-cost split is applied automatically by width
+}
+
+/** Factory for one Table 4 application at the paper's parameters. */
+inline std::unique_ptr<Workload>
+makeTable4Workload(const std::string &name)
+{
+    if (name == "tasks") {
+        // 1024 tasks, footprints 100 lines each, 100 periods.
+        return std::make_unique<TasksWorkload>(
+            TasksWorkload::Params{1024, 100, 100});
+    }
+    if (name == "merge") {
+        // 100,000 uniformly distributed elements, cutoff 100.
+        MergesortWorkload::Params p;
+        p.elements = 100000;
+        p.cutoff = 100;
+        return std::make_unique<MergesortWorkload>(p);
+    }
+    if (name == "photo") {
+        // The paper uses 2048x2048 / 2048 threads; we run 2048x1024
+        // (2048-pixel rows, 1024 row threads) to keep the full matrix
+        // of runs fast; the access structure per thread is identical.
+        PhotoWorkload::Params p;
+        p.width = 2048;
+        p.height = 1024;
+        return std::make_unique<PhotoWorkload>(p);
+    }
+    if (name == "tsp") {
+        // 100 cities, ~1000 threads (depth-9 fixed tree: 1023).
+        TspWorkload::Params p;
+        p.cities = 100;
+        p.depth = 9;
+        return std::make_unique<TspWorkload>(p);
+    }
+    return nullptr;
+}
+
+/** All three policy runs of one application. */
+struct MatrixRow
+{
+    std::string app;
+    std::string parameters;
+    RunMetrics fcfs;
+    RunMetrics lff;
+    RunMetrics crt;
+};
+
+/** Run the full application x policy matrix on an n_cpus platform. */
+inline std::vector<MatrixRow>
+runMatrix(unsigned n_cpus, int &failures)
+{
+    const char *apps[] = {"tasks", "merge", "photo", "tsp"};
+    std::vector<MatrixRow> rows;
+    for (const char *app : apps) {
+        MatrixRow row;
+        row.app = app;
+        for (PolicyKind policy :
+             {PolicyKind::FCFS, PolicyKind::LFF, PolicyKind::CRT}) {
+            auto workload = makeTable4Workload(app);
+            row.parameters = workload->parameters();
+            RunMetrics metrics = runWorkload(
+                *workload, platformConfig(n_cpus, policy), false);
+            if (!metrics.verified) {
+                std::cerr << "FAIL: " << app << " under "
+                          << policyName(policy) << " did not verify\n";
+                ++failures;
+            }
+            switch (policy) {
+              case PolicyKind::FCFS: row.fcfs = metrics; break;
+              case PolicyKind::LFF: row.lff = metrics; break;
+              case PolicyKind::CRT: row.crt = metrics; break;
+            }
+        }
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+/** Print the paper-style pair of charts: total E-cache misses
+ *  (normalised to FCFS) and relative performance. */
+inline void
+printCharts(const std::string &platform,
+            const std::vector<MatrixRow> &rows)
+{
+    TextTable misses("Total E-cache misses, normalised to FCFS (" +
+                     platform + ")");
+    misses.header({"app", "FCFS", "LFF", "CRT"});
+    for (const MatrixRow &r : rows) {
+        misses.row({r.app, "1.00",
+                    TextTable::num(static_cast<double>(r.lff.eMisses) /
+                                       static_cast<double>(
+                                           r.fcfs.eMisses),
+                                   2),
+                    TextTable::num(static_cast<double>(r.crt.eMisses) /
+                                       static_cast<double>(
+                                           r.fcfs.eMisses),
+                                   2)});
+    }
+    misses.print(std::cout);
+
+    TextTable perf("Performance relative to FCFS (" + platform + ")");
+    perf.header({"app", "FCFS", "LFF", "CRT"});
+    for (const MatrixRow &r : rows) {
+        perf.row({r.app, "1.00",
+                  TextTable::num(RunMetrics::speedup(r.fcfs, r.lff), 2),
+                  TextTable::num(RunMetrics::speedup(r.fcfs, r.crt), 2)});
+    }
+    perf.print(std::cout);
+
+    TextTable params("Table 4: input parameters for application runs");
+    params.header({"app", "parameters"});
+    for (const MatrixRow &r : rows)
+        params.row({r.app, r.parameters});
+    params.print(std::cout);
+}
+
+} // namespace atl::bench
+
+#endif // ATL_BENCH_POLICY_MATRIX_HH

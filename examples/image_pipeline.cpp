@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Image retouching pipeline (the paper's `photo` scenario): a softening
+ * filter over an RGB pixmap with one thread per row, where neighbouring
+ * row threads reuse each other's prefetched input rows. Demonstrates
+ * distance-decaying at_share() annotations and compares policies on the
+ * 8-processor E5000 model — the configuration where the paper reports
+ * photo's largest win (2.12x under CRT).
+ *
+ *   $ ./image_pipeline [width height]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "atl/sim/experiment.hh"
+#include "atl/workloads/photo.hh"
+
+using namespace atl;
+
+int
+main(int argc, char **argv)
+{
+    unsigned width = 1024, height = 512;
+    if (argc > 2) {
+        width = static_cast<unsigned>(std::atoi(argv[1]));
+        height = static_cast<unsigned>(std::atoi(argv[2]));
+    }
+
+    std::printf("softening filter over a %ux%u rgb pixmap, "
+                "one thread per row, 8-cpu E5000 model\n\n",
+                width, height);
+    std::printf("%-22s %12s %14s %9s\n", "configuration", "E-misses",
+                "cycles", "speedup");
+
+    Cycles base = 0;
+    struct Config
+    {
+        const char *label;
+        PolicyKind policy;
+        bool annotate;
+    };
+    for (const Config &c :
+         {Config{"FCFS", PolicyKind::FCFS, true},
+          Config{"LFF + annotations", PolicyKind::LFF, true},
+          Config{"LFF, no annotations", PolicyKind::LFF, false},
+          Config{"CRT + annotations", PolicyKind::CRT, true}}) {
+        PhotoWorkload::Params params;
+        params.width = width;
+        params.height = height;
+        params.annotate = c.annotate;
+        PhotoWorkload workload(params);
+
+        MachineConfig cfg;
+        cfg.numCpus = 8;
+        cfg.policy = c.policy;
+        RunMetrics r = runWorkload(workload, cfg, false);
+        if (!r.verified) {
+            std::fprintf(stderr, "filter FAILED verification!\n");
+            return 1;
+        }
+        if (base == 0)
+            base = r.makespan;
+        std::printf("%-22s %12llu %14llu %8.2fx\n", c.label,
+                    static_cast<unsigned long long>(r.eMisses),
+                    static_cast<unsigned long long>(r.makespan),
+                    static_cast<double>(base) /
+                        static_cast<double>(r.makespan));
+    }
+
+    std::printf("\n(annotations: q = 0.5 at row distance 1, q = 0.25 "
+                "at distance 2 — 'the closer the corresponding row "
+                "numbers, the more prefetched state is reused')\n");
+    return 0;
+}

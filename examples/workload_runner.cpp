@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Command-line workload runner: runs any of the built-in benchmark
+ * applications under any policy and machine width, printing the full
+ * metric set — the quickest way to explore the system interactively.
+ *
+ *   $ ./workload_runner tasks LFF 8
+ *   $ ./workload_runner merge CRT 1
+ *   $ ./workload_runner --list
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "atl/sim/experiment.hh"
+#include "atl/workloads/barnes.hh"
+#include "atl/workloads/mergesort.hh"
+#include "atl/workloads/ocean.hh"
+#include "atl/workloads/photo.hh"
+#include "atl/workloads/raytrace.hh"
+#include "atl/workloads/tasks.hh"
+#include "atl/workloads/tsp.hh"
+#include "atl/workloads/typechecker.hh"
+#include "atl/workloads/water.hh"
+
+using namespace atl;
+
+namespace
+{
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name)
+{
+    if (name == "tasks")
+        return std::make_unique<TasksWorkload>(
+            TasksWorkload::Params{1024, 100, 100});
+    if (name == "merge")
+        return std::make_unique<MergesortWorkload>(
+            MergesortWorkload::Params{});
+    if (name == "photo") {
+        PhotoWorkload::Params p;
+        p.width = 1024;
+        p.height = 512;
+        return std::make_unique<PhotoWorkload>(p);
+    }
+    if (name == "tsp")
+        return std::make_unique<TspWorkload>(TspWorkload::Params{});
+    if (name == "barnes")
+        return std::make_unique<BarnesWorkload>(BarnesWorkload::Params{});
+    if (name == "ocean")
+        return std::make_unique<OceanWorkload>(OceanWorkload::Params{});
+    if (name == "water")
+        return std::make_unique<WaterWorkload>(WaterWorkload::Params{});
+    if (name == "raytrace")
+        return std::make_unique<RaytraceWorkload>(
+            RaytraceWorkload::Params{});
+    if (name == "typechecker")
+        return std::make_unique<TypecheckerWorkload>(
+            TypecheckerWorkload::Params{});
+    return nullptr;
+}
+
+const char *allNames[] = {"tasks", "merge",  "photo",    "tsp",
+                          "barnes", "ocean", "water",    "raytrace",
+                          "typechecker"};
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: workload_runner <workload> [FCFS|LFF|CRT] "
+                 "[cpus]\n       workload_runner --list\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+
+    if (std::strcmp(argv[1], "--list") == 0) {
+        for (const char *name : allNames) {
+            auto w = makeWorkload(name);
+            std::printf("%-12s %s\n", name, w->description().c_str());
+        }
+        return 0;
+    }
+
+    auto workload = makeWorkload(argv[1]);
+    if (!workload)
+        return usage();
+
+    PolicyKind policy = PolicyKind::LFF;
+    if (argc > 2) {
+        if (std::strcmp(argv[2], "FCFS") == 0)
+            policy = PolicyKind::FCFS;
+        else if (std::strcmp(argv[2], "LFF") == 0)
+            policy = PolicyKind::LFF;
+        else if (std::strcmp(argv[2], "CRT") == 0)
+            policy = PolicyKind::CRT;
+        else
+            return usage();
+    }
+    unsigned n_cpus = argc > 3
+                          ? static_cast<unsigned>(std::atoi(argv[3]))
+                          : 1;
+    if (n_cpus == 0)
+        return usage();
+
+    MachineConfig cfg;
+    cfg.numCpus = n_cpus;
+    cfg.policy = policy;
+
+    std::printf("%s under %s on %u cpu(s)\n  %s\n\n", argv[1],
+                policyName(policy), n_cpus,
+                workload->parameters().c_str());
+    RunMetrics r = runWorkload(*workload, cfg, true);
+
+    std::printf("verified:          %s\n", r.verified ? "yes" : "NO");
+    std::printf("makespan:          %llu cycles\n",
+                static_cast<unsigned long long>(r.makespan));
+    std::printf("E-cache refs:      %llu\n",
+                static_cast<unsigned long long>(r.eRefs));
+    std::printf("E-cache misses:    %llu (%.3f per 1000 instructions)\n",
+                static_cast<unsigned long long>(r.eMisses), r.mpki());
+    std::printf("instructions:      %llu\n",
+                static_cast<unsigned long long>(r.instructions));
+    std::printf("context switches:  %llu\n",
+                static_cast<unsigned long long>(r.contextSwitches));
+    std::printf("sched overhead:    %llu cycles\n",
+                static_cast<unsigned long long>(r.schedOverheadCycles));
+    return r.verified ? 0 : 1;
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full verification pipeline: configure, build, run every test, then
+# regenerate every paper table/figure. Exits non-zero on the first
+# failed shape check.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build -j "$(nproc)"
+
+for b in build/bench/*; do
+    echo "==== $b"
+    "$b"
+done
+echo "ALL CHECKS PASSED"

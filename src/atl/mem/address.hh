@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fundamental address and identifier types for the simulated memory
+ * system. Virtual and physical addresses are distinct strong typedefs to
+ * keep the translation boundary explicit.
+ */
+
+#ifndef ATL_MEM_ADDRESS_HH
+#define ATL_MEM_ADDRESS_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace atl
+{
+
+/** Virtual address within the single simulated address space. */
+using VAddr = uint64_t;
+
+/** Physical address after simulated translation. */
+using PAddr = uint64_t;
+
+/** Runtime thread instance identifier. */
+using ThreadId = uint32_t;
+
+/** Simulated processor identifier. */
+using CpuId = uint32_t;
+
+/** Simulated cycle count. */
+using Cycles = uint64_t;
+
+/** Sentinel for "no thread". */
+inline constexpr ThreadId InvalidThreadId =
+    std::numeric_limits<ThreadId>::max();
+
+/** Sentinel for "no processor". */
+inline constexpr CpuId InvalidCpuId = std::numeric_limits<CpuId>::max();
+
+/** True iff x is a power of two (and nonzero). */
+constexpr bool
+isPowerOf2(uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Floor log2 of a power of two. */
+constexpr unsigned
+log2Exact(uint64_t x)
+{
+    unsigned n = 0;
+    while (x > 1) {
+        x >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+/** Round v down to a multiple of the power-of-two alignment a. */
+constexpr uint64_t
+alignDown(uint64_t v, uint64_t a)
+{
+    return v & ~(a - 1);
+}
+
+/** Round v up to a multiple of the power-of-two alignment a. */
+constexpr uint64_t
+alignUp(uint64_t v, uint64_t a)
+{
+    return (v + a - 1) & ~(a - 1);
+}
+
+} // namespace atl
+
+#endif // ATL_MEM_ADDRESS_HH

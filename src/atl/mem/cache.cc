@@ -1,0 +1,195 @@
+#include "atl/mem/cache.hh"
+
+#include "atl/util/logging.hh"
+
+namespace atl
+{
+
+Cache::Cache(const CacheConfig &config)
+    : _config(config), _lineBytes(config.lineBytes),
+      _lineShift(log2Exact(config.lineBytes)),
+      _ways(config.ways ? config.ways : 1)
+{
+    atl_assert(isPowerOf2(config.sizeBytes), "cache size must be 2^k");
+    atl_assert(isPowerOf2(config.lineBytes), "line size must be 2^k");
+    atl_assert(config.sizeBytes % (config.lineBytes * _ways) == 0,
+               "cache size must be divisible by way size");
+    _numSets = config.sizeBytes / (config.lineBytes * _ways);
+    atl_assert(isPowerOf2(_numSets), "set count must be 2^k");
+    _lines.resize(_numSets * _ways);
+}
+
+uint64_t
+Cache::setIndex(PAddr pa) const
+{
+    return (pa >> _lineShift) & (_numSets - 1);
+}
+
+PAddr
+Cache::lineAddrOf(size_t index) const
+{
+    uint64_t set = index / _ways;
+    uint64_t tag = _lines[index].tag;
+    return (tag * _numSets + set) << _lineShift;
+}
+
+int
+Cache::findWay(uint64_t set, uint64_t tag) const
+{
+    for (unsigned w = 0; w < _ways; ++w) {
+        const Line &line = _lines[lineIndex(set, w)];
+        if (line.valid && line.tag == tag)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+unsigned
+Cache::victimWay(uint64_t set) const
+{
+    unsigned victim = 0;
+    uint64_t oldest = ~0ull;
+    for (unsigned w = 0; w < _ways; ++w) {
+        const Line &line = _lines[lineIndex(set, w)];
+        if (!line.valid)
+            return w;
+        if (line.lastUse < oldest) {
+            oldest = line.lastUse;
+            victim = w;
+        }
+    }
+    return victim;
+}
+
+Cache::AccessResult
+Cache::access(PAddr pa, bool is_write)
+{
+    ++_stats.refs;
+    ++_tick;
+
+    uint64_t line_no = pa >> _lineShift;
+    uint64_t set = line_no & (_numSets - 1);
+    uint64_t tag = line_no / _numSets;
+
+    AccessResult result;
+    int way = findWay(set, tag);
+    if (way >= 0) {
+        Line &line = _lines[lineIndex(set, static_cast<unsigned>(way))];
+        line.lastUse = _tick;
+        if (is_write && _config.writePolicy == WritePolicy::WriteBack)
+            line.dirty = true;
+        ++_stats.hits;
+        result.hit = true;
+        return result;
+    }
+
+    // Miss. Allocate unless this is a non-allocating write.
+    if (is_write && !_config.allocateOnWrite)
+        return result;
+
+    unsigned victim = victimWay(set);
+    Line &line = _lines[lineIndex(set, victim)];
+    if (line.valid) {
+        result.victim.valid = true;
+        result.victim.lineAddr =
+            (line.tag * _numSets + set) << _lineShift;
+        result.victim.dirty = line.dirty;
+        ++_stats.evictions;
+        if (line.dirty)
+            ++_stats.writebacks;
+    } else {
+        ++_resident;
+    }
+    line.valid = true;
+    line.tag = tag;
+    line.lastUse = _tick;
+    line.dirty =
+        is_write && _config.writePolicy == WritePolicy::WriteBack;
+    result.filled = true;
+    return result;
+}
+
+EvictInfo
+Cache::fill(PAddr pa, bool dirty)
+{
+    ++_tick;
+    uint64_t line_no = pa >> _lineShift;
+    uint64_t set = line_no & (_numSets - 1);
+    uint64_t tag = line_no / _numSets;
+
+    EvictInfo info;
+    int way = findWay(set, tag);
+    if (way >= 0) {
+        Line &line = _lines[lineIndex(set, static_cast<unsigned>(way))];
+        line.lastUse = _tick;
+        line.dirty = line.dirty || dirty;
+        return info;
+    }
+
+    unsigned victim = victimWay(set);
+    Line &line = _lines[lineIndex(set, victim)];
+    if (line.valid) {
+        info.valid = true;
+        info.lineAddr = (line.tag * _numSets + set) << _lineShift;
+        info.dirty = line.dirty;
+        ++_stats.evictions;
+        if (line.dirty)
+            ++_stats.writebacks;
+    } else {
+        ++_resident;
+    }
+    line.valid = true;
+    line.tag = tag;
+    line.lastUse = _tick;
+    line.dirty = dirty;
+    return info;
+}
+
+bool
+Cache::contains(PAddr pa) const
+{
+    uint64_t line_no = pa >> _lineShift;
+    return findWay(line_no & (_numSets - 1), line_no / _numSets) >= 0;
+}
+
+bool
+Cache::isDirty(PAddr pa) const
+{
+    uint64_t line_no = pa >> _lineShift;
+    uint64_t set = line_no & (_numSets - 1);
+    int way = findWay(set, line_no / _numSets);
+    if (way < 0)
+        return false;
+    return _lines[lineIndex(set, static_cast<unsigned>(way))].dirty;
+}
+
+bool
+Cache::invalidate(PAddr pa)
+{
+    uint64_t line_no = pa >> _lineShift;
+    uint64_t set = line_no & (_numSets - 1);
+    int way = findWay(set, line_no / _numSets);
+    if (way < 0)
+        return false;
+    Line &line = _lines[lineIndex(set, static_cast<unsigned>(way))];
+    line.valid = false;
+    line.dirty = false;
+    --_resident;
+    ++_stats.invalidations;
+    return true;
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : _lines) {
+        if (line.valid) {
+            line.valid = false;
+            line.dirty = false;
+            ++_stats.invalidations;
+        }
+    }
+    _resident = 0;
+}
+
+} // namespace atl

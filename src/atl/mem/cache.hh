@@ -1,0 +1,199 @@
+/**
+ * @file
+ * A single simulated cache: set-associative (direct-mapped as the
+ * one-way special case), physically indexed and tagged, LRU replacement,
+ * write-back or write-through, with optional write-allocation.
+ *
+ * The cache tracks only metadata (tags and state bits), never data: the
+ * simulation needs residency, eviction and dirtiness, not values.
+ */
+
+#ifndef ATL_MEM_CACHE_HH
+#define ATL_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "atl/mem/address.hh"
+
+namespace atl
+{
+
+/** How stores interact with this cache level. */
+enum class WritePolicy
+{
+    WriteBack,
+    WriteThrough,
+};
+
+/** Static geometry and behaviour of one cache. */
+struct CacheConfig
+{
+    /** Human-readable name used in stats output. */
+    std::string name = "cache";
+    /** Total capacity in bytes (power of two). */
+    uint64_t sizeBytes = 512 * 1024;
+    /** Line size in bytes (power of two). */
+    uint64_t lineBytes = 64;
+    /** Associativity; 1 means direct-mapped. */
+    unsigned ways = 1;
+    /** Store handling. */
+    WritePolicy writePolicy = WritePolicy::WriteBack;
+    /** Whether a store miss allocates the line. */
+    bool allocateOnWrite = true;
+};
+
+/** Counters accumulated by one cache. */
+struct CacheStats
+{
+    uint64_t refs = 0;
+    uint64_t hits = 0;
+    uint64_t evictions = 0;
+    uint64_t writebacks = 0;
+    uint64_t invalidations = 0;
+
+    uint64_t misses() const { return refs - hits; }
+};
+
+/** Description of a line displaced by a fill. */
+struct EvictInfo
+{
+    /** True when a valid line was displaced. */
+    bool valid = false;
+    /** Physical address of the displaced line (line-aligned). */
+    PAddr lineAddr = 0;
+    /** True when the displaced line was dirty (needs write-back). */
+    bool dirty = false;
+};
+
+/**
+ * The cache proper. All addresses given to the public interface may be
+ * arbitrary byte addresses; they are line-aligned internally.
+ */
+class Cache
+{
+  public:
+    /** Result of one reference. */
+    struct AccessResult
+    {
+        /** True when the line was already resident. */
+        bool hit = false;
+        /** True when the reference allocated the line. */
+        bool filled = false;
+        /** Line displaced to make room, when filled. */
+        EvictInfo victim;
+    };
+
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Perform one reference.
+     * @param pa physical byte address
+     * @param is_write true for stores
+     */
+    AccessResult access(PAddr pa, bool is_write);
+
+    /**
+     * Install a line without counting a reference (used for fills driven
+     * by a lower level, e.g. L1 refill from L2).
+     * @param pa physical byte address
+     * @param dirty install in dirty state
+     * @return the displaced line, if any
+     */
+    EvictInfo fill(PAddr pa, bool dirty = false);
+
+    /** True when the line holding pa is resident. */
+    bool contains(PAddr pa) const;
+
+    /** True when the line holding pa is resident and dirty. */
+    bool isDirty(PAddr pa) const;
+
+    /**
+     * Invalidate the line holding pa (coherence or inclusion).
+     * @retval true when a line was actually invalidated
+     */
+    bool invalidate(PAddr pa);
+
+    /** Invalidate everything (simulated cache flush). */
+    void flush();
+
+    /** Number of resident valid lines. */
+    uint64_t residentLines() const { return _resident; }
+
+    /** Call f(lineAddr) for every resident line. */
+    template <typename F>
+    void
+    forEachResident(F f) const
+    {
+        for (size_t i = 0; i < _lines.size(); ++i) {
+            if (_lines[i].valid)
+                f(lineAddrOf(i));
+        }
+    }
+
+    /** Geometry: total lines. */
+    uint64_t numLines() const { return _numSets * _ways; }
+
+    /** Geometry: sets. */
+    uint64_t numSets() const { return _numSets; }
+
+    /** Geometry: associativity. */
+    unsigned ways() const { return _ways; }
+
+    /** Geometry: line size in bytes. */
+    uint64_t lineBytes() const { return _lineBytes; }
+
+    /** Accumulated counters. */
+    const CacheStats &stats() const { return _stats; }
+
+    /** Reset counters (not contents). */
+    void resetStats() { _stats = CacheStats(); }
+
+    /** Configuration this cache was built with. */
+    const CacheConfig &config() const { return _config; }
+
+    /** Set index a physical address maps to. */
+    uint64_t setIndex(PAddr pa) const;
+
+    /** Line-aligned address of pa. */
+    PAddr lineAlign(PAddr pa) const { return pa & ~(_lineBytes - 1); }
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        uint64_t lastUse = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    /** Find the way holding pa within its set, or -1. */
+    int findWay(uint64_t set, uint64_t tag) const;
+
+    /** Choose the victim way (invalid first, then LRU). */
+    unsigned victimWay(uint64_t set) const;
+
+    /** Storage index of (set, way). */
+    size_t lineIndex(uint64_t set, unsigned way) const
+    {
+        return set * _ways + way;
+    }
+
+    /** Reconstruct a line address from a storage index. */
+    PAddr lineAddrOf(size_t index) const;
+
+    CacheConfig _config;
+    uint64_t _lineBytes;
+    unsigned _lineShift;
+    uint64_t _numSets;
+    unsigned _ways;
+    uint64_t _tick = 0;
+    uint64_t _resident = 0;
+    CacheStats _stats;
+    std::vector<Line> _lines;
+};
+
+} // namespace atl
+
+#endif // ATL_MEM_CACHE_HH

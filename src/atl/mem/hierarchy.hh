@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The per-processor memory hierarchy of the simulated UltraSPARC-1
+ * (paper Table 1): a 16KB direct-mapped write-through L1 data cache, a
+ * 16KB 2-way L1 instruction cache, and a 512KB direct-mapped write-back
+ * unified external (E-)cache that maintains inclusion over both L1s.
+ *
+ * The hierarchy reports which level serviced each reference; cycle costs
+ * are applied by the machine model, which also owns coherence across
+ * processors.
+ */
+
+#ifndef ATL_MEM_HIERARCHY_HH
+#define ATL_MEM_HIERARCHY_HH
+
+#include <functional>
+
+#include "atl/mem/cache.hh"
+
+namespace atl
+{
+
+/** Kind of memory reference. */
+enum class AccessType
+{
+    IFetch,
+    Load,
+    Store,
+};
+
+/** Which level serviced a reference. */
+enum class ServicedBy
+{
+    L1,
+    L2,
+    Memory,
+};
+
+/** Configuration of the three caches. */
+struct HierarchyConfig
+{
+    CacheConfig l1i{"l1i", 16 * 1024, 32, 2, WritePolicy::WriteThrough,
+                    false};
+    CacheConfig l1d{"l1d", 16 * 1024, 32, 1, WritePolicy::WriteThrough,
+                    false};
+    CacheConfig l2{"e-cache", 512 * 1024, 64, 1, WritePolicy::WriteBack,
+                   true};
+};
+
+/** Result of one reference through the hierarchy. */
+struct HierarchyOutcome
+{
+    /** Deepest level that had to be consulted. */
+    ServicedBy servicedBy = ServicedBy::L1;
+    /** True when the E-cache was referenced at all. */
+    bool l2Referenced = false;
+    /** True when the E-cache missed. */
+    bool l2Missed = false;
+};
+
+/**
+ * One processor's caches. Fill/evict events at the E-cache level are
+ * reported through hooks so the tracer can maintain per-thread footprint
+ * ground truth.
+ */
+class Hierarchy
+{
+  public:
+    /** Called with the line-aligned address of every E-cache fill. */
+    using LineHook = std::function<void(PAddr line_addr)>;
+
+    explicit Hierarchy(const HierarchyConfig &config);
+
+    /**
+     * Perform one reference.
+     * @param pa physical byte address (single-line: the caller splits
+     *           multi-line ranges)
+     * @param type fetch / load / store
+     */
+    HierarchyOutcome access(PAddr pa, AccessType type);
+
+    /** True when the E-cache holds the line containing pa. */
+    bool l2Contains(PAddr pa) const { return _l2.contains(pa); }
+
+    /** True when the E-cache holds the line containing pa dirty. */
+    bool l2Dirty(PAddr pa) const { return _l2.isDirty(pa); }
+
+    /**
+     * Coherence invalidation of one E-cache line (and, via inclusion,
+     * any L1 copies).
+     * @retval true when the line was present
+     */
+    bool invalidateLine(PAddr pa);
+
+    /** Flush all three caches (whole-cache invalidation). */
+    void flush();
+
+    /** E-cache geometry and counters. */
+    const Cache &l2() const { return _l2; }
+
+    /** L1 data cache. */
+    const Cache &l1d() const { return _l1d; }
+
+    /** L1 instruction cache. */
+    const Cache &l1i() const { return _l1i; }
+
+    /** Reset all counters. */
+    void resetStats();
+
+    /** Hook invoked when a line enters the E-cache. */
+    void onL2Fill(LineHook hook) { _onL2Fill = std::move(hook); }
+
+    /** Hook invoked when a line leaves the E-cache (evict/invalidate). */
+    void onL2Evict(LineHook hook) { _onL2Evict = std::move(hook); }
+
+  private:
+    /** Enforce inclusion: drop L1 copies covered by an evicted L2 line. */
+    void invalidateL1Range(PAddr l2_line_addr);
+
+    /** Notify the evict hook, if set. */
+    void notifyEvict(PAddr line_addr);
+
+    Cache _l1i;
+    Cache _l1d;
+    Cache _l2;
+    LineHook _onL2Fill;
+    LineHook _onL2Evict;
+};
+
+} // namespace atl
+
+#endif // ATL_MEM_HIERARCHY_HH

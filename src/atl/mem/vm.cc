@@ -1,0 +1,103 @@
+#include "atl/mem/vm.hh"
+
+#include "atl/util/logging.hh"
+
+namespace atl
+{
+
+namespace
+{
+
+/** Physical frames available to the Random placement policy. */
+constexpr uint64_t randomFrameSpace = 1ull << 18; // 2GB of 8KB frames
+
+} // namespace
+
+Vm::Vm(uint64_t page_bytes, uint64_t cache_colors, PagePlacement placement,
+       uint64_t seed)
+    : _pageBytes(page_bytes), _pageShift(log2Exact(page_bytes)),
+      _cacheColors(cache_colors ? cache_colors : 1), _placement(placement),
+      _rng(seed), _colorCursor(_cacheColors, 0)
+{
+    atl_assert(isPowerOf2(page_bytes), "page size must be a power of two");
+}
+
+PAddr
+Vm::translate(VAddr va)
+{
+    uint64_t vpn = va >> _pageShift;
+    auto it = _pageTable.find(vpn);
+    uint64_t pfn;
+    if (it != _pageTable.end()) {
+        pfn = it->second;
+    } else {
+        pfn = allocateFrame(vpn);
+        _pageTable.emplace(vpn, pfn);
+        _frameTable.emplace(pfn, vpn);
+    }
+    return (pfn << _pageShift) | (va & (_pageBytes - 1));
+}
+
+bool
+Vm::translateIfMapped(VAddr va, PAddr &pa) const
+{
+    uint64_t vpn = va >> _pageShift;
+    auto it = _pageTable.find(vpn);
+    if (it == _pageTable.end())
+        return false;
+    pa = (it->second << _pageShift) | (va & (_pageBytes - 1));
+    return true;
+}
+
+bool
+Vm::reverse(PAddr pa, VAddr &va) const
+{
+    uint64_t pfn = pa >> _pageShift;
+    auto it = _frameTable.find(pfn);
+    if (it == _frameTable.end())
+        return false;
+    va = (it->second << _pageShift) | (pa & (_pageBytes - 1));
+    return true;
+}
+
+uint64_t
+Vm::allocateFrame(uint64_t vpn)
+{
+    (void)vpn;
+    switch (_placement) {
+      case PagePlacement::Arbitrary:
+        return _nextFrame++;
+      case PagePlacement::BinHopping: {
+        // Frames are striped across colors: frame f falls in color
+        // f % colors. Take the next unused frame of the current color,
+        // then hop to the following color.
+        uint64_t color = _nextColor;
+        _nextColor = (_nextColor + 1) % _cacheColors;
+        uint64_t pfn = _colorCursor[color] * _cacheColors + color;
+        ++_colorCursor[color];
+        return pfn;
+      }
+      case PagePlacement::Random: {
+        for (;;) {
+            uint64_t pfn = _rng.below(randomFrameSpace);
+            if (!_frameTable.count(pfn))
+                return pfn;
+        }
+      }
+    }
+    atl_panic("unhandled page placement policy");
+    return 0;
+}
+
+std::vector<uint64_t>
+Vm::colorHistogram() const
+{
+    std::vector<uint64_t> hist(_cacheColors, 0);
+    for (const auto &[pfn, vpn] : _frameTable) {
+        (void)vpn;
+        ++hist[pfn % _cacheColors];
+    }
+    return hist;
+}
+
+} // namespace atl

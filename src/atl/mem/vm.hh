@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Simulated virtual memory: a single shared address space, demand
+ * allocation of physical frames at first touch, and pluggable page
+ * placement policies.
+ *
+ * The secondary cache in the modelled UltraSPARC hierarchy is physically
+ * indexed, so the virtual-to-physical mapping decides which cache "color"
+ * (bin) a page's lines land in. The paper simulates the hierarchical
+ * placement policy of Kessler & Hill, which picks a frame at page-fault
+ * time to spread pages across cache bins; we implement that as bin
+ * hopping plus an arbitrary (sequential) baseline.
+ */
+
+#ifndef ATL_MEM_VM_HH
+#define ATL_MEM_VM_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "atl/mem/address.hh"
+#include "atl/util/rng.hh"
+
+namespace atl
+{
+
+/** Strategy used to choose a physical frame for a faulting page. */
+enum class PagePlacement
+{
+    /** Next free frame in address order (a naive placement). */
+    Arbitrary,
+    /**
+     * Kessler-Hill style careful mapping: cycle through cache colors so
+     * consecutive faults map to different secondary-cache bins.
+     */
+    BinHopping,
+    /** Uniformly random free frame (worst-case conflict structure). */
+    Random,
+};
+
+/**
+ * Page table plus frame allocator for the simulated address space.
+ *
+ * Frames are never reclaimed: the paper's runs all fit in memory, and
+ * keeping mappings stable makes footprint attribution by reverse
+ * translation exact.
+ */
+class Vm
+{
+  public:
+    /**
+     * @param page_bytes page size (power of two; UltraSPARC uses 8KB)
+     * @param cache_colors number of secondary-cache page bins, i.e.
+     *        cacheBytes / pageBytes (>= 1); drives bin hopping
+     * @param placement frame selection policy
+     * @param seed RNG seed for the Random policy
+     */
+    Vm(uint64_t page_bytes, uint64_t cache_colors,
+       PagePlacement placement = PagePlacement::BinHopping,
+       uint64_t seed = 12345);
+
+    /**
+     * Translate a virtual address, allocating a frame on first touch.
+     * @return the physical address
+     */
+    PAddr translate(VAddr va);
+
+    /**
+     * Reverse-translate a physical address back to the virtual address
+     * mapped onto it.
+     * @retval true and sets va when the frame is mapped
+     */
+    bool reverse(PAddr pa, VAddr &va) const;
+
+    /**
+     * Translate without faulting: fails instead of allocating a frame.
+     * @retval true and sets pa when the page is already mapped
+     */
+    bool translateIfMapped(VAddr va, PAddr &pa) const;
+
+    /** Page size in bytes. */
+    uint64_t pageBytes() const { return _pageBytes; }
+
+    /** Number of pages faulted in so far. */
+    uint64_t pagesMapped() const { return _pageTable.size(); }
+
+    /** Page placement policy in use. */
+    PagePlacement placement() const { return _placement; }
+
+    /**
+     * Number of mapped pages in each cache color; exposes placement
+     * quality (bin hopping keeps these balanced).
+     */
+    std::vector<uint64_t> colorHistogram() const;
+
+  private:
+    /** Pick the frame number for a newly faulting virtual page. */
+    uint64_t allocateFrame(uint64_t vpn);
+
+    uint64_t _pageBytes;
+    unsigned _pageShift;
+    uint64_t _cacheColors;
+    PagePlacement _placement;
+    Rng _rng;
+    uint64_t _nextColor = 0;
+    uint64_t _nextFrame = 0;
+    /** vpn -> pfn */
+    std::unordered_map<uint64_t, uint64_t> _pageTable;
+    /** pfn -> vpn */
+    std::unordered_map<uint64_t, uint64_t> _frameTable;
+    /** next unused frame index within each color, for BinHopping */
+    std::vector<uint64_t> _colorCursor;
+};
+
+} // namespace atl
+
+#endif // ATL_MEM_VM_HH

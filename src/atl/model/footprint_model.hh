@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The shared-state cache model (paper Section 2.4 and Appendix).
+ *
+ * For a direct-mapped cache of N lines, with k = (N-1)/N and n the
+ * number of misses taken by blocking thread A during its scheduling
+ * interval, the expected footprints after the interval are:
+ *
+ *   blocking A     E[F_A] = N  - (N  - S_A) k^n
+ *   independent B  E[F_B] = S_B k^n
+ *   dependent C    E[F_C] = qN - (qN - S_C) k^n
+ *
+ * where S_X is the footprint at the start of the interval and q is the
+ * sharing coefficient on arc (A, C). The dependent case is the general
+ * one: q = 1 gives the blocking case, q = 0 the independent case.
+ *
+ * FootprintModel also offers the lazily-decayed representation the
+ * scheduler uses: a footprint is stored as (S, m_snap) meaning
+ * E[F](m) = S * k^(m - m_snap) for the processor's cumulative miss count
+ * m, so untouched (independent) threads need no per-switch updates.
+ */
+
+#ifndef ATL_MODEL_FOOTPRINT_MODEL_HH
+#define ATL_MODEL_FOOTPRINT_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace atl
+{
+
+/**
+ * Precomputed powers k^n for n in [0, max_n]; values beyond max_n are
+ * treated as 0 (k^n decays to the asymptote). The paper precomputes
+ * exactly this table to keep priority updates to a few FP instructions.
+ */
+class PowTable
+{
+  public:
+    /**
+     * @param k base in (0, 1)
+     * @param max_n largest exponent tabulated
+     */
+    PowTable(double k, uint64_t max_n);
+
+    /** k^n (0 beyond the tabulated range). */
+    double
+    pow(uint64_t n) const
+    {
+        return n < _table.size() ? _table[n] : 0.0;
+    }
+
+    /** The base k. */
+    double base() const { return _k; }
+
+    /** Largest tabulated exponent. */
+    uint64_t maxN() const { return _table.size() - 1; }
+
+  private:
+    double _k;
+    std::vector<double> _table;
+};
+
+/**
+ * Precomputed natural logarithms log(F) for integer F in [1, N]. The
+ * paper tabulates these because N (cache lines) is only a few thousand.
+ * Non-integer arguments interpolate linearly between neighbours, which
+ * keeps the table useful for expected (fractional) footprints.
+ */
+class LogTable
+{
+  public:
+    /** @param max_f largest tabulated argument (the cache size N). */
+    explicit LogTable(uint64_t max_f);
+
+    /**
+     * log(f) for f in (0, maxF]; f below 1 is clamped to 1 (a footprint
+     * under one line carries no useful priority information).
+     */
+    double log(double f) const;
+
+    /** Largest tabulated argument. */
+    uint64_t maxF() const { return _table.size() - 1; }
+
+  private:
+    std::vector<double> _table;
+};
+
+/**
+ * The closed-form model for one cache geometry.
+ */
+class FootprintModel
+{
+  public:
+    /**
+     * @param n_lines cache size N in lines
+     * @param max_pow largest miss count tabulated in the power table;
+     *        intervals longer than this have fully decayed footprints
+     */
+    explicit FootprintModel(uint64_t n_lines, uint64_t max_pow = 1 << 18);
+
+    /** Cache size N in lines. */
+    double N() const { return _n; }
+
+    /** k = (N-1)/N. */
+    double k() const { return _pow.base(); }
+
+    /** log k (negative). */
+    double logK() const { return _logK; }
+
+    /** k^n via the table. */
+    double kPow(uint64_t n) const { return _pow.pow(n); }
+
+    /** log via the table (see LogTable::log for clamping). */
+    double logF(double f) const { return _log.log(f); }
+
+    /** E[F_A] after the blocking thread itself takes n misses. */
+    double blocking(double s, uint64_t n) const;
+
+    /** E[F_B] of an independent thread after n misses by another. */
+    double independent(double s, uint64_t n) const;
+
+    /**
+     * E[F_C] of a dependent thread with sharing coefficient q after n
+     * misses by the thread it depends on.
+     */
+    double dependent(double q, double s, uint64_t n) const;
+
+    /**
+     * Lazily-decayed footprint: value at processor miss count m_now of a
+     * footprint recorded as s at miss count m_snap.
+     */
+    double decayed(double s, uint64_t m_snap, uint64_t m_now) const;
+
+  private:
+    double _n;
+    double _logK;
+    PowTable _pow;
+    LogTable _log;
+};
+
+/**
+ * Variant of the model for set-associative caches (paper: "the developed
+ * model can be extended to the associative cache case"). With W ways and
+ * S = N/W sets, a miss selects a uniformly random set and evicts the LRU
+ * way. Approximating the victim within the set as uniformly random
+ * yields the same closed forms with the effective per-line displacement
+ * probability 1/N unchanged; the first-order correction for LRU is that
+ * a thread's own just-fetched lines are protected, captured here by an
+ * effective cache size N_eff = N * (1 - 1/(2W)) for cross-thread decay.
+ * The ablation bench quantifies how far the plain DM model drifts on
+ * associative geometries versus this correction.
+ */
+class AssociativeFootprintModel
+{
+  public:
+    /**
+     * @param n_lines total lines N
+     * @param ways associativity W
+     * @param max_pow power-table range
+     */
+    AssociativeFootprintModel(uint64_t n_lines, unsigned ways,
+                              uint64_t max_pow = 1 << 18);
+
+    /** Decay base used for cross-thread displacement. */
+    double k() const { return _pow.base(); }
+
+    /** E[F] of an independent thread after n foreign misses. */
+    double independent(double s, uint64_t n) const;
+
+    /** E[F_A] of the blocking thread after its own n misses. */
+    double blocking(double s, uint64_t n) const;
+
+    /** E[F_C] of a dependent thread. */
+    double dependent(double q, double s, uint64_t n) const;
+
+  private:
+    double _n;
+    PowTable _pow;
+};
+
+} // namespace atl
+
+#endif // ATL_MODEL_FOOTPRINT_MODEL_HH

@@ -1,0 +1,89 @@
+#include "atl/model/markov.hh"
+
+#include "atl/util/logging.hh"
+
+namespace atl
+{
+
+MarkovFootprintChain::MarkovFootprintChain(uint64_t n_lines, double q)
+    : _n(n_lines), _q(q)
+{
+    atl_assert(n_lines >= 1, "chain needs at least one line");
+    atl_assert(q >= 0.0 && q <= 1.0, "sharing coefficient must be in [0,1]");
+}
+
+double
+MarkovFootprintChain::pUp(uint64_t i) const
+{
+    atl_assert(i <= _n, "state out of range");
+    return _q * static_cast<double>(_n - i) / static_cast<double>(_n);
+}
+
+double
+MarkovFootprintChain::pDown(uint64_t i) const
+{
+    atl_assert(i <= _n, "state out of range");
+    return (1.0 - _q) * static_cast<double>(i) / static_cast<double>(_n);
+}
+
+double
+MarkovFootprintChain::pStay(uint64_t i) const
+{
+    return 1.0 - pUp(i) - pDown(i);
+}
+
+std::vector<double>
+MarkovFootprintChain::step(const std::vector<double> &dist) const
+{
+    atl_assert(dist.size() == numStates(), "distribution size mismatch");
+    std::vector<double> next(dist.size(), 0.0);
+    for (uint64_t i = 0; i <= _n; ++i) {
+        double p = dist[i];
+        if (p == 0.0)
+            continue;
+        next[i] += p * pStay(i);
+        if (i < _n)
+            next[i + 1] += p * pUp(i);
+        if (i > 0)
+            next[i - 1] += p * pDown(i);
+    }
+    return next;
+}
+
+std::vector<double>
+MarkovFootprintChain::distributionAfter(uint64_t s0, uint64_t n) const
+{
+    atl_assert(s0 <= _n, "initial footprint exceeds cache size");
+    std::vector<double> dist(numStates(), 0.0);
+    dist[s0] = 1.0;
+    for (uint64_t step_no = 0; step_no < n; ++step_no)
+        dist = step(dist);
+    return dist;
+}
+
+double
+MarkovFootprintChain::expectation(const std::vector<double> &dist)
+{
+    double e = 0.0;
+    for (size_t i = 0; i < dist.size(); ++i)
+        e += static_cast<double>(i) * dist[i];
+    return e;
+}
+
+double
+MarkovFootprintChain::variance(const std::vector<double> &dist)
+{
+    double e = expectation(dist);
+    double e2 = 0.0;
+    for (size_t i = 0; i < dist.size(); ++i)
+        e2 += static_cast<double>(i) * static_cast<double>(i) * dist[i];
+    return e2 - e * e;
+}
+
+double
+MarkovFootprintChain::expectedAfter(uint64_t s0, uint64_t n) const
+{
+    return expectation(distributionAfter(s0, n));
+}
+
+} // namespace atl

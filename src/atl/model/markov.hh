@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The exact Markov chain from the paper's appendix, used to derive (and
+ * here to validate) the dependent-thread closed form.
+ *
+ * State i in [0, N] is the number of cache lines of dependent thread C
+ * resident in processor p's cache. Each miss taken by thread A moves the
+ * chain:
+ *
+ *   p(i, i+1) = q (N - i) / N        (shared line fills a non-C slot)
+ *   p(i, i-1) = (1 - q) i / N        (unshared line evicts a C line)
+ *   p(i, i)   = q i / N + (1 - q)(N - i) / N
+ *
+ * The expectation obeys E_{t+1} = k E_t + q with k = (N-1)/N, whose
+ * solution is exactly the closed form E_n = qN - (qN - S) k^n, so the
+ * closed form is exact for expectations; the chain additionally gives
+ * the full distribution (variance, tails) that the closed form cannot.
+ */
+
+#ifndef ATL_MODEL_MARKOV_HH
+#define ATL_MODEL_MARKOV_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace atl
+{
+
+/**
+ * Tridiagonal footprint chain for one (cache size, sharing coefficient)
+ * pair. The transition matrix is never materialised: stepping a
+ * distribution is O(N) directly from the tridiagonal structure.
+ */
+class MarkovFootprintChain
+{
+  public:
+    /**
+     * @param n_lines cache size N in lines
+     * @param q sharing coefficient on the (A, C) arc, in [0, 1]
+     */
+    MarkovFootprintChain(uint64_t n_lines, double q);
+
+    /** Number of chain states (N + 1: footprints 0..N). */
+    size_t numStates() const { return _n + 1; }
+
+    /** Upward transition probability from state i. */
+    double pUp(uint64_t i) const;
+
+    /** Downward transition probability from state i. */
+    double pDown(uint64_t i) const;
+
+    /** Self-loop probability of state i. */
+    double pStay(uint64_t i) const;
+
+    /** Advance a distribution over states by one miss. */
+    std::vector<double> step(const std::vector<double> &dist) const;
+
+    /**
+     * Distribution after n misses starting from the point distribution
+     * at footprint s0.
+     */
+    std::vector<double> distributionAfter(uint64_t s0, uint64_t n) const;
+
+    /** Expectation of a distribution over states. */
+    static double expectation(const std::vector<double> &dist);
+
+    /** Variance of a distribution over states. */
+    static double variance(const std::vector<double> &dist);
+
+    /** E[F_C] after n misses from initial footprint s0 (exact). */
+    double expectedAfter(uint64_t s0, uint64_t n) const;
+
+  private:
+    uint64_t _n;
+    double _q;
+};
+
+} // namespace atl
+
+#endif // ATL_MODEL_MARKOV_HH

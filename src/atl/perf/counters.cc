@@ -1,0 +1,58 @@
+#include "atl/perf/counters.hh"
+
+#include "atl/util/logging.hh"
+
+namespace atl
+{
+
+void
+PerfCounters::configure(PerfEvent pic0, PerfEvent pic1)
+{
+    _selection[0] = pic0;
+    _selection[1] = pic1;
+}
+
+PerfEvent
+PerfCounters::selected(unsigned pic) const
+{
+    atl_assert(pic < numPics, "PIC index out of range");
+    return _selection[pic];
+}
+
+void
+PerfCounters::record(PerfEvent event, uint32_t count)
+{
+    for (unsigned i = 0; i < numPics; ++i) {
+        if (_selection[i] == event)
+            _pics[i] += count; // unsigned wrap is the hardware behaviour
+    }
+}
+
+uint32_t
+PerfCounters::read(unsigned pic) const
+{
+    atl_assert(pic < numPics, "PIC index out of range");
+    return _pics[pic];
+}
+
+void
+PerfCounters::reset()
+{
+    _pics = {0, 0};
+}
+
+uint64_t
+PerfCounters::missesBetween(uint32_t refs_before, uint32_t hits_before,
+                            uint32_t refs_now, uint32_t hits_now)
+{
+    // Each counter wraps independently at 2^32; unsigned subtraction
+    // recovers the true delta as long as fewer than 2^32 events of each
+    // class occur per scheduling interval, which holds by a huge margin.
+    uint32_t refs = refs_now - refs_before;
+    uint32_t hits = hits_now - hits_before;
+    atl_assert(hits <= refs,
+               "more E-cache hits than references in an interval");
+    return static_cast<uint64_t>(refs - hits);
+}
+
+} // namespace atl

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Simulated per-processor performance instrumentation, modelled on the
+ * UltraSPARC PIC/PCR scheme the paper relies on: two 32-bit Performance
+ * Instrumentation Counters (PIC0/PIC1), each configured through a
+ * Performance Control Register to count one event class, readable from
+ * user mode in a handful of instructions.
+ *
+ * The footprint model only assumes "the number of secondary cache misses
+ * between two scheduling points" is recoverable; like the real hardware,
+ * the unit does not expose misses directly — the runtime configures
+ * PIC0 = E-cache references and PIC1 = E-cache hits and reconstructs
+ * misses as the difference, coping with 32-bit wrap-around.
+ */
+
+#ifndef ATL_PERF_COUNTERS_HH
+#define ATL_PERF_COUNTERS_HH
+
+#include <array>
+#include <cstdint>
+
+namespace atl
+{
+
+/** Hardware event classes a PIC can be configured to count. */
+enum class PerfEvent : uint8_t
+{
+    None,
+    Cycles,
+    Instructions,
+    EcacheRefs,
+    EcacheHits,
+    EcacheMisses, ///< convenience event (some processors expose it)
+    L1dRefs,
+    L1dHits,
+    NumEvents,
+};
+
+/**
+ * One processor's performance monitoring unit: a PCR selecting the two
+ * counted events plus the two 32-bit PICs.
+ */
+class PerfCounters
+{
+  public:
+    /** Number of PICs per processor (UltraSPARC has two). */
+    static constexpr unsigned numPics = 2;
+
+    /**
+     * Program the control register.
+     * @param pic0 event counted by PIC0
+     * @param pic1 event counted by PIC1
+     */
+    void configure(PerfEvent pic0, PerfEvent pic1);
+
+    /** Event currently selected for a PIC. */
+    PerfEvent selected(unsigned pic) const;
+
+    /**
+     * Deliver one or more hardware events to the unit. The machine calls
+     * this on the relevant microarchitectural occurrences.
+     */
+    void record(PerfEvent event, uint32_t count = 1);
+
+    /** Read a PIC (user-mode read; 32-bit value, wraps silently). */
+    uint32_t read(unsigned pic) const;
+
+    /** Reset both PICs to zero (the paper's read-and-reset idiom). */
+    void reset();
+
+    /**
+     * Misses elapsed between two (refs, hits) snapshots, handling 32-bit
+     * wrap of each counter independently.
+     *
+     * @param refs_before PIC0 (E-refs) at the previous scheduling point
+     * @param hits_before PIC1 (E-hits) at the previous scheduling point
+     * @param refs_now current PIC0
+     * @param hits_now current PIC1
+     */
+    static uint64_t missesBetween(uint32_t refs_before, uint32_t hits_before,
+                                  uint32_t refs_now, uint32_t hits_now);
+
+  private:
+    std::array<PerfEvent, numPics> _selection{PerfEvent::None,
+                                              PerfEvent::None};
+    std::array<uint32_t, numPics> _pics{0, 0};
+};
+
+} // namespace atl
+
+#endif // ATL_PERF_COUNTERS_HH

@@ -1,0 +1,83 @@
+#include "atl/runtime/api.hh"
+
+#include "atl/util/logging.hh"
+
+namespace atl
+{
+
+Machine &
+at_machine()
+{
+    Machine *m = Machine::active();
+    if (!m)
+        atl_fatal("at_* call with no machine running on this thread");
+    return *m;
+}
+
+ThreadId
+at_create(std::function<void()> fn, std::string name)
+{
+    return at_machine().spawn(std::move(fn), std::move(name));
+}
+
+void
+at_share(ThreadId src, ThreadId dst, double q)
+{
+    at_machine().share(src, dst, q);
+}
+
+ThreadId
+at_self()
+{
+    return at_machine().self();
+}
+
+void
+at_join(ThreadId tid)
+{
+    at_machine().join(tid);
+}
+
+void
+at_yield()
+{
+    at_machine().yield();
+}
+
+void
+at_sleep(Cycles cycles)
+{
+    at_machine().sleep(cycles);
+}
+
+VAddr
+at_alloc(uint64_t bytes, uint64_t align)
+{
+    return at_machine().alloc(bytes, align);
+}
+
+void
+at_read(VAddr va, uint64_t bytes)
+{
+    at_machine().read(va, bytes);
+}
+
+void
+at_write(VAddr va, uint64_t bytes)
+{
+    at_machine().write(va, bytes);
+}
+
+void
+at_execute(uint64_t instructions)
+{
+    at_machine().execute(instructions);
+}
+
+Cycles
+at_now()
+{
+    return at_machine().now();
+}
+
+} // namespace atl

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The Active Threads public API in the paper's style: free functions
+ * (at_create, at_share, at_self, at_join, ...) that act on the machine
+ * currently running on this OS thread. The annotated mergesort from
+ * the paper reads almost verbatim:
+ *
+ *   ThreadId tid_l = at_create([=] { merge_thread(left); });
+ *   ThreadId tid_r = at_create([=] { merge_thread(right); });
+ *   at_share(tid_l, at_self(), 1.0);
+ *   at_share(tid_r, at_self(), 1.0);
+ *   at_join(tid_l);
+ *   at_join(tid_r);
+ *   merge_sublists(left, right);
+ *
+ * The object API (Machine, Mutex, ...) remains available; this facade
+ * only removes the need to thread a Machine reference through
+ * application code.
+ */
+
+#ifndef ATL_RUNTIME_API_HH
+#define ATL_RUNTIME_API_HH
+
+#include <functional>
+#include <string>
+
+#include "atl/runtime/machine.hh"
+
+namespace atl
+{
+
+/** Opaque word, as in the paper's at_create(fn, (at_word_t) arg). */
+using at_word_t = uintptr_t;
+
+/** The machine running on this OS thread; fatal when none is. */
+Machine &at_machine();
+
+/** Create a thread running fn. @return its id */
+ThreadId at_create(std::function<void()> fn, std::string name = {});
+
+/** Declare that fraction q of src's state is shared with dst. */
+void at_share(ThreadId src, ThreadId dst, double q);
+
+/** The calling thread's id. */
+ThreadId at_self();
+
+/** Wait for a thread to finish. */
+void at_join(ThreadId tid);
+
+/** Let another thread run. */
+void at_yield();
+
+/** Block for a number of simulated cycles. */
+void at_sleep(Cycles cycles);
+
+/** Allocate modelled address space. */
+VAddr at_alloc(uint64_t bytes, uint64_t align = 64);
+
+/** Modelled load of [va, va+bytes). */
+void at_read(VAddr va, uint64_t bytes);
+
+/** Modelled store of [va, va+bytes). */
+void at_write(VAddr va, uint64_t bytes);
+
+/** Charge non-memory instructions. */
+void at_execute(uint64_t instructions);
+
+/** Current simulated time on the calling thread's processor. */
+Cycles at_now();
+
+} // namespace atl
+
+#endif // ATL_RUNTIME_API_HH

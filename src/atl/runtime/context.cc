@@ -1,0 +1,208 @@
+#include "atl/runtime/context.hh"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "atl/util/logging.hh"
+
+#if !defined(__x86_64__)
+#include <ucontext.h>
+#endif
+
+namespace atl
+{
+
+// ---------------------------------------------------------------------
+// FiberStack
+// ---------------------------------------------------------------------
+
+FiberStack::FiberStack(size_t usable_bytes)
+{
+    long page = sysconf(_SC_PAGESIZE);
+    atl_assert(page > 0, "cannot determine page size");
+    size_t page_sz = static_cast<size_t>(page);
+    _usable = (usable_bytes + page_sz - 1) / page_sz * page_sz;
+    _mapped = _usable + page_sz; // one guard page below the stack
+
+    _base = mmap(nullptr, _mapped, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (_base == MAP_FAILED)
+        atl_fatal("mmap of ", _mapped, " byte fiber stack failed");
+    if (mprotect(_base, page_sz, PROT_NONE) != 0)
+        atl_fatal("mprotect of fiber guard page failed");
+}
+
+FiberStack::~FiberStack()
+{
+    if (_base)
+        munmap(_base, _mapped);
+}
+
+void *
+FiberStack::top() const
+{
+    return static_cast<char *>(_base) + _mapped;
+}
+
+// ---------------------------------------------------------------------
+// Fiber: x86-64 fast path
+// ---------------------------------------------------------------------
+
+#if defined(__x86_64__)
+
+extern "C" void atl_ctx_switch(void **save_sp, void *load_sp);
+
+// Save the six callee-saved integer registers plus the return address on
+// the current stack, stash the stack pointer, and resume the target
+// stack by popping its saved registers and returning into its saved
+// return address. The System V ABI requires nothing else for a
+// same-thread switch (FP control words are not modified by this code
+// base).
+asm(R"(
+    .text
+    .globl atl_ctx_switch
+    .type atl_ctx_switch, @function
+atl_ctx_switch:
+    pushq %rbp
+    pushq %rbx
+    pushq %r12
+    pushq %r13
+    pushq %r14
+    pushq %r15
+    movq %rsp, (%rdi)
+    movq %rsi, %rsp
+    popq %r15
+    popq %r14
+    popq %r13
+    popq %r12
+    popq %rbx
+    popq %rbp
+    ret
+    .size atl_ctx_switch, .-atl_ctx_switch
+)");
+
+namespace
+{
+
+/** Fiber about to run for the first time; read by the trampoline. */
+thread_local Fiber *startingFiber = nullptr;
+
+extern "C" void
+atlFiberTrampoline()
+{
+    Fiber *fiber = startingFiber;
+    startingFiber = nullptr;
+    fiber->runEntry();
+    atl_panic("fiber entry returned instead of switching away");
+}
+
+} // namespace
+
+struct Fiber::Impl
+{
+    void *sp = nullptr;
+};
+
+Fiber::Fiber() : _impl(std::make_unique<Impl>()) {}
+Fiber::~Fiber() = default;
+
+void
+Fiber::arm(FiberStack &stack, std::function<void()> entry)
+{
+    _entry = std::move(entry);
+    _armed = true;
+
+    // Build the initial frame that atl_ctx_switch will pop. Layout from
+    // the lowest address: r15 r14 r13 r12 rbx rbp <return address>.
+    // The return-address slot must be 16-byte aligned so the trampoline
+    // starts with the ABI-mandated rsp % 16 == 8.
+    uintptr_t top = reinterpret_cast<uintptr_t>(stack.top());
+    uintptr_t ret_slot = (top - 64) & ~uintptr_t(15);
+    uint64_t *frame = reinterpret_cast<uint64_t *>(ret_slot - 6 * 8);
+    std::memset(frame, 0, 6 * 8);
+    *reinterpret_cast<uint64_t *>(ret_slot) =
+        reinterpret_cast<uint64_t>(&atlFiberTrampoline);
+    _impl->sp = frame;
+}
+
+void
+Fiber::switchTo(Fiber &from, Fiber &to)
+{
+    if (to._armed && to._entry) {
+        // First resumption: the trampoline needs to find the fiber.
+        startingFiber = &to;
+    }
+    atl_ctx_switch(&from._impl->sp, to._impl->sp);
+}
+
+void
+Fiber::runEntry()
+{
+    _armed = false;
+    std::function<void()> entry = std::move(_entry);
+    _entry = nullptr;
+    entry();
+}
+
+#else // !__x86_64__: portable ucontext fallback
+
+namespace
+{
+
+thread_local Fiber *startingFiber = nullptr;
+
+void
+atlFiberTrampoline()
+{
+    Fiber *fiber = startingFiber;
+    startingFiber = nullptr;
+    fiber->runEntry();
+    atl_panic("fiber entry returned instead of switching away");
+}
+
+} // namespace
+
+struct Fiber::Impl
+{
+    ucontext_t ctx{};
+};
+
+Fiber::Fiber() : _impl(std::make_unique<Impl>()) {}
+Fiber::~Fiber() = default;
+
+void
+Fiber::arm(FiberStack &stack, std::function<void()> entry)
+{
+    _entry = std::move(entry);
+    _armed = true;
+    getcontext(&_impl->ctx);
+    _impl->ctx.uc_stack.ss_sp =
+        static_cast<char *>(stack.top()) - stack.size();
+    _impl->ctx.uc_stack.ss_size = stack.size();
+    _impl->ctx.uc_link = nullptr;
+    makecontext(&_impl->ctx, reinterpret_cast<void (*)()>(
+                                 &atlFiberTrampoline), 0);
+}
+
+void
+Fiber::switchTo(Fiber &from, Fiber &to)
+{
+    if (to._armed && to._entry)
+        startingFiber = &to;
+    swapcontext(&from._impl->ctx, &to._impl->ctx);
+}
+
+void
+Fiber::runEntry()
+{
+    _armed = false;
+    std::function<void()> entry = std::move(_entry);
+    _entry = nullptr;
+    entry();
+}
+
+#endif
+
+} // namespace atl

@@ -1,0 +1,722 @@
+#include "atl/runtime/machine.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "atl/util/logging.hh"
+
+namespace atl
+{
+
+namespace
+{
+
+/** Machine whose run() is executing on this OS thread. */
+thread_local Machine *activeMachine = nullptr;
+
+} // namespace
+
+Machine *
+Machine::active()
+{
+    return activeMachine;
+}
+
+Machine::Machine(const MachineConfig &config)
+    : _config(config),
+      _vm(config.pageBytes,
+          std::max<uint64_t>(1, config.hierarchy.l2.sizeBytes /
+                                    config.pageBytes),
+          config.placement, config.seed),
+      _missTotals(config.numCpus, 0), _cpus(config.numCpus)
+{
+    atl_assert(config.numCpus >= 1, "machine needs at least one cpu");
+
+    uint64_t l2_lines =
+        config.hierarchy.l2.sizeBytes / config.hierarchy.l2.lineBytes;
+    _model = std::make_unique<FootprintModel>(l2_lines);
+
+    SchedulerConfig sched_cfg;
+    sched_cfg.policy = config.policy;
+    sched_cfg.numCpus = config.numCpus;
+    sched_cfg.footprintThreshold = config.footprintThreshold;
+    sched_cfg.maxHeapSize = config.maxHeapSize;
+    sched_cfg.fairnessBypassPeriod = config.fairnessBypassPeriod;
+    sched_cfg.anomalyMpiThreshold = config.anomalyMpiThreshold;
+    _scheduler = std::make_unique<Scheduler>(sched_cfg, _threads,
+                                             _missTotals, _graph,
+                                             _model.get());
+
+    for (CpuId c = 0; c < config.numCpus; ++c) {
+        Cpu &cpu = _cpus[c];
+        cpu.id = c;
+        cpu.hier = std::make_unique<Hierarchy>(config.hierarchy);
+        cpu.hier->onL2Fill([this, c](PAddr line) {
+            if (_observer)
+                _observer->onL2Fill(c, line);
+        });
+        cpu.hier->onL2Evict([this, c](PAddr line) {
+            if (_observer)
+                _observer->onL2Evict(c, line);
+        });
+        // PIC0 = E-cache references, PIC1 = E-cache hits: the paper's
+        // configuration, from which the runtime derives misses.
+        cpu.perf.configure(PerfEvent::EcacheRefs, PerfEvent::EcacheHits);
+        // Modelled storage for the scheduler's own data structures.
+        cpu.schedStateVa = alloc(8192, 64);
+    }
+}
+
+Machine::~Machine() = default;
+
+// ---------------------------------------------------------------------
+// Thread management
+// ---------------------------------------------------------------------
+
+ThreadId
+Machine::spawn(std::function<void()> fn, std::string name)
+{
+    atl_assert(fn, "spawn requires a thread body");
+    if (_current && _config.spawnInstructions > 0)
+        execute(_config.spawnInstructions);
+    ThreadId id = static_cast<ThreadId>(_threads.size());
+    if (name.empty())
+        name = "thread-" + std::to_string(id);
+    _threads.push_back(std::make_unique<Thread>(id, _config.numCpus,
+                                                std::move(fn),
+                                                std::move(name)));
+    Thread &t = *_threads.back();
+    t.readyTime = _current ? _cpus[_currentCpu].clock : 0;
+    ++_liveThreads;
+    _scheduler->makeRunnable(t, _current ? _currentCpu : InvalidCpuId);
+    return id;
+}
+
+void
+Machine::share(ThreadId src, ThreadId dst, double q)
+{
+    if (src >= _threads.size() || dst >= _threads.size()) {
+        atl_warn("at_share with unknown thread id ignored");
+        return;
+    }
+    _graph.share(src, dst, q);
+}
+
+ThreadId
+Machine::self() const
+{
+    return requireCurrent().id;
+}
+
+void
+Machine::join(ThreadId tid)
+{
+    Thread &me = requireCurrent();
+    atl_assert(tid < _threads.size(), "join on unknown thread");
+    atl_assert(tid != me.id, "thread cannot join itself");
+    Thread &target = *_threads[tid];
+    if (target.state == ThreadState::Exited)
+        return;
+    target.joiners.push_back(me.id);
+    blockCurrent();
+}
+
+void
+Machine::yield()
+{
+    requireCurrent();
+    switchOut(SwitchReason::Yielded);
+}
+
+void
+Machine::sleep(Cycles duration)
+{
+    Thread &me = requireCurrent();
+    me.readyTime = _cpus[_currentCpu].clock + duration;
+    switchOut(SwitchReason::Sleeping);
+}
+
+void
+Machine::blockCurrent()
+{
+    requireCurrent();
+    switchOut(SwitchReason::Blocked);
+}
+
+void
+Machine::wake(ThreadId tid)
+{
+    atl_assert(tid < _threads.size(), "wake on unknown thread");
+    Thread &t = *_threads[tid];
+    atl_assert(t.state == ThreadState::Blocked,
+               "wake on a ", threadStateName(t.state), " thread");
+    t.readyTime = _current ? _cpus[_currentCpu].clock : 0;
+    _scheduler->makeRunnable(t);
+}
+
+Thread &
+Machine::requireCurrent() const
+{
+    atl_assert(_current, "operation requires a calling thread");
+    return *_current;
+}
+
+// ---------------------------------------------------------------------
+// Modelled memory
+// ---------------------------------------------------------------------
+
+VAddr
+Machine::alloc(uint64_t bytes, uint64_t align)
+{
+    atl_assert(bytes > 0, "zero-byte allocation");
+    atl_assert(isPowerOf2(align), "alignment must be a power of two");
+    _nextVa = alignUp(_nextVa, align);
+    VAddr va = _nextVa;
+    _nextVa += bytes;
+    return va;
+}
+
+void
+Machine::read(VAddr va, uint64_t bytes)
+{
+    Thread &me = requireCurrent();
+    accessRange(_cpus[_currentCpu], &me, va, bytes, AccessType::Load);
+}
+
+void
+Machine::write(VAddr va, uint64_t bytes)
+{
+    Thread &me = requireCurrent();
+    accessRange(_cpus[_currentCpu], &me, va, bytes, AccessType::Store);
+}
+
+void
+Machine::fetch(VAddr va, uint64_t bytes)
+{
+    Thread &me = requireCurrent();
+    accessRange(_cpus[_currentCpu], &me, va, bytes, AccessType::IFetch);
+}
+
+void
+Machine::execute(uint64_t instructions)
+{
+    Thread &me = requireCurrent();
+    while (instructions > 0) {
+        Cpu &cpu = _cpus[_currentCpu];
+        uint64_t chunk = instructions;
+        if (_config.numCpus > 1 && _config.sliceQuantum > 0) {
+            Cycles used = cpu.clock - cpu.sliceStart;
+            Cycles left = _config.sliceQuantum > used
+                              ? _config.sliceQuantum - used
+                              : 0;
+            chunk = std::min<uint64_t>(instructions,
+                                       std::max<Cycles>(left, 1));
+        }
+        cpu.clock += chunk;
+        cpu.instructions += chunk;
+        cpu.perf.record(PerfEvent::Instructions,
+                        static_cast<uint32_t>(chunk));
+        cpu.perf.record(PerfEvent::Cycles, static_cast<uint32_t>(chunk));
+        me.stats.instructions += chunk;
+        me.stats.cpuCycles += chunk;
+        instructions -= chunk;
+        if (_config.numCpus > 1 && _config.sliceQuantum > 0 &&
+            cpu.clock - cpu.sliceStart >= _config.sliceQuantum) {
+            sliceYield(cpu);
+        }
+    }
+}
+
+void
+Machine::flushAllCaches()
+{
+    for (Cpu &cpu : _cpus)
+        cpu.hier->flush();
+}
+
+bool
+Machine::remoteCached(CpuId self_cpu, PAddr pa) const
+{
+    for (const Cpu &cpu : _cpus) {
+        if (cpu.id != self_cpu && cpu.hier->l2Contains(pa))
+            return true;
+    }
+    return false;
+}
+
+void
+Machine::invalidateRemote(CpuId self_cpu, PAddr pa)
+{
+    for (Cpu &cpu : _cpus) {
+        if (cpu.id != self_cpu)
+            cpu.hier->invalidateLine(pa);
+    }
+}
+
+void
+Machine::accessOne(Cpu &cpu, Thread *attribution, VAddr va,
+                   AccessType type)
+{
+    if (_accessHook) {
+        _accessHook(cpu.id,
+                    attribution ? attribution->id : InvalidThreadId, va,
+                    type);
+    }
+
+    PAddr pa = _vm.translate(va);
+
+    // For a miss that will be serviced remotely we must know whether a
+    // peer cache holds the line *before* our access fills it.
+    bool was_remote = _config.numCpus > 1 && remoteCached(cpu.id, pa);
+
+    HierarchyOutcome outcome = cpu.hier->access(pa, type);
+
+    Cycles cost;
+    if (!outcome.l2Referenced) {
+        cost = _config.l1HitCycles;
+    } else if (!outcome.l2Missed) {
+        cost = _config.l2HitCycles;
+    } else if (_config.numCpus == 1) {
+        cost = _config.memoryCycles;
+    } else {
+        cost = was_remote ? _config.memoryCyclesRemote
+                          : _config.memoryCyclesClean;
+    }
+
+    cpu.clock += cost;
+    cpu.instructions += 1;
+    cpu.perf.record(PerfEvent::Instructions);
+    cpu.perf.record(PerfEvent::Cycles, static_cast<uint32_t>(cost));
+    if (type != AccessType::IFetch) {
+        cpu.perf.record(PerfEvent::L1dRefs);
+        if (outcome.servicedBy == ServicedBy::L1 && !outcome.l2Referenced)
+            cpu.perf.record(PerfEvent::L1dHits);
+    }
+    if (outcome.l2Referenced) {
+        cpu.perf.record(PerfEvent::EcacheRefs);
+        if (!outcome.l2Missed) {
+            cpu.perf.record(PerfEvent::EcacheHits);
+        } else {
+            cpu.perf.record(PerfEvent::EcacheMisses);
+            ++_missTotals[cpu.id];
+            if (_observer) {
+                _observer->onEMiss(cpu.id, attribution
+                                               ? attribution->id
+                                               : InvalidThreadId);
+            }
+        }
+    }
+
+    if (attribution) {
+        attribution->stats.instructions += 1;
+        attribution->stats.cpuCycles += cost;
+        if (outcome.l2Referenced) {
+            attribution->stats.eRefs += 1;
+            if (outcome.l2Missed)
+                attribution->stats.eMisses += 1;
+        }
+    }
+
+    // Invalidation-based coherence: a store removes every peer copy.
+    if (type == AccessType::Store && _config.numCpus > 1)
+        invalidateRemote(cpu.id, pa);
+}
+
+void
+Machine::accessRange(Cpu &cpu, Thread *attribution, VAddr va,
+                     uint64_t bytes, AccessType type)
+{
+    atl_assert(bytes > 0, "zero-byte access");
+    uint64_t step = _config.hierarchy.l1d.lineBytes;
+    VAddr first = alignDown(va, step);
+    VAddr last = alignDown(va + bytes - 1, step);
+    for (VAddr a = first; a <= last; a += step) {
+        accessOne(cpu, attribution, a, type);
+        if (attribution && _config.numCpus > 1 &&
+            _config.sliceQuantum > 0 &&
+            cpu.clock - cpu.sliceStart >= _config.sliceQuantum) {
+            sliceYield(cpu);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------
+
+void
+Machine::sliceYield(Cpu &cpu)
+{
+    atl_assert(_current && cpu.current == _current,
+               "slice yield outside the current fiber");
+    switchOut(SwitchReason::SliceEnd);
+}
+
+void
+Machine::switchOut(SwitchReason reason)
+{
+    Thread &me = *_current;
+    me.switchReason = reason;
+    Fiber::switchTo(me.fiber, _engineFiber);
+    // Resumed: the engine has re-dispatched us (possibly on another
+    // processor). Nothing to restore; the engine set _current.
+}
+
+CpuId
+Machine::chooseCpu() const
+{
+    CpuId best = InvalidCpuId;
+    bool work = _scheduler->runnableCount() > 0;
+    for (const Cpu &cpu : _cpus) {
+        bool actionable = cpu.current != nullptr || work;
+        if (!actionable)
+            continue;
+        if (best == InvalidCpuId || cpu.clock < _cpus[best].clock)
+            best = cpu.id;
+    }
+    return best;
+}
+
+void
+Machine::wakeDueTimers(Cycles time)
+{
+    while (!_timers.empty() && _timers.top().first <= time) {
+        ThreadId tid = _timers.top().second;
+        _timers.pop();
+        Thread &t = *_threads[tid];
+        atl_assert(t.state == ThreadState::Sleeping,
+                   "timer fired for a ", threadStateName(t.state),
+                   " thread");
+        _scheduler->makeRunnable(t);
+    }
+}
+
+void
+Machine::chargeSchedWork(Cpu &cpu)
+{
+    SwitchCost cost = _scheduler->drainSwitchCost();
+    Cycles cycles = cost.heapOps * _config.heapOpCycles +
+                    cost.fpOps * _config.fpOpCycles;
+    cpu.clock += cycles;
+    cpu.schedOverhead += cycles;
+}
+
+void
+Machine::schedPollution(Cpu &cpu)
+{
+    if (!_config.modelSchedulerFootprint)
+        return;
+    // The scheduler walks its run-queue structures: a couple of lines
+    // for FCFS's FIFO, a few more for the heap policies (roughly the
+    // heap path touched by a push/pop pair).
+    uint64_t lines = 1;
+    if (_config.policy != PolicyKind::FCFS) {
+        size_t h = _scheduler->heapSize(cpu.id);
+        lines = 2;
+        while (h > 1) {
+            h >>= 1;
+            ++lines;
+        }
+    }
+    uint64_t line_bytes = _config.hierarchy.l1d.lineBytes;
+    accessRange(cpu, nullptr, cpu.schedStateVa, lines * line_bytes,
+                AccessType::Load);
+}
+
+void
+Machine::beginInterval(Cpu &cpu, Thread &thread)
+{
+    cpu.clock = std::max(cpu.clock, thread.readyTime);
+    cpu.clock += _config.contextSwitchCycles;
+    chargeSchedWork(cpu); // pickNext's heap work
+    schedPollution(cpu);
+
+    if (!thread.started) {
+        thread.started = true;
+        thread.stack = takeStack();
+        Thread *tp = &thread;
+        thread.fiber.arm(*thread.stack, [this, tp] {
+            tp->entry();
+            tp->entry = nullptr;
+            switchOut(SwitchReason::Exited);
+        });
+    }
+
+    cpu.refsSnap = cpu.perf.read(0);
+    cpu.hitsSnap = cpu.perf.read(1);
+    cpu.instrSnap = thread.stats.instructions;
+    cpu.sliceStart = cpu.clock;
+    cpu.current = &thread;
+    _scheduler->setCpuBusy(cpu.id, true);
+    ++cpu.switches;
+}
+
+void
+Machine::resumeOn(Cpu &cpu)
+{
+    Thread &thread = *cpu.current;
+    _current = &thread;
+    _currentCpu = cpu.id;
+    Fiber::switchTo(_engineFiber, thread.fiber);
+    _current = nullptr;
+    _currentCpu = InvalidCpuId;
+
+    if (thread.switchReason == SwitchReason::SliceEnd) {
+        cpu.sliceStart = cpu.clock;
+        return; // still current; resumed on a later engine pass
+    }
+    endInterval(cpu, thread);
+}
+
+void
+Machine::endInterval(Cpu &cpu, Thread &thread)
+{
+    // Read the PICs: misses taken during the scheduling interval.
+    uint64_t misses = PerfCounters::missesBetween(
+        cpu.refsSnap, cpu.hitsSnap, cpu.perf.read(0), cpu.perf.read(1));
+    uint64_t instructions = thread.stats.instructions - cpu.instrSnap;
+
+    _scheduler->onBlock(thread, cpu.id, misses, instructions);
+    chargeSchedWork(cpu); // onBlock's O(d) priority work
+
+    cpu.current = nullptr;
+    _scheduler->setCpuBusy(cpu.id, false);
+
+    switch (thread.switchReason) {
+      case SwitchReason::Yielded:
+        thread.readyTime = cpu.clock;
+        _scheduler->makeRunnable(thread);
+        break;
+      case SwitchReason::Blocked:
+        thread.state = ThreadState::Blocked;
+        break;
+      case SwitchReason::Sleeping:
+        thread.state = ThreadState::Sleeping;
+        _timers.emplace(thread.readyTime, thread.id);
+        break;
+      case SwitchReason::Exited: {
+        thread.state = ThreadState::Exited;
+        for (ThreadId joiner : thread.joiners) {
+            Thread &j = *_threads[joiner];
+            j.readyTime = cpu.clock;
+            _scheduler->makeRunnable(j);
+        }
+        thread.joiners.clear();
+        if (thread.stack)
+            _stackPool.push_back(std::move(thread.stack));
+        _graph.removeThread(thread.id);
+        atl_assert(_liveThreads > 0, "thread accounting underflow");
+        --_liveThreads;
+        break;
+      }
+      default:
+        atl_panic("unexpected switch reason ",
+                  static_cast<int>(thread.switchReason));
+    }
+}
+
+void
+Machine::run()
+{
+    atl_assert(!_running, "machine is already running");
+    _running = true;
+    Machine *prev_active = activeMachine;
+    activeMachine = this;
+
+    while (_liveThreads > 0) {
+        CpuId choice = chooseCpu();
+        if (choice == InvalidCpuId) {
+            // Everything idle with no runnable thread: advance virtual
+            // time to the earliest timer, or report deadlock.
+            if (_timers.empty())
+                reportDeadlock();
+            CpuId idle = 0;
+            for (CpuId c = 1; c < _config.numCpus; ++c) {
+                if (_cpus[c].clock < _cpus[idle].clock)
+                    idle = c;
+            }
+            _cpus[idle].clock =
+                std::max(_cpus[idle].clock, _timers.top().first);
+            wakeDueTimers(_cpus[idle].clock);
+            continue;
+        }
+
+        Cpu &cpu = _cpus[choice];
+        wakeDueTimers(cpu.clock);
+
+        if (!cpu.current) {
+            Thread *next = _scheduler->pickNext(cpu.id);
+            if (!next) {
+                if (_scheduler->runnableCount() > 0) {
+                    // Runnable work exists, but only in an *idle*
+                    // peer's heap: that peer will dispatch it locally
+                    // at this same instant. Park: spin this
+                    // processor's clock just past the laggard peer so
+                    // the engine serves the peer next.
+                    Cycles min_other = ~Cycles(0);
+                    for (const Cpu &c : _cpus) {
+                        if (c.id != cpu.id)
+                            min_other = std::min(min_other, c.clock);
+                    }
+                    cpu.clock = std::max(cpu.clock + 1, min_other + 1);
+                    continue;
+                }
+                if (!_timers.empty()) {
+                    cpu.clock =
+                        std::max(cpu.clock, _timers.top().first);
+                    wakeDueTimers(cpu.clock);
+                } else {
+                    bool any_current = false;
+                    for (const Cpu &c : _cpus)
+                        any_current |= (c.current != nullptr);
+                    if (!any_current)
+                        reportDeadlock();
+                }
+                continue;
+            }
+            beginInterval(cpu, *next);
+        }
+        resumeOn(cpu);
+    }
+
+    activeMachine = prev_active;
+    _running = false;
+}
+
+void
+Machine::reportDeadlock()
+{
+    size_t blocked = 0;
+    for (const auto &t : _threads) {
+        if (t->state == ThreadState::Blocked) {
+            ++blocked;
+            if (blocked <= 8) {
+                atl_warn("deadlocked thread ", t->id, " '", t->name,
+                         "' state=", threadStateName(t->state));
+            }
+        }
+    }
+    atl_fatal("deadlock: ", _liveThreads, " live threads, ", blocked,
+              " blocked, none runnable");
+    std::abort(); // unreachable: fatal() exits or throws in test mode
+}
+
+std::unique_ptr<FiberStack>
+Machine::takeStack()
+{
+    if (!_stackPool.empty()) {
+        auto stack = std::move(_stackPool.back());
+        _stackPool.pop_back();
+        return stack;
+    }
+    return std::make_unique<FiberStack>(_config.stackBytes);
+}
+
+// ---------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------
+
+Cycles
+Machine::now() const
+{
+    if (_current)
+        return _cpus[_currentCpu].clock;
+    return makespan();
+}
+
+CpuId
+Machine::currentCpu() const
+{
+    requireCurrent();
+    return _currentCpu;
+}
+
+CpuStats
+Machine::cpuStats(CpuId cpu) const
+{
+    atl_assert(cpu < _config.numCpus, "cpu id out of range");
+    const Cpu &c = _cpus[cpu];
+    CpuStats s;
+    s.clock = c.clock;
+    s.contextSwitches = c.switches;
+    s.instructions = c.instructions;
+    s.eRefs = c.hier->l2().stats().refs;
+    s.eMisses = c.hier->l2().stats().misses();
+    s.schedOverheadCycles = c.schedOverhead;
+    return s;
+}
+
+uint64_t
+Machine::totalEMisses() const
+{
+    uint64_t total = 0;
+    for (const Cpu &c : _cpus)
+        total += c.hier->l2().stats().misses();
+    return total;
+}
+
+uint64_t
+Machine::totalERefs() const
+{
+    uint64_t total = 0;
+    for (const Cpu &c : _cpus)
+        total += c.hier->l2().stats().refs;
+    return total;
+}
+
+uint64_t
+Machine::totalInstructions() const
+{
+    uint64_t total = 0;
+    for (const Cpu &c : _cpus)
+        total += c.instructions;
+    return total;
+}
+
+uint64_t
+Machine::totalSwitches() const
+{
+    uint64_t total = 0;
+    for (const Cpu &c : _cpus)
+        total += c.switches;
+    return total;
+}
+
+Cycles
+Machine::makespan() const
+{
+    Cycles max_clock = 0;
+    for (const Cpu &c : _cpus)
+        max_clock = std::max(max_clock, c.clock);
+    return max_clock;
+}
+
+Thread &
+Machine::thread(ThreadId tid)
+{
+    atl_assert(tid < _threads.size(), "thread id out of range");
+    return *_threads[tid];
+}
+
+const Thread &
+Machine::thread(ThreadId tid) const
+{
+    atl_assert(tid < _threads.size(), "thread id out of range");
+    return *_threads[tid];
+}
+
+const Hierarchy &
+Machine::hierarchy(CpuId cpu) const
+{
+    atl_assert(cpu < _config.numCpus, "cpu id out of range");
+    return *_cpus[cpu].hier;
+}
+
+PerfCounters &
+Machine::perf(CpuId cpu)
+{
+    atl_assert(cpu < _config.numCpus, "cpu id out of range");
+    return _cpus[cpu].perf;
+}
+
+} // namespace atl

@@ -1,0 +1,364 @@
+/**
+ * @file
+ * The simulated SMP that hosts Active Threads: P processors, each with
+ * the Table-1 UltraSPARC memory hierarchy, simulated PIC performance
+ * counters, a cycle cost model, simple invalidation coherence, and the
+ * locality-aware scheduler.
+ *
+ * Execution model: thread bodies are ordinary C++ functions running on
+ * real fiber stacks; modelled memory traffic is issued explicitly
+ * through read()/write()/execute(), which advance the owning processor's
+ * cycle clock and drive the caches (the paper captured the same
+ * reference stream implicitly with the Shade instruction-set simulator).
+ * All fibers are serialised onto the calling OS thread; the engine
+ * always advances the processor with the smallest local clock and bounds
+ * clock skew with a simulation-only slice quantum, so runs are
+ * deterministic and portable while preserving multiprocessor timing to
+ * within one slice.
+ */
+
+#ifndef ATL_RUNTIME_MACHINE_HH
+#define ATL_RUNTIME_MACHINE_HH
+
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "atl/mem/hierarchy.hh"
+#include "atl/mem/vm.hh"
+#include "atl/model/footprint_model.hh"
+#include "atl/model/sharing_graph.hh"
+#include "atl/perf/counters.hh"
+#include "atl/runtime/scheduler.hh"
+#include "atl/runtime/thread.hh"
+
+namespace atl
+{
+
+/**
+ * Observation interface for simulation instrumentation (the tracer).
+ * Kept abstract here so the runtime has no dependency on the simulation
+ * layer.
+ */
+class MemoryObserver
+{
+  public:
+    virtual ~MemoryObserver() = default;
+
+    /** A line entered the E-cache of a processor. */
+    virtual void onL2Fill(CpuId cpu, PAddr line_addr) = 0;
+
+    /** A line left the E-cache of a processor (eviction/invalidation). */
+    virtual void onL2Evict(CpuId cpu, PAddr line_addr) = 0;
+
+    /** A demand E-cache miss by a thread on a processor. */
+    virtual void onEMiss(CpuId cpu, ThreadId tid)
+    {
+        (void)cpu;
+        (void)tid;
+    }
+};
+
+/** Full machine configuration. Defaults model the paper's platforms. */
+struct MachineConfig
+{
+    /** Number of simulated processors. */
+    unsigned numCpus = 1;
+    /** Scheduling policy. */
+    PolicyKind policy = PolicyKind::FCFS;
+    /** Per-processor cache hierarchy (Table 1 defaults). */
+    HierarchyConfig hierarchy{};
+    /** VM page size (UltraSPARC: 8KB). */
+    uint64_t pageBytes = 8192;
+    /** Page placement policy (paper simulates Kessler-Hill). */
+    PagePlacement placement = PagePlacement::BinHopping;
+
+    /** @name Cycle cost model
+     * Uniprocessor: E-miss 42 cycles (Ultra-1). Multiprocessor: 50
+     * cycles, or 80 when the line is cached by another processor
+     * (Enterprise 5000). @{ */
+    Cycles l1HitCycles = 1;
+    Cycles l2HitCycles = 3;
+    Cycles memoryCycles = 42;
+    Cycles memoryCyclesClean = 50;
+    Cycles memoryCyclesRemote = 80;
+    /** @} */
+
+    /** Base context-switch cost (about 100 instructions in Active
+     *  Threads on the paper's platforms). */
+    Cycles contextSwitchCycles = 100;
+    /** Instructions charged to the creating thread per at_create (the
+     *  paper cites thread management within an order of magnitude of a
+     *  function call). */
+    uint64_t spawnInstructions = 150;
+    /** Cycles charged per priority-heap operation. */
+    Cycles heapOpCycles = 12;
+    /** Cycles charged per floating-point priority-update operation. */
+    Cycles fpOpCycles = 3;
+    /** Engine fairness slice bounding cross-processor clock skew
+     *  (simulation device only; threads are never preempted). */
+    Cycles sliceQuantum = 50000;
+
+    /** Footprint retention threshold in lines (scheduler heaps). */
+    double footprintThreshold = 4.0;
+    /** Soft cap on per-processor heap size. */
+    size_t maxHeapSize = 2048;
+    /** Model the scheduler's own cache footprint (heap walks pollute the
+     *  E-cache a little, as the paper observes for photo on 1 cpu). */
+    bool modelSchedulerFootprint = true;
+    /** Fairness escape hatch period (0 = off); see SchedulerConfig. */
+    uint64_t fairnessBypassPeriod = 0;
+    /** Nonstationary-phase MPI threshold (0 = off); see
+     *  SchedulerConfig. */
+    double anomalyMpiThreshold = 0.0;
+
+    /** Host stack bytes per fiber. */
+    size_t stackBytes = 128 * 1024;
+    /** Seed for machine-internal randomness (page placement). */
+    uint64_t seed = 1;
+};
+
+/** Per-processor statistics snapshot. */
+struct CpuStats
+{
+    Cycles clock = 0;
+    uint64_t contextSwitches = 0;
+    uint64_t instructions = 0;
+    uint64_t eRefs = 0;
+    uint64_t eMisses = 0;
+    Cycles schedOverheadCycles = 0;
+};
+
+/**
+ * The machine: owns the address space, processors, threads, annotation
+ * graph, model and scheduler, and runs the simulation to completion.
+ */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &config = MachineConfig());
+    ~Machine();
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    /** @name Thread management @{ */
+
+    /**
+     * Create a thread (at_create). Callable before run() and from
+     * inside running threads.
+     * @return the new thread's id
+     */
+    ThreadId spawn(std::function<void()> fn, std::string name = {});
+
+    /** Annotate state sharing (at_share): fraction q of src's state is
+     *  shared with dst. A hint; never affects correctness. */
+    void share(ThreadId src, ThreadId dst, double q);
+
+    /** Calling thread's id (at_self). Must be called from a thread. */
+    ThreadId self() const;
+
+    /** Block until the target thread exits (at_join). */
+    void join(ThreadId tid);
+
+    /** Let another thread run (at_yield); stays runnable. */
+    void yield();
+
+    /** Block for a number of simulated cycles. */
+    void sleep(Cycles duration);
+
+    /** @} */
+
+    /** @name Modelled memory interface @{ */
+
+    /** Allocate modelled address space (never freed; bump allocator). */
+    VAddr alloc(uint64_t bytes, uint64_t align = 64);
+
+    /** Issue load references covering [va, va+bytes). */
+    void read(VAddr va, uint64_t bytes);
+
+    /** Issue store references covering [va, va+bytes). */
+    void write(VAddr va, uint64_t bytes);
+
+    /** Issue instruction-fetch references covering [va, va+bytes)
+     *  (through the I-cache; the E-cache is unified, paper Table 1). */
+    void fetch(VAddr va, uint64_t bytes);
+
+    /** Charge n non-memory instructions (CPI 1). */
+    void execute(uint64_t instructions);
+
+    /** Invalidate every cache in the machine (experiment setup). */
+    void flushAllCaches();
+
+    /** @} */
+
+    /** Run the simulation until every thread has exited. */
+    void run();
+
+    /** @name Introspection @{ */
+
+    const MachineConfig &config() const { return _config; }
+    unsigned numCpus() const { return _config.numCpus; }
+    const FootprintModel &model() const { return *_model; }
+    SharingGraph &graph() { return _graph; }
+    Scheduler &scheduler() { return *_scheduler; }
+    Vm &vm() { return _vm; }
+
+    /** Current simulated time: the calling thread's processor clock, or
+     *  the machine makespan when called from outside. */
+    Cycles now() const;
+
+    /** Processor the calling thread runs on. */
+    CpuId currentCpu() const;
+
+    /** Per-processor statistics. */
+    CpuStats cpuStats(CpuId cpu) const;
+
+    /** Cumulative E-cache misses of one processor (the model's m(t)). */
+    uint64_t missTotal(CpuId cpu) const { return _missTotals[cpu]; }
+
+    /** Sums across processors. */
+    uint64_t totalEMisses() const;
+    uint64_t totalERefs() const;
+    uint64_t totalInstructions() const;
+    uint64_t totalSwitches() const;
+
+    /** Longest processor clock (the parallel makespan). */
+    Cycles makespan() const;
+
+    /** Thread table access. */
+    Thread &thread(ThreadId tid);
+    const Thread &thread(ThreadId tid) const;
+    size_t threadCount() const { return _threads.size(); }
+
+    /** One processor's cache hierarchy (read-only). */
+    const Hierarchy &hierarchy(CpuId cpu) const;
+
+    /** One processor's performance counters. */
+    PerfCounters &perf(CpuId cpu);
+
+    /** @} */
+
+    /** @name Instrumentation and synchronisation support @{ */
+
+    /** Install the simulation observer (may be null). */
+    void setObserver(MemoryObserver *observer) { _observer = observer; }
+
+    /** Hook invoked for every modelled reference (trace recording);
+     *  empty to disable. */
+    using AccessHook =
+        std::function<void(CpuId, ThreadId, VAddr, AccessType)>;
+    void setAccessHook(AccessHook hook) { _accessHook = std::move(hook); }
+
+    /** Block the calling thread (used by synchronisation objects). The
+     *  thread must be woken later via wake(). */
+    void blockCurrent();
+
+    /** Make a blocked thread runnable (used by synchronisation
+     *  objects). */
+    void wake(ThreadId tid);
+
+    /** The machine currently executing on this OS thread, if any; used
+     *  by the at_* free-function facade. */
+    static Machine *active();
+
+    /** @} */
+
+  private:
+    struct Cpu
+    {
+        CpuId id = 0;
+        Cycles clock = 0;
+        std::unique_ptr<Hierarchy> hier;
+        PerfCounters perf;
+        Thread *current = nullptr;
+        uint32_t refsSnap = 0;
+        uint32_t hitsSnap = 0;
+        uint64_t instrSnap = 0;
+        Cycles sliceStart = 0;
+        uint64_t switches = 0;
+        uint64_t instructions = 0;
+        Cycles schedOverhead = 0;
+        VAddr schedStateVa = 0;
+    };
+
+    /** Calling-thread sanity check. */
+    Thread &requireCurrent() const;
+
+    /** One modelled reference plus all its consequences. */
+    void accessOne(Cpu &cpu, Thread *attribution, VAddr va,
+                   AccessType type);
+
+    /** Issue references covering a range at L1-line granularity. */
+    void accessRange(Cpu &cpu, Thread *attribution, VAddr va,
+                     uint64_t bytes, AccessType type);
+
+    /** True when another processor's E-cache holds the line. */
+    bool remoteCached(CpuId self_cpu, PAddr pa) const;
+
+    /** Invalidate the line in every other processor's caches. */
+    void invalidateRemote(CpuId self_cpu, PAddr pa);
+
+    /** Yield the fiber back to the engine because the simulation slice
+     *  expired (no scheduling semantics). */
+    void sliceYield(Cpu &cpu);
+
+    /** Leave the current fiber with the given reason. */
+    void switchOut(SwitchReason reason);
+
+    /** Engine: pick the processor to advance next. */
+    CpuId chooseCpu() const;
+
+    /** Engine: wake sleeping threads whose deadline has passed. */
+    void wakeDueTimers(Cycles time);
+
+    /** Engine: set up a freshly dispatched thread on a processor. */
+    void beginInterval(Cpu &cpu, Thread &thread);
+
+    /** Engine: resume a processor's current fiber and handle its exit
+     *  reason when it returns. */
+    void resumeOn(Cpu &cpu);
+
+    /** Engine: bookkeeping when a thread leaves a processor. */
+    void endInterval(Cpu &cpu, Thread &thread);
+
+    /** Charge scheduler work (heap + FP ops) to a processor. */
+    void chargeSchedWork(Cpu &cpu);
+
+    /** Model the scheduler's own cache pollution at a switch. */
+    void schedPollution(Cpu &cpu);
+
+    /** Report and abort on a deadlocked thread set. */
+    [[noreturn]] void reportDeadlock();
+
+    /** Take a pooled or fresh fiber stack. */
+    std::unique_ptr<FiberStack> takeStack();
+
+    MachineConfig _config;
+    Vm _vm;
+    std::unique_ptr<FootprintModel> _model;
+    SharingGraph _graph;
+    std::vector<std::unique_ptr<Thread>> _threads;
+    std::vector<uint64_t> _missTotals;
+    std::unique_ptr<Scheduler> _scheduler;
+    std::vector<Cpu> _cpus;
+    Fiber _engineFiber;
+    Thread *_current = nullptr;
+    CpuId _currentCpu = InvalidCpuId;
+    size_t _liveThreads = 0;
+    bool _running = false;
+    VAddr _nextVa = 0x100000;
+    MemoryObserver *_observer = nullptr;
+    AccessHook _accessHook;
+    std::vector<std::unique_ptr<FiberStack>> _stackPool;
+
+    /** (wake time, thread) min-ordered. */
+    using Timer = std::pair<Cycles, ThreadId>;
+    std::priority_queue<Timer, std::vector<Timer>, std::greater<>> _timers;
+};
+
+} // namespace atl
+
+#endif // ATL_RUNTIME_MACHINE_HH

@@ -1,0 +1,64 @@
+#include "atl/runtime/policy.hh"
+
+#include <algorithm>
+
+#include "atl/util/logging.hh"
+
+namespace atl
+{
+
+namespace
+{
+
+struct ByPriority
+{
+    bool
+    operator()(const HeapEntry &a, const HeapEntry &b) const
+    {
+        return a.priority < b.priority;
+    }
+};
+
+} // namespace
+
+void
+LocalHeap::push(const HeapEntry &entry)
+{
+    _entries.push_back(entry);
+    std::push_heap(_entries.begin(), _entries.end(), ByPriority());
+    ++_ops;
+}
+
+const HeapEntry &
+LocalHeap::top() const
+{
+    atl_assert(!_entries.empty(), "top() on empty heap");
+    return _entries.front();
+}
+
+void
+LocalHeap::pop()
+{
+    atl_assert(!_entries.empty(), "pop() on empty heap");
+    std::pop_heap(_entries.begin(), _entries.end(), ByPriority());
+    _entries.pop_back();
+    ++_ops;
+}
+
+void
+LocalHeap::removeAt(size_t index)
+{
+    atl_assert(index < _entries.size(), "removeAt out of range");
+    _entries[index] = _entries.back();
+    _entries.pop_back();
+    rebuild();
+    _ops += 1 + _entries.size() / 8; // sift work, amortised
+}
+
+void
+LocalHeap::rebuild()
+{
+    std::make_heap(_entries.begin(), _entries.end(), ByPriority());
+}
+
+} // namespace atl

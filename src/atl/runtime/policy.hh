@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Run-queue structures for the locality scheduling policies: the
+ * per-processor binary priority heap with lazy entry invalidation, and
+ * the shared global FIFO queue used for threads with no significant
+ * cached state anywhere (paper Section 5: "If a thread is removed from
+ * all heaps, it is added to a single global queue").
+ *
+ * Heap entries are hints, not truth: an entry is valid only while its
+ * generation matches the thread's per-processor footprint record and the
+ * thread is still runnable. Stale entries are discarded when popped,
+ * which keeps priority *updates* O(1) amortised — the key to the
+ * paper's low-overhead scheme.
+ */
+
+#ifndef ATL_RUNTIME_POLICY_HH
+#define ATL_RUNTIME_POLICY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "atl/mem/address.hh"
+
+namespace atl
+{
+
+/** One heap entry: a (priority, thread, generation) hint. */
+struct HeapEntry
+{
+    double priority = 0.0;
+    ThreadId tid = InvalidThreadId;
+    uint64_t generation = 0;
+};
+
+/**
+ * Max-heap over HeapEntry ordered by priority. A thin wrapper over the
+ * standard heap algorithms with an operation counter so the scheduler
+ * can charge heap work to the context-switch cycle cost.
+ */
+class LocalHeap
+{
+  public:
+    /** Insert an entry. */
+    void push(const HeapEntry &entry);
+
+    /** True when no entries remain (valid or stale). */
+    bool empty() const { return _entries.empty(); }
+
+    /** Number of entries, including stale ones. */
+    size_t size() const { return _entries.size(); }
+
+    /** Highest-priority entry; heap must be nonempty. */
+    const HeapEntry &top() const;
+
+    /** Remove the highest-priority entry. */
+    void pop();
+
+    /** All entries in heap (not sorted) order, for scans by stealers. */
+    const std::vector<HeapEntry> &entries() const { return _entries; }
+
+    /**
+     * Remove one specific entry by position in entries() and restore the
+     * heap property (used when a stealer takes a victim).
+     */
+    void removeAt(size_t index);
+
+    /**
+     * Rebuild the heap keeping only entries the predicate accepts;
+     * rejected entries are returned to the caller. Used to bound heap
+     * size: the scheduler compacts stale entries away and demotes the
+     * lowest-priority survivors to the global queue.
+     */
+    template <typename Pred>
+    std::vector<HeapEntry>
+    compact(Pred keep)
+    {
+        std::vector<HeapEntry> rejected;
+        std::vector<HeapEntry> kept;
+        kept.reserve(_entries.size());
+        for (const HeapEntry &e : _entries) {
+            if (keep(e))
+                kept.push_back(e);
+            else
+                rejected.push_back(e);
+        }
+        _entries.swap(kept);
+        rebuild();
+        _ops += _entries.size();
+        return rejected;
+    }
+
+    /** Heap operations performed (pushes, pops, rebuild work). */
+    uint64_t opCount() const { return _ops; }
+
+  private:
+    /** Restore the heap property over the whole array. */
+    void rebuild();
+
+    std::vector<HeapEntry> _entries;
+    uint64_t _ops = 0;
+};
+
+/**
+ * The shared FIFO of threads with no (significant) cached state on any
+ * processor. Entries are thread ids; staleness is checked by the
+ * scheduler on pop.
+ */
+class GlobalQueue
+{
+  public:
+    /** Append a thread id. */
+    void push(ThreadId tid) { _queue.push_back(tid); }
+
+    /** True when empty. */
+    bool empty() const { return _queue.empty(); }
+
+    /** Number of queued ids (possibly stale). */
+    size_t size() const { return _queue.size(); }
+
+    /** Front id; queue must be nonempty. */
+    ThreadId front() const { return _queue.front(); }
+
+    /** Remove the front id. */
+    void pop() { _queue.pop_front(); }
+
+  private:
+    std::deque<ThreadId> _queue;
+};
+
+} // namespace atl
+
+#endif // ATL_RUNTIME_POLICY_HH

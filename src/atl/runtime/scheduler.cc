@@ -1,0 +1,340 @@
+#include "atl/runtime/scheduler.hh"
+
+#include <algorithm>
+
+#include "atl/util/logging.hh"
+
+namespace atl
+{
+
+Scheduler::Scheduler(const SchedulerConfig &config,
+                     std::vector<std::unique_ptr<Thread>> &threads,
+                     const std::vector<uint64_t> &miss_totals,
+                     SharingGraph &graph, const FootprintModel *model)
+    : _config(config), _threads(threads), _missTotals(miss_totals),
+      _graph(graph), _heaps(config.numCpus), _busy(config.numCpus, 0),
+      _dispatchCount(config.numCpus, 0)
+{
+    atl_assert(config.numCpus >= 1, "scheduler needs at least one cpu");
+    if (config.policy != PolicyKind::FCFS) {
+        atl_assert(model, "locality policies need a footprint model");
+        _scheme = std::make_unique<PriorityScheme>(config.policy, *model);
+    }
+}
+
+bool
+Scheduler::entryValid(const HeapEntry &entry, CpuId cpu) const
+{
+    const Thread *t = _threads[entry.tid].get();
+    return t->state == ThreadState::Runnable &&
+           t->records[cpu].generation == entry.generation;
+}
+
+void
+Scheduler::pushGlobal(Thread &thread)
+{
+    if (thread.inGlobalQueue)
+        return;
+    thread.inGlobalQueue = true;
+    _global.push(thread.id);
+}
+
+bool
+Scheduler::pushHeaps(Thread &thread)
+{
+    bool pushed = false;
+    for (CpuId cpu = 0; cpu < _config.numCpus; ++cpu) {
+        FootprintRecord &rec = thread.records[cpu];
+        double ef = _scheme->expectedFootprint(rec, _missTotals[cpu]);
+        if (ef < _config.footprintThreshold)
+            continue;
+        ++rec.generation;
+        _heaps[cpu].push({rec.priority, thread.id, rec.generation});
+        boundHeap(cpu);
+        pushed = true;
+    }
+    return pushed;
+}
+
+void
+Scheduler::boundHeap(CpuId cpu)
+{
+    LocalHeap &heap = _heaps[cpu];
+    if (heap.size() <= 2 * _config.maxHeapSize)
+        return;
+
+    // First drop stale entries; if the heap is still oversized, demote
+    // the lowest-priority survivors to the global queue.
+    std::vector<HeapEntry> dropped =
+        heap.compact([&](const HeapEntry &e) { return entryValid(e, cpu); });
+    (void)dropped; // stale: nothing to do, truth lives in the records
+
+    if (heap.size() > _config.maxHeapSize) {
+        std::vector<HeapEntry> all = heap.entries();
+        std::sort(all.begin(), all.end(),
+                  [](const HeapEntry &a, const HeapEntry &b) {
+                      return a.priority > b.priority;
+                  });
+        std::vector<HeapEntry> demoted(all.begin() +
+                                           static_cast<long>(
+                                               _config.maxHeapSize),
+                                       all.end());
+        heap.compact([&](const HeapEntry &e) {
+            for (const HeapEntry &d : demoted) {
+                if (d.tid == e.tid && d.generation == e.generation)
+                    return false;
+            }
+            return true;
+        });
+        for (const HeapEntry &e : demoted) {
+            Thread &t = *_threads[e.tid];
+            // Invalidate the record so other stale copies die too, then
+            // make sure the thread still has a home.
+            ++t.records[cpu].generation;
+            if (t.state == ThreadState::Runnable)
+                pushGlobal(t);
+        }
+    }
+}
+
+void
+Scheduler::makeRunnable(Thread &thread, CpuId origin)
+{
+    // Running is legal here: the machine requeues a yielding thread
+    // before clearing its Running state.
+    atl_assert(thread.state != ThreadState::Exited &&
+                   thread.state != ThreadState::Runnable,
+               "cannot make a ", threadStateName(thread.state),
+               " thread runnable");
+    bool embryo = thread.state == ThreadState::Embryo;
+    thread.state = ThreadState::Runnable;
+    ++_runnable;
+
+    if (_config.policy == PolicyKind::FCFS) {
+        pushGlobal(thread);
+        return;
+    }
+
+    // Creation-time affinity: a brand-new thread has no measured
+    // footprint anywhere, but its creator may have prefetched state for
+    // it on its own processor; start it there (with the lowest current
+    // priority, so it is also the preferred steal victim).
+    if (embryo && origin != InvalidCpuId) {
+        FootprintRecord &rec = thread.records[origin];
+        _scheme->initialise(rec, _missTotals[origin]);
+        ++rec.generation;
+        _heaps[origin].push({rec.priority, thread.id, rec.generation});
+        boundHeap(origin);
+        return;
+    }
+
+    if (!pushHeaps(thread))
+        pushGlobal(thread);
+}
+
+Thread *
+Scheduler::pickNext(CpuId cpu)
+{
+    ++_dispatchCount[cpu];
+
+    // 0. Fairness escape hatch: periodically serve the global FIFO
+    // first so threads with no cached state anywhere cannot starve
+    // behind a stream of high-footprint wakeups (paper Section 7).
+    if (_config.fairnessBypassPeriod > 0 &&
+        _dispatchCount[cpu] % _config.fairnessBypassPeriod == 0) {
+        while (!_global.empty()) {
+            ThreadId tid = _global.front();
+            _global.pop();
+            Thread &t = *_threads[tid];
+            t.inGlobalQueue = false;
+            if (t.state != ThreadState::Runnable)
+                continue;
+            dispatch(t, cpu);
+            return &t;
+        }
+    }
+
+    // 1. Highest-priority valid entry in this processor's heap.
+    LocalHeap &heap = _heaps[cpu];
+    while (!heap.empty()) {
+        HeapEntry entry = heap.top();
+        heap.pop();
+        if (!entryValid(entry, cpu))
+            continue;
+        Thread &t = *_threads[entry.tid];
+        double ef =
+            _scheme->expectedFootprint(t.records[cpu], _missTotals[cpu]);
+        if (ef < _config.footprintThreshold) {
+            // Decayed below the retention threshold here. Invalidate
+            // this processor's record entries and make sure the thread
+            // keeps a home in the global queue (it may also still be in
+            // other heaps; state checks make duplicates harmless).
+            ++t.records[cpu].generation;
+            pushGlobal(t);
+            continue;
+        }
+        dispatch(t, cpu);
+        return &t;
+    }
+
+    // 2. Global FIFO.
+    while (!_global.empty()) {
+        ThreadId tid = _global.front();
+        _global.pop();
+        Thread &t = *_threads[tid];
+        t.inGlobalQueue = false;
+        if (t.state != ThreadState::Runnable)
+            continue;
+        dispatch(t, cpu);
+        return &t;
+    }
+
+    // 3. Steal from a peer.
+    if (_config.policy != PolicyKind::FCFS) {
+        Thread *stolen = steal(cpu);
+        if (stolen)
+            return stolen;
+    }
+    return nullptr;
+}
+
+void
+Scheduler::setCpuBusy(CpuId cpu, bool busy)
+{
+    atl_assert(cpu < _config.numCpus, "cpu id out of range");
+    _busy[cpu] = busy ? 1 : 0;
+}
+
+Thread *
+Scheduler::steal(CpuId thief)
+{
+    // Take the valid runnable thread with the LOWEST priority from a
+    // *busy* peer's backlog: it has the least cached state to forfeit
+    // by migrating (paper Section 5). Idle peers are not victims: they
+    // will dispatch their own backlog at this same instant, and taking
+    // it would only move threads away from their cache state. Linear
+    // scan: heaps are bounded and steals are rare (only when a
+    // processor would otherwise idle).
+    CpuId best_cpu = InvalidCpuId;
+    size_t best_index = 0;
+    double best_priority = 0.0;
+    for (CpuId victim = 0; victim < _config.numCpus; ++victim) {
+        if (victim == thief || !_busy[victim])
+            continue;
+        const auto &entries = _heaps[victim].entries();
+        for (size_t i = 0; i < entries.size(); ++i) {
+            if (!entryValid(entries[i], victim))
+                continue;
+            if (best_cpu == InvalidCpuId ||
+                entries[i].priority < best_priority) {
+                best_cpu = victim;
+                best_index = i;
+                best_priority = entries[i].priority;
+            }
+        }
+    }
+    if (best_cpu == InvalidCpuId)
+        return nullptr;
+
+    HeapEntry entry = _heaps[best_cpu].entries()[best_index];
+    _heaps[best_cpu].removeAt(best_index);
+    Thread &t = *_threads[entry.tid];
+    ++_steals;
+    dispatch(t, thief);
+    return &t;
+}
+
+void
+Scheduler::dispatch(Thread &thread, CpuId cpu)
+{
+    atl_assert(thread.state == ThreadState::Runnable,
+               "dispatching a ", threadStateName(thread.state), " thread");
+    thread.state = ThreadState::Running;
+    thread.lastCpu = cpu;
+    ++thread.stats.dispatches;
+    --_runnable;
+    // Invalidate every heap entry the thread may still have.
+    for (FootprintRecord &rec : thread.records)
+        ++rec.generation;
+    if (_scheme)
+        _scheme->materialise(thread.records[cpu], _missTotals[cpu]);
+}
+
+void
+Scheduler::onBlock(Thread &thread, CpuId cpu, uint64_t misses,
+                   uint64_t instructions)
+{
+    if (_config.policy == PolicyKind::FCFS)
+        return;
+
+    _scheme->beginSwitch(_missTotals[cpu]);
+
+    // Nonstationary-phase heuristic (paper Section 3.4): after the
+    // reload burst, a thread running at a very low miss rate mostly
+    // takes conflict misses that do not significantly increase its
+    // footprint; hold the estimate instead of growing it toward N.
+    bool quiet = false;
+    if (_config.anomalyMpiThreshold > 0.0 && instructions > 0 &&
+        misses > 0) {
+        double mpi = 1000.0 * static_cast<double>(misses) /
+                     static_cast<double>(instructions);
+        quiet = mpi < _config.anomalyMpiThreshold;
+    }
+    if (quiet) {
+        ++_quietIntervals;
+        _scheme->holdBlocking(thread.records[cpu]);
+        // Conflict misses within the blocking thread's own sets fetch
+        // no state for dependents either: skip the O(d) updates.
+        return;
+    }
+
+    _scheme->updateBlocking(thread.records[cpu], misses);
+
+    for (const SharingEdge &edge : _graph.outEdges(thread.id)) {
+        if (edge.dest >= _threads.size())
+            continue;
+        Thread &dep = *_threads[edge.dest];
+        if (dep.state == ThreadState::Exited)
+            continue;
+        FootprintRecord &rec = dep.records[cpu];
+        _scheme->updateDependent(rec, edge.q, misses);
+
+        // A runnable dependent's heap entry for this processor now holds
+        // a stale priority: invalidate and re-insert at the new one.
+        if (dep.state == ThreadState::Runnable) {
+            ++rec.generation;
+            double ef = _scheme->expectedFootprint(rec, _missTotals[cpu]);
+            if (ef >= _config.footprintThreshold) {
+                _heaps[cpu].push({rec.priority, dep.id, rec.generation});
+                boundHeap(cpu);
+            } else {
+                pushGlobal(dep);
+            }
+        }
+    }
+}
+
+SwitchCost
+Scheduler::drainSwitchCost()
+{
+    uint64_t heap_ops = 0;
+    for (const LocalHeap &heap : _heaps)
+        heap_ops += heap.opCount();
+    uint64_t fp_ops = _scheme ? _scheme->ops().total() : 0;
+
+    SwitchCost cost{heap_ops - _heapOpsSnap, fp_ops - _fpOpsSnap};
+    _heapOpsSnap = heap_ops;
+    _fpOpsSnap = fp_ops;
+    return cost;
+}
+
+double
+Scheduler::expectedFootprint(const Thread &thread, CpuId cpu) const
+{
+    if (!_scheme)
+        return 0.0;
+    return _scheme->expectedFootprint(thread.records[cpu],
+                                      _missTotals[cpu]);
+}
+
+} // namespace atl

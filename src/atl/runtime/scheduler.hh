@@ -1,0 +1,189 @@
+/**
+ * @file
+ * The locality-aware thread scheduler (paper Sections 4 and 5).
+ *
+ * Under LFF or CRT, each processor owns a bounded binary heap of
+ * (priority, thread) hints; threads with no significant footprint on any
+ * processor wait in a shared global FIFO; an idle processor whose heap
+ * and the global queue are empty steals the *lowest*-priority runnable
+ * thread from a peer (the thread with the least cache state to lose).
+ * Under FCFS everything flows through the global FIFO.
+ *
+ * The context-switch fast path is O(d): one blocking-thread priority
+ * update plus one per out-edge of the blocking thread in the sharing
+ * graph; independent threads' priorities are invariant by construction
+ * of the priority schemes.
+ */
+
+#ifndef ATL_RUNTIME_SCHEDULER_HH
+#define ATL_RUNTIME_SCHEDULER_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "atl/model/priority.hh"
+#include "atl/model/sharing_graph.hh"
+#include "atl/runtime/policy.hh"
+#include "atl/runtime/thread.hh"
+
+namespace atl
+{
+
+/** Knobs for the scheduler. */
+struct SchedulerConfig
+{
+    PolicyKind policy = PolicyKind::FCFS;
+    unsigned numCpus = 1;
+    /** Footprint (lines) below which a heap will not retain a thread. */
+    double footprintThreshold = 16.0;
+    /** Soft cap on per-processor heap size. */
+    size_t maxHeapSize = 512;
+    /** Fairness escape hatch (paper Section 7): every Nth dispatch on a
+     *  processor serves the global FIFO before the heap, bounding
+     *  starvation of low-footprint threads. 0 disables. */
+    uint64_t fairnessBypassPeriod = 0;
+    /** Nonstationary-phase heuristic (paper Section 3.4): when a
+     *  blocking thread's interval miss rate is below this many misses
+     *  per 1000 instructions, treat its misses as conflict misses that
+     *  do not grow its footprint. 0 disables. */
+    double anomalyMpiThreshold = 0.0;
+};
+
+/** Work performed during one context switch, for overhead accounting. */
+struct SwitchCost
+{
+    uint64_t heapOps = 0;
+    uint64_t fpOps = 0;
+};
+
+/**
+ * Owns runnable-thread placement and the priority bookkeeping. The
+ * machine drives it: makeRunnable() on wake/spawn/yield, pickNext() on
+ * dispatch, onBlock() when a running thread leaves a processor.
+ */
+class Scheduler
+{
+  public:
+    /**
+     * @param config policy and sizing
+     * @param threads the machine's thread table (shared, grows)
+     * @param miss_totals per-processor cumulative E-miss counts m(t),
+     *        owned and advanced by the machine
+     * @param graph the at_share() annotation graph
+     * @param model footprint model (required unless policy is FCFS)
+     */
+    Scheduler(const SchedulerConfig &config,
+              std::vector<std::unique_ptr<Thread>> &threads,
+              const std::vector<uint64_t> &miss_totals, SharingGraph &graph,
+              const FootprintModel *model);
+
+    /**
+     * Insert a thread into the runnable set. The caller must have set
+     * state-independent fields (readyTime); this sets state to Runnable
+     * and places the thread per policy.
+     *
+     * @param origin under the locality policies, a freshly created
+     *        (Embryo) thread is placed on this processor's heap — the
+     *        creating thread's processor, where any state the creator
+     *        prefetched for it lives (creation-time affinity in the
+     *        spirit of memory-conscious scheduling, the paper's [15]).
+     *        Pass InvalidCpuId for no placement hint.
+     */
+    void makeRunnable(Thread &thread, CpuId origin = InvalidCpuId);
+
+    /**
+     * Choose the next thread for a processor, or nullptr when nothing
+     * is reachable: no local heap entry, an empty global queue, and no
+     * *busy* peer to steal from (an idle peer will dispatch its own
+     * backlog momentarily — stealing it would only forfeit cache
+     * state). On success the thread is Running and removed from the
+     * runnable set.
+     */
+    Thread *pickNext(CpuId cpu);
+
+    /** Track which processors are currently running a thread (steal
+     *  victims must be busy). Maintained by the machine. */
+    void setCpuBusy(CpuId cpu, bool busy);
+
+    /**
+     * Account for a thread leaving a processor: update its footprint
+     * record and those of its dependents (O(out-degree)). Does not
+     * requeue the thread; the machine decides based on the switch
+     * reason.
+     *
+     * @param thread the blocking/yielding/exiting thread
+     * @param cpu processor it ran on
+     * @param misses E-cache misses it took during the interval
+     * @param instructions instructions it executed during the interval
+     *        (drives the optional nonstationary-phase heuristic)
+     */
+    void onBlock(Thread &thread, CpuId cpu, uint64_t misses,
+                 uint64_t instructions = 0);
+
+    /** Cost of scheduler work since the previous call (cleared). */
+    SwitchCost drainSwitchCost();
+
+    /** Number of threads currently in state Runnable. */
+    size_t runnableCount() const { return _runnable; }
+
+    /** Policy in force. */
+    PolicyKind policy() const { return _config.policy; }
+
+    /** Priority scheme (null under FCFS). */
+    const PriorityScheme *scheme() const { return _scheme.get(); }
+
+    /** Expected footprint of a thread on a processor, right now. */
+    double expectedFootprint(const Thread &thread, CpuId cpu) const;
+
+    /** Heap occupancy of one processor (stale entries included). */
+    size_t heapSize(CpuId cpu) const { return _heaps[cpu].size(); }
+
+    /** Global queue occupancy. */
+    size_t globalQueueSize() const { return _global.size(); }
+
+    /** Total successful steals. */
+    uint64_t stealCount() const { return _steals; }
+
+    /** Intervals the nonstationary heuristic classified as quiet. */
+    uint64_t quietIntervals() const { return _quietIntervals; }
+
+  private:
+    /** True when a heap entry still refers to live bookkeeping. */
+    bool entryValid(const HeapEntry &entry, CpuId cpu) const;
+
+    /** Enqueue on the global FIFO unless already there. */
+    void pushGlobal(Thread &thread);
+
+    /** Insert heap entries for a newly runnable thread; false when no
+     *  processor's cache holds enough of its state. */
+    bool pushHeaps(Thread &thread);
+
+    /** Enforce the heap size cap after an insertion. */
+    void boundHeap(CpuId cpu);
+
+    /** Take the lowest-priority valid entry from some other heap. */
+    Thread *steal(CpuId thief);
+
+    /** Mark a thread dispatched (state, generations, counters). */
+    void dispatch(Thread &thread, CpuId cpu);
+
+    SchedulerConfig _config;
+    std::vector<std::unique_ptr<Thread>> &_threads;
+    const std::vector<uint64_t> &_missTotals;
+    SharingGraph &_graph;
+    std::unique_ptr<PriorityScheme> _scheme;
+    std::vector<LocalHeap> _heaps;
+    std::vector<uint8_t> _busy;
+    GlobalQueue _global;
+    size_t _runnable = 0;
+    uint64_t _steals = 0;
+    uint64_t _quietIntervals = 0;
+    std::vector<uint64_t> _dispatchCount;
+    uint64_t _heapOpsSnap = 0;
+    uint64_t _fpOpsSnap = 0;
+};
+
+} // namespace atl
+
+#endif // ATL_RUNTIME_SCHEDULER_HH

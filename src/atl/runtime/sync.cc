@@ -1,0 +1,160 @@
+#include "atl/runtime/sync.hh"
+
+#include "atl/util/logging.hh"
+
+namespace atl
+{
+
+// ---------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------
+
+void
+Mutex::lock()
+{
+    _machine.execute(syncOpInstructions);
+    ThreadId me = _machine.self();
+    atl_assert(_owner != me, "recursive lock of a non-recursive mutex");
+    if (_owner == InvalidThreadId) {
+        _owner = me;
+        return;
+    }
+    _waiters.push_back(me);
+    _machine.blockCurrent();
+    // Ownership was handed to us by unlock() before the wake.
+    atl_assert(_owner == me, "woken without lock ownership");
+}
+
+bool
+Mutex::tryLock()
+{
+    _machine.execute(syncOpInstructions);
+    if (_owner != InvalidThreadId)
+        return false;
+    _owner = _machine.self();
+    return true;
+}
+
+void
+Mutex::unlock()
+{
+    _machine.execute(syncOpInstructions);
+    atl_assert(_owner == _machine.self(),
+               "unlock by non-owner thread ", _machine.self());
+    if (_waiters.empty()) {
+        _owner = InvalidThreadId;
+        return;
+    }
+    _owner = _waiters.front();
+    _waiters.pop_front();
+    _machine.wake(_owner);
+}
+
+// ---------------------------------------------------------------------
+// Semaphore
+// ---------------------------------------------------------------------
+
+void
+Semaphore::wait()
+{
+    _machine.execute(syncOpInstructions);
+    if (_count > 0) {
+        --_count;
+        return;
+    }
+    _waiters.push_back(_machine.self());
+    _machine.blockCurrent();
+    // post() consumed the increment on our behalf.
+}
+
+bool
+Semaphore::tryWait()
+{
+    _machine.execute(syncOpInstructions);
+    if (_count == 0)
+        return false;
+    --_count;
+    return true;
+}
+
+void
+Semaphore::post()
+{
+    _machine.execute(syncOpInstructions);
+    if (!_waiters.empty()) {
+        ThreadId next = _waiters.front();
+        _waiters.pop_front();
+        _machine.wake(next);
+        return;
+    }
+    ++_count;
+}
+
+// ---------------------------------------------------------------------
+// Barrier
+// ---------------------------------------------------------------------
+
+Barrier::Barrier(Machine &machine, unsigned parties)
+    : _machine(machine), _parties(parties)
+{
+    atl_assert(parties >= 1, "barrier needs at least one party");
+}
+
+void
+Barrier::arrive()
+{
+    _machine.execute(syncOpInstructions);
+    ++_arrived;
+    if (_arrived == _parties) {
+        _arrived = 0;
+        ++_generation;
+        while (!_waiters.empty()) {
+            ThreadId tid = _waiters.front();
+            _waiters.pop_front();
+            _machine.wake(tid);
+        }
+        return;
+    }
+    _waiters.push_back(_machine.self());
+    _machine.blockCurrent();
+}
+
+// ---------------------------------------------------------------------
+// CondVar
+// ---------------------------------------------------------------------
+
+void
+CondVar::wait(Mutex &mutex)
+{
+    _machine.execute(syncOpInstructions);
+    atl_assert(mutex.owner() == _machine.self(),
+               "condition wait without holding the mutex");
+    _waiters.push_back(_machine.self());
+    mutex.unlock();
+    _machine.blockCurrent();
+    mutex.lock(); // Mesa semantics: re-check the predicate after this
+}
+
+void
+CondVar::signal()
+{
+    _machine.execute(syncOpInstructions);
+    if (_waiters.empty())
+        return;
+    ThreadId tid = _waiters.front();
+    _waiters.pop_front();
+    _machine.wake(tid);
+}
+
+void
+CondVar::broadcast()
+{
+    _machine.execute(syncOpInstructions);
+    while (!_waiters.empty()) {
+        ThreadId tid = _waiters.front();
+        _waiters.pop_front();
+        _machine.wake(tid);
+    }
+}
+
+} // namespace atl

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Blocking synchronisation objects for Active Threads: mutual exclusion
+ * locks, counting semaphores, barriers and condition variables (paper
+ * Section 2.3 lists exactly this set). All of them block the calling
+ * thread through the machine, which routes wakeups back through the
+ * locality scheduler — a woken thread is dispatched wherever its cached
+ * state says it should run.
+ *
+ * The simulation engine serialises fibers, so these objects need no
+ * atomic operations; they are nevertheless written with strict FIFO
+ * queues so scheduling experiments are deterministic. Each operation
+ * charges a small instruction cost to model synchronisation overhead.
+ */
+
+#ifndef ATL_RUNTIME_SYNC_HH
+#define ATL_RUNTIME_SYNC_HH
+
+#include <deque>
+
+#include "atl/runtime/machine.hh"
+
+namespace atl
+{
+
+/** Instructions charged per synchronisation operation. */
+inline constexpr uint64_t syncOpInstructions = 8;
+
+/**
+ * A blocking mutual exclusion lock with FIFO handoff.
+ */
+class Mutex
+{
+  public:
+    /** @param machine the owning machine */
+    explicit Mutex(Machine &machine) : _machine(machine) {}
+
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    /** Acquire, blocking until available. */
+    void lock();
+
+    /** Try to acquire without blocking. @retval true on success */
+    bool tryLock();
+
+    /** Release; ownership transfers to the longest waiter, if any. */
+    void unlock();
+
+    /** Current owner (InvalidThreadId when free). */
+    ThreadId owner() const { return _owner; }
+
+    /** Number of threads blocked on the lock. */
+    size_t waiters() const { return _waiters.size(); }
+
+  private:
+    Machine &_machine;
+    ThreadId _owner = InvalidThreadId;
+    std::deque<ThreadId> _waiters;
+};
+
+/**
+ * A counting semaphore.
+ */
+class Semaphore
+{
+  public:
+    /**
+     * @param machine the owning machine
+     * @param initial initial count
+     */
+    Semaphore(Machine &machine, uint64_t initial = 0)
+        : _machine(machine), _count(initial)
+    {}
+
+    Semaphore(const Semaphore &) = delete;
+    Semaphore &operator=(const Semaphore &) = delete;
+
+    /** P: decrement, blocking while the count is zero. */
+    void wait();
+
+    /** Try to decrement without blocking. @retval true on success */
+    bool tryWait();
+
+    /** V: increment or hand directly to the longest waiter. */
+    void post();
+
+    /** Current count. */
+    uint64_t count() const { return _count; }
+
+  private:
+    Machine &_machine;
+    uint64_t _count;
+    std::deque<ThreadId> _waiters;
+};
+
+/**
+ * A cyclic barrier for a fixed number of parties.
+ */
+class Barrier
+{
+  public:
+    /**
+     * @param machine the owning machine
+     * @param parties number of threads per synchronisation round (>= 1)
+     */
+    Barrier(Machine &machine, unsigned parties);
+
+    Barrier(const Barrier &) = delete;
+    Barrier &operator=(const Barrier &) = delete;
+
+    /** Arrive and wait for the rest of the round's parties. */
+    void arrive();
+
+    /** Completed rounds. */
+    uint64_t generation() const { return _generation; }
+
+  private:
+    Machine &_machine;
+    unsigned _parties;
+    unsigned _arrived = 0;
+    uint64_t _generation = 0;
+    std::deque<ThreadId> _waiters;
+};
+
+/**
+ * A condition variable with Mesa semantics: waiters reacquire the mutex
+ * after waking and must re-check their predicate.
+ */
+class CondVar
+{
+  public:
+    /** @param machine the owning machine */
+    explicit CondVar(Machine &machine) : _machine(machine) {}
+
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    /** Atomically release the mutex and wait; reacquires before
+     *  returning. The caller must hold the mutex. */
+    void wait(Mutex &mutex);
+
+    /** Wake one waiter, if any. */
+    void signal();
+
+    /** Wake every waiter. */
+    void broadcast();
+
+    /** Number of waiting threads. */
+    size_t waiters() const { return _waiters.size(); }
+
+  private:
+    Machine &_machine;
+    std::deque<ThreadId> _waiters;
+};
+
+} // namespace atl
+
+#endif // ATL_RUNTIME_SYNC_HH

@@ -1,0 +1,20 @@
+#include "atl/runtime/thread.hh"
+
+namespace atl
+{
+
+const char *
+threadStateName(ThreadState state)
+{
+    switch (state) {
+      case ThreadState::Embryo: return "embryo";
+      case ThreadState::Runnable: return "runnable";
+      case ThreadState::Running: return "running";
+      case ThreadState::Blocked: return "blocked";
+      case ThreadState::Sleeping: return "sleeping";
+      case ThreadState::Exited: return "exited";
+    }
+    return "?";
+}
+
+} // namespace atl

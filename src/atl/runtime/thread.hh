@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The Active Threads thread control block. Threads are units of
+ * (possibly parallel) execution with independent lifetimes and separate
+ * stacks that share the address space (paper Section 2.3); this type
+ * carries the identity, fiber state, per-processor footprint records and
+ * accounting for one such thread. All behaviour lives in the scheduler
+ * and machine; the TCB is data.
+ */
+
+#ifndef ATL_RUNTIME_THREAD_HH
+#define ATL_RUNTIME_THREAD_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "atl/mem/address.hh"
+#include "atl/model/priority.hh"
+#include "atl/runtime/context.hh"
+
+namespace atl
+{
+
+/** Lifecycle of a thread. */
+enum class ThreadState
+{
+    Embryo,   ///< created, never enqueued
+    Runnable, ///< eligible for dispatch
+    Running,  ///< currently on some processor
+    Blocked,  ///< waiting on a synchronisation object or join
+    Sleeping, ///< waiting on a virtual-time timer
+    Exited,   ///< finished; awaiting nothing
+};
+
+/** Human-readable state name. */
+const char *threadStateName(ThreadState state);
+
+/** Why a running fiber returned control to the engine. */
+enum class SwitchReason
+{
+    None,
+    Yielded,  ///< at_yield(): remains runnable
+    Blocked,  ///< waits on a sync object
+    Sleeping, ///< waits on a timer
+    Exited,   ///< entry returned
+    SliceEnd, ///< simulation slice quantum expired (not a real switch)
+};
+
+/** Per-thread execution statistics. */
+struct ThreadStats
+{
+    uint64_t dispatches = 0;
+    uint64_t instructions = 0;
+    uint64_t eMisses = 0;
+    uint64_t eRefs = 0;
+    Cycles cpuCycles = 0;
+};
+
+/**
+ * Thread control block. Not movable: fibers hold self-referential
+ * context state.
+ */
+class Thread
+{
+  public:
+    /**
+     * @param tid identity, dense from 0
+     * @param num_cpus machine width (sizes the per-cpu record array)
+     * @param entry_fn thread body
+     * @param thread_name debugging label
+     */
+    Thread(ThreadId tid, unsigned num_cpus, std::function<void()> entry_fn,
+           std::string thread_name)
+        : id(tid), name(std::move(thread_name)), entry(std::move(entry_fn)),
+          records(num_cpus)
+    {}
+
+    Thread(const Thread &) = delete;
+    Thread &operator=(const Thread &) = delete;
+
+    /** Identity. */
+    const ThreadId id;
+
+    /** Debugging label. */
+    std::string name;
+
+    /** Lifecycle state. */
+    ThreadState state = ThreadState::Embryo;
+
+    /** Why the fiber last returned to the engine. */
+    SwitchReason switchReason = SwitchReason::None;
+
+    /** Body to run; consumed when the fiber is armed. */
+    std::function<void()> entry;
+
+    /** Execution context; stack attached at first dispatch. */
+    Fiber fiber;
+
+    /** Pooled stack while running; returned to the pool on exit. */
+    std::unique_ptr<FiberStack> stack;
+
+    /** Footprint bookkeeping, one record per processor cache. */
+    std::vector<FootprintRecord> records;
+
+    /** Cycle at which the thread last became runnable (causality bound:
+     *  no processor may dispatch it at an earlier local time). */
+    Cycles readyTime = 0;
+
+    /** Processor that last ran the thread. */
+    CpuId lastCpu = InvalidCpuId;
+
+    /** Threads blocked in join() on this thread. */
+    std::vector<ThreadId> joiners;
+
+    /** True while an entry for this thread sits in the global queue. */
+    bool inGlobalQueue = false;
+
+    /** True once the fiber has been armed with the entry function. */
+    bool started = false;
+
+    /** Accounting. */
+    ThreadStats stats;
+};
+
+} // namespace atl
+
+#endif // ATL_RUNTIME_THREAD_HH

@@ -1,0 +1,162 @@
+#include "atl/sim/experiment.hh"
+
+#include <cmath>
+
+#include "atl/util/logging.hh"
+
+namespace atl
+{
+
+double
+RunMetrics::mpki() const
+{
+    if (instructions == 0)
+        return 0.0;
+    return 1000.0 * static_cast<double>(eMisses) /
+           static_cast<double>(instructions);
+}
+
+double
+RunMetrics::missesEliminated(const RunMetrics &base, const RunMetrics &opt)
+{
+    if (base.eMisses == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(opt.eMisses) /
+                     static_cast<double>(base.eMisses);
+}
+
+double
+RunMetrics::speedup(const RunMetrics &base, const RunMetrics &opt)
+{
+    if (opt.makespan == 0)
+        return 0.0;
+    return static_cast<double>(base.makespan) /
+           static_cast<double>(opt.makespan);
+}
+
+RunMetrics
+runWorkload(Workload &workload, const MachineConfig &config, bool trace)
+{
+    Machine machine(config);
+    std::unique_ptr<Tracer> tracer;
+    if (trace)
+        tracer = std::make_unique<Tracer>(machine);
+
+    WorkloadEnv env{machine, tracer.get()};
+    workload.setup(env);
+    machine.run();
+
+    RunMetrics metrics;
+    metrics.workload = workload.name();
+    metrics.policy = config.policy;
+    metrics.numCpus = config.numCpus;
+    metrics.makespan = machine.makespan();
+    metrics.eMisses = machine.totalEMisses();
+    metrics.eRefs = machine.totalERefs();
+    metrics.instructions = machine.totalInstructions();
+    metrics.contextSwitches = machine.totalSwitches();
+    for (CpuId c = 0; c < machine.numCpus(); ++c)
+        metrics.schedOverheadCycles += machine.cpuStats(c).schedOverheadCycles;
+    metrics.verified = workload.verify();
+    if (!metrics.verified) {
+        atl_warn("workload '", workload.name(), "' failed verification ",
+                 "under policy ", policyName(config.policy));
+    }
+    return metrics;
+}
+
+FootprintMonitor::FootprintMonitor(Machine &machine, Tracer &tracer,
+                                   CpuId cpu, uint64_t sample_every)
+    : _machine(machine), _tracer(tracer), _cpu(cpu),
+      _sampleEvery(sample_every)
+{
+    atl_assert(sample_every > 0, "sample interval must be positive");
+    _tracer.setMissCallback([this](CpuId c, ThreadId t) { onMiss(c, t); });
+}
+
+FootprintMonitor::~FootprintMonitor()
+{
+    _tracer.setMissCallback({});
+}
+
+void
+FootprintMonitor::setDriver(ThreadId tid)
+{
+    _driver = tid;
+    _driverMisses = 0;
+    _instrBaseline = _machine.thread(tid).stats.instructions;
+}
+
+void
+FootprintMonitor::track(ThreadId tid, Kind kind, double q)
+{
+    Target target;
+    target.kind = kind;
+    target.q = q;
+    target.s0 = static_cast<double>(_tracer.footprint(tid, _cpu));
+    _targets[tid] = std::move(target);
+}
+
+void
+FootprintMonitor::onMiss(CpuId cpu, ThreadId tid)
+{
+    if (cpu != _cpu || tid != _driver)
+        return;
+    ++_driverMisses;
+    if (_driverMisses % _sampleEvery == 0)
+        sampleAll();
+}
+
+void
+FootprintMonitor::sampleAll()
+{
+    const FootprintModel &model = _machine.model();
+    uint64_t instr =
+        _machine.thread(_driver).stats.instructions - _instrBaseline;
+
+    for (auto &[tid, target] : _targets) {
+        FootprintSample sample;
+        sample.misses = _driverMisses;
+        sample.instructions = instr;
+        sample.observed =
+            static_cast<double>(_tracer.footprint(tid, _cpu));
+        switch (target.kind) {
+          case Kind::Executing:
+            sample.predicted = model.blocking(target.s0, _driverMisses);
+            break;
+          case Kind::Independent:
+            sample.predicted = model.independent(target.s0, _driverMisses);
+            break;
+          case Kind::Dependent:
+            sample.predicted =
+                model.dependent(target.q, target.s0, _driverMisses);
+            break;
+        }
+        target.samples.push_back(sample);
+    }
+}
+
+const std::vector<FootprintSample> &
+FootprintMonitor::samples(ThreadId tid) const
+{
+    auto it = _targets.find(tid);
+    atl_assert(it != _targets.end(), "thread ", tid, " is not tracked");
+    return it->second.samples;
+}
+
+double
+FootprintMonitor::meanAbsRelError(ThreadId tid, double floor) const
+{
+    const auto &all = samples(tid);
+    double total = 0.0;
+    size_t used = 0;
+    for (const FootprintSample &s : all) {
+        if (s.observed < floor)
+            continue;
+        total += std::fabs(s.predicted - s.observed) / s.observed;
+        ++used;
+    }
+    return used ? total / static_cast<double>(used) : 0.0;
+}
+
+} // namespace atl

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Experiment harness: runs a workload on a configured machine and
+ * collects the metrics the paper reports (E-cache misses, relative
+ * performance, scheduling overhead), plus the footprint monitor used to
+ * regenerate the model-accuracy figures (4, 5, 6, 7) by sampling
+ * observed versus predicted footprints as a computation unfolds.
+ */
+
+#ifndef ATL_SIM_EXPERIMENT_HH
+#define ATL_SIM_EXPERIMENT_HH
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "atl/sim/tracer.hh"
+#include "atl/workloads/workload.hh"
+
+namespace atl
+{
+
+/** Headline metrics of one workload run. */
+struct RunMetrics
+{
+    std::string workload;
+    PolicyKind policy = PolicyKind::FCFS;
+    unsigned numCpus = 1;
+    Cycles makespan = 0;
+    uint64_t eMisses = 0;
+    uint64_t eRefs = 0;
+    uint64_t instructions = 0;
+    uint64_t contextSwitches = 0;
+    Cycles schedOverheadCycles = 0;
+    bool verified = false;
+
+    /** E-cache misses per 1000 instructions. */
+    double mpki() const;
+
+    /** Fraction of baseline misses eliminated by this run. */
+    static double missesEliminated(const RunMetrics &base,
+                                   const RunMetrics &opt);
+
+    /** Speedup of this run over a baseline (makespan ratio). */
+    static double speedup(const RunMetrics &base, const RunMetrics &opt);
+};
+
+/**
+ * Build a machine with the given config, run the workload to
+ * completion, verify it, and collect metrics.
+ *
+ * @param workload the application (setup() is called once)
+ * @param config machine configuration
+ * @param trace attach a tracer (needed only when the workload registers
+ *        state or when footprints are observed)
+ */
+RunMetrics runWorkload(Workload &workload, const MachineConfig &config,
+                       bool trace = false);
+
+/** One observed-vs-predicted footprint sample. */
+struct FootprintSample
+{
+    /** Driver-thread E-misses since tracking began. */
+    uint64_t misses = 0;
+    /** Driver-thread instructions since tracking began. */
+    uint64_t instructions = 0;
+    /** Ground-truth footprint from the tracer, in lines. */
+    double observed = 0.0;
+    /** Closed-form model prediction, in lines. */
+    double predicted = 0.0;
+};
+
+/**
+ * Samples footprints of a set of threads while one designated "driver"
+ * thread executes on a processor, reproducing the paper's simulation
+ * methodology: the driver's misses are the model's n, and each tracked
+ * thread is predicted with the model case matching its relation to the
+ * driver (the driver itself: blocking; disjoint sleepers: independent;
+ * sharers: dependent with coefficient q).
+ */
+class FootprintMonitor
+{
+  public:
+    /** Relation of a tracked thread to the driver. */
+    enum class Kind
+    {
+        Executing,   ///< the driver itself (blocking-thread case)
+        Independent, ///< no shared state with the driver
+        Dependent,   ///< shares fraction q of state with the driver
+    };
+
+    /**
+     * @param machine the running machine
+     * @param tracer ground-truth source (also provides the miss hook)
+     * @param cpu processor whose cache is observed
+     * @param sample_every record one sample per this many driver misses
+     */
+    FootprintMonitor(Machine &machine, Tracer &tracer, CpuId cpu = 0,
+                     uint64_t sample_every = 64);
+
+    /** Detaches the miss callback from the tracer. */
+    ~FootprintMonitor();
+
+    FootprintMonitor(const FootprintMonitor &) = delete;
+    FootprintMonitor &operator=(const FootprintMonitor &) = delete;
+
+    /**
+     * Set the driver thread and reset its miss/instruction baselines.
+     * Call after the cache state to be studied is in place (e.g. after a
+     * flush).
+     */
+    void setDriver(ThreadId tid);
+
+    /**
+     * Track a thread. Its current observed footprint becomes the model's
+     * S (initial footprint).
+     * @param q sharing coefficient, used when kind is Dependent
+     */
+    void track(ThreadId tid, Kind kind, double q = 0.0);
+
+    /** Samples recorded for a tracked thread. */
+    const std::vector<FootprintSample> &samples(ThreadId tid) const;
+
+    /** Mean absolute relative error of prediction vs observation for a
+     *  tracked thread, ignoring samples with observed < floor lines. */
+    double meanAbsRelError(ThreadId tid, double floor = 32.0) const;
+
+  private:
+    struct Target
+    {
+        Kind kind;
+        double q;
+        double s0;
+        std::vector<FootprintSample> samples;
+    };
+
+    /** Tracer miss callback. */
+    void onMiss(CpuId cpu, ThreadId tid);
+
+    /** Record one sample per target. */
+    void sampleAll();
+
+    Machine &_machine;
+    Tracer &_tracer;
+    CpuId _cpu;
+    uint64_t _sampleEvery;
+    ThreadId _driver = InvalidThreadId;
+    uint64_t _driverMisses = 0;
+    uint64_t _instrBaseline = 0;
+    std::unordered_map<ThreadId, Target> _targets;
+};
+
+} // namespace atl
+
+#endif // ATL_SIM_EXPERIMENT_HH

@@ -1,0 +1,104 @@
+#include "atl/sim/trace.hh"
+
+#include <istream>
+#include <ostream>
+
+#include "atl/util/logging.hh"
+
+namespace atl
+{
+
+namespace
+{
+
+/** Binary format magic ("ATLT" + version 1). */
+constexpr uint32_t traceMagic = 0x41544c31;
+
+} // namespace
+
+void
+TraceBuffer::save(std::ostream &os) const
+{
+    uint32_t magic = traceMagic;
+    uint64_t count = _records.size();
+    os.write(reinterpret_cast<const char *>(&magic), sizeof(magic));
+    os.write(reinterpret_cast<const char *>(&count), sizeof(count));
+    os.write(reinterpret_cast<const char *>(_records.data()),
+             static_cast<std::streamsize>(count * sizeof(TraceRecord)));
+}
+
+bool
+TraceBuffer::load(std::istream &is)
+{
+    uint32_t magic = 0;
+    uint64_t count = 0;
+    is.read(reinterpret_cast<char *>(&magic), sizeof(magic));
+    if (!is || magic != traceMagic)
+        return false;
+    is.read(reinterpret_cast<char *>(&count), sizeof(count));
+    if (!is)
+        return false;
+    _records.resize(count);
+    is.read(reinterpret_cast<char *>(_records.data()),
+            static_cast<std::streamsize>(count * sizeof(TraceRecord)));
+    if (!is) {
+        _records.clear();
+        return false;
+    }
+    return true;
+}
+
+TraceRecorder::TraceRecorder(Machine &machine, TraceBuffer &buffer)
+    : _machine(machine)
+{
+    _machine.setAccessHook(
+        [&buffer](CpuId cpu, ThreadId tid, VAddr va, AccessType type) {
+            buffer.append({va, tid, cpu, type});
+        });
+}
+
+TraceRecorder::~TraceRecorder()
+{
+    _machine.setAccessHook({});
+}
+
+TraceReplayer::TraceReplayer(const HierarchyConfig &hierarchy,
+                             unsigned n_cpus, uint64_t page_bytes,
+                             PagePlacement placement)
+    : _config(hierarchy), _numCpus(n_cpus), _pageBytes(page_bytes),
+      _placement(placement)
+{
+    atl_assert(n_cpus >= 1, "replayer needs at least one cpu");
+}
+
+ReplayResult
+TraceReplayer::replay(const TraceBuffer &trace)
+{
+    // Fresh VM and caches: pages fault in trace order, exactly as the
+    // live run faulted them.
+    uint64_t colors =
+        std::max<uint64_t>(1, _config.l2.sizeBytes / _pageBytes);
+    Vm vm(_pageBytes, colors, _placement);
+    std::vector<std::unique_ptr<Hierarchy>> cpus;
+    for (unsigned c = 0; c < _numCpus; ++c)
+        cpus.push_back(std::make_unique<Hierarchy>(_config));
+
+    for (const TraceRecord &record : trace.records()) {
+        atl_assert(record.cpu < _numCpus,
+                   "trace cpu ", record.cpu, " exceeds replay width");
+        PAddr pa = vm.translate(record.va);
+        cpus[record.cpu]->access(pa, record.type);
+    }
+
+    ReplayResult result;
+    result.references = trace.size();
+    for (const auto &hier : cpus) {
+        result.l1dMisses += hier->l1d().stats().misses();
+        result.l1iMisses += hier->l1i().stats().misses();
+        result.l2Refs += hier->l2().stats().refs;
+        result.l2Misses += hier->l2().stats().misses();
+    }
+    return result;
+}
+
+} // namespace atl

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Reference-trace recording and replay.
+ *
+ * The paper's lineage of cache models (Thiebaut & Stone, Agarwal et
+ * al.) was driven by address traces analysed off-line; Shade produced
+ * such traces on-line. This module closes the loop for our simulator:
+ * a TraceRecorder captures every modelled reference a machine issues
+ * (with thread and processor attribution), and a TraceReplayer pushes a
+ * recorded trace through an arbitrary cache hierarchy and page
+ * placement — enabling off-line design-space exploration (line size,
+ * associativity, placement) over exactly the reference stream a
+ * workload produced, without re-running the workload.
+ */
+
+#ifndef ATL_SIM_TRACE_HH
+#define ATL_SIM_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "atl/mem/hierarchy.hh"
+#include "atl/mem/vm.hh"
+#include "atl/runtime/machine.hh"
+
+namespace atl
+{
+
+/** One recorded memory reference (one L1-line-sized access). */
+struct TraceRecord
+{
+    /** Virtual address of the reference. */
+    VAddr va = 0;
+    /** Issuing thread (InvalidThreadId for runtime-internal traffic). */
+    ThreadId tid = InvalidThreadId;
+    /** Processor that issued it. */
+    CpuId cpu = 0;
+    /** Load / Store / IFetch. */
+    AccessType type = AccessType::Load;
+};
+
+/**
+ * A recorded reference stream. Plain vector storage with binary
+ * save/load for re-use across processes.
+ */
+class TraceBuffer
+{
+  public:
+    /** Append one record. */
+    void append(const TraceRecord &record) { _records.push_back(record); }
+
+    /** All records, in issue order. */
+    const std::vector<TraceRecord> &records() const { return _records; }
+
+    /** Number of records. */
+    size_t size() const { return _records.size(); }
+
+    /** Drop everything. */
+    void clear() { _records.clear(); }
+
+    /** Serialise to a binary stream (magic + count + raw records). */
+    void save(std::ostream &os) const;
+
+    /**
+     * Load from a binary stream produced by save().
+     * @retval true on success (false: bad magic or truncated data)
+     */
+    bool load(std::istream &is);
+
+  private:
+    std::vector<TraceRecord> _records;
+};
+
+/**
+ * Captures every modelled reference a machine issues. Attach before
+ * running; detach (destroy) before the machine dies.
+ */
+class TraceRecorder
+{
+  public:
+    /**
+     * @param machine machine to record (must outlive the recorder)
+     * @param buffer destination (must outlive the recorder)
+     */
+    TraceRecorder(Machine &machine, TraceBuffer &buffer);
+    ~TraceRecorder();
+
+    TraceRecorder(const TraceRecorder &) = delete;
+    TraceRecorder &operator=(const TraceRecorder &) = delete;
+
+  private:
+    Machine &_machine;
+};
+
+/** Result of replaying a trace through one configuration. */
+struct ReplayResult
+{
+    uint64_t references = 0;
+    uint64_t l1dMisses = 0;
+    uint64_t l1iMisses = 0;
+    uint64_t l2Refs = 0;
+    uint64_t l2Misses = 0;
+
+    /** E-cache miss ratio. */
+    double
+    l2MissRatio() const
+    {
+        return l2Refs ? static_cast<double>(l2Misses) /
+                            static_cast<double>(l2Refs)
+                      : 0.0;
+    }
+};
+
+/**
+ * Replays a trace through a per-processor hierarchy built from an
+ * arbitrary configuration, with a fresh simulated VM (pages fault in
+ * trace order, as they did live). Uniprocessor replay of an identical
+ * configuration reproduces the live E-cache miss counts exactly;
+ * multiprocessor replay is approximate because coherence invalidations
+ * are not re-enacted.
+ */
+class TraceReplayer
+{
+  public:
+    /**
+     * @param hierarchy cache geometry to explore
+     * @param n_cpus number of per-processor hierarchies to build (must
+     *        cover every cpu id appearing in the trace)
+     * @param page_bytes VM page size
+     * @param placement page placement policy
+     */
+    TraceReplayer(const HierarchyConfig &hierarchy, unsigned n_cpus = 1,
+                  uint64_t page_bytes = 8192,
+                  PagePlacement placement = PagePlacement::BinHopping);
+
+    /** Push every record through the configured caches. */
+    ReplayResult replay(const TraceBuffer &trace);
+
+  private:
+    HierarchyConfig _config;
+    unsigned _numCpus;
+    uint64_t _pageBytes;
+    PagePlacement _placement;
+};
+
+} // namespace atl
+
+#endif // ATL_SIM_TRACE_HH

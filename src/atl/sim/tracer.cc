@@ -1,0 +1,240 @@
+#include "atl/sim/tracer.hh"
+
+#include <algorithm>
+
+#include "atl/util/logging.hh"
+
+namespace atl
+{
+
+Tracer::Tracer(Machine &machine)
+    : _machine(machine),
+      _lineBytes(machine.config().hierarchy.l2.lineBytes)
+{
+    _machine.setObserver(this);
+}
+
+Tracer::~Tracer()
+{
+    _machine.setObserver(nullptr);
+}
+
+void
+Tracer::registerState(ThreadId tid, VAddr va, uint64_t bytes)
+{
+    atl_assert(bytes > 0, "empty state region");
+    uint64_t first = va / _lineBytes;
+    uint64_t last = (va + bytes - 1) / _lineBytes;
+    _regions[tid].emplace_back(first, last);
+    std::vector<ThreadId> co_owners;
+    for (uint64_t vline = first; vline <= last; ++vline) {
+        if (_autoInfer) {
+            for (ThreadId other : _owners[vline]) {
+                if (other != tid &&
+                    std::find(co_owners.begin(), co_owners.end(),
+                              other) == co_owners.end()) {
+                    co_owners.push_back(other);
+                }
+            }
+        }
+        OwnerList &owners = _owners[vline];
+        if (std::find(owners.begin(), owners.end(), tid) != owners.end())
+            continue;
+        owners.push_back(tid);
+        // Lines already resident when their ownership is declared must
+        // be credited now: later evictions will debit them.
+        PAddr pa;
+        if (!_machine.vm().translateIfMapped(vline * _lineBytes, pa))
+            continue;
+        for (CpuId cpu = 0; cpu < _machine.numCpus(); ++cpu) {
+            if (_machine.hierarchy(cpu).l2Contains(pa))
+                ++countersFor(tid)[cpu];
+        }
+    }
+
+    // Runtime inference (paper Section 7 direction): refresh the
+    // sharing arcs between the registering thread and every thread it
+    // now overlaps.
+    if (_autoInfer) {
+        for (ThreadId other : co_owners) {
+            double q_to = overlap(tid, other);
+            double q_from = overlap(other, tid);
+            if (q_to >= _autoInferMinQ)
+                _machine.graph().share(tid, other, q_to);
+            if (q_from >= _autoInferMinQ)
+                _machine.graph().share(other, tid, q_from);
+        }
+    }
+}
+
+void
+Tracer::enableAutoInference(double min_q)
+{
+    _autoInfer = true;
+    _autoInferMinQ = min_q;
+}
+
+bool
+Tracer::vlineOf(PAddr pa, uint64_t &vline) const
+{
+    VAddr va;
+    if (!_machine.vm().reverse(pa, va))
+        return false;
+    vline = va / _lineBytes;
+    return true;
+}
+
+std::vector<uint64_t> &
+Tracer::countersFor(ThreadId tid)
+{
+    auto it = _footprints.find(tid);
+    if (it == _footprints.end()) {
+        it = _footprints
+                 .emplace(tid,
+                          std::vector<uint64_t>(_machine.numCpus(), 0))
+                 .first;
+    }
+    return it->second;
+}
+
+void
+Tracer::onL2Fill(CpuId cpu, PAddr line_addr)
+{
+    uint64_t vline;
+    if (!vlineOf(line_addr, vline))
+        return;
+    auto it = _owners.find(vline);
+    if (it == _owners.end())
+        return;
+    for (ThreadId tid : it->second)
+        ++countersFor(tid)[cpu];
+}
+
+void
+Tracer::onL2Evict(CpuId cpu, PAddr line_addr)
+{
+    uint64_t vline;
+    if (!vlineOf(line_addr, vline))
+        return;
+    auto it = _owners.find(vline);
+    if (it == _owners.end())
+        return;
+    for (ThreadId tid : it->second) {
+        std::vector<uint64_t> &counters = countersFor(tid);
+        atl_assert(counters[cpu] > 0,
+                   "footprint underflow for thread ", tid, " on cpu ",
+                   cpu);
+        --counters[cpu];
+    }
+}
+
+void
+Tracer::onEMiss(CpuId cpu, ThreadId tid)
+{
+    if (_missCallback)
+        _missCallback(cpu, tid);
+}
+
+uint64_t
+Tracer::footprint(ThreadId tid, CpuId cpu) const
+{
+    auto it = _footprints.find(tid);
+    if (it == _footprints.end())
+        return 0;
+    atl_assert(cpu < it->second.size(), "cpu id out of range");
+    return it->second[cpu];
+}
+
+namespace
+{
+
+using Interval = std::pair<uint64_t, uint64_t>;
+
+/** Sort and coalesce possibly-overlapping closed intervals. */
+std::vector<Interval>
+mergeIntervals(std::vector<Interval> intervals)
+{
+    std::sort(intervals.begin(), intervals.end());
+    std::vector<Interval> merged;
+    for (const Interval &iv : intervals) {
+        if (!merged.empty() && iv.first <= merged.back().second + 1)
+            merged.back().second = std::max(merged.back().second,
+                                            iv.second);
+        else
+            merged.push_back(iv);
+    }
+    return merged;
+}
+
+/** Total number of points covered by disjoint closed intervals. */
+uint64_t
+coveredLines(const std::vector<Interval> &merged)
+{
+    uint64_t lines = 0;
+    for (const Interval &iv : merged)
+        lines += iv.second - iv.first + 1;
+    return lines;
+}
+
+} // namespace
+
+uint64_t
+Tracer::stateLines(ThreadId tid) const
+{
+    auto it = _regions.find(tid);
+    if (it == _regions.end())
+        return 0;
+    return coveredLines(mergeIntervals(it->second));
+}
+
+double
+Tracer::overlap(ThreadId a, ThreadId b) const
+{
+    auto ia = _regions.find(a);
+    auto ib = _regions.find(b);
+    if (ia == _regions.end() || ib == _regions.end())
+        return 0.0;
+
+    std::vector<Interval> va = mergeIntervals(ia->second);
+    std::vector<Interval> vb = mergeIntervals(ib->second);
+    uint64_t total = coveredLines(va);
+    if (total == 0)
+        return 0.0;
+
+    // Two-pointer intersection over the disjoint sorted lists.
+    uint64_t shared = 0;
+    size_t i = 0, j = 0;
+    while (i < va.size() && j < vb.size()) {
+        uint64_t lo = std::max(va[i].first, vb[j].first);
+        uint64_t hi = std::min(va[i].second, vb[j].second);
+        if (lo <= hi)
+            shared += hi - lo + 1;
+        if (va[i].second < vb[j].second)
+            ++i;
+        else
+            ++j;
+    }
+    return static_cast<double>(shared) / static_cast<double>(total);
+}
+
+size_t
+Tracer::inferAnnotations(double min_q)
+{
+    size_t arcs = 0;
+    for (const auto &[a, regions_a] : _regions) {
+        (void)regions_a;
+        for (const auto &[b, regions_b] : _regions) {
+            (void)regions_b;
+            if (a == b)
+                continue;
+            double q = overlap(a, b);
+            if (q >= min_q) {
+                _machine.graph().share(a, b, q);
+                ++arcs;
+            }
+        }
+    }
+    return arcs;
+}
+
+} // namespace atl

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The cache/thread tracer: the reproduction of the paper's Shade-based
+ * simulator instrumentation (Section 3). The hardware counters alone
+ * lose the association between cache lines and threads; the tracer
+ * preserves it by watching every E-cache fill and eviction and mapping
+ * the line back (through the simulated VM) to the threads whose
+ * registered state contains it. This yields ground-truth per-thread
+ * footprints to compare against the analytical model's predictions.
+ *
+ * Workloads register each thread's state regions explicitly (the Shade
+ * setup knew thread state layouts the same way, via the Active Threads
+ * context-switch hooks). Regions may overlap: a shared line counts
+ * toward every owner's footprint.
+ */
+
+#ifndef ATL_SIM_TRACER_HH
+#define ATL_SIM_TRACER_HH
+
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "atl/runtime/machine.hh"
+
+namespace atl
+{
+
+/**
+ * Ground-truth footprint observer. Installs itself as the machine's
+ * MemoryObserver on construction.
+ */
+class Tracer : public MemoryObserver
+{
+  public:
+    /** @param machine the machine to observe (must outlive the tracer) */
+    explicit Tracer(Machine &machine);
+    ~Tracer() override;
+
+    /**
+     * Declare that [va, va+bytes) belongs to a thread's state. Line
+     * granularity is the E-cache line size; partially covered lines
+     * count as owned.
+     */
+    void registerState(ThreadId tid, VAddr va, uint64_t bytes);
+
+    /** Observed footprint (lines) of a thread in a processor's E-cache. */
+    uint64_t footprint(ThreadId tid, CpuId cpu) const;
+
+    /** Registered state size of a thread, in E-cache lines. */
+    uint64_t stateLines(ThreadId tid) const;
+
+    /**
+     * Fraction of thread a's registered state that is also registered to
+     * thread b: the paper's sharing coefficient q_{a,b}, inferred from
+     * layout instead of user annotation (Section 7 direction).
+     * @return |state_a intersect state_b| / |state_a|, 0 when a has none
+     */
+    double overlap(ThreadId a, ThreadId b) const;
+
+    /**
+     * Annotate the machine's sharing graph automatically from registered
+     * region overlap: for every ordered pair of threads with overlap at
+     * least min_q, emit at_share(a, b, overlap(a, b)).
+     * @param min_q ignore weaker overlaps to keep the graph sparse
+     * @return number of arcs written
+     */
+    size_t inferAnnotations(double min_q = 0.05);
+
+    /**
+     * Infer continuously: every subsequent registerState() compares the
+     * new region's owners against the registering thread and refreshes
+     * the sharing arcs between them (the paper's Section 7 direction —
+     * "identify state sharing patterns entirely at runtime" — driven by
+     * state layout instead of user intervention). Cost is proportional
+     * to the number of co-owners of the registered lines.
+     * @param min_q arcs weaker than this are not emitted
+     */
+    void enableAutoInference(double min_q = 0.05);
+
+    /** Install a demand-miss callback (cpu, thread). */
+    void
+    setMissCallback(std::function<void(CpuId, ThreadId)> cb)
+    {
+        _missCallback = std::move(cb);
+    }
+
+    /** @name MemoryObserver interface @{ */
+    void onL2Fill(CpuId cpu, PAddr line_addr) override;
+    void onL2Evict(CpuId cpu, PAddr line_addr) override;
+    void onEMiss(CpuId cpu, ThreadId tid) override;
+    /** @} */
+
+  private:
+    /** Owners of one virtual line (usually 0-3 entries). */
+    using OwnerList = std::vector<ThreadId>;
+
+    /** Resolve a physical line to its virtual line number, if mapped. */
+    bool vlineOf(PAddr pa, uint64_t &vline) const;
+
+    /** Footprint counters of one thread, ensuring allocation. */
+    std::vector<uint64_t> &countersFor(ThreadId tid);
+
+    Machine &_machine;
+    uint64_t _lineBytes;
+    std::unordered_map<uint64_t, OwnerList> _owners;
+    std::unordered_map<ThreadId,
+                       std::vector<std::pair<uint64_t, uint64_t>>>
+        _regions; ///< per-thread [first, last] vline intervals
+    std::unordered_map<ThreadId, std::vector<uint64_t>> _footprints;
+    std::function<void(CpuId, ThreadId)> _missCallback;
+    bool _autoInfer = false;
+    double _autoInferMinQ = 0.05;
+};
+
+} // namespace atl
+
+#endif // ATL_SIM_TRACER_HH

@@ -1,0 +1,63 @@
+#include "atl/util/logging.hh"
+
+#include <cstdio>
+
+namespace atl
+{
+
+namespace
+{
+
+bool throwMode = false;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Panic: return "panic";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Inform: return "info";
+    }
+    return "?";
+}
+
+} // namespace
+
+bool
+logThrowMode()
+{
+    return throwMode;
+}
+
+void
+setLogThrowMode(bool enabled)
+{
+    throwMode = enabled;
+}
+
+namespace detail
+{
+
+void
+logMessage(LogLevel level, const char *file, int line,
+           const std::string &message)
+{
+    std::fprintf(stderr, "%s: %s (%s:%d)\n", levelName(level),
+                 message.c_str(), file, line);
+
+    if (level == LogLevel::Panic) {
+        if (throwMode)
+            throw LogError(level, message);
+        std::abort();
+    }
+    if (level == LogLevel::Fatal) {
+        if (throwMode)
+            throw LogError(level, message);
+        std::exit(1);
+    }
+}
+
+} // namespace detail
+
+} // namespace atl

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Status and error reporting facilities in the gem5 style.
+ *
+ * panic()  - an internal invariant of the library itself was violated;
+ *            aborts so a debugger or core dump can capture the state.
+ * fatal()  - the simulation cannot continue because of a user error
+ *            (bad configuration, invalid arguments); exits cleanly.
+ * warn()   - something works well enough but deserves attention.
+ * inform() - normal operating status with no negative connotation.
+ */
+
+#ifndef ATL_UTIL_LOGGING_HH
+#define ATL_UTIL_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace atl
+{
+
+/** Severity of a log message. */
+enum class LogLevel
+{
+    Panic,
+    Fatal,
+    Warn,
+    Inform,
+};
+
+namespace detail
+{
+
+/**
+ * Emit one formatted log record to stderr and take the terminal action
+ * implied by the level (abort for Panic, exit(1) for Fatal).
+ *
+ * @param level severity class
+ * @param file source file of the call site
+ * @param line source line of the call site
+ * @param message fully formatted message body
+ */
+[[gnu::cold]] void logMessage(LogLevel level, const char *file, int line,
+                              const std::string &message);
+
+/** Build a message string from a stream of heterogeneous parts. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    static_cast<void>((os << ... << std::forward<Args>(args)));
+    return os.str();
+}
+
+} // namespace detail
+
+/** True while a death-test friendly mode is active (throws, no abort). */
+bool logThrowMode();
+
+/**
+ * Enable or disable throw-on-panic mode. In throw mode, panic() and
+ * fatal() raise LogError instead of terminating, which lets unit tests
+ * assert on failure paths without forking death tests.
+ */
+void setLogThrowMode(bool enabled);
+
+/** Exception raised by panic()/fatal() while in throw mode. */
+class LogError : public std::runtime_error
+{
+  public:
+    LogError(LogLevel level, const std::string &what)
+        : std::runtime_error(what), _level(level)
+    {}
+
+    /** Severity that produced this error. */
+    LogLevel level() const { return _level; }
+
+  private:
+    LogLevel _level;
+};
+
+} // namespace atl
+
+/** Report an internal library bug and abort (or throw in test mode). */
+#define atl_panic(...)                                                     \
+    ::atl::detail::logMessage(::atl::LogLevel::Panic, __FILE__, __LINE__,  \
+                              ::atl::detail::concat(__VA_ARGS__))
+
+/** Report an unrecoverable user error and exit (or throw in test mode). */
+#define atl_fatal(...)                                                     \
+    ::atl::detail::logMessage(::atl::LogLevel::Fatal, __FILE__, __LINE__,  \
+                              ::atl::detail::concat(__VA_ARGS__))
+
+/** Report a suspicious but survivable condition. */
+#define atl_warn(...)                                                      \
+    ::atl::detail::logMessage(::atl::LogLevel::Warn, __FILE__, __LINE__,   \
+                              ::atl::detail::concat(__VA_ARGS__))
+
+/** Report normal operating status. */
+#define atl_inform(...)                                                    \
+    ::atl::detail::logMessage(::atl::LogLevel::Inform, __FILE__, __LINE__, \
+                              ::atl::detail::concat(__VA_ARGS__))
+
+/** Panic unless an internal invariant holds. */
+#define atl_assert(cond, ...)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            atl_panic("assertion '", #cond, "' failed ", __VA_ARGS__);     \
+        }                                                                  \
+    } while (0)
+
+#endif // ATL_UTIL_LOGGING_HH

@@ -1,0 +1,149 @@
+#include "atl/util/rng.hh"
+
+#include <cmath>
+
+#include "atl/util/logging.hh"
+
+namespace atl
+{
+
+namespace
+{
+
+/** splitmix64 step, used only for seeding. */
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t s = seed;
+    for (auto &word : _state)
+        word = splitmix64(s);
+    // A state of all zeros is the one invalid xoshiro state; splitmix64
+    // cannot produce four zero outputs in a row, but guard anyway.
+    if (_state[0] == 0 && _state[1] == 0 && _state[2] == 0 && _state[3] == 0)
+        _state[0] = 1;
+}
+
+uint64_t
+Rng::next()
+{
+    uint64_t result = rotl(_state[1] * 5, 7) * 9;
+    uint64_t t = _state[1] << 17;
+
+    _state[2] ^= _state[0];
+    _state[3] ^= _state[1];
+    _state[1] ^= _state[2];
+    _state[0] ^= _state[3];
+    _state[2] ^= t;
+    _state[3] = rotl(_state[3], 45);
+
+    return result;
+}
+
+uint64_t
+Rng::below(uint64_t bound)
+{
+    atl_assert(bound > 0, "Rng::below bound must be positive");
+    // Lemire-style rejection to remove modulo bias.
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+int64_t
+Rng::range(int64_t lo, int64_t hi)
+{
+    atl_assert(lo <= hi, "Rng::range requires lo <= hi");
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<int64_t>(next());
+    return lo + static_cast<int64_t>(below(span));
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits give a uniform double in [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+double
+Rng::exponential(double mean)
+{
+    atl_assert(mean > 0.0, "exponential mean must be positive");
+    double u = uniform();
+    // uniform() can return exactly 0; nudge to keep log finite.
+    if (u == 0.0)
+        u = 0x1.0p-53;
+    return -mean * std::log(u);
+}
+
+uint64_t
+Rng::zipf(uint64_t n, double s)
+{
+    atl_assert(n > 0, "zipf needs a non-empty range");
+    // Inverse-CDF by rejection against the continuous bounding curve
+    // (Devroye). Exact enough for workload skew and allocation-free.
+    if (s <= 0.0)
+        return below(n);
+    // The bounding-curve area diverges as s -> 1; switch to the
+    // logarithmic form near it to avoid the 1/(1-s) singularity.
+    bool harmonic = std::fabs(s - 1.0) < 1e-9;
+    double t = harmonic
+        ? 1.0 + std::log(static_cast<double>(n))
+        : (std::pow(static_cast<double>(n), 1.0 - s) - s) / (1.0 - s);
+    for (;;) {
+        double u = uniform() * t;
+        double x;
+        if (u <= 1.0)
+            x = u;
+        else if (harmonic)
+            x = std::exp(u - 1.0);
+        else
+            x = std::pow(u * (1.0 - s) + s, 1.0 / (1.0 - s));
+        uint64_t k = static_cast<uint64_t>(x);
+        if (k >= n)
+            k = n - 1;
+        double ratio = std::pow(static_cast<double>(k + 1), -s);
+        double bound = (k == 0) ? 1.0 : std::pow(x, -s);
+        if (uniform() * bound <= ratio)
+            return k;
+    }
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0xa5a5a5a5deadbeefull);
+}
+
+} // namespace atl

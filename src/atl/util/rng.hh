@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the library (workload reference streams,
+ * page placement, tie breaking) flows through Rng so that every
+ * simulation is exactly reproducible from a seed. The generator is
+ * xoshiro256** (Blackman & Vigna), which is fast, has a 2^256-1 period
+ * and passes BigCrush; the standard <random> engines are avoided because
+ * their distributions are not bit-reproducible across standard library
+ * implementations.
+ */
+
+#ifndef ATL_UTIL_RNG_HH
+#define ATL_UTIL_RNG_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace atl
+{
+
+/**
+ * A self-contained xoshiro256** generator with helper distributions.
+ *
+ * The distribution helpers (uniform integer range, uniform double,
+ * exponential, zipf) are implemented locally so results are identical on
+ * every platform.
+ */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of a single 64-bit value. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit output. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound), bound > 0. Unbiased (rejection). */
+    uint64_t below(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive, lo <= hi. */
+    int64_t range(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli trial with success probability p. */
+    bool chance(double p);
+
+    /** Exponentially distributed double with the given mean. */
+    double exponential(double mean);
+
+    /**
+     * Zipf-like rank selection over [0, n): rank r is chosen with
+     * probability proportional to 1 / (r + 1)^s. Used by workloads that
+     * need skewed reuse patterns.
+     */
+    uint64_t zipf(uint64_t n, double s);
+
+    /** Fork a child generator with an independent stream. */
+    Rng split();
+
+    /** Fisher-Yates shuffle of a random-access container. */
+    template <typename Container>
+    void
+    shuffle(Container &c)
+    {
+        for (size_t i = c.size(); i > 1; --i) {
+            size_t j = below(i);
+            std::swap(c[i - 1], c[j]);
+        }
+    }
+
+  private:
+    std::array<uint64_t, 4> _state;
+};
+
+} // namespace atl
+
+#endif // ATL_UTIL_RNG_HH

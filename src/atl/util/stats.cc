@@ -1,0 +1,148 @@
+#include "atl/util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "atl/util/logging.hh"
+
+namespace atl
+{
+
+void
+Summary::add(double x)
+{
+    ++_count;
+    double delta = x - _mean;
+    _mean += delta / static_cast<double>(_count);
+    _m2 += delta * (x - _mean);
+    _min = std::min(_min, x);
+    _max = std::max(_max, x);
+}
+
+void
+Summary::merge(const Summary &other)
+{
+    if (other._count == 0)
+        return;
+    if (_count == 0) {
+        *this = other;
+        return;
+    }
+    double delta = other._mean - _mean;
+    uint64_t total = _count + other._count;
+    double nb = static_cast<double>(other._count);
+    double na = static_cast<double>(_count);
+    _mean += delta * nb / static_cast<double>(total);
+    _m2 += other._m2 + delta * delta * na * nb / static_cast<double>(total);
+    _count = total;
+    _min = std::min(_min, other._min);
+    _max = std::max(_max, other._max);
+}
+
+double
+Summary::variance() const
+{
+    if (_count < 2)
+        return 0.0;
+    return _m2 / static_cast<double>(_count - 1);
+}
+
+double
+Summary::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : _lo(lo), _width((hi - lo) / static_cast<double>(bins)), _counts(bins, 0)
+{
+    atl_assert(bins > 0, "histogram needs at least one bin");
+    atl_assert(hi > lo, "histogram range must be nonempty");
+}
+
+void
+Histogram::add(double x)
+{
+    ++_total;
+    if (x < _lo) {
+        ++_underflow;
+        return;
+    }
+    size_t i = static_cast<size_t>((x - _lo) / _width);
+    if (i >= _counts.size()) {
+        ++_overflow;
+        return;
+    }
+    ++_counts[i];
+}
+
+uint64_t
+Histogram::binCount(size_t i) const
+{
+    atl_assert(i < _counts.size(), "histogram bin out of range");
+    return _counts[i];
+}
+
+double
+Histogram::binLeft(size_t i) const
+{
+    return _lo + _width * static_cast<double>(i);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    atl_assert(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+    if (_total == 0)
+        return _lo;
+    uint64_t target = static_cast<uint64_t>(
+        q * static_cast<double>(_total - 1));
+    uint64_t seen = _underflow;
+    if (target < seen)
+        return _lo;
+    for (size_t i = 0; i < _counts.size(); ++i) {
+        seen += _counts[i];
+        if (target < seen)
+            return binLeft(i) + _width * 0.5;
+    }
+    return _lo + _width * static_cast<double>(_counts.size());
+}
+
+void
+Series::add(double x, double y)
+{
+    _points.emplace_back(x, y);
+    if (_maxPoints > 0 && _points.size() > _maxPoints) {
+        // Halve resolution: keep every other point, always keeping the
+        // most recent one.
+        std::vector<std::pair<double, double>> kept;
+        kept.reserve(_points.size() / 2 + 1);
+        for (size_t i = 0; i < _points.size(); i += 2)
+            kept.push_back(_points[i]);
+        if (kept.back() != _points.back())
+            kept.push_back(_points.back());
+        _points.swap(kept);
+    }
+}
+
+double
+Series::meanAbsRelError(const Series &observed, const Series &predicted,
+                        double floor)
+{
+    size_t n = std::min(observed.size(), predicted.size());
+    if (n == 0)
+        return 0.0;
+    double total = 0.0;
+    size_t used = 0;
+    for (size_t i = 0; i < n; ++i) {
+        double ref = observed._points[i].second;
+        if (std::fabs(ref) < floor)
+            continue;
+        total += std::fabs(predicted._points[i].second - ref) /
+                 std::fabs(ref);
+        ++used;
+    }
+    return used ? total / static_cast<double>(used) : 0.0;
+}
+
+} // namespace atl

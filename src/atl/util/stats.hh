@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Lightweight statistics helpers used by the simulator and benches:
+ * streaming summary statistics, fixed-bin histograms, and time series
+ * with uniform downsampling for figure output.
+ */
+
+#ifndef ATL_UTIL_STATS_HH
+#define ATL_UTIL_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace atl
+{
+
+/**
+ * Streaming mean/variance/min/max accumulator (Welford's algorithm).
+ * Constant memory regardless of sample count.
+ */
+class Summary
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one (parallel Welford). */
+    void merge(const Summary &other);
+
+    /** Number of samples added. */
+    uint64_t count() const { return _count; }
+
+    /** Sample mean; 0 when empty. */
+    double mean() const { return _mean; }
+
+    /** Unbiased sample variance; 0 with fewer than 2 samples. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample; +inf when empty. */
+    double min() const { return _min; }
+
+    /** Largest sample; -inf when empty. */
+    double max() const { return _max; }
+
+    /** Sum of all samples. */
+    double sum() const { return _mean * static_cast<double>(_count); }
+
+  private:
+    uint64_t _count = 0;
+    double _mean = 0.0;
+    double _m2 = 0.0;
+    double _min = 1.0 / 0.0;
+    double _max = -1.0 / 0.0;
+};
+
+/**
+ * Fixed-width-bin histogram over [lo, hi); out-of-range samples land in
+ * saturating underflow/overflow bins.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo inclusive lower bound of the binned range
+     * @param hi exclusive upper bound of the binned range
+     * @param bins number of equal-width bins, > 0
+     */
+    Histogram(double lo, double hi, size_t bins);
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** Count in bin i. */
+    uint64_t binCount(size_t i) const;
+
+    /** Left edge of bin i. */
+    double binLeft(size_t i) const;
+
+    /** Samples below lo. */
+    uint64_t underflow() const { return _underflow; }
+
+    /** Samples at or above hi. */
+    uint64_t overflow() const { return _overflow; }
+
+    /** Total samples including under/overflow. */
+    uint64_t total() const { return _total; }
+
+    /** Number of bins. */
+    size_t bins() const { return _counts.size(); }
+
+    /**
+     * Approximate quantile from the binned data (bin-midpoint rule).
+     * @param q quantile in [0, 1]
+     */
+    double quantile(double q) const;
+
+  private:
+    double _lo;
+    double _width;
+    std::vector<uint64_t> _counts;
+    uint64_t _underflow = 0;
+    uint64_t _overflow = 0;
+    uint64_t _total = 0;
+};
+
+/**
+ * An (x, y) series with an optional cap on retained points. When the cap
+ * is exceeded the series halves its resolution by dropping every other
+ * point, which keeps figure output bounded for long runs while preserving
+ * overall shape.
+ */
+class Series
+{
+  public:
+    /** @param max_points retention cap; 0 means unlimited */
+    explicit Series(size_t max_points = 0) : _maxPoints(max_points) {}
+
+    /** Append a point; x values should be nondecreasing. */
+    void add(double x, double y);
+
+    /** Retained points, in x order. */
+    const std::vector<std::pair<double, double>> &points() const
+    {
+        return _points;
+    }
+
+    /** Number of retained points. */
+    size_t size() const { return _points.size(); }
+
+    /** Mean absolute relative error against another series sampled at the
+     *  same x positions (compared pointwise up to the shorter length,
+     *  skipping points where the reference |y| < floor). */
+    static double meanAbsRelError(const Series &observed,
+                                  const Series &predicted,
+                                  double floor = 1.0);
+
+  private:
+    size_t _maxPoints;
+    std::vector<std::pair<double, double>> _points;
+};
+
+} // namespace atl
+
+#endif // ATL_UTIL_STATS_HH

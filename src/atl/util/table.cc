@@ -1,0 +1,100 @@
+#include "atl/util/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "atl/util/logging.hh"
+
+namespace atl
+{
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    _header = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    _rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::pct(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v * 100.0);
+    return buf;
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    // Compute column widths across header and all rows.
+    std::vector<size_t> widths;
+    auto widen = [&](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    widen(_header);
+    for (const auto &r : _rows)
+        widen(r);
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        os << "|";
+        for (size_t i = 0; i < widths.size(); ++i) {
+            std::string cell = i < cells.size() ? cells[i] : "";
+            os << " " << cell
+               << std::string(widths[i] - cell.size(), ' ') << " |";
+        }
+        os << "\n";
+    };
+
+    os << "== " << _title << " ==\n";
+    if (!_header.empty()) {
+        emit(_header);
+        os << "|";
+        for (size_t w : widths)
+            os << std::string(w + 2, '-') << "|";
+        os << "\n";
+    }
+    for (const auto &r : _rows)
+        emit(r);
+    os << "\n";
+}
+
+FigureWriter::FigureWriter(std::ostream &os, std::string figure_id,
+                           std::string x_label, std::string y_label)
+    : _os(os), _figureId(std::move(figure_id))
+{
+    _os << "# figure " << _figureId << ": x=" << x_label
+        << " y=" << y_label << "\n";
+}
+
+void
+FigureWriter::series(const std::string &name,
+                     const std::vector<std::pair<double, double>> &pts,
+                     size_t stride)
+{
+    atl_assert(stride > 0, "stride must be positive");
+    _os << "# series " << _figureId << " \"" << name << "\"\n";
+    for (size_t i = 0; i < pts.size(); i += stride)
+        _os << pts[i].first << "," << pts[i].second << "\n";
+    if (!pts.empty() && (pts.size() - 1) % stride != 0) {
+        _os << pts.back().first << "," << pts.back().second << "\n";
+    }
+}
+
+} // namespace atl

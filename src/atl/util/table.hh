@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Plain-text table and CSV emitters used by the benchmark harness to
+ * print paper-style tables and figure series.
+ */
+
+#ifndef ATL_UTIL_TABLE_HH
+#define ATL_UTIL_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace atl
+{
+
+/**
+ * A simple column-aligned text table. Rows are collected as strings and
+ * printed with padded columns, suitable for terminal output that mirrors
+ * the paper's tables.
+ */
+class TextTable
+{
+  public:
+    /** @param title caption printed above the table */
+    explicit TextTable(std::string title) : _title(std::move(title)) {}
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Convenience: format a percentage (v=0.57 -> "57%"). */
+    static std::string pct(double v, int precision = 0);
+
+    /** Render the table to a stream. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::string _title;
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+/**
+ * Figure series emitter: prints one labelled (x, y) series per call in a
+ * compact "# figure <id>" CSV block that downstream plotting can consume
+ * and a human can eyeball.
+ */
+class FigureWriter
+{
+  public:
+    /**
+     * @param os destination stream
+     * @param figure_id paper figure identifier (e.g. "4a")
+     * @param x_label x axis label
+     * @param y_label y axis label
+     */
+    FigureWriter(std::ostream &os, std::string figure_id,
+                 std::string x_label, std::string y_label);
+
+    /**
+     * Emit one series.
+     * @param name series label (e.g. "observed S0=2000")
+     * @param pts (x, y) points
+     * @param stride only every stride-th point is printed
+     */
+    void series(const std::string &name,
+                const std::vector<std::pair<double, double>> &pts,
+                size_t stride = 1);
+
+  private:
+    std::ostream &_os;
+    std::string _figureId;
+};
+
+} // namespace atl
+
+#endif // ATL_UTIL_TABLE_HH

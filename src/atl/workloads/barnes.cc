@@ -1,0 +1,156 @@
+#include "atl/workloads/barnes.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "atl/runtime/sync.hh"
+#include "atl/util/logging.hh"
+#include "atl/util/rng.hh"
+
+namespace atl
+{
+
+namespace
+{
+
+/** Modelled bytes per body (position, velocity, mass, force). */
+constexpr uint64_t bodyBytes = 32;
+
+/** Modelled bytes per octree node (centre of mass, bounds, children). */
+constexpr uint64_t nodeBytes = 64;
+
+/** Interleave the low 10 bits of three coordinates (Morton code). */
+uint32_t
+morton3(uint32_t x, uint32_t y, uint32_t z)
+{
+    auto spread = [](uint32_t v) {
+        uint32_t r = 0;
+        for (unsigned bit = 0; bit < 10; ++bit)
+            r |= ((v >> bit) & 1u) << (3 * bit);
+        return r;
+    };
+    return spread(x) | (spread(y) << 1) | (spread(z) << 2);
+}
+
+} // namespace
+
+std::string
+BarnesWorkload::description() const
+{
+    return "simulates interaction of bodies in 3D using the hierarchical "
+           "octree method (Barnes-Hut); force walks read the node path "
+           "from the root for every body";
+}
+
+std::string
+BarnesWorkload::parameters() const
+{
+    std::ostringstream os;
+    os << _params.bodies << " bodies, octree depth " << _params.treeDepth
+       << ", " << _params.passes << " passes";
+    return os.str();
+}
+
+void
+BarnesWorkload::setup(WorkloadEnv &env)
+{
+    Machine &m = env.machine;
+
+    // Complete octree: sum of 8^l nodes for l = 0..depth.
+    uint64_t nodes = 0;
+    uint64_t level_size = 1;
+    for (unsigned l = 0; l <= _params.treeDepth; ++l) {
+        nodes += level_size;
+        level_size *= 8;
+    }
+
+    VAddr bodies_va = m.alloc(_params.bodies * bodyBytes, 64);
+    VAddr nodes_va = m.alloc(nodes * nodeBytes, 64);
+
+    // Host positions on a 1024^3 lattice; bodies are visited in Morton
+    // order, giving the spatially clustered reference stream of a real
+    // Barnes-Hut force pass.
+    struct Body
+    {
+        uint32_t x, y, z;
+        uint32_t morton;
+        uint64_t index;
+    };
+    auto order = std::make_shared<std::vector<Body>>(_params.bodies);
+    Rng rng(_params.seed);
+    for (uint64_t i = 0; i < _params.bodies; ++i) {
+        Body &b = (*order)[i];
+        b.x = static_cast<uint32_t>(rng.below(1024));
+        b.y = static_cast<uint32_t>(rng.below(1024));
+        b.z = static_cast<uint32_t>(rng.below(1024));
+        b.morton = morton3(b.x, b.y, b.z);
+        b.index = i;
+    }
+    std::sort(order->begin(), order->end(),
+              [](const Body &a, const Body &b) {
+                  return a.morton < b.morton;
+              });
+
+    auto sync = std::make_shared<Semaphore>(m, 0);
+
+    // Init thread: builds the tree and body arrays (modelled writes),
+    // then releases the work thread — the paper's initialization stage.
+    m.spawn(
+        [&m, bodies_va, nodes_va, nodes, sync, this] {
+            m.write(bodies_va, _params.bodies * bodyBytes);
+            m.write(nodes_va, nodes * nodeBytes);
+            sync->post();
+        },
+        "barnes-init");
+
+    unsigned depth = _params.treeDepth;
+    unsigned passes = _params.passes;
+    _workTid = m.spawn(
+        [this, &m, bodies_va, nodes_va, order, sync, depth, passes] {
+            sync->wait();
+            callWorkStart();
+            for (unsigned pass = 0; pass < passes; ++pass) {
+                for (const auto &b : *order) {
+                    // Walk root -> leaf, reading each visited node. The
+                    // child is selected by the body's octant at each
+                    // level, so nearby bodies share node paths.
+                    uint64_t node = 0;      // root index within level
+                    uint64_t level_base = 0; // first index of the level
+                    uint64_t level_size = 1;
+                    unsigned shift = 9;
+                    for (unsigned l = 0; l <= depth; ++l) {
+                        m.read(nodes_va +
+                                   (level_base + node) * nodeBytes,
+                               nodeBytes);
+                        if (l == depth)
+                            break;
+                        unsigned octant = ((b.x >> shift) & 1u) |
+                                          (((b.y >> shift) & 1u) << 1) |
+                                          (((b.z >> shift) & 1u) << 2);
+                        level_base += level_size;
+                        level_size *= 8;
+                        node = node * 8 + octant;
+                        --shift;
+                    }
+                    // Update the body with the accumulated force.
+                    m.read(bodies_va + b.index * bodyBytes, bodyBytes);
+                    m.execute(_params.workPerBody);
+                    m.write(bodies_va + b.index * bodyBytes, bodyBytes);
+                    ++_bodiesProcessed;
+                }
+            }
+        },
+        "barnes-work");
+
+    env.registerState(_workTid, bodies_va, _params.bodies * bodyBytes);
+    env.registerState(_workTid, nodes_va, nodes * nodeBytes);
+}
+
+bool
+BarnesWorkload::verify() const
+{
+    return _bodiesProcessed ==
+           static_cast<uint64_t>(_params.bodies) * _params.passes;
+}
+
+} // namespace atl

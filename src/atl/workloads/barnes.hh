@@ -1,0 +1,56 @@
+/**
+ * @file
+ * A Barnes-Hut style hierarchical N-body kernel: the synthetic analogue
+ * of SPLASH-2 `barnes` used for the model-accuracy study (paper Figures
+ * 5 and 6). The work thread walks an octree from the root for every
+ * body, reading the node path and updating the body — a reference
+ * stream with substantial clustering (tree tops are hot, bodies are
+ * visited in Morton order), which is exactly why the paper observes the
+ * model slightly over-predicting footprints for C applications
+ * ("barnes was specifically optimized for locality ... and the
+ * predicted footprints for barnes are somewhat higher than observed").
+ */
+
+#ifndef ATL_WORKLOADS_BARNES_HH
+#define ATL_WORKLOADS_BARNES_HH
+
+#include "atl/workloads/workload.hh"
+
+namespace atl
+{
+
+/** Octree force-walk kernel. */
+class BarnesWorkload : public MonitoredWorkload
+{
+  public:
+    struct Params
+    {
+        /** Number of bodies (32 modelled bytes each). */
+        uint64_t bodies = 16384;
+        /** Octree depth (levels below the root). */
+        unsigned treeDepth = 4;
+        /** Force-computation passes over all bodies. */
+        unsigned passes = 2;
+        /** Host instructions of force arithmetic per body per pass. */
+        uint64_t workPerBody = 60;
+        /** RNG seed for body positions. */
+        uint64_t seed = 31;
+    };
+
+    explicit BarnesWorkload(Params params) : _params(params) {}
+
+    std::string name() const override { return "barnes"; }
+    std::string description() const override;
+    std::string parameters() const override;
+    void setup(WorkloadEnv &env) override;
+    bool verify() const override;
+    bool usesAnnotations() const override { return false; }
+
+  private:
+    Params _params;
+    uint64_t _bodiesProcessed = 0;
+};
+
+} // namespace atl
+
+#endif // ATL_WORKLOADS_BARNES_HH

@@ -1,0 +1,140 @@
+#include "atl/workloads/mergesort.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "atl/util/logging.hh"
+#include "atl/util/rng.hh"
+
+namespace atl
+{
+
+std::string
+MergesortWorkload::description() const
+{
+    return "parallel mergesort: sublists sorted by child threads, merged "
+           "by the parent; child state fully contained in the parent's";
+}
+
+std::string
+MergesortWorkload::parameters() const
+{
+    std::ostringstream os;
+    os << _params.elements
+       << " uniformly distributed elements; switches to insertion sort "
+          "for tasks of size "
+       << _params.cutoff << " or smaller";
+    return os.str();
+}
+
+void
+MergesortWorkload::setup(WorkloadEnv &env)
+{
+    _machine = &env.machine;
+    _tracer = env.tracer;
+
+    _data = std::make_unique<ModelledArray<int32_t>>(*_machine,
+                                                     _params.elements);
+    _scratch = std::make_unique<ModelledArray<int32_t>>(*_machine,
+                                                        _params.elements);
+
+    Rng rng(_params.seed);
+    for (size_t i = 0; i < _params.elements; ++i) {
+        int32_t v = static_cast<int32_t>(rng.below(1u << 30));
+        _data->host()[i] = v;
+        _checksum += static_cast<uint32_t>(v);
+    }
+
+    size_t n = _params.elements;
+    _rootTid = _machine->spawn([this, n] { sortRange(0, n); }, "sort-root");
+    ++_threadsCreated;
+    if (_tracer) {
+        _tracer->registerState(_rootTid, _data->addr(0), n * 4);
+        _tracer->registerState(_rootTid, _scratch->addr(0), n * 4);
+    }
+}
+
+void
+MergesortWorkload::sortRange(size_t lo, size_t hi)
+{
+    if (hi - lo <= _params.cutoff) {
+        insertionSort(lo, hi);
+        return;
+    }
+
+    Machine &m = *_machine;
+    size_t mid = lo + (hi - lo) / 2;
+    ThreadId tid_l = m.spawn([this, lo, mid] { sortRange(lo, mid); });
+    ThreadId tid_r = m.spawn([this, mid, hi] { sortRange(mid, hi); });
+    _threadsCreated += 2;
+
+    if (_tracer) {
+        _tracer->registerState(tid_l, _data->addr(lo), (mid - lo) * 4);
+        _tracer->registerState(tid_l, _scratch->addr(lo), (mid - lo) * 4);
+        _tracer->registerState(tid_r, _data->addr(mid), (hi - mid) * 4);
+        _tracer->registerState(tid_r, _scratch->addr(mid), (hi - mid) * 4);
+    }
+    if (_params.annotate) {
+        // The paper's mergesort annotations, verbatim: the state of each
+        // child is fully contained in the parent's state.
+        m.share(tid_l, m.self(), 1.0);
+        m.share(tid_r, m.self(), 1.0);
+    }
+
+    m.join(tid_l);
+    m.join(tid_r);
+    if (m.self() == _rootTid && _rootMergeHook)
+        _rootMergeHook();
+    merge(lo, mid, hi);
+}
+
+void
+MergesortWorkload::insertionSort(size_t lo, size_t hi)
+{
+    ModelledArray<int32_t> &d = *_data;
+    for (size_t i = lo + 1; i < hi; ++i) {
+        int32_t v = d.get(i);
+        size_t j = i;
+        while (j > lo && d.get(j - 1) > v) {
+            d.set(j, d.host()[j - 1]);
+            --j;
+        }
+        d.set(j, v);
+    }
+}
+
+void
+MergesortWorkload::merge(size_t lo, size_t mid, size_t hi)
+{
+    ModelledArray<int32_t> &d = *_data;
+    ModelledArray<int32_t> &s = *_scratch;
+
+    size_t i = lo, j = mid, out = lo;
+    while (i < mid && j < hi) {
+        if (d.get(i) <= d.get(j))
+            s.set(out++, d.host()[i++]);
+        else
+            s.set(out++, d.host()[j++]);
+    }
+    while (i < mid)
+        s.set(out++, d.get(i++));
+    while (j < hi)
+        s.set(out++, d.get(j++));
+    for (size_t k = lo; k < hi; ++k)
+        d.set(k, s.get(k));
+}
+
+bool
+MergesortWorkload::verify() const
+{
+    const auto &host = _data->host();
+    uint64_t checksum = 0;
+    for (size_t i = 0; i < host.size(); ++i) {
+        if (i > 0 && host[i - 1] > host[i])
+            return false;
+        checksum += static_cast<uint32_t>(host[i]);
+    }
+    return checksum == _checksum;
+}
+
+} // namespace atl

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Parallel mergesort (`merge`, paper Sections 2.3, 3.3 and 5): the input
+ * is split recursively into sublists sorted by child threads and merged
+ * by the parent; below the cutoff a thread switches to insertion sort.
+ * Each child's state (its subrange of the data and scratch arrays) is
+ * fully contained in its parent's, expressed with the paper's exact
+ * annotations:
+ *
+ *   at_share(tid_l, at_self(), 1.0);
+ *   at_share(tid_r, at_self(), 1.0);
+ *
+ * The parent prefetches nothing for the children, so the reverse arcs
+ * are omitted, and no transitivity is assumed — the annotations capture
+ * only first-order (parent/child) effects, as in the paper.
+ */
+
+#ifndef ATL_WORKLOADS_MERGESORT_HH
+#define ATL_WORKLOADS_MERGESORT_HH
+
+#include <cstdint>
+
+#include "atl/workloads/workload.hh"
+
+namespace atl
+{
+
+/** Recursive fork/join mergesort over a modelled array. */
+class MergesortWorkload : public Workload
+{
+  public:
+    struct Params
+    {
+        /** Elements to sort (paper: 100,000). */
+        size_t elements = 100000;
+        /** Switch to insertion sort at or below this size (paper: 100). */
+        size_t cutoff = 100;
+        /** RNG seed for the input permutation. */
+        uint64_t seed = 7;
+        /** Emit at_share annotations (ablation switch). */
+        bool annotate = true;
+    };
+
+    explicit MergesortWorkload(Params params) : _params(params) {}
+
+    std::string name() const override { return "merge"; }
+    std::string description() const override;
+    std::string parameters() const override;
+    void setup(WorkloadEnv &env) override;
+    bool verify() const override;
+    bool usesAnnotations() const override { return _params.annotate; }
+
+    /** Threads created (valid after the run). */
+    uint64_t threadsCreated() const { return _threadsCreated; }
+
+    /** Root sorting thread (for footprint monitoring). */
+    ThreadId rootTid() const { return _rootTid; }
+
+    /**
+     * Hook invoked by the root thread right before its final merge —
+     * the root's own large uninterrupted work phase, the natural
+     * monitoring point for a Figure 5 style footprint study.
+     */
+    void
+    onRootMerge(std::function<void()> hook)
+    {
+        _rootMergeHook = std::move(hook);
+    }
+
+  private:
+    /** Body of one sorting thread over [lo, hi). */
+    void sortRange(size_t lo, size_t hi);
+
+    /** Modelled insertion sort of [lo, hi). */
+    void insertionSort(size_t lo, size_t hi);
+
+    /** Modelled merge of [lo, mid) and [mid, hi) via the scratch
+     *  array. */
+    void merge(size_t lo, size_t mid, size_t hi);
+
+    Params _params;
+    Machine *_machine = nullptr;
+    Tracer *_tracer = nullptr;
+    std::unique_ptr<ModelledArray<int32_t>> _data;
+    std::unique_ptr<ModelledArray<int32_t>> _scratch;
+    uint64_t _checksum = 0;
+    uint64_t _threadsCreated = 0;
+    ThreadId _rootTid = InvalidThreadId;
+    std::function<void()> _rootMergeHook;
+};
+
+} // namespace atl
+
+#endif // ATL_WORKLOADS_MERGESORT_HH

@@ -1,0 +1,101 @@
+#include "atl/workloads/ocean.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "atl/runtime/sync.hh"
+#include "atl/util/logging.hh"
+#include "atl/util/rng.hh"
+
+namespace atl
+{
+
+std::string
+OceanWorkload::description() const
+{
+    return "studies large-scale ocean movements: red-black Gauss-Seidel "
+           "relaxation over a 2-D grid with a 5-point stencil";
+}
+
+std::string
+OceanWorkload::parameters() const
+{
+    std::ostringstream os;
+    os << _params.edge << "x" << _params.edge << " grid, "
+       << _params.iterations << " iterations";
+    return os.str();
+}
+
+void
+OceanWorkload::setup(WorkloadEnv &env)
+{
+    Machine &m = env.machine;
+    unsigned edge = _params.edge;
+    atl_assert(edge >= 4, "grid too small");
+
+    uint64_t grid_bytes = static_cast<uint64_t>(edge) * edge * 8;
+    VAddr grid_va = m.alloc(grid_bytes, 64);
+
+    auto field = std::make_shared<std::vector<double>>(
+        static_cast<size_t>(edge) * edge);
+    Rng rng(_params.seed);
+    for (auto &v : *field)
+        v = rng.uniform();
+
+    auto sync = std::make_shared<Semaphore>(m, 0);
+
+    m.spawn(
+        [&m, grid_va, grid_bytes, sync] {
+            m.write(grid_va, grid_bytes);
+            sync->post();
+        },
+        "ocean-init");
+
+    unsigned iters = _params.iterations;
+    _workTid = m.spawn(
+        [this, &m, grid_va, field, sync, edge, iters] {
+            sync->wait();
+            callWorkStart();
+            auto at = [edge](unsigned r, unsigned c) {
+                return static_cast<size_t>(r) * edge + c;
+            };
+            for (unsigned it = 0; it < iters; ++it) {
+                for (unsigned colour = 0; colour < 2; ++colour) {
+                    for (unsigned r = 1; r + 1 < edge; ++r) {
+                        for (unsigned c = 1 + ((r + colour) & 1u);
+                             c + 1 < edge; c += 2) {
+                            // Modelled stencil: north, south, and the
+                            // contiguous west-centre-east triple.
+                            m.read(grid_va + at(r - 1, c) * 8, 8);
+                            m.read(grid_va + at(r + 1, c) * 8, 8);
+                            m.read(grid_va + at(r, c - 1) * 8, 24);
+                            double v = 0.25 * ((*field)[at(r - 1, c)] +
+                                               (*field)[at(r + 1, c)] +
+                                               (*field)[at(r, c - 1)] +
+                                               (*field)[at(r, c + 1)]);
+                            _residual +=
+                                std::fabs(v - (*field)[at(r, c)]);
+                            (*field)[at(r, c)] = v;
+                            m.write(grid_va + at(r, c) * 8, 8);
+                            ++_pointsRelaxed;
+                        }
+                    }
+                }
+            }
+        },
+        "ocean-work");
+
+    env.registerState(_workTid, grid_va, grid_bytes);
+}
+
+bool
+OceanWorkload::verify() const
+{
+    uint64_t interior = static_cast<uint64_t>(_params.edge - 2) *
+                        (_params.edge - 2);
+    // Red+black together touch every interior point once per iteration.
+    return _pointsRelaxed == interior * _params.iterations &&
+           std::isfinite(_residual);
+}
+
+} // namespace atl

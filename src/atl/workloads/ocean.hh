@@ -1,0 +1,49 @@
+/**
+ * @file
+ * An ocean-current style grid relaxation kernel: the synthetic analogue
+ * of SPLASH-2 `ocean` for the model-accuracy study (paper Figures 5 and
+ * 6). The work thread performs red-black Gauss-Seidel sweeps over a 2-D
+ * grid of doubles — long sequential run lengths, the classic
+ * high-clustering reference stream of C scientific codes.
+ */
+
+#ifndef ATL_WORKLOADS_OCEAN_HH
+#define ATL_WORKLOADS_OCEAN_HH
+
+#include "atl/workloads/workload.hh"
+
+namespace atl
+{
+
+/** Red-black 5-point stencil relaxation. */
+class OceanWorkload : public MonitoredWorkload
+{
+  public:
+    struct Params
+    {
+        /** Grid edge in points (grid is edge x edge doubles). */
+        unsigned edge = 514;
+        /** Full red+black relaxation iterations. */
+        unsigned iterations = 2;
+        /** RNG seed for the initial field. */
+        uint64_t seed = 37;
+    };
+
+    explicit OceanWorkload(Params params) : _params(params) {}
+
+    std::string name() const override { return "ocean"; }
+    std::string description() const override;
+    std::string parameters() const override;
+    void setup(WorkloadEnv &env) override;
+    bool verify() const override;
+    bool usesAnnotations() const override { return false; }
+
+  private:
+    Params _params;
+    uint64_t _pointsRelaxed = 0;
+    double _residual = 0.0;
+};
+
+} // namespace atl
+
+#endif // ATL_WORKLOADS_OCEAN_HH

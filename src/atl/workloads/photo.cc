@@ -1,0 +1,212 @@
+#include "atl/workloads/photo.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "atl/util/logging.hh"
+#include "atl/util/rng.hh"
+
+namespace atl
+{
+
+namespace
+{
+
+/** Bytes per RGB pixel. */
+constexpr unsigned pixelBytes = 3;
+
+} // namespace
+
+std::string
+PhotoWorkload::description() const
+{
+    return "applies a 3x3 softening filter to an rgb pixmap; a separate "
+           "thread retouches each row of pixels and reuses state "
+           "prefetched by neighbouring rows";
+}
+
+std::string
+PhotoWorkload::parameters() const
+{
+    std::ostringstream os;
+    os << "applies a softening filter to an rgb pixmap of size "
+       << _params.width << "x" << _params.height << "; creates "
+       << _params.height << " threads";
+    return os.str();
+}
+
+VAddr
+PhotoWorkload::inAddr(unsigned row, unsigned col) const
+{
+    return _inVa + (static_cast<uint64_t>(row) * _params.width + col) *
+                       pixelBytes;
+}
+
+VAddr
+PhotoWorkload::outAddr(unsigned row, unsigned col) const
+{
+    return _outVa + (static_cast<uint64_t>(row) * _params.width + col) *
+                        pixelBytes;
+}
+
+uint8_t
+PhotoWorkload::pixel(unsigned row, unsigned col, unsigned channel) const
+{
+    row = std::min(row, _params.height - 1);
+    col = std::min(col, _params.width - 1);
+    return _in[(static_cast<uint64_t>(row) * _params.width + col) *
+                   pixelBytes +
+               channel];
+}
+
+void
+PhotoWorkload::setup(WorkloadEnv &env)
+{
+    _machine = &env.machine;
+    Machine &m = *_machine;
+
+    uint64_t image_bytes = static_cast<uint64_t>(_params.width) *
+                           _params.height * pixelBytes;
+    _inVa = m.alloc(image_bytes, 64);
+    _outVa = m.alloc(image_bytes, 64);
+    _in.resize(image_bytes);
+    _out.assign(image_bytes, 0);
+
+    Rng rng(_params.seed);
+    for (auto &byte : _in)
+        byte = static_cast<uint8_t>(rng.below(256));
+
+    uint64_t row_bytes =
+        static_cast<uint64_t>(_params.width) * pixelBytes;
+
+    _rowTids.assign(_params.height, InvalidThreadId);
+    Tracer *tracer = env.tracer;
+
+    // The main thread creates a thread per row (as the paper's photo
+    // does); row threads are placed on the creator's processor and fan
+    // out across the machine through work stealing, after which the
+    // annotations keep each processor on a contiguous band of rows.
+    m.spawn(
+        [this, &m, tracer, row_bytes] {
+            for (unsigned r = 0; r < _params.height; ++r) {
+                ThreadId tid =
+                    m.spawn([this, r] { filterRow(r); },
+                            "photo-row-" + std::to_string(r));
+                _rowTids[r] = tid;
+
+                // State of a row thread: input rows r-1..r+1 plus its
+                // output row.
+                unsigned first = r > 0 ? r - 1 : 0;
+                unsigned last = std::min(r + 1, _params.height - 1);
+                if (tracer) {
+                    tracer->registerState(tid, inAddr(first, 0),
+                                          (last - first + 1) *
+                                              row_bytes);
+                    tracer->registerState(tid, outAddr(r, 0), row_bytes);
+                }
+
+                // "During the course of computation, a thread accesses
+                // the states of several 'neighbor' rows. The
+                // annotations indicate that the closer the
+                // corresponding row numbers, the more prefetched state
+                // is reused." A thread's state is 4 row-sized units (3
+                // input + 1 output): distance 1 shares 2 input rows
+                // (q = 0.5), distance 2 shares 1 (q = 0.25); beyond
+                // that the user extends the decaying-hint window so a
+                // processor stays in its band even while the nearest
+                // neighbours are already running elsewhere. Emitted as
+                // each thread is created: earlier rows may already be
+                // executing.
+                if (_params.annotate) {
+                    for (unsigned d = 1;
+                         d <= annotationWindow && d <= r; ++d) {
+                        double q = 0.5 / static_cast<double>(d);
+                        m.share(_rowTids[r], _rowTids[r - d], q);
+                        m.share(_rowTids[r - d], _rowTids[r], q);
+                    }
+                }
+            }
+        },
+        "photo-main");
+}
+
+void
+PhotoWorkload::filterRow(unsigned row)
+{
+    Machine &m = *_machine;
+    unsigned w = _params.width;
+
+    if (row == _monitorRow && _rowStartHook)
+        _rowStartHook();
+
+    for (unsigned x = 0; x < w; ++x) {
+        // Modelled reads: the 3-pixel neighbourhood in each of the three
+        // input rows (edge rows clamp to themselves).
+        unsigned x0 = x > 0 ? x - 1 : 0;
+        unsigned x1 = std::min(x + 1, w - 1);
+        uint64_t span = (x1 - x0 + 1) * pixelBytes;
+        unsigned r0 = row > 0 ? row - 1 : 0;
+        unsigned r1 = std::min(row + 1, _params.height - 1);
+        for (unsigned r = r0; r <= r1; ++r)
+            m.read(inAddr(r, x0), span);
+
+        // Host computation: per-channel 3x3 box average.
+        for (unsigned c = 0; c < pixelBytes; ++c) {
+            unsigned sum = 0;
+            for (int dy = -1; dy <= 1; ++dy) {
+                for (int dx = -1; dx <= 1; ++dx) {
+                    unsigned rr = static_cast<unsigned>(
+                        std::clamp<int>(static_cast<int>(row) + dy, 0,
+                                        static_cast<int>(
+                                            _params.height - 1)));
+                    unsigned cc = static_cast<unsigned>(
+                        std::clamp<int>(static_cast<int>(x) + dx, 0,
+                                        static_cast<int>(w - 1)));
+                    sum += pixel(rr, cc, c);
+                }
+            }
+            _out[(static_cast<uint64_t>(row) * w + x) * pixelBytes + c] =
+                static_cast<uint8_t>(sum / 9);
+        }
+        m.write(outAddr(row, x), pixelBytes);
+    }
+    ++_rowsDone;
+}
+
+bool
+PhotoWorkload::verify() const
+{
+    if (_rowsDone != _params.height)
+        return false;
+    // Recompute a deterministic sample of output pixels.
+    for (uint64_t s = 0; s < 2048; ++s) {
+        unsigned row = static_cast<unsigned>((s * 2654435761u) %
+                                             _params.height);
+        unsigned col = static_cast<unsigned>((s * 40503u) % _params.width);
+        for (unsigned c = 0; c < pixelBytes; ++c) {
+            unsigned sum = 0;
+            for (int dy = -1; dy <= 1; ++dy) {
+                for (int dx = -1; dx <= 1; ++dx) {
+                    unsigned rr = static_cast<unsigned>(
+                        std::clamp<int>(static_cast<int>(row) + dy, 0,
+                                        static_cast<int>(
+                                            _params.height - 1)));
+                    unsigned cc = static_cast<unsigned>(
+                        std::clamp<int>(static_cast<int>(col) + dx, 0,
+                                        static_cast<int>(
+                                            _params.width - 1)));
+                    sum += pixel(rr, cc, c);
+                }
+            }
+            uint8_t expect = static_cast<uint8_t>(sum / 9);
+            if (_out[(static_cast<uint64_t>(row) * _params.width + col) *
+                         pixelBytes +
+                     c] != expect) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace atl

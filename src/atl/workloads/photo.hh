@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The `photo` image retouching benchmark (paper Table 2/4, Section 5):
+ * a "softening" (3x3 box) filter over an RGB pixmap, one thread per
+ * output row. A row thread reads its row and both neighbouring rows, so
+ * threads of nearby rows share prefetched state; the annotations say
+ * "the closer the corresponding row numbers, the more prefetched state
+ * is reused", emitted here as sharing arcs of decaying coefficient for
+ * row distances 1 and 2.
+ */
+
+#ifndef ATL_WORKLOADS_PHOTO_HH
+#define ATL_WORKLOADS_PHOTO_HH
+
+#include "atl/workloads/workload.hh"
+
+namespace atl
+{
+
+/** Row-parallel 3x3 softening filter. */
+class PhotoWorkload : public Workload
+{
+  public:
+    /** Row distance covered by the decaying sharing hints. */
+    static constexpr unsigned annotationWindow = 8;
+
+    struct Params
+    {
+        /** Image width in pixels (paper: 2048). */
+        unsigned width = 2048;
+        /** Image height in pixels; one thread per row (paper: 2048). */
+        unsigned height = 2048;
+        /** RNG seed for the input image. */
+        uint64_t seed = 11;
+        /** Emit at_share annotations (ablation switch). */
+        bool annotate = true;
+    };
+
+    explicit PhotoWorkload(Params params) : _params(params) {}
+
+    std::string name() const override { return "photo"; }
+    std::string description() const override;
+    std::string parameters() const override;
+    void setup(WorkloadEnv &env) override;
+    bool verify() const override;
+    bool usesAnnotations() const override { return _params.annotate; }
+
+    /** A row-worker thread id (for footprint monitoring). */
+    ThreadId rowTid(unsigned row) const { return _rowTids.at(row); }
+
+    /**
+     * Hook invoked by one designated row thread as it starts filtering
+     * (footprint monitoring point: the thread's state may already be
+     * partially cached by its neighbours' prefetches).
+     */
+    void
+    onRowStart(unsigned row, std::function<void()> hook)
+    {
+        _monitorRow = row;
+        _rowStartHook = std::move(hook);
+    }
+
+  private:
+    /** Filter one row (thread body). */
+    void filterRow(unsigned row);
+
+    /** Host pixel fetch with edge clamping (no modelled traffic). */
+    uint8_t pixel(unsigned row, unsigned col, unsigned channel) const;
+
+    /** Modelled input address of (row, col). */
+    VAddr inAddr(unsigned row, unsigned col) const;
+
+    /** Modelled output address of (row, col). */
+    VAddr outAddr(unsigned row, unsigned col) const;
+
+    Params _params;
+    Machine *_machine = nullptr;
+    VAddr _inVa = 0;
+    VAddr _outVa = 0;
+    std::vector<uint8_t> _in;
+    std::vector<uint8_t> _out;
+    std::vector<ThreadId> _rowTids;
+    uint64_t _rowsDone = 0;
+    unsigned _monitorRow = ~0u;
+    std::function<void()> _rowStartHook;
+};
+
+} // namespace atl
+
+#endif // ATL_WORKLOADS_PHOTO_HH

@@ -1,0 +1,159 @@
+#include "atl/workloads/random_walk.hh"
+
+#include <memory>
+#include <sstream>
+
+#include "atl/runtime/sync.hh"
+#include "atl/util/logging.hh"
+#include "atl/util/rng.hh"
+
+namespace atl
+{
+
+namespace
+{
+
+/** Keeps the semaphores alive for the duration of the run. */
+struct WalkSync
+{
+    WalkSync(Machine &m) : warmed(m, 0), release(m, 0) {}
+    Semaphore warmed;
+    Semaphore release;
+};
+
+std::shared_ptr<WalkSync> syncFor(Machine &m)
+{
+    return std::make_shared<WalkSync>(m);
+}
+
+} // namespace
+
+RandomWalkWorkload::RandomWalkWorkload(Params params)
+    : _params(std::move(params))
+{
+    atl_assert(_params.walkerLines > 0, "walker needs a region");
+    atl_assert(_params.steps > 0, "walker needs steps");
+}
+
+std::string
+RandomWalkWorkload::description() const
+{
+    return "uniform random memory walk with warmed sleeper threads "
+           "(paper Fig. 4 microbenchmark)";
+}
+
+std::string
+RandomWalkWorkload::parameters() const
+{
+    std::ostringstream os;
+    os << "walker region " << _params.walkerLines << " lines, "
+       << _params.steps << " steps, " << _params.sleepers.size()
+       << " sleepers";
+    return os.str();
+}
+
+void
+RandomWalkWorkload::setup(WorkloadEnv &env)
+{
+    atl_assert(!_ranSetup, "setup may run only once");
+    _ranSetup = true;
+
+    Machine &m = env.machine;
+    uint64_t line = m.config().hierarchy.l2.lineBytes;
+    VAddr walker_region = m.alloc(_params.walkerLines * line, line);
+    auto sync = syncFor(m);
+    size_t n_sleepers = _params.sleepers.size();
+
+    // Spawn sleepers first so their ids are stable for the bench.
+    struct SleeperLayout
+    {
+        VAddr sharedBase = 0;
+        uint64_t sharedLines = 0;
+        VAddr privateBase = 0;
+        uint64_t privateLines = 0;
+    };
+    std::vector<SleeperLayout> layouts(n_sleepers);
+
+    // Dependent sleepers take *disjoint* slices of the walker's region
+    // so that each (walker, sleeper) coefficient is exactly the spec's
+    // fraction, independent of the other sleepers.
+    uint64_t slice_offset = 0;
+    for (size_t i = 0; i < n_sleepers; ++i) {
+        const SleeperSpec &spec = _params.sleepers[i];
+        SleeperLayout &lay = layouts[i];
+        lay.sharedLines = static_cast<uint64_t>(
+            spec.shareOfWalker * static_cast<double>(_params.walkerLines));
+        atl_assert(slice_offset + lay.sharedLines <= _params.walkerLines,
+                   "sleeper share fractions exceed the walker's region");
+        lay.sharedBase = walker_region + slice_offset * line;
+        slice_offset += lay.sharedLines;
+        lay.privateLines = spec.privateLines;
+        if (lay.privateLines)
+            lay.privateBase = m.alloc(lay.privateLines * line, line);
+
+        uint64_t total_lines = lay.sharedLines + lay.privateLines;
+        uint64_t warm = std::min(spec.warmLines, total_lines);
+
+        ThreadId tid = m.spawn(
+            [&m, sync, lay, warm, line] {
+                // Establish the initial footprint: touch a contiguous
+                // prefix of the sleeper's state (a strided touch would
+                // alias into few cache sets and self-evict).
+                uint64_t total = lay.sharedLines + lay.privateLines;
+                (void)total;
+                for (uint64_t j = 0; j < warm; ++j) {
+                    uint64_t pick = j;
+                    VAddr va = pick < lay.sharedLines
+                                   ? lay.sharedBase + pick * line
+                                   : lay.privateBase +
+                                         (pick - lay.sharedLines) * line;
+                    m.read(va, line);
+                }
+                sync->warmed.post();
+                sync->release.wait();
+            },
+            "sleeper-" + std::to_string(i));
+        _sleeperTids.push_back(tid);
+
+        if (lay.sharedLines)
+            env.registerState(tid, lay.sharedBase, lay.sharedLines * line);
+        if (lay.privateLines)
+            env.registerState(tid, lay.privateBase,
+                              lay.privateLines * line);
+
+        // The annotation the paper's user would write: fraction q of the
+        // walker's state is shared with this sleeper.
+        if (spec.shareOfWalker > 0.0)
+            _needShare.push_back({tid, spec.shareOfWalker});
+    }
+
+    _walkerTid = m.spawn(
+        [this, &m, sync, walker_region, line, n_sleepers] {
+            for (size_t i = 0; i < n_sleepers; ++i)
+                sync->warmed.wait();
+            if (_walkStartHook)
+                _walkStartHook();
+            Rng rng(_params.seed);
+            for (uint64_t s = 0; s < _params.steps; ++s) {
+                uint64_t pick = rng.below(_params.walkerLines);
+                m.read(walker_region + pick * line, line);
+                ++_stepsDone;
+            }
+            for (size_t i = 0; i < n_sleepers; ++i)
+                sync->release.post();
+        },
+        "walker");
+
+    env.registerState(_walkerTid, walker_region,
+                      _params.walkerLines * line);
+    for (const auto &[tid, q] : _needShare)
+        m.share(_walkerTid, tid, q);
+}
+
+bool
+RandomWalkWorkload::verify() const
+{
+    return _stepsDone == _params.steps;
+}
+
+} // namespace atl

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The random-memory-walk microbenchmark of paper Section 3.2 (Figure 4).
+ *
+ * A "main" walker thread performs a uniformly random walk over a region
+ * larger than the E-cache while a configurable set of sleeper threads
+ * hold established cache state: sleepers may be disjoint from the walker
+ * (independent case) or own a region that covers a fraction q of the
+ * walker's walk region (dependent case — fraction q of the walker's
+ * misses land in the sleeper's state). The bench tracks every thread's
+ * observed footprint against the model as the walk unfolds.
+ */
+
+#ifndef ATL_WORKLOADS_RANDOM_WALK_HH
+#define ATL_WORKLOADS_RANDOM_WALK_HH
+
+#include <functional>
+
+#include "atl/workloads/workload.hh"
+
+namespace atl
+{
+
+/**
+ * The walker-and-sleepers microbenchmark.
+ */
+class RandomWalkWorkload : public Workload
+{
+  public:
+    /** One sleeping thread holding cache state. */
+    struct SleeperSpec
+    {
+        /** Private state lines, disjoint from everything. */
+        uint64_t privateLines = 0;
+        /** Fraction of the walker's region included in this sleeper's
+         *  state (the sharing coefficient q of the (walker, sleeper)
+         *  arc). 0 makes the sleeper independent. */
+        double shareOfWalker = 0.0;
+        /** How many of its own lines the sleeper touches before
+         *  blocking (establishes the initial footprint). */
+        uint64_t warmLines = 0;
+    };
+
+    struct Params
+    {
+        /** Walker region size in E-cache lines (should exceed the
+         *  cache). */
+        uint64_t walkerLines = 32768;
+        /** Number of random accesses the walker performs. */
+        uint64_t steps = 400000;
+        /** Sleeping threads. */
+        std::vector<SleeperSpec> sleepers;
+        /** RNG seed. */
+        uint64_t seed = 42;
+    };
+
+    explicit RandomWalkWorkload(Params params);
+
+    std::string name() const override { return "random-walk"; }
+    std::string description() const override;
+    std::string parameters() const override;
+    void setup(WorkloadEnv &env) override;
+    bool verify() const override;
+    bool usesAnnotations() const override { return true; }
+
+    /** Walker thread id (valid after setup). */
+    ThreadId walkerTid() const { return _walkerTid; }
+
+    /** Sleeper thread ids, in spec order (valid after setup). */
+    const std::vector<ThreadId> &sleeperTids() const
+    {
+        return _sleeperTids;
+    }
+
+    /** Called from the walker thread after all sleepers have warmed
+     *  their state, right before the walk starts: the moment for the
+     *  bench to arm its footprint monitor. */
+    void onWalkStart(std::function<void()> hook)
+    {
+        _walkStartHook = std::move(hook);
+    }
+
+  private:
+    Params _params;
+    ThreadId _walkerTid = InvalidThreadId;
+    std::vector<ThreadId> _sleeperTids;
+    /** Sharing arcs to emit once the walker exists: (sleeper, q). */
+    std::vector<std::pair<ThreadId, double>> _needShare;
+    std::function<void()> _walkStartHook;
+    uint64_t _stepsDone = 0;
+    bool _ranSetup = false;
+};
+
+} // namespace atl
+
+#endif // ATL_WORKLOADS_RANDOM_WALK_HH

@@ -1,0 +1,86 @@
+#include "atl/workloads/raytrace.hh"
+
+#include <sstream>
+
+#include "atl/runtime/sync.hh"
+#include "atl/util/logging.hh"
+
+namespace atl
+{
+
+std::string
+RaytraceWorkload::description() const
+{
+    return "renders a scene by walking coherent rays through a uniform "
+           "grid, chasing per-cell object lists into a triangle pool; "
+           "conflict misses dominate between reload bursts";
+}
+
+std::string
+RaytraceWorkload::parameters() const
+{
+    std::ostringstream os;
+    os << _params.rays << " rays, " << _params.steps
+       << " cells per ray, hot set " << _params.hotLines << " lines";
+    return os.str();
+}
+
+void
+RaytraceWorkload::setup(WorkloadEnv &env)
+{
+    Machine &m = env.machine;
+    uint64_t line = m.config().hierarchy.l2.lineBytes;
+    uint64_t cache_bytes = m.config().hierarchy.l2.sizeBytes;
+    uint64_t cache_lines = cache_bytes / line;
+    atl_assert(_params.hotLines <= cache_lines,
+               "hot set must fit one cache's index range");
+
+    // Two cache-sized regions, virtually contiguous: line i of the cell
+    // region and line i of the triangle region are one cache-size apart
+    // and index into the same direct-mapped set.
+    VAddr cells_va = m.alloc(cache_bytes, m.config().pageBytes);
+    VAddr tris_va = m.alloc(cache_bytes, m.config().pageBytes);
+
+    auto sync = std::make_shared<Semaphore>(m, 0);
+
+    m.spawn(
+        [&m, cells_va, tris_va, cache_bytes, sync] {
+            m.write(cells_va, cache_bytes);
+            m.write(tris_va, cache_bytes);
+            sync->post();
+        },
+        "raytrace-init");
+
+    Params p = _params;
+    _workTid = m.spawn(
+        [this, &m, cells_va, tris_va, line, p, sync] {
+            sync->wait();
+            callWorkStart();
+            for (uint64_t ray = 0; ray < p.rays; ++ray) {
+                // Bundles of 4 rays share a path; successive bundles
+                // shift through the hot set.
+                uint64_t bundle = ray / 4;
+                for (unsigned s = 0; s < p.steps; ++s) {
+                    uint64_t li =
+                        (bundle * 37 + static_cast<uint64_t>(s) * 131) %
+                        p.hotLines;
+                    m.read(cells_va + li * line, line);
+                    m.read(tris_va + li * line, line);
+                    ++_cellsVisited;
+                }
+            }
+        },
+        "raytrace-work");
+
+    env.registerState(_workTid, cells_va, cache_bytes);
+    env.registerState(_workTid, tris_va, cache_bytes);
+}
+
+bool
+RaytraceWorkload::verify() const
+{
+    return _cellsVisited ==
+           static_cast<uint64_t>(_params.rays) * _params.steps;
+}
+
+} // namespace atl

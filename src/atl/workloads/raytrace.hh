@@ -1,0 +1,58 @@
+/**
+ * @file
+ * A ray-tracing style kernel: the synthetic analogue of SPLASH-2
+ * `raytrace`, one of the two applications for which the paper's model
+ * substantially over-predicts footprints (Figure 7): "in between short
+ * bursts, the majority of misses are conflict misses that do not
+ * significantly increase the footprint."
+ *
+ * Coherent ray bundles walk a uniform spatial grid and, for every
+ * visited cell, chase the cell's object list into a triangle region.
+ * The cell and triangle regions are cache-sized and allocated
+ * back-to-back, so under any page placement the cell line and the
+ * triangle line it references fall into the same direct-mapped set and
+ * evict each other on every revisit — persistent conflict misses over a
+ * bounded working set, exactly the anomaly the paper reports.
+ */
+
+#ifndef ATL_WORKLOADS_RAYTRACE_HH
+#define ATL_WORKLOADS_RAYTRACE_HH
+
+#include "atl/workloads/workload.hh"
+
+namespace atl
+{
+
+/** Grid-walking renderer with conflict-heavy indirections. */
+class RaytraceWorkload : public MonitoredWorkload
+{
+  public:
+    struct Params
+    {
+        /** Rays to shoot (4 consecutive rays form a coherent bundle). */
+        uint64_t rays = 6000;
+        /** Grid cells visited per ray. */
+        unsigned steps = 32;
+        /** Distinct hot lines the scene working set cycles through. */
+        uint64_t hotLines = 2048;
+        /** RNG seed. */
+        uint64_t seed = 43;
+    };
+
+    explicit RaytraceWorkload(Params params) : _params(params) {}
+
+    std::string name() const override { return "raytrace"; }
+    std::string description() const override;
+    std::string parameters() const override;
+    void setup(WorkloadEnv &env) override;
+    bool verify() const override;
+    bool usesAnnotations() const override { return false; }
+
+  private:
+    Params _params;
+    uint64_t _cellsVisited = 0;
+};
+
+} // namespace atl
+
+#endif // ATL_WORKLOADS_RAYTRACE_HH

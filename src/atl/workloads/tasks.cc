@@ -1,0 +1,59 @@
+#include "atl/workloads/tasks.hh"
+
+#include <sstream>
+
+#include "atl/util/logging.hh"
+
+namespace atl
+{
+
+std::string
+TasksWorkload::description() const
+{
+    return "identical threads with disjoint footprints that repeatedly "
+           "wake, touch their state, and block for the duration they "
+           "were active (Squillante & Lazowska affinity benchmark)";
+}
+
+std::string
+TasksWorkload::parameters() const
+{
+    std::ostringstream os;
+    os << _params.numTasks << " tasks, footprints "
+       << _params.linesPerTask << " lines each, " << _params.periods
+       << " scheduling periods per task";
+    return os.str();
+}
+
+void
+TasksWorkload::setup(WorkloadEnv &env)
+{
+    Machine &m = env.machine;
+    uint64_t line = m.config().hierarchy.l2.lineBytes;
+    uint64_t state_bytes = _params.linesPerTask * line;
+
+    for (unsigned i = 0; i < _params.numTasks; ++i) {
+        VAddr state = m.alloc(state_bytes, line);
+        ThreadId tid = m.spawn(
+            [this, &m, state, state_bytes] {
+                for (unsigned p = 0; p < _params.periods; ++p) {
+                    Cycles start = m.now();
+                    m.read(state, state_bytes);
+                    ++_periodsDone;
+                    Cycles active = m.now() - start;
+                    m.sleep(active);
+                }
+            },
+            "task-" + std::to_string(i));
+        env.registerState(tid, state, state_bytes);
+    }
+}
+
+bool
+TasksWorkload::verify() const
+{
+    return _periodsDone ==
+           static_cast<uint64_t>(_params.numTasks) * _params.periods;
+}
+
+} // namespace atl

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The `tasks` benchmark (paper Sections 5, Table 4), originally used by
+ * Squillante & Lazowska to evaluate processor-cache affinity: a fixed
+ * number of identical threads with equal-sized but *disjoint* footprints
+ * repeatedly wake up, touch their state, and block for the same duration
+ * they were active. Because states are disjoint, at_share() annotations
+ * are not relevant; all locality information comes from the performance
+ * counters alone.
+ */
+
+#ifndef ATL_WORKLOADS_TASKS_HH
+#define ATL_WORKLOADS_TASKS_HH
+
+#include "atl/workloads/workload.hh"
+
+namespace atl
+{
+
+/** The wake-touch-sleep affinity benchmark. */
+class TasksWorkload : public Workload
+{
+  public:
+    struct Params
+    {
+        /** Number of identical tasks (paper: 1024). */
+        unsigned numTasks = 1024;
+        /** Footprint of each task in E-cache lines (paper: 100). */
+        uint64_t linesPerTask = 100;
+        /** Scheduling periods per task (paper: 100). */
+        unsigned periods = 100;
+    };
+
+    explicit TasksWorkload(Params params) : _params(params) {}
+
+    std::string name() const override { return "tasks"; }
+    std::string description() const override;
+    std::string parameters() const override;
+    void setup(WorkloadEnv &env) override;
+    bool verify() const override;
+    bool usesAnnotations() const override { return false; }
+
+  private:
+    Params _params;
+    uint64_t _periodsDone = 0;
+};
+
+} // namespace atl
+
+#endif // ATL_WORKLOADS_TASKS_HH

@@ -1,0 +1,241 @@
+#include "atl/workloads/tsp.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "atl/util/logging.hh"
+#include "atl/util/rng.hh"
+
+namespace atl
+{
+
+std::string
+TspWorkload::description() const
+{
+    return "branch-and-bound traveling salesman: the solution space is "
+           "repeatedly divided into two subspaces represented as "
+           "adjacency matrices; parents initialise children's matrices";
+}
+
+std::string
+TspWorkload::parameters() const
+{
+    std::ostringstream os;
+    os << "finds a suboptimal path for the traveling salesman problem "
+          "for "
+       << _params.cities << " cities; measured the execution of "
+       << ((2ull << _params.depth) - 1) << " threads";
+    return os.str();
+}
+
+void
+TspWorkload::setup(WorkloadEnv &env)
+{
+    _machine = &env.machine;
+    _tracer = env.tracer;
+    Machine &m = *_machine;
+
+    unsigned n = _params.cities;
+    atl_assert(n >= 4, "tsp needs at least four cities");
+    _matrixBytes = static_cast<uint64_t>(n) * n * sizeof(uint32_t);
+
+    // City coordinates -> symmetric integer distance matrix.
+    Rng rng(_params.seed);
+    std::vector<std::pair<double, double>> coords(n);
+    for (auto &c : coords)
+        c = {rng.uniform() * 1000.0, rng.uniform() * 1000.0};
+    _distance.assign(static_cast<size_t>(n) * n, 0);
+    for (unsigned i = 0; i < n; ++i) {
+        for (unsigned j = 0; j < n; ++j) {
+            double dx = coords[i].first - coords[j].first;
+            double dy = coords[i].second - coords[j].second;
+            _distance[static_cast<size_t>(i) * n + j] =
+                static_cast<uint32_t>(std::sqrt(dx * dx + dy * dy)) + 1;
+        }
+    }
+
+    _bestLock = std::make_unique<Mutex>(m);
+    _bestVa = m.alloc(64, 64);
+
+    // Root subspace holds the unconstrained distance matrix.
+    auto root = std::make_shared<Subspace>();
+    root->matrixVa = m.alloc(_matrixBytes, 64);
+    root->matrix = _distance;
+
+    ThreadId root_tid = m.spawn(
+        [this, root] {
+            // The root initialises its matrix (modelled writes), then
+            // explores like any other node.
+            _machine->write(root->matrixVa, _matrixBytes);
+            explore(root, 1, 0);
+        },
+        "tsp-root");
+    ++_threadsCreated;
+    if (_tracer)
+        _tracer->registerState(root_tid, root->matrixVa, _matrixBytes);
+}
+
+std::shared_ptr<TspWorkload::Subspace>
+TspWorkload::split(Subspace &parent, uint64_t child_node)
+{
+    Machine &m = *_machine;
+    unsigned n = _params.cities;
+
+    auto child = std::make_shared<Subspace>();
+    child->matrixVa = m.alloc(_matrixBytes, 64);
+    child->matrix = parent.matrix;
+
+    // The matrix the parent is about to initialise is part of the
+    // parent's accessed state from this moment (the child also
+    // registers it when spawned).
+    if (_tracer)
+        _tracer->registerState(m.self(), child->matrixVa, _matrixBytes);
+
+    // Branching constraint: the left child forbids one deterministic
+    // edge of the parent's subspace, the right child inflates its cost
+    // (penalising without forbidding keeps every subspace feasible so
+    // all policies do identical work).
+    unsigned i = static_cast<unsigned>(child_node % n);
+    unsigned j = static_cast<unsigned>((child_node / n + 1) % n);
+    if (i != j) {
+        uint32_t penalty = (child_node & 1) ? 4000 : 2000;
+        child->matrix[static_cast<size_t>(i) * n + j] += penalty;
+        child->matrix[static_cast<size_t>(j) * n + i] += penalty;
+    }
+
+    // The parent copies the matrix row by row: modelled reads of its own
+    // subspace, modelled writes into the child's (this is the prefetch
+    // the annotations describe).
+    uint64_t row_bytes = static_cast<uint64_t>(n) * sizeof(uint32_t);
+    for (unsigned r = 0; r < n; ++r) {
+        m.read(parent.matrixVa + r * row_bytes, row_bytes);
+        m.write(child->matrixVa + r * row_bytes, row_bytes);
+    }
+    return child;
+}
+
+uint64_t
+TspWorkload::greedyTour(Subspace &space, std::vector<unsigned> &tour)
+{
+    Machine &m = *_machine;
+    unsigned n = _params.cities;
+    uint64_t row_bytes = static_cast<uint64_t>(n) * sizeof(uint32_t);
+
+    std::vector<bool> visited(n, false);
+    tour.clear();
+    tour.reserve(n);
+    unsigned current = 0;
+    visited[0] = true;
+    tour.push_back(0);
+    uint64_t length = 0;
+
+    for (unsigned step = 1; step < n; ++step) {
+        // Modelled read of the current city's distance row.
+        m.read(space.matrixVa + static_cast<uint64_t>(current) * row_bytes,
+               row_bytes);
+        unsigned best = n;
+        uint32_t best_d = ~0u;
+        for (unsigned c = 0; c < n; ++c) {
+            if (visited[c])
+                continue;
+            uint32_t d = space.matrix[static_cast<size_t>(current) * n + c];
+            if (d < best_d) {
+                best_d = d;
+                best = c;
+            }
+        }
+        atl_assert(best < n, "greedy tour found no next city");
+        visited[best] = true;
+        tour.push_back(best);
+        // Length is measured on the *true* distances: penalties only
+        // steer which subspace finds which tour.
+        length += _distance[static_cast<size_t>(current) * n + best];
+        current = best;
+    }
+    length += _distance[static_cast<size_t>(current) * n + 0];
+    return length;
+}
+
+void
+TspWorkload::explore(std::shared_ptr<Subspace> space, uint64_t node,
+                     unsigned level)
+{
+    Machine &m = *_machine;
+
+    if (node == _monitorNode && _nodeStartHook)
+        _nodeStartHook();
+
+    if (level == _params.depth) {
+        // Leaf: complete the tour greedily and publish if better.
+        std::vector<unsigned> tour;
+        uint64_t length = greedyTour(*space, tour);
+
+        _bestLock->lock();
+        m.read(_bestVa, 8);
+        if (length < _bestLength) {
+            _bestLength = length;
+            _bestTour = tour;
+            m.write(_bestVa, 8);
+        }
+        _bestLock->unlock();
+        return;
+    }
+
+    // Internal node: derive both children (prefetching their matrices),
+    // then spawn and join them.
+    auto left = split(*space, node * 2);
+    auto right = split(*space, node * 2 + 1);
+
+    ThreadId tid_l = m.spawn(
+        [this, left, node, level] { explore(left, node * 2, level + 1); });
+    ThreadId tid_r = m.spawn([this, right, node, level] {
+        explore(right, node * 2 + 1, level + 1);
+    });
+    _threadsCreated += 2;
+
+    if (_tracer) {
+        _tracer->registerState(tid_l, left->matrixVa, _matrixBytes);
+        _tracer->registerState(tid_r, right->matrixVa, _matrixBytes);
+    }
+    if (_params.annotate) {
+        // One third of this thread's state (own matrix + two children's)
+        // is each child's entire state.
+        m.share(m.self(), tid_l, 1.0 / 3.0);
+        m.share(m.self(), tid_r, 1.0 / 3.0);
+        // And everything a child touches lies inside the parent's state.
+        m.share(tid_l, m.self(), 1.0);
+        m.share(tid_r, m.self(), 1.0);
+    }
+
+    m.join(tid_l);
+    m.join(tid_r);
+}
+
+bool
+TspWorkload::verify() const
+{
+    if (_threadsCreated != (2ull << _params.depth) - 1)
+        return false;
+    if (_bestTour.size() != _params.cities)
+        return false;
+
+    // Valid permutation?
+    std::vector<bool> seen(_params.cities, false);
+    for (unsigned city : _bestTour) {
+        if (city >= _params.cities || seen[city])
+            return false;
+        seen[city] = true;
+    }
+
+    // Recorded length matches the true distances?
+    uint64_t length = 0;
+    unsigned n = _params.cities;
+    for (size_t i = 0; i < _bestTour.size(); ++i) {
+        unsigned from = _bestTour[i];
+        unsigned to = _bestTour[(i + 1) % _bestTour.size()];
+        length += _distance[static_cast<size_t>(from) * n + to];
+    }
+    return length == _bestLength;
+}
+
+} // namespace atl

@@ -1,0 +1,99 @@
+#include "atl/workloads/typechecker.hh"
+
+#include <sstream>
+
+#include "atl/runtime/sync.hh"
+#include "atl/util/logging.hh"
+#include "atl/util/rng.hh"
+
+namespace atl
+{
+
+namespace
+{
+
+/** Modelled bytes per type-graph node; only the header is read. */
+constexpr uint64_t typeNodeBytes = 128;
+constexpr uint64_t typeHeaderBytes = 64;
+
+/** Modelled bytes per AST node; like type nodes, only the 64-byte
+ *  header is read during the walk. */
+constexpr uint64_t astNodeBytes = 128;
+
+} // namespace
+
+std::string
+TypecheckerWorkload::description() const
+{
+    return "semantic analysis of an abstract machine tree against a "
+           "large type graph (the Sather compiler compiling itself): an "
+           "intensive reload burst followed by a creation-order AST walk "
+           "with long run lengths";
+}
+
+std::string
+TypecheckerWorkload::parameters() const
+{
+    std::ostringstream os;
+    os << _params.typeNodes << " type nodes, " << _params.astNodes
+       << " AST nodes, " << _params.lookupsPerNode << " lookups/node";
+    return os.str();
+}
+
+void
+TypecheckerWorkload::setup(WorkloadEnv &env)
+{
+    Machine &m = env.machine;
+
+    VAddr types_va = m.alloc(_params.typeNodes * typeNodeBytes, 64);
+    VAddr ast_va = m.alloc(_params.astNodes * astNodeBytes, 64);
+
+    auto sync = std::make_shared<Semaphore>(m, 0);
+
+    // Parser/graph-builder stage: creates the type graph and the AST
+    // (in creation order, which is also the later traversal order).
+    m.spawn(
+        [&m, types_va, ast_va, sync, this] {
+            m.write(types_va, _params.typeNodes * typeNodeBytes);
+            m.write(ast_va, _params.astNodes * astNodeBytes);
+            sync->post();
+        },
+        "typechecker-parse");
+
+    Params p = _params;
+    _workTid = m.spawn(
+        [this, &m, types_va, ast_va, sync, p] {
+            sync->wait();
+            callWorkStart();
+            Rng rng(p.seed);
+
+            // Phase 1: the burst — the whole type graph (headers) is
+            // brought into cache while subtyping tables are built.
+            for (uint64_t t = 0; t < p.typeNodes; ++t)
+                m.read(types_va + t * typeNodeBytes, typeHeaderBytes);
+
+            // Phase 2: the walk — AST nodes strictly in creation order,
+            // each consulting a few (skewed towards hot core) types.
+            for (uint64_t a = 0; a < p.astNodes; ++a) {
+                m.read(ast_va + a * astNodeBytes, typeHeaderBytes);
+                for (unsigned l = 0; l < p.lookupsPerNode; ++l) {
+                    uint64_t t = rng.zipf(p.typeNodes, p.zipfSkew);
+                    m.read(types_va + t * typeNodeBytes, typeHeaderBytes);
+                }
+                m.execute(p.workPerNode);
+                ++_nodesChecked;
+            }
+        },
+        "typechecker-work");
+
+    env.registerState(_workTid, types_va, p.typeNodes * typeNodeBytes);
+    env.registerState(_workTid, ast_va, p.astNodes * astNodeBytes);
+}
+
+bool
+TypecheckerWorkload::verify() const
+{
+    return _nodesChecked == _params.astNodes;
+}
+
+} // namespace atl

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * A compiler type-checking kernel modelled on the Sather typechecker,
+ * the second application for which the paper's model substantially
+ * over-predicts footprints (Figure 7, Section 3.4): the unblocking
+ * thread "initially experiences a very intensive burst of misses as the
+ * type graph is brought into cache", then "walks the abstract machine
+ * tree ... in the order of creation which causes long run lengths and
+ * high clustering of cache references" — Agarwal's nonstationary
+ * behaviour.
+ *
+ * The type graph is larger than the E-cache with 128-byte nodes of
+ * which only the 64-byte header is read (so only every other cache set
+ * is ever used, bounding the observed footprint at half the cache while
+ * the model's prediction keeps growing toward N); the AST is traversed
+ * strictly in creation order.
+ */
+
+#ifndef ATL_WORKLOADS_TYPECHECKER_HH
+#define ATL_WORKLOADS_TYPECHECKER_HH
+
+#include "atl/workloads/workload.hh"
+
+namespace atl
+{
+
+/** Burst-then-walk typechecking kernel. */
+class TypecheckerWorkload : public MonitoredWorkload
+{
+  public:
+    struct Params
+    {
+        /** Type-graph nodes (128 modelled bytes each, 64 read). */
+        uint64_t typeNodes = 16384;
+        /** AST nodes (128 modelled bytes each, 64 read), walked in
+         *  creation order. */
+        uint64_t astNodes = 32768;
+        /** Type-graph consultations per AST node. */
+        unsigned lookupsPerNode = 3;
+        /** Zipf skew of type-graph lookups (hot core types). */
+        double zipfSkew = 0.8;
+        /** Host instructions of semantic analysis per AST node. */
+        uint64_t workPerNode = 40;
+        /** RNG seed. */
+        uint64_t seed = 47;
+    };
+
+    explicit TypecheckerWorkload(Params params) : _params(params) {}
+
+    std::string name() const override { return "typechecker"; }
+    std::string description() const override;
+    std::string parameters() const override;
+    void setup(WorkloadEnv &env) override;
+    bool verify() const override;
+    bool usesAnnotations() const override { return false; }
+
+  private:
+    Params _params;
+    uint64_t _nodesChecked = 0;
+};
+
+} // namespace atl
+
+#endif // ATL_WORKLOADS_TYPECHECKER_HH

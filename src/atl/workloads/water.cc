@@ -1,0 +1,120 @@
+#include "atl/workloads/water.hh"
+
+#include <sstream>
+
+#include "atl/runtime/sync.hh"
+#include "atl/util/logging.hh"
+#include "atl/util/rng.hh"
+
+namespace atl
+{
+
+namespace
+{
+
+/** Modelled bytes per molecule record. */
+constexpr uint64_t moleculeBytes = 64;
+
+} // namespace
+
+std::string
+WaterWorkload::description() const
+{
+    return "evaluates forces and potentials in a system of water "
+           "molecules using cell lists over pairwise interactions";
+}
+
+std::string
+WaterWorkload::parameters() const
+{
+    std::ostringstream os;
+    os << _params.molecules << " molecules, " << _params.cellEdge << "^3 "
+       << "cells, " << _params.passes << " passes";
+    return os.str();
+}
+
+void
+WaterWorkload::setup(WorkloadEnv &env)
+{
+    Machine &m = env.machine;
+    unsigned edge = _params.cellEdge;
+    atl_assert(edge >= 2, "cell box too small");
+
+    VAddr mol_va = m.alloc(_params.molecules * moleculeBytes, 64);
+
+    // Host: place molecules in cells; build per-cell member lists.
+    size_t n_cells = static_cast<size_t>(edge) * edge * edge;
+    auto cells =
+        std::make_shared<std::vector<std::vector<uint32_t>>>(n_cells);
+    auto cell_of = std::make_shared<std::vector<uint32_t>>(
+        _params.molecules);
+    Rng rng(_params.seed);
+    for (uint64_t i = 0; i < _params.molecules; ++i) {
+        uint32_t cx = static_cast<uint32_t>(rng.below(edge));
+        uint32_t cy = static_cast<uint32_t>(rng.below(edge));
+        uint32_t cz = static_cast<uint32_t>(rng.below(edge));
+        uint32_t cell = cx + edge * (cy + edge * cz);
+        (*cells)[cell].push_back(static_cast<uint32_t>(i));
+        (*cell_of)[i] = cell;
+    }
+
+    auto sync = std::make_shared<Semaphore>(m, 0);
+
+    m.spawn(
+        [&m, mol_va, sync, this] {
+            m.write(mol_va, _params.molecules * moleculeBytes);
+            sync->post();
+        },
+        "water-init");
+
+    unsigned passes = _params.passes;
+    _workTid = m.spawn(
+        [this, &m, mol_va, cells, cell_of, sync, edge, passes] {
+            sync->wait();
+            callWorkStart();
+            for (unsigned pass = 0; pass < passes; ++pass) {
+                for (uint64_t i = 0; i < _params.molecules; ++i) {
+                    m.read(mol_va + i * moleculeBytes, moleculeBytes);
+                    uint32_t cell = (*cell_of)[i];
+                    uint32_t cx = cell % edge;
+                    uint32_t cy = (cell / edge) % edge;
+                    uint32_t cz = cell / (edge * edge);
+                    // Interact with every molecule in the 3^3 cell
+                    // neighbourhood (periodic boundaries).
+                    for (int dz = -1; dz <= 1; ++dz) {
+                        for (int dy = -1; dy <= 1; ++dy) {
+                            for (int dx = -1; dx <= 1; ++dx) {
+                                uint32_t nx = (cx + edge + dx) % edge;
+                                uint32_t ny = (cy + edge + dy) % edge;
+                                uint32_t nz = (cz + edge + dz) % edge;
+                                uint32_t nc =
+                                    nx + edge * (ny + edge * nz);
+                                for (uint32_t j : (*cells)[nc]) {
+                                    if (j == i)
+                                        continue;
+                                    m.read(mol_va + j * moleculeBytes,
+                                           moleculeBytes);
+                                    ++_interactions;
+                                }
+                            }
+                        }
+                    }
+                    m.write(mol_va + i * moleculeBytes, moleculeBytes);
+                    ++_moleculesProcessed;
+                }
+            }
+        },
+        "water-work");
+
+    env.registerState(_workTid, mol_va, _params.molecules * moleculeBytes);
+}
+
+bool
+WaterWorkload::verify() const
+{
+    return _moleculesProcessed ==
+               static_cast<uint64_t>(_params.molecules) * _params.passes &&
+           _interactions > 0;
+}
+
+} // namespace atl

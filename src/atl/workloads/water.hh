@@ -1,0 +1,52 @@
+/**
+ * @file
+ * A water-molecule dynamics kernel: the synthetic analogue of SPLASH-2
+ * `water` for the model-accuracy study (paper Figures 5 and 6). The
+ * work thread evaluates pairwise interactions between molecules using
+ * cell lists, producing a reference stream of moderate clustering:
+ * sequential within a molecule record, scattered across cell
+ * neighbourhoods.
+ */
+
+#ifndef ATL_WORKLOADS_WATER_HH
+#define ATL_WORKLOADS_WATER_HH
+
+#include "atl/workloads/workload.hh"
+
+namespace atl
+{
+
+/** Cell-list pairwise interaction kernel. */
+class WaterWorkload : public MonitoredWorkload
+{
+  public:
+    struct Params
+    {
+        /** Number of molecules (64 modelled bytes each). */
+        uint64_t molecules = 4096;
+        /** Cells per box edge (cells = edge^3). */
+        unsigned cellEdge = 8;
+        /** Interaction passes. */
+        unsigned passes = 2;
+        /** RNG seed for molecule positions. */
+        uint64_t seed = 41;
+    };
+
+    explicit WaterWorkload(Params params) : _params(params) {}
+
+    std::string name() const override { return "water"; }
+    std::string description() const override;
+    std::string parameters() const override;
+    void setup(WorkloadEnv &env) override;
+    bool verify() const override;
+    bool usesAnnotations() const override { return false; }
+
+  private:
+    Params _params;
+    uint64_t _interactions = 0;
+    uint64_t _moleculesProcessed = 0;
+};
+
+} // namespace atl
+
+#endif // ATL_WORKLOADS_WATER_HH

@@ -1,0 +1,8 @@
+#include "atl/workloads/workload.hh"
+
+// The workload base is header-only; this translation unit anchors the
+// vtable of Workload.
+
+namespace atl
+{
+} // namespace atl

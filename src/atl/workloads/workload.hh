@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Common infrastructure for the benchmark workloads (paper Tables 2
+ * and 4). A workload allocates modelled state, spawns Active Threads
+ * that do real computation while mirroring their memory references into
+ * the simulated hierarchy, registers thread state with the tracer (so
+ * footprints are observable), emits at_share() annotations, and can
+ * verify its own output after the run.
+ */
+
+#ifndef ATL_WORKLOADS_WORKLOAD_HH
+#define ATL_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "atl/runtime/machine.hh"
+#include "atl/sim/tracer.hh"
+
+namespace atl
+{
+
+/** Everything a workload needs at setup time. */
+struct WorkloadEnv
+{
+    Machine &machine;
+    /** Optional ground-truth instrumentation. */
+    Tracer *tracer = nullptr;
+
+    /** Register thread state when tracing is on (no-op otherwise). */
+    void
+    registerState(ThreadId tid, VAddr va, uint64_t bytes) const
+    {
+        if (tracer)
+            tracer->registerState(tid, va, bytes);
+    }
+};
+
+/**
+ * One benchmark application. setup() runs before machine.run(): it
+ * allocates state and spawns at least the root thread; everything else
+ * can happen from inside threads.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Short identifier (table row label). */
+    virtual std::string name() const = 0;
+
+    /** One-line description (paper Table 2). */
+    virtual std::string description() const = 0;
+
+    /** Input-parameter summary (paper Table 4). */
+    virtual std::string parameters() const = 0;
+
+    /** Allocate state and spawn threads. */
+    virtual void setup(WorkloadEnv &env) = 0;
+
+    /** Check output correctness after the run. */
+    virtual bool verify() const = 0;
+
+    /**
+     * Whether the workload uses at_share() annotations (tasks has
+     * disjoint state, so annotations are not relevant there).
+     */
+    virtual bool usesAnnotations() const { return true; }
+};
+
+/**
+ * Base for the model-accuracy kernels (paper Section 3.3): an "init"
+ * stage brings the data into being while the "work" thread is blocked;
+ * when the work thread resumes, it announces the fact through a hook so
+ * the bench can flush the cache and arm its footprint monitor — exactly
+ * the paper's measurement protocol ("the 'work' threads are blocked
+ * during the computation stage and their state is flushed from the
+ * cache; after threads resume, their footprints are monitored").
+ */
+class MonitoredWorkload : public Workload
+{
+  public:
+    /** The monitored work thread (valid after setup). */
+    ThreadId workTid() const { return _workTid; }
+
+    /** Hook invoked from the work thread right as it starts computing. */
+    void
+    onWorkStart(std::function<void()> hook)
+    {
+        _workStartHook = std::move(hook);
+    }
+
+  protected:
+    /** Invoke the hook, if any. */
+    void
+    callWorkStart()
+    {
+        if (_workStartHook)
+            _workStartHook();
+    }
+
+    ThreadId _workTid = InvalidThreadId;
+    std::function<void()> _workStartHook;
+};
+
+/**
+ * A host array paired with a modelled address range: element accesses
+ * do the real work on host memory *and* issue the matching modelled
+ * reference, which is exactly what Shade observed for the paper's
+ * applications.
+ */
+template <typename T>
+class ModelledArray
+{
+  public:
+    /**
+     * @param machine machine owning the address space
+     * @param count number of elements
+     */
+    ModelledArray(Machine &machine, size_t count)
+        : _machine(machine), _host(count),
+          _va(machine.alloc(count * sizeof(T), 64))
+    {}
+
+    /** Modelled load + host read of element i. */
+    T
+    get(size_t i)
+    {
+        _machine.read(addr(i), sizeof(T));
+        return _host[i];
+    }
+
+    /** Modelled store + host write of element i. */
+    void
+    set(size_t i, const T &value)
+    {
+        _machine.write(addr(i), sizeof(T));
+        _host[i] = value;
+    }
+
+    /** Modelled load of a contiguous element range [first, last). */
+    void
+    touchRange(size_t first, size_t last)
+    {
+        if (last > first)
+            _machine.read(addr(first), (last - first) * sizeof(T));
+    }
+
+    /** Modelled address of element i. */
+    VAddr addr(size_t i) const { return _va + i * sizeof(T); }
+
+    /** Base modelled address. */
+    VAddr base() const { return _va; }
+
+    /** Size of the modelled region in bytes. */
+    uint64_t bytes() const { return _host.size() * sizeof(T); }
+
+    /** Element count. */
+    size_t size() const { return _host.size(); }
+
+    /** Host storage, for verification without modelled traffic. */
+    std::vector<T> &host() { return _host; }
+    const std::vector<T> &host() const { return _host; }
+
+  private:
+    Machine &_machine;
+    std::vector<T> _host;
+    VAddr _va;
+};
+
+} // namespace atl
+
+#endif // ATL_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Integration tests of the paper's locality-scheduling claims (Section
+ * 5): LFF and CRT eliminate large fractions of E-cache misses and speed
+ * up fine-grained workloads, annotations add benefit where threads
+ * share state, and the policies' bookkeeping overhead is modest.
+ */
+
+#include <gtest/gtest.h>
+
+#include "atl/sim/experiment.hh"
+#include "atl/workloads/mergesort.hh"
+#include "atl/workloads/photo.hh"
+#include "atl/workloads/tasks.hh"
+
+namespace atl
+{
+namespace
+{
+
+MachineConfig
+platform(unsigned n_cpus, PolicyKind policy)
+{
+    MachineConfig cfg;
+    cfg.numCpus = n_cpus;
+    cfg.policy = policy;
+    if (n_cpus > 1) {
+        cfg.memoryCycles = 50; // E5000-style costs
+    }
+    return cfg;
+}
+
+TasksWorkload::Params
+tasksParams()
+{
+    return {256, 100, 30};
+}
+
+TEST(LocalityTest, TasksUniprocessorLffEliminatesMostMisses)
+{
+    // Paper Figure 8 / Table 5: tasks on 1 cpu, ~92% of misses gone,
+    // >2x faster.
+    TasksWorkload base(tasksParams());
+    RunMetrics fcfs =
+        runWorkload(base, platform(1, PolicyKind::FCFS), false);
+    TasksWorkload opt(tasksParams());
+    RunMetrics lff = runWorkload(opt, platform(1, PolicyKind::LFF), false);
+
+    ASSERT_TRUE(fcfs.verified);
+    ASSERT_TRUE(lff.verified);
+    EXPECT_GT(RunMetrics::missesEliminated(fcfs, lff), 0.6);
+    EXPECT_GT(RunMetrics::speedup(fcfs, lff), 1.5);
+}
+
+TEST(LocalityTest, TasksUniprocessorCrtComparableToLff)
+{
+    TasksWorkload a(tasksParams());
+    RunMetrics lff = runWorkload(a, platform(1, PolicyKind::LFF), false);
+    TasksWorkload b(tasksParams());
+    RunMetrics crt = runWorkload(b, platform(1, PolicyKind::CRT), false);
+    // "The two locality policies demonstrate quite similar performance."
+    double ratio = static_cast<double>(lff.eMisses) /
+                   static_cast<double>(crt.eMisses);
+    EXPECT_GT(ratio, 0.5);
+    EXPECT_LT(ratio, 2.0);
+}
+
+TEST(LocalityTest, TasksSmpLocalityWins)
+{
+    // Paper Figure 9: on the 8-cpu machine locality scheduling still
+    // eliminates the majority of E-cache misses.
+    TasksWorkload base(tasksParams());
+    RunMetrics fcfs =
+        runWorkload(base, platform(8, PolicyKind::FCFS), false);
+    TasksWorkload opt(tasksParams());
+    RunMetrics crt = runWorkload(opt, platform(8, PolicyKind::CRT), false);
+    EXPECT_GT(RunMetrics::missesEliminated(fcfs, crt), 0.4);
+    EXPECT_GT(RunMetrics::speedup(fcfs, crt), 1.1);
+}
+
+TEST(LocalityTest, MergeBenefitsFromAnnotations)
+{
+    // Paper Section 5: "merge achieves speedup almost entirely through
+    // user annotations". Compare LFF with and without at_share().
+    MergesortWorkload::Params with;
+    with.elements = 100000; // working set must exceed the 512KB E-cache
+    with.annotate = true;
+    MergesortWorkload::Params without = with;
+    without.annotate = false;
+
+    MergesortWorkload base(with);
+    RunMetrics fcfs =
+        runWorkload(base, platform(1, PolicyKind::FCFS), false);
+
+    MergesortWorkload annotated(with);
+    RunMetrics lff_annotated =
+        runWorkload(annotated, platform(1, PolicyKind::LFF), false);
+
+    MergesortWorkload bare(without);
+    RunMetrics lff_bare =
+        runWorkload(bare, platform(1, PolicyKind::LFF), false);
+
+    ASSERT_TRUE(fcfs.verified && lff_annotated.verified &&
+                lff_bare.verified);
+    double with_ann = RunMetrics::missesEliminated(fcfs, lff_annotated);
+    double no_ann = RunMetrics::missesEliminated(fcfs, lff_bare);
+    EXPECT_GT(with_ann, 0.15);
+    EXPECT_GT(with_ann, no_ann);
+}
+
+TEST(LocalityTest, PhotoAnnotationsHelpOnSmp)
+{
+    PhotoWorkload::Params with;
+    with.width = 512;
+    with.height = 256;
+    with.annotate = true;
+    PhotoWorkload::Params without = with;
+    without.annotate = false;
+
+    PhotoWorkload base(with);
+    RunMetrics fcfs =
+        runWorkload(base, platform(8, PolicyKind::FCFS), false);
+    PhotoWorkload annotated(with);
+    RunMetrics lff_ann =
+        runWorkload(annotated, platform(8, PolicyKind::LFF), false);
+    PhotoWorkload bare(without);
+    RunMetrics lff_bare =
+        runWorkload(bare, platform(8, PolicyKind::LFF), false);
+
+    ASSERT_TRUE(fcfs.verified && lff_ann.verified && lff_bare.verified);
+    // Annotated LFF must beat FCFS on misses; unannotated keeps only
+    // part of the benefit (paper: 41% of the miss elimination).
+    double with_ann = RunMetrics::missesEliminated(fcfs, lff_ann);
+    double no_ann = RunMetrics::missesEliminated(fcfs, lff_bare);
+    EXPECT_GT(with_ann, 0.2);
+    EXPECT_GT(with_ann, no_ann * 0.99);
+}
+
+TEST(LocalityTest, SchedulerOverheadIsModest)
+{
+    // Paper Table 5 (photo on 1 cpu): when FCFS is already near-optimal
+    // the locality machinery costs only a few percent.
+    PhotoWorkload::Params p;
+    p.width = 256;
+    p.height = 128;
+    PhotoWorkload base(p);
+    RunMetrics fcfs =
+        runWorkload(base, platform(1, PolicyKind::FCFS), false);
+    PhotoWorkload opt(p);
+    RunMetrics lff = runWorkload(opt, platform(1, PolicyKind::LFF), false);
+    double slowdown = static_cast<double>(lff.makespan) /
+                      static_cast<double>(fcfs.makespan);
+    EXPECT_LT(slowdown, 1.15);
+    EXPECT_GT(lff.schedOverheadCycles, fcfs.schedOverheadCycles);
+}
+
+TEST(LocalityTest, PerfCountersDriveTasksWithoutAnnotations)
+{
+    // tasks has disjoint states: all locality benefit comes from the
+    // hardware counters alone (no sharing graph edges at all).
+    TasksWorkload w(tasksParams());
+    MachineConfig cfg = platform(1, PolicyKind::LFF);
+    Machine machine(cfg);
+    WorkloadEnv env{machine, nullptr};
+    w.setup(env);
+    machine.run();
+    EXPECT_TRUE(w.verify());
+    EXPECT_EQ(machine.graph().edgeCount(), 0u);
+}
+
+} // namespace
+} // namespace atl

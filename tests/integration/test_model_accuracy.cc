@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Integration tests of the paper's model-accuracy claims (Sections 3.2
+ * through 3.4): tight predictions for the random walk (Figure 4), good
+ * agreement for the application kernels (Figure 5), and substantial
+ * *over*-prediction for typechecker and raytrace (Figure 7).
+ */
+
+#include <gtest/gtest.h>
+
+#include "atl/sim/experiment.hh"
+#include "atl/workloads/barnes.hh"
+#include "atl/workloads/ocean.hh"
+#include "atl/workloads/random_walk.hh"
+#include "atl/workloads/raytrace.hh"
+#include "atl/workloads/typechecker.hh"
+
+namespace atl
+{
+namespace
+{
+
+MachineConfig
+simConfig()
+{
+    MachineConfig cfg;
+    cfg.numCpus = 1;
+    cfg.modelSchedulerFootprint = false;
+    return cfg;
+}
+
+/** One walker + one dependent sleeper run (the paper's Figure 4 curves
+ *  are separate scenarios: one sleeper spec per run keeps the sleeper
+ *  states from aliasing each other). */
+struct SleeperRun
+{
+    std::vector<FootprintSample> samples;
+    double error = 0.0;
+};
+
+SleeperRun
+runDependentSleeper(double q, uint64_t warm_lines, uint64_t steps)
+{
+    RandomWalkWorkload::Params params;
+    params.walkerLines = 131072; // >> cache: near-uniform miss stream
+    params.steps = steps;
+    params.sleepers.push_back({0, q, warm_lines});
+    RandomWalkWorkload w(params);
+
+    Machine machine(simConfig());
+    Tracer tracer(machine);
+    FootprintMonitor monitor(machine, tracer, 0, 512);
+
+    WorkloadEnv env{machine, &tracer};
+    w.setup(env);
+    w.onWalkStart([&] {
+        monitor.setDriver(w.walkerTid());
+        monitor.track(w.sleeperTids()[0],
+                      FootprintMonitor::Kind::Dependent, q);
+    });
+    machine.run();
+    EXPECT_TRUE(w.verify());
+
+    SleeperRun run;
+    run.samples = monitor.samples(w.sleeperTids()[0]);
+    run.error = monitor.meanAbsRelError(w.sleeperTids()[0], 256.0);
+    return run;
+}
+
+TEST(ModelAccuracyTest, Figure4DependentSleeperTrajectories)
+{
+    // Paper Figure 4c/4d: a sleeping thread sharing state with the
+    // walker may grow or decay toward q*N depending on its start.
+    double n_lines = 8192.0;
+
+    // Growing case (q = 0.5, empty start): converges up toward q*N.
+    SleeperRun grow = runDependentSleeper(0.5, 0, 150000);
+    ASSERT_GT(grow.samples.size(), 20u);
+    EXPECT_LT(grow.samples.front().observed, 0.2 * 0.5 * n_lines);
+    EXPECT_GT(grow.samples.back().observed, 0.7 * 0.5 * n_lines);
+    EXPECT_LT(grow.error, 0.12);
+
+    // Decaying case (warm start above q*N): shrinks toward q*N.
+    SleeperRun decay = runDependentSleeper(0.5, 8000, 150000);
+    ASSERT_GT(decay.samples.size(), 20u);
+    EXPECT_GT(decay.samples.front().observed,
+              decay.samples.back().observed);
+    EXPECT_LT(decay.error, 0.12);
+
+    // Smaller q saturates lower.
+    SleeperRun quarter = runDependentSleeper(0.25, 0, 150000);
+    EXPECT_LT(quarter.samples.back().observed,
+              grow.samples.back().observed);
+    EXPECT_LT(quarter.error, 0.15);
+}
+
+/** Run a monitored kernel and return (monitor error, last sample). */
+struct KernelAccuracy
+{
+    double meanError;      ///< mean |pred-obs|/obs
+    double finalObserved;  ///< lines, at the last sample
+    double finalPredicted; ///< lines, at the last sample
+};
+
+KernelAccuracy
+runKernel(MonitoredWorkload &w)
+{
+    Machine machine(simConfig());
+    Tracer tracer(machine);
+    FootprintMonitor monitor(machine, tracer, 0, 256);
+
+    WorkloadEnv env{machine, &tracer};
+    w.setup(env);
+    w.onWorkStart([&] {
+        // The paper's protocol: the work thread's state is flushed from
+        // the cache, then its footprint is monitored as it resumes.
+        machine.flushAllCaches();
+        monitor.setDriver(w.workTid());
+        monitor.track(w.workTid(), FootprintMonitor::Kind::Executing);
+    });
+    machine.run();
+    EXPECT_TRUE(w.verify());
+
+    const auto &samples = monitor.samples(w.workTid());
+    EXPECT_GT(samples.size(), 10u);
+    return {monitor.meanAbsRelError(w.workTid(), 128.0),
+            samples.back().observed, samples.back().predicted};
+}
+
+TEST(ModelAccuracyTest, Figure5BarnesGoodAgreement)
+{
+    BarnesWorkload::Params p;
+    p.bodies = 16384;
+    p.passes = 4;
+    BarnesWorkload w(p);
+    KernelAccuracy acc = runKernel(w);
+    // "Good agreement": tight error and a final prediction close to
+    // the observation (no Figure-7-style anomaly).
+    EXPECT_LT(acc.meanError, 0.20);
+    EXPECT_GT(acc.finalPredicted, 0.7 * acc.finalObserved);
+    EXPECT_LT(acc.finalPredicted, 1.3 * acc.finalObserved);
+}
+
+TEST(ModelAccuracyTest, Figure5OceanGoodAgreement)
+{
+    OceanWorkload::Params p;
+    p.edge = 400;
+    p.iterations = 2;
+    OceanWorkload w(p);
+    KernelAccuracy acc = runKernel(w);
+    EXPECT_LT(acc.meanError, 0.35);
+}
+
+TEST(ModelAccuracyTest, Figure7TypecheckerOverprediction)
+{
+    TypecheckerWorkload w{TypecheckerWorkload::Params{}};
+    KernelAccuracy acc = runKernel(w);
+    // "The footprints predicted by the model were substantially larger
+    // than those observed."
+    EXPECT_GT(acc.finalPredicted, 1.4 * acc.finalObserved);
+}
+
+TEST(ModelAccuracyTest, Figure7RaytraceOverprediction)
+{
+    RaytraceWorkload w{RaytraceWorkload::Params{}};
+    KernelAccuracy acc = runKernel(w);
+    EXPECT_GT(acc.finalPredicted, 1.4 * acc.finalObserved);
+}
+
+TEST(ModelAccuracyTest, PicDerivedMissesMatchGroundTruth)
+{
+    // The runtime's PIC read-and-diff must reconstruct exactly the
+    // misses the cache simulator counted.
+    Machine machine(simConfig());
+    VAddr va = machine.alloc(64 * 500, 64);
+    machine.spawn([&] {
+        machine.read(va, 64 * 500);
+        machine.flushAllCaches();
+        machine.read(va, 64 * 500);
+    });
+    machine.run();
+    uint32_t refs = machine.perf(0).read(0);
+    uint32_t hits = machine.perf(0).read(1);
+    EXPECT_EQ(PerfCounters::missesBetween(0, 0, refs, hits),
+              machine.totalEMisses());
+    EXPECT_EQ(machine.totalEMisses(), 1000u);
+}
+
+} // namespace
+} // namespace atl

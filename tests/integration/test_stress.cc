@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Randomised stress tests: a fuzzer drives the runtime with arbitrary
+ * interleavings of spawn / join / yield / sleep / lock / semaphore /
+ * barrier traffic and modelled memory accesses, across all policies and
+ * machine widths. The invariants: every run terminates, every thread
+ * completes, shared counters balance, and identical seeds give
+ * identical simulations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "atl/runtime/sync.hh"
+#include "atl/util/rng.hh"
+
+namespace atl
+{
+namespace
+{
+
+struct FuzzResult
+{
+    uint64_t completed = 0;
+    uint64_t counter = 0;
+    Cycles makespan = 0;
+    uint64_t eMisses = 0;
+};
+
+/** One randomised run: a root spawns workers that do random mixes of
+ *  runtime operations, with nested spawning up to a budget. */
+FuzzResult
+fuzz(PolicyKind policy, unsigned n_cpus, uint64_t seed)
+{
+    MachineConfig cfg;
+    cfg.numCpus = n_cpus;
+    cfg.policy = policy;
+    cfg.seed = seed;
+    Machine m(cfg);
+
+    auto mutex = std::make_shared<Mutex>(m);
+    auto sem = std::make_shared<Semaphore>(m, 2);
+    auto result = std::make_shared<FuzzResult>();
+    auto budget = std::make_shared<int>(120); // total threads allowed
+
+    VAddr shared = m.alloc(64 * 4096, 64);
+
+    // Worker body factory; recursion via shared_ptr to itself.
+    auto make_worker = std::make_shared<
+        std::function<void(uint64_t, int)>>();
+    *make_worker = [&m, mutex, sem, result, budget, shared,
+                    make_worker](uint64_t worker_seed, int depth) {
+        Rng rng(worker_seed);
+        std::vector<ThreadId> kids;
+        for (int op = 0; op < 12; ++op) {
+            switch (rng.below(7)) {
+              case 0:
+                m.read(shared + rng.below(4000) * 64,
+                       64 * (1 + rng.below(32)));
+                break;
+              case 1:
+                m.write(shared + rng.below(4000) * 64,
+                        64 * (1 + rng.below(8)));
+                break;
+              case 2:
+                m.execute(1 + rng.below(5000));
+                break;
+              case 3:
+                m.yield();
+                break;
+              case 4:
+                m.sleep(rng.below(20000));
+                break;
+              case 5: {
+                mutex->lock();
+                ++result->counter;
+                m.execute(rng.below(500));
+                mutex->unlock();
+                break;
+              }
+              case 6: {
+                if (depth < 3 && *budget > 0) {
+                    --*budget;
+                    uint64_t child_seed = rng.next();
+                    int child_depth = depth + 1;
+                    ThreadId kid = m.spawn([make_worker, child_seed,
+                                            child_depth] {
+                        (*make_worker)(child_seed, child_depth);
+                    });
+                    if (rng.chance(0.5))
+                        m.share(m.self(), kid, rng.uniform());
+                    if (rng.chance(0.3))
+                        kids.push_back(kid);
+                    else if (rng.chance(0.5))
+                        sem->post();
+                } else {
+                    if (sem->tryWait())
+                        sem->post();
+                }
+                break;
+              }
+            }
+        }
+        for (ThreadId kid : kids)
+            m.join(kid);
+        mutex->lock();
+        ++result->completed;
+        mutex->unlock();
+    };
+
+    for (int w = 0; w < 8; ++w) {
+        --*budget;
+        uint64_t worker_seed = seed * 1000003u + w;
+        m.spawn([make_worker, worker_seed] {
+            (*make_worker)(worker_seed, 0);
+        });
+    }
+    m.run();
+
+    result->makespan = m.makespan();
+    result->eMisses = m.totalEMisses();
+    result->completed = result->completed; // workers + descendants
+    result->counter = result->counter;
+    FuzzResult out = *result;
+    out.completed = result->completed;
+    return out;
+}
+
+class FuzzSweep
+    : public ::testing::TestWithParam<std::tuple<PolicyKind, unsigned>>
+{};
+
+TEST_P(FuzzSweep, RandomInterleavingsTerminateAndBalance)
+{
+    auto [policy, n_cpus] = GetParam();
+    for (uint64_t seed : {1ull, 7ull, 1234ull}) {
+        FuzzResult r = fuzz(policy, n_cpus, seed);
+        EXPECT_GT(r.completed, 7u) << "seed " << seed;
+        EXPECT_GT(r.makespan, 0u);
+        // Counter increments happened under the lock, once per op-5 and
+        // once per completion: at least one per completed thread.
+        EXPECT_GE(r.counter, r.completed);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndWidths, FuzzSweep,
+    ::testing::Combine(::testing::Values(PolicyKind::FCFS,
+                                         PolicyKind::LFF,
+                                         PolicyKind::CRT),
+                       ::testing::Values(1u, 2u, 8u)),
+    [](const auto &info) {
+        return std::string(policyName(std::get<0>(info.param))) + "_" +
+               std::to_string(std::get<1>(info.param)) + "cpu";
+    });
+
+TEST(FuzzDeterminism, IdenticalSeedsIdenticalRuns)
+{
+    for (PolicyKind policy : {PolicyKind::FCFS, PolicyKind::LFF}) {
+        FuzzResult a = fuzz(policy, 4, 42);
+        FuzzResult b = fuzz(policy, 4, 42);
+        EXPECT_EQ(a.completed, b.completed);
+        EXPECT_EQ(a.counter, b.counter);
+        EXPECT_EQ(a.makespan, b.makespan);
+        EXPECT_EQ(a.eMisses, b.eMisses);
+    }
+}
+
+TEST(FuzzDeterminism, DifferentSeedsDiffer)
+{
+    FuzzResult a = fuzz(PolicyKind::LFF, 4, 1);
+    FuzzResult b = fuzz(PolicyKind::LFF, 4, 2);
+    // Nearly impossible to collide on makespan with different traffic.
+    EXPECT_NE(a.makespan, b.makespan);
+}
+
+} // namespace
+} // namespace atl

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Tests for the set-associative cache simulator: mapping, replacement,
+ * write policies, invalidation and residency accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "atl/mem/cache.hh"
+
+namespace atl
+{
+namespace
+{
+
+CacheConfig
+smallDm()
+{
+    // 8 lines of 64 bytes, direct-mapped, write-back.
+    return {"dm", 512, 64, 1, WritePolicy::WriteBack, true};
+}
+
+CacheConfig
+small2Way()
+{
+    return {"2way", 512, 64, 2, WritePolicy::WriteBack, true};
+}
+
+TEST(CacheTest, GeometryDerivation)
+{
+    Cache dm(smallDm());
+    EXPECT_EQ(dm.numLines(), 8u);
+    EXPECT_EQ(dm.numSets(), 8u);
+    EXPECT_EQ(dm.ways(), 1u);
+    EXPECT_EQ(dm.lineBytes(), 64u);
+
+    Cache w2(small2Way());
+    EXPECT_EQ(w2.numLines(), 8u);
+    EXPECT_EQ(w2.numSets(), 4u);
+    EXPECT_EQ(w2.ways(), 2u);
+}
+
+TEST(CacheTest, PaperGeometry)
+{
+    Cache e({"e-cache", 512 * 1024, 64, 1, WritePolicy::WriteBack, true});
+    EXPECT_EQ(e.numLines(), 8192u); // the paper's N
+}
+
+TEST(CacheTest, MissThenHit)
+{
+    Cache c(smallDm());
+    auto first = c.access(0x1000, false);
+    EXPECT_FALSE(first.hit);
+    EXPECT_TRUE(first.filled);
+    auto second = c.access(0x1000, false);
+    EXPECT_TRUE(second.hit);
+    EXPECT_EQ(c.stats().refs, 2u);
+    EXPECT_EQ(c.stats().hits, 1u);
+    EXPECT_EQ(c.stats().misses(), 1u);
+}
+
+TEST(CacheTest, SameLineDifferentBytesHit)
+{
+    Cache c(smallDm());
+    c.access(0x1000, false);
+    EXPECT_TRUE(c.access(0x103f, false).hit);
+    EXPECT_FALSE(c.access(0x1040, false).hit); // next line
+}
+
+TEST(CacheTest, DirectMappedConflict)
+{
+    Cache c(smallDm());
+    // 8 sets x 64B lines: addresses 512 bytes apart share a set.
+    c.access(0x0000, false);
+    auto conflict = c.access(0x0200, false);
+    EXPECT_FALSE(conflict.hit);
+    ASSERT_TRUE(conflict.victim.valid);
+    EXPECT_EQ(conflict.victim.lineAddr, 0x0000u);
+    EXPECT_FALSE(c.contains(0x0000));
+    EXPECT_TRUE(c.contains(0x0200));
+}
+
+TEST(CacheTest, TwoWayAvoidsSingleConflict)
+{
+    Cache c(small2Way());
+    // 4 sets x 64B: addresses 256 bytes apart share a set.
+    c.access(0x0000, false);
+    c.access(0x0100, false);
+    EXPECT_TRUE(c.contains(0x0000));
+    EXPECT_TRUE(c.contains(0x0100));
+    // A third line in the set evicts the LRU (0x0000).
+    auto third = c.access(0x0200, false);
+    ASSERT_TRUE(third.victim.valid);
+    EXPECT_EQ(third.victim.lineAddr, 0x0000u);
+}
+
+TEST(CacheTest, LruRespectsAccessOrder)
+{
+    Cache c(small2Way());
+    c.access(0x0000, false);
+    c.access(0x0100, false);
+    c.access(0x0000, false); // refresh 0x0000; LRU is now 0x0100
+    auto third = c.access(0x0200, false);
+    ASSERT_TRUE(third.victim.valid);
+    EXPECT_EQ(third.victim.lineAddr, 0x0100u);
+    EXPECT_TRUE(c.contains(0x0000));
+}
+
+TEST(CacheTest, WriteBackMarksDirtyAndWritesBack)
+{
+    Cache c(smallDm());
+    c.access(0x0000, true);
+    EXPECT_TRUE(c.isDirty(0x0000));
+    auto evict = c.access(0x0200, false);
+    ASSERT_TRUE(evict.victim.valid);
+    EXPECT_TRUE(evict.victim.dirty);
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(CacheTest, CleanEvictionIsNotWriteback)
+{
+    Cache c(smallDm());
+    c.access(0x0000, false);
+    c.access(0x0200, false);
+    EXPECT_EQ(c.stats().writebacks, 0u);
+    EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+TEST(CacheTest, WriteThroughNeverDirty)
+{
+    CacheConfig cfg{"wt", 512, 64, 1, WritePolicy::WriteThrough, true};
+    Cache c(cfg);
+    c.access(0x0000, true);
+    EXPECT_FALSE(c.isDirty(0x0000));
+}
+
+TEST(CacheTest, NoWriteAllocateSkipsFill)
+{
+    CacheConfig cfg{"wtna", 512, 64, 1, WritePolicy::WriteThrough, false};
+    Cache c(cfg);
+    auto result = c.access(0x0000, true);
+    EXPECT_FALSE(result.hit);
+    EXPECT_FALSE(result.filled);
+    EXPECT_FALSE(c.contains(0x0000));
+    // But a write to a resident line still hits.
+    c.access(0x0000, false);
+    EXPECT_TRUE(c.access(0x0000, true).hit);
+}
+
+TEST(CacheTest, FillDoesNotCountAsReference)
+{
+    Cache c(smallDm());
+    c.fill(0x0000);
+    EXPECT_EQ(c.stats().refs, 0u);
+    EXPECT_TRUE(c.contains(0x0000));
+    EXPECT_TRUE(c.access(0x0000, false).hit);
+}
+
+TEST(CacheTest, FillDirtyPropagates)
+{
+    Cache c(smallDm());
+    c.fill(0x0000, true);
+    EXPECT_TRUE(c.isDirty(0x0000));
+    // Refilling clean must not clear dirtiness.
+    c.fill(0x0000, false);
+    EXPECT_TRUE(c.isDirty(0x0000));
+}
+
+TEST(CacheTest, InvalidateRemovesLine)
+{
+    Cache c(smallDm());
+    c.access(0x0000, true);
+    EXPECT_TRUE(c.invalidate(0x0000));
+    EXPECT_FALSE(c.contains(0x0000));
+    EXPECT_FALSE(c.invalidate(0x0000)); // second time: not present
+    EXPECT_EQ(c.stats().invalidations, 1u);
+}
+
+TEST(CacheTest, ResidencyAccounting)
+{
+    Cache c(smallDm());
+    EXPECT_EQ(c.residentLines(), 0u);
+    for (int i = 0; i < 8; ++i)
+        c.access(static_cast<PAddr>(i) * 64, false);
+    EXPECT_EQ(c.residentLines(), 8u);
+    // Conflicting fill replaces, does not grow.
+    c.access(0x0200, false);
+    EXPECT_EQ(c.residentLines(), 8u);
+    c.invalidate(0x0200);
+    EXPECT_EQ(c.residentLines(), 7u);
+}
+
+TEST(CacheTest, FlushEmptiesEverything)
+{
+    Cache c(smallDm());
+    for (int i = 0; i < 8; ++i)
+        c.access(static_cast<PAddr>(i) * 64, true);
+    c.flush();
+    EXPECT_EQ(c.residentLines(), 0u);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_FALSE(c.contains(static_cast<PAddr>(i) * 64));
+}
+
+TEST(CacheTest, ForEachResidentEnumeratesLines)
+{
+    Cache c(smallDm());
+    std::set<PAddr> expect{0x0000, 0x0040, 0x0080};
+    for (PAddr a : expect)
+        c.access(a, false);
+    std::set<PAddr> seen;
+    c.forEachResident([&](PAddr line) { seen.insert(line); });
+    EXPECT_EQ(seen, expect);
+}
+
+TEST(CacheTest, SetIndexComputation)
+{
+    Cache c(smallDm());
+    EXPECT_EQ(c.setIndex(0x0000), 0u);
+    EXPECT_EQ(c.setIndex(0x0040), 1u);
+    EXPECT_EQ(c.setIndex(0x01c0), 7u);
+    EXPECT_EQ(c.setIndex(0x0200), 0u); // wraps
+    EXPECT_EQ(c.lineAlign(0x0279), 0x0240u);
+}
+
+/** Property sweep: residency never exceeds capacity and stats balance. */
+class CacheSweepTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, uint64_t>>
+{};
+
+TEST_P(CacheSweepTest, InvariantsUnderRandomTraffic)
+{
+    auto [ways, size] = GetParam();
+    CacheConfig cfg{"sweep", size, 64, ways, WritePolicy::WriteBack, true};
+    Cache c(cfg);
+
+    uint64_t x = 88172645463325252ull;
+    auto next = [&x] {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        return x;
+    };
+
+    uint64_t fills = 0, evictions_plus_resident;
+    for (int i = 0; i < 20000; ++i) {
+        PAddr pa = (next() % (size * 8)) & ~63ull;
+        auto r = c.access(pa, next() & 1);
+        fills += r.filled;
+        ASSERT_LE(c.residentLines(), c.numLines());
+        ASSERT_TRUE(c.contains(pa) || (!r.filled && !r.hit));
+    }
+    evictions_plus_resident = c.stats().evictions + c.residentLines();
+    EXPECT_EQ(fills, evictions_plus_resident);
+    EXPECT_EQ(c.stats().refs, 20000u);
+    EXPECT_LE(c.stats().hits, c.stats().refs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheSweepTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u),
+                       ::testing::Values(4096ull, 65536ull)));
+
+} // namespace
+} // namespace atl

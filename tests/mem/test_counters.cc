@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the simulated PIC/PCR performance counter unit, including
+ * the 32-bit wrap-around handling that the runtime's miss-derivation
+ * relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "atl/perf/counters.hh"
+#include "atl/util/logging.hh"
+
+namespace atl
+{
+namespace
+{
+
+TEST(PerfCountersTest, UnconfiguredCountsNothing)
+{
+    PerfCounters pc;
+    pc.record(PerfEvent::EcacheRefs, 10);
+    EXPECT_EQ(pc.read(0), 0u);
+    EXPECT_EQ(pc.read(1), 0u);
+}
+
+TEST(PerfCountersTest, SelectionRouting)
+{
+    PerfCounters pc;
+    pc.configure(PerfEvent::EcacheRefs, PerfEvent::EcacheHits);
+    EXPECT_EQ(pc.selected(0), PerfEvent::EcacheRefs);
+    EXPECT_EQ(pc.selected(1), PerfEvent::EcacheHits);
+
+    pc.record(PerfEvent::EcacheRefs, 5);
+    pc.record(PerfEvent::EcacheHits, 3);
+    pc.record(PerfEvent::Instructions, 100); // not selected
+    EXPECT_EQ(pc.read(0), 5u);
+    EXPECT_EQ(pc.read(1), 3u);
+}
+
+TEST(PerfCountersTest, BothPicsSameEvent)
+{
+    PerfCounters pc;
+    pc.configure(PerfEvent::Cycles, PerfEvent::Cycles);
+    pc.record(PerfEvent::Cycles, 7);
+    EXPECT_EQ(pc.read(0), 7u);
+    EXPECT_EQ(pc.read(1), 7u);
+}
+
+TEST(PerfCountersTest, ResetClearsPicsOnly)
+{
+    PerfCounters pc;
+    pc.configure(PerfEvent::EcacheRefs, PerfEvent::EcacheHits);
+    pc.record(PerfEvent::EcacheRefs, 9);
+    pc.reset();
+    EXPECT_EQ(pc.read(0), 0u);
+    EXPECT_EQ(pc.selected(0), PerfEvent::EcacheRefs); // PCR untouched
+}
+
+TEST(PerfCountersTest, CounterWrapsAt32Bits)
+{
+    PerfCounters pc;
+    pc.configure(PerfEvent::EcacheRefs, PerfEvent::None);
+    pc.record(PerfEvent::EcacheRefs, 0xffffffffu);
+    pc.record(PerfEvent::EcacheRefs, 2);
+    EXPECT_EQ(pc.read(0), 1u);
+}
+
+TEST(PerfCountersTest, MissesBetweenSimple)
+{
+    EXPECT_EQ(PerfCounters::missesBetween(0, 0, 100, 70), 30u);
+    EXPECT_EQ(PerfCounters::missesBetween(50, 40, 50, 40), 0u);
+}
+
+TEST(PerfCountersTest, MissesBetweenHandlesRefWrap)
+{
+    // refs wrapped past 2^32 during the interval; hits did not.
+    uint32_t refs_before = 0xfffffff0u;
+    uint32_t refs_now = 16; // +32 refs
+    uint32_t hits_before = 100, hits_now = 120; // +20 hits
+    EXPECT_EQ(PerfCounters::missesBetween(refs_before, hits_before,
+                                          refs_now, hits_now),
+              12u);
+}
+
+TEST(PerfCountersTest, MissesBetweenHandlesBothWrapping)
+{
+    uint32_t refs_before = 0xffffff00u, refs_now = 0x00000100u; // +512
+    uint32_t hits_before = 0xffffff80u, hits_now = 0x00000080u; // +256
+    EXPECT_EQ(PerfCounters::missesBetween(refs_before, hits_before,
+                                          refs_now, hits_now),
+              256u);
+}
+
+TEST(PerfCountersTest, MoreHitsThanRefsPanics)
+{
+    setLogThrowMode(true);
+    EXPECT_THROW(PerfCounters::missesBetween(0, 0, 10, 20), LogError);
+    setLogThrowMode(false);
+}
+
+TEST(PerfCountersTest, PicIndexOutOfRangePanics)
+{
+    setLogThrowMode(true);
+    PerfCounters pc;
+    EXPECT_THROW(pc.read(2), LogError);
+    EXPECT_THROW(pc.selected(5), LogError);
+    setLogThrowMode(false);
+}
+
+} // namespace
+} // namespace atl

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Tests for the three-level inclusive hierarchy (Table 1 geometry):
+ * service levels, write-through behaviour, inclusion enforcement and
+ * the E-cache fill/evict hooks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "atl/mem/hierarchy.hh"
+
+namespace atl
+{
+namespace
+{
+
+TEST(HierarchyTest, DefaultsMatchPaperTable1)
+{
+    HierarchyConfig cfg;
+    EXPECT_EQ(cfg.l1d.sizeBytes, 16u * 1024);
+    EXPECT_EQ(cfg.l1d.lineBytes, 32u);
+    EXPECT_EQ(cfg.l1d.ways, 1u);
+    EXPECT_EQ(cfg.l1d.writePolicy, WritePolicy::WriteThrough);
+    EXPECT_EQ(cfg.l1i.sizeBytes, 16u * 1024);
+    EXPECT_EQ(cfg.l1i.ways, 2u);
+    EXPECT_EQ(cfg.l2.sizeBytes, 512u * 1024);
+    EXPECT_EQ(cfg.l2.lineBytes, 64u);
+    EXPECT_EQ(cfg.l2.ways, 1u);
+    EXPECT_EQ(cfg.l2.writePolicy, WritePolicy::WriteBack);
+}
+
+TEST(HierarchyTest, ColdLoadGoesToMemory)
+{
+    Hierarchy h{HierarchyConfig{}};
+    auto outcome = h.access(0x10000, AccessType::Load);
+    EXPECT_EQ(outcome.servicedBy, ServicedBy::Memory);
+    EXPECT_TRUE(outcome.l2Referenced);
+    EXPECT_TRUE(outcome.l2Missed);
+}
+
+TEST(HierarchyTest, SecondLoadIsL1Hit)
+{
+    Hierarchy h{HierarchyConfig{}};
+    h.access(0x10000, AccessType::Load);
+    auto outcome = h.access(0x10000, AccessType::Load);
+    EXPECT_EQ(outcome.servicedBy, ServicedBy::L1);
+    EXPECT_FALSE(outcome.l2Referenced);
+}
+
+TEST(HierarchyTest, L1MissL2HitWithinSameL2Line)
+{
+    Hierarchy h{HierarchyConfig{}};
+    // 64B L2 line covers two 32B L1 lines: the second half misses in L1
+    // but hits in L2.
+    h.access(0x10000, AccessType::Load);
+    auto outcome = h.access(0x10020, AccessType::Load);
+    EXPECT_EQ(outcome.servicedBy, ServicedBy::L2);
+    EXPECT_TRUE(outcome.l2Referenced);
+    EXPECT_FALSE(outcome.l2Missed);
+}
+
+TEST(HierarchyTest, WriteThroughStoresAlwaysReferenceL2)
+{
+    Hierarchy h{HierarchyConfig{}};
+    h.access(0x10000, AccessType::Load); // warm both levels
+    auto outcome = h.access(0x10000, AccessType::Store);
+    EXPECT_TRUE(outcome.l2Referenced);
+    EXPECT_FALSE(outcome.l2Missed);
+    EXPECT_TRUE(h.l2Dirty(0x10000));
+}
+
+TEST(HierarchyTest, StoreMissAllocatesInL2NotL1)
+{
+    Hierarchy h{HierarchyConfig{}};
+    auto outcome = h.access(0x20000, AccessType::Store);
+    EXPECT_TRUE(outcome.l2Missed);
+    EXPECT_TRUE(h.l2Contains(0x20000));
+    EXPECT_FALSE(h.l1d().contains(0x20000)); // no-write-allocate L1
+}
+
+TEST(HierarchyTest, IFetchUsesICache)
+{
+    Hierarchy h{HierarchyConfig{}};
+    h.access(0x30000, AccessType::IFetch);
+    EXPECT_TRUE(h.l1i().contains(0x30000));
+    EXPECT_FALSE(h.l1d().contains(0x30000));
+    auto outcome = h.access(0x30000, AccessType::IFetch);
+    EXPECT_EQ(outcome.servicedBy, ServicedBy::L1);
+}
+
+TEST(HierarchyTest, InclusionOnL2Eviction)
+{
+    Hierarchy h{HierarchyConfig{}};
+    // Two addresses 512KB apart conflict in the direct-mapped L2.
+    h.access(0x00000, AccessType::Load);
+    EXPECT_TRUE(h.l1d().contains(0x00000));
+    h.access(0x80000, AccessType::Load);
+    EXPECT_FALSE(h.l2Contains(0x00000));
+    // Inclusion: the L1 copy must be gone too.
+    EXPECT_FALSE(h.l1d().contains(0x00000));
+}
+
+TEST(HierarchyTest, InclusionCoversBothL1Sublines)
+{
+    Hierarchy h{HierarchyConfig{}};
+    h.access(0x00000, AccessType::Load);
+    h.access(0x00020, AccessType::Load); // second half of the L2 line
+    h.access(0x80000, AccessType::Load); // evicts the L2 line
+    EXPECT_FALSE(h.l1d().contains(0x00000));
+    EXPECT_FALSE(h.l1d().contains(0x00020));
+}
+
+TEST(HierarchyTest, InvalidateLineDropsAllLevels)
+{
+    Hierarchy h{HierarchyConfig{}};
+    h.access(0x40000, AccessType::Load);
+    EXPECT_TRUE(h.invalidateLine(0x40000));
+    EXPECT_FALSE(h.l2Contains(0x40000));
+    EXPECT_FALSE(h.l1d().contains(0x40000));
+    EXPECT_FALSE(h.invalidateLine(0x40000));
+}
+
+TEST(HierarchyTest, FillHookFiresOnDemandMiss)
+{
+    Hierarchy h{HierarchyConfig{}};
+    std::vector<PAddr> fills, evicts;
+    h.onL2Fill([&](PAddr a) { fills.push_back(a); });
+    h.onL2Evict([&](PAddr a) { evicts.push_back(a); });
+
+    h.access(0x00000, AccessType::Load);
+    ASSERT_EQ(fills.size(), 1u);
+    EXPECT_EQ(fills[0], 0x00000u);
+    EXPECT_TRUE(evicts.empty());
+
+    h.access(0x80000, AccessType::Load); // conflict evicts 0x00000
+    ASSERT_EQ(evicts.size(), 1u);
+    EXPECT_EQ(evicts[0], 0x00000u);
+    EXPECT_EQ(fills.size(), 2u);
+}
+
+TEST(HierarchyTest, EvictHookFiresOnInvalidateAndFlush)
+{
+    Hierarchy h{HierarchyConfig{}};
+    std::vector<PAddr> evicts;
+    h.onL2Evict([&](PAddr a) { evicts.push_back(a); });
+    h.access(0x1000, AccessType::Load);
+    h.access(0x2000, AccessType::Load);
+    h.invalidateLine(0x1000);
+    EXPECT_EQ(evicts.size(), 1u);
+    h.flush();
+    EXPECT_EQ(evicts.size(), 2u);
+    EXPECT_EQ(h.l2().residentLines(), 0u);
+}
+
+TEST(HierarchyTest, StatsAccumulateAndReset)
+{
+    Hierarchy h{HierarchyConfig{}};
+    h.access(0x1000, AccessType::Load);
+    h.access(0x1000, AccessType::Load);
+    EXPECT_EQ(h.l1d().stats().refs, 2u);
+    EXPECT_EQ(h.l2().stats().refs, 1u);
+    h.resetStats();
+    EXPECT_EQ(h.l1d().stats().refs, 0u);
+    EXPECT_EQ(h.l2().stats().refs, 0u);
+    // Contents survive a stats reset.
+    EXPECT_TRUE(h.l2Contains(0x1000));
+}
+
+TEST(HierarchyTest, PaperECacheMissCounts)
+{
+    // Streaming 1MB through the hierarchy must produce exactly
+    // 1MB / 64B = 16384 E-cache misses.
+    Hierarchy h{HierarchyConfig{}};
+    for (PAddr a = 0; a < (1u << 20); a += 32)
+        h.access(a, AccessType::Load);
+    EXPECT_EQ(h.l2().stats().misses(), 16384u);
+}
+
+TEST(HierarchyTest, WriteBackL1Configuration)
+{
+    // The general case the Table-1 defaults never exercise: a
+    // write-back, write-allocating L1D whose dirty victims must be
+    // written through to the inclusive E-cache.
+    HierarchyConfig cfg;
+    cfg.l1d = {"l1d-wb", 512, 32, 1, WritePolicy::WriteBack, true};
+    Hierarchy h{cfg};
+
+    // A store allocates in L1 and dirties it without referencing the
+    // E-cache again on the next store.
+    h.access(0x1000, AccessType::Store);
+    EXPECT_TRUE(h.l1d().contains(0x1000));
+    EXPECT_TRUE(h.l1d().isDirty(0x1000));
+    uint64_t l2_refs = h.l2().stats().refs;
+    auto repeat = h.access(0x1000, AccessType::Store);
+    EXPECT_EQ(repeat.servicedBy, ServicedBy::L1);
+    EXPECT_EQ(h.l2().stats().refs, l2_refs);
+
+    // Evicting the dirty L1 line (16 sets x 32B: addresses 512 bytes
+    // apart conflict) writes it back into the E-cache, dirty.
+    h.access(0x1000 + 512, AccessType::Load);
+    EXPECT_FALSE(h.l1d().contains(0x1000));
+    EXPECT_TRUE(h.l2Dirty(0x1000));
+}
+
+TEST(HierarchyTest, WriteBackL1LoadEvictionAlsoWritesBack)
+{
+    HierarchyConfig cfg;
+    cfg.l1d = {"l1d-wb", 512, 32, 1, WritePolicy::WriteBack, true};
+    Hierarchy h{cfg};
+
+    h.access(0x2000, AccessType::Load);
+    h.access(0x2000, AccessType::Store); // dirty in L1
+    // A conflicting *load* must push the dirty victim down too.
+    h.access(0x2000 + 512, AccessType::Load);
+    EXPECT_TRUE(h.l2Dirty(0x2000));
+}
+
+} // namespace
+} // namespace atl

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the simulated VM: translation stability, reverse mapping,
+ * and page placement policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "atl/mem/vm.hh"
+
+namespace atl
+{
+namespace
+{
+
+constexpr uint64_t pageBytes = 8192;
+constexpr uint64_t colors = 64; // 512KB cache / 8KB pages
+
+TEST(VmTest, TranslationIsStable)
+{
+    Vm vm(pageBytes, colors);
+    PAddr first = vm.translate(0x10000);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(vm.translate(0x10000), first);
+}
+
+TEST(VmTest, OffsetWithinPagePreserved)
+{
+    Vm vm(pageBytes, colors);
+    PAddr base = vm.translate(0x20000);
+    EXPECT_EQ(vm.translate(0x20000 + 123), base + 123);
+    EXPECT_EQ(vm.translate(0x20000 + pageBytes - 1),
+              base + pageBytes - 1);
+}
+
+TEST(VmTest, DistinctPagesGetDistinctFrames)
+{
+    Vm vm(pageBytes, colors);
+    std::set<uint64_t> frames;
+    for (uint64_t p = 0; p < 200; ++p) {
+        PAddr pa = vm.translate(p * pageBytes);
+        frames.insert(pa / pageBytes);
+    }
+    EXPECT_EQ(frames.size(), 200u);
+    EXPECT_EQ(vm.pagesMapped(), 200u);
+}
+
+TEST(VmTest, ReverseTranslation)
+{
+    Vm vm(pageBytes, colors);
+    VAddr va = 0x123456;
+    PAddr pa = vm.translate(va);
+    VAddr back = 0;
+    ASSERT_TRUE(vm.reverse(pa, back));
+    EXPECT_EQ(back, va);
+}
+
+TEST(VmTest, ReverseOfUnmappedFails)
+{
+    Vm vm(pageBytes, colors);
+    VAddr back = 0;
+    EXPECT_FALSE(vm.reverse(0xdead0000, back));
+}
+
+TEST(VmTest, TranslateIfMappedDoesNotFault)
+{
+    Vm vm(pageBytes, colors);
+    PAddr pa = 0;
+    EXPECT_FALSE(vm.translateIfMapped(0x90000, pa));
+    EXPECT_EQ(vm.pagesMapped(), 0u);
+    vm.translate(0x90000);
+    EXPECT_TRUE(vm.translateIfMapped(0x90000, pa));
+    EXPECT_EQ(vm.pagesMapped(), 1u);
+}
+
+TEST(VmTest, BinHoppingBalancesColors)
+{
+    Vm vm(pageBytes, colors, PagePlacement::BinHopping);
+    for (uint64_t p = 0; p < colors * 4; ++p)
+        vm.translate(p * pageBytes);
+    auto hist = vm.colorHistogram();
+    ASSERT_EQ(hist.size(), colors);
+    for (uint64_t c : hist)
+        EXPECT_EQ(c, 4u); // perfectly balanced by construction
+}
+
+TEST(VmTest, BinHoppingConsecutiveFaultsDifferInColor)
+{
+    Vm vm(pageBytes, colors, PagePlacement::BinHopping);
+    PAddr a = vm.translate(0);
+    PAddr b = vm.translate(pageBytes);
+    EXPECT_NE((a / pageBytes) % colors, (b / pageBytes) % colors);
+}
+
+TEST(VmTest, ArbitraryPlacementIsSequential)
+{
+    Vm vm(pageBytes, colors, PagePlacement::Arbitrary);
+    for (uint64_t p = 0; p < 10; ++p) {
+        PAddr pa = vm.translate(p * pageBytes + 7);
+        EXPECT_EQ(pa / pageBytes, p);
+    }
+}
+
+TEST(VmTest, RandomPlacementIsDeterministicPerSeed)
+{
+    Vm a(pageBytes, colors, PagePlacement::Random, 99);
+    Vm b(pageBytes, colors, PagePlacement::Random, 99);
+    for (uint64_t p = 0; p < 50; ++p)
+        EXPECT_EQ(a.translate(p * pageBytes), b.translate(p * pageBytes));
+}
+
+TEST(VmTest, RandomPlacementAvoidsCollisions)
+{
+    Vm vm(pageBytes, colors, PagePlacement::Random, 5);
+    std::set<uint64_t> frames;
+    for (uint64_t p = 0; p < 500; ++p)
+        frames.insert(vm.translate(p * pageBytes) / pageBytes);
+    EXPECT_EQ(frames.size(), 500u);
+}
+
+} // namespace
+} // namespace atl

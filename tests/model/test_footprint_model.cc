@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Tests for the shared-state cache model closed forms (paper Section
+ * 2.4): boundary values, asymptotes, the q = 0 / q = 1 specialisations
+ * and qualitative behaviours shown in Figure 4.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "atl/model/footprint_model.hh"
+#include "atl/util/logging.hh"
+
+namespace atl
+{
+namespace
+{
+
+constexpr uint64_t paperN = 8192; // 512KB / 64B lines
+
+class FootprintModelTest : public ::testing::Test
+{
+  protected:
+    FootprintModel model{paperN};
+};
+
+TEST_F(FootprintModelTest, Constants)
+{
+    EXPECT_DOUBLE_EQ(model.N(), 8192.0);
+    EXPECT_DOUBLE_EQ(model.k(), 8191.0 / 8192.0);
+    EXPECT_NEAR(model.logK(), std::log(8191.0 / 8192.0), 1e-15);
+    EXPECT_LT(model.logK(), 0.0);
+}
+
+TEST_F(FootprintModelTest, ZeroMissesChangesNothing)
+{
+    EXPECT_DOUBLE_EQ(model.blocking(1234.0, 0), 1234.0);
+    EXPECT_DOUBLE_EQ(model.independent(1234.0, 0), 1234.0);
+    EXPECT_DOUBLE_EQ(model.dependent(0.37, 1234.0, 0), 1234.0);
+}
+
+TEST_F(FootprintModelTest, BlockingSingleMissFromEmpty)
+{
+    // One miss from an empty footprint adds exactly one line.
+    EXPECT_NEAR(model.blocking(0.0, 1), 1.0, 1e-9);
+}
+
+TEST_F(FootprintModelTest, BlockingGrowsTowardN)
+{
+    double prev = 0.0;
+    for (uint64_t n : {10ull, 100ull, 1000ull, 10000ull, 100000ull}) {
+        double f = model.blocking(0.0, n);
+        EXPECT_GT(f, prev);
+        EXPECT_LT(f, model.N() + 1e-9);
+        prev = f;
+    }
+    EXPECT_NEAR(model.blocking(0.0, 1u << 17), model.N(), 1.0);
+}
+
+TEST_F(FootprintModelTest, BlockingNeverShrinks)
+{
+    for (double s : {0.0, 100.0, 4000.0, 8000.0})
+        for (uint64_t n : {1ull, 50ull, 5000ull})
+            EXPECT_GE(model.blocking(s, n), s - 1e-9);
+}
+
+TEST_F(FootprintModelTest, IndependentDecaysTowardZero)
+{
+    double s = 5000.0;
+    double prev = s;
+    for (uint64_t n : {10ull, 100ull, 1000ull, 10000ull}) {
+        double f = model.independent(s, n);
+        EXPECT_LT(f, prev);
+        EXPECT_GT(f, 0.0);
+        prev = f;
+    }
+    EXPECT_NEAR(model.independent(s, 1u << 18), 0.0, 1e-6);
+}
+
+TEST_F(FootprintModelTest, IndependentExactExpression)
+{
+    // E[F_B] = S (1 - 1/N)^n, checked against direct evaluation.
+    double s = 3000.0;
+    uint64_t n = 4096;
+    double expect = s * std::pow(8191.0 / 8192.0, 4096.0);
+    EXPECT_NEAR(model.independent(s, n), expect, 1e-6);
+}
+
+TEST_F(FootprintModelTest, DependentSpecialisesToBlockingAtQ1)
+{
+    // Substituting q = 1 (complete inclusion) yields case 1 (paper).
+    for (double s : {0.0, 500.0, 7000.0})
+        for (uint64_t n : {1ull, 100ull, 10000ull})
+            EXPECT_NEAR(model.dependent(1.0, s, n), model.blocking(s, n),
+                        1e-9);
+}
+
+TEST_F(FootprintModelTest, DependentSpecialisesToIndependentAtQ0)
+{
+    // Substituting q = 0 (no shared data) yields case 2 (paper).
+    for (double s : {0.0, 500.0, 7000.0})
+        for (uint64_t n : {1ull, 100ull, 10000ull})
+            EXPECT_NEAR(model.dependent(0.0, s, n),
+                        model.independent(s, n), 1e-9);
+}
+
+TEST_F(FootprintModelTest, DependentSaturatesAtQN)
+{
+    // Figure 4c/4d: the dependent footprint converges to qN.
+    for (double q : {0.1, 0.5, 0.9}) {
+        double limit = model.dependent(q, 0.0, 1u << 17);
+        EXPECT_NEAR(limit, q * model.N(), q * model.N() * 0.01);
+    }
+}
+
+TEST_F(FootprintModelTest, DependentGrowsWhenBelowQNDecaysWhenAbove)
+{
+    // Figure 4c: "depending on its initial size, the footprint may
+    // either decay or increase".
+    double q = 0.5;
+    double qn = q * model.N();
+    EXPECT_GT(model.dependent(q, qn - 2000.0, 1000), qn - 2000.0);
+    EXPECT_LT(model.dependent(q, qn + 2000.0, 1000), qn + 2000.0);
+    // Exactly at qN it stays put.
+    EXPECT_NEAR(model.dependent(q, qn, 5000), qn, 1e-6);
+}
+
+TEST_F(FootprintModelTest, DependentMonotoneInQ)
+{
+    // Figure 4d: larger sharing coefficients give larger footprints.
+    double prev = -1.0;
+    for (double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        double f = model.dependent(q, 1000.0, 5000);
+        EXPECT_GT(f, prev);
+        prev = f;
+    }
+}
+
+TEST_F(FootprintModelTest, DecayedLazyRepresentation)
+{
+    double s = 4000.0;
+    EXPECT_DOUBLE_EQ(model.decayed(s, 100, 100), s);
+    EXPECT_NEAR(model.decayed(s, 100, 1100), model.independent(s, 1000),
+                1e-9);
+}
+
+TEST_F(FootprintModelTest, DecayedRejectsTimeTravel)
+{
+    setLogThrowMode(true);
+    EXPECT_THROW(model.decayed(10.0, 50, 40), LogError);
+    setLogThrowMode(false);
+}
+
+TEST_F(FootprintModelTest, TinyCacheRejected)
+{
+    setLogThrowMode(true);
+    EXPECT_THROW(FootprintModel bad(1), LogError);
+    setLogThrowMode(false);
+}
+
+/** Parameterised consistency sweep over (N, S, n, q). */
+class ModelSweepTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>>
+{};
+
+TEST_P(ModelSweepTest, CompositionProperty)
+{
+    // Splitting an interval must compose: F(s, a+b) == F(F(s, a), b)
+    // for all three cases (the trajectories are Markovian).
+    auto [n_lines, q] = GetParam();
+    FootprintModel model(n_lines);
+    double s = 0.25 * static_cast<double>(n_lines);
+    for (auto [a, b] : {std::pair<uint64_t, uint64_t>{10, 20},
+                        {500, 500}, {1, 9999}}) {
+        EXPECT_NEAR(model.blocking(s, a + b),
+                    model.blocking(model.blocking(s, a), b), 1e-6);
+        EXPECT_NEAR(model.independent(s, a + b),
+                    model.independent(model.independent(s, a), b), 1e-6);
+        EXPECT_NEAR(model.dependent(q, s, a + b),
+                    model.dependent(q, model.dependent(q, s, a), b),
+                    1e-6);
+    }
+}
+
+TEST_P(ModelSweepTest, BoundsRespected)
+{
+    auto [n_lines, q] = GetParam();
+    FootprintModel model(n_lines);
+    double n_d = static_cast<double>(n_lines);
+    for (double frac : {0.0, 0.3, 0.9, 1.0}) {
+        double s = frac * n_d;
+        for (uint64_t n : {1ull, 77ull, 4097ull}) {
+            EXPECT_GE(model.independent(s, n), 0.0);
+            EXPECT_LE(model.independent(s, n), n_d);
+            EXPECT_GE(model.blocking(s, n), 0.0);
+            EXPECT_LE(model.blocking(s, n), n_d + 1e-9);
+            double dep = model.dependent(q, s, n);
+            EXPECT_GE(dep, 0.0);
+            EXPECT_LE(dep, n_d + 1e-9);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ModelSweepTest,
+    ::testing::Combine(::testing::Values(64ull, 1024ull, 8192ull,
+                                         65536ull),
+                       ::testing::Values(0.0, 0.1, 0.5, 1.0)));
+
+TEST(AssociativeModelTest, ReducesToDirectMappedAtOneWay)
+{
+    FootprintModel dm(8192);
+    AssociativeFootprintModel assoc(8192, 1);
+    for (uint64_t n : {10ull, 1000ull, 50000ull}) {
+        EXPECT_NEAR(assoc.independent(4000.0, n), dm.independent(4000.0, n),
+                    1e-9);
+        EXPECT_NEAR(assoc.blocking(100.0, n), dm.blocking(100.0, n),
+                    1e-9);
+        EXPECT_NEAR(assoc.dependent(0.5, 100.0, n),
+                    dm.dependent(0.5, 100.0, n), 1e-9);
+    }
+}
+
+TEST(AssociativeModelTest, HigherAssociativityDecaysSleepersFaster)
+{
+    // LRU aging makes a sleeping thread's lines preferential victims.
+    AssociativeFootprintModel w1(8192, 1), w4(8192, 4);
+    EXPECT_LT(w4.independent(4000.0, 5000), w1.independent(4000.0, 5000));
+}
+
+TEST(AssociativeModelTest, BoundsClamped)
+{
+    AssociativeFootprintModel assoc(8192, 4);
+    EXPECT_LE(assoc.blocking(8000.0, 1u << 18), 8192.0);
+    EXPECT_GE(assoc.dependent(0.2, 8000.0, 1u << 18), 0.0);
+}
+
+} // namespace
+} // namespace atl

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the appendix Markov chain: transition structure,
+ * distribution conservation, and the central theorem — the closed-form
+ * dependent expectation E_n[F_C] = qN - (qN - S) k^n is *exact* for the
+ * chain (the expectation obeys E_{t+1} = k E_t + q).
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "atl/model/footprint_model.hh"
+#include "atl/model/markov.hh"
+#include "atl/util/logging.hh"
+
+namespace atl
+{
+namespace
+{
+
+TEST(MarkovTest, TransitionProbabilitiesMatchAppendix)
+{
+    // p(i,i+1) = q(N-i)/N ; p(i,i-1) = (1-q) i/N.
+    MarkovFootprintChain chain(100, 0.3);
+    EXPECT_NEAR(chain.pUp(0), 0.3, 1e-12);
+    EXPECT_NEAR(chain.pDown(0), 0.0, 1e-12);
+    EXPECT_NEAR(chain.pUp(100), 0.0, 1e-12);
+    EXPECT_NEAR(chain.pDown(100), 0.7, 1e-12);
+    EXPECT_NEAR(chain.pUp(40), 0.3 * 60.0 / 100.0, 1e-12);
+    EXPECT_NEAR(chain.pDown(40), 0.7 * 40.0 / 100.0, 1e-12);
+    for (uint64_t i : {0ull, 17ull, 50ull, 100ull})
+        EXPECT_NEAR(chain.pUp(i) + chain.pDown(i) + chain.pStay(i), 1.0,
+                    1e-12);
+}
+
+TEST(MarkovTest, DistributionConservation)
+{
+    MarkovFootprintChain chain(64, 0.4);
+    auto dist = chain.distributionAfter(20, 500);
+    double total = std::accumulate(dist.begin(), dist.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    for (double p : dist)
+        EXPECT_GE(p, -1e-15);
+}
+
+TEST(MarkovTest, AbsorbingBehaviourAtQ1)
+{
+    // With q = 1 the chain only moves up: it must eventually
+    // concentrate at N.
+    MarkovFootprintChain chain(32, 1.0);
+    auto dist = chain.distributionAfter(0, 2000);
+    EXPECT_NEAR(dist[32], 1.0, 1e-6);
+}
+
+TEST(MarkovTest, DecayToZeroAtQ0)
+{
+    MarkovFootprintChain chain(32, 0.0);
+    auto dist = chain.distributionAfter(32, 5000);
+    EXPECT_NEAR(dist[0], 1.0, 1e-6);
+}
+
+TEST(MarkovTest, ExpectationHelpers)
+{
+    std::vector<double> dist(5, 0.0);
+    dist[4] = 1.0;
+    EXPECT_DOUBLE_EQ(MarkovFootprintChain::expectation(dist), 4.0);
+    EXPECT_DOUBLE_EQ(MarkovFootprintChain::variance(dist), 0.0);
+
+    std::vector<double> half{0.5, 0.0, 0.5};
+    EXPECT_DOUBLE_EQ(MarkovFootprintChain::expectation(half), 1.0);
+    EXPECT_DOUBLE_EQ(MarkovFootprintChain::variance(half), 1.0);
+}
+
+/**
+ * The appendix theorem: closed form == exact chain expectation, across
+ * cache sizes, sharing coefficients, initial footprints and horizon.
+ */
+class ClosedFormTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>>
+{};
+
+TEST_P(ClosedFormTest, ClosedFormIsExactForChainExpectation)
+{
+    auto [n_lines, q] = GetParam();
+    MarkovFootprintChain chain(n_lines, q);
+    FootprintModel model(n_lines);
+
+    for (double s_frac : {0.0, 0.25, 0.75, 1.0}) {
+        uint64_t s0 = static_cast<uint64_t>(
+            s_frac * static_cast<double>(n_lines));
+        for (uint64_t n : {1ull, 7ull, 64ull, 513ull}) {
+            double exact = chain.expectedAfter(s0, n);
+            double closed =
+                model.dependent(q, static_cast<double>(s0), n);
+            EXPECT_NEAR(exact, closed,
+                        1e-7 * static_cast<double>(n_lines))
+                << "N=" << n_lines << " q=" << q << " s0=" << s0
+                << " n=" << n;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ChainSweep, ClosedFormTest,
+    ::testing::Combine(::testing::Values(16ull, 64ull, 256ull, 1024ull),
+                       ::testing::Values(0.0, 0.1, 0.5, 0.9, 1.0)));
+
+TEST(MarkovTest, BlockingCaseViaQ1MatchesModel)
+{
+    // Case 1 of Section 2.4 as the q = 1 specialisation.
+    MarkovFootprintChain chain(128, 1.0);
+    FootprintModel model(128);
+    EXPECT_NEAR(chain.expectedAfter(16, 100), model.blocking(16.0, 100),
+                1e-6);
+}
+
+TEST(MarkovTest, IndependentCaseViaQ0MatchesModel)
+{
+    MarkovFootprintChain chain(128, 0.0);
+    FootprintModel model(128);
+    EXPECT_NEAR(chain.expectedAfter(100, 64),
+                model.independent(100.0, 64), 1e-6);
+}
+
+TEST(MarkovTest, VarianceShrinksNearAbsorption)
+{
+    MarkovFootprintChain chain(64, 1.0);
+    double v_early =
+        MarkovFootprintChain::variance(chain.distributionAfter(0, 32));
+    double v_late =
+        MarkovFootprintChain::variance(chain.distributionAfter(0, 4000));
+    EXPECT_GT(v_early, v_late);
+    EXPECT_NEAR(v_late, 0.0, 1e-6);
+}
+
+TEST(MarkovTest, InvalidInputsPanic)
+{
+    setLogThrowMode(true);
+    EXPECT_THROW(MarkovFootprintChain(0, 0.5), LogError);
+    EXPECT_THROW(MarkovFootprintChain(10, 1.5), LogError);
+    EXPECT_THROW(MarkovFootprintChain(10, -0.1), LogError);
+    MarkovFootprintChain chain(10, 0.5);
+    EXPECT_THROW(chain.pUp(11), LogError);
+    EXPECT_THROW(chain.distributionAfter(11, 1), LogError);
+    setLogThrowMode(false);
+}
+
+} // namespace
+} // namespace atl

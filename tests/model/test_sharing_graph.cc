@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the at_share() annotation graph semantics (paper Section
+ * 2.3): dynamic weighted arcs, re-annotation, no implied symmetry or
+ * transitivity, and cleanup on thread death.
+ */
+
+#include <gtest/gtest.h>
+
+#include "atl/model/sharing_graph.hh"
+
+namespace atl
+{
+namespace
+{
+
+TEST(SharingGraphTest, UnspecifiedArcsAreZero)
+{
+    SharingGraph g;
+    EXPECT_DOUBLE_EQ(g.coefficient(1, 2), 0.0);
+    EXPECT_EQ(g.outDegree(1), 0u);
+    EXPECT_TRUE(g.outEdges(1).empty());
+    EXPECT_EQ(g.edgeCount(), 0u);
+}
+
+TEST(SharingGraphTest, ShareAddsDirectedArc)
+{
+    SharingGraph g;
+    g.share(1, 2, 0.5);
+    EXPECT_DOUBLE_EQ(g.coefficient(1, 2), 0.5);
+    // Arcs need not be bidirectional (paper: mergesort example).
+    EXPECT_DOUBLE_EQ(g.coefficient(2, 1), 0.0);
+    EXPECT_EQ(g.outDegree(1), 1u);
+    EXPECT_EQ(g.outDegree(2), 0u);
+    EXPECT_EQ(g.edgeCount(), 1u);
+}
+
+TEST(SharingGraphTest, ReAnnotationChangesWeight)
+{
+    SharingGraph g;
+    g.share(1, 2, 0.5);
+    g.share(1, 2, 0.8);
+    EXPECT_DOUBLE_EQ(g.coefficient(1, 2), 0.8);
+    EXPECT_EQ(g.edgeCount(), 1u); // weight change, not a new arc
+}
+
+TEST(SharingGraphTest, ZeroWeightRemovesArc)
+{
+    SharingGraph g;
+    g.share(1, 2, 0.5);
+    g.share(1, 2, 0.0);
+    EXPECT_DOUBLE_EQ(g.coefficient(1, 2), 0.0);
+    EXPECT_EQ(g.edgeCount(), 0u);
+    // Removing a nonexistent arc is harmless.
+    g.share(3, 4, 0.0);
+    EXPECT_EQ(g.edgeCount(), 0u);
+}
+
+TEST(SharingGraphTest, SelfArcsIgnored)
+{
+    SharingGraph g;
+    g.share(5, 5, 1.0);
+    EXPECT_EQ(g.edgeCount(), 0u);
+    EXPECT_DOUBLE_EQ(g.coefficient(5, 5), 0.0);
+}
+
+TEST(SharingGraphTest, OutOfRangeCoefficientsClampedNotFatal)
+{
+    // Annotations are hints: bad values must never break anything.
+    SharingGraph g;
+    g.share(1, 2, 1.7);
+    EXPECT_DOUBLE_EQ(g.coefficient(1, 2), 1.0);
+    g.share(1, 3, -0.4);
+    EXPECT_DOUBLE_EQ(g.coefficient(1, 3), 0.0);
+    EXPECT_EQ(g.edgeCount(), 1u); // the clamped-to-zero arc was dropped
+}
+
+TEST(SharingGraphTest, NoTransitivity)
+{
+    SharingGraph g;
+    g.share(1, 2, 1.0);
+    g.share(2, 3, 1.0);
+    EXPECT_DOUBLE_EQ(g.coefficient(1, 3), 0.0);
+}
+
+TEST(SharingGraphTest, OutEdgesEnumerateDependents)
+{
+    SharingGraph g;
+    g.share(1, 2, 0.3);
+    g.share(1, 3, 0.6);
+    g.share(1, 4, 0.9);
+    const auto &edges = g.outEdges(1);
+    ASSERT_EQ(edges.size(), 3u);
+    double sum = 0.0;
+    for (const SharingEdge &e : edges) {
+        EXPECT_TRUE(e.dest == 2 || e.dest == 3 || e.dest == 4);
+        sum += e.q;
+    }
+    EXPECT_DOUBLE_EQ(sum, 1.8);
+}
+
+TEST(SharingGraphTest, MergesortAnnotationPattern)
+{
+    // The paper's example: both children fully contained in the parent.
+    SharingGraph g;
+    ThreadId parent = 0, left = 1, right = 2;
+    g.share(left, parent, 1.0);
+    g.share(right, parent, 1.0);
+    EXPECT_EQ(g.outDegree(left), 1u);
+    EXPECT_EQ(g.outDegree(right), 1u);
+    EXPECT_EQ(g.outDegree(parent), 0u);
+    EXPECT_DOUBLE_EQ(g.coefficient(left, parent), 1.0);
+}
+
+TEST(SharingGraphTest, RemoveThreadDropsBothDirections)
+{
+    SharingGraph g;
+    g.share(1, 2, 0.5); // out of 1
+    g.share(3, 1, 0.4); // into 1
+    g.share(2, 3, 0.7); // unrelated
+    g.removeThread(1);
+    EXPECT_EQ(g.edgeCount(), 1u);
+    EXPECT_DOUBLE_EQ(g.coefficient(1, 2), 0.0);
+    EXPECT_DOUBLE_EQ(g.coefficient(3, 1), 0.0);
+    EXPECT_DOUBLE_EQ(g.coefficient(2, 3), 0.7);
+}
+
+TEST(SharingGraphTest, RemoveUnknownThreadIsNoop)
+{
+    SharingGraph g;
+    g.share(1, 2, 0.5);
+    g.removeThread(42);
+    EXPECT_EQ(g.edgeCount(), 1u);
+}
+
+TEST(SharingGraphTest, NodeCountTracksIncidentThreads)
+{
+    SharingGraph g;
+    g.share(1, 2, 0.5);
+    g.share(2, 3, 0.5);
+    EXPECT_EQ(g.nodeCount(), 3u);
+    g.removeThread(2);
+    // Node 2 is gone; 1 and 3 may remain as (possibly empty) nodes.
+    EXPECT_DOUBLE_EQ(g.coefficient(2, 3), 0.0);
+}
+
+TEST(SharingGraphTest, ManyThreadsStressAndCleanup)
+{
+    // A photo-like pattern: 1000 threads annotated with neighbours at
+    // distance 1 and 2, then reaped in order.
+    SharingGraph g;
+    const ThreadId n = 1000;
+    for (ThreadId t = 0; t < n; ++t) {
+        for (ThreadId d = 1; d <= 2; ++d) {
+            if (t + d < n) {
+                g.share(t, t + d, d == 1 ? 0.5 : 0.25);
+                g.share(t + d, t, d == 1 ? 0.5 : 0.25);
+            }
+        }
+    }
+    EXPECT_EQ(g.edgeCount(), 2u * (2 * n - 3));
+    for (ThreadId t = 0; t < n; ++t)
+        g.removeThread(t);
+    EXPECT_EQ(g.edgeCount(), 0u);
+}
+
+} // namespace
+} // namespace atl

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the precomputed power and logarithm tables the priority
+ * schemes rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "atl/model/footprint_model.hh"
+
+namespace atl
+{
+namespace
+{
+
+TEST(PowTableTest, MatchesStdPow)
+{
+    double k = 8191.0 / 8192.0;
+    PowTable table(k, 100000);
+    for (uint64_t n : {0ull, 1ull, 10ull, 1000ull, 50000ull, 100000ull})
+        EXPECT_NEAR(table.pow(n), std::pow(k, static_cast<double>(n)),
+                    1e-9);
+}
+
+TEST(PowTableTest, BeyondRangeDecaysToZero)
+{
+    PowTable table(0.5, 16);
+    EXPECT_EQ(table.pow(17), 0.0);
+    EXPECT_EQ(table.pow(1u << 20), 0.0);
+    EXPECT_EQ(table.maxN(), 16u);
+}
+
+TEST(PowTableTest, MonotonicallyDecreasing)
+{
+    PowTable table(8191.0 / 8192.0, 20000);
+    for (uint64_t n = 1; n <= 20000; n += 97)
+        EXPECT_LT(table.pow(n), table.pow(n - 1));
+}
+
+TEST(PowTableTest, ExponentZeroIsOne)
+{
+    PowTable table(0.9, 4);
+    EXPECT_DOUBLE_EQ(table.pow(0), 1.0);
+}
+
+TEST(LogTableTest, MatchesStdLogAtIntegers)
+{
+    LogTable table(8192);
+    for (uint64_t f : {1ull, 2ull, 100ull, 4096ull, 8192ull})
+        EXPECT_NEAR(table.log(static_cast<double>(f)),
+                    std::log(static_cast<double>(f)), 1e-12);
+}
+
+TEST(LogTableTest, InterpolatesBetweenIntegers)
+{
+    LogTable table(1000);
+    // Linear interpolation error against true log is tiny at this scale.
+    EXPECT_NEAR(table.log(500.5), std::log(500.5), 1e-5);
+    EXPECT_NEAR(table.log(3.25), std::log(3.25), 2e-2);
+}
+
+TEST(LogTableTest, ClampsBelowOne)
+{
+    LogTable table(100);
+    EXPECT_EQ(table.log(0.5), 0.0);
+    EXPECT_EQ(table.log(0.0), 0.0);
+    EXPECT_EQ(table.log(-3.0), 0.0);
+}
+
+TEST(LogTableTest, ClampsAboveRange)
+{
+    LogTable table(100);
+    EXPECT_DOUBLE_EQ(table.log(5000.0), std::log(100.0));
+}
+
+TEST(LogTableTest, MonotoneNonDecreasing)
+{
+    LogTable table(2048);
+    double prev = table.log(1.0);
+    for (double f = 1.5; f <= 2048.0; f += 0.5) {
+        double cur = table.log(f);
+        EXPECT_GE(cur, prev);
+        prev = cur;
+    }
+}
+
+} // namespace
+} // namespace atl

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the fiber context layer: switching, stack reuse, deep
+ * stacks and many live fibers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "atl/runtime/context.hh"
+
+namespace atl
+{
+namespace
+{
+
+TEST(FiberStackTest, GeometryAndAlignment)
+{
+    FiberStack stack(64 * 1024);
+    EXPECT_GE(stack.size(), 64u * 1024);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(stack.top()) % 16, 0u);
+}
+
+TEST(FiberTest, BasicSwitchAndReturn)
+{
+    FiberStack stack(64 * 1024);
+    Fiber engine, worker;
+    int step = 0;
+    worker.arm(stack, [&] {
+        step = 1;
+        Fiber::switchTo(worker, engine);
+        // never resumed
+    });
+    EXPECT_TRUE(worker.armed());
+    Fiber::switchTo(engine, worker);
+    EXPECT_EQ(step, 1);
+}
+
+TEST(FiberTest, PingPong)
+{
+    FiberStack stack(64 * 1024);
+    Fiber engine, worker;
+    std::vector<int> order;
+    worker.arm(stack, [&] {
+        for (int i = 0; i < 3; ++i) {
+            order.push_back(i * 2 + 1);
+            Fiber::switchTo(worker, engine);
+        }
+        order.push_back(99);
+        Fiber::switchTo(worker, engine);
+    });
+    for (int i = 0; i < 3; ++i) {
+        order.push_back(i * 2);
+        Fiber::switchTo(engine, worker);
+    }
+    Fiber::switchTo(engine, worker);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 99}));
+}
+
+TEST(FiberTest, LocalsSurviveSwitches)
+{
+    FiberStack stack(64 * 1024);
+    Fiber engine, worker;
+    long result = 0;
+    worker.arm(stack, [&] {
+        long a = 11, b = 22, c = 33, d = 44, e = 55, f = 66;
+        Fiber::switchTo(worker, engine);
+        result = a + b + c + d + e + f;
+        Fiber::switchTo(worker, engine);
+    });
+    Fiber::switchTo(engine, worker);
+    Fiber::switchTo(engine, worker);
+    EXPECT_EQ(result, 231);
+}
+
+TEST(FiberTest, DeepRecursionOnFiberStack)
+{
+    FiberStack stack(512 * 1024);
+    Fiber engine, worker;
+    uint64_t sum = 0;
+
+    // Enough frames to prove we are on the fiber stack, not a toy one.
+    struct Recurse
+    {
+        static uint64_t
+        go(int depth)
+        {
+            volatile char pad[128] = {0};
+            pad[0] = static_cast<char>(depth);
+            if (depth == 0)
+                return pad[0] == 0 ? 0 : 0;
+            return 1 + go(depth - 1);
+        }
+    };
+
+    worker.arm(stack, [&] {
+        sum = Recurse::go(2000);
+        Fiber::switchTo(worker, engine);
+    });
+    Fiber::switchTo(engine, worker);
+    EXPECT_EQ(sum, 2000u);
+}
+
+TEST(FiberTest, ManySimultaneousFibers)
+{
+    constexpr int count = 200;
+    Fiber engine;
+    std::vector<std::unique_ptr<FiberStack>> stacks;
+    std::vector<std::unique_ptr<Fiber>> fibers;
+    int finished = 0;
+
+    for (int i = 0; i < count; ++i) {
+        stacks.push_back(std::make_unique<FiberStack>(32 * 1024));
+        fibers.push_back(std::make_unique<Fiber>());
+        Fiber *self = fibers.back().get();
+        fibers.back()->arm(*stacks.back(), [&, self, i] {
+            volatile int local = i;
+            (void)local;
+            ++finished;
+            Fiber::switchTo(*self, engine);
+        });
+    }
+    for (auto &fiber : fibers)
+        Fiber::switchTo(engine, *fiber);
+    EXPECT_EQ(finished, count);
+}
+
+TEST(FiberTest, StackReuseAcrossFibers)
+{
+    FiberStack stack(64 * 1024);
+    Fiber engine;
+    int runs = 0;
+    for (int i = 0; i < 5; ++i) {
+        Fiber worker;
+        worker.arm(stack, [&] {
+            ++runs;
+            Fiber::switchTo(worker, engine);
+        });
+        Fiber::switchTo(engine, worker);
+    }
+    EXPECT_EQ(runs, 5);
+}
+
+} // namespace
+} // namespace atl

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Tests for the simulated SMP machine: the modelled memory path, cycle
+ * cost model, performance counters, invalidation coherence and
+ * statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "atl/runtime/machine.hh"
+#include "atl/runtime/sync.hh"
+#include "atl/util/logging.hh"
+
+namespace atl
+{
+namespace
+{
+
+MachineConfig
+quiet(unsigned n_cpus = 1)
+{
+    MachineConfig cfg;
+    cfg.numCpus = n_cpus;
+    cfg.modelSchedulerFootprint = false; // exact accounting in tests
+    cfg.contextSwitchCycles = 0;
+    return cfg;
+}
+
+TEST(MachineTest, ModelGeometryFollowsHierarchy)
+{
+    Machine m(quiet());
+    EXPECT_DOUBLE_EQ(m.model().N(), 8192.0); // 512KB / 64B
+}
+
+TEST(MachineTest, AllocReturnsAlignedDisjointRegions)
+{
+    Machine m(quiet());
+    VAddr a = m.alloc(1000, 64);
+    VAddr b = m.alloc(1000, 64);
+    EXPECT_EQ(a % 64, 0u);
+    EXPECT_EQ(b % 64, 0u);
+    EXPECT_GE(b, a + 1000);
+}
+
+TEST(MachineTest, ColdReadMissesOncePerLine)
+{
+    Machine m(quiet());
+    VAddr va = m.alloc(64 * 100, 64);
+    m.spawn([&] { m.read(va, 64 * 100); });
+    m.run();
+    EXPECT_EQ(m.totalEMisses(), 100u);
+    // A second sweep hits: misses unchanged.
+    Machine m2(quiet());
+    VAddr va2 = m2.alloc(64 * 100, 64);
+    m2.spawn([&] {
+        m2.read(va2, 64 * 100);
+        m2.read(va2, 64 * 100);
+    });
+    m2.run();
+    EXPECT_EQ(m2.totalEMisses(), 100u);
+}
+
+TEST(MachineTest, CycleCostsFollowServiceLevel)
+{
+    MachineConfig cfg = quiet();
+    Machine m(cfg);
+    VAddr va = m.alloc(64, 64);
+    Cycles cold = 0, l1 = 0, l2 = 0;
+    m.spawn([&] {
+        Cycles t0 = m.now();
+        m.read(va, 32); // one L1 line: cold -> memory
+        cold = m.now() - t0;
+
+        t0 = m.now();
+        m.read(va, 32); // L1 hit
+        l1 = m.now() - t0;
+
+        t0 = m.now();
+        m.read(va + 32, 32); // second half of L2 line: L1 miss, L2 hit
+        l2 = m.now() - t0;
+    });
+    m.run();
+    EXPECT_EQ(cold, cfg.memoryCycles);
+    EXPECT_EQ(l1, cfg.l1HitCycles);
+    EXPECT_EQ(l2, cfg.l2HitCycles);
+}
+
+TEST(MachineTest, ExecuteChargesCyclesAndInstructions)
+{
+    Machine m(quiet());
+    m.spawn([&] {
+        Cycles t0 = m.now();
+        m.execute(12345);
+        EXPECT_EQ(m.now() - t0, 12345u);
+    });
+    m.run();
+    EXPECT_EQ(m.totalInstructions(), 12345u);
+}
+
+TEST(MachineTest, PicsCountERefsAndHits)
+{
+    Machine m(quiet());
+    VAddr va = m.alloc(64 * 10, 64);
+    m.spawn([&] {
+        m.read(va, 64 * 10); // 20 L1-line accesses, 10 E-misses
+        m.read(va, 64 * 10); // all L1 hits: no E-refs
+    });
+    m.run();
+    PerfCounters &pc = m.perf(0);
+    uint32_t refs = pc.read(0);
+    uint32_t hits = pc.read(1);
+    // Every 64B line costs one miss (ref without hit) and one L1-miss
+    // that hits in L2 (the second 32B half).
+    EXPECT_EQ(PerfCounters::missesBetween(0, 0, refs, hits), 10u);
+    EXPECT_EQ(m.totalEMisses(), 10u);
+    EXPECT_EQ(m.missTotal(0), 10u);
+}
+
+TEST(MachineTest, WritesPropagateThroughWriteThroughL1)
+{
+    Machine m(quiet());
+    VAddr va = m.alloc(64, 64);
+    m.spawn([&] {
+        m.write(va, 32);
+        m.write(va, 32); // store to L2-resident line: still an E-ref
+    });
+    m.run();
+    EXPECT_EQ(m.hierarchy(0).l2().stats().refs, 2u);
+    EXPECT_TRUE(m.hierarchy(0).l2Dirty(m.vm().translate(va)));
+}
+
+TEST(MachineTest, RemoteMissCostsMoreOnSmp)
+{
+    MachineConfig cfg = quiet(2);
+    Machine m(cfg);
+    VAddr va = m.alloc(64, 64);
+    auto sem = std::make_shared<Semaphore>(m, 0);
+    Cycles remote_cost = 0;
+
+    // Pin thread A to cpu0 implicitly: it runs first and fills the line.
+    m.spawn([&, sem] {
+        m.read(va, 32);
+        sem->post();
+        m.sleep(200000); // keep the machine busy so B lands on cpu1
+    });
+    m.spawn([&, sem] {
+        sem->wait();
+        Cycles t0 = m.now();
+        m.read(va, 32);
+        remote_cost = m.now() - t0;
+    });
+    m.run();
+    // The second reader's miss found the line cached by the peer.
+    EXPECT_EQ(remote_cost, cfg.memoryCyclesRemote);
+}
+
+TEST(MachineTest, StoreInvalidatesPeerCopies)
+{
+    Machine m(quiet(2));
+    VAddr va = m.alloc(64, 64);
+    auto sem = std::make_shared<Semaphore>(m, 0);
+    auto done = std::make_shared<Semaphore>(m, 0);
+
+    m.spawn([&, sem, done] {
+        m.read(va, 32); // cpu0 caches the line
+        sem->post();
+        done->wait();
+        // After the peer's store our copy must be gone.
+        EXPECT_FALSE(
+            m.hierarchy(0).l2Contains(m.vm().translate(va)));
+    });
+    m.spawn([&, sem, done] {
+        sem->wait();
+        m.write(va, 32);
+        done->post();
+    });
+    m.run();
+    EXPECT_GE(m.hierarchy(0).l2().stats().invalidations, 1u);
+}
+
+TEST(MachineTest, FlushAllCachesEmptiesEverything)
+{
+    Machine m(quiet(2));
+    VAddr va = m.alloc(64 * 50, 64);
+    m.spawn([&] {
+        m.read(va, 64 * 50);
+        m.flushAllCaches();
+        EXPECT_EQ(m.hierarchy(0).l2().residentLines(), 0u);
+        m.read(va, 64 * 50); // all miss again
+    });
+    m.run();
+    EXPECT_EQ(m.totalEMisses(), 100u);
+}
+
+TEST(MachineTest, PerCpuStatsAndMakespan)
+{
+    Machine m(quiet(2));
+    m.spawn([&] { m.execute(50000); });
+    m.spawn([&] { m.execute(90000); });
+    m.run();
+    Cycles c0 = m.cpuStats(0).clock;
+    Cycles c1 = m.cpuStats(1).clock;
+    EXPECT_EQ(m.makespan(), std::max(c0, c1));
+    EXPECT_EQ(m.cpuStats(0).contextSwitches +
+                  m.cpuStats(1).contextSwitches,
+              m.totalSwitches());
+    EXPECT_EQ(m.totalSwitches(), 2u);
+}
+
+TEST(MachineTest, SmpParallelismBeatsUniprocessor)
+{
+    auto run = [](unsigned n_cpus) {
+        Machine m(quiet(n_cpus));
+        for (int i = 0; i < 8; ++i)
+            m.spawn([&] { m.execute(100000); });
+        m.run();
+        return m.makespan();
+    };
+    Cycles uni = run(1);
+    Cycles smp = run(8);
+    EXPECT_GT(uni, smp * 6); // near-linear for embarrassing parallelism
+}
+
+TEST(MachineTest, CrossCpuWakeupCausality)
+{
+    // A thread woken at time t on one processor can never observe a
+    // local clock earlier than t on another (dispatch advances the
+    // processor clock to the wake time).
+    MachineConfig cfg = quiet(2);
+    cfg.sliceQuantum = 10000;
+    Machine m(cfg);
+    auto sem = std::make_shared<Semaphore>(m, 0);
+    Cycles post_time = 0, wake_time = 0;
+    m.spawn([&, sem] {
+        m.execute(500000);
+        post_time = m.now();
+        sem->post();
+    });
+    m.spawn([&, sem] {
+        sem->wait(); // blocks: the peer posts half a million cycles in
+        wake_time = m.now();
+    });
+    m.run();
+    EXPECT_GE(wake_time, post_time);
+    EXPECT_GE(post_time, 500000u);
+}
+
+TEST(MachineTest, ContextSwitchCostCharged)
+{
+    MachineConfig cfg = quiet();
+    cfg.contextSwitchCycles = 5000;
+    Machine m(cfg);
+    m.spawn([&] {
+        for (int i = 0; i < 9; ++i)
+            m.yield();
+    });
+    m.run();
+    // 10 dispatches of the single thread.
+    EXPECT_GE(m.makespan(), 10u * 5000);
+}
+
+TEST(MachineTest, SchedulerPollutionAddsMisses)
+{
+    MachineConfig with = quiet();
+    with.modelSchedulerFootprint = true;
+    MachineConfig without = quiet();
+
+    auto run = [](const MachineConfig &cfg) {
+        Machine m(cfg);
+        VAddr va = m.alloc(64, 64);
+        m.spawn([&m, va] {
+            for (int i = 0; i < 50; ++i) {
+                m.read(va, 64);
+                m.yield();
+            }
+        });
+        m.run();
+        return m.totalERefs();
+    };
+    EXPECT_GT(run(with), run(without));
+}
+
+TEST(MachineTest, SpawnValidation)
+{
+    setLogThrowMode(true);
+    Machine m(quiet());
+    EXPECT_THROW(m.spawn(std::function<void()>()), LogError);
+    EXPECT_THROW(m.cpuStats(7), LogError);
+    EXPECT_THROW(m.thread(42), LogError);
+    setLogThrowMode(false);
+}
+
+TEST(MachineTest, ShareWithUnknownThreadWarnsOnly)
+{
+    Machine m(quiet());
+    EXPECT_NO_THROW(m.share(100, 200, 0.5)); // hint: never fatal
+}
+
+} // namespace
+} // namespace atl

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the run-queue structures: the lazy-invalidation priority
+ * heap and the global FIFO.
+ */
+
+#include <gtest/gtest.h>
+
+#include "atl/runtime/policy.hh"
+#include "atl/util/logging.hh"
+
+namespace atl
+{
+namespace
+{
+
+TEST(LocalHeapTest, MaxHeapOrdering)
+{
+    LocalHeap heap;
+    for (double p : {3.0, 1.0, 4.0, 1.5, 9.0, 2.6})
+        heap.push({p, 0, 0});
+    double prev = 1e30;
+    while (!heap.empty()) {
+        EXPECT_LE(heap.top().priority, prev);
+        prev = heap.top().priority;
+        heap.pop();
+    }
+}
+
+TEST(LocalHeapTest, EmptyAndSize)
+{
+    LocalHeap heap;
+    EXPECT_TRUE(heap.empty());
+    heap.push({1.0, 7, 3});
+    EXPECT_FALSE(heap.empty());
+    EXPECT_EQ(heap.size(), 1u);
+    EXPECT_EQ(heap.top().tid, 7u);
+    EXPECT_EQ(heap.top().generation, 3u);
+    heap.pop();
+    EXPECT_TRUE(heap.empty());
+}
+
+TEST(LocalHeapTest, TopAndPopOnEmptyPanic)
+{
+    setLogThrowMode(true);
+    LocalHeap heap;
+    EXPECT_THROW(heap.top(), LogError);
+    EXPECT_THROW(heap.pop(), LogError);
+    setLogThrowMode(false);
+}
+
+TEST(LocalHeapTest, RemoveAtPreservesHeapProperty)
+{
+    LocalHeap heap;
+    for (double p : {5.0, 8.0, 1.0, 3.0, 9.0, 7.0})
+        heap.push({p, static_cast<ThreadId>(p), 0});
+
+    // Remove some middle entry by scanning for priority 3.0.
+    size_t idx = 0;
+    for (size_t i = 0; i < heap.entries().size(); ++i) {
+        if (heap.entries()[i].priority == 3.0)
+            idx = i;
+    }
+    heap.removeAt(idx);
+    EXPECT_EQ(heap.size(), 5u);
+
+    double prev = 1e30;
+    while (!heap.empty()) {
+        EXPECT_LE(heap.top().priority, prev);
+        EXPECT_NE(heap.top().priority, 3.0);
+        prev = heap.top().priority;
+        heap.pop();
+    }
+}
+
+TEST(LocalHeapTest, CompactFiltersAndReturnsRejects)
+{
+    LocalHeap heap;
+    for (int i = 0; i < 10; ++i)
+        heap.push({static_cast<double>(i), static_cast<ThreadId>(i), 0});
+    auto rejected =
+        heap.compact([](const HeapEntry &e) { return e.tid % 2 == 0; });
+    EXPECT_EQ(rejected.size(), 5u);
+    EXPECT_EQ(heap.size(), 5u);
+    double prev = 1e30;
+    while (!heap.empty()) {
+        EXPECT_EQ(heap.top().tid % 2, 0u);
+        EXPECT_LE(heap.top().priority, prev);
+        prev = heap.top().priority;
+        heap.pop();
+    }
+}
+
+TEST(LocalHeapTest, OpCountGrows)
+{
+    LocalHeap heap;
+    uint64_t before = heap.opCount();
+    heap.push({1.0, 0, 0});
+    heap.push({2.0, 1, 0});
+    heap.pop();
+    EXPECT_GE(heap.opCount(), before + 3);
+}
+
+TEST(GlobalQueueTest, FifoOrder)
+{
+    GlobalQueue q;
+    EXPECT_TRUE(q.empty());
+    q.push(3);
+    q.push(1);
+    q.push(2);
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.front(), 3u);
+    q.pop();
+    EXPECT_EQ(q.front(), 1u);
+    q.pop();
+    EXPECT_EQ(q.front(), 2u);
+    q.pop();
+    EXPECT_TRUE(q.empty());
+}
+
+} // namespace
+} // namespace atl

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Tests for the blocking synchronisation objects: mutexes, semaphores,
+ * barriers and condition variables, on one and several processors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "atl/runtime/sync.hh"
+#include "atl/util/logging.hh"
+
+namespace atl
+{
+namespace
+{
+
+MachineConfig
+cpus(unsigned n)
+{
+    MachineConfig cfg;
+    cfg.numCpus = n;
+    return cfg;
+}
+
+TEST(MutexTest, UncontendedLockUnlock)
+{
+    Machine m(cpus(1));
+    auto mtx = std::make_shared<Mutex>(m);
+    m.spawn([&, mtx] {
+        EXPECT_EQ(mtx->owner(), InvalidThreadId);
+        mtx->lock();
+        EXPECT_EQ(mtx->owner(), m.self());
+        mtx->unlock();
+        EXPECT_EQ(mtx->owner(), InvalidThreadId);
+    });
+    m.run();
+}
+
+TEST(MutexTest, MutualExclusionUnderContention)
+{
+    Machine m(cpus(4));
+    auto mtx = std::make_shared<Mutex>(m);
+    int in_critical = 0;
+    int max_in_critical = 0;
+    long counter = 0;
+
+    for (int t = 0; t < 16; ++t) {
+        m.spawn([&, mtx] {
+            for (int i = 0; i < 25; ++i) {
+                mtx->lock();
+                ++in_critical;
+                max_in_critical = std::max(max_in_critical, in_critical);
+                m.execute(200); // dwell inside the critical section
+                ++counter;
+                --in_critical;
+                mtx->unlock();
+                m.execute(50);
+            }
+        });
+    }
+    m.run();
+    EXPECT_EQ(max_in_critical, 1);
+    EXPECT_EQ(counter, 16 * 25);
+}
+
+TEST(MutexTest, FifoHandoff)
+{
+    Machine m(cpus(1));
+    auto mtx = std::make_shared<Mutex>(m);
+    std::vector<int> order;
+    m.spawn([&, mtx] {
+        mtx->lock();
+        for (int i = 0; i < 3; ++i) {
+            m.spawn([&, mtx, i] {
+                mtx->lock();
+                order.push_back(i);
+                mtx->unlock();
+            });
+        }
+        m.yield(); // let the contenders queue in spawn order
+        EXPECT_EQ(mtx->waiters(), 3u);
+        mtx->unlock();
+    });
+    m.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(MutexTest, TryLock)
+{
+    Machine m(cpus(1));
+    auto mtx = std::make_shared<Mutex>(m);
+    m.spawn([&, mtx] {
+        EXPECT_TRUE(mtx->tryLock());
+        ThreadId child = m.spawn([&, mtx] {
+            EXPECT_FALSE(mtx->tryLock());
+        });
+        m.join(child);
+        mtx->unlock();
+        EXPECT_TRUE(mtx->tryLock());
+        mtx->unlock();
+    });
+    m.run();
+}
+
+TEST(MutexTest, ErrorsPanic)
+{
+    setLogThrowMode(true);
+    Machine m(cpus(1));
+    auto mtx = std::make_shared<Mutex>(m);
+    m.spawn([&, mtx] {
+        mtx->lock();
+        EXPECT_THROW(mtx->lock(), LogError); // recursive
+        mtx->unlock();
+        ThreadId child = m.spawn([&, mtx] { mtx->lock(); });
+        m.join(child);
+        EXPECT_THROW(mtx->unlock(), LogError); // not the owner
+    });
+    m.run();
+    setLogThrowMode(false);
+}
+
+TEST(SemaphoreTest, InitialCountConsumedWithoutBlocking)
+{
+    Machine m(cpus(1));
+    auto sem = std::make_shared<Semaphore>(m, 2);
+    int acquired = 0;
+    m.spawn([&, sem] {
+        sem->wait();
+        ++acquired;
+        sem->wait();
+        ++acquired;
+        EXPECT_EQ(sem->count(), 0u);
+    });
+    m.run();
+    EXPECT_EQ(acquired, 2);
+}
+
+TEST(SemaphoreTest, PostWakesWaiter)
+{
+    Machine m(cpus(1));
+    auto sem = std::make_shared<Semaphore>(m, 0);
+    std::vector<int> order;
+    m.spawn([&, sem] {
+        m.spawn([&, sem] {
+            order.push_back(1);
+            sem->post();
+        });
+        sem->wait(); // blocks until the child posts
+        order.push_back(2);
+    });
+    m.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SemaphoreTest, TryWait)
+{
+    Machine m(cpus(1));
+    auto sem = std::make_shared<Semaphore>(m, 1);
+    m.spawn([&, sem] {
+        EXPECT_TRUE(sem->tryWait());
+        EXPECT_FALSE(sem->tryWait());
+        sem->post();
+        EXPECT_TRUE(sem->tryWait());
+    });
+    m.run();
+}
+
+TEST(SemaphoreTest, ProducerConsumerPipeline)
+{
+    Machine m(cpus(2));
+    auto items = std::make_shared<Semaphore>(m, 0);
+    auto space = std::make_shared<Semaphore>(m, 4);
+    std::vector<int> consumed;
+    constexpr int total = 50;
+
+    m.spawn([&, items, space] {
+        for (int i = 0; i < total; ++i) {
+            space->wait();
+            items->post();
+        }
+    });
+    m.spawn([&, items, space] {
+        for (int i = 0; i < total; ++i) {
+            items->wait();
+            consumed.push_back(i);
+            space->post();
+        }
+    });
+    m.run();
+    EXPECT_EQ(consumed.size(), static_cast<size_t>(total));
+}
+
+TEST(BarrierTest, SingleRound)
+{
+    Machine m(cpus(2));
+    auto bar = std::make_shared<Barrier>(m, 4);
+    int before = 0, after = 0;
+    for (int t = 0; t < 4; ++t) {
+        m.spawn([&, bar] {
+            ++before;
+            bar->arrive();
+            EXPECT_EQ(before, 4); // nobody passes until all arrive
+            ++after;
+        });
+    }
+    m.run();
+    EXPECT_EQ(after, 4);
+    EXPECT_EQ(bar->generation(), 1u);
+}
+
+TEST(BarrierTest, CyclicReuse)
+{
+    Machine m(cpus(2));
+    auto bar = std::make_shared<Barrier>(m, 3);
+    std::vector<int> progress(3, 0);
+    for (int t = 0; t < 3; ++t) {
+        m.spawn([&, bar, t] {
+            for (int round = 0; round < 5; ++round) {
+                ++progress[t];
+                bar->arrive();
+                // All threads are always within one round of each other
+                // (a released thread may already have entered the next
+                // round, but never more).
+                for (int other : progress) {
+                    EXPECT_GE(other, round + 1);
+                    EXPECT_LE(other, round + 2);
+                }
+            }
+        });
+    }
+    m.run();
+    EXPECT_EQ(bar->generation(), 5u);
+}
+
+TEST(BarrierTest, SinglePartyNeverBlocks)
+{
+    Machine m(cpus(1));
+    auto bar = std::make_shared<Barrier>(m, 1);
+    m.spawn([&, bar] {
+        for (int i = 0; i < 3; ++i)
+            bar->arrive();
+    });
+    m.run();
+    EXPECT_EQ(bar->generation(), 3u);
+}
+
+TEST(CondVarTest, SignalWakesOneWaiter)
+{
+    Machine m(cpus(1));
+    auto mtx = std::make_shared<Mutex>(m);
+    auto cv = std::make_shared<CondVar>(m);
+    bool ready = false;
+    std::vector<int> order;
+
+    m.spawn([&, mtx, cv] {
+        mtx->lock();
+        while (!ready)
+            cv->wait(*mtx);
+        order.push_back(2);
+        mtx->unlock();
+    });
+    m.spawn([&, mtx, cv] {
+        mtx->lock();
+        ready = true;
+        order.push_back(1);
+        cv->signal();
+        mtx->unlock();
+    });
+    m.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(CondVarTest, BroadcastWakesAll)
+{
+    Machine m(cpus(2));
+    auto mtx = std::make_shared<Mutex>(m);
+    auto cv = std::make_shared<CondVar>(m);
+    bool go = false;
+    int woken = 0;
+    for (int t = 0; t < 5; ++t) {
+        m.spawn([&, mtx, cv] {
+            mtx->lock();
+            while (!go)
+                cv->wait(*mtx);
+            ++woken;
+            mtx->unlock();
+        });
+    }
+    m.spawn([&, mtx, cv] {
+        m.sleep(50000); // let the waiters block first
+        mtx->lock();
+        go = true;
+        cv->broadcast();
+        mtx->unlock();
+    });
+    m.run();
+    EXPECT_EQ(woken, 5);
+}
+
+TEST(CondVarTest, SignalWithNoWaitersIsLost)
+{
+    Machine m(cpus(1));
+    auto mtx = std::make_shared<Mutex>(m);
+    auto cv = std::make_shared<CondVar>(m);
+    bool ready = false;
+    m.spawn([&, mtx, cv] {
+        mtx->lock();
+        cv->signal();    // no waiters: must not queue a wakeup
+        cv->broadcast(); // ditto
+        ready = true;
+        mtx->unlock();
+    });
+    m.run();
+    EXPECT_TRUE(ready);
+    EXPECT_EQ(cv->waiters(), 0u);
+}
+
+TEST(CondVarTest, WaitWithoutMutexPanics)
+{
+    setLogThrowMode(true);
+    Machine m(cpus(1));
+    auto mtx = std::make_shared<Mutex>(m);
+    auto cv = std::make_shared<CondVar>(m);
+    m.spawn([&, mtx, cv] { EXPECT_THROW(cv->wait(*mtx), LogError); });
+    m.run();
+    setLogThrowMode(false);
+}
+
+} // namespace
+} // namespace atl

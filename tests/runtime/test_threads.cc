@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Tests for the thread lifecycle on the simulated machine: spawn, join,
+ * yield, sleep, nested creation, determinism and fine-grained scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "atl/runtime/api.hh"
+#include "atl/runtime/machine.hh"
+#include "atl/util/logging.hh"
+
+namespace atl
+{
+namespace
+{
+
+MachineConfig
+uni()
+{
+    MachineConfig cfg;
+    cfg.numCpus = 1;
+    return cfg;
+}
+
+TEST(ThreadTest, SpawnRunsToCompletion)
+{
+    Machine m(uni());
+    bool ran = false;
+    m.spawn([&] { ran = true; });
+    m.run();
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(m.totalSwitches(), 1u);
+}
+
+TEST(ThreadTest, RunWithNoThreadsReturns)
+{
+    Machine m(uni());
+    m.run();
+    EXPECT_EQ(m.totalSwitches(), 0u);
+}
+
+TEST(ThreadTest, JoinWaitsForChild)
+{
+    Machine m(uni());
+    std::vector<int> order;
+    m.spawn([&] {
+        ThreadId child = m.spawn([&] { order.push_back(1); });
+        m.join(child);
+        order.push_back(2);
+    });
+    m.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(ThreadTest, JoinOnExitedThreadReturnsImmediately)
+{
+    Machine m(uni());
+    int after = 0;
+    m.spawn([&] {
+        ThreadId child = m.spawn([] {});
+        m.yield(); // let the child finish first
+        m.join(child);
+        after = 1;
+    });
+    m.run();
+    EXPECT_EQ(after, 1);
+}
+
+TEST(ThreadTest, MultipleJoinersAllWake)
+{
+    Machine m(uni());
+    int woken = 0;
+    m.spawn([&] {
+        ThreadId target = m.spawn([&] { m.yield(); });
+        for (int i = 0; i < 3; ++i) {
+            m.spawn([&, target] {
+                m.join(target);
+                ++woken;
+            });
+        }
+        m.join(target);
+        ++woken;
+    });
+    m.run();
+    EXPECT_EQ(woken, 4);
+}
+
+TEST(ThreadTest, YieldInterleaves)
+{
+    Machine m(uni());
+    std::vector<int> order;
+    m.spawn([&] {
+        order.push_back(0);
+        m.yield();
+        order.push_back(2);
+    });
+    m.spawn([&] {
+        order.push_back(1);
+        m.yield();
+        order.push_back(3);
+    });
+    m.run();
+    // FCFS: strict alternation through the global queue.
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ThreadTest, SleepAdvancesVirtualTime)
+{
+    Machine m(uni());
+    Cycles before = 0, after = 0;
+    m.spawn([&] {
+        before = m.now();
+        m.sleep(100000);
+        after = m.now();
+    });
+    m.run();
+    EXPECT_GE(after, before + 100000);
+}
+
+TEST(ThreadTest, SleepersWakeInDeadlineOrder)
+{
+    Machine m(uni());
+    std::vector<int> order;
+    m.spawn([&] {
+        m.sleep(30000);
+        order.push_back(3);
+    });
+    m.spawn([&] {
+        m.sleep(10000);
+        order.push_back(1);
+    });
+    m.spawn([&] {
+        m.sleep(20000);
+        order.push_back(2);
+    });
+    m.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ThreadTest, DeepNestedSpawnJoin)
+{
+    Machine m(uni());
+    int leaves = 0;
+    std::function<void(int)> tree = [&](int depth) {
+        if (depth == 0) {
+            ++leaves;
+            return;
+        }
+        ThreadId l = m.spawn([&, depth] { tree(depth - 1); });
+        ThreadId r = m.spawn([&, depth] { tree(depth - 1); });
+        m.join(l);
+        m.join(r);
+    };
+    m.spawn([&] { tree(6); });
+    m.run();
+    EXPECT_EQ(leaves, 64);
+}
+
+TEST(ThreadTest, ManyFineGrainedThreads)
+{
+    // Thousands of short-lived threads exercise stack pooling.
+    Machine m(uni());
+    int done = 0;
+    m.spawn([&] {
+        for (int batch = 0; batch < 20; ++batch) {
+            std::vector<ThreadId> kids;
+            for (int i = 0; i < 100; ++i)
+                kids.push_back(m.spawn([&] { ++done; }));
+            for (ThreadId kid : kids)
+                m.join(kid);
+        }
+    });
+    m.run();
+    EXPECT_EQ(done, 2000);
+    EXPECT_EQ(m.threadCount(), 2001u);
+}
+
+TEST(ThreadTest, ThreadNamesAndStates)
+{
+    Machine m(uni());
+    ThreadId tid = m.spawn([] {}, "worker");
+    EXPECT_EQ(m.thread(tid).name, "worker");
+    m.run();
+    EXPECT_EQ(m.thread(tid).state, ThreadState::Exited);
+    EXPECT_STREQ(threadStateName(ThreadState::Exited), "exited");
+    EXPECT_STREQ(threadStateName(ThreadState::Runnable), "runnable");
+}
+
+TEST(ThreadTest, SelfReturnsCallingThread)
+{
+    Machine m(uni());
+    ThreadId spawned = InvalidThreadId, inside = InvalidThreadId;
+    spawned = m.spawn([&] { inside = m.self(); });
+    m.run();
+    EXPECT_EQ(spawned, inside);
+}
+
+TEST(ThreadTest, DeterministicAcrossRuns)
+{
+    auto trace = [] {
+        Machine m(uni());
+        std::vector<Cycles> stamps;
+        for (int i = 0; i < 5; ++i) {
+            m.spawn([&m, &stamps, i] {
+                m.sleep(1000 * (5 - i));
+                stamps.push_back(m.now());
+            });
+        }
+        m.run();
+        return std::make_pair(stamps, m.makespan());
+    };
+    auto a = trace();
+    auto b = trace();
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_EQ(a.second, b.second);
+}
+
+TEST(ThreadTest, AtApiFacade)
+{
+    Machine m(uni());
+    int result = 0;
+    m.spawn([&] {
+        EXPECT_EQ(&at_machine(), &m);
+        ThreadId child = at_create([&] {
+            at_execute(10);
+            result = 42;
+        });
+        at_share(child, at_self(), 1.0);
+        at_join(child);
+        at_yield();
+        at_sleep(100);
+        VAddr va = at_alloc(256);
+        at_write(va, 256);
+        at_read(va, 256);
+        EXPECT_GT(at_now(), 0u);
+    });
+    m.run();
+    EXPECT_EQ(result, 42);
+}
+
+TEST(ThreadTest, OperationsOutsideThreadPanic)
+{
+    setLogThrowMode(true);
+    Machine m(uni());
+    EXPECT_THROW(m.self(), LogError);
+    EXPECT_THROW(m.yield(), LogError);
+    EXPECT_THROW(m.read(0, 1), LogError);
+    EXPECT_THROW(m.execute(1), LogError);
+    setLogThrowMode(false);
+}
+
+TEST(ThreadTest, DeadlockIsReported)
+{
+    setLogThrowMode(true);
+    Machine m(uni());
+    m.spawn([&] { m.blockCurrent(); }); // nobody will wake it
+    EXPECT_THROW(m.run(), LogError);
+    setLogThrowMode(false);
+}
+
+} // namespace
+} // namespace atl

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the experiment harness: run metrics, derived quantities and
+ * the footprint monitor's sampling/prediction machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "atl/sim/experiment.hh"
+#include "atl/util/logging.hh"
+#include "atl/workloads/random_walk.hh"
+#include "atl/workloads/tasks.hh"
+
+namespace atl
+{
+namespace
+{
+
+TEST(RunMetricsTest, DerivedQuantities)
+{
+    RunMetrics base, opt;
+    base.eMisses = 1000;
+    base.makespan = 2000;
+    base.instructions = 1000000;
+    opt.eMisses = 300;
+    opt.makespan = 1000;
+
+    EXPECT_NEAR(RunMetrics::missesEliminated(base, opt), 0.7, 1e-12);
+    EXPECT_NEAR(RunMetrics::speedup(base, opt), 2.0, 1e-12);
+    EXPECT_NEAR(base.mpki(), 1.0, 1e-12);
+
+    RunMetrics zero;
+    EXPECT_EQ(zero.mpki(), 0.0);
+    EXPECT_EQ(RunMetrics::missesEliminated(zero, opt), 0.0);
+    EXPECT_EQ(RunMetrics::speedup(base, zero), 0.0);
+}
+
+TEST(ExperimentTest, RunWorkloadCollectsAndVerifies)
+{
+    TasksWorkload w({.numTasks = 16, .linesPerTask = 50, .periods = 5});
+    MachineConfig cfg;
+    cfg.numCpus = 1;
+    RunMetrics r = runWorkload(w, cfg, true);
+    EXPECT_TRUE(r.verified);
+    EXPECT_EQ(r.workload, "tasks");
+    EXPECT_EQ(r.policy, PolicyKind::FCFS);
+    EXPECT_GT(r.eMisses, 0u);
+    EXPECT_GE(r.eRefs, r.eMisses);
+    EXPECT_GT(r.instructions, 0u);
+    EXPECT_GT(r.makespan, 0u);
+    EXPECT_GT(r.contextSwitches, 0u);
+}
+
+TEST(ExperimentTest, FootprintMonitorTracksExecutingThread)
+{
+    RandomWalkWorkload::Params params;
+    params.walkerLines = 65536; // >> cache: the model's huge-space assumption
+    params.steps = 60000;
+    RandomWalkWorkload w(params);
+
+    MachineConfig cfg;
+    cfg.numCpus = 1;
+    cfg.modelSchedulerFootprint = false;
+    Machine machine(cfg);
+    Tracer tracer(machine);
+    FootprintMonitor monitor(machine, tracer, 0, 128);
+
+    WorkloadEnv env{machine, &tracer};
+    w.setup(env);
+    w.onWalkStart([&] {
+        machine.flushAllCaches();
+        monitor.setDriver(w.walkerTid());
+        monitor.track(w.walkerTid(), FootprintMonitor::Kind::Executing);
+    });
+    machine.run();
+    EXPECT_TRUE(w.verify());
+
+    const auto &samples = monitor.samples(w.walkerTid());
+    ASSERT_GT(samples.size(), 10u);
+    // Monotone miss counts, footprints within the cache bound.
+    for (size_t i = 1; i < samples.size(); ++i) {
+        EXPECT_GT(samples[i].misses, samples[i - 1].misses);
+        EXPECT_LE(samples[i].observed, machine.model().N());
+        EXPECT_GE(samples[i].observed, 0.0);
+    }
+    // The random walk satisfies the model's assumptions: predictions
+    // must be tight (the paper's "excellent correspondence").
+    EXPECT_LT(monitor.meanAbsRelError(w.walkerTid(), 64.0), 0.05);
+}
+
+TEST(ExperimentTest, MonitorTracksIndependentSleeperDecay)
+{
+    RandomWalkWorkload::Params params;
+    params.walkerLines = 131072; // decay rate needs a near-uniform miss stream
+    params.steps = 60000;
+    params.sleepers.push_back({2000, 0.0, 2000}); // disjoint, warmed
+    RandomWalkWorkload w(params);
+
+    MachineConfig cfg;
+    cfg.numCpus = 1;
+    cfg.modelSchedulerFootprint = false;
+    Machine machine(cfg);
+    Tracer tracer(machine);
+    FootprintMonitor monitor(machine, tracer, 0, 256);
+
+    WorkloadEnv env{machine, &tracer};
+    w.setup(env);
+    ThreadId sleeper_tid = w.sleeperTids()[0];
+    w.onWalkStart([&] {
+        monitor.setDriver(w.walkerTid());
+        monitor.track(sleeper_tid,
+                      FootprintMonitor::Kind::Independent);
+    });
+    machine.run();
+
+    const auto &samples = monitor.samples(sleeper_tid);
+    ASSERT_GT(samples.size(), 5u);
+    // The sleeper's footprint decays as the walker misses.
+    EXPECT_LT(samples.back().observed, samples.front().observed);
+    EXPECT_LT(samples.back().predicted, samples.front().predicted);
+    EXPECT_LT(monitor.meanAbsRelError(sleeper_tid, 64.0), 0.15);
+}
+
+TEST(ExperimentTest, MonitorUntrackedThreadPanics)
+{
+    setLogThrowMode(true);
+    MachineConfig cfg;
+    Machine machine(cfg);
+    Tracer tracer(machine);
+    FootprintMonitor monitor(machine, tracer);
+    EXPECT_THROW(monitor.samples(42), LogError);
+    setLogThrowMode(false);
+}
+
+} // namespace
+} // namespace atl

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for reference-trace recording and replay: capture fidelity,
+ * binary round-tripping, exact uniprocessor reproduction, and
+ * design-space exploration sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "atl/sim/trace.hh"
+#include "atl/util/logging.hh"
+#include "atl/workloads/mergesort.hh"
+#include "atl/workloads/ocean.hh"
+
+namespace atl
+{
+namespace
+{
+
+MachineConfig
+uni()
+{
+    MachineConfig cfg;
+    cfg.numCpus = 1;
+    cfg.modelSchedulerFootprint = false;
+    return cfg;
+}
+
+TEST(TraceTest, RecorderCapturesEveryReference)
+{
+    Machine m(uni());
+    TraceBuffer trace;
+    TraceRecorder recorder(m, trace);
+    VAddr va = m.alloc(64 * 10, 64);
+    ThreadId tid = m.spawn([&] {
+        m.read(va, 64 * 10);  // 20 L1-line references
+        m.write(va, 32);      // 1
+        m.fetch(va, 64);      // 2
+    });
+    m.run();
+    ASSERT_EQ(trace.size(), 23u);
+    EXPECT_EQ(trace.records()[0].va, va);
+    EXPECT_EQ(trace.records()[0].tid, tid);
+    EXPECT_EQ(trace.records()[0].type, AccessType::Load);
+    EXPECT_EQ(trace.records()[20].type, AccessType::Store);
+    EXPECT_EQ(trace.records()[21].type, AccessType::IFetch);
+}
+
+TEST(TraceTest, RecorderDetachesOnDestruction)
+{
+    Machine m(uni());
+    TraceBuffer trace;
+    VAddr va = m.alloc(64, 64);
+    {
+        TraceRecorder recorder(m, trace);
+    }
+    m.spawn([&] { m.read(va, 64); });
+    m.run();
+    EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(TraceTest, BinaryRoundTrip)
+{
+    TraceBuffer a;
+    for (uint64_t i = 0; i < 1000; ++i) {
+        a.append({i * 64, static_cast<ThreadId>(i % 7),
+                  static_cast<CpuId>(i % 3),
+                  i % 2 ? AccessType::Store : AccessType::Load});
+    }
+    std::stringstream stream;
+    a.save(stream);
+
+    TraceBuffer b;
+    ASSERT_TRUE(b.load(stream));
+    ASSERT_EQ(b.size(), a.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(b.records()[i].va, a.records()[i].va);
+        EXPECT_EQ(b.records()[i].tid, a.records()[i].tid);
+        EXPECT_EQ(b.records()[i].cpu, a.records()[i].cpu);
+        EXPECT_EQ(b.records()[i].type, a.records()[i].type);
+    }
+}
+
+TEST(TraceTest, LoadRejectsGarbage)
+{
+    std::stringstream garbage("this is not a trace");
+    TraceBuffer b;
+    EXPECT_FALSE(b.load(garbage));
+    EXPECT_EQ(b.size(), 0u);
+
+    std::stringstream truncated;
+    TraceBuffer a;
+    a.append({0, 0, 0, AccessType::Load});
+    a.save(truncated);
+    std::string bytes = truncated.str();
+    std::stringstream cut(bytes.substr(0, bytes.size() - 4));
+    EXPECT_FALSE(b.load(cut));
+}
+
+TEST(TraceTest, UniprocessorReplayReproducesLiveMisses)
+{
+    // Record a real workload, then replay through the identical
+    // configuration: E-cache references and misses must match exactly.
+    MergesortWorkload w({.elements = 20000, .cutoff = 100, .seed = 7,
+                         .annotate = false});
+    Machine m(uni());
+    TraceBuffer trace;
+    TraceRecorder recorder(m, trace);
+    WorkloadEnv env{m, nullptr};
+    w.setup(env);
+    m.run();
+    ASSERT_TRUE(w.verify());
+
+    TraceReplayer replayer(m.config().hierarchy, 1, m.config().pageBytes,
+                           m.config().placement);
+    ReplayResult result = replayer.replay(trace);
+    EXPECT_EQ(result.l2Misses, m.totalEMisses());
+    EXPECT_EQ(result.l2Refs, m.totalERefs());
+}
+
+TEST(TraceTest, ReplayExploresGeometries)
+{
+    OceanWorkload w({.edge = 200, .iterations = 2, .seed = 37});
+    Machine m(uni());
+    TraceBuffer trace;
+    TraceRecorder recorder(m, trace);
+    WorkloadEnv env{m, nullptr};
+    w.setup(env);
+    m.run();
+    ASSERT_TRUE(w.verify());
+
+    // Same capacity, larger lines: a streaming stencil must miss less
+    // (better spatial locality exploitation).
+    HierarchyConfig lines128 = m.config().hierarchy;
+    lines128.l2.lineBytes = 128;
+    ReplayResult base =
+        TraceReplayer(m.config().hierarchy).replay(trace);
+    ReplayResult wide = TraceReplayer(lines128).replay(trace);
+    EXPECT_LT(wide.l2Misses, base.l2Misses);
+
+    // A tiny E-cache must miss more than the full-size one.
+    HierarchyConfig small = m.config().hierarchy;
+    small.l2.sizeBytes = 64 * 1024;
+    ReplayResult tiny = TraceReplayer(small).replay(trace);
+    EXPECT_GT(tiny.l2Misses, base.l2Misses);
+}
+
+TEST(TraceTest, ReplayValidatesCpuWidth)
+{
+    setLogThrowMode(true);
+    TraceBuffer trace;
+    trace.append({0, 0, 5, AccessType::Load}); // cpu 5
+    TraceReplayer narrow(HierarchyConfig{}, 2);
+    EXPECT_THROW(narrow.replay(trace), LogError);
+    setLogThrowMode(false);
+}
+
+} // namespace
+} // namespace atl

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Tests for the tracer: ground-truth footprint accounting from E-cache
+ * fill/evict events, shared-region attribution, overlap inference.
+ */
+
+#include <gtest/gtest.h>
+
+#include "atl/sim/tracer.hh"
+#include "atl/util/logging.hh"
+
+namespace atl
+{
+namespace
+{
+
+MachineConfig
+quiet()
+{
+    MachineConfig cfg;
+    cfg.numCpus = 1;
+    cfg.modelSchedulerFootprint = false;
+    cfg.contextSwitchCycles = 0;
+    return cfg;
+}
+
+TEST(TracerTest, FootprintGrowsWithFills)
+{
+    Machine m(quiet());
+    Tracer tracer(m);
+    VAddr state = m.alloc(50 * 64, 64);
+    ThreadId tid = m.spawn([&] { m.read(state, 50 * 64); });
+    tracer.registerState(tid, state, 50 * 64);
+    m.run();
+    EXPECT_EQ(tracer.footprint(tid, 0), 50u);
+}
+
+TEST(TracerTest, UnregisteredTrafficNotAttributed)
+{
+    Machine m(quiet());
+    Tracer tracer(m);
+    VAddr mine = m.alloc(10 * 64, 64);
+    VAddr other = m.alloc(10 * 64, 64);
+    ThreadId tid = m.spawn([&] {
+        m.read(mine, 10 * 64);
+        m.read(other, 10 * 64);
+    });
+    tracer.registerState(tid, mine, 10 * 64);
+    m.run();
+    EXPECT_EQ(tracer.footprint(tid, 0), 10u);
+}
+
+TEST(TracerTest, EvictionsDebitFootprint)
+{
+    Machine m(quiet());
+    Tracer tracer(m);
+    uint64_t cache_bytes = m.config().hierarchy.l2.sizeBytes;
+    VAddr state = m.alloc(20 * 64, 64);
+    VAddr wiper = m.alloc(2 * cache_bytes, 64);
+    ThreadId tid = m.spawn([&] {
+        m.read(state, 20 * 64);
+        m.read(wiper, 2 * cache_bytes); // evicts everything
+    });
+    tracer.registerState(tid, state, 20 * 64);
+    m.run();
+    EXPECT_EQ(tracer.footprint(tid, 0), 0u);
+}
+
+TEST(TracerTest, FlushZeroesFootprints)
+{
+    Machine m(quiet());
+    Tracer tracer(m);
+    VAddr state = m.alloc(30 * 64, 64);
+    ThreadId tid = m.spawn([&] {
+        m.read(state, 30 * 64);
+        m.flushAllCaches();
+    });
+    tracer.registerState(tid, state, 30 * 64);
+    m.run();
+    EXPECT_EQ(tracer.footprint(tid, 0), 0u);
+}
+
+TEST(TracerTest, SharedLinesCountTowardAllOwners)
+{
+    Machine m(quiet());
+    Tracer tracer(m);
+    VAddr shared = m.alloc(40 * 64, 64);
+    ThreadId a = m.spawn([&] { m.read(shared, 40 * 64); });
+    ThreadId b = m.spawn([] {});
+    tracer.registerState(a, shared, 40 * 64);
+    tracer.registerState(b, shared, 20 * 64); // half of a's state
+    m.run();
+    EXPECT_EQ(tracer.footprint(a, 0), 40u);
+    EXPECT_EQ(tracer.footprint(b, 0), 20u);
+}
+
+TEST(TracerTest, LateRegistrationCreditsResidentLines)
+{
+    Machine m(quiet());
+    Tracer tracer(m);
+    VAddr state = m.alloc(25 * 64, 64);
+    ThreadId a = m.spawn([&] { m.read(state, 25 * 64); });
+    ThreadId b = m.spawn([&, a] {
+        m.join(a);
+        // b claims ownership only now, after the lines are resident.
+        tracer.registerState(m.self(), state, 25 * 64);
+    });
+    (void)b;
+    tracer.registerState(a, state, 25 * 64);
+    m.run();
+    EXPECT_EQ(tracer.footprint(b, 0), 25u);
+    // And the balance holds when those lines are later evicted.
+}
+
+TEST(TracerTest, DuplicateRegistrationIsIdempotent)
+{
+    Machine m(quiet());
+    Tracer tracer(m);
+    VAddr state = m.alloc(10 * 64, 64);
+    ThreadId tid = m.spawn([&] { m.read(state, 10 * 64); });
+    tracer.registerState(tid, state, 10 * 64);
+    tracer.registerState(tid, state, 10 * 64);
+    m.run();
+    EXPECT_EQ(tracer.footprint(tid, 0), 10u);
+}
+
+TEST(TracerTest, StateLinesMergesOverlaps)
+{
+    Machine m(quiet());
+    Tracer tracer(m);
+    VAddr base = m.alloc(100 * 64, 64);
+    tracer.registerState(7, base, 50 * 64);
+    tracer.registerState(7, base + 25 * 64, 50 * 64); // overlaps by 25
+    EXPECT_EQ(tracer.stateLines(7), 75u);
+    EXPECT_EQ(tracer.stateLines(99), 0u);
+}
+
+TEST(TracerTest, PartialLineCoverageCountsWholeLine)
+{
+    Machine m(quiet());
+    Tracer tracer(m);
+    VAddr base = m.alloc(4 * 64, 64);
+    tracer.registerState(3, base + 60, 8); // straddles two lines
+    EXPECT_EQ(tracer.stateLines(3), 2u);
+}
+
+TEST(TracerTest, OverlapCoefficients)
+{
+    Machine m(quiet());
+    Tracer tracer(m);
+    VAddr base = m.alloc(200 * 64, 64);
+    // a: lines [0, 100); b: lines [50, 150) -> overlap 50 lines.
+    tracer.registerState(1, base, 100 * 64);
+    tracer.registerState(2, base + 50 * 64, 100 * 64);
+    EXPECT_NEAR(tracer.overlap(1, 2), 0.5, 1e-12);
+    EXPECT_NEAR(tracer.overlap(2, 1), 0.5, 1e-12);
+    EXPECT_DOUBLE_EQ(tracer.overlap(1, 99), 0.0);
+}
+
+TEST(TracerTest, OverlapAsymmetry)
+{
+    Machine m(quiet());
+    Tracer tracer(m);
+    VAddr base = m.alloc(100 * 64, 64);
+    // child fully inside parent: q(child->parent) = 1, reverse = 1/4.
+    tracer.registerState(1, base, 100 * 64);      // parent
+    tracer.registerState(2, base, 25 * 64);       // child prefix
+    EXPECT_NEAR(tracer.overlap(2, 1), 1.0, 1e-12);
+    EXPECT_NEAR(tracer.overlap(1, 2), 0.25, 1e-12);
+}
+
+TEST(TracerTest, InferAnnotationsWritesGraph)
+{
+    Machine m(quiet());
+    Tracer tracer(m);
+    VAddr base = m.alloc(100 * 64, 64);
+    ThreadId a = m.spawn([] {});
+    ThreadId b = m.spawn([] {});
+    tracer.registerState(a, base, 100 * 64);
+    tracer.registerState(b, base, 50 * 64);
+    size_t arcs = tracer.inferAnnotations(0.05);
+    EXPECT_EQ(arcs, 2u);
+    EXPECT_NEAR(m.graph().coefficient(b, a), 1.0, 1e-12);
+    EXPECT_NEAR(m.graph().coefficient(a, b), 0.5, 1e-12);
+    m.run();
+}
+
+TEST(TracerTest, InferAnnotationsRespectsMinQ)
+{
+    Machine m(quiet());
+    Tracer tracer(m);
+    VAddr base = m.alloc(1000 * 64, 64);
+    ThreadId a = m.spawn([] {});
+    ThreadId b = m.spawn([] {});
+    tracer.registerState(a, base, 1000 * 64);
+    tracer.registerState(b, base, 10 * 64); // a->b overlap only 1%
+    size_t arcs = tracer.inferAnnotations(0.05);
+    EXPECT_EQ(arcs, 1u); // only the strong b->a arc
+    EXPECT_DOUBLE_EQ(m.graph().coefficient(a, b), 0.0);
+    m.run();
+}
+
+TEST(TracerTest, MissCallbackSeesDemandMisses)
+{
+    Machine m(quiet());
+    Tracer tracer(m);
+    VAddr state = m.alloc(16 * 64, 64);
+    uint64_t misses = 0;
+    ThreadId expect_tid = m.spawn([&] { m.read(state, 16 * 64); });
+    tracer.setMissCallback([&](CpuId cpu, ThreadId tid) {
+        EXPECT_EQ(cpu, 0u);
+        EXPECT_EQ(tid, expect_tid);
+        ++misses;
+    });
+    m.run();
+    EXPECT_EQ(misses, 16u);
+}
+
+TEST(TracerTest, PerCpuFootprints)
+{
+    MachineConfig cfg = quiet();
+    cfg.numCpus = 2;
+    Machine m(cfg);
+    Tracer tracer(m);
+    VAddr a = m.alloc(30 * 64, 64);
+    VAddr b = m.alloc(30 * 64, 64);
+    // Two compute-heavy threads land on different cpus.
+    ThreadId t0 = m.spawn([&] {
+        m.read(a, 30 * 64);
+        m.execute(100000);
+    });
+    ThreadId t1 = m.spawn([&] {
+        m.read(b, 30 * 64);
+        m.execute(100000);
+    });
+    tracer.registerState(t0, a, 30 * 64);
+    tracer.registerState(t1, b, 30 * 64);
+    m.run();
+    // Each thread's state lives in exactly one cache.
+    EXPECT_EQ(tracer.footprint(t0, 0) + tracer.footprint(t0, 1), 30u);
+    EXPECT_EQ(tracer.footprint(t1, 0) + tracer.footprint(t1, 1), 30u);
+}
+
+TEST(TracerTest, AutoInferenceEmitsArcsAsThreadsRegister)
+{
+    Machine m(quiet());
+    Tracer tracer(m);
+    tracer.enableAutoInference(0.10);
+    VAddr base = m.alloc(100 * 64, 64);
+    ThreadId parent = m.spawn([] {});
+    ThreadId child = m.spawn([] {});
+
+    tracer.registerState(parent, base, 100 * 64);
+    EXPECT_EQ(m.graph().edgeCount(), 0u); // nothing to overlap yet
+
+    tracer.registerState(child, base, 25 * 64); // prefix of the parent
+    EXPECT_NEAR(m.graph().coefficient(child, parent), 1.0, 1e-12);
+    EXPECT_NEAR(m.graph().coefficient(parent, child), 0.25, 1e-12);
+    m.run();
+}
+
+TEST(TracerTest, AutoInferenceHonoursMinQ)
+{
+    Machine m(quiet());
+    Tracer tracer(m);
+    tracer.enableAutoInference(0.30);
+    VAddr base = m.alloc(1000 * 64, 64);
+    ThreadId a = m.spawn([] {});
+    ThreadId b = m.spawn([] {});
+    tracer.registerState(a, base, 1000 * 64);
+    tracer.registerState(b, base, 100 * 64); // a->b overlap 10% < 0.30
+    EXPECT_NEAR(m.graph().coefficient(b, a), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(m.graph().coefficient(a, b), 0.0);
+    m.run();
+}
+
+TEST(TracerTest, AutoInferenceRefreshesOnOverlapGrowth)
+{
+    // Arcs are refreshed whenever a registration *overlaps* another
+    // thread's state (a disjoint registration leaves existing arcs
+    // untouched: refresh cost stays proportional to the co-owners of
+    // the registered lines).
+    Machine m(quiet());
+    Tracer tracer(m);
+    tracer.enableAutoInference(0.05);
+    VAddr base = m.alloc(200 * 64, 64);
+    ThreadId a = m.spawn([] {});
+    ThreadId b = m.spawn([] {});
+    tracer.registerState(a, base, 100 * 64);
+    tracer.registerState(b, base, 50 * 64);
+    EXPECT_NEAR(m.graph().coefficient(a, b), 0.5, 1e-12);
+    EXPECT_NEAR(m.graph().coefficient(b, a), 1.0, 1e-12);
+
+    // b grows over the rest of a's state: both arcs refresh to 1.
+    tracer.registerState(b, base + 50 * 64, 50 * 64);
+    EXPECT_NEAR(m.graph().coefficient(a, b), 1.0, 1e-12);
+    EXPECT_NEAR(m.graph().coefficient(b, a), 1.0, 1e-12);
+
+    // A disjoint registration by a does not touch the arcs.
+    tracer.registerState(a, base + 100 * 64, 100 * 64);
+    EXPECT_NEAR(m.graph().coefficient(a, b), 1.0, 1e-12);
+    m.run();
+}
+
+} // namespace
+} // namespace atl

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the logging/error-reporting facility.
+ */
+
+#include <gtest/gtest.h>
+
+#include "atl/util/logging.hh"
+
+namespace atl
+{
+namespace
+{
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLogThrowMode(true); }
+    void TearDown() override { setLogThrowMode(false); }
+};
+
+TEST_F(LoggingTest, PanicThrowsInTestMode)
+{
+    EXPECT_THROW(atl_panic("boom ", 42), LogError);
+}
+
+TEST_F(LoggingTest, FatalThrowsInTestMode)
+{
+    EXPECT_THROW(atl_fatal("bad config"), LogError);
+}
+
+TEST_F(LoggingTest, PanicCarriesLevelAndMessage)
+{
+    try {
+        atl_panic("value was ", 7);
+        FAIL() << "panic did not throw";
+    } catch (const LogError &e) {
+        EXPECT_EQ(e.level(), LogLevel::Panic);
+        EXPECT_STREQ(e.what(), "value was 7");
+    }
+}
+
+TEST_F(LoggingTest, FatalCarriesLevel)
+{
+    try {
+        atl_fatal("nope");
+        FAIL() << "fatal did not throw";
+    } catch (const LogError &e) {
+        EXPECT_EQ(e.level(), LogLevel::Fatal);
+    }
+}
+
+TEST_F(LoggingTest, WarnAndInformDoNotThrow)
+{
+    EXPECT_NO_THROW(atl_warn("just a warning"));
+    EXPECT_NO_THROW(atl_inform("status"));
+}
+
+TEST_F(LoggingTest, AssertPassesOnTrueCondition)
+{
+    EXPECT_NO_THROW(atl_assert(1 + 1 == 2, "math works"));
+}
+
+TEST_F(LoggingTest, AssertPanicsOnFalseCondition)
+{
+    EXPECT_THROW(atl_assert(1 + 1 == 3, "math is broken: ", 3),
+                 LogError);
+}
+
+TEST_F(LoggingTest, ThrowModeToggle)
+{
+    EXPECT_TRUE(logThrowMode());
+    setLogThrowMode(false);
+    EXPECT_FALSE(logThrowMode());
+    setLogThrowMode(true);
+    EXPECT_TRUE(logThrowMode());
+}
+
+TEST_F(LoggingTest, ConcatFormatsMixedTypes)
+{
+    EXPECT_EQ(detail::concat("a", 1, "b", 2.5), "a1b2.5");
+    EXPECT_EQ(detail::concat(), "");
+}
+
+} // namespace
+} // namespace atl

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the deterministic RNG and its distribution helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "atl/util/logging.hh"
+#include "atl/util/rng.hh"
+
+namespace atl
+{
+namespace
+{
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BelowRespectsBound)
+{
+    Rng rng(7);
+    for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(RngTest, BelowOneIsAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(RngTest, RangeInclusive)
+{
+    Rng rng(11);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all values hit with 1000 draws
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceEdgeCases)
+{
+    Rng rng(17);
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+        EXPECT_FALSE(rng.chance(-1.0));
+        EXPECT_TRUE(rng.chance(2.0));
+    }
+}
+
+TEST(RngTest, ChanceApproximatesProbability)
+{
+    Rng rng(19);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ExponentialMean)
+{
+    Rng rng(23);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        double v = rng.exponential(5.0);
+        EXPECT_GE(v, 0.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 20000.0, 5.0, 0.25);
+}
+
+TEST(RngTest, ZipfStaysInRangeAndSkews)
+{
+    Rng rng(29);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 20000; ++i) {
+        uint64_t r = rng.zipf(100, 1.0);
+        ASSERT_LT(r, 100u);
+        ++counts[r];
+    }
+    // Rank 0 must dominate rank 50 heavily under s=1.
+    EXPECT_GT(counts[0], counts[50] * 5);
+}
+
+TEST(RngTest, ZipfZeroSkewIsUniformish)
+{
+    Rng rng(31);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 20000; ++i)
+        ++counts[rng.zipf(10, 0.0)];
+    for (int c : counts)
+        EXPECT_NEAR(c, 2000, 300);
+}
+
+TEST(RngTest, SplitProducesIndependentStream)
+{
+    Rng a(37);
+    Rng b = a.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ShufflePermutes)
+{
+    Rng rng(41);
+    std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    std::vector<int> orig = v;
+    rng.shuffle(v);
+    std::vector<int> sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, orig);
+}
+
+TEST(RngTest, InvalidArgumentsPanic)
+{
+    setLogThrowMode(true);
+    Rng rng(43);
+    EXPECT_THROW(rng.below(0), LogError);
+    EXPECT_THROW(rng.range(3, 2), LogError);
+    EXPECT_THROW(rng.exponential(0.0), LogError);
+    EXPECT_THROW(rng.zipf(0, 1.0), LogError);
+    setLogThrowMode(false);
+}
+
+} // namespace
+} // namespace atl

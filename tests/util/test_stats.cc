@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the streaming statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "atl/util/stats.hh"
+
+namespace atl
+{
+namespace
+{
+
+TEST(SummaryTest, EmptySummary)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(SummaryTest, SingleSample)
+{
+    Summary s;
+    s.add(42.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.mean(), 42.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 42.0);
+    EXPECT_EQ(s.max(), 42.0);
+}
+
+TEST(SummaryTest, KnownMoments)
+{
+    Summary s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Unbiased sample variance of this classic set is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(SummaryTest, MergeMatchesSequential)
+{
+    Summary a, b, all;
+    for (int i = 0; i < 100; ++i) {
+        double v = i * 0.37 - 5.0;
+        (i % 2 ? a : b).add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(SummaryTest, MergeWithEmpty)
+{
+    Summary a, empty;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+    Summary c;
+    c.merge(a);
+    EXPECT_EQ(c.count(), 2u);
+    EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(HistogramTest, BinningAndOverflow)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-1.0); // underflow
+    h.add(0.0);  // bin 0
+    h.add(9.99); // bin 9
+    h.add(10.0); // overflow
+    h.add(5.5);  // bin 5
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_EQ(h.binCount(5), 1u);
+    EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(HistogramTest, BinEdges)
+{
+    Histogram h(10.0, 20.0, 5);
+    EXPECT_DOUBLE_EQ(h.binLeft(0), 10.0);
+    EXPECT_DOUBLE_EQ(h.binLeft(4), 18.0);
+    EXPECT_EQ(h.bins(), 5u);
+}
+
+TEST(HistogramTest, QuantileApproximation)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.0), 0.5, 1.0);
+}
+
+TEST(SeriesTest, UnlimitedRetainsAll)
+{
+    Series s;
+    for (int i = 0; i < 1000; ++i)
+        s.add(i, i * 2.0);
+    EXPECT_EQ(s.size(), 1000u);
+}
+
+TEST(SeriesTest, CapHalvesResolution)
+{
+    Series s(100);
+    for (int i = 0; i < 1000; ++i)
+        s.add(i, i * 1.0);
+    EXPECT_LE(s.size(), 101u);
+    // The last point must be retained.
+    EXPECT_DOUBLE_EQ(s.points().back().first, 999.0);
+    // x order preserved.
+    for (size_t i = 1; i < s.size(); ++i)
+        EXPECT_LT(s.points()[i - 1].first, s.points()[i].first);
+}
+
+TEST(SeriesTest, MeanAbsRelError)
+{
+    Series obs, pred;
+    for (int i = 1; i <= 10; ++i) {
+        obs.add(i, 100.0);
+        pred.add(i, 110.0);
+    }
+    EXPECT_NEAR(Series::meanAbsRelError(obs, pred), 0.10, 1e-12);
+}
+
+TEST(SeriesTest, MeanAbsRelErrorSkipsTinyReference)
+{
+    Series obs, pred;
+    obs.add(0, 0.1); // below the floor: skipped
+    pred.add(0, 100.0);
+    obs.add(1, 100.0);
+    pred.add(1, 100.0);
+    EXPECT_DOUBLE_EQ(Series::meanAbsRelError(obs, pred, 1.0), 0.0);
+}
+
+} // namespace
+} // namespace atl

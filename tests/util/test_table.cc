@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the table and figure emitters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "atl/util/table.hh"
+
+namespace atl
+{
+namespace
+{
+
+TEST(TextTableTest, RendersAlignedColumns)
+{
+    TextTable t("Demo");
+    t.header({"name", "value"});
+    t.row({"tasks", "92%"});
+    t.row({"a-long-name", "1"});
+
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("== Demo =="), std::string::npos);
+    EXPECT_NE(out.find("| name"), std::string::npos);
+    EXPECT_NE(out.find("| tasks"), std::string::npos);
+    EXPECT_NE(out.find("a-long-name"), std::string::npos);
+    // Separator line present after the header.
+    EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(TextTableTest, HandlesRaggedRows)
+{
+    TextTable t("ragged");
+    t.header({"a", "b", "c"});
+    t.row({"only-one"});
+    std::ostringstream os;
+    EXPECT_NO_THROW(t.print(os));
+    EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+TEST(TextTableTest, NumberFormatting)
+{
+    EXPECT_EQ(TextTable::num(2.375, 2), "2.38");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+    EXPECT_EQ(TextTable::pct(0.57), "57%");
+    EXPECT_EQ(TextTable::pct(-0.01), "-1%");
+    EXPECT_EQ(TextTable::pct(0.123, 1), "12.3%");
+}
+
+TEST(FigureWriterTest, EmitsHeaderAndSeries)
+{
+    std::ostringstream os;
+    FigureWriter fig(os, "4a", "misses", "footprint");
+    fig.series("observed", {{0, 0}, {1, 10}, {2, 20}});
+    std::string out = os.str();
+    EXPECT_NE(out.find("# figure 4a"), std::string::npos);
+    EXPECT_NE(out.find("# series 4a \"observed\""), std::string::npos);
+    EXPECT_NE(out.find("1,10"), std::string::npos);
+}
+
+TEST(FigureWriterTest, StrideKeepsLastPoint)
+{
+    std::ostringstream os;
+    FigureWriter fig(os, "x", "a", "b");
+    std::vector<std::pair<double, double>> pts;
+    for (int i = 0; i < 10; ++i)
+        pts.emplace_back(i, i);
+    fig.series("s", pts, 4);
+    std::string out = os.str();
+    EXPECT_NE(out.find("0,0"), std::string::npos);
+    EXPECT_NE(out.find("4,4"), std::string::npos);
+    EXPECT_NE(out.find("8,8"), std::string::npos);
+    EXPECT_NE(out.find("9,9"), std::string::npos); // final point forced
+}
+
+} // namespace
+} // namespace atl
