@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_annotations.dir/bench_ablation_annotations.cc.o"
+  "CMakeFiles/bench_ablation_annotations.dir/bench_ablation_annotations.cc.o.d"
+  "bench_ablation_annotations"
+  "bench_ablation_annotations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_annotations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

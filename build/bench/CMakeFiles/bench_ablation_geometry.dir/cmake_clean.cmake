@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_geometry.dir/bench_ablation_geometry.cc.o"
+  "CMakeFiles/bench_ablation_geometry.dir/bench_ablation_geometry.cc.o.d"
+  "bench_ablation_geometry"
+  "bench_ablation_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_policy_divergence.dir/bench_ablation_policy_divergence.cc.o"
+  "CMakeFiles/bench_ablation_policy_divergence.dir/bench_ablation_policy_divergence.cc.o.d"
+  "bench_ablation_policy_divergence"
+  "bench_ablation_policy_divergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_policy_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_markov.dir/bench_appendix_markov.cc.o"
+  "CMakeFiles/bench_appendix_markov.dir/bench_appendix_markov.cc.o.d"
+  "bench_appendix_markov"
+  "bench_appendix_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_random_walk.dir/bench_fig4_random_walk.cc.o"
+  "CMakeFiles/bench_fig4_random_walk.dir/bench_fig4_random_walk.cc.o.d"
+  "bench_fig4_random_walk"
+  "bench_fig4_random_walk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_random_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

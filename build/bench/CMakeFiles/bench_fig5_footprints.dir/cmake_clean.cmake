@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_footprints.dir/bench_fig5_footprints.cc.o"
+  "CMakeFiles/bench_fig5_footprints.dir/bench_fig5_footprints.cc.o.d"
+  "bench_fig5_footprints"
+  "bench_fig5_footprints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_footprints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

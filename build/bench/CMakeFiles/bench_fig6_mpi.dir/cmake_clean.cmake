@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_mpi.dir/bench_fig6_mpi.cc.o"
+  "CMakeFiles/bench_fig6_mpi.dir/bench_fig6_mpi.cc.o.d"
+  "bench_fig6_mpi"
+  "bench_fig6_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_anomalies.dir/bench_fig7_anomalies.cc.o"
+  "CMakeFiles/bench_fig7_anomalies.dir/bench_fig7_anomalies.cc.o.d"
+  "bench_fig7_anomalies"
+  "bench_fig7_anomalies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_anomalies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

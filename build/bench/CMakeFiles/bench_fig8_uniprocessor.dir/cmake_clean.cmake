@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_uniprocessor.dir/bench_fig8_uniprocessor.cc.o"
+  "CMakeFiles/bench_fig8_uniprocessor.dir/bench_fig8_uniprocessor.cc.o.d"
+  "bench_fig8_uniprocessor"
+  "bench_fig8_uniprocessor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_uniprocessor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_smp.dir/bench_fig9_smp.cc.o"
+  "CMakeFiles/bench_fig9_smp.dir/bench_fig9_smp.cc.o.d"
+  "bench_fig9_smp"
+  "bench_fig9_smp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_smp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_runtime.dir/bench_micro_runtime.cc.o"
+  "CMakeFiles/bench_micro_runtime.dir/bench_micro_runtime.cc.o.d"
+  "bench_micro_runtime"
+  "bench_micro_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

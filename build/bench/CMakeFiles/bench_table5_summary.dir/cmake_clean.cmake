@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_summary.dir/bench_table5_summary.cc.o"
+  "CMakeFiles/bench_table5_summary.dir/bench_table5_summary.cc.o.d"
+  "bench_table5_summary"
+  "bench_table5_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotated_mergesort.dir/annotated_mergesort.cpp.o"
+  "CMakeFiles/annotated_mergesort.dir/annotated_mergesort.cpp.o.d"
+  "annotated_mergesort"
+  "annotated_mergesort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotated_mergesort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

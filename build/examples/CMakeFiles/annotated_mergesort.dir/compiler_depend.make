@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for annotated_mergesort.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for annotated_mergesort.
+# This may be replaced when dependencies are built.

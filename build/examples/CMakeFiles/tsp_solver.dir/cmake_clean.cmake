@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsp_solver.dir/tsp_solver.cpp.o"
+  "CMakeFiles/tsp_solver.dir/tsp_solver.cpp.o.d"
+  "tsp_solver"
+  "tsp_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsp_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

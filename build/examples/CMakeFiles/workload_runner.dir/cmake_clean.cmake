@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_runner.dir/workload_runner.cpp.o"
+  "CMakeFiles/workload_runner.dir/workload_runner.cpp.o.d"
+  "workload_runner"
+  "workload_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

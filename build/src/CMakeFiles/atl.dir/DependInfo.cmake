@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atl/mem/cache.cc" "src/CMakeFiles/atl.dir/atl/mem/cache.cc.o" "gcc" "src/CMakeFiles/atl.dir/atl/mem/cache.cc.o.d"
+  "/root/repo/src/atl/mem/hierarchy.cc" "src/CMakeFiles/atl.dir/atl/mem/hierarchy.cc.o" "gcc" "src/CMakeFiles/atl.dir/atl/mem/hierarchy.cc.o.d"
+  "/root/repo/src/atl/mem/vm.cc" "src/CMakeFiles/atl.dir/atl/mem/vm.cc.o" "gcc" "src/CMakeFiles/atl.dir/atl/mem/vm.cc.o.d"
+  "/root/repo/src/atl/model/footprint_model.cc" "src/CMakeFiles/atl.dir/atl/model/footprint_model.cc.o" "gcc" "src/CMakeFiles/atl.dir/atl/model/footprint_model.cc.o.d"
+  "/root/repo/src/atl/model/markov.cc" "src/CMakeFiles/atl.dir/atl/model/markov.cc.o" "gcc" "src/CMakeFiles/atl.dir/atl/model/markov.cc.o.d"
+  "/root/repo/src/atl/model/priority.cc" "src/CMakeFiles/atl.dir/atl/model/priority.cc.o" "gcc" "src/CMakeFiles/atl.dir/atl/model/priority.cc.o.d"
+  "/root/repo/src/atl/model/sharing_graph.cc" "src/CMakeFiles/atl.dir/atl/model/sharing_graph.cc.o" "gcc" "src/CMakeFiles/atl.dir/atl/model/sharing_graph.cc.o.d"
+  "/root/repo/src/atl/perf/counters.cc" "src/CMakeFiles/atl.dir/atl/perf/counters.cc.o" "gcc" "src/CMakeFiles/atl.dir/atl/perf/counters.cc.o.d"
+  "/root/repo/src/atl/runtime/api.cc" "src/CMakeFiles/atl.dir/atl/runtime/api.cc.o" "gcc" "src/CMakeFiles/atl.dir/atl/runtime/api.cc.o.d"
+  "/root/repo/src/atl/runtime/context.cc" "src/CMakeFiles/atl.dir/atl/runtime/context.cc.o" "gcc" "src/CMakeFiles/atl.dir/atl/runtime/context.cc.o.d"
+  "/root/repo/src/atl/runtime/machine.cc" "src/CMakeFiles/atl.dir/atl/runtime/machine.cc.o" "gcc" "src/CMakeFiles/atl.dir/atl/runtime/machine.cc.o.d"
+  "/root/repo/src/atl/runtime/policy.cc" "src/CMakeFiles/atl.dir/atl/runtime/policy.cc.o" "gcc" "src/CMakeFiles/atl.dir/atl/runtime/policy.cc.o.d"
+  "/root/repo/src/atl/runtime/scheduler.cc" "src/CMakeFiles/atl.dir/atl/runtime/scheduler.cc.o" "gcc" "src/CMakeFiles/atl.dir/atl/runtime/scheduler.cc.o.d"
+  "/root/repo/src/atl/runtime/sync.cc" "src/CMakeFiles/atl.dir/atl/runtime/sync.cc.o" "gcc" "src/CMakeFiles/atl.dir/atl/runtime/sync.cc.o.d"
+  "/root/repo/src/atl/runtime/thread.cc" "src/CMakeFiles/atl.dir/atl/runtime/thread.cc.o" "gcc" "src/CMakeFiles/atl.dir/atl/runtime/thread.cc.o.d"
+  "/root/repo/src/atl/sim/experiment.cc" "src/CMakeFiles/atl.dir/atl/sim/experiment.cc.o" "gcc" "src/CMakeFiles/atl.dir/atl/sim/experiment.cc.o.d"
+  "/root/repo/src/atl/sim/trace.cc" "src/CMakeFiles/atl.dir/atl/sim/trace.cc.o" "gcc" "src/CMakeFiles/atl.dir/atl/sim/trace.cc.o.d"
+  "/root/repo/src/atl/sim/tracer.cc" "src/CMakeFiles/atl.dir/atl/sim/tracer.cc.o" "gcc" "src/CMakeFiles/atl.dir/atl/sim/tracer.cc.o.d"
+  "/root/repo/src/atl/util/logging.cc" "src/CMakeFiles/atl.dir/atl/util/logging.cc.o" "gcc" "src/CMakeFiles/atl.dir/atl/util/logging.cc.o.d"
+  "/root/repo/src/atl/util/rng.cc" "src/CMakeFiles/atl.dir/atl/util/rng.cc.o" "gcc" "src/CMakeFiles/atl.dir/atl/util/rng.cc.o.d"
+  "/root/repo/src/atl/util/stats.cc" "src/CMakeFiles/atl.dir/atl/util/stats.cc.o" "gcc" "src/CMakeFiles/atl.dir/atl/util/stats.cc.o.d"
+  "/root/repo/src/atl/util/table.cc" "src/CMakeFiles/atl.dir/atl/util/table.cc.o" "gcc" "src/CMakeFiles/atl.dir/atl/util/table.cc.o.d"
+  "/root/repo/src/atl/workloads/barnes.cc" "src/CMakeFiles/atl.dir/atl/workloads/barnes.cc.o" "gcc" "src/CMakeFiles/atl.dir/atl/workloads/barnes.cc.o.d"
+  "/root/repo/src/atl/workloads/mergesort.cc" "src/CMakeFiles/atl.dir/atl/workloads/mergesort.cc.o" "gcc" "src/CMakeFiles/atl.dir/atl/workloads/mergesort.cc.o.d"
+  "/root/repo/src/atl/workloads/ocean.cc" "src/CMakeFiles/atl.dir/atl/workloads/ocean.cc.o" "gcc" "src/CMakeFiles/atl.dir/atl/workloads/ocean.cc.o.d"
+  "/root/repo/src/atl/workloads/photo.cc" "src/CMakeFiles/atl.dir/atl/workloads/photo.cc.o" "gcc" "src/CMakeFiles/atl.dir/atl/workloads/photo.cc.o.d"
+  "/root/repo/src/atl/workloads/random_walk.cc" "src/CMakeFiles/atl.dir/atl/workloads/random_walk.cc.o" "gcc" "src/CMakeFiles/atl.dir/atl/workloads/random_walk.cc.o.d"
+  "/root/repo/src/atl/workloads/raytrace.cc" "src/CMakeFiles/atl.dir/atl/workloads/raytrace.cc.o" "gcc" "src/CMakeFiles/atl.dir/atl/workloads/raytrace.cc.o.d"
+  "/root/repo/src/atl/workloads/tasks.cc" "src/CMakeFiles/atl.dir/atl/workloads/tasks.cc.o" "gcc" "src/CMakeFiles/atl.dir/atl/workloads/tasks.cc.o.d"
+  "/root/repo/src/atl/workloads/tsp.cc" "src/CMakeFiles/atl.dir/atl/workloads/tsp.cc.o" "gcc" "src/CMakeFiles/atl.dir/atl/workloads/tsp.cc.o.d"
+  "/root/repo/src/atl/workloads/typechecker.cc" "src/CMakeFiles/atl.dir/atl/workloads/typechecker.cc.o" "gcc" "src/CMakeFiles/atl.dir/atl/workloads/typechecker.cc.o.d"
+  "/root/repo/src/atl/workloads/water.cc" "src/CMakeFiles/atl.dir/atl/workloads/water.cc.o" "gcc" "src/CMakeFiles/atl.dir/atl/workloads/water.cc.o.d"
+  "/root/repo/src/atl/workloads/workload.cc" "src/CMakeFiles/atl.dir/atl/workloads/workload.cc.o" "gcc" "src/CMakeFiles/atl.dir/atl/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for atl.
+# This may be replaced when dependencies are built.

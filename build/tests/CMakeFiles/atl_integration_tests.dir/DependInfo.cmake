@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_locality.cc" "tests/CMakeFiles/atl_integration_tests.dir/integration/test_locality.cc.o" "gcc" "tests/CMakeFiles/atl_integration_tests.dir/integration/test_locality.cc.o.d"
+  "/root/repo/tests/integration/test_model_accuracy.cc" "tests/CMakeFiles/atl_integration_tests.dir/integration/test_model_accuracy.cc.o" "gcc" "tests/CMakeFiles/atl_integration_tests.dir/integration/test_model_accuracy.cc.o.d"
+  "/root/repo/tests/integration/test_stress.cc" "tests/CMakeFiles/atl_integration_tests.dir/integration/test_stress.cc.o" "gcc" "tests/CMakeFiles/atl_integration_tests.dir/integration/test_stress.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/atl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

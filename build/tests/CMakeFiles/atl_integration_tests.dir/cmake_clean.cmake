@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atl_integration_tests.dir/integration/test_locality.cc.o"
+  "CMakeFiles/atl_integration_tests.dir/integration/test_locality.cc.o.d"
+  "CMakeFiles/atl_integration_tests.dir/integration/test_model_accuracy.cc.o"
+  "CMakeFiles/atl_integration_tests.dir/integration/test_model_accuracy.cc.o.d"
+  "CMakeFiles/atl_integration_tests.dir/integration/test_stress.cc.o"
+  "CMakeFiles/atl_integration_tests.dir/integration/test_stress.cc.o.d"
+  "atl_integration_tests"
+  "atl_integration_tests.pdb"
+  "atl_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atl_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

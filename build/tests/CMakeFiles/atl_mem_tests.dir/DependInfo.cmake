@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mem/test_cache.cc" "tests/CMakeFiles/atl_mem_tests.dir/mem/test_cache.cc.o" "gcc" "tests/CMakeFiles/atl_mem_tests.dir/mem/test_cache.cc.o.d"
+  "/root/repo/tests/mem/test_counters.cc" "tests/CMakeFiles/atl_mem_tests.dir/mem/test_counters.cc.o" "gcc" "tests/CMakeFiles/atl_mem_tests.dir/mem/test_counters.cc.o.d"
+  "/root/repo/tests/mem/test_hierarchy.cc" "tests/CMakeFiles/atl_mem_tests.dir/mem/test_hierarchy.cc.o" "gcc" "tests/CMakeFiles/atl_mem_tests.dir/mem/test_hierarchy.cc.o.d"
+  "/root/repo/tests/mem/test_vm.cc" "tests/CMakeFiles/atl_mem_tests.dir/mem/test_vm.cc.o" "gcc" "tests/CMakeFiles/atl_mem_tests.dir/mem/test_vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/atl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atl_mem_tests.dir/mem/test_cache.cc.o"
+  "CMakeFiles/atl_mem_tests.dir/mem/test_cache.cc.o.d"
+  "CMakeFiles/atl_mem_tests.dir/mem/test_counters.cc.o"
+  "CMakeFiles/atl_mem_tests.dir/mem/test_counters.cc.o.d"
+  "CMakeFiles/atl_mem_tests.dir/mem/test_hierarchy.cc.o"
+  "CMakeFiles/atl_mem_tests.dir/mem/test_hierarchy.cc.o.d"
+  "CMakeFiles/atl_mem_tests.dir/mem/test_vm.cc.o"
+  "CMakeFiles/atl_mem_tests.dir/mem/test_vm.cc.o.d"
+  "atl_mem_tests"
+  "atl_mem_tests.pdb"
+  "atl_mem_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atl_mem_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

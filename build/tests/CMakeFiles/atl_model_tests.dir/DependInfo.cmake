@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/model/test_footprint_model.cc" "tests/CMakeFiles/atl_model_tests.dir/model/test_footprint_model.cc.o" "gcc" "tests/CMakeFiles/atl_model_tests.dir/model/test_footprint_model.cc.o.d"
+  "/root/repo/tests/model/test_markov.cc" "tests/CMakeFiles/atl_model_tests.dir/model/test_markov.cc.o" "gcc" "tests/CMakeFiles/atl_model_tests.dir/model/test_markov.cc.o.d"
+  "/root/repo/tests/model/test_priority.cc" "tests/CMakeFiles/atl_model_tests.dir/model/test_priority.cc.o" "gcc" "tests/CMakeFiles/atl_model_tests.dir/model/test_priority.cc.o.d"
+  "/root/repo/tests/model/test_sharing_graph.cc" "tests/CMakeFiles/atl_model_tests.dir/model/test_sharing_graph.cc.o" "gcc" "tests/CMakeFiles/atl_model_tests.dir/model/test_sharing_graph.cc.o.d"
+  "/root/repo/tests/model/test_tables.cc" "tests/CMakeFiles/atl_model_tests.dir/model/test_tables.cc.o" "gcc" "tests/CMakeFiles/atl_model_tests.dir/model/test_tables.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/atl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atl_model_tests.dir/model/test_footprint_model.cc.o"
+  "CMakeFiles/atl_model_tests.dir/model/test_footprint_model.cc.o.d"
+  "CMakeFiles/atl_model_tests.dir/model/test_markov.cc.o"
+  "CMakeFiles/atl_model_tests.dir/model/test_markov.cc.o.d"
+  "CMakeFiles/atl_model_tests.dir/model/test_priority.cc.o"
+  "CMakeFiles/atl_model_tests.dir/model/test_priority.cc.o.d"
+  "CMakeFiles/atl_model_tests.dir/model/test_sharing_graph.cc.o"
+  "CMakeFiles/atl_model_tests.dir/model/test_sharing_graph.cc.o.d"
+  "CMakeFiles/atl_model_tests.dir/model/test_tables.cc.o"
+  "CMakeFiles/atl_model_tests.dir/model/test_tables.cc.o.d"
+  "atl_model_tests"
+  "atl_model_tests.pdb"
+  "atl_model_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atl_model_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/test_context.cc" "tests/CMakeFiles/atl_runtime_tests.dir/runtime/test_context.cc.o" "gcc" "tests/CMakeFiles/atl_runtime_tests.dir/runtime/test_context.cc.o.d"
+  "/root/repo/tests/runtime/test_extensions.cc" "tests/CMakeFiles/atl_runtime_tests.dir/runtime/test_extensions.cc.o" "gcc" "tests/CMakeFiles/atl_runtime_tests.dir/runtime/test_extensions.cc.o.d"
+  "/root/repo/tests/runtime/test_machine.cc" "tests/CMakeFiles/atl_runtime_tests.dir/runtime/test_machine.cc.o" "gcc" "tests/CMakeFiles/atl_runtime_tests.dir/runtime/test_machine.cc.o.d"
+  "/root/repo/tests/runtime/test_policy.cc" "tests/CMakeFiles/atl_runtime_tests.dir/runtime/test_policy.cc.o" "gcc" "tests/CMakeFiles/atl_runtime_tests.dir/runtime/test_policy.cc.o.d"
+  "/root/repo/tests/runtime/test_scheduler.cc" "tests/CMakeFiles/atl_runtime_tests.dir/runtime/test_scheduler.cc.o" "gcc" "tests/CMakeFiles/atl_runtime_tests.dir/runtime/test_scheduler.cc.o.d"
+  "/root/repo/tests/runtime/test_sync.cc" "tests/CMakeFiles/atl_runtime_tests.dir/runtime/test_sync.cc.o" "gcc" "tests/CMakeFiles/atl_runtime_tests.dir/runtime/test_sync.cc.o.d"
+  "/root/repo/tests/runtime/test_threads.cc" "tests/CMakeFiles/atl_runtime_tests.dir/runtime/test_threads.cc.o" "gcc" "tests/CMakeFiles/atl_runtime_tests.dir/runtime/test_threads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/atl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

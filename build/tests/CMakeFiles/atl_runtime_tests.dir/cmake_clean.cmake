@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atl_runtime_tests.dir/runtime/test_context.cc.o"
+  "CMakeFiles/atl_runtime_tests.dir/runtime/test_context.cc.o.d"
+  "CMakeFiles/atl_runtime_tests.dir/runtime/test_extensions.cc.o"
+  "CMakeFiles/atl_runtime_tests.dir/runtime/test_extensions.cc.o.d"
+  "CMakeFiles/atl_runtime_tests.dir/runtime/test_machine.cc.o"
+  "CMakeFiles/atl_runtime_tests.dir/runtime/test_machine.cc.o.d"
+  "CMakeFiles/atl_runtime_tests.dir/runtime/test_policy.cc.o"
+  "CMakeFiles/atl_runtime_tests.dir/runtime/test_policy.cc.o.d"
+  "CMakeFiles/atl_runtime_tests.dir/runtime/test_scheduler.cc.o"
+  "CMakeFiles/atl_runtime_tests.dir/runtime/test_scheduler.cc.o.d"
+  "CMakeFiles/atl_runtime_tests.dir/runtime/test_sync.cc.o"
+  "CMakeFiles/atl_runtime_tests.dir/runtime/test_sync.cc.o.d"
+  "CMakeFiles/atl_runtime_tests.dir/runtime/test_threads.cc.o"
+  "CMakeFiles/atl_runtime_tests.dir/runtime/test_threads.cc.o.d"
+  "atl_runtime_tests"
+  "atl_runtime_tests.pdb"
+  "atl_runtime_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atl_runtime_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

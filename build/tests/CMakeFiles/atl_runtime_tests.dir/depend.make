@@ -1,0 +1,2 @@
+# Empty dependencies file for atl_runtime_tests.
+# This may be replaced when dependencies are built.

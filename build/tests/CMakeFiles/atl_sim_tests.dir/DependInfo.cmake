@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_experiment.cc" "tests/CMakeFiles/atl_sim_tests.dir/sim/test_experiment.cc.o" "gcc" "tests/CMakeFiles/atl_sim_tests.dir/sim/test_experiment.cc.o.d"
+  "/root/repo/tests/sim/test_trace.cc" "tests/CMakeFiles/atl_sim_tests.dir/sim/test_trace.cc.o" "gcc" "tests/CMakeFiles/atl_sim_tests.dir/sim/test_trace.cc.o.d"
+  "/root/repo/tests/sim/test_tracer.cc" "tests/CMakeFiles/atl_sim_tests.dir/sim/test_tracer.cc.o" "gcc" "tests/CMakeFiles/atl_sim_tests.dir/sim/test_tracer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/atl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atl_sim_tests.dir/sim/test_experiment.cc.o"
+  "CMakeFiles/atl_sim_tests.dir/sim/test_experiment.cc.o.d"
+  "CMakeFiles/atl_sim_tests.dir/sim/test_trace.cc.o"
+  "CMakeFiles/atl_sim_tests.dir/sim/test_trace.cc.o.d"
+  "CMakeFiles/atl_sim_tests.dir/sim/test_tracer.cc.o"
+  "CMakeFiles/atl_sim_tests.dir/sim/test_tracer.cc.o.d"
+  "atl_sim_tests"
+  "atl_sim_tests.pdb"
+  "atl_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atl_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_logging.cc" "tests/CMakeFiles/atl_util_tests.dir/util/test_logging.cc.o" "gcc" "tests/CMakeFiles/atl_util_tests.dir/util/test_logging.cc.o.d"
+  "/root/repo/tests/util/test_rng.cc" "tests/CMakeFiles/atl_util_tests.dir/util/test_rng.cc.o" "gcc" "tests/CMakeFiles/atl_util_tests.dir/util/test_rng.cc.o.d"
+  "/root/repo/tests/util/test_stats.cc" "tests/CMakeFiles/atl_util_tests.dir/util/test_stats.cc.o" "gcc" "tests/CMakeFiles/atl_util_tests.dir/util/test_stats.cc.o.d"
+  "/root/repo/tests/util/test_table.cc" "tests/CMakeFiles/atl_util_tests.dir/util/test_table.cc.o" "gcc" "tests/CMakeFiles/atl_util_tests.dir/util/test_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/atl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

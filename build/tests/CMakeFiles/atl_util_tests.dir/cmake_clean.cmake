@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atl_util_tests.dir/util/test_logging.cc.o"
+  "CMakeFiles/atl_util_tests.dir/util/test_logging.cc.o.d"
+  "CMakeFiles/atl_util_tests.dir/util/test_rng.cc.o"
+  "CMakeFiles/atl_util_tests.dir/util/test_rng.cc.o.d"
+  "CMakeFiles/atl_util_tests.dir/util/test_stats.cc.o"
+  "CMakeFiles/atl_util_tests.dir/util/test_stats.cc.o.d"
+  "CMakeFiles/atl_util_tests.dir/util/test_table.cc.o"
+  "CMakeFiles/atl_util_tests.dir/util/test_table.cc.o.d"
+  "atl_util_tests"
+  "atl_util_tests.pdb"
+  "atl_util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atl_util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

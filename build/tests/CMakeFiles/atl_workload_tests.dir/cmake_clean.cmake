@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atl_workload_tests.dir/workloads/test_workloads.cc.o"
+  "CMakeFiles/atl_workload_tests.dir/workloads/test_workloads.cc.o.d"
+  "atl_workload_tests"
+  "atl_workload_tests.pdb"
+  "atl_workload_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atl_workload_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/atl_util_tests[1]_include.cmake")
+include("/root/repo/build/tests/atl_mem_tests[1]_include.cmake")
+include("/root/repo/build/tests/atl_model_tests[1]_include.cmake")
+include("/root/repo/build/tests/atl_runtime_tests[1]_include.cmake")
+include("/root/repo/build/tests/atl_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/atl_workload_tests[1]_include.cmake")
+include("/root/repo/build/tests/atl_integration_tests[1]_include.cmake")
