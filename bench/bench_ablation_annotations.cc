@@ -88,11 +88,6 @@ runInferred(const std::string &name, const MachineConfig &cfg)
     metrics.eMisses = machine.totalEMisses();
     metrics.instructions = machine.totalInstructions();
     metrics.verified = workload->verify();
-    if (!metrics.verified) {
-        std::cerr << "FAIL: inferred-annotation run of " << name
-                  << " did not verify\n";
-        ++failures;
-    }
     return metrics;
 }
 
@@ -108,22 +103,47 @@ main()
                   "inferred annotations", "speedup (user)",
                   "speedup (none)"});
 
-    for (const char *app : {"merge", "photo", "tsp"}) {
+    const char *apps[] = {"merge", "photo", "tsp"};
+
+    // Four independent runs per application; sweep them all at once.
+    std::vector<SweepJob> jobs;
+    for (const char *app : apps) {
         MachineConfig fcfs_cfg = platformConfig(8, PolicyKind::FCFS);
         MachineConfig lff_cfg = platformConfig(8, PolicyKind::LFF);
+        jobs.push_back({std::string(app) + "/fcfs", [app, fcfs_cfg] {
+                            auto w = makeApp(app, true);
+                            return runWorkload(*w, fcfs_cfg, false);
+                        }});
+        jobs.push_back({std::string(app) + "/lff-ann", [app, lff_cfg] {
+                            auto w = makeApp(app, true);
+                            return runWorkload(*w, lff_cfg, false);
+                        }});
+        jobs.push_back({std::string(app) + "/lff-bare", [app, lff_cfg] {
+                            auto w = makeApp(app, false);
+                            return runWorkload(*w, lff_cfg, false);
+                        }});
+        jobs.push_back({std::string(app) + "/lff-inferred",
+                        [app, lff_cfg] {
+                            return runInferred(app, lff_cfg);
+                        }});
+    }
+    SweepRunner runner;
+    std::vector<RunMetrics> swept = runner.run(jobs);
 
-        auto base = makeApp(app, true);
-        RunMetrics fcfs = runWorkload(*base, fcfs_cfg, false);
+    BenchReport report("bench_ablation_annotations");
+    for (const RunMetrics &m : swept)
+        report.addRun(m);
+    report.write();
 
-        auto annotated = makeApp(app, true);
-        RunMetrics lff_ann = runWorkload(*annotated, lff_cfg, false);
+    size_t next = 0;
+    for (const char *app : apps) {
+        RunMetrics fcfs = swept[next++];
+        RunMetrics lff_ann = swept[next++];
+        RunMetrics lff_bare = swept[next++];
+        RunMetrics lff_inferred = swept[next++];
 
-        auto bare = makeApp(app, false);
-        RunMetrics lff_bare = runWorkload(*bare, lff_cfg, false);
-
-        RunMetrics lff_inferred = runInferred(app, lff_cfg);
-
-        if (!fcfs.verified || !lff_ann.verified || !lff_bare.verified) {
+        if (!fcfs.verified || !lff_ann.verified || !lff_bare.verified ||
+            !lff_inferred.verified) {
             std::cerr << "FAIL: " << app << " verification\n";
             ++failures;
         }

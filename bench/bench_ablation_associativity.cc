@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "atl/sim/experiment.hh"
+#include "atl/sim/sweep.hh"
 #include "atl/util/table.hh"
 #include "atl/workloads/random_walk.hh"
 
@@ -24,6 +25,7 @@ struct DecayResult
     /** (driver misses, observed sleeper footprint) samples. */
     std::vector<FootprintSample> samples;
     double s0 = 0.0;
+    bool verified = false;
 };
 
 DecayResult
@@ -55,10 +57,7 @@ runDecay(unsigned ways)
             tracer.footprint(w.sleeperTids()[0], 0));
     });
     machine.run();
-    if (!w.verify()) {
-        std::cerr << "FAIL: walk did not verify\n";
-        std::exit(1);
-    }
+    result.verified = w.verify();
     result.samples = monitor.samples(w.sleeperTids()[0]);
     return result;
 }
@@ -91,8 +90,21 @@ main()
     table.header({"ways", "DM model error", "associative model error"});
 
     int failures = 0;
-    for (unsigned ways : {1u, 2u, 4u}) {
-        DecayResult r = runDecay(ways);
+    const unsigned way_points[] = {1u, 2u, 4u};
+    std::vector<DecayResult> decays(3);
+    SweepRunner runner;
+    runner.forEach(3, [&](size_t i) { decays[i] = runDecay(way_points[i]); });
+
+    BenchReport report("bench_ablation_associativity");
+    Json points = Json::array();
+    for (size_t wi = 0; wi < 3; ++wi) {
+        unsigned ways = way_points[wi];
+        DecayResult &r = decays[wi];
+        if (!r.verified) {
+            std::cerr << "FAIL: walk did not verify\n";
+            ++failures;
+            continue;
+        }
         FootprintModel dm(8192);
         AssociativeFootprintModel assoc(8192, ways);
 
@@ -105,6 +117,11 @@ main()
         table.row({std::to_string(ways),
                    TextTable::pct(dm_err, 1),
                    TextTable::pct(assoc_err, 1)});
+        Json pt = Json::object();
+        pt["ways"] = Json(static_cast<uint64_t>(ways));
+        pt["dm_model_error"] = Json(dm_err);
+        pt["associative_model_error"] = Json(assoc_err);
+        points.push(std::move(pt));
 
         if (ways == 1) {
             // At 1 way both variants are identical and must be tight.
@@ -123,6 +140,8 @@ main()
         }
     }
     table.print(std::cout);
+    report.set("points", std::move(points));
+    report.write();
 
     if (failures) {
         std::cerr << "ablation-associativity: FAILED\n";

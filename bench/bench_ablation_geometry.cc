@@ -12,7 +12,9 @@
  */
 
 #include <iostream>
+#include <vector>
 
+#include "atl/sim/sweep.hh"
 #include "atl/sim/trace.hh"
 #include "atl/util/table.hh"
 #include "atl/workloads/mergesort.hh"
@@ -54,22 +56,41 @@ main()
     }
 
     // Line size x associativity sweep at the paper's 512KB capacity.
+    // Each replay owns its hierarchy and only reads the shared trace,
+    // so the nine design points replay on the sweep pool.
+    const uint64_t lines[] = {32ull, 64ull, 128ull};
+    const unsigned ways_points[] = {1u, 2u, 4u};
+    ReplayResult grid[9];
+    SweepRunner runner;
+    runner.forEach(9, [&](size_t i) {
+        HierarchyConfig h = cfg.hierarchy;
+        h.l2.lineBytes =
+            std::max<uint64_t>(lines[i / 3], h.l1d.lineBytes);
+        h.l2.ways = ways_points[i % 3];
+        grid[i] = TraceReplayer(h).replay(trace);
+    });
+
+    BenchReport report("bench_ablation_geometry");
+    Json geometry = Json::array();
     TextTable table("E-cache misses by geometry (512KB, merge trace)");
     table.header({"line bytes", "1-way", "2-way", "4-way"});
-    for (uint64_t line : {32ull, 64ull, 128ull}) {
-        std::vector<std::string> row{std::to_string(line)};
-        for (unsigned ways : {1u, 2u, 4u}) {
-            HierarchyConfig h = cfg.hierarchy;
-            h.l2.lineBytes = std::max<uint64_t>(line, h.l1d.lineBytes);
-            h.l2.ways = ways;
-            ReplayResult r = TraceReplayer(h).replay(trace);
+    for (size_t li = 0; li < 3; ++li) {
+        std::vector<std::string> row{std::to_string(lines[li])};
+        for (size_t wi = 0; wi < 3; ++wi) {
+            const ReplayResult &r = grid[li * 3 + wi];
             row.push_back(std::to_string(r.l2Misses));
+            Json pt = Json::object();
+            pt["line_bytes"] = Json(lines[li]);
+            pt["ways"] = Json(static_cast<uint64_t>(ways_points[wi]));
+            pt["l2_misses"] = Json(r.l2Misses);
+            geometry.push(std::move(pt));
         }
         table.row(row);
     }
     table.print(std::cout);
 
     // Capacity sweep (LRU inclusion: monotone non-increasing).
+    Json capacity = Json::array();
     TextTable cap("E-cache misses by capacity (64B lines, direct-mapped)");
     cap.header({"capacity", "E-misses", "miss ratio"});
     uint64_t prev = ~0ull;
@@ -88,8 +109,17 @@ main()
             ++failures;
         }
         prev = r.l2Misses;
+        Json pt = Json::object();
+        pt["capacity_kb"] = Json(kb);
+        pt["l2_misses"] = Json(r.l2Misses);
+        pt["miss_ratio"] = Json(r.l2MissRatio());
+        capacity.push(std::move(pt));
     }
     cap.print(std::cout);
+    report.set("geometry", std::move(geometry));
+    report.set("capacity", std::move(capacity));
+    report.set("trace_refs", Json(static_cast<uint64_t>(trace.size())));
+    report.write();
 
     if (failures) {
         std::cerr << "ablation-geometry: FAILED\n";

@@ -8,8 +8,10 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "atl/sim/experiment.hh"
+#include "atl/sim/sweep.hh"
 #include "atl/util/table.hh"
 #include "atl/workloads/ocean.hh"
 
@@ -51,23 +53,33 @@ main()
     table.header({"policy", "E-misses", "MPKI", "makespan (Mcycles)"});
 
     int failures = 0;
+    const PagePlacement placements[] = {PagePlacement::BinHopping,
+                                        PagePlacement::Arbitrary,
+                                        PagePlacement::Random};
+    std::vector<SweepJob> jobs;
+    for (PagePlacement p : placements)
+        jobs.push_back({placementName(p), [p] { return runWith(p); }});
+    SweepRunner runner;
+    std::vector<RunMetrics> swept = runner.run(jobs);
+
+    BenchReport report("bench_ablation_placement");
     uint64_t misses[3] = {0, 0, 0};
-    int i = 0;
-    for (PagePlacement p :
-         {PagePlacement::BinHopping, PagePlacement::Arbitrary,
-          PagePlacement::Random}) {
-        RunMetrics r = runWith(p);
+    for (size_t i = 0; i < swept.size(); ++i) {
+        const RunMetrics &r = swept[i];
         if (!r.verified) {
             std::cerr << "FAIL: run did not verify\n";
             ++failures;
         }
-        misses[i++] = r.eMisses;
-        table.row({placementName(p), std::to_string(r.eMisses),
+        misses[i] = r.eMisses;
+        report.addRun(r);
+        table.row({placementName(placements[i]),
+                   std::to_string(r.eMisses),
                    TextTable::num(r.mpki(), 3),
                    TextTable::num(static_cast<double>(r.makespan) / 1e6,
                                   1)});
     }
     table.print(std::cout);
+    report.write();
 
     // Careful mapping must not lose to random placement on a
     // conflict-sensitive stencil sweep.

@@ -26,9 +26,12 @@
  */
 
 #include <cmath>
+#include <functional>
 #include <iostream>
+#include <vector>
 
 #include "atl/runtime/sync.hh"
+#include "atl/sim/sweep.hh"
 #include "atl/util/table.hh"
 
 using namespace atl;
@@ -165,12 +168,36 @@ main()
     std::cout << "LFF vs CRT divergence study (1 cpu; the paper's "
                  "future-work question)\n\n";
 
-    uint64_t crt_a = crtFavouringMisses(PolicyKind::CRT);
-    uint64_t lff_a = crtFavouringMisses(PolicyKind::LFF);
-    uint64_t crt_b = lffFavouringMisses(PolicyKind::CRT);
-    uint64_t lff_b = lffFavouringMisses(PolicyKind::LFF);
-    uint64_t crt_c = symmetricMisses(PolicyKind::CRT);
-    uint64_t lff_c = symmetricMisses(PolicyKind::LFF);
+    // Six independent single-machine runs; sweep them concurrently.
+    const std::function<uint64_t()> runs[] = {
+        [] { return crtFavouringMisses(PolicyKind::CRT); },
+        [] { return crtFavouringMisses(PolicyKind::LFF); },
+        [] { return lffFavouringMisses(PolicyKind::CRT); },
+        [] { return lffFavouringMisses(PolicyKind::LFF); },
+        [] { return symmetricMisses(PolicyKind::CRT); },
+        [] { return symmetricMisses(PolicyKind::LFF); },
+    };
+    uint64_t counts[6] = {};
+    SweepRunner runner;
+    runner.forEach(6, [&](size_t i) { counts[i] = runs[i](); });
+    uint64_t crt_a = counts[0], lff_a = counts[1];
+    uint64_t crt_b = counts[2], lff_b = counts[3];
+    uint64_t crt_c = counts[4], lff_c = counts[5];
+
+    BenchReport report("bench_ablation_policy_divergence");
+    Json scenarios = Json::array();
+    const char *scenario_names[] = {"decayed-big vs fresh-medium",
+                                    "streaming-tiny vs huge",
+                                    "symmetric (tasks-like)"};
+    for (int sc = 0; sc < 3; ++sc) {
+        Json row = Json::object();
+        row["scenario"] = Json(scenario_names[sc]);
+        row["crt_misses"] = Json(counts[2 * sc]);
+        row["lff_misses"] = Json(counts[2 * sc + 1]);
+        scenarios.push(std::move(row));
+    }
+    report.set("scenarios", std::move(scenarios));
+    report.write();
 
     TextTable table("E-cache misses by scenario and policy");
     table.header({"scenario", "LFF", "CRT", "CRT/LFF"});

@@ -13,6 +13,7 @@
 
 #include "atl/model/footprint_model.hh"
 #include "atl/model/markov.hh"
+#include "atl/sim/sweep.hh"
 #include "atl/util/table.hh"
 
 using namespace atl;
@@ -76,6 +77,12 @@ main()
                          2)
                   << " (saturation qN = 32)\n";
     }
+
+    BenchReport report("bench_appendix_markov");
+    report.set("configurations_checked",
+               Json(static_cast<uint64_t>(checks)));
+    report.set("worst_relative_deviation", Json(worst));
+    report.write();
 
     if (worst > 1e-7) {
         std::cerr << "appendix: FAIL — closed form deviates from the "

@@ -19,9 +19,11 @@
  * "excellent correspondence" tolerance.
  */
 
+#include <functional>
 #include <iostream>
 
 #include "atl/sim/experiment.hh"
+#include "atl/sim/sweep.hh"
 #include "atl/util/table.hh"
 #include "atl/workloads/random_walk.hh"
 
@@ -70,6 +72,7 @@ struct CurveResult
 {
     std::vector<FootprintSample> samples;
     double error = 0.0;
+    bool verified = false;
 };
 
 /**
@@ -107,15 +110,12 @@ runCurve(uint64_t steps, bool track_walker,
         }
     });
     machine.run();
-    if (!workload.verify()) {
-        std::cerr << "FAIL: random walk did not verify\n";
-        ++failures;
-    }
 
     ThreadId tracked = track_walker ? workload.walkerTid()
                                     : workload.sleeperTids()[0];
     return {monitor.samples(tracked),
-            monitor.meanAbsRelError(tracked, 128.0)};
+            monitor.meanAbsRelError(tracked, 128.0),
+            workload.verify()};
 }
 
 void
@@ -127,69 +127,97 @@ emit(FigureWriter &fig, const std::string &label, const CurveResult &r)
 
 } // namespace
 
+/** One planned curve: which run to do and how to present it. */
+struct CurveSpec
+{
+    std::string figure;  ///< "4a".."4d"
+    std::string label;   ///< series label within the figure
+    std::string checkLabel;
+    double limit;        ///< error limit for the check
+    std::function<CurveResult()> run;
+};
+
 int
 main()
 {
     std::cout << "Reproducing paper Figure 4 (random memory walk, "
                  "1-cpu UltraSPARC-1 model, N = 8192 lines)\n\n";
 
-    // ---- 4a: the executing thread ------------------------------------
+    std::vector<CurveSpec> specs;
+    specs.push_back({"4a", "S0=0", "4a executing thread", 0.05, [] {
+                         return runCurve(
+                             250000, true, {},
+                             FootprintMonitor::Kind::Executing, 0.0);
+                     }});
+    for (uint64_t s0 : {6000ull, 3000ull, 1000ull}) {
+        std::string label = "S0~" + std::to_string(s0);
+        specs.push_back(
+            {"4b", label, "4b independent sleeper " + label, 0.10,
+             [s0] {
+                 return runCurve(150000, false, {{s0, 0.0, s0}},
+                                 FootprintMonitor::Kind::Independent,
+                                 0.0);
+             }});
+    }
+    struct Scenario
     {
-        FigureWriter fig(std::cout, "4a", "E-cache misses (thousands)",
-                         "footprint (lines)");
-        CurveResult r = runCurve(250000, true, {},
-                                 FootprintMonitor::Kind::Executing, 0.0);
-        emit(fig, "S0=0", r);
-        check("4a executing thread", r.error, 0.05);
+        uint64_t warm;
+        const char *label;
+    };
+    for (const Scenario &sc :
+         {Scenario{0, "S0=0"}, {8000, "S0~8000"}, {4000, "S0~4000"}}) {
+        specs.push_back({"4c", std::string("q=0.5 ") + sc.label,
+                         std::string("4c dependent sleeper ") + sc.label,
+                         0.12, [warm = sc.warm] {
+                             return runCurve(
+                                 250000, false, {{0, 0.5, warm}},
+                                 FootprintMonitor::Kind::Dependent, 0.5);
+                         }});
+    }
+    for (double q : {0.75, 0.5, 0.25}) {
+        std::string label = "q=" + TextTable::num(q, 2);
+        specs.push_back({"4d", label, "4d dependent sleeper " + label,
+                         0.12, [q] {
+                             return runCurve(
+                                 250000, false, {{0, q, 0}},
+                                 FootprintMonitor::Kind::Dependent, q);
+                         }});
     }
 
-    // ---- 4b: independent sleepers decay ------------------------------
-    {
-        FigureWriter fig(std::cout, "4b", "E-cache misses (thousands)",
-                         "footprint (lines)");
-        for (uint64_t s0 : {6000ull, 3000ull, 1000ull}) {
-            CurveResult r =
-                runCurve(150000, false, {{s0, 0.0, s0}},
-                         FootprintMonitor::Kind::Independent, 0.0);
-            std::string label = "S0~" + std::to_string(s0);
-            emit(fig, label, r);
-            check("4b independent sleeper " + label, r.error, 0.10);
-        }
-    }
+    // Every curve is its own machine (the paper's separate runs), so
+    // the ten of them sweep in parallel; figures print in order after.
+    std::vector<CurveResult> results(specs.size());
+    SweepRunner runner;
+    runner.forEach(specs.size(),
+                   [&](size_t i) { results[i] = specs[i].run(); });
 
-    // ---- 4c: dependent sleeper, q=0.5, varying initial footprint -----
-    {
-        FigureWriter fig(std::cout, "4c", "E-cache misses (thousands)",
+    BenchReport report("bench_fig4_random_walk");
+    Json curves = Json::array();
+    size_t i = 0;
+    while (i < specs.size()) {
+        const std::string &figure = specs[i].figure;
+        FigureWriter fig(std::cout, figure, "E-cache misses (thousands)",
                          "footprint (lines)");
-        struct Scenario
-        {
-            uint64_t warm;
-            const char *label;
-        };
-        for (const Scenario &sc :
-             {Scenario{0, "S0=0"}, {8000, "S0~8000"}, {4000, "S0~4000"}}) {
-            CurveResult r =
-                runCurve(250000, false, {{0, 0.5, sc.warm}},
-                         FootprintMonitor::Kind::Dependent, 0.5);
-            emit(fig, std::string("q=0.5 ") + sc.label, r);
-            check(std::string("4c dependent sleeper ") + sc.label,
-                  r.error, 0.12);
+        for (; i < specs.size() && specs[i].figure == figure; ++i) {
+            const CurveSpec &spec = specs[i];
+            const CurveResult &r = results[i];
+            if (!r.verified) {
+                std::cerr << "FAIL: random walk did not verify\n";
+                ++failures;
+            }
+            emit(fig, spec.label, r);
+            check(spec.checkLabel, r.error, spec.limit);
+            Json c = Json::object();
+            c["figure"] = Json(spec.figure);
+            c["label"] = Json(spec.label);
+            c["mean_abs_rel_error"] = Json(r.error);
+            c["samples"] = Json(static_cast<uint64_t>(r.samples.size()));
+            c["verified"] = Json(r.verified);
+            curves.push(std::move(c));
         }
     }
-
-    // ---- 4d: dependent sleepers with different q ----------------------
-    {
-        FigureWriter fig(std::cout, "4d", "E-cache misses (thousands)",
-                         "footprint (lines)");
-        for (double q : {0.75, 0.5, 0.25}) {
-            CurveResult r =
-                runCurve(250000, false, {{0, q, 0}},
-                         FootprintMonitor::Kind::Dependent, q);
-            std::string label = "q=" + TextTable::num(q, 2);
-            emit(fig, label, r);
-            check("4d dependent sleeper " + label, r.error, 0.12);
-        }
-    }
+    report.set("curves", std::move(curves));
+    report.write();
 
     if (failures) {
         std::cerr << "fig4: " << failures << " check(s) FAILED\n";

@@ -7,10 +7,12 @@
  * of relatively stable, much lower MPI.
  */
 
+#include <functional>
 #include <iostream>
 #include <memory>
 
 #include "atl/sim/experiment.hh"
+#include "atl/sim/sweep.hh"
 #include "atl/util/table.hh"
 #include "atl/workloads/barnes.hh"
 #include "atl/workloads/ocean.hh"
@@ -27,6 +29,7 @@ int failures = 0;
 struct MpiResult
 {
     std::string name;
+    bool verified = false;
     /** (instructions executed in millions, window MPI) */
     std::vector<std::pair<double, double>> series;
     double burstMpi = 0.0;  ///< MPI over the first window
@@ -79,10 +82,7 @@ runMpi(MonitoredWorkload &w)
         }
     });
     machine.run();
-    if (!w.verify()) {
-        std::cerr << "FAIL: " << w.name() << " did not verify\n";
-        ++failures;
-    }
+    result.verified = w.verify();
 
     if (result.series.size() >= 4) {
         result.burstMpi = result.series.front().second;
@@ -101,26 +101,38 @@ runMpi(MonitoredWorkload &w)
 int
 main()
 {
-    std::vector<MpiResult> results;
-    {
+    std::vector<std::function<MpiResult()>> makers;
+    makers.push_back([] {
         BarnesWorkload w({.bodies = 16384, .treeDepth = 4, .passes = 3,
                           .seed = 31});
-        results.push_back(runMpi(w));
-    }
-    {
+        return runMpi(w);
+    });
+    makers.push_back([] {
         OceanWorkload w({.edge = 262, .iterations = 4, .seed = 37});
-        results.push_back(runMpi(w));
-    }
-    {
+        return runMpi(w);
+    });
+    makers.push_back([] {
         WaterWorkload w({.molecules = 8704, .cellEdge = 8, .passes = 3,
                          .seed = 41});
-        results.push_back(runMpi(w));
-    }
-    {
+        return runMpi(w);
+    });
+    makers.push_back([] {
         TypecheckerWorkload w{TypecheckerWorkload::Params{}};
-        results.push_back(runMpi(w));
+        return runMpi(w);
+    });
+    std::vector<MpiResult> results(makers.size());
+    SweepRunner runner;
+    runner.forEach(makers.size(),
+                   [&](size_t i) { results[i] = makers[i](); });
+    for (const MpiResult &r : results) {
+        if (!r.verified) {
+            std::cerr << "FAIL: " << r.name << " did not verify\n";
+            ++failures;
+        }
     }
 
+    BenchReport report("bench_fig6_mpi");
+    Json apps = Json::array();
     TextTable table("Figure 6 summary: reload transient burst vs "
                     "steady-state MPI (per 1000 instructions)");
     table.header({"app", "burst MPI", "steady MPI", "burst/steady"});
@@ -146,8 +158,17 @@ main()
                       << " shows no reload-transient burst\n";
             ++failures;
         }
+        Json app = Json::object();
+        app["app"] = Json(r.name);
+        app["burst_mpi"] = Json(r.burstMpi);
+        app["steady_mpi"] = Json(r.steadyMpi);
+        app["windows"] = Json(static_cast<uint64_t>(r.series.size()));
+        app["verified"] = Json(r.verified);
+        apps.push(std::move(app));
     }
     table.print(std::cout);
+    report.set("apps", std::move(apps));
+    report.write();
 
     if (failures) {
         std::cerr << "fig6: " << failures << " check(s) FAILED\n";

@@ -14,9 +14,11 @@
  * the final prediction substantially exceeds the observation.
  */
 
+#include <functional>
 #include <iostream>
 
 #include "atl/sim/experiment.hh"
+#include "atl/sim/sweep.hh"
 #include "atl/util/table.hh"
 #include "atl/workloads/raytrace.hh"
 #include "atl/workloads/typechecker.hh"
@@ -31,6 +33,7 @@ int failures = 0;
 struct AnomalyResult
 {
     std::string name;
+    bool verified = false;
     std::vector<FootprintSample> samples;
     double finalObserved = 0.0;
     double finalPredicted = 0.0;
@@ -54,13 +57,10 @@ runAnomaly(MonitoredWorkload &w)
         monitor.track(w.workTid(), FootprintMonitor::Kind::Executing);
     });
     machine.run();
-    if (!w.verify()) {
-        std::cerr << "FAIL: " << w.name() << " did not verify\n";
-        ++failures;
-    }
 
     AnomalyResult r;
     r.name = w.name();
+    r.verified = w.verify();
     r.samples = monitor.samples(w.workTid());
     if (!r.samples.empty()) {
         r.finalObserved = r.samples.back().observed;
@@ -74,16 +74,28 @@ runAnomaly(MonitoredWorkload &w)
 int
 main()
 {
-    std::vector<AnomalyResult> results;
-    {
+    std::vector<std::function<AnomalyResult()>> makers;
+    makers.push_back([] {
         TypecheckerWorkload w{TypecheckerWorkload::Params{}};
-        results.push_back(runAnomaly(w));
-    }
-    {
+        return runAnomaly(w);
+    });
+    makers.push_back([] {
         RaytraceWorkload w{RaytraceWorkload::Params{}};
-        results.push_back(runAnomaly(w));
+        return runAnomaly(w);
+    });
+    std::vector<AnomalyResult> results(makers.size());
+    SweepRunner runner;
+    runner.forEach(makers.size(),
+                   [&](size_t i) { results[i] = makers[i](); });
+    for (const AnomalyResult &r : results) {
+        if (!r.verified) {
+            std::cerr << "FAIL: " << r.name << " did not verify\n";
+            ++failures;
+        }
     }
 
+    BenchReport report("bench_fig7_anomalies");
+    Json apps = Json::array();
     TextTable table("Figure 7 summary: overestimated footprints");
     table.header({"app", "final observed", "final predicted",
                   "pred/obs"});
@@ -115,8 +127,17 @@ main()
                       << ratio << ")\n";
             ++failures;
         }
+        Json app = Json::object();
+        app["app"] = Json(r.name);
+        app["final_observed"] = Json(r.finalObserved);
+        app["final_predicted"] = Json(r.finalPredicted);
+        app["pred_over_obs"] = Json(ratio);
+        app["verified"] = Json(r.verified);
+        apps.push(std::move(app));
     }
     table.print(std::cout);
+    report.set("apps", std::move(apps));
+    report.write();
 
     if (failures) {
         std::cerr << "fig7: " << failures << " check(s) FAILED\n";

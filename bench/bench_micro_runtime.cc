@@ -10,9 +10,14 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <filesystem>
+#include <string>
+#include <vector>
 
 #include "atl/runtime/context.hh"
 #include "atl/runtime/machine.hh"
+#include "atl/sim/sweep.hh"
+#include "atl/sim/tracer.hh"
 
 using namespace atl;
 
@@ -71,8 +76,98 @@ BM_ModelledAccessHit(benchmark::State &state)
     }
     state.counters["ns_per_hit_access"] =
         dt * 1e9 / static_cast<double>(target);
+    state.counters["refs_per_sec"] = static_cast<double>(target) / dt;
 }
 BENCHMARK(BM_ModelledAccessHit)->Iterations(1);
+
+void
+BM_HotPathRefThroughput(benchmark::State &state)
+{
+    // End-to-end modelled reference throughput (refs/sec of host time)
+    // over a 256KB working set: mostly L1 hits with periodic L1-miss /
+    // E-hit refills, the mix the policy sweeps spend their time in.
+    // This is the number the memory-pipeline optimisations move.
+    MachineConfig cfg;
+    cfg.modelSchedulerFootprint = false;
+    Machine m(cfg);
+    constexpr uint64_t lines = 4096; // 256KB of 64B lines, half the E$
+    constexpr uint64_t target = 4000000;
+    VAddr va = m.alloc(lines * 64, 64);
+    m.spawn([&] {
+        for (uint64_t i = 0; i < target; ++i)
+            m.read(va + (i % lines) * 64, 4);
+    });
+    auto t0 = std::chrono::steady_clock::now();
+    m.run();
+    auto dt = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dt);
+    state.counters["refs_per_sec"] = static_cast<double>(target) / dt;
+    state.counters["ns_per_ref"] =
+        dt * 1e9 / static_cast<double>(target);
+}
+BENCHMARK(BM_HotPathRefThroughput)->Iterations(1);
+
+void
+BM_HotPathMissHeavy(benchmark::State &state)
+{
+    // Same pipeline with a 4MB working set (8x the E-cache): every
+    // reference streams through fill/evict and the VM reverse path.
+    MachineConfig cfg;
+    cfg.modelSchedulerFootprint = false;
+    Machine m(cfg);
+    constexpr uint64_t lines = 65536; // 4MB of 64B lines
+    constexpr uint64_t target = 1000000;
+    VAddr va = m.alloc(lines * 64, 64);
+    m.spawn([&] {
+        for (uint64_t i = 0; i < target; ++i)
+            m.read(va + (i % lines) * 64, 4);
+    });
+    auto t0 = std::chrono::steady_clock::now();
+    m.run();
+    auto dt = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dt);
+    state.counters["refs_per_sec"] = static_cast<double>(target) / dt;
+    state.counters["ns_per_ref"] =
+        dt * 1e9 / static_cast<double>(target);
+}
+BENCHMARK(BM_HotPathMissHeavy)->Iterations(1);
+
+void
+BM_HotPathMonitoredMissHeavy(benchmark::State &state)
+{
+    // The miss-heavy stream with a Tracer attached: every reference
+    // drives onL2Fill/onL2Evict owner lookups and footprint counters,
+    // the structures the flat-vector tracer layout optimises.
+    MachineConfig cfg;
+    cfg.modelSchedulerFootprint = false;
+    Machine m(cfg);
+    Tracer tracer(m);
+    constexpr uint64_t lines = 65536; // 4MB of 64B lines
+    constexpr uint64_t target = 1000000;
+    VAddr va = m.alloc(lines * 64, 64);
+    ThreadId tid = m.spawn([&] {
+        for (uint64_t i = 0; i < target; ++i)
+            m.read(va + (i % lines) * 64, 4);
+    });
+    tracer.registerState(tid, va, lines * 64);
+    auto t0 = std::chrono::steady_clock::now();
+    m.run();
+    auto dt = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dt);
+    state.counters["refs_per_sec"] = static_cast<double>(target) / dt;
+    state.counters["ns_per_ref"] =
+        dt * 1e9 / static_cast<double>(target);
+}
+BENCHMARK(BM_HotPathMonitoredMissHeavy)->Iterations(1);
 
 void
 BM_ThreadCreateJoin(benchmark::State &state)
@@ -131,4 +226,31 @@ BENCHMARK(BM_DispatchPathLff)->Iterations(1);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Default to a machine-readable report next to the other benches'
+    // unless the caller redirected it.
+    std::vector<char *> args(argv, argv + argc);
+    std::string out_flag, fmt_flag;
+    bool has_out = false;
+    for (int i = 1; i < argc; ++i)
+        has_out |= std::string(argv[i]).rfind("--benchmark_out", 0) == 0;
+    if (!has_out) {
+        std::error_code ec;
+        std::filesystem::create_directories(BenchReport::resultsDir(),
+                                            ec);
+        out_flag = "--benchmark_out=" + BenchReport::resultsDir() +
+                   "/bench_micro_runtime.json";
+        fmt_flag = "--benchmark_out_format=json";
+        if (!ec) {
+            args.push_back(out_flag.data());
+            args.push_back(fmt_flag.data());
+        }
+    }
+    int n = static_cast<int>(args.size());
+    benchmark::Initialize(&n, args.data());
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

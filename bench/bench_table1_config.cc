@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "atl/runtime/machine.hh"
+#include "atl/sim/sweep.hh"
 #include "atl/util/table.hh"
 
 using namespace atl;
@@ -61,6 +62,16 @@ main()
     }
     uint64_t colors = cfg.hierarchy.l2.sizeBytes / cfg.pageBytes;
     std::cout << "page colors (E-cache bins) = " << colors << "\n";
+
+    BenchReport report("bench_table1_config");
+    report.set("model_n_lines", Json(n));
+    report.set("model_k", Json(m.model().k()));
+    report.set("page_colors", Json(colors));
+    report.set("l2_size_bytes", Json(cfg.hierarchy.l2.sizeBytes));
+    report.set("l2_line_bytes", Json(cfg.hierarchy.l2.lineBytes));
+    report.set("page_bytes", Json(cfg.pageBytes));
+    report.write();
+
     std::cout << "table1: OK\n";
     return 0;
 }

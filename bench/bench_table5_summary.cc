@@ -27,6 +27,17 @@ main()
     std::vector<MatrixRow> uni = runMatrix(1, failures);
     std::vector<MatrixRow> smp = runMatrix(8, failures);
 
+    BenchReport report("bench_table5_summary");
+    for (const MatrixRow &r : uni) {
+        report.addRun(r.fcfs);
+        report.addRun(r.crt);
+    }
+    for (const MatrixRow &r : smp) {
+        report.addRun(r.fcfs);
+        report.addRun(r.crt);
+    }
+    report.write();
+
     TextTable table("Table 5: CRT relative to FCFS");
     table.header({"app", "E-misses eliminated (1cpu)",
                   "E-misses eliminated (8cpu)", "rel perf (1cpu)",

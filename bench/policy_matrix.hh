@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "atl/sim/experiment.hh"
+#include "atl/sim/sweep.hh"
 #include "atl/util/table.hh"
 #include "atl/workloads/mergesort.hh"
 #include "atl/workloads/photo.hh"
@@ -80,35 +81,78 @@ struct MatrixRow
     RunMetrics crt;
 };
 
-/** Run the full application x policy matrix on an n_cpus platform. */
+/**
+ * Run the full application x policy matrix on an n_cpus platform.
+ * The 12 runs are independent (each builds its own machine), so they
+ * execute on the sweep pool; rows come back in application order with
+ * metrics identical to a serial loop.
+ */
 inline std::vector<MatrixRow>
 runMatrix(unsigned n_cpus, int &failures)
 {
     const char *apps[] = {"tasks", "merge", "photo", "tsp"};
+    constexpr PolicyKind policies[] = {PolicyKind::FCFS, PolicyKind::LFF,
+                                       PolicyKind::CRT};
+
+    std::vector<SweepJob> jobs;
+    for (const char *app : apps) {
+        for (PolicyKind policy : policies) {
+            std::string name =
+                std::string(app) + "/" + policyName(policy);
+            jobs.push_back({name, [app, policy, n_cpus] {
+                                auto workload = makeTable4Workload(app);
+                                return runWorkload(
+                                    *workload,
+                                    platformConfig(n_cpus, policy),
+                                    false);
+                            }});
+        }
+    }
+
+    SweepRunner runner;
+    std::vector<RunMetrics> metrics = runner.run(jobs);
+
     std::vector<MatrixRow> rows;
+    size_t next = 0;
     for (const char *app : apps) {
         MatrixRow row;
         row.app = app;
-        for (PolicyKind policy :
-             {PolicyKind::FCFS, PolicyKind::LFF, PolicyKind::CRT}) {
-            auto workload = makeTable4Workload(app);
-            row.parameters = workload->parameters();
-            RunMetrics metrics = runWorkload(
-                *workload, platformConfig(n_cpus, policy), false);
-            if (!metrics.verified) {
+        row.parameters = makeTable4Workload(app)->parameters();
+        for (PolicyKind policy : policies) {
+            const RunMetrics &m = metrics[next++];
+            if (!m.verified) {
                 std::cerr << "FAIL: " << app << " under "
                           << policyName(policy) << " did not verify\n";
                 ++failures;
             }
             switch (policy) {
-              case PolicyKind::FCFS: row.fcfs = metrics; break;
-              case PolicyKind::LFF: row.lff = metrics; break;
-              case PolicyKind::CRT: row.crt = metrics; break;
+              case PolicyKind::FCFS: row.fcfs = m; break;
+              case PolicyKind::LFF: row.lff = m; break;
+              case PolicyKind::CRT: row.crt = m; break;
             }
         }
         rows.push_back(row);
     }
     return rows;
+}
+
+/** Emit the matrix as the bench's machine-readable report. */
+inline void
+writeMatrixReport(const std::string &bench_name,
+                  const std::string &platform, unsigned n_cpus,
+                  const std::vector<MatrixRow> &rows)
+{
+    BenchReport report(bench_name);
+    report.set("platform", Json(platform));
+    report.set("num_cpus", Json(static_cast<uint64_t>(n_cpus)));
+    for (const MatrixRow &r : rows) {
+        report.addRun(r.fcfs);
+        report.addRun(r.lff);
+        report.addRun(r.crt);
+    }
+    std::string path = report.write();
+    if (!path.empty())
+        std::cout << "\nwrote " << path << "\n";
 }
 
 /** Print the paper-style pair of charts: total E-cache misses

@@ -1,16 +1,70 @@
 #!/usr/bin/env bash
 # Full verification pipeline: configure, build, run every test, then
-# regenerate every paper table/figure. Exits non-zero on the first
-# failed shape check.
+# regenerate every paper table/figure through the sweep engine. Exits
+# non-zero on the first failed shape check.
+#
+# Usage: check.sh [--jobs N]
+#   --jobs N   worker threads per bench sweep (exported as
+#              ATL_SWEEP_JOBS; default: all cores)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+while [ $# -gt 0 ]; do
+    case "$1" in
+      --jobs)
+        [ $# -ge 2 ] || { echo "--jobs needs an argument" >&2; exit 2; }
+        export ATL_SWEEP_JOBS="$2"
+        shift 2
+        ;;
+      --jobs=*)
+        export ATL_SWEEP_JOBS="${1#--jobs=}"
+        shift
+        ;;
+      *)
+        echo "unknown argument: $1" >&2
+        exit 2
+        ;;
+    esac
+done
 
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build -j "$(nproc)"
 
-for b in build/bench/*; do
+# Each bench sweeps its runs on ATL_SWEEP_JOBS workers and drops a
+# machine-readable report into results/.
+declare -a names times
+for b in build/bench/bench_*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
     echo "==== $b"
+    start=$(date +%s.%N)
     "$b"
+    end=$(date +%s.%N)
+    names+=("$(basename "$b")")
+    times+=("$(echo "$end $start" | awk '{printf "%.1f", $1 - $2}')")
 done
+
+echo
+echo "==== bench wall-clock (${ATL_SWEEP_JOBS:-$(nproc)} sweep worker(s))"
+for i in "${!names[@]}"; do
+    printf '  %-36s %6ss\n' "${names[$i]}" "${times[$i]}"
+done
+
+# Every bench must have produced a parseable JSON report.
+missing=0
+for b in build/bench/bench_*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    json="results/$(basename "$b").json"
+    if [ ! -s "$json" ]; then
+        echo "MISSING: $json" >&2
+        missing=1
+    elif command -v python3 >/dev/null 2>&1 &&
+         ! python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+             "$json" 2>/dev/null; then
+        echo "UNPARSEABLE: $json" >&2
+        missing=1
+    fi
+done
+[ "$missing" -eq 0 ] || { echo "bench reports incomplete" >&2; exit 1; }
+
 echo "ALL CHECKS PASSED"

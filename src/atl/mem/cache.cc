@@ -16,6 +16,7 @@ Cache::Cache(const CacheConfig &config)
                "cache size must be divisible by way size");
     _numSets = config.sizeBytes / (config.lineBytes * _ways);
     atl_assert(isPowerOf2(_numSets), "set count must be 2^k");
+    _setShift = log2Exact(_numSets);
     _lines.resize(_numSets * _ways);
 }
 
@@ -30,7 +31,7 @@ Cache::lineAddrOf(size_t index) const
 {
     uint64_t set = index / _ways;
     uint64_t tag = _lines[index].tag;
-    return (tag * _numSets + set) << _lineShift;
+    return ((tag << _setShift) | set) << _lineShift;
 }
 
 int
@@ -69,20 +70,26 @@ Cache::access(PAddr pa, bool is_write)
 
     uint64_t line_no = pa >> _lineShift;
     uint64_t set = line_no & (_numSets - 1);
-    uint64_t tag = line_no / _numSets;
+    uint64_t tag = line_no >> _setShift;
 
-    AccessResult result;
-    int way = findWay(set, tag);
-    if (way >= 0) {
-        Line &line = _lines[lineIndex(set, static_cast<unsigned>(way))];
-        line.lastUse = _tick;
-        if (is_write && _config.writePolicy == WritePolicy::WriteBack)
-            line.dirty = true;
-        ++_stats.hits;
-        result.hit = true;
-        return result;
+    // Hit fast path: scan the set inline; most references hit and the
+    // first way wins outright for direct-mapped caches (the modelled
+    // L1D and E-cache).
+    Line *base = &_lines[set * _ways];
+    for (unsigned w = 0; w < _ways; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = _tick;
+            if (is_write && _config.writePolicy == WritePolicy::WriteBack)
+                line.dirty = true;
+            ++_stats.hits;
+            AccessResult result;
+            result.hit = true;
+            return result;
+        }
     }
 
+    AccessResult result;
     // Miss. Allocate unless this is a non-allocating write.
     if (is_write && !_config.allocateOnWrite)
         return result;
@@ -92,7 +99,7 @@ Cache::access(PAddr pa, bool is_write)
     if (line.valid) {
         result.victim.valid = true;
         result.victim.lineAddr =
-            (line.tag * _numSets + set) << _lineShift;
+            ((line.tag << _setShift) | set) << _lineShift;
         result.victim.dirty = line.dirty;
         ++_stats.evictions;
         if (line.dirty)
@@ -115,7 +122,7 @@ Cache::fill(PAddr pa, bool dirty)
     ++_tick;
     uint64_t line_no = pa >> _lineShift;
     uint64_t set = line_no & (_numSets - 1);
-    uint64_t tag = line_no / _numSets;
+    uint64_t tag = line_no >> _setShift;
 
     EvictInfo info;
     int way = findWay(set, tag);
@@ -130,7 +137,7 @@ Cache::fill(PAddr pa, bool dirty)
     Line &line = _lines[lineIndex(set, victim)];
     if (line.valid) {
         info.valid = true;
-        info.lineAddr = (line.tag * _numSets + set) << _lineShift;
+        info.lineAddr = ((line.tag << _setShift) | set) << _lineShift;
         info.dirty = line.dirty;
         ++_stats.evictions;
         if (line.dirty)
@@ -149,7 +156,7 @@ bool
 Cache::contains(PAddr pa) const
 {
     uint64_t line_no = pa >> _lineShift;
-    return findWay(line_no & (_numSets - 1), line_no / _numSets) >= 0;
+    return findWay(line_no & (_numSets - 1), line_no >> _setShift) >= 0;
 }
 
 bool
@@ -157,7 +164,7 @@ Cache::isDirty(PAddr pa) const
 {
     uint64_t line_no = pa >> _lineShift;
     uint64_t set = line_no & (_numSets - 1);
-    int way = findWay(set, line_no / _numSets);
+    int way = findWay(set, line_no >> _setShift);
     if (way < 0)
         return false;
     return _lines[lineIndex(set, static_cast<unsigned>(way))].dirty;
@@ -168,7 +175,7 @@ Cache::invalidate(PAddr pa)
 {
     uint64_t line_no = pa >> _lineShift;
     uint64_t set = line_no & (_numSets - 1);
-    int way = findWay(set, line_no / _numSets);
+    int way = findWay(set, line_no >> _setShift);
     if (way < 0)
         return false;
     Line &line = _lines[lineIndex(set, static_cast<unsigned>(way))];

@@ -187,6 +187,7 @@ class Cache
     uint64_t _lineBytes;
     unsigned _lineShift;
     uint64_t _numSets;
+    unsigned _setShift;
     unsigned _ways;
     uint64_t _tick = 0;
     uint64_t _resident = 0;

@@ -56,8 +56,8 @@ Hierarchy::access(PAddr pa, AccessType type)
             invalidateL1Range(l2_result.victim.lineAddr);
             notifyEvict(l2_result.victim.lineAddr);
         }
-        if (_onL2Fill)
-            _onL2Fill(_l2.lineAlign(pa));
+        if (_observer)
+            _observer->onL2Fill(_cpuId, _l2.lineAlign(pa));
     }
     outcome.l2Missed = !l2_result.hit;
     outcome.servicedBy = l2_result.hit ? ServicedBy::L2 : ServicedBy::Memory;
@@ -90,8 +90,9 @@ Hierarchy::invalidateLine(PAddr pa)
 void
 Hierarchy::flush()
 {
-    if (_onL2Evict) {
-        _l2.forEachResident([this](PAddr line) { _onL2Evict(line); });
+    if (_observer) {
+        _l2.forEachResident(
+            [this](PAddr line) { _observer->onL2Evict(_cpuId, line); });
     }
     _l1i.flush();
     _l1d.flush();
@@ -122,8 +123,8 @@ Hierarchy::invalidateL1Range(PAddr l2_line_addr)
 void
 Hierarchy::notifyEvict(PAddr line_addr)
 {
-    if (_onL2Evict)
-        _onL2Evict(line_addr);
+    if (_observer)
+        _observer->onL2Evict(_cpuId, line_addr);
 }
 
 } // namespace atl

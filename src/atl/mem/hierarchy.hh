@@ -13,12 +13,38 @@
 #ifndef ATL_MEM_HIERARCHY_HH
 #define ATL_MEM_HIERARCHY_HH
 
-#include <functional>
-
 #include "atl/mem/cache.hh"
 
 namespace atl
 {
+
+/**
+ * Observation interface for simulation instrumentation (the tracer).
+ * Declared at the memory layer so a Hierarchy can report line events
+ * through one devirtualisable pointer; the runtime and simulation
+ * layers implement it. Dispatch is a raw pointer null-check plus one
+ * virtual call on E-cache fill/evict — the per-reference hot path pays
+ * nothing when no observer is installed (untraced runs, the common
+ * case for the policy benches).
+ */
+class MemoryObserver
+{
+  public:
+    virtual ~MemoryObserver() = default;
+
+    /** A line entered the E-cache of a processor. */
+    virtual void onL2Fill(CpuId cpu, PAddr line_addr) = 0;
+
+    /** A line left the E-cache of a processor (eviction/invalidation). */
+    virtual void onL2Evict(CpuId cpu, PAddr line_addr) = 0;
+
+    /** A demand E-cache miss by a thread on a processor. */
+    virtual void onEMiss(CpuId cpu, ThreadId tid)
+    {
+        (void)cpu;
+        (void)tid;
+    }
+};
 
 /** Kind of memory reference. */
 enum class AccessType
@@ -60,15 +86,12 @@ struct HierarchyOutcome
 
 /**
  * One processor's caches. Fill/evict events at the E-cache level are
- * reported through hooks so the tracer can maintain per-thread footprint
- * ground truth.
+ * reported to the installed MemoryObserver so the tracer can maintain
+ * per-thread footprint ground truth.
  */
 class Hierarchy
 {
   public:
-    /** Called with the line-aligned address of every E-cache fill. */
-    using LineHook = std::function<void(PAddr line_addr)>;
-
     explicit Hierarchy(const HierarchyConfig &config);
 
     /**
@@ -107,11 +130,17 @@ class Hierarchy
     /** Reset all counters. */
     void resetStats();
 
-    /** Hook invoked when a line enters the E-cache. */
-    void onL2Fill(LineHook hook) { _onL2Fill = std::move(hook); }
-
-    /** Hook invoked when a line leaves the E-cache (evict/invalidate). */
-    void onL2Evict(LineHook hook) { _onL2Evict = std::move(hook); }
+    /**
+     * Install the fill/evict observer (null detaches).
+     * @param observer event sink, notified with this hierarchy's id
+     * @param self_id processor id reported with every event
+     */
+    void
+    setObserver(MemoryObserver *observer, CpuId self_id)
+    {
+        _observer = observer;
+        _cpuId = self_id;
+    }
 
   private:
     /** Enforce inclusion: drop L1 copies covered by an evicted L2 line. */
@@ -123,8 +152,8 @@ class Hierarchy
     Cache _l1i;
     Cache _l1d;
     Cache _l2;
-    LineHook _onL2Fill;
-    LineHook _onL2Evict;
+    MemoryObserver *_observer = nullptr;
+    CpuId _cpuId = 0;
 };
 
 } // namespace atl

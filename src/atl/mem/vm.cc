@@ -26,6 +26,8 @@ PAddr
 Vm::translate(VAddr va)
 {
     uint64_t vpn = va >> _pageShift;
+    if (vpn == _lastVpn)
+        return (_lastPfn << _pageShift) | (va & (_pageBytes - 1));
     auto it = _pageTable.find(vpn);
     uint64_t pfn;
     if (it != _pageTable.end()) {
@@ -35,6 +37,8 @@ Vm::translate(VAddr va)
         _pageTable.emplace(vpn, pfn);
         _frameTable.emplace(pfn, vpn);
     }
+    _lastVpn = vpn;
+    _lastPfn = pfn;
     return (pfn << _pageShift) | (va & (_pageBytes - 1));
 }
 
@@ -42,9 +46,15 @@ bool
 Vm::translateIfMapped(VAddr va, PAddr &pa) const
 {
     uint64_t vpn = va >> _pageShift;
+    if (vpn == _lastVpn) {
+        pa = (_lastPfn << _pageShift) | (va & (_pageBytes - 1));
+        return true;
+    }
     auto it = _pageTable.find(vpn);
     if (it == _pageTable.end())
         return false;
+    _lastVpn = vpn;
+    _lastPfn = it->second;
     pa = (it->second << _pageShift) | (va & (_pageBytes - 1));
     return true;
 }
@@ -53,9 +63,15 @@ bool
 Vm::reverse(PAddr pa, VAddr &va) const
 {
     uint64_t pfn = pa >> _pageShift;
+    if (pfn == _lastRevPfn) {
+        va = (_lastRevVpn << _pageShift) | (pa & (_pageBytes - 1));
+        return true;
+    }
     auto it = _frameTable.find(pfn);
     if (it == _frameTable.end())
         return false;
+    _lastRevPfn = pfn;
+    _lastRevVpn = it->second;
     va = (it->second << _pageShift) | (pa & (_pageBytes - 1));
     return true;
 }

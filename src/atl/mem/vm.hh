@@ -105,6 +105,16 @@ class Vm
     Rng _rng;
     uint64_t _nextColor = 0;
     uint64_t _nextFrame = 0;
+    /** @name One-entry translation memos.
+     * Frames are never reclaimed, so a cached (vpn, pfn) pair stays
+     * valid forever; consecutive references overwhelmingly fall on the
+     * same page, making these the hot-path exit of translate() and
+     * reverse(). Mutable: memo refills are not logical state changes. @{ */
+    mutable uint64_t _lastVpn = ~0ull;
+    mutable uint64_t _lastPfn = 0;
+    mutable uint64_t _lastRevPfn = ~0ull;
+    mutable uint64_t _lastRevVpn = 0;
+    /** @} */
     /** vpn -> pfn */
     std::unordered_map<uint64_t, uint64_t> _pageTable;
     /** pfn -> vpn */

@@ -30,9 +30,10 @@ namespace atl
 {
 
 /**
- * Precomputed powers k^n for n in [0, max_n]; values beyond max_n are
- * treated as 0 (k^n decays to the asymptote). The paper precomputes
- * exactly this table to keep priority updates to a few FP instructions.
+ * Precomputed powers k^n for n in [0, max_n]; queries beyond max_n
+ * clamp to k^max_n (the table is sized so that value is already at the
+ * asymptote). The paper precomputes exactly this table to keep priority
+ * updates to a few FP instructions.
  */
 class PowTable
 {
@@ -43,11 +44,13 @@ class PowTable
      */
     PowTable(double k, uint64_t max_n);
 
-    /** k^n (0 beyond the tabulated range). */
+    /** k^n, clamped to k^max_n beyond the tabulated range. Clamping
+     *  (rather than returning 0) keeps the result monotone in n and
+     *  nonzero, so ratios and logs of decayed footprints stay finite. */
     double
     pow(uint64_t n) const
     {
-        return n < _table.size() ? _table[n] : 0.0;
+        return _table[n < _table.size() ? n : _table.size() - 1];
     }
 
     /** The base k. */

@@ -51,14 +51,6 @@ Machine::Machine(const MachineConfig &config)
         Cpu &cpu = _cpus[c];
         cpu.id = c;
         cpu.hier = std::make_unique<Hierarchy>(config.hierarchy);
-        cpu.hier->onL2Fill([this, c](PAddr line) {
-            if (_observer)
-                _observer->onL2Fill(c, line);
-        });
-        cpu.hier->onL2Evict([this, c](PAddr line) {
-            if (_observer)
-                _observer->onL2Evict(c, line);
-        });
         // PIC0 = E-cache references, PIC1 = E-cache hits: the paper's
         // configuration, from which the runtime derives misses.
         cpu.perf.configure(PerfEvent::EcacheRefs, PerfEvent::EcacheHits);
@@ -68,6 +60,14 @@ Machine::Machine(const MachineConfig &config)
 }
 
 Machine::~Machine() = default;
+
+void
+Machine::setObserver(MemoryObserver *observer)
+{
+    _observer = observer;
+    for (Cpu &cpu : _cpus)
+        cpu.hier->setObserver(observer, cpu.id);
+}
 
 // ---------------------------------------------------------------------
 // Thread management

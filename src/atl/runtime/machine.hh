@@ -37,30 +37,6 @@
 namespace atl
 {
 
-/**
- * Observation interface for simulation instrumentation (the tracer).
- * Kept abstract here so the runtime has no dependency on the simulation
- * layer.
- */
-class MemoryObserver
-{
-  public:
-    virtual ~MemoryObserver() = default;
-
-    /** A line entered the E-cache of a processor. */
-    virtual void onL2Fill(CpuId cpu, PAddr line_addr) = 0;
-
-    /** A line left the E-cache of a processor (eviction/invalidation). */
-    virtual void onL2Evict(CpuId cpu, PAddr line_addr) = 0;
-
-    /** A demand E-cache miss by a thread on a processor. */
-    virtual void onEMiss(CpuId cpu, ThreadId tid)
-    {
-        (void)cpu;
-        (void)tid;
-    }
-};
-
 /** Full machine configuration. Defaults model the paper's platforms. */
 struct MachineConfig
 {
@@ -243,8 +219,9 @@ class Machine
 
     /** @name Instrumentation and synchronisation support @{ */
 
-    /** Install the simulation observer (may be null). */
-    void setObserver(MemoryObserver *observer) { _observer = observer; }
+    /** Install the simulation observer on every processor's hierarchy
+     *  (null detaches; see MemoryObserver in the mem layer). */
+    void setObserver(MemoryObserver *observer);
 
     /** Hook invoked for every modelled reference (trace recording);
      *  empty to disable. */

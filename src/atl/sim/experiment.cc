@@ -16,6 +16,18 @@ RunMetrics::mpki() const
            static_cast<double>(instructions);
 }
 
+bool
+RunMetrics::operator==(const RunMetrics &other) const
+{
+    return workload == other.workload && policy == other.policy &&
+           numCpus == other.numCpus && makespan == other.makespan &&
+           eMisses == other.eMisses && eRefs == other.eRefs &&
+           instructions == other.instructions &&
+           contextSwitches == other.contextSwitches &&
+           schedOverheadCycles == other.schedOverheadCycles &&
+           verified == other.verified;
+}
+
 double
 RunMetrics::missesEliminated(const RunMetrics &base, const RunMetrics &opt)
 {
@@ -145,7 +157,8 @@ FootprintMonitor::samples(ThreadId tid) const
 }
 
 double
-FootprintMonitor::meanAbsRelError(ThreadId tid, double floor) const
+FootprintMonitor::meanAbsRelError(ThreadId tid, double floor,
+                                  size_t *excluded) const
 {
     const auto &all = samples(tid);
     double total = 0.0;
@@ -156,6 +169,8 @@ FootprintMonitor::meanAbsRelError(ThreadId tid, double floor) const
         total += std::fabs(s.predicted - s.observed) / s.observed;
         ++used;
     }
+    if (excluded)
+        *excluded = all.size() - used;
     return used ? total / static_cast<double>(used) : 0.0;
 }
 

@@ -38,6 +38,13 @@ struct RunMetrics
     /** E-cache misses per 1000 instructions. */
     double mpki() const;
 
+    /** Field-wise equality (serial/parallel determinism checks). */
+    bool operator==(const RunMetrics &other) const;
+    bool operator!=(const RunMetrics &other) const
+    {
+        return !(*this == other);
+    }
+
     /** Fraction of baseline misses eliminated by this run. */
     static double missesEliminated(const RunMetrics &base,
                                    const RunMetrics &opt);
@@ -122,9 +129,15 @@ class FootprintMonitor
     /** Samples recorded for a tracked thread. */
     const std::vector<FootprintSample> &samples(ThreadId tid) const;
 
-    /** Mean absolute relative error of prediction vs observation for a
-     *  tracked thread, ignoring samples with observed < floor lines. */
-    double meanAbsRelError(ThreadId tid, double floor = 32.0) const;
+    /**
+     * Mean absolute relative error of prediction vs observation for a
+     * tracked thread, ignoring samples with observed < floor lines.
+     * @param excluded when non-null, receives the number of samples the
+     *        floor rejected, so callers can tell a genuinely accurate
+     *        prediction from one computed over almost no data
+     */
+    double meanAbsRelError(ThreadId tid, double floor = 32.0,
+                           size_t *excluded = nullptr) const;
 
   private:
     struct Target

@@ -1,0 +1,216 @@
+#include "atl/sim/sweep.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+#include "atl/util/logging.hh"
+
+namespace atl
+{
+
+SweepRunner::SweepRunner(unsigned jobs)
+    : _jobs(jobs ? jobs : defaultJobs())
+{
+}
+
+unsigned
+SweepRunner::defaultJobs()
+{
+    if (const char *env = std::getenv("ATL_SWEEP_JOBS")) {
+        char *end = nullptr;
+        unsigned long n = std::strtoul(env, &end, 10);
+        if (end && *end == '\0' && n >= 1)
+            return static_cast<unsigned>(n);
+        atl_warn("ignoring malformed ATL_SWEEP_JOBS='", env, "'");
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+uint64_t
+SweepRunner::deriveSeed(uint64_t base, uint64_t index)
+{
+    // splitmix64 finaliser over base advanced by the golden-gamma; the
+    // standard way to fan one seed out into independent streams.
+    uint64_t z = base + (index + 1) * 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+void
+SweepRunner::forEach(size_t n, const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+
+    size_t workers = std::min<size_t>(_jobs, n);
+    if (workers <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<size_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+
+    auto work = [&]() {
+        for (;;) {
+            size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+                // Keep draining: stopping early would leave other
+                // workers' in-flight jobs half-reported, and jobs are
+                // independent anyway.
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (size_t w = 1; w < workers; ++w)
+        pool.emplace_back(work);
+    work();
+    for (std::thread &t : pool)
+        t.join();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+std::vector<RunMetrics>
+SweepRunner::run(const std::vector<SweepJob> &sweep)
+{
+    std::vector<RunMetrics> results(sweep.size());
+    forEach(sweep.size(), [&](size_t i) {
+        atl_assert(sweep[i].body, "sweep job '", sweep[i].name,
+                   "' has no body");
+        results[i] = sweep[i].body();
+    });
+    return results;
+}
+
+BenchReport::BenchReport(std::string bench_name)
+    : _name(std::move(bench_name)), _doc(Json::object())
+{
+    _doc["bench"] = Json(_name);
+    _doc["schema"] = Json(1);
+    _doc["runs"] = Json::array();
+}
+
+void
+BenchReport::set(const std::string &key, Json value)
+{
+    _doc[key] = std::move(value);
+}
+
+void
+BenchReport::addRun(const RunMetrics &metrics)
+{
+    _doc["runs"].push(toJson(metrics));
+}
+
+Json
+BenchReport::toJson(const RunMetrics &metrics)
+{
+    Json json = Json::object();
+    json["workload"] = Json(metrics.workload);
+    json["policy"] = Json(policyName(metrics.policy));
+    json["num_cpus"] = Json(static_cast<uint64_t>(metrics.numCpus));
+    json["makespan"] = Json(metrics.makespan);
+    json["e_misses"] = Json(metrics.eMisses);
+    json["e_refs"] = Json(metrics.eRefs);
+    json["instructions"] = Json(metrics.instructions);
+    json["context_switches"] = Json(metrics.contextSwitches);
+    json["sched_overhead_cycles"] = Json(metrics.schedOverheadCycles);
+    json["verified"] = Json(metrics.verified);
+    json["mpki"] = Json(metrics.mpki());
+    return json;
+}
+
+bool
+BenchReport::fromJson(const Json &json, RunMetrics &out)
+{
+    if (!json.isObject())
+        return false;
+    static const char *required[] = {
+        "workload",       "policy",           "num_cpus",
+        "makespan",       "e_misses",         "e_refs",
+        "instructions",   "context_switches", "sched_overhead_cycles",
+        "verified",
+    };
+    for (const char *key : required) {
+        if (!json.has(key))
+            return false;
+    }
+
+    const std::string &policy = json.at("policy").asString();
+    bool known = false;
+    for (PolicyKind kind :
+         {PolicyKind::FCFS, PolicyKind::LFF, PolicyKind::CRT}) {
+        if (policy == policyName(kind)) {
+            out.policy = kind;
+            known = true;
+            break;
+        }
+    }
+    if (!known)
+        return false;
+
+    out.workload = json.at("workload").asString();
+    out.numCpus = static_cast<unsigned>(json.at("num_cpus").asUint());
+    out.makespan = json.at("makespan").asUint();
+    out.eMisses = json.at("e_misses").asUint();
+    out.eRefs = json.at("e_refs").asUint();
+    out.instructions = json.at("instructions").asUint();
+    out.contextSwitches = json.at("context_switches").asUint();
+    out.schedOverheadCycles = json.at("sched_overhead_cycles").asUint();
+    out.verified = json.at("verified").asBool();
+    return true;
+}
+
+std::string
+BenchReport::resultsDir()
+{
+    if (const char *env = std::getenv("ATL_RESULTS_DIR")) {
+        if (*env)
+            return env;
+    }
+    return "results";
+}
+
+std::string
+BenchReport::write() const
+{
+    std::string dir = resultsDir();
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        atl_warn("cannot create results dir '", dir, "': ",
+                 ec.message());
+        return {};
+    }
+
+    std::string path = dir + "/" + _name + ".json";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        atl_warn("cannot write '", path, "'");
+        return {};
+    }
+    out << _doc.dump();
+    return path;
+}
+
+} // namespace atl

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Parallel sweep engine for the experiment matrix. Every bench in this
+ * repo is a set of *independent* runWorkload() calls — each one builds
+ * its own Machine, so nothing is shared between runs — which makes the
+ * sweeps embarrassingly parallel. SweepRunner executes such jobs on a
+ * small thread pool while keeping results bit-identical to serial
+ * execution: determinism comes from each job's self-contained machine
+ * seed (see deriveSeed), never from execution order, and results are
+ * collected by job index.
+ *
+ * BenchReport is the companion output side: it accumulates a bench's
+ * configuration and per-run metrics into a JSON document and writes it
+ * to the results directory, so sweeps feed tooling instead of only
+ * terminals.
+ */
+
+#ifndef ATL_SIM_SWEEP_HH
+#define ATL_SIM_SWEEP_HH
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "atl/sim/experiment.hh"
+#include "atl/util/json.hh"
+
+namespace atl
+{
+
+/** One independent simulation of a sweep. */
+struct SweepJob
+{
+    /** Label used in error reports. */
+    std::string name;
+    /** The run. Must be self-contained: builds its own Machine and
+     *  touches no state shared with other jobs. */
+    std::function<RunMetrics()> body;
+};
+
+/**
+ * Fixed-size worker pool executing sweep jobs. Worker count resolution:
+ * an explicit constructor argument wins, else the ATL_SWEEP_JOBS
+ * environment variable, else the hardware concurrency. A count of 1
+ * runs everything inline on the caller (no threads), which the
+ * determinism tests use as the serial reference.
+ */
+class SweepRunner
+{
+  public:
+    /** @param jobs worker count; 0 resolves via defaultJobs() */
+    explicit SweepRunner(unsigned jobs = 0);
+
+    /** Resolved worker count. */
+    unsigned jobs() const { return _jobs; }
+
+    /**
+     * Run every job and return their metrics in job order (independent
+     * of which worker finished first). The first exception thrown by
+     * any job is rethrown here after all workers stop.
+     */
+    std::vector<RunMetrics> run(const std::vector<SweepJob> &sweep);
+
+    /**
+     * Generic parallel for: invoke fn(i) for every i in [0, n), spread
+     * over the pool. fn must only write state owned by index i.
+     */
+    void forEach(size_t n, const std::function<void(size_t)> &fn);
+
+    /**
+     * Mix a base seed with a job index (splitmix64 finaliser), so every
+     * job of a sweep gets an independent, reproducible machine seed
+     * that does not depend on scheduling.
+     */
+    static uint64_t deriveSeed(uint64_t base, uint64_t index);
+
+    /** Worker count from ATL_SWEEP_JOBS or the hardware, at least 1. */
+    static unsigned defaultJobs();
+
+  private:
+    unsigned _jobs;
+};
+
+/** Wall-clock stopwatch for bench timing lines. */
+class WallTimer
+{
+  public:
+    WallTimer() : _start(std::chrono::steady_clock::now()) {}
+
+    /** Seconds since construction or the last restart(). */
+    double
+    seconds() const
+    {
+        std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - _start;
+        return dt.count();
+    }
+
+    void restart() { _start = std::chrono::steady_clock::now(); }
+
+  private:
+    std::chrono::steady_clock::time_point _start;
+};
+
+/**
+ * Machine-readable bench output: a JSON document with the bench name,
+ * free-form configuration fields, and an array of per-run metrics.
+ * write() places it at <results dir>/<bench name>.json, where the
+ * results directory is $ATL_RESULTS_DIR or "results".
+ */
+class BenchReport
+{
+  public:
+    /** @param bench_name document name, also the output file stem */
+    explicit BenchReport(std::string bench_name);
+
+    /** Set a top-level configuration field. */
+    void set(const std::string &key, Json value);
+
+    /** Append one run's metrics to the runs array. */
+    void addRun(const RunMetrics &metrics);
+
+    /** Serialise RunMetrics to a JSON object. */
+    static Json toJson(const RunMetrics &metrics);
+
+    /**
+     * Rebuild RunMetrics from toJson() output.
+     * @retval false when required fields are missing or malformed
+     */
+    static bool fromJson(const Json &json, RunMetrics &out);
+
+    /** The accumulated document. */
+    const Json &document() const { return _doc; }
+
+    /** Results directory ($ATL_RESULTS_DIR or "results"). */
+    static std::string resultsDir();
+
+    /**
+     * Write the document to the results directory, creating it as
+     * needed.
+     * @return the path written
+     */
+    std::string write() const;
+
+  private:
+    std::string _name;
+    Json _doc;
+};
+
+} // namespace atl
+
+#endif // ATL_SIM_SWEEP_HH

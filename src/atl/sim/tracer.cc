@@ -9,7 +9,8 @@ namespace atl
 
 Tracer::Tracer(Machine &machine)
     : _machine(machine),
-      _lineBytes(machine.config().hierarchy.l2.lineBytes)
+      _lineBytes(machine.config().hierarchy.l2.lineBytes),
+      _numCpus(machine.numCpus())
 {
     _machine.setObserver(this);
 }
@@ -28,28 +29,32 @@ Tracer::registerState(ThreadId tid, VAddr va, uint64_t bytes)
     _regions[tid].emplace_back(first, last);
     std::vector<ThreadId> co_owners;
     for (uint64_t vline = first; vline <= last; ++vline) {
+        OwnerSet &owners = ownersGrow(vline);
         if (_autoInfer) {
-            for (ThreadId other : _owners[vline]) {
-                if (other != tid &&
-                    std::find(co_owners.begin(), co_owners.end(),
-                              other) == co_owners.end()) {
+            // Collect with duplicates; dedup once after the scan
+            // instead of a quadratic membership probe per line.
+            owners.forEach([&](ThreadId other) {
+                if (other != tid)
                     co_owners.push_back(other);
-                }
-            }
+            });
         }
-        OwnerList &owners = _owners[vline];
-        if (std::find(owners.begin(), owners.end(), tid) != owners.end())
+        if (owners.contains(tid))
             continue;
-        owners.push_back(tid);
+        owners.add(tid);
         // Lines already resident when their ownership is declared must
         // be credited now: later evictions will debit them.
         PAddr pa;
         if (!_machine.vm().translateIfMapped(vline * _lineBytes, pa))
             continue;
-        for (CpuId cpu = 0; cpu < _machine.numCpus(); ++cpu) {
+        for (CpuId cpu = 0; cpu < _numCpus; ++cpu) {
             if (_machine.hierarchy(cpu).l2Contains(pa))
-                ++countersFor(tid)[cpu];
+                ++counter(tid, cpu);
         }
+    }
+    if (_autoInfer) {
+        std::sort(co_owners.begin(), co_owners.end());
+        co_owners.erase(std::unique(co_owners.begin(), co_owners.end()),
+                        co_owners.end());
     }
 
     // Runtime inference (paper Section 7 direction): refresh the
@@ -84,17 +89,44 @@ Tracer::vlineOf(PAddr pa, uint64_t &vline) const
     return true;
 }
 
-std::vector<uint64_t> &
-Tracer::countersFor(ThreadId tid)
+const Tracer::OwnerSet *
+Tracer::ownersAt(uint64_t vline) const
 {
-    auto it = _footprints.find(tid);
-    if (it == _footprints.end()) {
-        it = _footprints
-                 .emplace(tid,
-                          std::vector<uint64_t>(_machine.numCpus(), 0))
-                 .first;
+    if (vline < _ownerBase || vline - _ownerBase >= _owners.size())
+        return nullptr;
+    return &_owners[vline - _ownerBase];
+}
+
+Tracer::OwnerSet &
+Tracer::ownersGrow(uint64_t vline)
+{
+    if (_owners.empty()) {
+        _ownerBase = vline;
+        _owners.emplace_back();
+        return _owners.front();
     }
-    return it->second;
+    if (vline < _ownerBase) {
+        // Registration below the current base: shift the table up.
+        // Registration is setup-time work, so the O(n) move is fine.
+        size_t grow = static_cast<size_t>(_ownerBase - vline);
+        std::vector<OwnerSet> shifted(grow + _owners.size());
+        std::move(_owners.begin(), _owners.end(),
+                  shifted.begin() + grow);
+        _owners = std::move(shifted);
+        _ownerBase = vline;
+    } else if (vline - _ownerBase >= _owners.size()) {
+        _owners.resize(static_cast<size_t>(vline - _ownerBase) + 1);
+    }
+    return _owners[vline - _ownerBase];
+}
+
+uint64_t &
+Tracer::counter(ThreadId tid, CpuId cpu)
+{
+    size_t index = static_cast<size_t>(tid) * _numCpus + cpu;
+    if (index >= _footprints.size())
+        _footprints.resize((static_cast<size_t>(tid) + 1) * _numCpus, 0);
+    return _footprints[index];
 }
 
 void
@@ -103,11 +135,10 @@ Tracer::onL2Fill(CpuId cpu, PAddr line_addr)
     uint64_t vline;
     if (!vlineOf(line_addr, vline))
         return;
-    auto it = _owners.find(vline);
-    if (it == _owners.end())
+    const OwnerSet *owners = ownersAt(vline);
+    if (!owners || owners->count == 0)
         return;
-    for (ThreadId tid : it->second)
-        ++countersFor(tid)[cpu];
+    owners->forEach([&](ThreadId tid) { ++counter(tid, cpu); });
 }
 
 void
@@ -116,16 +147,15 @@ Tracer::onL2Evict(CpuId cpu, PAddr line_addr)
     uint64_t vline;
     if (!vlineOf(line_addr, vline))
         return;
-    auto it = _owners.find(vline);
-    if (it == _owners.end())
+    const OwnerSet *owners = ownersAt(vline);
+    if (!owners || owners->count == 0)
         return;
-    for (ThreadId tid : it->second) {
-        std::vector<uint64_t> &counters = countersFor(tid);
-        atl_assert(counters[cpu] > 0,
-                   "footprint underflow for thread ", tid, " on cpu ",
-                   cpu);
-        --counters[cpu];
-    }
+    owners->forEach([&](ThreadId tid) {
+        uint64_t &lines = counter(tid, cpu);
+        atl_assert(lines > 0, "footprint underflow for thread ", tid,
+                   " on cpu ", cpu);
+        --lines;
+    });
 }
 
 void
@@ -138,11 +168,9 @@ Tracer::onEMiss(CpuId cpu, ThreadId tid)
 uint64_t
 Tracer::footprint(ThreadId tid, CpuId cpu) const
 {
-    auto it = _footprints.find(tid);
-    if (it == _footprints.end())
-        return 0;
-    atl_assert(cpu < it->second.size(), "cpu id out of range");
-    return it->second[cpu];
+    atl_assert(cpu < _numCpus, "cpu id out of range");
+    size_t index = static_cast<size_t>(tid) * _numCpus + cpu;
+    return index < _footprints.size() ? _footprints[index] : 0;
 }
 
 namespace

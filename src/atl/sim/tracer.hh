@@ -17,7 +17,9 @@
 #ifndef ATL_SIM_TRACER_HH
 #define ATL_SIM_TRACER_HH
 
+#include <array>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -93,22 +95,92 @@ class Tracer : public MemoryObserver
     /** @} */
 
   private:
-    /** Owners of one virtual line (usually 0-3 entries). */
-    using OwnerList = std::vector<ThreadId>;
+    /**
+     * Owners of one virtual line. Regions usually overlap 0-3 threads,
+     * so the first few owners live inline; rare wider sharing spills
+     * into a heap vector. This keeps the fill/evict hot path free of
+     * hash lookups and pointer chasing for the common case.
+     */
+    struct OwnerSet
+    {
+        /** Inline capacity before spilling (covers the usual 0-3). */
+        static constexpr unsigned kInline = 3;
+
+        uint16_t count = 0;
+        std::array<ThreadId, kInline> inlined{};
+        /** Owners beyond kInline, allocated only when needed. */
+        std::unique_ptr<std::vector<ThreadId>> spill;
+
+        bool
+        contains(ThreadId tid) const
+        {
+            unsigned n = count < kInline ? count : kInline;
+            for (unsigned i = 0; i < n; ++i) {
+                if (inlined[i] == tid)
+                    return true;
+            }
+            if (spill) {
+                for (ThreadId t : *spill) {
+                    if (t == tid)
+                        return true;
+                }
+            }
+            return false;
+        }
+
+        /** Append an owner (caller checks contains() first). */
+        void
+        add(ThreadId tid)
+        {
+            if (count < kInline) {
+                inlined[count] = tid;
+            } else {
+                if (!spill)
+                    spill = std::make_unique<std::vector<ThreadId>>();
+                spill->push_back(tid);
+            }
+            ++count;
+        }
+
+        /** Invoke f(tid) for every owner. */
+        template <typename F>
+        void
+        forEach(F f) const
+        {
+            unsigned n = count < kInline ? count : kInline;
+            for (unsigned i = 0; i < n; ++i)
+                f(inlined[i]);
+            if (spill) {
+                for (ThreadId t : *spill)
+                    f(t);
+            }
+        }
+    };
 
     /** Resolve a physical line to its virtual line number, if mapped. */
     bool vlineOf(PAddr pa, uint64_t &vline) const;
 
-    /** Footprint counters of one thread, ensuring allocation. */
-    std::vector<uint64_t> &countersFor(ThreadId tid);
+    /** Owner set of a vline, or null when none was ever registered. */
+    const OwnerSet *ownersAt(uint64_t vline) const;
+
+    /** Owner set of a vline, growing the table to cover it. */
+    OwnerSet &ownersGrow(uint64_t vline);
+
+    /** Footprint counter of (tid, cpu), ensuring allocation. */
+    uint64_t &counter(ThreadId tid, CpuId cpu);
 
     Machine &_machine;
     uint64_t _lineBytes;
-    std::unordered_map<uint64_t, OwnerList> _owners;
+    unsigned _numCpus;
+    /** Owner sets indexed by (vline - _ownerBase); the bump allocator
+     *  hands out dense addresses, so the table stays compact. */
+    std::vector<OwnerSet> _owners;
+    uint64_t _ownerBase = 0;
     std::unordered_map<ThreadId,
                        std::vector<std::pair<uint64_t, uint64_t>>>
         _regions; ///< per-thread [first, last] vline intervals
-    std::unordered_map<ThreadId, std::vector<uint64_t>> _footprints;
+    /** Footprint counters, flattened as tid * numCpus + cpu. */
+    std::vector<uint64_t> _footprints;
     std::function<void(CpuId, ThreadId)> _missCallback;
     bool _autoInfer = false;
     double _autoInferMinQ = 0.05;

@@ -1,0 +1,402 @@
+#include "atl/util/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "atl/util/logging.hh"
+
+namespace atl
+{
+
+bool
+Json::asBool() const
+{
+    atl_assert(_kind == Kind::Bool, "JSON value is not a bool");
+    return _bool;
+}
+
+double
+Json::asNumber() const
+{
+    atl_assert(_kind == Kind::Number, "JSON value is not a number");
+    return _number;
+}
+
+uint64_t
+Json::asUint() const
+{
+    double n = asNumber();
+    atl_assert(n >= 0.0, "JSON number is negative");
+    return static_cast<uint64_t>(std::llround(n));
+}
+
+const std::string &
+Json::asString() const
+{
+    atl_assert(_kind == Kind::String, "JSON value is not a string");
+    return _string;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j._kind = Kind::Object;
+    return j;
+}
+
+Json
+Json::array()
+{
+    Json j;
+    j._kind = Kind::Array;
+    return j;
+}
+
+Json &
+Json::operator[](const std::string &key)
+{
+    atl_assert(_kind == Kind::Object, "indexing a non-object JSON value");
+    return _object[key];
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    static const Json null;
+    if (_kind != Kind::Object)
+        return null;
+    auto it = _object.find(key);
+    return it == _object.end() ? null : it->second;
+}
+
+bool
+Json::has(const std::string &key) const
+{
+    return _kind == Kind::Object && _object.count(key) > 0;
+}
+
+void
+Json::push(Json value)
+{
+    atl_assert(_kind == Kind::Array, "appending to a non-array JSON value");
+    _array.push_back(std::move(value));
+}
+
+namespace
+{
+
+void
+escapeInto(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+std::string
+numberText(double d)
+{
+    // Integers print without a fraction so counters stay greppable.
+    if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 9e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(d));
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    return buf;
+}
+
+} // namespace
+
+void
+Json::dumpTo(std::string &out, int indent) const
+{
+    const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+    const std::string inner(static_cast<size_t>(indent + 1) * 2, ' ');
+    switch (_kind) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += _bool ? "true" : "false";
+        break;
+      case Kind::Number:
+        out += numberText(_number);
+        break;
+      case Kind::String:
+        escapeInto(out, _string);
+        break;
+      case Kind::Array: {
+        if (_array.empty()) {
+            out += "[]";
+            break;
+        }
+        out += "[\n";
+        for (size_t i = 0; i < _array.size(); ++i) {
+            out += inner;
+            _array[i].dumpTo(out, indent + 1);
+            if (i + 1 < _array.size())
+                out += ',';
+            out += '\n';
+        }
+        out += pad + "]";
+        break;
+      }
+      case Kind::Object: {
+        if (_object.empty()) {
+            out += "{}";
+            break;
+        }
+        out += "{\n";
+        size_t i = 0;
+        for (const auto &[key, value] : _object) {
+            out += inner;
+            escapeInto(out, key);
+            out += ": ";
+            value.dumpTo(out, indent + 1);
+            if (++i < _object.size())
+                out += ',';
+            out += '\n';
+        }
+        out += pad + "}";
+        break;
+      }
+    }
+}
+
+std::string
+Json::dump() const
+{
+    std::string out;
+    dumpTo(out, 0);
+    out += '\n';
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Parser: a plain recursive-descent over the text.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+struct Parser
+{
+    const std::string &text;
+    size_t pos = 0;
+    std::string error;
+
+    bool
+    fail(const std::string &what)
+    {
+        if (error.empty())
+            error = what + " at offset " + std::to_string(pos);
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        skipSpace();
+        if (pos >= text.size() || text[pos] != '"')
+            return fail("expected string");
+        ++pos;
+        out.clear();
+        while (pos < text.size() && text[pos] != '"') {
+            char c = text[pos++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size())
+                return fail("dangling escape");
+            char e = text[pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos + 4 > text.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text[pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code += static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code += static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code += static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                // Bench documents only escape control characters, so a
+                // raw byte append covers everything we emit.
+                out += static_cast<char>(code);
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        if (pos >= text.size())
+            return fail("unterminated string");
+        ++pos; // closing quote
+        return true;
+    }
+
+    bool
+    parseValue(Json &out)
+    {
+        skipSpace();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            out = Json::object();
+            skipSpace();
+            if (consume('}'))
+                return true;
+            for (;;) {
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                if (!consume(':'))
+                    return fail("expected ':'");
+                Json value;
+                if (!parseValue(value))
+                    return false;
+                out[key] = std::move(value);
+                if (consume(','))
+                    continue;
+                if (consume('}'))
+                    return true;
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            out = Json::array();
+            skipSpace();
+            if (consume(']'))
+                return true;
+            for (;;) {
+                Json value;
+                if (!parseValue(value))
+                    return false;
+                out.push(std::move(value));
+                if (consume(','))
+                    continue;
+                if (consume(']'))
+                    return true;
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Json(std::move(s));
+            return true;
+        }
+        if (text.compare(pos, 4, "true") == 0) {
+            pos += 4;
+            out = Json(true);
+            return true;
+        }
+        if (text.compare(pos, 5, "false") == 0) {
+            pos += 5;
+            out = Json(false);
+            return true;
+        }
+        if (text.compare(pos, 4, "null") == 0) {
+            pos += 4;
+            out = Json();
+            return true;
+        }
+        // Number.
+        size_t end = pos;
+        while (end < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[end])) ||
+                text[end] == '-' || text[end] == '+' || text[end] == '.' ||
+                text[end] == 'e' || text[end] == 'E'))
+            ++end;
+        if (end == pos)
+            return fail("unexpected character");
+        try {
+            out = Json(std::stod(text.substr(pos, end - pos)));
+        } catch (const std::exception &) {
+            return fail("malformed number");
+        }
+        pos = end;
+        return true;
+    }
+};
+
+} // namespace
+
+bool
+Json::parse(const std::string &text, Json &out, std::string *error)
+{
+    Parser p{text};
+    if (!p.parseValue(out)) {
+        if (error)
+            *error = p.error;
+        return false;
+    }
+    p.skipSpace();
+    if (p.pos != text.size()) {
+        if (error)
+            *error = "trailing garbage at offset " + std::to_string(p.pos);
+        return false;
+    }
+    return true;
+}
+
+} // namespace atl

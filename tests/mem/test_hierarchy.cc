@@ -16,6 +16,17 @@ namespace atl
 namespace
 {
 
+/** Records every fill/evict event for hook assertions. */
+class RecordingObserver : public MemoryObserver
+{
+  public:
+    void onL2Fill(CpuId, PAddr a) override { fills.push_back(a); }
+    void onL2Evict(CpuId, PAddr a) override { evicts.push_back(a); }
+
+    std::vector<PAddr> fills;
+    std::vector<PAddr> evicts;
+};
+
 TEST(HierarchyTest, DefaultsMatchPaperTable1)
 {
     HierarchyConfig cfg;
@@ -122,35 +133,34 @@ TEST(HierarchyTest, InvalidateLineDropsAllLevels)
     EXPECT_FALSE(h.invalidateLine(0x40000));
 }
 
-TEST(HierarchyTest, FillHookFiresOnDemandMiss)
+TEST(HierarchyTest, ObserverFiresOnDemandMiss)
 {
     Hierarchy h{HierarchyConfig{}};
-    std::vector<PAddr> fills, evicts;
-    h.onL2Fill([&](PAddr a) { fills.push_back(a); });
-    h.onL2Evict([&](PAddr a) { evicts.push_back(a); });
+    RecordingObserver obs;
+    h.setObserver(&obs, 0);
 
     h.access(0x00000, AccessType::Load);
-    ASSERT_EQ(fills.size(), 1u);
-    EXPECT_EQ(fills[0], 0x00000u);
-    EXPECT_TRUE(evicts.empty());
+    ASSERT_EQ(obs.fills.size(), 1u);
+    EXPECT_EQ(obs.fills[0], 0x00000u);
+    EXPECT_TRUE(obs.evicts.empty());
 
     h.access(0x80000, AccessType::Load); // conflict evicts 0x00000
-    ASSERT_EQ(evicts.size(), 1u);
-    EXPECT_EQ(evicts[0], 0x00000u);
-    EXPECT_EQ(fills.size(), 2u);
+    ASSERT_EQ(obs.evicts.size(), 1u);
+    EXPECT_EQ(obs.evicts[0], 0x00000u);
+    EXPECT_EQ(obs.fills.size(), 2u);
 }
 
-TEST(HierarchyTest, EvictHookFiresOnInvalidateAndFlush)
+TEST(HierarchyTest, ObserverFiresOnInvalidateAndFlush)
 {
     Hierarchy h{HierarchyConfig{}};
-    std::vector<PAddr> evicts;
-    h.onL2Evict([&](PAddr a) { evicts.push_back(a); });
+    RecordingObserver obs;
+    h.setObserver(&obs, 0);
     h.access(0x1000, AccessType::Load);
     h.access(0x2000, AccessType::Load);
     h.invalidateLine(0x1000);
-    EXPECT_EQ(evicts.size(), 1u);
+    EXPECT_EQ(obs.evicts.size(), 1u);
     h.flush();
-    EXPECT_EQ(evicts.size(), 2u);
+    EXPECT_EQ(obs.evicts.size(), 2u);
     EXPECT_EQ(h.l2().residentLines(), 0u);
 }
 

@@ -236,5 +236,25 @@ TEST(AssociativeModelTest, BoundsClamped)
     EXPECT_GE(assoc.dependent(0.2, 8000.0, 1u << 18), 0.0);
 }
 
+TEST(FootprintModelClampTest, BeyondTableDecayStaysPositiveAndMonotone)
+{
+    // Regression: PowTable used to return 0 past max_pow, so a long
+    // interval made an independent footprint jump discontinuously to 0
+    // (and its log to -inf in the priority formulas). The clamp keeps
+    // the decay saturated at the table edge instead.
+    FootprintModel model(8192, /*max_pow=*/1024);
+    double at_edge = model.independent(4000.0, 1024);
+    double beyond = model.independent(4000.0, 1u << 20);
+    EXPECT_GT(beyond, 0.0);
+    EXPECT_LE(beyond, at_edge);
+    EXPECT_DOUBLE_EQ(beyond, model.independent(4000.0, 1025));
+
+    // Blocking/dependent asymptotes survive the clamp too.
+    EXPECT_NEAR(model.blocking(100.0, 1u << 20),
+                model.blocking(100.0, 1024), 1.0);
+    EXPECT_NEAR(model.dependent(0.5, 100.0, 1u << 20),
+                model.dependent(0.5, 100.0, 1024), 1.0);
+}
+
 } // namespace
 } // namespace atl

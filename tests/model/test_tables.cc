@@ -24,12 +24,23 @@ TEST(PowTableTest, MatchesStdPow)
                     1e-9);
 }
 
-TEST(PowTableTest, BeyondRangeDecaysToZero)
+TEST(PowTableTest, BeyondRangeClampsToLastEntry)
 {
+    // Out-of-range exponents saturate at k^max_n instead of dropping
+    // discontinuously to 0; decayed footprints stay positive so their
+    // logs (the priority formulas) stay finite.
     PowTable table(0.5, 16);
-    EXPECT_EQ(table.pow(17), 0.0);
-    EXPECT_EQ(table.pow(1u << 20), 0.0);
+    EXPECT_EQ(table.pow(17), table.pow(16));
+    EXPECT_EQ(table.pow(1u << 20), table.pow(16));
+    EXPECT_GT(table.pow(1u << 20), 0.0);
     EXPECT_EQ(table.maxN(), 16u);
+}
+
+TEST(PowTableTest, ClampKeepsDecayMonotoneAcrossTableEdge)
+{
+    PowTable table(8191.0 / 8192.0, 64);
+    EXPECT_GE(table.pow(64), table.pow(65));
+    EXPECT_EQ(table.pow(65), table.pow(1000000));
 }
 
 TEST(PowTableTest, MonotonicallyDecreasing)

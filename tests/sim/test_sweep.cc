@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Tests for the parallel sweep engine and the JSON bench reports: the
+ * pool must produce results bit-identical to serial execution (the
+ * whole point of self-contained machine seeds), keep result order,
+ * propagate exceptions, and round-trip metrics through JSON.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+#include "atl/sim/sweep.hh"
+#include "atl/util/json.hh"
+#include "atl/workloads/mergesort.hh"
+#include "atl/workloads/photo.hh"
+#include "atl/workloads/tasks.hh"
+#include "atl/workloads/tsp.hh"
+
+namespace atl
+{
+namespace
+{
+
+/** Scaled-down Table 4 application (fast enough for 12 test runs). */
+std::unique_ptr<Workload>
+makeSmallApp(const std::string &name)
+{
+    if (name == "tasks")
+        return std::make_unique<TasksWorkload>(
+            TasksWorkload::Params{64, 100, 4});
+    if (name == "merge") {
+        MergesortWorkload::Params p;
+        p.elements = 4000;
+        p.cutoff = 100;
+        return std::make_unique<MergesortWorkload>(p);
+    }
+    if (name == "photo") {
+        PhotoWorkload::Params p;
+        p.width = 256;
+        p.height = 64;
+        return std::make_unique<PhotoWorkload>(p);
+    }
+    TspWorkload::Params p;
+    p.cities = 24;
+    p.depth = 5;
+    return std::make_unique<TspWorkload>(p);
+}
+
+std::vector<SweepJob>
+table4Jobs()
+{
+    std::vector<SweepJob> jobs;
+    for (const char *app : {"tasks", "merge", "photo", "tsp"}) {
+        for (PolicyKind policy :
+             {PolicyKind::FCFS, PolicyKind::LFF, PolicyKind::CRT}) {
+            jobs.push_back({std::string(app) + "/" + policyName(policy),
+                            [app, policy] {
+                                auto w = makeSmallApp(app);
+                                MachineConfig cfg;
+                                cfg.numCpus = 2;
+                                cfg.policy = policy;
+                                return runWorkload(*w, cfg, false);
+                            }});
+        }
+    }
+    return jobs;
+}
+
+TEST(SweepRunnerTest, ParallelMetricsBitIdenticalToSerial)
+{
+    // The determinism contract of the whole engine: every job builds a
+    // self-contained machine, so worker count and completion order must
+    // not change a single counter.
+    std::vector<SweepJob> jobs = table4Jobs();
+    std::vector<RunMetrics> serial = SweepRunner(1).run(jobs);
+    std::vector<RunMetrics> parallel = SweepRunner(4).run(jobs);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i], parallel[i])
+            << "job '" << jobs[i].name << "' diverged";
+        EXPECT_TRUE(serial[i].verified) << jobs[i].name;
+    }
+}
+
+TEST(SweepRunnerTest, ResultsKeepJobOrder)
+{
+    std::vector<SweepJob> jobs;
+    for (unsigned i = 0; i < 12; ++i) {
+        jobs.push_back({"job" + std::to_string(i), [i] {
+                            RunMetrics m;
+                            m.workload = "job" + std::to_string(i);
+                            m.makespan = i;
+                            return m;
+                        }});
+    }
+    std::vector<RunMetrics> results = SweepRunner(4).run(jobs);
+    ASSERT_EQ(results.size(), 12u);
+    for (unsigned i = 0; i < 12; ++i) {
+        EXPECT_EQ(results[i].workload, "job" + std::to_string(i));
+        EXPECT_EQ(results[i].makespan, i);
+    }
+}
+
+TEST(SweepRunnerTest, ForEachVisitsEveryIndexOnce)
+{
+    constexpr size_t n = 200;
+    std::vector<std::atomic<int>> visits(n);
+    SweepRunner(8).forEach(n, [&](size_t i) { ++visits[i]; });
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+}
+
+TEST(SweepRunnerTest, ExceptionsPropagateAfterDraining)
+{
+    SweepRunner runner(4);
+    std::atomic<size_t> completed{0};
+    EXPECT_THROW(runner.forEach(16,
+                                [&](size_t i) {
+                                    if (i == 3)
+                                        throw std::runtime_error("boom");
+                                    ++completed;
+                                }),
+                 std::runtime_error);
+    // The pool drains the remaining jobs instead of abandoning them.
+    EXPECT_EQ(completed.load(), 15u);
+}
+
+TEST(SweepRunnerTest, DeriveSeedIsDeterministicAndSpread)
+{
+    EXPECT_EQ(SweepRunner::deriveSeed(1, 0), SweepRunner::deriveSeed(1, 0));
+    EXPECT_NE(SweepRunner::deriveSeed(1, 0), SweepRunner::deriveSeed(1, 1));
+    EXPECT_NE(SweepRunner::deriveSeed(1, 0), SweepRunner::deriveSeed(2, 0));
+    // Adjacent indices must not produce near-identical seeds.
+    uint64_t a = SweepRunner::deriveSeed(1, 0);
+    uint64_t b = SweepRunner::deriveSeed(1, 1);
+    EXPECT_GT(__builtin_popcountll(a ^ b), 8);
+}
+
+TEST(SweepRunnerTest, EnvOverrideControlsWorkerCount)
+{
+    setenv("ATL_SWEEP_JOBS", "3", 1);
+    EXPECT_EQ(SweepRunner().jobs(), 3u);
+    setenv("ATL_SWEEP_JOBS", "junk", 1);
+    EXPECT_GE(SweepRunner().jobs(), 1u);
+    unsetenv("ATL_SWEEP_JOBS");
+    EXPECT_GE(SweepRunner().jobs(), 1u);
+    EXPECT_EQ(SweepRunner(7).jobs(), 7u);
+}
+
+TEST(BenchReportTest, MetricsRoundTripThroughJsonText)
+{
+    RunMetrics m;
+    m.workload = "merge";
+    m.policy = PolicyKind::CRT;
+    m.numCpus = 8;
+    m.makespan = 123456789;
+    m.eMisses = 424242;
+    m.eRefs = 999999;
+    m.instructions = 77777777;
+    m.contextSwitches = 1234;
+    m.schedOverheadCycles = 5678;
+    m.verified = true;
+
+    // Serialise -> dump to text -> parse -> deserialise.
+    std::string text = BenchReport::toJson(m).dump();
+    Json parsed;
+    std::string error;
+    ASSERT_TRUE(Json::parse(text, parsed, &error)) << error;
+    RunMetrics back;
+    ASSERT_TRUE(BenchReport::fromJson(parsed, back));
+    EXPECT_EQ(m, back);
+}
+
+TEST(BenchReportTest, FromJsonRejectsMalformedDocuments)
+{
+    RunMetrics out;
+    Json not_object(3.0);
+    EXPECT_FALSE(BenchReport::fromJson(not_object, out));
+
+    Json missing = Json::object();
+    missing["workload"] = Json("x");
+    EXPECT_FALSE(BenchReport::fromJson(missing, out));
+
+    Json bad_policy = BenchReport::toJson(RunMetrics{});
+    bad_policy["policy"] = Json("NotAPolicy");
+    EXPECT_FALSE(BenchReport::fromJson(bad_policy, out));
+}
+
+TEST(BenchReportTest, DocumentCarriesBenchNameAndRuns)
+{
+    BenchReport report("bench_unit_test");
+    report.set("platform", Json("test"));
+    RunMetrics m;
+    m.workload = "w";
+    report.addRun(m);
+    report.addRun(m);
+
+    const Json &doc = report.document();
+    EXPECT_EQ(doc.at("bench").asString(), "bench_unit_test");
+    EXPECT_EQ(doc.at("platform").asString(), "test");
+    ASSERT_EQ(doc.at("runs").items().size(), 2u);
+    EXPECT_EQ(doc.at("runs").items()[0].at("workload").asString(), "w");
+}
+
+TEST(BenchReportTest, WriteHonoursResultsDirOverride)
+{
+    std::string dir =
+        ::testing::TempDir() + "/atl_sweep_results_XXXXXX";
+    std::vector<char> tmpl(dir.begin(), dir.end());
+    tmpl.push_back('\0');
+    ASSERT_NE(mkdtemp(tmpl.data()), nullptr);
+    dir = tmpl.data();
+
+    setenv("ATL_RESULTS_DIR", dir.c_str(), 1);
+    BenchReport report("bench_unit_test");
+    RunMetrics m;
+    m.workload = "w";
+    m.policy = PolicyKind::LFF;
+    report.addRun(m);
+    std::string path = report.write();
+    unsetenv("ATL_RESULTS_DIR");
+
+    ASSERT_EQ(path, dir + "/bench_unit_test.json");
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    Json parsed;
+    ASSERT_TRUE(Json::parse(text, parsed));
+    EXPECT_EQ(parsed.at("bench").asString(), "bench_unit_test");
+    RunMetrics back;
+    ASSERT_TRUE(
+        BenchReport::fromJson(parsed.at("runs").items().at(0), back));
+    EXPECT_EQ(back.policy, PolicyKind::LFF);
+}
+
+} // namespace
+} // namespace atl
