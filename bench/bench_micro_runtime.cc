@@ -16,6 +16,7 @@
 
 #include "atl/runtime/context.hh"
 #include "atl/runtime/machine.hh"
+#include "atl/runtime/refbatch.hh"
 #include "atl/sim/sweep.hh"
 #include "atl/sim/tracer.hh"
 
@@ -86,11 +87,41 @@ BM_HotPathRefThroughput(benchmark::State &state)
     // End-to-end modelled reference throughput (refs/sec of host time)
     // over a 256KB working set: mostly L1 hits with periodic L1-miss /
     // E-hit refills, the mix the policy sweeps spend their time in.
-    // This is the number the memory-pipeline optimisations move.
+    // The loop issues through the block API, like the workloads do;
+    // this is the number the memory-pipeline optimisations move.
     MachineConfig cfg;
     cfg.modelSchedulerFootprint = false;
     Machine m(cfg);
     constexpr uint64_t lines = 4096; // 256KB of 64B lines, half the E$
+    constexpr uint64_t target = 4000000;
+    VAddr va = m.alloc(lines * 64, 64);
+    m.spawn([&] {
+        RefBatch batch(m);
+        for (uint64_t i = 0; i < target; ++i)
+            batch.read(va + (i % lines) * 64, 4);
+    });
+    auto t0 = std::chrono::steady_clock::now();
+    m.run();
+    auto dt = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dt);
+    state.counters["refs_per_sec"] = static_cast<double>(target) / dt;
+    state.counters["ns_per_ref"] =
+        dt * 1e9 / static_cast<double>(target);
+}
+BENCHMARK(BM_HotPathRefThroughput)->Iterations(1);
+
+void
+BM_HotPathScalarRefThroughput(benchmark::State &state)
+{
+    // The same stream through the scalar one-call-per-reference API:
+    // guards against the batched pipeline taxing unconverted callers.
+    MachineConfig cfg;
+    cfg.modelSchedulerFootprint = false;
+    Machine m(cfg);
+    constexpr uint64_t lines = 4096;
     constexpr uint64_t target = 4000000;
     VAddr va = m.alloc(lines * 64, 64);
     m.spawn([&] {
@@ -108,7 +139,7 @@ BM_HotPathRefThroughput(benchmark::State &state)
     state.counters["ns_per_ref"] =
         dt * 1e9 / static_cast<double>(target);
 }
-BENCHMARK(BM_HotPathRefThroughput)->Iterations(1);
+BENCHMARK(BM_HotPathScalarRefThroughput)->Iterations(1);
 
 void
 BM_HotPathMissHeavy(benchmark::State &state)
@@ -122,8 +153,9 @@ BM_HotPathMissHeavy(benchmark::State &state)
     constexpr uint64_t target = 1000000;
     VAddr va = m.alloc(lines * 64, 64);
     m.spawn([&] {
+        RefBatch batch(m);
         for (uint64_t i = 0; i < target; ++i)
-            m.read(va + (i % lines) * 64, 4);
+            batch.read(va + (i % lines) * 64, 4);
     });
     auto t0 = std::chrono::steady_clock::now();
     m.run();
@@ -152,8 +184,9 @@ BM_HotPathMonitoredMissHeavy(benchmark::State &state)
     constexpr uint64_t target = 1000000;
     VAddr va = m.alloc(lines * 64, 64);
     ThreadId tid = m.spawn([&] {
+        RefBatch batch(m);
         for (uint64_t i = 0; i < target; ++i)
-            m.read(va + (i % lines) * 64, 4);
+            batch.read(va + (i % lines) * 64, 4);
     });
     tracer.registerState(tid, va, lines * 64);
     auto t0 = std::chrono::steady_clock::now();

@@ -3,11 +3,15 @@
 # regenerate every paper table/figure through the sweep engine. Exits
 # non-zero on the first failed shape check.
 #
-# Usage: check.sh [--jobs N]
+# Usage: check.sh [--jobs N] [--perf]
 #   --jobs N   worker threads per bench sweep (exported as
 #              ATL_SWEEP_JOBS; default: all cores)
+#   --perf     also run scripts/perf_gate.sh (hot-path throughput
+#              against the committed baseline; fails on >10% regression)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+RUN_PERF=0
 
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -18,6 +22,10 @@ while [ $# -gt 0 ]; do
         ;;
       --jobs=*)
         export ATL_SWEEP_JOBS="${1#--jobs=}"
+        shift
+        ;;
+      --perf)
+        RUN_PERF=1
         shift
         ;;
       *)
@@ -58,13 +66,32 @@ for b in build/bench/bench_*; do
     if [ ! -s "$json" ]; then
         echo "MISSING: $json" >&2
         missing=1
-    elif command -v python3 >/dev/null 2>&1 &&
-         ! python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
-             "$json" 2>/dev/null; then
-        echo "UNPARSEABLE: $json" >&2
-        missing=1
+    elif command -v python3 >/dev/null 2>&1; then
+        # Parse, and hold every RunMetrics entry to the schema-2
+        # contract (host diagnostics included).
+        if ! python3 - "$json" <<'PYEOF' >&2
+import json, sys
+doc = json.load(open(sys.argv[1]))
+required = ("workload", "policy", "num_cpus", "makespan", "e_misses",
+            "e_refs", "instructions", "context_switches",
+            "sched_overhead_cycles", "verified", "refs_issued",
+            "ref_blocks", "refs_per_sec", "batch_occupancy")
+for run in doc.get("runs", []):
+    for key in required:
+        if key not in run:
+            print(f"{sys.argv[1]}: run is missing '{key}'")
+            sys.exit(1)
+PYEOF
+        then
+            echo "BAD REPORT: $json" >&2
+            missing=1
+        fi
     fi
 done
 [ "$missing" -eq 0 ] || { echo "bench reports incomplete" >&2; exit 1; }
+
+if [ "$RUN_PERF" -eq 1 ]; then
+    scripts/perf_gate.sh
+fi
 
 echo "ALL CHECKS PASSED"

@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# Hot-path performance gate: run the BM_HotPath* micro benchmarks from
+# bench_micro_runtime best-of-N (host timing on shared machines is very
+# noisy; the max over several passes is the stable statistic), write the
+# merged numbers to results/BENCH_hotpath.json, and fail when any bench
+# regresses more than 10% against the committed baseline in
+# scripts/perf_baseline.json.
+#
+# Usage: perf_gate.sh [--repeats N] [--update-baseline] [--allow-regression]
+#   --repeats N         passes per benchmark; best-of-N is kept (default 5)
+#   --update-baseline   rewrite scripts/perf_baseline.json from this run
+#   --allow-regression  report regressions but exit 0 (manual override;
+#                       ATL_PERF_OVERRIDE=1 does the same)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REPEATS=5
+UPDATE=0
+ALLOW="${ATL_PERF_OVERRIDE:-0}"
+while [ $# -gt 0 ]; do
+    case "$1" in
+      --repeats)
+        [ $# -ge 2 ] || { echo "--repeats needs an argument" >&2; exit 2; }
+        REPEATS="$2"; shift 2 ;;
+      --repeats=*)
+        REPEATS="${1#--repeats=}"; shift ;;
+      --update-baseline)
+        UPDATE=1; shift ;;
+      --allow-regression)
+        ALLOW=1; shift ;;
+      *)
+        echo "unknown argument: $1" >&2; exit 2 ;;
+    esac
+done
+
+BENCH=build/bench/bench_micro_runtime
+if [ ! -x "$BENCH" ]; then
+    echo "perf_gate: $BENCH is not built (run check.sh or cmake first)" >&2
+    exit 2
+fi
+
+RESULTS="${ATL_RESULTS_DIR:-results}"
+mkdir -p "$RESULTS"
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+echo "perf_gate: $REPEATS passes of BM_HotPath*"
+for i in $(seq 1 "$REPEATS"); do
+    "$BENCH" --benchmark_filter='BM_HotPath' --benchmark_format=json \
+        > "$tmpdir/pass_$i.json" 2>/dev/null
+done
+
+REPEATS="$REPEATS" UPDATE="$UPDATE" ALLOW="$ALLOW" \
+RESULTS="$RESULTS" TMPDIR_JSON="$tmpdir" \
+python3 - <<'EOF'
+import json, glob, os, sys
+
+repeats = int(os.environ["REPEATS"])
+best = {}
+for path in glob.glob(os.path.join(os.environ["TMPDIR_JSON"], "pass_*.json")):
+    with open(path) as f:
+        doc = json.load(f)
+    for bench in doc.get("benchmarks", []):
+        name = bench["name"].split("/")[0]
+        rate = bench.get("refs_per_sec")
+        if rate is None:
+            continue
+        best[name] = max(best.get(name, 0.0), rate)
+
+if not best:
+    print("perf_gate: no BM_HotPath benchmarks produced refs_per_sec",
+          file=sys.stderr)
+    sys.exit(2)
+
+out = {"bench": "BENCH_hotpath", "repeats": repeats,
+       "statistic": "best-of-N refs_per_sec", "best": best}
+out_path = os.path.join(os.environ["RESULTS"], "BENCH_hotpath.json")
+with open(out_path, "w") as f:
+    json.dump(out, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"perf_gate: wrote {out_path}")
+for name in sorted(best):
+    print(f"  {name:38s} {best[name] / 1e6:8.1f} Mrefs/s")
+
+baseline_path = "scripts/perf_baseline.json"
+if os.environ["UPDATE"] == "1":
+    with open(baseline_path, "w") as f:
+        json.dump(best, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"perf_gate: baseline rewritten at {baseline_path}")
+    sys.exit(0)
+
+if not os.path.exists(baseline_path):
+    print(f"perf_gate: no baseline at {baseline_path}; "
+          "run with --update-baseline to create one", file=sys.stderr)
+    sys.exit(2)
+
+with open(baseline_path) as f:
+    baseline = json.load(f)
+
+failed = []
+for name, floor in sorted(baseline.items()):
+    got = best.get(name)
+    if got is None:
+        failed.append(f"{name}: benchmark missing from run")
+        continue
+    if got < 0.9 * floor:
+        failed.append(f"{name}: {got / 1e6:.1f} Mrefs/s is "
+                      f"{100 * (1 - got / floor):.0f}% below the "
+                      f"baseline {floor / 1e6:.1f} Mrefs/s")
+
+if failed:
+    print("perf_gate: REGRESSION (>10% below baseline)", file=sys.stderr)
+    for line in failed:
+        print(f"  {line}", file=sys.stderr)
+    if os.environ["ALLOW"] == "1":
+        print("perf_gate: override active, not failing", file=sys.stderr)
+        sys.exit(0)
+    print("perf_gate: rerun with --allow-regression (or set "
+          "ATL_PERF_OVERRIDE=1) to override, or --update-baseline "
+          "after an intentional change", file=sys.stderr)
+    sys.exit(1)
+
+print("perf_gate: OK (all benches within 10% of baseline)")
+EOF

@@ -34,124 +34,6 @@ Cache::lineAddrOf(size_t index) const
     return ((tag << _setShift) | set) << _lineShift;
 }
 
-int
-Cache::findWay(uint64_t set, uint64_t tag) const
-{
-    for (unsigned w = 0; w < _ways; ++w) {
-        const Line &line = _lines[lineIndex(set, w)];
-        if (line.valid && line.tag == tag)
-            return static_cast<int>(w);
-    }
-    return -1;
-}
-
-unsigned
-Cache::victimWay(uint64_t set) const
-{
-    unsigned victim = 0;
-    uint64_t oldest = ~0ull;
-    for (unsigned w = 0; w < _ways; ++w) {
-        const Line &line = _lines[lineIndex(set, w)];
-        if (!line.valid)
-            return w;
-        if (line.lastUse < oldest) {
-            oldest = line.lastUse;
-            victim = w;
-        }
-    }
-    return victim;
-}
-
-Cache::AccessResult
-Cache::access(PAddr pa, bool is_write)
-{
-    ++_stats.refs;
-    ++_tick;
-
-    uint64_t line_no = pa >> _lineShift;
-    uint64_t set = line_no & (_numSets - 1);
-    uint64_t tag = line_no >> _setShift;
-
-    // Hit fast path: scan the set inline; most references hit and the
-    // first way wins outright for direct-mapped caches (the modelled
-    // L1D and E-cache).
-    Line *base = &_lines[set * _ways];
-    for (unsigned w = 0; w < _ways; ++w) {
-        Line &line = base[w];
-        if (line.valid && line.tag == tag) {
-            line.lastUse = _tick;
-            if (is_write && _config.writePolicy == WritePolicy::WriteBack)
-                line.dirty = true;
-            ++_stats.hits;
-            AccessResult result;
-            result.hit = true;
-            return result;
-        }
-    }
-
-    AccessResult result;
-    // Miss. Allocate unless this is a non-allocating write.
-    if (is_write && !_config.allocateOnWrite)
-        return result;
-
-    unsigned victim = victimWay(set);
-    Line &line = _lines[lineIndex(set, victim)];
-    if (line.valid) {
-        result.victim.valid = true;
-        result.victim.lineAddr =
-            ((line.tag << _setShift) | set) << _lineShift;
-        result.victim.dirty = line.dirty;
-        ++_stats.evictions;
-        if (line.dirty)
-            ++_stats.writebacks;
-    } else {
-        ++_resident;
-    }
-    line.valid = true;
-    line.tag = tag;
-    line.lastUse = _tick;
-    line.dirty =
-        is_write && _config.writePolicy == WritePolicy::WriteBack;
-    result.filled = true;
-    return result;
-}
-
-EvictInfo
-Cache::fill(PAddr pa, bool dirty)
-{
-    ++_tick;
-    uint64_t line_no = pa >> _lineShift;
-    uint64_t set = line_no & (_numSets - 1);
-    uint64_t tag = line_no >> _setShift;
-
-    EvictInfo info;
-    int way = findWay(set, tag);
-    if (way >= 0) {
-        Line &line = _lines[lineIndex(set, static_cast<unsigned>(way))];
-        line.lastUse = _tick;
-        line.dirty = line.dirty || dirty;
-        return info;
-    }
-
-    unsigned victim = victimWay(set);
-    Line &line = _lines[lineIndex(set, victim)];
-    if (line.valid) {
-        info.valid = true;
-        info.lineAddr = ((line.tag << _setShift) | set) << _lineShift;
-        info.dirty = line.dirty;
-        ++_stats.evictions;
-        if (line.dirty)
-            ++_stats.writebacks;
-    } else {
-        ++_resident;
-    }
-    line.valid = true;
-    line.tag = tag;
-    line.lastUse = _tick;
-    line.dirty = dirty;
-    return info;
-}
-
 bool
 Cache::contains(PAddr pa) const
 {

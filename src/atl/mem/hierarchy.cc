@@ -14,68 +14,6 @@ Hierarchy::Hierarchy(const HierarchyConfig &config)
                "E-cache lines must not be smaller than L1 lines");
 }
 
-HierarchyOutcome
-Hierarchy::access(PAddr pa, AccessType type)
-{
-    HierarchyOutcome outcome;
-
-    Cache &l1 = (type == AccessType::IFetch) ? _l1i : _l1d;
-    bool is_write = (type == AccessType::Store);
-
-    Cache::AccessResult l1_result = l1.access(pa, is_write);
-
-    // Write-through L1s never produce dirty victims, but handle the
-    // general case so a write-back L1 configuration also works: a dirty
-    // L1 victim is written through to the (inclusive) E-cache.
-    if (l1_result.victim.valid && l1_result.victim.dirty) {
-        atl_assert(_l2.contains(l1_result.victim.lineAddr),
-                   "inclusion violated: dirty L1 victim absent from L2");
-        _l2.access(l1_result.victim.lineAddr, true);
-        outcome.l2Referenced = true;
-    }
-
-    bool need_l2 = false;
-    if (is_write) {
-        // Write-through: stores always reference the E-cache.
-        // (With a write-back L1, only L1 misses do.)
-        need_l2 = (l1.config().writePolicy == WritePolicy::WriteThrough) ||
-                  !l1_result.hit;
-    } else {
-        need_l2 = !l1_result.hit;
-    }
-
-    if (!need_l2) {
-        outcome.servicedBy = ServicedBy::L1;
-        return outcome;
-    }
-
-    outcome.l2Referenced = true;
-    Cache::AccessResult l2_result = _l2.access(pa, is_write);
-    if (l2_result.filled) {
-        if (l2_result.victim.valid) {
-            invalidateL1Range(l2_result.victim.lineAddr);
-            notifyEvict(l2_result.victim.lineAddr);
-        }
-        if (_observer)
-            _observer->onL2Fill(_cpuId, _l2.lineAlign(pa));
-    }
-    outcome.l2Missed = !l2_result.hit;
-    outcome.servicedBy = l2_result.hit ? ServicedBy::L2 : ServicedBy::Memory;
-
-    // Refill the L1 on load/ifetch misses (write-through L1s do not
-    // allocate on stores).
-    if (!l1_result.hit && (!is_write || l1.config().allocateOnWrite)) {
-        EvictInfo victim = l1.fill(pa, false);
-        if (victim.valid && victim.dirty) {
-            atl_assert(_l2.contains(victim.lineAddr),
-                       "inclusion violated: dirty L1 victim absent from L2");
-            _l2.access(victim.lineAddr, true);
-        }
-    }
-
-    return outcome;
-}
-
 bool
 Hierarchy::invalidateLine(PAddr pa)
 {

@@ -14,6 +14,7 @@
 #define ATL_MEM_HIERARCHY_HH
 
 #include "atl/mem/cache.hh"
+#include "atl/util/logging.hh"
 
 namespace atl
 {
@@ -102,6 +103,23 @@ class Hierarchy
      */
     HierarchyOutcome access(PAddr pa, AccessType type);
 
+    /**
+     * Batched-pipeline fast path: when the line holding pa is resident
+     * in the appropriate L1, account `count` consecutive load/ifetch
+     * hits to it and return true; otherwise change nothing (the caller
+     * falls back to access()). A load/ifetch L1 hit is serviced
+     * entirely by the L1 — no E-cache reference, no fill, no observer
+     * event — so coalescing k of them is state-identical to k scalar
+     * accesses. Must not be called for stores (write-through L1s send
+     * every store to the E-cache).
+     */
+    bool
+    l1Hits(PAddr pa, AccessType type, uint32_t count)
+    {
+        Cache &l1 = (type == AccessType::IFetch) ? _l1i : _l1d;
+        return l1.accessHits(pa, count);
+    }
+
     /** True when the E-cache holds the line containing pa. */
     bool l2Contains(PAddr pa) const { return _l2.contains(pa); }
 
@@ -155,6 +173,73 @@ class Hierarchy
     MemoryObserver *_observer = nullptr;
     CpuId _cpuId = 0;
 };
+
+// Defined in the header (like the Cache reference path) so the
+// machine's per-reference loop compiles down to one fused probe/fill
+// sequence with no out-of-line calls on hits; the eviction and
+// coherence paths it branches to remain in hierarchy.cc.
+
+inline HierarchyOutcome
+Hierarchy::access(PAddr pa, AccessType type)
+{
+    HierarchyOutcome outcome;
+
+    Cache &l1 = (type == AccessType::IFetch) ? _l1i : _l1d;
+    bool is_write = (type == AccessType::Store);
+
+    Cache::AccessResult l1_result = l1.access(pa, is_write);
+
+    // Write-through L1s never produce dirty victims, but handle the
+    // general case so a write-back L1 configuration also works: a dirty
+    // L1 victim is written through to the (inclusive) E-cache.
+    if (l1_result.victim.valid && l1_result.victim.dirty) {
+        atl_assert(_l2.contains(l1_result.victim.lineAddr),
+                   "inclusion violated: dirty L1 victim absent from L2");
+        _l2.access(l1_result.victim.lineAddr, true);
+        outcome.l2Referenced = true;
+    }
+
+    bool need_l2 = false;
+    if (is_write) {
+        // Write-through: stores always reference the E-cache.
+        // (With a write-back L1, only L1 misses do.)
+        need_l2 = (l1.config().writePolicy == WritePolicy::WriteThrough) ||
+                  !l1_result.hit;
+    } else {
+        need_l2 = !l1_result.hit;
+    }
+
+    if (!need_l2) {
+        outcome.servicedBy = ServicedBy::L1;
+        return outcome;
+    }
+
+    outcome.l2Referenced = true;
+    Cache::AccessResult l2_result = _l2.access(pa, is_write);
+    if (l2_result.filled) {
+        if (l2_result.victim.valid) {
+            invalidateL1Range(l2_result.victim.lineAddr);
+            notifyEvict(l2_result.victim.lineAddr);
+        }
+        if (_observer)
+            _observer->onL2Fill(_cpuId, _l2.lineAlign(pa));
+    }
+    outcome.l2Missed = !l2_result.hit;
+    outcome.servicedBy = l2_result.hit ? ServicedBy::L2 : ServicedBy::Memory;
+
+    // Refill the L1 on load/ifetch misses (write-through L1s do not
+    // allocate on stores).
+    if (!l1_result.hit && (!is_write || l1.config().allocateOnWrite)) {
+        EvictInfo victim = l1.fill(pa, false);
+        if (victim.valid && victim.dirty) {
+            atl_assert(_l2.contains(victim.lineAddr),
+                       "inclusion violated: dirty L1 victim absent from L2");
+            _l2.access(victim.lineAddr, true);
+        }
+    }
+
+    return outcome;
+}
 
 } // namespace atl
 

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Block-issue reference descriptors for the batched memory pipeline.
+ *
+ * A RefBlock is a short program of reference runs: each run issues
+ * `count` repetitions of an `op` over `bytes`-sized ranges spaced
+ * `stride` bytes apart, starting at `va`. The machine consumes a block
+ * in one fused translate→access→trace loop, amortising translation and
+ * dispatch cost over the whole block instead of paying it per
+ * reference; appending coalesces compatible consecutive requests into
+ * strided runs, so a tight workload loop usually encodes thousands of
+ * references in a handful of runs.
+ *
+ * Blocks describe *exactly* the reference stream the equivalent
+ * sequence of scalar read()/write()/fetch()/execute() calls would
+ * issue, in the same order — the batched pipeline's contract is
+ * bit-identical simulation state, only cheaper to compute.
+ */
+
+#ifndef ATL_MEM_REFBLOCK_HH
+#define ATL_MEM_REFBLOCK_HH
+
+#include <array>
+#include <cstdint>
+
+#include "atl/mem/address.hh"
+
+namespace atl
+{
+
+/** Operation performed by one reference run. */
+enum class RefOp : uint8_t
+{
+    Load,
+    Store,
+    IFetch,
+    /** Charge non-memory instructions (bytes field = instructions). */
+    Execute,
+};
+
+/**
+ * One strided run: `count` repetitions of `op` over the byte ranges
+ * [va + i*stride, va + i*stride + bytes), i in [0, count). An Execute
+ * run charges `bytes` instructions and ignores va/stride/count.
+ */
+struct RefRun
+{
+    RefOp op = RefOp::Load;
+    VAddr va = 0;
+    uint64_t bytes = 0;
+    uint64_t stride = 0;
+    uint32_t count = 1;
+};
+
+/**
+ * A fixed-capacity batch of reference runs. Appenders merge a request
+ * into the previous run when it continues the same arithmetic
+ * progression (same op, same range size, constant stride), which keeps
+ * regular workload loops to O(1) runs regardless of trip count.
+ */
+class RefBlock
+{
+  public:
+    /** Run capacity; callers flush to the machine when full. */
+    static constexpr uint32_t maxRuns = 48;
+
+    /** Number of runs recorded. */
+    uint32_t size() const { return _size; }
+
+    /** True when no runs are recorded. */
+    bool empty() const { return _size == 0; }
+
+    /** True when no further run can be appended without flushing. */
+    bool full() const { return _size == maxRuns; }
+
+    /** Drop all runs. */
+    void clear() { _size = 0; }
+
+    /** Run access (0 <= i < size()). */
+    const RefRun &operator[](uint32_t i) const { return _runs[i]; }
+
+    /** Append load references covering [va, va+bytes). */
+    void load(VAddr va, uint64_t bytes)
+    {
+        push(RefOp::Load, va, bytes);
+    }
+
+    /** Append store references covering [va, va+bytes). */
+    void store(VAddr va, uint64_t bytes)
+    {
+        push(RefOp::Store, va, bytes);
+    }
+
+    /** Append instruction fetches covering [va, va+bytes). */
+    void ifetch(VAddr va, uint64_t bytes)
+    {
+        push(RefOp::IFetch, va, bytes);
+    }
+
+    /** Append non-memory instructions. */
+    void
+    execute(uint64_t instructions)
+    {
+        if (instructions == 0)
+            return;
+        if (_size > 0 && _runs[_size - 1].op == RefOp::Execute) {
+            _runs[_size - 1].bytes += instructions;
+            return;
+        }
+        _runs[_size] = {RefOp::Execute, 0, instructions, 0, 1};
+        ++_size;
+    }
+
+    /** Total modelled references described (Execute runs excluded),
+     *  before line splitting; used for occupancy diagnostics. */
+    uint64_t
+    requestCount() const
+    {
+        uint64_t n = 0;
+        for (uint32_t i = 0; i < _size; ++i) {
+            if (_runs[i].op != RefOp::Execute)
+                n += _runs[i].count;
+        }
+        return n;
+    }
+
+  private:
+    void
+    push(RefOp op, VAddr va, uint64_t bytes)
+    {
+        if (bytes == 0)
+            return; // scalar paths assert; a batch just skips
+        if (_size > 0) {
+            RefRun &last = _runs[_size - 1];
+            // Unsigned wrap makes "stride" correct even for descending
+            // address sequences: va_i = va + i*stride mod 2^64.
+            if (last.op == op && last.bytes == bytes) {
+                if (last.count == 1) {
+                    last.stride = va - last.va;
+                    last.count = 2;
+                    _nextVa = va + last.stride;
+                    return;
+                }
+                if (va == _nextVa && last.count < ~0u) {
+                    ++last.count;
+                    _nextVa += last.stride;
+                    return;
+                }
+            }
+        }
+        _runs[_size] = {op, va, bytes, 0, 1};
+        ++_size;
+    }
+
+    std::array<RefRun, maxRuns> _runs;
+    uint32_t _size = 0;
+    /** Address that would extend the last run (last.va +
+     *  last.count*last.stride, maintained incrementally). */
+    VAddr _nextVa = 0;
+};
+
+} // namespace atl
+
+#endif // ATL_MEM_REFBLOCK_HH

@@ -23,57 +23,18 @@ Vm::Vm(uint64_t page_bytes, uint64_t cache_colors, PagePlacement placement,
 }
 
 PAddr
-Vm::translate(VAddr va)
+Vm::translateSlow(VAddr va)
 {
     uint64_t vpn = va >> _pageShift;
-    if (vpn == _lastVpn)
-        return (_lastPfn << _pageShift) | (va & (_pageBytes - 1));
-    auto it = _pageTable.find(vpn);
-    uint64_t pfn;
-    if (it != _pageTable.end()) {
-        pfn = it->second;
-    } else {
-        pfn = allocateFrame(vpn);
-        _pageTable.emplace(vpn, pfn);
-        _frameTable.emplace(pfn, vpn);
-    }
-    _lastVpn = vpn;
-    _lastPfn = pfn;
+    uint64_t pfn = allocateFrame(vpn);
+    if (vpn >= _pageTable.size())
+        _pageTable.resize(vpn + 1, kUnmapped);
+    if (pfn >= _frameTable.size())
+        _frameTable.resize(pfn + 1, kUnmapped);
+    _pageTable[vpn] = pfn;
+    _frameTable[pfn] = vpn;
+    ++_mappedPages;
     return (pfn << _pageShift) | (va & (_pageBytes - 1));
-}
-
-bool
-Vm::translateIfMapped(VAddr va, PAddr &pa) const
-{
-    uint64_t vpn = va >> _pageShift;
-    if (vpn == _lastVpn) {
-        pa = (_lastPfn << _pageShift) | (va & (_pageBytes - 1));
-        return true;
-    }
-    auto it = _pageTable.find(vpn);
-    if (it == _pageTable.end())
-        return false;
-    _lastVpn = vpn;
-    _lastPfn = it->second;
-    pa = (it->second << _pageShift) | (va & (_pageBytes - 1));
-    return true;
-}
-
-bool
-Vm::reverse(PAddr pa, VAddr &va) const
-{
-    uint64_t pfn = pa >> _pageShift;
-    if (pfn == _lastRevPfn) {
-        va = (_lastRevVpn << _pageShift) | (pa & (_pageBytes - 1));
-        return true;
-    }
-    auto it = _frameTable.find(pfn);
-    if (it == _frameTable.end())
-        return false;
-    _lastRevPfn = pfn;
-    _lastRevVpn = it->second;
-    va = (it->second << _pageShift) | (pa & (_pageBytes - 1));
-    return true;
 }
 
 uint64_t
@@ -96,7 +57,7 @@ Vm::allocateFrame(uint64_t vpn)
       case PagePlacement::Random: {
         for (;;) {
             uint64_t pfn = _rng.below(randomFrameSpace);
-            if (!_frameTable.count(pfn))
+            if (pfn >= _frameTable.size() || _frameTable[pfn] == kUnmapped)
                 return pfn;
         }
       }
@@ -109,9 +70,9 @@ std::vector<uint64_t>
 Vm::colorHistogram() const
 {
     std::vector<uint64_t> hist(_cacheColors, 0);
-    for (const auto &[pfn, vpn] : _frameTable) {
-        (void)vpn;
-        ++hist[pfn % _cacheColors];
+    for (uint64_t pfn = 0; pfn < _frameTable.size(); ++pfn) {
+        if (_frameTable[pfn] != kUnmapped)
+            ++hist[pfn % _cacheColors];
     }
     return hist;
 }

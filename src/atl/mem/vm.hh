@@ -16,7 +16,6 @@
 #define ATL_MEM_VM_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "atl/mem/address.hh"
@@ -62,28 +61,58 @@ class Vm
 
     /**
      * Translate a virtual address, allocating a frame on first touch.
+     * Both directions of the mapping are flat arrays indexed by page /
+     * frame number (the bump allocator and the placement policies keep
+     * both spaces dense), so the translation fast path is a single
+     * bounds-checked load — cheap enough for the tracer to reverse-map
+     * every E-cache fill and eviction.
      * @return the physical address
      */
-    PAddr translate(VAddr va);
+    PAddr
+    translate(VAddr va)
+    {
+        uint64_t vpn = va >> _pageShift;
+        if (vpn < _pageTable.size() && _pageTable[vpn] != kUnmapped) {
+            return (_pageTable[vpn] << _pageShift) |
+                   (va & (_pageBytes - 1));
+        }
+        return translateSlow(va);
+    }
 
     /**
      * Reverse-translate a physical address back to the virtual address
      * mapped onto it.
      * @retval true and sets va when the frame is mapped
      */
-    bool reverse(PAddr pa, VAddr &va) const;
+    bool
+    reverse(PAddr pa, VAddr &va) const
+    {
+        uint64_t pfn = pa >> _pageShift;
+        if (pfn >= _frameTable.size() || _frameTable[pfn] == kUnmapped)
+            return false;
+        va = (_frameTable[pfn] << _pageShift) | (pa & (_pageBytes - 1));
+        return true;
+    }
 
     /**
      * Translate without faulting: fails instead of allocating a frame.
      * @retval true and sets pa when the page is already mapped
      */
-    bool translateIfMapped(VAddr va, PAddr &pa) const;
+    bool
+    translateIfMapped(VAddr va, PAddr &pa) const
+    {
+        uint64_t vpn = va >> _pageShift;
+        if (vpn >= _pageTable.size() || _pageTable[vpn] == kUnmapped)
+            return false;
+        pa = (_pageTable[vpn] << _pageShift) | (va & (_pageBytes - 1));
+        return true;
+    }
 
     /** Page size in bytes. */
     uint64_t pageBytes() const { return _pageBytes; }
 
     /** Number of pages faulted in so far. */
-    uint64_t pagesMapped() const { return _pageTable.size(); }
+    uint64_t pagesMapped() const { return _mappedPages; }
 
     /** Page placement policy in use. */
     PagePlacement placement() const { return _placement; }
@@ -95,6 +124,12 @@ class Vm
     std::vector<uint64_t> colorHistogram() const;
 
   private:
+    /** Entry value marking an unmapped page / frame slot. */
+    static constexpr uint64_t kUnmapped = ~0ull;
+
+    /** Fault path of translate(): allocate and map a frame. */
+    PAddr translateSlow(VAddr va);
+
     /** Pick the frame number for a newly faulting virtual page. */
     uint64_t allocateFrame(uint64_t vpn);
 
@@ -105,20 +140,11 @@ class Vm
     Rng _rng;
     uint64_t _nextColor = 0;
     uint64_t _nextFrame = 0;
-    /** @name One-entry translation memos.
-     * Frames are never reclaimed, so a cached (vpn, pfn) pair stays
-     * valid forever; consecutive references overwhelmingly fall on the
-     * same page, making these the hot-path exit of translate() and
-     * reverse(). Mutable: memo refills are not logical state changes. @{ */
-    mutable uint64_t _lastVpn = ~0ull;
-    mutable uint64_t _lastPfn = 0;
-    mutable uint64_t _lastRevPfn = ~0ull;
-    mutable uint64_t _lastRevVpn = 0;
-    /** @} */
-    /** vpn -> pfn */
-    std::unordered_map<uint64_t, uint64_t> _pageTable;
-    /** pfn -> vpn */
-    std::unordered_map<uint64_t, uint64_t> _frameTable;
+    uint64_t _mappedPages = 0;
+    /** vpn -> pfn, kUnmapped where no page is mapped */
+    std::vector<uint64_t> _pageTable;
+    /** pfn -> vpn, kUnmapped where no frame is in use */
+    std::vector<uint64_t> _frameTable;
     /** next unused frame index within each color, for BinHopping */
     std::vector<uint64_t> _colorCursor;
 };

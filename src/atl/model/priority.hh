@@ -83,6 +83,10 @@ struct FootprintRecord
     double logF0 = 0.0;
     /** Heap-entry generation, bumped to lazily invalidate stale entries. */
     uint64_t generation = 0;
+    /** Whether the entry of the current generation sits in its heap.
+     *  Lets the scheduler count live entries per heap without scanning,
+     *  which drives stale-entry compaction. */
+    bool inHeap = false;
 };
 
 /**

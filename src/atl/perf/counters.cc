@@ -19,15 +19,6 @@ PerfCounters::selected(unsigned pic) const
     return _selection[pic];
 }
 
-void
-PerfCounters::record(PerfEvent event, uint32_t count)
-{
-    for (unsigned i = 0; i < numPics; ++i) {
-        if (_selection[i] == event)
-            _pics[i] += count; // unsigned wrap is the hardware behaviour
-    }
-}
-
 uint32_t
 PerfCounters::read(unsigned pic) const
 {

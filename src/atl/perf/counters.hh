@@ -58,9 +58,19 @@ class PerfCounters
 
     /**
      * Deliver one or more hardware events to the unit. The machine calls
-     * this on the relevant microarchitectural occurrences.
+     * this on the relevant microarchitectural occurrences. Inline: the
+     * reference hot path records several events per reference (or per
+     * batched flush) and the two-way selection match folds to a couple
+     * of compares.
      */
-    void record(PerfEvent event, uint32_t count = 1);
+    void
+    record(PerfEvent event, uint32_t count = 1)
+    {
+        for (unsigned i = 0; i < numPics; ++i) {
+            if (_selection[i] == event)
+                _pics[i] += count; // unsigned wrap is the hw behaviour
+        }
+    }
 
     /** Read a PIC (user-mode read; 32-bit value, wraps silently). */
     uint32_t read(unsigned pic) const;

@@ -180,6 +180,7 @@ void
 Machine::read(VAddr va, uint64_t bytes)
 {
     Thread &me = requireCurrent();
+    ++_refBlocks;
     accessRange(_cpus[_currentCpu], &me, va, bytes, AccessType::Load);
 }
 
@@ -187,6 +188,7 @@ void
 Machine::write(VAddr va, uint64_t bytes)
 {
     Thread &me = requireCurrent();
+    ++_refBlocks;
     accessRange(_cpus[_currentCpu], &me, va, bytes, AccessType::Store);
 }
 
@@ -194,6 +196,7 @@ void
 Machine::fetch(VAddr va, uint64_t bytes)
 {
     Thread &me = requireCurrent();
+    ++_refBlocks;
     accessRange(_cpus[_currentCpu], &me, va, bytes, AccessType::IFetch);
 }
 
@@ -201,8 +204,13 @@ void
 Machine::execute(uint64_t instructions)
 {
     Thread &me = requireCurrent();
+    executeOn(_cpus[_currentCpu], me, instructions);
+}
+
+void
+Machine::executeOn(Cpu &cpu, Thread &me, uint64_t instructions)
+{
     while (instructions > 0) {
-        Cpu &cpu = _cpus[_currentCpu];
         uint64_t chunk = instructions;
         if (_config.numCpus > 1 && _config.sliceQuantum > 0) {
             Cycles used = cpu.clock - cpu.sliceStart;
@@ -225,6 +233,245 @@ Machine::execute(uint64_t instructions)
             sliceYield(cpu);
         }
     }
+}
+
+void
+Machine::access(const RefBlock &block)
+{
+    if (block.empty())
+        return;
+    Thread &me = requireCurrent();
+    ++_refBlocks;
+    Cpu &cpu = _cpus[_currentCpu];
+    if (_accessHook) {
+        // Replay the block through the scalar path so the hook sees the
+        // exact per-reference stream (trace recording).
+        for (uint32_t i = 0; i < block.size(); ++i) {
+            const RefRun &run = block[i];
+            if (run.op == RefOp::Execute) {
+                executeOn(cpu, me, run.bytes);
+                continue;
+            }
+            AccessType type = run.op == RefOp::Load ? AccessType::Load
+                              : run.op == RefOp::Store
+                                  ? AccessType::Store
+                                  : AccessType::IFetch;
+            VAddr base = run.va;
+            for (uint32_t rep = 0; rep < run.count;
+                 ++rep, base += run.stride) {
+                accessRange(cpu, &me, base, run.bytes, type);
+            }
+        }
+        return;
+    }
+    issueRuns(cpu, me, &block[0], block.size());
+}
+
+void
+Machine::issueRuns(Cpu &cpu, Thread &me, const RefRun *runs,
+                   uint32_t count)
+{
+    const uint64_t step = _config.hierarchy.l1d.lineBytes;
+    const VAddr page_mask = ~(_config.pageBytes - 1);
+    const bool multi = _config.numCpus > 1;
+    const Cycles quantum = _config.sliceQuantum;
+    const bool sliced = multi && quantum > 0;
+    const Cycles hit_cost = _config.l1HitCycles;
+    Hierarchy &hier = *cpu.hier;
+    PerfCounters &perf = cpu.perf;
+
+    // PIC deltas accumulate across the block and flush before anything
+    // that could observe the counters: slice yields (another thread may
+    // be dispatched onto this cpu afterwards and snapshot the PICs) and
+    // block end. The PICs are only ever read at scheduling points, so
+    // within a block the deferral is invisible. Everything else —
+    // clocks, thread stats, miss totals, observer events, coherence —
+    // happens per reference in exactly the scalar order.
+    bool acc_dirty = false;
+    uint32_t acc_instr = 0;
+    Cycles acc_cycles = 0;
+    uint32_t acc_l1d_refs = 0, acc_l1d_hits = 0;
+    uint32_t acc_e_refs = 0, acc_e_hits = 0, acc_e_misses = 0;
+
+    auto flushPics = [&] {
+        if (!acc_dirty)
+            return;
+        perf.record(PerfEvent::Instructions, acc_instr);
+        perf.record(PerfEvent::Cycles,
+                    static_cast<uint32_t>(acc_cycles));
+        perf.record(PerfEvent::L1dRefs, acc_l1d_refs);
+        perf.record(PerfEvent::L1dHits, acc_l1d_hits);
+        perf.record(PerfEvent::EcacheRefs, acc_e_refs);
+        perf.record(PerfEvent::EcacheHits, acc_e_hits);
+        perf.record(PerfEvent::EcacheMisses, acc_e_misses);
+        acc_dirty = false;
+        acc_instr = 0;
+        acc_cycles = 0;
+        acc_l1d_refs = acc_l1d_hits = 0;
+        acc_e_refs = acc_e_hits = acc_e_misses = 0;
+    };
+
+    auto maybeYield = [&] {
+        if (sliced && cpu.clock - cpu.sliceStart >= quantum) {
+            flushPics();
+            sliceYield(cpu);
+        }
+    };
+
+    // One full reference through the hierarchy: accessOne minus the
+    // hook (handled by the caller) with PIC recording deferred.
+    auto issueOne = [&](PAddr pa, AccessType type) {
+        bool was_remote = multi && remoteCached(cpu.id, pa);
+        HierarchyOutcome outcome = hier.access(pa, type);
+        Cycles cost;
+        if (!outcome.l2Referenced) {
+            cost = hit_cost;
+        } else if (!outcome.l2Missed) {
+            cost = _config.l2HitCycles;
+        } else if (!multi) {
+            cost = _config.memoryCycles;
+        } else {
+            cost = was_remote ? _config.memoryCyclesRemote
+                              : _config.memoryCyclesClean;
+        }
+        cpu.clock += cost;
+        cpu.instructions += 1;
+        acc_dirty = true;
+        acc_instr += 1;
+        acc_cycles += cost;
+        if (type != AccessType::IFetch) {
+            acc_l1d_refs += 1;
+            if (outcome.servicedBy == ServicedBy::L1 &&
+                !outcome.l2Referenced) {
+                acc_l1d_hits += 1;
+            }
+        }
+        if (outcome.l2Referenced) {
+            acc_e_refs += 1;
+            if (!outcome.l2Missed) {
+                acc_e_hits += 1;
+            } else {
+                acc_e_misses += 1;
+                ++_missTotals[cpu.id];
+                if (_observer)
+                    _observer->onEMiss(cpu.id, me.id);
+            }
+        }
+        me.stats.instructions += 1;
+        me.stats.cpuCycles += cost;
+        if (outcome.l2Referenced) {
+            me.stats.eRefs += 1;
+            if (outcome.l2Missed)
+                me.stats.eMisses += 1;
+        }
+        if (type == AccessType::Store && multi)
+            invalidateRemote(cpu.id, pa);
+    };
+
+    // Issue k consecutive references to one L1 line. Loads/ifetches
+    // that keep hitting are committed in one step per slice window;
+    // the window cap reproduces the scalar per-reference yield point
+    // exactly (the scalar loop yields after ceil(left/hit_cost) hits),
+    // and re-probing after each window catches peer invalidations
+    // across the yield just as the scalar path would.
+    auto emitGroup = [&](VAddr line_va, AccessType type, uint32_t k) {
+        VAddr page = line_va & page_mask;
+        PAddr pa;
+        if (page == _issuePage) {
+            pa = line_va + _issueDelta;
+        } else {
+            pa = _vm.translate(line_va);
+            _issuePage = page;
+            _issueDelta = pa - line_va;
+        }
+        _refsIssued += k;
+        while (k > 0) {
+            // The hit probe only pays off when there is something to
+            // coalesce; a lone reference goes straight through the
+            // full path, which handles its own hit accounting.
+            if (k > 1 && type != AccessType::Store) {
+                uint32_t n = k;
+                if (sliced) {
+                    Cycles used = cpu.clock - cpu.sliceStart;
+                    Cycles left = quantum > used ? quantum - used : 0;
+                    uint64_t cap = (left + hit_cost - 1) / hit_cost;
+                    if (cap == 0)
+                        cap = 1;
+                    if (cap < n)
+                        n = static_cast<uint32_t>(cap);
+                }
+                if (hier.l1Hits(pa, type, n)) {
+                    Cycles cost = static_cast<Cycles>(n) * hit_cost;
+                    cpu.clock += cost;
+                    cpu.instructions += n;
+                    acc_dirty = true;
+                    acc_instr += n;
+                    acc_cycles += cost;
+                    if (type != AccessType::IFetch) {
+                        acc_l1d_refs += n;
+                        acc_l1d_hits += n;
+                    }
+                    me.stats.instructions += n;
+                    me.stats.cpuCycles += cost;
+                    k -= n;
+                    maybeYield();
+                    continue;
+                }
+            }
+            issueOne(pa, type);
+            --k;
+            maybeYield();
+        }
+    };
+
+    // Walk the runs, expanding to L1-line references and gathering
+    // consecutive same-line load/ifetch references into groups.
+    VAddr g_line = 0;
+    AccessType g_type = AccessType::Load;
+    uint32_t g_count = 0;
+    auto flushGroup = [&] {
+        if (g_count > 0) {
+            emitGroup(g_line, g_type, g_count);
+            g_count = 0;
+        }
+    };
+
+    for (uint32_t i = 0; i < count; ++i) {
+        const RefRun &run = runs[i];
+        if (run.op == RefOp::Execute) {
+            flushGroup();
+            flushPics();
+            executeOn(cpu, me, run.bytes);
+            continue;
+        }
+        atl_assert(run.bytes > 0, "zero-byte access");
+        AccessType type = run.op == RefOp::Load ? AccessType::Load
+                          : run.op == RefOp::Store ? AccessType::Store
+                                                   : AccessType::IFetch;
+        VAddr base = run.va;
+        for (uint32_t rep = 0; rep < run.count;
+             ++rep, base += run.stride) {
+            VAddr first = alignDown(base, step);
+            VAddr last = alignDown(base + run.bytes - 1, step);
+            for (VAddr a = first; a <= last; a += step) {
+                if (g_count > 0 && a == g_line && type == g_type &&
+                    type != AccessType::Store && g_count < ~0u) {
+                    ++g_count;
+                    continue;
+                }
+                flushGroup();
+                if (type == AccessType::Store) {
+                    emitGroup(a, type, 1);
+                } else {
+                    g_line = a;
+                    g_type = type;
+                    g_count = 1;
+                }
+            }
+        }
+    }
+    flushGroup();
+    flushPics();
 }
 
 void
@@ -263,6 +510,7 @@ Machine::accessOne(Cpu &cpu, Thread *attribution, VAddr va,
                     type);
     }
 
+    ++_refsIssued;
     PAddr pa = _vm.translate(va);
 
     // For a miss that will be serviced remotely we must know whether a

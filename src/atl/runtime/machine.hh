@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "atl/mem/hierarchy.hh"
+#include "atl/mem/refblock.hh"
 #include "atl/mem/vm.hh"
 #include "atl/model/footprint_model.hh"
 #include "atl/model/sharing_graph.hh"
@@ -165,6 +166,17 @@ class Machine
     /** Charge n non-memory instructions (CPI 1). */
     void execute(uint64_t instructions);
 
+    /**
+     * Issue a whole block of reference runs through the fused batched
+     * pipeline. Semantically identical to replaying the block as the
+     * equivalent sequence of read()/write()/fetch()/execute() calls —
+     * same reference order, same cycle charges, same PIC/tracer/
+     * coherence effects — but translation is done once per touched
+     * page, consecutive same-line load/ifetch hits are coalesced
+     * before index math, and PIC updates are accumulated per block.
+     */
+    void access(const RefBlock &block);
+
     /** Invalidate every cache in the machine (experiment setup). */
     void flushAllCaches();
 
@@ -203,6 +215,13 @@ class Machine
 
     /** Longest processor clock (the parallel makespan). */
     Cycles makespan() const;
+
+    /** Modelled line references issued machine-wide (batch diagnostics). */
+    uint64_t refsIssued() const { return _refsIssued; }
+
+    /** Reference blocks issued machine-wide; each scalar
+     *  read()/write()/fetch() counts as a one-run block. */
+    uint64_t refBlocks() const { return _refBlocks; }
 
     /** Thread table access. */
     Thread &thread(ThreadId tid);
@@ -272,6 +291,14 @@ class Machine
     void accessRange(Cpu &cpu, Thread *attribution, VAddr va,
                      uint64_t bytes, AccessType type);
 
+    /** Fused batched pipeline over an array of runs (the core of
+     *  access(); read()/write()/fetch() pass a single run). */
+    void issueRuns(Cpu &cpu, Thread &attribution, const RefRun *runs,
+                   uint32_t count);
+
+    /** Body of execute() usable from the batched pipeline. */
+    void executeOn(Cpu &cpu, Thread &me, uint64_t instructions);
+
     /** True when another processor's E-cache holds the line. */
     bool remoteCached(CpuId self_cpu, PAddr pa) const;
 
@@ -330,6 +357,14 @@ class Machine
     MemoryObserver *_observer = nullptr;
     AccessHook _accessHook;
     std::vector<std::unique_ptr<FiberStack>> _stackPool;
+    uint64_t _refsIssued = 0;
+    uint64_t _refBlocks = 0;
+    /** One-entry translation memo for the batched pipeline: frames are
+     *  never reclaimed, so a cached (page base → pa-va delta) stays
+     *  valid for the machine's lifetime. ~0 marks "empty" (modelled
+     *  addresses start far below it). */
+    VAddr _issuePage = ~0ull;
+    uint64_t _issueDelta = 0;
 
     /** (wake time, thread) min-ordered. */
     using Timer = std::pair<Cycles, ThreadId>;

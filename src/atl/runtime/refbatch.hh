@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Accumulating front-end for the batched memory pipeline: collects
+ * read/write/fetch/execute requests into a RefBlock and issues it to
+ * the machine when full, on flush(), or at destruction.
+ *
+ * With batching disabled the calls pass straight through to the scalar
+ * Machine interface, which is what the batch/scalar equivalence tests
+ * compare against. Either way the reference stream the machine sees is
+ * identical; callers only have to flush() before any operation whose
+ * order relative to the outstanding references matters (locks,
+ * semaphores, spawn/join, now()/sleep()), so that those references are
+ * issued before the other operation runs — exactly as the scalar calls
+ * would have been.
+ */
+
+#ifndef ATL_RUNTIME_REFBATCH_HH
+#define ATL_RUNTIME_REFBATCH_HH
+
+#include "atl/runtime/machine.hh"
+
+namespace atl
+{
+
+/** Batches modelled references on behalf of one thread. */
+class RefBatch
+{
+  public:
+    /**
+     * @param machine machine to issue to
+     * @param batched false = bypass batching (scalar calls)
+     */
+    explicit RefBatch(Machine &machine, bool batched = true)
+        : _machine(machine), _batched(batched)
+    {
+    }
+
+    ~RefBatch() { flush(); }
+
+    RefBatch(const RefBatch &) = delete;
+    RefBatch &operator=(const RefBatch &) = delete;
+
+    /** Queue load references covering [va, va+bytes). */
+    void
+    read(VAddr va, uint64_t bytes)
+    {
+        if (!_batched) {
+            _machine.read(va, bytes);
+            return;
+        }
+        if (_block.full())
+            flush();
+        _block.load(va, bytes);
+    }
+
+    /** Queue store references covering [va, va+bytes). */
+    void
+    write(VAddr va, uint64_t bytes)
+    {
+        if (!_batched) {
+            _machine.write(va, bytes);
+            return;
+        }
+        if (_block.full())
+            flush();
+        _block.store(va, bytes);
+    }
+
+    /** Queue instruction fetches covering [va, va+bytes). */
+    void
+    fetch(VAddr va, uint64_t bytes)
+    {
+        if (!_batched) {
+            _machine.fetch(va, bytes);
+            return;
+        }
+        if (_block.full())
+            flush();
+        _block.ifetch(va, bytes);
+    }
+
+    /** Queue n non-memory instructions. */
+    void
+    execute(uint64_t instructions)
+    {
+        if (!_batched) {
+            _machine.execute(instructions);
+            return;
+        }
+        if (_block.full())
+            flush();
+        _block.execute(instructions);
+    }
+
+    /** Issue everything queued so far. */
+    void
+    flush()
+    {
+        if (!_block.empty()) {
+            _machine.access(_block);
+            _block.clear();
+        }
+    }
+
+  private:
+    Machine &_machine;
+    RefBlock _block;
+    bool _batched;
+};
+
+} // namespace atl
+
+#endif // ATL_RUNTIME_REFBATCH_HH

@@ -12,7 +12,8 @@ Scheduler::Scheduler(const SchedulerConfig &config,
                      const std::vector<uint64_t> &miss_totals,
                      SharingGraph &graph, const FootprintModel *model)
     : _config(config), _threads(threads), _missTotals(miss_totals),
-      _graph(graph), _heaps(config.numCpus), _busy(config.numCpus, 0),
+      _graph(graph), _heaps(config.numCpus),
+      _validEntries(config.numCpus, 0), _busy(config.numCpus, 0),
       _dispatchCount(config.numCpus, 0)
 {
     atl_assert(config.numCpus >= 1, "scheduler needs at least one cpu");
@@ -28,6 +29,58 @@ Scheduler::entryValid(const HeapEntry &entry, CpuId cpu) const
     const Thread *t = _threads[entry.tid].get();
     return t->state == ThreadState::Runnable &&
            t->records[cpu].generation == entry.generation;
+}
+
+void
+Scheduler::invalidateRecord(Thread &thread, CpuId cpu)
+{
+    FootprintRecord &rec = thread.records[cpu];
+    ++rec.generation;
+    if (rec.inHeap) {
+        rec.inHeap = false;
+        atl_assert(_validEntries[cpu] > 0,
+                   "live-entry count underflow on cpu ", cpu);
+        --_validEntries[cpu];
+    }
+}
+
+void
+Scheduler::pushEntry(CpuId cpu, Thread &thread)
+{
+    FootprintRecord &rec = thread.records[cpu];
+    _heaps[cpu].push({rec.priority, thread.id, rec.generation});
+    rec.inHeap = true;
+    ++_validEntries[cpu];
+    boundHeap(cpu);
+}
+
+void
+Scheduler::noteRemoved(const HeapEntry &entry, CpuId cpu)
+{
+    FootprintRecord &rec = _threads[entry.tid]->records[cpu];
+    if (rec.inHeap && rec.generation == entry.generation) {
+        rec.inHeap = false;
+        atl_assert(_validEntries[cpu] > 0,
+                   "live-entry count underflow on cpu ", cpu);
+        --_validEntries[cpu];
+    }
+}
+
+void
+Scheduler::maybeCompact(CpuId cpu)
+{
+    // Dispatches invalidate entries in place, so a heap can fill with
+    // dead hints that every pop and steal scan has to step over. Once
+    // stale entries outnumber live ones, one O(size) rebuild makes the
+    // heap dense again; the threshold keeps the amortised cost per push
+    // constant.
+    LocalHeap &heap = _heaps[cpu];
+    size_t stale = heap.size() - _validEntries[cpu];
+    if (heap.size() < 8 || stale <= heap.size() / 2)
+        return;
+    heap.compact([&](const HeapEntry &e) { return entryValid(e, cpu); });
+    _validEntries[cpu] = heap.size();
+    ++_compactions;
 }
 
 void
@@ -48,9 +101,8 @@ Scheduler::pushHeaps(Thread &thread)
         double ef = _scheme->expectedFootprint(rec, _missTotals[cpu]);
         if (ef < _config.footprintThreshold)
             continue;
-        ++rec.generation;
-        _heaps[cpu].push({rec.priority, thread.id, rec.generation});
-        boundHeap(cpu);
+        invalidateRecord(thread, cpu);
+        pushEntry(cpu, thread);
         pushed = true;
     }
     return pushed;
@@ -68,6 +120,8 @@ Scheduler::boundHeap(CpuId cpu)
     std::vector<HeapEntry> dropped =
         heap.compact([&](const HeapEntry &e) { return entryValid(e, cpu); });
     (void)dropped; // stale: nothing to do, truth lives in the records
+    _validEntries[cpu] = heap.size();
+    ++_compactions;
 
     if (heap.size() > _config.maxHeapSize) {
         std::vector<HeapEntry> all = heap.entries();
@@ -90,10 +144,12 @@ Scheduler::boundHeap(CpuId cpu)
             Thread &t = *_threads[e.tid];
             // Invalidate the record so other stale copies die too, then
             // make sure the thread still has a home.
-            ++t.records[cpu].generation;
+            invalidateRecord(t, cpu);
             if (t.state == ThreadState::Runnable)
                 pushGlobal(t);
         }
+        _validEntries[cpu] = heap.size();
+        ++_compactions;
     }
 }
 
@@ -122,9 +178,8 @@ Scheduler::makeRunnable(Thread &thread, CpuId origin)
     if (embryo && origin != InvalidCpuId) {
         FootprintRecord &rec = thread.records[origin];
         _scheme->initialise(rec, _missTotals[origin]);
-        ++rec.generation;
-        _heaps[origin].push({rec.priority, thread.id, rec.generation});
-        boundHeap(origin);
+        invalidateRecord(thread, origin);
+        pushEntry(origin, thread);
         return;
     }
 
@@ -154,11 +209,15 @@ Scheduler::pickNext(CpuId cpu)
         }
     }
 
-    // 1. Highest-priority valid entry in this processor's heap.
+    // 1. Highest-priority valid entry in this processor's heap. Compact
+    // first when dead hints dominate, so the pop loop (and peers' steal
+    // scans) stay bounded by the live population under churn.
+    maybeCompact(cpu);
     LocalHeap &heap = _heaps[cpu];
     while (!heap.empty()) {
         HeapEntry entry = heap.top();
         heap.pop();
+        noteRemoved(entry, cpu);
         if (!entryValid(entry, cpu))
             continue;
         Thread &t = *_threads[entry.tid];
@@ -169,7 +228,7 @@ Scheduler::pickNext(CpuId cpu)
             // this processor's record entries and make sure the thread
             // keeps a home in the global queue (it may also still be in
             // other heaps; state checks make duplicates harmless).
-            ++t.records[cpu].generation;
+            invalidateRecord(t, cpu);
             pushGlobal(t);
             continue;
         }
@@ -238,6 +297,7 @@ Scheduler::steal(CpuId thief)
 
     HeapEntry entry = _heaps[best_cpu].entries()[best_index];
     _heaps[best_cpu].removeAt(best_index);
+    noteRemoved(entry, best_cpu);
     Thread &t = *_threads[entry.tid];
     ++_steals;
     dispatch(t, thief);
@@ -254,8 +314,8 @@ Scheduler::dispatch(Thread &thread, CpuId cpu)
     ++thread.stats.dispatches;
     --_runnable;
     // Invalidate every heap entry the thread may still have.
-    for (FootprintRecord &rec : thread.records)
-        ++rec.generation;
+    for (CpuId c = 0; c < _config.numCpus; ++c)
+        invalidateRecord(thread, c);
     if (_scheme)
         _scheme->materialise(thread.records[cpu], _missTotals[cpu]);
 }
@@ -302,14 +362,12 @@ Scheduler::onBlock(Thread &thread, CpuId cpu, uint64_t misses,
         // A runnable dependent's heap entry for this processor now holds
         // a stale priority: invalidate and re-insert at the new one.
         if (dep.state == ThreadState::Runnable) {
-            ++rec.generation;
+            invalidateRecord(dep, cpu);
             double ef = _scheme->expectedFootprint(rec, _missTotals[cpu]);
-            if (ef >= _config.footprintThreshold) {
-                _heaps[cpu].push({rec.priority, dep.id, rec.generation});
-                boundHeap(cpu);
-            } else {
+            if (ef >= _config.footprintThreshold)
+                pushEntry(cpu, dep);
+            else
                 pushGlobal(dep);
-            }
         }
     }
 }
@@ -322,9 +380,11 @@ Scheduler::drainSwitchCost()
         heap_ops += heap.opCount();
     uint64_t fp_ops = _scheme ? _scheme->ops().total() : 0;
 
-    SwitchCost cost{heap_ops - _heapOpsSnap, fp_ops - _fpOpsSnap};
+    SwitchCost cost{heap_ops - _heapOpsSnap, fp_ops - _fpOpsSnap,
+                    _compactions - _compactionsSnap};
     _heapOpsSnap = heap_ops;
     _fpOpsSnap = fp_ops;
+    _compactionsSnap = _compactions;
     return cost;
 }
 

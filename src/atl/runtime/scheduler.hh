@@ -55,6 +55,8 @@ struct SwitchCost
 {
     uint64_t heapOps = 0;
     uint64_t fpOps = 0;
+    /** Stale-entry heap compactions performed. */
+    uint64_t compactions = 0;
 };
 
 /**
@@ -139,6 +141,12 @@ class Scheduler
     /** Heap occupancy of one processor (stale entries included). */
     size_t heapSize(CpuId cpu) const { return _heaps[cpu].size(); }
 
+    /** Live (non-stale) heap entries of one processor. */
+    size_t heapValidSize(CpuId cpu) const { return _validEntries[cpu]; }
+
+    /** Total stale-entry compactions across all heaps. */
+    uint64_t compactionCount() const { return _compactions; }
+
     /** Global queue occupancy. */
     size_t globalQueueSize() const { return _global.size(); }
 
@@ -151,6 +159,20 @@ class Scheduler
   private:
     /** True when a heap entry still refers to live bookkeeping. */
     bool entryValid(const HeapEntry &entry, CpuId cpu) const;
+
+    /** Bump a record's generation, retiring its live heap entry (if
+     *  any) from the valid-entry count. */
+    void invalidateRecord(Thread &thread, CpuId cpu);
+
+    /** Push a fresh heap entry for the thread's current record. */
+    void pushEntry(CpuId cpu, Thread &thread);
+
+    /** Note that the entry just removed from a heap left it; keeps the
+     *  valid-entry count in step with pops and steals. */
+    void noteRemoved(const HeapEntry &entry, CpuId cpu);
+
+    /** Compact a heap when stale entries outnumber live ones. */
+    void maybeCompact(CpuId cpu);
 
     /** Enqueue on the global FIFO unless already there. */
     void pushGlobal(Thread &thread);
@@ -174,14 +196,18 @@ class Scheduler
     SharingGraph &_graph;
     std::unique_ptr<PriorityScheme> _scheme;
     std::vector<LocalHeap> _heaps;
+    /** Live heap entries per processor (heapSize - valid = stale). */
+    std::vector<size_t> _validEntries;
     std::vector<uint8_t> _busy;
     GlobalQueue _global;
     size_t _runnable = 0;
     uint64_t _steals = 0;
     uint64_t _quietIntervals = 0;
+    uint64_t _compactions = 0;
     std::vector<uint64_t> _dispatchCount;
     uint64_t _heapOpsSnap = 0;
     uint64_t _fpOpsSnap = 0;
+    uint64_t _compactionsSnap = 0;
 };
 
 } // namespace atl

@@ -1,5 +1,6 @@
 #include "atl/sim/experiment.hh"
 
+#include <chrono>
 #include <cmath>
 
 #include "atl/util/logging.hh"
@@ -29,6 +30,23 @@ RunMetrics::operator==(const RunMetrics &other) const
 }
 
 double
+RunMetrics::refsPerSec() const
+{
+    if (hostSeconds <= 0.0)
+        return 0.0;
+    return static_cast<double>(refsIssued) / hostSeconds;
+}
+
+double
+RunMetrics::batchOccupancy() const
+{
+    if (refBlocks == 0)
+        return 0.0;
+    return static_cast<double>(refsIssued) /
+           static_cast<double>(refBlocks);
+}
+
+double
 RunMetrics::missesEliminated(const RunMetrics &base, const RunMetrics &opt)
 {
     if (base.eMisses == 0)
@@ -47,18 +65,24 @@ RunMetrics::speedup(const RunMetrics &base, const RunMetrics &opt)
 }
 
 RunMetrics
-runWorkload(Workload &workload, const MachineConfig &config, bool trace)
+runWorkload(Workload &workload, const MachineConfig &config, bool trace,
+            bool batch_refs)
 {
     Machine machine(config);
     std::unique_ptr<Tracer> tracer;
     if (trace)
         tracer = std::make_unique<Tracer>(machine);
 
-    WorkloadEnv env{machine, tracer.get()};
+    WorkloadEnv env{machine, tracer.get(), batch_refs};
     workload.setup(env);
+    auto t0 = std::chrono::steady_clock::now();
     machine.run();
+    auto t1 = std::chrono::steady_clock::now();
 
     RunMetrics metrics;
+    metrics.refsIssued = machine.refsIssued();
+    metrics.refBlocks = machine.refBlocks();
+    metrics.hostSeconds = std::chrono::duration<double>(t1 - t0).count();
     metrics.workload = workload.name();
     metrics.policy = config.policy;
     metrics.numCpus = config.numCpus;
@@ -97,6 +121,8 @@ FootprintMonitor::setDriver(ThreadId tid)
     _driver = tid;
     _driverMisses = 0;
     _instrBaseline = _machine.thread(tid).stats.instructions;
+    auto it = _targets.find(tid);
+    _driverTarget = it != _targets.end() ? &it->second : nullptr;
 }
 
 void
@@ -106,7 +132,10 @@ FootprintMonitor::track(ThreadId tid, Kind kind, double q)
     target.kind = kind;
     target.q = q;
     target.s0 = static_cast<double>(_tracer.footprint(tid, _cpu));
-    _targets[tid] = std::move(target);
+    Target &slot = _targets[tid];
+    slot = std::move(target);
+    if (tid == _driver)
+        _driverTarget = &slot;
 }
 
 void
@@ -122,30 +151,43 @@ FootprintMonitor::onMiss(CpuId cpu, ThreadId tid)
 void
 FootprintMonitor::sampleAll()
 {
-    const FootprintModel &model = _machine.model();
     uint64_t instr =
         _machine.thread(_driver).stats.instructions - _instrBaseline;
 
+    // The driver's own entry goes through the cached pointer, so the
+    // common "monitor the executing thread alone" setup never touches
+    // the hash table between setDriver() and the end of the run.
+    if (_driverTarget)
+        sample(_driver, *_driverTarget, instr);
+    if (_targets.size() <= (_driverTarget ? 1u : 0u))
+        return;
     for (auto &[tid, target] : _targets) {
-        FootprintSample sample;
-        sample.misses = _driverMisses;
-        sample.instructions = instr;
-        sample.observed =
-            static_cast<double>(_tracer.footprint(tid, _cpu));
-        switch (target.kind) {
-          case Kind::Executing:
-            sample.predicted = model.blocking(target.s0, _driverMisses);
-            break;
-          case Kind::Independent:
-            sample.predicted = model.independent(target.s0, _driverMisses);
-            break;
-          case Kind::Dependent:
-            sample.predicted =
-                model.dependent(target.q, target.s0, _driverMisses);
-            break;
-        }
-        target.samples.push_back(sample);
+        if (&target != _driverTarget)
+            sample(tid, target, instr);
     }
+}
+
+void
+FootprintMonitor::sample(ThreadId tid, Target &target, uint64_t instr)
+{
+    const FootprintModel &model = _machine.model();
+    FootprintSample sample;
+    sample.misses = _driverMisses;
+    sample.instructions = instr;
+    sample.observed = static_cast<double>(_tracer.footprint(tid, _cpu));
+    switch (target.kind) {
+      case Kind::Executing:
+        sample.predicted = model.blocking(target.s0, _driverMisses);
+        break;
+      case Kind::Independent:
+        sample.predicted = model.independent(target.s0, _driverMisses);
+        break;
+      case Kind::Dependent:
+        sample.predicted =
+            model.dependent(target.q, target.s0, _driverMisses);
+        break;
+    }
+    target.samples.push_back(sample);
 }
 
 const std::vector<FootprintSample> &

@@ -35,8 +35,26 @@ struct RunMetrics
     Cycles schedOverheadCycles = 0;
     bool verified = false;
 
+    /** @name Host-side diagnostics.
+     * Simulator throughput, not simulation results: excluded from
+     * operator== so batched and scalar runs of the same workload
+     * compare equal whenever the modelled state is bit-identical. @{ */
+    /** Modelled references issued (after run/line expansion). */
+    uint64_t refsIssued = 0;
+    /** Reference calls taken by the machine (blocks + scalar calls). */
+    uint64_t refBlocks = 0;
+    /** Wall-clock seconds spent inside machine.run(). */
+    double hostSeconds = 0.0;
+    /** @} */
+
     /** E-cache misses per 1000 instructions. */
     double mpki() const;
+
+    /** Host reference throughput (refs/sec of wall-clock time). */
+    double refsPerSec() const;
+
+    /** Mean references per machine reference call (block occupancy). */
+    double batchOccupancy() const;
 
     /** Field-wise equality (serial/parallel determinism checks). */
     bool operator==(const RunMetrics &other) const;
@@ -61,9 +79,12 @@ struct RunMetrics
  * @param config machine configuration
  * @param trace attach a tracer (needed only when the workload registers
  *        state or when footprints are observed)
+ * @param batch_refs issue modelled references through the block-issue
+ *        pipeline (false replays the same stream scalar-by-scalar;
+ *        metrics are bit-identical either way)
  */
 RunMetrics runWorkload(Workload &workload, const MachineConfig &config,
-                       bool trace = false);
+                       bool trace = false, bool batch_refs = true);
 
 /** One observed-vs-predicted footprint sample. */
 struct FootprintSample
@@ -154,6 +175,9 @@ class FootprintMonitor
     /** Record one sample per target. */
     void sampleAll();
 
+    /** Record one sample for one target. */
+    void sample(ThreadId tid, Target &target, uint64_t instr);
+
     Machine &_machine;
     Tracer &_tracer;
     CpuId _cpu;
@@ -162,6 +186,15 @@ class FootprintMonitor
     uint64_t _driverMisses = 0;
     uint64_t _instrBaseline = 0;
     std::unordered_map<ThreadId, Target> _targets;
+    /**
+     * The driver's own tracking entry, when the driver is tracked.
+     * unordered_map never moves its nodes, so the pointer survives later
+     * track() insertions; it is refreshed from the map only on the
+     * invalidating changes — a driver switch or the driver's own entry
+     * being (re)tracked. Keeps the per-sample path of the common
+     * "monitor the executing thread" setup off the hash table.
+     */
+    Target *_driverTarget = nullptr;
 };
 
 } // namespace atl

@@ -106,7 +106,7 @@ BenchReport::BenchReport(std::string bench_name)
     : _name(std::move(bench_name)), _doc(Json::object())
 {
     _doc["bench"] = Json(_name);
-    _doc["schema"] = Json(1);
+    _doc["schema"] = Json(2);
     _doc["runs"] = Json::array();
 }
 
@@ -137,6 +137,13 @@ BenchReport::toJson(const RunMetrics &metrics)
     json["sched_overhead_cycles"] = Json(metrics.schedOverheadCycles);
     json["verified"] = Json(metrics.verified);
     json["mpki"] = Json(metrics.mpki());
+    // Host-side diagnostics (schema 2): simulator throughput and block
+    // occupancy. Raw counts round-trip; the rates are derived views.
+    json["refs_issued"] = Json(metrics.refsIssued);
+    json["ref_blocks"] = Json(metrics.refBlocks);
+    json["host_seconds"] = Json(metrics.hostSeconds);
+    json["refs_per_sec"] = Json(metrics.refsPerSec());
+    json["batch_occupancy"] = Json(metrics.batchOccupancy());
     return json;
 }
 
@@ -149,7 +156,7 @@ BenchReport::fromJson(const Json &json, RunMetrics &out)
         "workload",       "policy",           "num_cpus",
         "makespan",       "e_misses",         "e_refs",
         "instructions",   "context_switches", "sched_overhead_cycles",
-        "verified",
+        "verified",       "refs_issued",      "ref_blocks",
     };
     for (const char *key : required) {
         if (!json.has(key))
@@ -178,6 +185,10 @@ BenchReport::fromJson(const Json &json, RunMetrics &out)
     out.contextSwitches = json.at("context_switches").asUint();
     out.schedOverheadCycles = json.at("sched_overhead_cycles").asUint();
     out.verified = json.at("verified").asBool();
+    out.refsIssued = json.at("refs_issued").asUint();
+    out.refBlocks = json.at("ref_blocks").asUint();
+    if (json.has("host_seconds"))
+        out.hostSeconds = json.at("host_seconds").asNumber();
     return true;
 }
 

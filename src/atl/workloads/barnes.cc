@@ -105,10 +105,13 @@ BarnesWorkload::setup(WorkloadEnv &env)
 
     unsigned depth = _params.treeDepth;
     unsigned passes = _params.passes;
+    bool batch_refs = env.batchRefs;
     _workTid = m.spawn(
-        [this, &m, bodies_va, nodes_va, order, sync, depth, passes] {
+        [this, &m, bodies_va, nodes_va, order, sync, depth, passes,
+         batch_refs] {
             sync->wait();
             callWorkStart();
+            RefBatch batch(m, batch_refs);
             for (unsigned pass = 0; pass < passes; ++pass) {
                 for (const auto &b : *order) {
                     // Walk root -> leaf, reading each visited node. The
@@ -119,9 +122,9 @@ BarnesWorkload::setup(WorkloadEnv &env)
                     uint64_t level_size = 1;
                     unsigned shift = 9;
                     for (unsigned l = 0; l <= depth; ++l) {
-                        m.read(nodes_va +
-                                   (level_base + node) * nodeBytes,
-                               nodeBytes);
+                        batch.read(nodes_va +
+                                       (level_base + node) * nodeBytes,
+                                   nodeBytes);
                         if (l == depth)
                             break;
                         unsigned octant = ((b.x >> shift) & 1u) |
@@ -133,9 +136,10 @@ BarnesWorkload::setup(WorkloadEnv &env)
                         --shift;
                     }
                     // Update the body with the accumulated force.
-                    m.read(bodies_va + b.index * bodyBytes, bodyBytes);
-                    m.execute(_params.workPerBody);
-                    m.write(bodies_va + b.index * bodyBytes, bodyBytes);
+                    batch.read(bodies_va + b.index * bodyBytes, bodyBytes);
+                    batch.execute(_params.workPerBody);
+                    batch.write(bodies_va + b.index * bodyBytes,
+                                bodyBytes);
                     ++_bodiesProcessed;
                 }
             }

@@ -32,6 +32,7 @@ MergesortWorkload::setup(WorkloadEnv &env)
 {
     _machine = &env.machine;
     _tracer = env.tracer;
+    _batchRefs = env.batchRefs;
 
     _data = std::make_unique<ModelledArray<int32_t>>(*_machine,
                                                      _params.elements);
@@ -92,14 +93,15 @@ void
 MergesortWorkload::insertionSort(size_t lo, size_t hi)
 {
     ModelledArray<int32_t> &d = *_data;
+    RefBatch batch(*_machine, _batchRefs);
     for (size_t i = lo + 1; i < hi; ++i) {
-        int32_t v = d.get(i);
+        int32_t v = d.get(batch, i);
         size_t j = i;
-        while (j > lo && d.get(j - 1) > v) {
-            d.set(j, d.host()[j - 1]);
+        while (j > lo && d.get(batch, j - 1) > v) {
+            d.set(batch, j, d.host()[j - 1]);
             --j;
         }
-        d.set(j, v);
+        d.set(batch, j, v);
     }
 }
 
@@ -109,19 +111,20 @@ MergesortWorkload::merge(size_t lo, size_t mid, size_t hi)
     ModelledArray<int32_t> &d = *_data;
     ModelledArray<int32_t> &s = *_scratch;
 
+    RefBatch batch(*_machine, _batchRefs);
     size_t i = lo, j = mid, out = lo;
     while (i < mid && j < hi) {
-        if (d.get(i) <= d.get(j))
-            s.set(out++, d.host()[i++]);
+        if (d.get(batch, i) <= d.get(batch, j))
+            s.set(batch, out++, d.host()[i++]);
         else
-            s.set(out++, d.host()[j++]);
+            s.set(batch, out++, d.host()[j++]);
     }
     while (i < mid)
-        s.set(out++, d.get(i++));
+        s.set(batch, out++, d.get(batch, i++));
     while (j < hi)
-        s.set(out++, d.get(j++));
+        s.set(batch, out++, d.get(batch, j++));
     for (size_t k = lo; k < hi; ++k)
-        d.set(k, s.get(k));
+        d.set(batch, k, s.get(batch, k));
 }
 
 bool

@@ -81,6 +81,7 @@ class MergesortWorkload : public Workload
     Params _params;
     Machine *_machine = nullptr;
     Tracer *_tracer = nullptr;
+    bool _batchRefs = true;
     std::unique_ptr<ModelledArray<int32_t>> _data;
     std::unique_ptr<ModelledArray<int32_t>> _scratch;
     uint64_t _checksum = 0;

@@ -52,13 +52,15 @@ OceanWorkload::setup(WorkloadEnv &env)
         "ocean-init");
 
     unsigned iters = _params.iterations;
+    bool batch_refs = env.batchRefs;
     _workTid = m.spawn(
-        [this, &m, grid_va, field, sync, edge, iters] {
+        [this, &m, grid_va, field, sync, edge, iters, batch_refs] {
             sync->wait();
             callWorkStart();
             auto at = [edge](unsigned r, unsigned c) {
                 return static_cast<size_t>(r) * edge + c;
             };
+            RefBatch batch(m, batch_refs);
             for (unsigned it = 0; it < iters; ++it) {
                 for (unsigned colour = 0; colour < 2; ++colour) {
                     for (unsigned r = 1; r + 1 < edge; ++r) {
@@ -66,9 +68,9 @@ OceanWorkload::setup(WorkloadEnv &env)
                              c + 1 < edge; c += 2) {
                             // Modelled stencil: north, south, and the
                             // contiguous west-centre-east triple.
-                            m.read(grid_va + at(r - 1, c) * 8, 8);
-                            m.read(grid_va + at(r + 1, c) * 8, 8);
-                            m.read(grid_va + at(r, c - 1) * 8, 24);
+                            batch.read(grid_va + at(r - 1, c) * 8, 8);
+                            batch.read(grid_va + at(r + 1, c) * 8, 8);
+                            batch.read(grid_va + at(r, c - 1) * 8, 24);
                             double v = 0.25 * ((*field)[at(r - 1, c)] +
                                                (*field)[at(r + 1, c)] +
                                                (*field)[at(r, c - 1)] +
@@ -76,7 +78,7 @@ OceanWorkload::setup(WorkloadEnv &env)
                             _residual +=
                                 std::fabs(v - (*field)[at(r, c)]);
                             (*field)[at(r, c)] = v;
-                            m.write(grid_va + at(r, c) * 8, 8);
+                            batch.write(grid_va + at(r, c) * 8, 8);
                             ++_pointsRelaxed;
                         }
                     }

@@ -63,6 +63,7 @@ void
 PhotoWorkload::setup(WorkloadEnv &env)
 {
     _machine = &env.machine;
+    _batchRefs = env.batchRefs;
     Machine &m = *_machine;
 
     uint64_t image_bytes = static_cast<uint64_t>(_params.width) *
@@ -139,6 +140,7 @@ PhotoWorkload::filterRow(unsigned row)
     if (row == _monitorRow && _rowStartHook)
         _rowStartHook();
 
+    RefBatch batch(m, _batchRefs);
     for (unsigned x = 0; x < w; ++x) {
         // Modelled reads: the 3-pixel neighbourhood in each of the three
         // input rows (edge rows clamp to themselves).
@@ -148,7 +150,7 @@ PhotoWorkload::filterRow(unsigned row)
         unsigned r0 = row > 0 ? row - 1 : 0;
         unsigned r1 = std::min(row + 1, _params.height - 1);
         for (unsigned r = r0; r <= r1; ++r)
-            m.read(inAddr(r, x0), span);
+            batch.read(inAddr(r, x0), span);
 
         // Host computation: per-channel 3x3 box average.
         for (unsigned c = 0; c < pixelBytes; ++c) {
@@ -168,7 +170,7 @@ PhotoWorkload::filterRow(unsigned row)
             _out[(static_cast<uint64_t>(row) * w + x) * pixelBytes + c] =
                 static_cast<uint8_t>(sum / 9);
         }
-        m.write(outAddr(row, x), pixelBytes);
+        batch.write(outAddr(row, x), pixelBytes);
     }
     ++_rowsDone;
 }

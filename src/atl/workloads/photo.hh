@@ -75,6 +75,7 @@ class PhotoWorkload : public Workload
 
     Params _params;
     Machine *_machine = nullptr;
+    bool _batchRefs = true;
     VAddr _inVa = 0;
     VAddr _outVa = 0;
     std::vector<uint8_t> _in;

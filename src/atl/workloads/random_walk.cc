@@ -94,21 +94,24 @@ RandomWalkWorkload::setup(WorkloadEnv &env)
         uint64_t total_lines = lay.sharedLines + lay.privateLines;
         uint64_t warm = std::min(spec.warmLines, total_lines);
 
+        bool batch_refs = env.batchRefs;
         ThreadId tid = m.spawn(
-            [&m, sync, lay, warm, line] {
+            [&m, sync, lay, warm, line, batch_refs] {
                 // Establish the initial footprint: touch a contiguous
                 // prefix of the sleeper's state (a strided touch would
                 // alias into few cache sets and self-evict).
                 uint64_t total = lay.sharedLines + lay.privateLines;
                 (void)total;
+                RefBatch batch(m, batch_refs);
                 for (uint64_t j = 0; j < warm; ++j) {
                     uint64_t pick = j;
                     VAddr va = pick < lay.sharedLines
                                    ? lay.sharedBase + pick * line
                                    : lay.privateBase +
                                          (pick - lay.sharedLines) * line;
-                    m.read(va, line);
+                    batch.read(va, line);
                 }
+                batch.flush();
                 sync->warmed.post();
                 sync->release.wait();
             },
@@ -127,18 +130,21 @@ RandomWalkWorkload::setup(WorkloadEnv &env)
             _needShare.push_back({tid, spec.shareOfWalker});
     }
 
+    bool batch_refs = env.batchRefs;
     _walkerTid = m.spawn(
-        [this, &m, sync, walker_region, line, n_sleepers] {
+        [this, &m, sync, walker_region, line, n_sleepers, batch_refs] {
             for (size_t i = 0; i < n_sleepers; ++i)
                 sync->warmed.wait();
             if (_walkStartHook)
                 _walkStartHook();
             Rng rng(_params.seed);
+            RefBatch batch(m, batch_refs);
             for (uint64_t s = 0; s < _params.steps; ++s) {
                 uint64_t pick = rng.below(_params.walkerLines);
-                m.read(walker_region + pick * line, line);
+                batch.read(walker_region + pick * line, line);
                 ++_stepsDone;
             }
+            batch.flush();
             for (size_t i = 0; i < n_sleepers; ++i)
                 sync->release.post();
         },

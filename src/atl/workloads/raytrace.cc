@@ -52,10 +52,12 @@ RaytraceWorkload::setup(WorkloadEnv &env)
         "raytrace-init");
 
     Params p = _params;
+    bool batch_refs = env.batchRefs;
     _workTid = m.spawn(
-        [this, &m, cells_va, tris_va, line, p, sync] {
+        [this, &m, cells_va, tris_va, line, p, sync, batch_refs] {
             sync->wait();
             callWorkStart();
+            RefBatch batch(m, batch_refs);
             for (uint64_t ray = 0; ray < p.rays; ++ray) {
                 // Bundles of 4 rays share a path; successive bundles
                 // shift through the hot set.
@@ -64,8 +66,8 @@ RaytraceWorkload::setup(WorkloadEnv &env)
                     uint64_t li =
                         (bundle * 37 + static_cast<uint64_t>(s) * 131) %
                         p.hotLines;
-                    m.read(cells_va + li * line, line);
-                    m.read(tris_va + li * line, line);
+                    batch.read(cells_va + li * line, line);
+                    batch.read(tris_va + li * line, line);
                     ++_cellsVisited;
                 }
             }

@@ -32,13 +32,18 @@ TasksWorkload::setup(WorkloadEnv &env)
     uint64_t line = m.config().hierarchy.l2.lineBytes;
     uint64_t state_bytes = _params.linesPerTask * line;
 
+    bool batch_refs = env.batchRefs;
     for (unsigned i = 0; i < _params.numTasks; ++i) {
         VAddr state = m.alloc(state_bytes, line);
         ThreadId tid = m.spawn(
-            [this, &m, state, state_bytes] {
+            [this, &m, state, state_bytes, batch_refs] {
+                RefBatch batch(m, batch_refs);
                 for (unsigned p = 0; p < _params.periods; ++p) {
                     Cycles start = m.now();
-                    m.read(state, state_bytes);
+                    batch.read(state, state_bytes);
+                    // The activity duration is measured on the clock,
+                    // so the references must land before now() reads it.
+                    batch.flush();
                     ++_periodsDone;
                     Cycles active = m.now() - start;
                     m.sleep(active);

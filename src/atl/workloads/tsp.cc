@@ -33,6 +33,7 @@ TspWorkload::setup(WorkloadEnv &env)
 {
     _machine = &env.machine;
     _tracer = env.tracer;
+    _batchRefs = env.batchRefs;
     Machine &m = *_machine;
 
     unsigned n = _params.cities;
@@ -107,9 +108,10 @@ TspWorkload::split(Subspace &parent, uint64_t child_node)
     // subspace, modelled writes into the child's (this is the prefetch
     // the annotations describe).
     uint64_t row_bytes = static_cast<uint64_t>(n) * sizeof(uint32_t);
+    RefBatch batch(m, _batchRefs);
     for (unsigned r = 0; r < n; ++r) {
-        m.read(parent.matrixVa + r * row_bytes, row_bytes);
-        m.write(child->matrixVa + r * row_bytes, row_bytes);
+        batch.read(parent.matrixVa + r * row_bytes, row_bytes);
+        batch.write(child->matrixVa + r * row_bytes, row_bytes);
     }
     return child;
 }
@@ -129,10 +131,12 @@ TspWorkload::greedyTour(Subspace &space, std::vector<unsigned> &tour)
     tour.push_back(0);
     uint64_t length = 0;
 
+    RefBatch batch(m, _batchRefs);
     for (unsigned step = 1; step < n; ++step) {
         // Modelled read of the current city's distance row.
-        m.read(space.matrixVa + static_cast<uint64_t>(current) * row_bytes,
-               row_bytes);
+        batch.read(space.matrixVa +
+                       static_cast<uint64_t>(current) * row_bytes,
+                   row_bytes);
         unsigned best = n;
         uint32_t best_d = ~0u;
         for (unsigned c = 0; c < n; ++c) {

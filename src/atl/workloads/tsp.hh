@@ -96,6 +96,7 @@ class TspWorkload : public Workload
     Params _params;
     Machine *_machine = nullptr;
     Tracer *_tracer = nullptr;
+    bool _batchRefs = true;
     uint64_t _matrixBytes = 0;
 
     std::unique_ptr<Mutex> _bestLock;

@@ -61,26 +61,29 @@ TypecheckerWorkload::setup(WorkloadEnv &env)
         "typechecker-parse");
 
     Params p = _params;
+    bool batch_refs = env.batchRefs;
     _workTid = m.spawn(
-        [this, &m, types_va, ast_va, sync, p] {
+        [this, &m, types_va, ast_va, sync, p, batch_refs] {
             sync->wait();
             callWorkStart();
             Rng rng(p.seed);
+            RefBatch batch(m, batch_refs);
 
             // Phase 1: the burst — the whole type graph (headers) is
             // brought into cache while subtyping tables are built.
             for (uint64_t t = 0; t < p.typeNodes; ++t)
-                m.read(types_va + t * typeNodeBytes, typeHeaderBytes);
+                batch.read(types_va + t * typeNodeBytes, typeHeaderBytes);
 
             // Phase 2: the walk — AST nodes strictly in creation order,
             // each consulting a few (skewed towards hot core) types.
             for (uint64_t a = 0; a < p.astNodes; ++a) {
-                m.read(ast_va + a * astNodeBytes, typeHeaderBytes);
+                batch.read(ast_va + a * astNodeBytes, typeHeaderBytes);
                 for (unsigned l = 0; l < p.lookupsPerNode; ++l) {
                     uint64_t t = rng.zipf(p.typeNodes, p.zipfSkew);
-                    m.read(types_va + t * typeNodeBytes, typeHeaderBytes);
+                    batch.read(types_va + t * typeNodeBytes,
+                               typeHeaderBytes);
                 }
-                m.execute(p.workPerNode);
+                batch.execute(p.workPerNode);
                 ++_nodesChecked;
             }
         },

@@ -68,13 +68,16 @@ WaterWorkload::setup(WorkloadEnv &env)
         "water-init");
 
     unsigned passes = _params.passes;
+    bool batch_refs = env.batchRefs;
     _workTid = m.spawn(
-        [this, &m, mol_va, cells, cell_of, sync, edge, passes] {
+        [this, &m, mol_va, cells, cell_of, sync, edge, passes,
+         batch_refs] {
             sync->wait();
             callWorkStart();
+            RefBatch batch(m, batch_refs);
             for (unsigned pass = 0; pass < passes; ++pass) {
                 for (uint64_t i = 0; i < _params.molecules; ++i) {
-                    m.read(mol_va + i * moleculeBytes, moleculeBytes);
+                    batch.read(mol_va + i * moleculeBytes, moleculeBytes);
                     uint32_t cell = (*cell_of)[i];
                     uint32_t cx = cell % edge;
                     uint32_t cy = (cell / edge) % edge;
@@ -92,14 +95,15 @@ WaterWorkload::setup(WorkloadEnv &env)
                                 for (uint32_t j : (*cells)[nc]) {
                                     if (j == i)
                                         continue;
-                                    m.read(mol_va + j * moleculeBytes,
-                                           moleculeBytes);
+                                    batch.read(mol_va +
+                                                   j * moleculeBytes,
+                                               moleculeBytes);
                                     ++_interactions;
                                 }
                             }
                         }
                     }
-                    m.write(mol_va + i * moleculeBytes, moleculeBytes);
+                    batch.write(mol_va + i * moleculeBytes, moleculeBytes);
                     ++_moleculesProcessed;
                 }
             }

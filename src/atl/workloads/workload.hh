@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "atl/runtime/machine.hh"
+#include "atl/runtime/refbatch.hh"
 #include "atl/sim/tracer.hh"
 
 namespace atl
@@ -27,6 +28,14 @@ struct WorkloadEnv
     Machine &machine;
     /** Optional ground-truth instrumentation. */
     Tracer *tracer = nullptr;
+    /**
+     * Issue modelled references through the block-issue pipeline
+     * (RefBatch) instead of one Machine call per reference. Either way
+     * the machine sees the same reference stream and produces
+     * bit-identical metrics; batching is just cheaper. Workloads capture
+     * this at setup() time.
+     */
+    bool batchRefs = true;
 
     /** Register thread state when tracing is on (no-op otherwise). */
     void
@@ -131,11 +140,27 @@ class ModelledArray
         return _host[i];
     }
 
+    /** Batched variant of get(): the load queues on the batch. */
+    T
+    get(RefBatch &batch, size_t i)
+    {
+        batch.read(addr(i), sizeof(T));
+        return _host[i];
+    }
+
     /** Modelled store + host write of element i. */
     void
     set(size_t i, const T &value)
     {
         _machine.write(addr(i), sizeof(T));
+        _host[i] = value;
+    }
+
+    /** Batched variant of set(): the store queues on the batch. */
+    void
+    set(RefBatch &batch, size_t i, const T &value)
+    {
+        batch.write(addr(i), sizeof(T));
         _host[i] = value;
     }
 
@@ -145,6 +170,14 @@ class ModelledArray
     {
         if (last > first)
             _machine.read(addr(first), (last - first) * sizeof(T));
+    }
+
+    /** Batched variant of touchRange(). */
+    void
+    touchRange(RefBatch &batch, size_t first, size_t last)
+    {
+        if (last > first)
+            batch.read(addr(first), (last - first) * sizeof(T));
     }
 
     /** Modelled address of element i. */

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * RefBlock unit tests: run coalescing must turn regular reference
+ * sequences into O(1) runs while describing exactly the scalar stream
+ * — same ops, same addresses, same order.
+ */
+
+#include <gtest/gtest.h>
+
+#include "atl/mem/refblock.hh"
+
+namespace atl
+{
+namespace
+{
+
+TEST(RefBlockTest, SequentialLoadsMergeIntoOneRun)
+{
+    RefBlock block;
+    for (uint64_t i = 0; i < 1000; ++i)
+        block.load(0x1000 + i * 8, 8);
+    ASSERT_EQ(block.size(), 1u);
+    EXPECT_EQ(block[0].op, RefOp::Load);
+    EXPECT_EQ(block[0].va, 0x1000u);
+    EXPECT_EQ(block[0].bytes, 8u);
+    EXPECT_EQ(block[0].stride, 8u);
+    EXPECT_EQ(block[0].count, 1000u);
+    EXPECT_EQ(block.requestCount(), 1000u);
+}
+
+TEST(RefBlockTest, DescendingAndStridedSequencesMerge)
+{
+    // Stride is a mod-2^64 difference: descending loops and large
+    // strides coalesce exactly like ascending unit-stride ones.
+    RefBlock down;
+    for (int i = 9; i >= 0; --i)
+        down.load(0x2000 + static_cast<uint64_t>(i) * 64, 64);
+    ASSERT_EQ(down.size(), 1u);
+    EXPECT_EQ(down[0].va, 0x2000u + 9 * 64);
+    EXPECT_EQ(down[0].stride, static_cast<uint64_t>(-64));
+    EXPECT_EQ(down[0].count, 10u);
+
+    RefBlock strided;
+    for (uint64_t i = 0; i < 10; ++i)
+        strided.store(0x8000 + i * 4096, 16);
+    ASSERT_EQ(strided.size(), 1u);
+    EXPECT_EQ(strided[0].stride, 4096u);
+    EXPECT_EQ(strided[0].count, 10u);
+}
+
+TEST(RefBlockTest, IncompatibleRequestsStartNewRuns)
+{
+    RefBlock block;
+    block.load(0x1000, 8);  // run 0
+    block.load(0x1008, 8);  // merges into run 0 (count 2)
+    block.store(0x1010, 8); // op change -> run 1
+    block.load(0x2000, 16); // size change -> run 2
+    block.load(0x5000, 16); // merges, fixing stride 0x3000
+    block.load(0x9000, 16); // expected 0x8000 -> run 3
+    ASSERT_EQ(block.size(), 4u);
+    EXPECT_EQ(block[0].op, RefOp::Load);
+    EXPECT_EQ(block[0].count, 2u);
+    EXPECT_EQ(block[1].op, RefOp::Store);
+    EXPECT_EQ(block[1].count, 1u);
+    EXPECT_EQ(block[2].count, 2u);
+    EXPECT_EQ(block[2].stride, 0x3000u);
+    EXPECT_EQ(block[3].va, 0x9000u);
+    EXPECT_EQ(block.requestCount(), 6u);
+}
+
+TEST(RefBlockTest, StrideIsFixedBySecondRequest)
+{
+    // The second request fixes the stride; a third request that does
+    // not land on va + 2*stride must open a new run.
+    RefBlock block;
+    block.load(0x2000, 16);
+    block.load(0x5000, 16); // stride 0x3000
+    block.load(0x9000, 16); // expected 0x8000 -> new run
+    ASSERT_EQ(block.size(), 2u);
+    EXPECT_EQ(block[0].count, 2u);
+    EXPECT_EQ(block[0].stride, 0x3000u);
+    EXPECT_EQ(block[1].va, 0x9000u);
+    EXPECT_EQ(block[1].count, 1u);
+}
+
+TEST(RefBlockTest, ExecuteRunsAggregateAndAreNotReferences)
+{
+    RefBlock block;
+    block.execute(100);
+    block.execute(50);
+    block.load(0x1000, 8);
+    block.execute(25);
+    ASSERT_EQ(block.size(), 3u);
+    EXPECT_EQ(block[0].op, RefOp::Execute);
+    EXPECT_EQ(block[0].bytes, 150u);
+    EXPECT_EQ(block[2].bytes, 25u);
+    EXPECT_EQ(block.requestCount(), 1u); // only the load counts
+    block.execute(0); // no-op
+    EXPECT_EQ(block.size(), 3u);
+}
+
+TEST(RefBlockTest, ZeroByteRequestsAreSkipped)
+{
+    RefBlock block;
+    block.load(0x1000, 0);
+    EXPECT_TRUE(block.empty());
+    block.load(0x1000, 8);
+    block.store(0x2000, 0);
+    EXPECT_EQ(block.size(), 1u);
+}
+
+TEST(RefBlockTest, CapacityAndClear)
+{
+    RefBlock block;
+    // Alternate ops so nothing merges.
+    for (uint32_t i = 0; !block.full(); ++i) {
+        if (i % 2 == 0)
+            block.load(0x1000 + i * 128, 8);
+        else
+            block.store(0x1000 + i * 128, 8);
+    }
+    EXPECT_EQ(block.size(), RefBlock::maxRuns);
+    block.clear();
+    EXPECT_TRUE(block.empty());
+    block.load(0x1000, 8);
+    EXPECT_EQ(block.size(), 1u);
+}
+
+} // namespace
+} // namespace atl

@@ -272,6 +272,61 @@ TEST(SchedulerTest, AnnotatedDependentsCostOutDegree)
     EXPECT_GT(total, 10u * 16u * 4u);
 }
 
+TEST(SchedulerTest, HeapCompactionBoundsStaleChurn)
+{
+    // Every time the worker blocks, its runnable dependents' heap
+    // entries are re-pushed at fresh priorities and the superseded ones
+    // stay behind as stale hints. Compaction must fire once the dead
+    // hints outnumber live ones, and per-switch heap work must stay
+    // flat as the churn volume grows.
+    auto heap_ops_per_switch = [](int rounds, uint64_t &compactions) {
+        MachineConfig cfg = policyCfg(PolicyKind::LFF);
+        cfg.heapOpCycles = 1; // schedOverheadCycles == total heap ops
+        cfg.fpOpCycles = 0;
+        Machine m(cfg);
+
+        // Dependents sleep between touches, so they sit Runnable in the
+        // heap (outprioritised by the worker's larger footprint) across
+        // most of the worker's blocks.
+        std::vector<ThreadId> deps;
+        for (int i = 0; i < 24; ++i) {
+            VAddr mine = m.alloc(64 * 64, 64);
+            deps.push_back(m.spawn([&m, mine, rounds] {
+                for (int r = 0; r < rounds; ++r) {
+                    m.read(mine, 64 * 64);
+                    m.sleep(500);
+                }
+            }));
+        }
+        VAddr state = m.alloc(256 * 64, 64);
+        ThreadId worker = m.spawn([&m, state, rounds] {
+            for (int r = 0; r < 2 * rounds; ++r) {
+                m.read(state, 256 * 64);
+                m.execute(10000); // let every sleeping dependent wake
+                m.sleep(500);
+            }
+        });
+        for (ThreadId dep : deps)
+            m.share(worker, dep, 0.25);
+
+        m.run();
+        compactions = m.scheduler().compactionCount();
+        // Everything exited: no heap entry may still count as live.
+        EXPECT_EQ(m.scheduler().heapValidSize(0), 0u);
+        return static_cast<double>(m.cpuStats(0).schedOverheadCycles) /
+               static_cast<double>(m.totalSwitches());
+    };
+
+    uint64_t compact_small = 0;
+    uint64_t compact_large = 0;
+    double small = heap_ops_per_switch(8, compact_small);
+    double large = heap_ops_per_switch(64, compact_large);
+    // 8x the churn must actually trigger compaction, and amortised
+    // pickNext cost must not grow with the total stale volume.
+    EXPECT_GT(compact_large, 0u);
+    EXPECT_LT(large, small * 1.5 + 8.0);
+}
+
 TEST(SchedulerTest, TinyHeapCapDemotesWithoutStranding)
 {
     // A heap cap far below the thread count forces constant demotion to

@@ -165,6 +165,9 @@ TEST(BenchReportTest, MetricsRoundTripThroughJsonText)
     m.contextSwitches = 1234;
     m.schedOverheadCycles = 5678;
     m.verified = true;
+    m.refsIssued = 48000;
+    m.refBlocks = 1500;
+    m.hostSeconds = 0.25;
 
     // Serialise -> dump to text -> parse -> deserialise.
     std::string text = BenchReport::toJson(m).dump();
@@ -174,6 +177,15 @@ TEST(BenchReportTest, MetricsRoundTripThroughJsonText)
     RunMetrics back;
     ASSERT_TRUE(BenchReport::fromJson(parsed, back));
     EXPECT_EQ(m, back);
+
+    // Schema-2 diagnostics: raw counts round-trip, derived rates are
+    // present in the document.
+    EXPECT_EQ(back.refsIssued, m.refsIssued);
+    EXPECT_EQ(back.refBlocks, m.refBlocks);
+    EXPECT_DOUBLE_EQ(back.hostSeconds, m.hostSeconds);
+    EXPECT_DOUBLE_EQ(parsed.at("refs_per_sec").asNumber(), 48000.0 / 0.25);
+    EXPECT_DOUBLE_EQ(parsed.at("batch_occupancy").asNumber(),
+                     48000.0 / 1500.0);
 }
 
 TEST(BenchReportTest, FromJsonRejectsMalformedDocuments)
@@ -202,6 +214,7 @@ TEST(BenchReportTest, DocumentCarriesBenchNameAndRuns)
 
     const Json &doc = report.document();
     EXPECT_EQ(doc.at("bench").asString(), "bench_unit_test");
+    EXPECT_EQ(doc.at("schema").asUint(), 2u);
     EXPECT_EQ(doc.at("platform").asString(), "test");
     ASSERT_EQ(doc.at("runs").items().size(), 2u);
     EXPECT_EQ(doc.at("runs").items()[0].at("workload").asString(), "w");
