@@ -128,11 +128,16 @@ main()
                         }});
     }
     SweepRunner runner;
-    std::vector<RunMetrics> swept = runner.run(jobs);
+    SweepOutcome outcome = runner.runCollect(jobs);
+    for (const SweepJobFailure &f : outcome.failures) {
+        std::cerr << "FAIL: job '" << f.name << "' " << f.message
+                  << "\n";
+        ++failures;
+    }
+    const std::vector<RunMetrics> &swept = outcome.results;
 
     BenchReport report("bench_ablation_annotations");
-    for (const RunMetrics &m : swept)
-        report.addRun(m);
+    report.noteOutcome(outcome);
     report.write();
 
     size_t next = 0;

@@ -60,18 +60,26 @@ main()
     for (PagePlacement p : placements)
         jobs.push_back({placementName(p), [p] { return runWith(p); }});
     SweepRunner runner;
-    std::vector<RunMetrics> swept = runner.run(jobs);
+    SweepOutcome outcome = runner.runCollect(jobs);
+    for (const SweepJobFailure &f : outcome.failures) {
+        std::cerr << "FAIL: job '" << f.name << "' " << f.message
+                  << "\n";
+        ++failures;
+    }
+    const std::vector<RunMetrics> &swept = outcome.results;
 
     BenchReport report("bench_ablation_placement");
+    report.noteOutcome(outcome);
     uint64_t misses[3] = {0, 0, 0};
     for (size_t i = 0; i < swept.size(); ++i) {
+        if (!outcome.ok[i])
+            continue;
         const RunMetrics &r = swept[i];
         if (!r.verified) {
             std::cerr << "FAIL: run did not verify\n";
             ++failures;
         }
         misses[i] = r.eMisses;
-        report.addRun(r);
         table.row({placementName(placements[i]),
                    std::to_string(r.eMisses),
                    TextTable::num(r.mpki(), 3),

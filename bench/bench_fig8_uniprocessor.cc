@@ -26,12 +26,13 @@ main()
     std::cout << "Reproducing paper Figure 8 (1-cpu Ultra-1 model, "
                  "42-cycle E-miss)\n\n";
     WallTimer timer;
-    std::vector<MatrixRow> rows = runMatrix(1, failures);
+    SweepOutcome outcome;
+    std::vector<MatrixRow> rows = runMatrix(1, failures, &outcome);
     std::cout << "matrix swept in " << timer.seconds() << " s on "
               << SweepRunner::defaultJobs() << " worker(s)\n\n";
     printCharts("1-cpu Ultra-1", rows);
     writeMatrixReport("bench_fig8_uniprocessor", "1-cpu Ultra-1", 1,
-                      rows);
+                      outcome);
 
     for (const MatrixRow &r : rows) {
         double lff_elim = RunMetrics::missesEliminated(r.fcfs, r.lff);

@@ -21,11 +21,12 @@ main()
     std::cout << "Reproducing paper Figure 9 (8-cpu Enterprise 5000 "
                  "model, 50/80-cycle E-miss)\n\n";
     WallTimer timer;
-    std::vector<MatrixRow> rows = runMatrix(8, failures);
+    SweepOutcome outcome;
+    std::vector<MatrixRow> rows = runMatrix(8, failures, &outcome);
     std::cout << "matrix swept in " << timer.seconds() << " s on "
               << SweepRunner::defaultJobs() << " worker(s)\n\n";
     printCharts("8-cpu E5000", rows);
-    writeMatrixReport("bench_fig9_smp", "8-cpu E5000", 8, rows);
+    writeMatrixReport("bench_fig9_smp", "8-cpu E5000", 8, outcome);
 
     for (const MatrixRow &r : rows) {
         double crt_elim = RunMetrics::missesEliminated(r.fcfs, r.crt);

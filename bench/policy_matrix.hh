@@ -85,10 +85,13 @@ struct MatrixRow
  * Run the full application x policy matrix on an n_cpus platform.
  * The 12 runs are independent (each builds its own machine), so they
  * execute on the sweep pool; rows come back in application order with
- * metrics identical to a serial loop.
+ * metrics identical to a serial loop. A crashed cell counts as a
+ * failure and leaves default metrics in its row slot instead of losing
+ * the whole matrix; pass outcome_out to report the partial sweep.
  */
 inline std::vector<MatrixRow>
-runMatrix(unsigned n_cpus, int &failures)
+runMatrix(unsigned n_cpus, int &failures,
+          SweepOutcome *outcome_out = nullptr)
 {
     const char *apps[] = {"tasks", "merge", "photo", "tsp"};
     constexpr PolicyKind policies[] = {PolicyKind::FCFS, PolicyKind::LFF,
@@ -110,7 +113,12 @@ runMatrix(unsigned n_cpus, int &failures)
     }
 
     SweepRunner runner;
-    std::vector<RunMetrics> metrics = runner.run(jobs);
+    SweepOutcome outcome = runner.runCollect(jobs);
+    for (const SweepJobFailure &f : outcome.failures) {
+        std::cerr << "FAIL: job '" << f.name << "' " << f.message
+                  << "\n";
+        ++failures;
+    }
 
     std::vector<MatrixRow> rows;
     size_t next = 0;
@@ -119,8 +127,9 @@ runMatrix(unsigned n_cpus, int &failures)
         row.app = app;
         row.parameters = makeTable4Workload(app)->parameters();
         for (PolicyKind policy : policies) {
-            const RunMetrics &m = metrics[next++];
-            if (!m.verified) {
+            size_t i = next++;
+            const RunMetrics &m = outcome.results[i];
+            if (outcome.ok[i] && !m.verified) {
                 std::cerr << "FAIL: " << app << " under "
                           << policyName(policy) << " did not verify\n";
                 ++failures;
@@ -133,23 +142,22 @@ runMatrix(unsigned n_cpus, int &failures)
         }
         rows.push_back(row);
     }
+    if (outcome_out)
+        *outcome_out = std::move(outcome);
     return rows;
 }
 
-/** Emit the matrix as the bench's machine-readable report. */
+/** Emit the sweep (partial results included) as the bench's
+ *  machine-readable report. */
 inline void
 writeMatrixReport(const std::string &bench_name,
                   const std::string &platform, unsigned n_cpus,
-                  const std::vector<MatrixRow> &rows)
+                  const SweepOutcome &outcome)
 {
     BenchReport report(bench_name);
     report.set("platform", Json(platform));
     report.set("num_cpus", Json(static_cast<uint64_t>(n_cpus)));
-    for (const MatrixRow &r : rows) {
-        report.addRun(r.fcfs);
-        report.addRun(r.lff);
-        report.addRun(r.crt);
-    }
+    report.noteOutcome(outcome);
     std::string path = report.write();
     if (!path.empty())
         std::cout << "\nwrote " << path << "\n";

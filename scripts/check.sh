@@ -3,15 +3,20 @@
 # regenerate every paper table/figure through the sweep engine. Exits
 # non-zero on the first failed shape check.
 #
-# Usage: check.sh [--jobs N] [--perf]
+# Usage: check.sh [--jobs N] [--perf] [--asan]
 #   --jobs N   worker threads per bench sweep (exported as
 #              ATL_SWEEP_JOBS; default: all cores)
 #   --perf     also run scripts/perf_gate.sh (hot-path throughput
 #              against the committed baseline; fails on >10% regression)
+#   --asan     build into build-asan/ with AddressSanitizer + UBSan
+#              (-DATL_SANITIZE=ON) and run the full test suite — the
+#              tier-1 tests plus the fault-injection suite — under the
+#              sanitizers, then exit (benches are skipped)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUN_PERF=0
+RUN_ASAN=0
 
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -28,12 +33,24 @@ while [ $# -gt 0 ]; do
         RUN_PERF=1
         shift
         ;;
+      --asan)
+        RUN_ASAN=1
+        shift
+        ;;
       *)
         echo "unknown argument: $1" >&2
         exit 2
         ;;
     esac
 done
+
+if [ "$RUN_ASAN" -eq 1 ]; then
+    cmake -B build-asan -G Ninja -DATL_SANITIZE=ON
+    cmake --build build-asan
+    ctest --test-dir build-asan -j "$(nproc)" --output-on-failure
+    echo "ASAN/UBSAN CHECKS PASSED"
+    exit 0
+fi
 
 cmake -B build -G Ninja
 cmake --build build
@@ -67,15 +84,29 @@ for b in build/bench/bench_*; do
         echo "MISSING: $json" >&2
         missing=1
     elif command -v python3 >/dev/null 2>&1; then
-        # Parse, and hold every RunMetrics entry to the schema-2
-        # contract (host diagnostics included).
+        # Parse, and hold every RunMetrics entry to the schema-3
+        # contract (host diagnostics and degradation counters included).
+        # An incomplete sweep (lost runs) is a bench failure even when
+        # the binary itself exited zero.
         if ! python3 - "$json" <<'PYEOF' >&2
 import json, sys
 doc = json.load(open(sys.argv[1]))
+if "bench" not in doc:
+    sys.exit(0)  # google-benchmark native format, not a BenchReport
+if doc.get("schema") != 3:
+    print(f"{sys.argv[1]}: schema is {doc.get('schema')!r}, expected 3")
+    sys.exit(1)
+if doc.get("complete") is not True:
+    print(f"{sys.argv[1]}: sweep incomplete, failed runs: "
+          f"{doc.get('failed_runs')}")
+    sys.exit(1)
 required = ("workload", "policy", "num_cpus", "makespan", "e_misses",
             "e_refs", "instructions", "context_switches",
             "sched_overhead_cycles", "verified", "refs_issued",
-            "ref_blocks", "refs_per_sec", "batch_occupancy")
+            "ref_blocks", "refs_per_sec", "batch_occupancy",
+            "fault_events", "implausible_samples", "torn_samples",
+            "clamped_misses", "fallback_activations",
+            "fallback_recoveries", "fallback_intervals")
 for run in doc.get("runs", []):
     for key in required:
         if key not in run:

@@ -30,8 +30,16 @@ SharingGraph::share(ThreadId src, ThreadId dst, double q)
     if (src == dst)
         return;
     if (q < 0.0 || q > 1.0) {
-        atl_warn("sharing coefficient ", q, " for (", src, ",", dst,
-                 ") clamped to [0,1]");
+        // Throttled: a buggy (or fault-injected) program can emit
+        // out-of-range coefficients by the thousand, and each one is
+        // harmlessly clamped.
+        ++_clampWarnings;
+        if (_clampWarnings <= 8) {
+            atl_warn("sharing coefficient ", q, " for (", src, ",", dst,
+                     ") clamped to [0,1]",
+                     _clampWarnings == 8 ? " (further warnings suppressed)"
+                                         : "");
+        }
         q = std::clamp(q, 0.0, 1.0);
     }
 

@@ -78,6 +78,10 @@ class SharingGraph
     /** Number of threads with at least one incident arc. */
     size_t nodeCount() const { return _nodes.size(); }
 
+    /** Out-of-range coefficients clamped so far (warnings are only
+     *  emitted for the first few). */
+    uint64_t clampCount() const { return _clampWarnings; }
+
   private:
     struct Node
     {
@@ -92,6 +96,7 @@ class SharingGraph
 
     std::unordered_map<ThreadId, Node> _nodes;
     size_t _edgeCount = 0;
+    uint64_t _clampWarnings = 0;
 };
 
 } // namespace atl

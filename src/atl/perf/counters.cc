@@ -41,8 +41,13 @@ PerfCounters::missesBetween(uint32_t refs_before, uint32_t hits_before,
     // class occur per scheduling interval, which holds by a huge margin.
     uint32_t refs = refs_now - refs_before;
     uint32_t hits = hits_now - hits_before;
-    atl_assert(hits <= refs,
-               "more E-cache hits than references in an interval");
+    // A consistent snapshot pair can never show more hits than refs,
+    // but a torn read (the two PICs sampled at different points) can.
+    // Underflowing here would turn one bad sample into a ~2^32 miss
+    // estimate; clamping to zero keeps the damage at "one interval
+    // ignored", which the scheduler's confidence tracking absorbs.
+    if (hits > refs)
+        return 0;
     return static_cast<uint64_t>(refs - hits);
 }
 

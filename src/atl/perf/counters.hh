@@ -80,7 +80,9 @@ class PerfCounters
 
     /**
      * Misses elapsed between two (refs, hits) snapshots, handling 32-bit
-     * wrap of each counter independently.
+     * wrap of each counter independently. A torn snapshot pair (the two
+     * PICs sampled at different points, so the hits delta exceeds the
+     * refs delta) clamps to 0 misses rather than underflowing.
      *
      * @param refs_before PIC0 (E-refs) at the previous scheduling point
      * @param hits_before PIC1 (E-hits) at the previous scheduling point

@@ -11,8 +11,43 @@
 #include <ucontext.h>
 #endif
 
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define ATL_ASAN 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define ATL_ASAN 1
+#endif
+
+#ifdef ATL_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
 namespace atl
 {
+
+namespace
+{
+
+/**
+ * Clear any stale ASan poisoning on a fiber stack. A fiber's last act
+ * is a switch away mid-frame, so the redzones its frames poisoned are
+ * never unpoisoned on exit; stacks are pooled and reused, and a later
+ * fiber's legitimate writes would land in those stale redzones and
+ * raise false stack-buffer-overflow reports.
+ */
+inline void
+unpoisonStackMemory(void *low, size_t bytes)
+{
+#ifdef ATL_ASAN
+    __asan_unpoison_memory_region(low, bytes);
+#else
+    (void)low;
+    (void)bytes;
+#endif
+}
+
+} // namespace
 
 // ---------------------------------------------------------------------
 // FiberStack
@@ -36,8 +71,12 @@ FiberStack::FiberStack(size_t usable_bytes)
 
 FiberStack::~FiberStack()
 {
-    if (_base)
+    if (_base) {
+        // munmap does not clear shadow state; a later mapping at the
+        // same address must not inherit this stack's poisoning.
+        unpoisonStackMemory(_base, _mapped);
         munmap(_base, _mapped);
+    }
 }
 
 void *
@@ -113,6 +152,8 @@ Fiber::arm(FiberStack &stack, std::function<void()> entry)
 {
     _entry = std::move(entry);
     _armed = true;
+    unpoisonStackMemory(static_cast<char *>(stack.top()) - stack.size(),
+                        stack.size());
 
     // Build the initial frame that atl_ctx_switch will pop. Layout from
     // the lowest address: r15 r14 r13 r12 rbx rbp <return address>.
@@ -140,10 +181,12 @@ Fiber::switchTo(Fiber &from, Fiber &to)
 void
 Fiber::runEntry()
 {
+    // The closure stays owned by the Fiber: entry() never returns, so a
+    // stack-local copy could never be destroyed and would leak for any
+    // closure too large for std::function's small-buffer optimisation.
+    // Ownership here lets ~Fiber (or a re-arm) release it.
     _armed = false;
-    std::function<void()> entry = std::move(_entry);
-    _entry = nullptr;
-    entry();
+    _entry();
 }
 
 #else // !__x86_64__: portable ucontext fallback
@@ -177,6 +220,8 @@ Fiber::arm(FiberStack &stack, std::function<void()> entry)
 {
     _entry = std::move(entry);
     _armed = true;
+    unpoisonStackMemory(static_cast<char *>(stack.top()) - stack.size(),
+                        stack.size());
     getcontext(&_impl->ctx);
     _impl->ctx.uc_stack.ss_sp =
         static_cast<char *>(stack.top()) - stack.size();
@@ -197,10 +242,10 @@ Fiber::switchTo(Fiber &from, Fiber &to)
 void
 Fiber::runEntry()
 {
+    // See the x86-64 runEntry: the Fiber keeps owning the closure so it
+    // can be released even though entry() never returns.
     _armed = false;
-    std::function<void()> entry = std::move(_entry);
-    _entry = nullptr;
-    entry();
+    _entry();
 }
 
 #endif

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "atl/fault/fault.hh"
 #include "atl/util/logging.hh"
 
 namespace atl
@@ -43,6 +44,9 @@ Machine::Machine(const MachineConfig &config)
     sched_cfg.maxHeapSize = config.maxHeapSize;
     sched_cfg.fairnessBypassPeriod = config.fairnessBypassPeriod;
     sched_cfg.anomalyMpiThreshold = config.anomalyMpiThreshold;
+    sched_cfg.confidenceDecay = config.confidenceDecay;
+    sched_cfg.confidenceRecovery = config.confidenceRecovery;
+    sched_cfg.confidenceThreshold = config.confidenceThreshold;
     _scheduler = std::make_unique<Scheduler>(sched_cfg, _threads,
                                              _missTotals, _graph,
                                              _model.get());
@@ -54,6 +58,18 @@ Machine::Machine(const MachineConfig &config)
         // PIC0 = E-cache references, PIC1 = E-cache hits: the paper's
         // configuration, from which the runtime derives misses.
         cpu.perf.configure(PerfEvent::EcacheRefs, PerfEvent::EcacheHits);
+        // Fault injection may pre-bias the PICs close to 2^32 so they
+        // wrap mid-run. Invisible to interval deltas (both ends of a
+        // snapshot pair shift equally, and missesBetween handles the
+        // wrap), which the wrap-bias bit-identity test relies on.
+        if (config.faults) {
+            uint32_t bias0 = config.faults->picBias(c, 0);
+            uint32_t bias1 = config.faults->picBias(c, 1);
+            if (bias0)
+                cpu.perf.record(PerfEvent::EcacheRefs, bias0);
+            if (bias1)
+                cpu.perf.record(PerfEvent::EcacheHits, bias1);
+        }
         // Modelled storage for the scheduler's own data structures.
         cpu.schedStateVa = alloc(8192, 64);
     }
@@ -95,8 +111,35 @@ Machine::spawn(std::function<void()> fn, std::string name)
 void
 Machine::share(ThreadId src, ThreadId dst, double q)
 {
+    // Annotations are hints: a fault plan may drop, misweight, redirect
+    // or churn them, and the run must still terminate with correct
+    // workload output (the paper's §2.3 contract).
+    if (_config.faults) {
+        ShareFault fault =
+            _config.faults->perturbShare(src, dst, q, _threads.size());
+        if (fault.drop)
+            return;
+        shareOne(src, dst, q);
+        if (fault.churn)
+            shareOne(src, dst, fault.churnQ);
+        return;
+    }
+    shareOne(src, dst, q);
+}
+
+void
+Machine::shareOne(ThreadId src, ThreadId dst, double q)
+{
     if (src >= _threads.size() || dst >= _threads.size()) {
-        atl_warn("at_share with unknown thread id ignored");
+        // Throttled: fault plans and buggy programs can produce
+        // thousands of dangling annotations, and each is harmless.
+        ++_shareWarnings;
+        if (_shareWarnings <= 8) {
+            atl_warn("at_share with unknown thread id ignored",
+                     _shareWarnings == 8
+                         ? " (further warnings suppressed)"
+                         : "");
+        }
         return;
     }
     _graph.share(src, dst, q);
@@ -719,12 +762,26 @@ Machine::resumeOn(Cpu &cpu)
 void
 Machine::endInterval(Cpu &cpu, Thread &thread)
 {
-    // Read the PICs: misses taken during the scheduling interval.
-    uint64_t misses = PerfCounters::missesBetween(
-        cpu.refsSnap, cpu.hitsSnap, cpu.perf.read(0), cpu.perf.read(1));
+    // Read the PICs: misses taken during the scheduling interval. A
+    // fault plan may corrupt the *reading* (lost sample, read noise,
+    // torn snapshot); the counters themselves are never touched, so
+    // the damage is confined to this interval's model inputs.
+    uint32_t refs_now = cpu.perf.read(0);
+    uint32_t hits_now = cpu.perf.read(1);
+    if (_config.faults) {
+        _config.faults->perturbSnapshot(cpu.refsSnap, cpu.hitsSnap,
+                                        refs_now, hits_now);
+    }
+    uint64_t misses = PerfCounters::missesBetween(cpu.refsSnap,
+                                                  cpu.hitsSnap, refs_now,
+                                                  hits_now);
     uint64_t instructions = thread.stats.instructions - cpu.instrSnap;
+    // Interval deltas, for the scheduler's plausibility checks.
+    uint64_t refs_delta = static_cast<uint32_t>(refs_now - cpu.refsSnap);
+    uint64_t hits_delta = static_cast<uint32_t>(hits_now - cpu.hitsSnap);
 
-    _scheduler->onBlock(thread, cpu.id, misses, instructions);
+    _scheduler->onBlock(thread, cpu.id, misses, instructions, refs_delta,
+                        hits_delta);
     chargeSchedWork(cpu); // onBlock's O(d) priority work
 
     cpu.current = nullptr;

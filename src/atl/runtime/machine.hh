@@ -38,6 +38,8 @@
 namespace atl
 {
 
+class FaultInjector;
+
 /** Full machine configuration. Defaults model the paper's platforms. */
 struct MachineConfig
 {
@@ -90,6 +92,16 @@ struct MachineConfig
     /** Nonstationary-phase MPI threshold (0 = off); see
      *  SchedulerConfig. */
     double anomalyMpiThreshold = 0.0;
+    /** Model-confidence knobs forwarded to the scheduler's
+     *  graceful-degradation machinery; see SchedulerConfig. */
+    double confidenceDecay = 0.5;
+    double confidenceRecovery = 0.0625;
+    double confidenceThreshold = 0.75;
+
+    /** Fault injector perturbing counters and annotations (null = no
+     *  faults; not owned, must outlive the machine). An injector with
+     *  an empty plan is equivalent to null. */
+    FaultInjector *faults = nullptr;
 
     /** Host stack bytes per fiber. */
     size_t stackBytes = 128 * 1024;
@@ -263,6 +275,10 @@ class Machine
     /** @} */
 
   private:
+    /** The share() body after fault perturbation (range checks,
+     *  throttled warnings, graph update). */
+    void shareOne(ThreadId src, ThreadId dst, double q);
+
     struct Cpu
     {
         CpuId id = 0;
@@ -356,6 +372,9 @@ class Machine
     VAddr _nextVa = 0x100000;
     MemoryObserver *_observer = nullptr;
     AccessHook _accessHook;
+    /** Unknown-thread-id share() warnings emitted (throttled: fault
+     *  plans can produce thousands of dangling annotations). */
+    uint64_t _shareWarnings = 0;
     std::vector<std::unique_ptr<FiberStack>> _stackPool;
     uint64_t _refsIssued = 0;
     uint64_t _refBlocks = 0;

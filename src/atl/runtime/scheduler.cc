@@ -14,6 +14,7 @@ Scheduler::Scheduler(const SchedulerConfig &config,
     : _config(config), _threads(threads), _missTotals(miss_totals),
       _graph(graph), _heaps(config.numCpus),
       _validEntries(config.numCpus, 0), _busy(config.numCpus, 0),
+      _confidence(config.numCpus, 1.0), _degraded(config.numCpus, 0),
       _dispatchCount(config.numCpus, 0)
 {
     atl_assert(config.numCpus >= 1, "scheduler needs at least one cpu");
@@ -322,12 +323,72 @@ Scheduler::dispatch(Thread &thread, CpuId cpu)
 
 void
 Scheduler::onBlock(Thread &thread, CpuId cpu, uint64_t misses,
-                   uint64_t instructions)
+                   uint64_t instructions, uint64_t refs, uint64_t hits)
 {
     if (_config.policy == PolicyKind::FCFS)
         return;
 
+    // Sanity-check the counter sample before it touches the model. A
+    // consistent interval always satisfies misses <= refs <= instructions
+    // and hits <= refs, so none of these branches fire on a clean run
+    // and behaviour stays bit-identical to a scheduler without them.
+    // Torn snapshots, lost samples and read noise violate them; clamp
+    // the damage and decay this processor's model confidence.
+    bool implausible = false;
+    bool clamped = false;
+    if (refs != kUnknownCount && hits != kUnknownCount && hits > refs) {
+        ++_degradation.tornSamples;
+        implausible = true;
+    }
+    if (refs != kUnknownCount && misses > refs) {
+        misses = refs;
+        clamped = true;
+    }
+    if (instructions > 0 && misses > instructions) {
+        misses = instructions;
+        clamped = true;
+    }
+    // The interval cannot contain more misses than this processor has
+    // taken in its whole history (the model's beginSwitch baseline) —
+    // a noised reading that survives the ratio checks can still break
+    // that bound.
+    if (misses > _missTotals[cpu]) {
+        misses = _missTotals[cpu];
+        clamped = true;
+    }
+    if (clamped) {
+        ++_degradation.clampedMisses;
+        implausible = true;
+    }
+
+    double &conf = _confidence[cpu];
+    if (implausible) {
+        ++_degradation.implausibleSamples;
+        conf *= _config.confidenceDecay;
+        if (!_degraded[cpu] && conf < _config.confidenceThreshold) {
+            _degraded[cpu] = 1;
+            ++_degradation.fallbackActivations;
+        }
+    } else if (conf < 1.0) {
+        conf = std::min(1.0, conf + _config.confidenceRecovery);
+        if (_degraded[cpu] && conf >= _config.confidenceThreshold) {
+            _degraded[cpu] = 0;
+            ++_degradation.fallbackRecoveries;
+        }
+    }
+
     _scheme->beginSwitch(_missTotals[cpu]);
+
+    // Fallback: with confidence shot, the miss stream (and anything an
+    // annotation would propagate from it) is noise. Behave like the
+    // unannotated baseline — hold the blocking thread's estimate and
+    // skip the dependent updates — until plausible samples restore
+    // confidence above the threshold.
+    if (_degraded[cpu]) {
+        ++_degradation.fallbackIntervals;
+        _scheme->holdBlocking(thread.records[cpu]);
+        return;
+    }
 
     // Nonstationary-phase heuristic (paper Section 3.4): after the
     // reload burst, a thread running at a very low miss rate mostly

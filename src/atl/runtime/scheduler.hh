@@ -48,6 +48,44 @@ struct SchedulerConfig
      *  per 1000 instructions, treat its misses as conflict misses that
      *  do not grow its footprint. 0 disables. */
     double anomalyMpiThreshold = 0.0;
+    /** Multiplier applied to a processor's model confidence on every
+     *  implausible counter sample (torn or clamped). */
+    double confidenceDecay = 0.5;
+    /** Additive confidence restored by every plausible sample (only
+     *  while confidence is below 1). */
+    double confidenceRecovery = 0.0625;
+    /** Confidence below which a processor falls back to unannotated
+     *  baseline behaviour (hold footprints, skip dependent updates);
+     *  it resumes locality scheduling once confidence recovers to the
+     *  threshold. */
+    double confidenceThreshold = 0.75;
+};
+
+/**
+ * Counters for the graceful-degradation machinery: how often counter
+ * samples looked implausible, how hard they were clamped, and how the
+ * per-processor confidence fallback cycled. All zero on a clean run.
+ */
+struct DegradationStats
+{
+    /** Samples failing any plausibility check. */
+    uint64_t implausibleSamples = 0;
+    /** Samples whose hits delta exceeded their refs delta. */
+    uint64_t tornSamples = 0;
+    /** Samples whose miss count was clamped (to interval refs,
+     *  instructions, or the processor's cumulative miss history). */
+    uint64_t clampedMisses = 0;
+    /** Confidence drops below the fallback threshold. */
+    uint64_t fallbackActivations = 0;
+    /** Confidence recoveries back above the threshold. */
+    uint64_t fallbackRecoveries = 0;
+    /** Scheduling intervals handled in fallback mode. */
+    uint64_t fallbackIntervals = 0;
+    /** Fault events the active FaultInjector reported for this run
+     *  (filled in by the experiment driver, not the scheduler). */
+    uint64_t faultEvents = 0;
+
+    bool operator==(const DegradationStats &) const = default;
 };
 
 /** Work performed during one context switch, for overhead accounting. */
@@ -114,14 +152,33 @@ class Scheduler
      * requeue the thread; the machine decides based on the switch
      * reason.
      *
+     * Before any model update the sample is sanity-checked: a miss
+     * count above the interval's refs or instructions is clamped, a
+     * hits delta above the refs delta marks the sample torn, and any
+     * implausible sample decays the processor's model confidence.
+     * Below the confidence threshold the processor runs in fallback
+     * (hold footprints, no dependent updates) until enough plausible
+     * samples restore confidence. Plausible samples — every sample of
+     * a clean run — leave behaviour bit-identical to a scheduler
+     * without these checks.
+     *
      * @param thread the blocking/yielding/exiting thread
      * @param cpu processor it ran on
      * @param misses E-cache misses it took during the interval
      * @param instructions instructions it executed during the interval
-     *        (drives the optional nonstationary-phase heuristic)
+     *        (drives the nonstationary-phase heuristic and bounds
+     *        plausible miss counts); 0 means unknown
+     * @param refs E-cache refs delta of the interval (kUnknownCount
+     *        when the caller has no counter-level view)
+     * @param hits E-cache hits delta of the interval (kUnknownCount
+     *        when the caller has no counter-level view)
      */
     void onBlock(Thread &thread, CpuId cpu, uint64_t misses,
-                 uint64_t instructions = 0);
+                 uint64_t instructions = 0, uint64_t refs = kUnknownCount,
+                 uint64_t hits = kUnknownCount);
+
+    /** Sentinel for "this interval quantity was not measured". */
+    static constexpr uint64_t kUnknownCount = ~0ull;
 
     /** Cost of scheduler work since the previous call (cleared). */
     SwitchCost drainSwitchCost();
@@ -155,6 +212,23 @@ class Scheduler
 
     /** Intervals the nonstationary heuristic classified as quiet. */
     uint64_t quietIntervals() const { return _quietIntervals; }
+
+    /** Graceful-degradation counters (all zero on a clean run). */
+    const DegradationStats &degradation() const { return _degradation; }
+
+    /** Current model confidence of a processor, in [0, 1]. */
+    double
+    confidence(CpuId cpu) const
+    {
+        return _confidence[cpu];
+    }
+
+    /** True while a processor runs in unannotated-fallback mode. */
+    bool
+    inFallback(CpuId cpu) const
+    {
+        return _degraded[cpu] != 0;
+    }
 
   private:
     /** True when a heap entry still refers to live bookkeeping. */
@@ -200,6 +274,11 @@ class Scheduler
     std::vector<size_t> _validEntries;
     std::vector<uint8_t> _busy;
     GlobalQueue _global;
+    /** Per-processor model confidence, decayed by implausible samples. */
+    std::vector<double> _confidence;
+    /** Per-processor fallback flag (confidence below threshold). */
+    std::vector<uint8_t> _degraded;
+    DegradationStats _degradation;
     size_t _runnable = 0;
     uint64_t _steals = 0;
     uint64_t _quietIntervals = 0;

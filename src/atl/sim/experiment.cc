@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "atl/fault/fault.hh"
 #include "atl/util/logging.hh"
 
 namespace atl
@@ -26,7 +27,7 @@ RunMetrics::operator==(const RunMetrics &other) const
            instructions == other.instructions &&
            contextSwitches == other.contextSwitches &&
            schedOverheadCycles == other.schedOverheadCycles &&
-           verified == other.verified;
+           verified == other.verified && degradation == other.degradation;
 }
 
 double
@@ -68,6 +69,11 @@ RunMetrics
 runWorkload(Workload &workload, const MachineConfig &config, bool trace,
             bool batch_refs)
 {
+    // Fault events already on the injector belong to earlier runs (one
+    // injector may serve a whole sweep); report only this run's delta.
+    uint64_t faults_before =
+        config.faults ? config.faults->stats().total() : 0;
+
     Machine machine(config);
     std::unique_ptr<Tracer> tracer;
     if (trace)
@@ -93,6 +99,11 @@ runWorkload(Workload &workload, const MachineConfig &config, bool trace,
     metrics.contextSwitches = machine.totalSwitches();
     for (CpuId c = 0; c < machine.numCpus(); ++c)
         metrics.schedOverheadCycles += machine.cpuStats(c).schedOverheadCycles;
+    metrics.degradation = machine.scheduler().degradation();
+    if (config.faults) {
+        metrics.degradation.faultEvents =
+            config.faults->stats().total() - faults_before;
+    }
     metrics.verified = workload.verify();
     if (!metrics.verified) {
         atl_warn("workload '", workload.name(), "' failed verification ",

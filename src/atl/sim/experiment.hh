@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "atl/runtime/scheduler.hh"
 #include "atl/sim/tracer.hh"
 #include "atl/workloads/workload.hh"
 
@@ -34,6 +35,10 @@ struct RunMetrics
     uint64_t contextSwitches = 0;
     Cycles schedOverheadCycles = 0;
     bool verified = false;
+    /** Graceful-degradation counters of the run (all zero on a clean
+     *  run; compared by operator== so fault-free runs must match the
+     *  pre-degradation baseline bit for bit). */
+    DegradationStats degradation;
 
     /** @name Host-side diagnostics.
      * Simulator throughput, not simulation results: excluded from

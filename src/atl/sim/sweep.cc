@@ -1,17 +1,111 @@
 #include "atl/sim/sweep.hh"
 
+#include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <filesystem>
 #include <fstream>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 
+#include "atl/fault/fault.hh"
 #include "atl/util/logging.hh"
 
 namespace atl
 {
+
+namespace
+{
+
+/** what() line for a SweepFailure: count plus the first few details. */
+std::string
+summariseFailures(const std::vector<SweepJobFailure> &failures)
+{
+    std::string msg =
+        std::to_string(failures.size()) + " sweep job(s) failed:";
+    size_t shown = 0;
+    for (const SweepJobFailure &f : failures) {
+        if (shown == 4) {
+            msg += " ...";
+            break;
+        }
+        msg += " [" + std::to_string(f.index) + " '" + f.name + "': " +
+               (f.timedOut ? "timed out" : f.message) + "]";
+        ++shown;
+    }
+    return msg;
+}
+
+/** One attempt's result; metrics valid only when ok. */
+struct AttemptResult
+{
+    bool ok = false;
+    RunMetrics metrics;
+    std::string message;
+    bool timedOut = false;
+};
+
+AttemptResult
+callAttempt(const std::function<RunMetrics()> &call)
+{
+    AttemptResult result;
+    try {
+        result.metrics = call();
+        result.ok = true;
+    } catch (const std::exception &e) {
+        result.message = e.what();
+    } catch (...) {
+        result.message = "unknown exception";
+    }
+    return result;
+}
+
+/**
+ * Run one attempt, optionally bounded by a wall-clock timeout. C++
+ * cannot kill a thread, so a timed-out attempt is *abandoned*: it keeps
+ * running detached (writing only through the shared promise) while the
+ * sweep moves on. promise/future rather than std::async because an
+ * async future's destructor would block on the very attempt being
+ * abandoned.
+ */
+AttemptResult
+runAttempt(const std::function<RunMetrics()> &call, double timeout_s)
+{
+    if (timeout_s <= 0.0)
+        return callAttempt(call);
+
+    auto promise = std::make_shared<std::promise<AttemptResult>>();
+    std::future<AttemptResult> future = promise->get_future();
+    // The callable is copied into the detached thread: nothing the
+    // abandoned attempt touches can dangle when the caller returns.
+    std::thread([promise, call]() {
+        AttemptResult result = callAttempt(call);
+        promise->set_value(std::move(result));
+    }).detach();
+
+    if (future.wait_for(std::chrono::duration<double>(timeout_s)) ==
+        std::future_status::ready) {
+        return future.get();
+    }
+    AttemptResult result;
+    result.message =
+        "timed out after " + std::to_string(timeout_s) + "s";
+    result.timedOut = true;
+    return result;
+}
+
+} // namespace
+
+SweepFailure::SweepFailure(std::vector<SweepJobFailure> failures)
+    : std::runtime_error(summariseFailures(failures)),
+      _failures(std::move(failures))
+{
+}
 
 SweepRunner::SweepRunner(unsigned jobs)
     : _jobs(jobs ? jobs : defaultJobs())
@@ -49,65 +143,133 @@ SweepRunner::forEach(size_t n, const std::function<void(size_t)> &fn)
     if (n == 0)
         return;
 
-    size_t workers = std::min<size_t>(_jobs, n);
-    if (workers <= 1) {
-        for (size_t i = 0; i < n; ++i)
-            fn(i);
-        return;
-    }
-
-    std::atomic<size_t> next{0};
     std::mutex error_mutex;
-    std::exception_ptr first_error;
+    std::vector<SweepJobFailure> errors;
 
-    auto work = [&]() {
-        for (;;) {
-            size_t i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= n)
-                return;
-            try {
-                fn(i);
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(error_mutex);
-                if (!first_error)
-                    first_error = std::current_exception();
-                // Keep draining: stopping early would leave other
-                // workers' in-flight jobs half-reported, and jobs are
-                // independent anyway.
-            }
+    // Every index runs even when some throw: stopping early would
+    // leave other workers' in-flight jobs half-reported, and jobs are
+    // independent anyway. Failures are collected — all of them, not
+    // just the first — and reported together afterwards.
+    auto guarded = [&](size_t i) {
+        try {
+            fn(i);
+        } catch (const std::exception &e) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            errors.push_back({i, {}, e.what(), 1, false});
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            errors.push_back({i, {}, "unknown exception", 1, false});
         }
     };
 
-    std::vector<std::thread> pool;
-    pool.reserve(workers - 1);
-    for (size_t w = 1; w < workers; ++w)
-        pool.emplace_back(work);
-    work();
-    for (std::thread &t : pool)
-        t.join();
+    size_t workers = std::min<size_t>(_jobs, n);
+    if (workers <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            guarded(i);
+    } else {
+        std::atomic<size_t> next{0};
+        auto work = [&]() {
+            for (;;) {
+                size_t i = next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n)
+                    return;
+                guarded(i);
+            }
+        };
 
-    if (first_error)
-        std::rethrow_exception(first_error);
+        std::vector<std::thread> pool;
+        pool.reserve(workers - 1);
+        for (size_t w = 1; w < workers; ++w)
+            pool.emplace_back(work);
+        work();
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    if (!errors.empty()) {
+        std::sort(errors.begin(), errors.end(),
+                  [](const SweepJobFailure &a, const SweepJobFailure &b) {
+                      return a.index < b.index;
+                  });
+        throw SweepFailure(std::move(errors));
+    }
+}
+
+SweepOutcome
+SweepRunner::runCollect(const std::vector<SweepJob> &sweep,
+                        const SweepOptions &options)
+{
+    for (const SweepJob &job : sweep) {
+        atl_assert(job.body || job.seededBody, "sweep job '", job.name,
+                   "' has no body");
+    }
+
+    SweepOutcome outcome;
+    outcome.results.resize(sweep.size());
+    outcome.ok.assign(sweep.size(), 0);
+    std::mutex failures_mutex;
+    const unsigned max_attempts = std::max(1u, options.maxAttempts);
+
+    forEach(sweep.size(), [&](size_t i) {
+        const SweepJob &job = sweep[i];
+        SweepJobFailure failure;
+        failure.index = i;
+        failure.name = job.name;
+        for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+            std::function<RunMetrics()> call;
+            if (job.seededBody) {
+                // Fresh derived seed per attempt: a job wedged by one
+                // unlucky seed can succeed on the next try, still
+                // reproducibly.
+                uint64_t seed = deriveSeed(
+                    deriveSeed(options.retrySeedBase, i), attempt);
+                auto body = job.seededBody;
+                call = [body, seed] { return body(seed); };
+            } else {
+                call = job.body;
+            }
+            AttemptResult result =
+                runAttempt(call, options.timeoutSeconds);
+            failure.attempts = attempt + 1;
+            if (result.ok) {
+                outcome.results[i] = std::move(result.metrics);
+                outcome.ok[i] = 1;
+                return;
+            }
+            failure.message = std::move(result.message);
+            failure.timedOut = result.timedOut;
+        }
+        std::lock_guard<std::mutex> lock(failures_mutex);
+        outcome.failures.push_back(std::move(failure));
+    });
+
+    std::sort(outcome.failures.begin(), outcome.failures.end(),
+              [](const SweepJobFailure &a, const SweepJobFailure &b) {
+                  return a.index < b.index;
+              });
+    return outcome;
 }
 
 std::vector<RunMetrics>
-SweepRunner::run(const std::vector<SweepJob> &sweep)
+SweepRunner::run(const std::vector<SweepJob> &sweep,
+                 const SweepOptions &options)
 {
-    std::vector<RunMetrics> results(sweep.size());
-    forEach(sweep.size(), [&](size_t i) {
-        atl_assert(sweep[i].body, "sweep job '", sweep[i].name,
-                   "' has no body");
-        results[i] = sweep[i].body();
-    });
-    return results;
+    SweepOutcome outcome = runCollect(sweep, options);
+    if (!outcome.complete())
+        throw SweepFailure(std::move(outcome.failures));
+    return std::move(outcome.results);
 }
 
 BenchReport::BenchReport(std::string bench_name)
     : _name(std::move(bench_name)), _doc(Json::object())
 {
     _doc["bench"] = Json(_name);
-    _doc["schema"] = Json(2);
+    _doc["schema"] = Json(3);
     _doc["runs"] = Json::array();
+    // Partial-result status (schema 3): noteFailure clears the flag,
+    // so a report that lost cells says so instead of passing silently.
+    _doc["complete"] = Json(true);
+    _doc["failed_runs"] = Json::array();
 }
 
 void
@@ -120,6 +282,30 @@ void
 BenchReport::addRun(const RunMetrics &metrics)
 {
     _doc["runs"].push(toJson(metrics));
+}
+
+void
+BenchReport::noteFailure(const SweepJobFailure &failure)
+{
+    _doc["complete"] = Json(false);
+    Json entry = Json::object();
+    entry["index"] = Json(static_cast<uint64_t>(failure.index));
+    entry["name"] = Json(failure.name);
+    entry["message"] = Json(failure.message);
+    entry["attempts"] = Json(static_cast<uint64_t>(failure.attempts));
+    entry["timed_out"] = Json(failure.timedOut);
+    _doc["failed_runs"].push(std::move(entry));
+}
+
+void
+BenchReport::noteOutcome(const SweepOutcome &outcome)
+{
+    for (size_t i = 0; i < outcome.results.size(); ++i) {
+        if (outcome.ok[i])
+            addRun(outcome.results[i]);
+    }
+    for (const SweepJobFailure &failure : outcome.failures)
+        noteFailure(failure);
 }
 
 Json
@@ -144,6 +330,18 @@ BenchReport::toJson(const RunMetrics &metrics)
     json["host_seconds"] = Json(metrics.hostSeconds);
     json["refs_per_sec"] = Json(metrics.refsPerSec());
     json["batch_occupancy"] = Json(metrics.batchOccupancy());
+    // Fault/degradation counters (schema 3): all zero on a clean run.
+    json["fault_events"] = Json(metrics.degradation.faultEvents);
+    json["implausible_samples"] =
+        Json(metrics.degradation.implausibleSamples);
+    json["torn_samples"] = Json(metrics.degradation.tornSamples);
+    json["clamped_misses"] = Json(metrics.degradation.clampedMisses);
+    json["fallback_activations"] =
+        Json(metrics.degradation.fallbackActivations);
+    json["fallback_recoveries"] =
+        Json(metrics.degradation.fallbackRecoveries);
+    json["fallback_intervals"] =
+        Json(metrics.degradation.fallbackIntervals);
     return json;
 }
 
@@ -189,6 +387,30 @@ BenchReport::fromJson(const Json &json, RunMetrics &out)
     out.refBlocks = json.at("ref_blocks").asUint();
     if (json.has("host_seconds"))
         out.hostSeconds = json.at("host_seconds").asNumber();
+    // Schema-3 degradation counters; optional so schema-2 documents
+    // still round-trip (they default to a clean run).
+    if (json.has("fault_events"))
+        out.degradation.faultEvents = json.at("fault_events").asUint();
+    if (json.has("implausible_samples")) {
+        out.degradation.implausibleSamples =
+            json.at("implausible_samples").asUint();
+    }
+    if (json.has("torn_samples"))
+        out.degradation.tornSamples = json.at("torn_samples").asUint();
+    if (json.has("clamped_misses"))
+        out.degradation.clampedMisses = json.at("clamped_misses").asUint();
+    if (json.has("fallback_activations")) {
+        out.degradation.fallbackActivations =
+            json.at("fallback_activations").asUint();
+    }
+    if (json.has("fallback_recoveries")) {
+        out.degradation.fallbackRecoveries =
+            json.at("fallback_recoveries").asUint();
+    }
+    if (json.has("fallback_intervals")) {
+        out.degradation.fallbackIntervals =
+            json.at("fallback_intervals").asUint();
+    }
     return true;
 }
 
@@ -205,23 +427,73 @@ BenchReport::resultsDir()
 std::string
 BenchReport::write() const
 {
+    // A report that cannot be persisted must fail the bench loudly:
+    // downstream tooling treats a missing/stale report as "the bench
+    // never ran", which is exactly the silent pass to avoid. atl_fatal
+    // exits non-zero (or throws LogError in test mode) with the path
+    // and OS error so the operator can see *where* and *why*.
     std::string dir = resultsDir();
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
     if (ec) {
-        atl_warn("cannot create results dir '", dir, "': ",
-                 ec.message());
-        return {};
+        atl_fatal("cannot create results dir '", dir,
+                  "': ", ec.message());
     }
 
     std::string path = dir + "/" + _name + ".json";
+    errno = 0;
     std::ofstream out(path, std::ios::trunc);
     if (!out) {
-        atl_warn("cannot write '", path, "'");
-        return {};
+        atl_fatal("cannot open '", path, "' for writing: ",
+                  std::strerror(errno ? errno : EIO));
     }
     out << _doc.dump();
+    out.flush();
+    if (!out) {
+        atl_fatal("error writing '", path, "': ",
+                  std::strerror(errno ? errno : EIO));
+    }
     return path;
+}
+
+void
+injectJobFaults(std::vector<SweepJob> &jobs, FaultInjector &faults)
+{
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        FaultInjector::JobFault fault = faults.jobFault(i);
+        switch (fault.kind) {
+          case FaultInjector::JobFaultKind::None:
+            break;
+          case FaultInjector::JobFaultKind::Throw: {
+            std::string name = jobs[i].name;
+            jobs[i].seededBody = nullptr;
+            jobs[i].body = [name]() -> RunMetrics {
+                throw std::runtime_error("injected fault: job '" + name +
+                                         "' failed");
+            };
+            break;
+          }
+          case FaultInjector::JobFaultKind::Hang: {
+            double seconds = fault.seconds;
+            if (jobs[i].seededBody) {
+                auto inner = jobs[i].seededBody;
+                jobs[i].seededBody = [inner, seconds](uint64_t seed) {
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double>(seconds));
+                    return inner(seed);
+                };
+            } else {
+                auto inner = jobs[i].body;
+                jobs[i].body = [inner, seconds]() {
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double>(seconds));
+                    return inner();
+                };
+            }
+            break;
+          }
+        }
+    }
 }
 
 } // namespace atl

@@ -20,6 +20,7 @@
 
 #include <chrono>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,8 @@
 namespace atl
 {
 
+class FaultInjector;
+
 /** One independent simulation of a sweep. */
 struct SweepJob
 {
@@ -37,6 +40,83 @@ struct SweepJob
     /** The run. Must be self-contained: builds its own Machine and
      *  touches no state shared with other jobs. */
     std::function<RunMetrics()> body;
+    /** Optional seed-parameterised variant: when set it is preferred
+     *  over body, and each retry attempt receives a fresh seed derived
+     *  from (SweepOptions::retrySeedBase, job index, attempt) — so a
+     *  run wedged by one unlucky seed can succeed on the next. */
+    std::function<RunMetrics(uint64_t seed)> seededBody = nullptr;
+};
+
+/** Failure-handling knobs for a sweep. Defaults reproduce the classic
+ *  behaviour: one attempt, no timeout. */
+struct SweepOptions
+{
+    /** Attempts per job (>= 1). Retries only help jobs with a
+     *  seededBody; a plain body is deterministic and simply re-runs. */
+    unsigned maxAttempts = 1;
+    /** Per-attempt wall-clock timeout in seconds; 0 disables. A timed
+     *  out attempt counts as a failure (and may be retried). The
+     *  abandoned attempt's host thread is left to finish detached —
+     *  C++ cannot kill it — so timeouts are for surviving stragglers,
+     *  not for reclaiming their cpu. */
+    double timeoutSeconds = 0.0;
+    /** Base seed mixed into retry seeds for seededBody jobs. */
+    uint64_t retrySeedBase = 0;
+};
+
+/** What one failed sweep job looked like after its last attempt. */
+struct SweepJobFailure
+{
+    /** Index in the submitted job vector. */
+    size_t index = 0;
+    /** SweepJob::name. */
+    std::string name;
+    /** what() of the last exception, or a timeout note. */
+    std::string message;
+    /** Attempts consumed. */
+    unsigned attempts = 0;
+    /** True when the last attempt timed out rather than threw. */
+    bool timedOut = false;
+};
+
+/**
+ * Thrown by run()/forEach() when jobs failed: carries *every* job
+ * failure, not just the first. Derives from std::runtime_error so
+ * pre-existing catch sites keep working; what() summarises all
+ * failures.
+ */
+class SweepFailure : public std::runtime_error
+{
+  public:
+    explicit SweepFailure(std::vector<SweepJobFailure> failures);
+
+    /** All failures, ordered by job index. */
+    const std::vector<SweepJobFailure> &failures() const
+    {
+        return _failures;
+    }
+
+  private:
+    std::vector<SweepJobFailure> _failures;
+};
+
+/**
+ * Everything a sweep produced, failures included. results keeps one
+ * slot per job (failed slots hold default-constructed RunMetrics) so
+ * positional table code survives partial sweeps; ok flags tell the
+ * slots apart.
+ */
+struct SweepOutcome
+{
+    /** Per-job metrics, in job order; meaningful where ok[i] != 0. */
+    std::vector<RunMetrics> results;
+    /** Per-job success flags, in job order. */
+    std::vector<uint8_t> ok;
+    /** Failures, ordered by job index; empty on a clean sweep. */
+    std::vector<SweepJobFailure> failures;
+
+    /** True when every job succeeded. */
+    bool complete() const { return failures.empty(); }
 };
 
 /**
@@ -57,14 +137,27 @@ class SweepRunner
 
     /**
      * Run every job and return their metrics in job order (independent
-     * of which worker finished first). The first exception thrown by
-     * any job is rethrown here after all workers stop.
+     * of which worker finished first). Jobs that fail do not stop the
+     * pool — every job still runs — and afterwards a SweepFailure
+     * carrying *all* job failures is thrown if there were any.
      */
-    std::vector<RunMetrics> run(const std::vector<SweepJob> &sweep);
+    std::vector<RunMetrics> run(const std::vector<SweepJob> &sweep,
+                                const SweepOptions &options = {});
+
+    /**
+     * Like run(), but failures are returned instead of thrown: the
+     * outcome holds every surviving job's metrics in job order plus a
+     * record of every failure, so a bench can report partial results
+     * rather than lose the whole sweep to one bad cell.
+     */
+    SweepOutcome runCollect(const std::vector<SweepJob> &sweep,
+                            const SweepOptions &options = {});
 
     /**
      * Generic parallel for: invoke fn(i) for every i in [0, n), spread
-     * over the pool. fn must only write state owned by index i.
+     * over the pool. fn must only write state owned by index i. Every
+     * index runs even when some throw; the exceptions are then
+     * collected into one SweepFailure (ordered by index).
      */
     void forEach(size_t n, const std::function<void(size_t)> &fn);
 
@@ -121,6 +214,14 @@ class BenchReport
     /** Append one run's metrics to the runs array. */
     void addRun(const RunMetrics &metrics);
 
+    /** Record one failed job: clears the complete flag and appends an
+     *  entry to the failed_runs array (schema 3). */
+    void noteFailure(const SweepJobFailure &failure);
+
+    /** Append a whole sweep outcome: successful runs via addRun (in
+     *  job order), failures via noteFailure. */
+    void noteOutcome(const SweepOutcome &outcome);
+
     /** Serialise RunMetrics to a JSON object. */
     static Json toJson(const RunMetrics &metrics);
 
@@ -138,7 +239,9 @@ class BenchReport
 
     /**
      * Write the document to the results directory, creating it as
-     * needed.
+     * needed. Failure to create the directory or write the file is
+     * fatal (path and OS error reported): a bench that cannot persist
+     * its report must fail loudly, not pass silently.
      * @return the path written
      */
     std::string write() const;
@@ -147,6 +250,14 @@ class BenchReport
     std::string _name;
     Json _doc;
 };
+
+/**
+ * Wrap each job's body so it suffers the injector's per-job fault
+ * decision (throw or hang) before running. Decisions are drawn on the
+ * calling thread, up front, so the injector needs no locking; they
+ * depend only on (injector seed, job index).
+ */
+void injectJobFaults(std::vector<SweepJob> &jobs, FaultInjector &faults);
 
 } // namespace atl
 

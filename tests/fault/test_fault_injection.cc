@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Tests for the fault-injection subsystem and the graceful-degradation
+ * guarantee it exists to check: an empty plan is bit-identical to no
+ * injector at all, a (plan, seed) pair replays the same faults, and
+ * under aggressive counter/annotation/job corruption every workload
+ * still terminates with verified output while the scheduler visibly
+ * falls back and recovers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "atl/fault/fault.hh"
+#include "atl/sim/experiment.hh"
+#include "atl/sim/sweep.hh"
+#include "atl/util/logging.hh"
+#include "atl/workloads/barnes.hh"
+#include "atl/workloads/mergesort.hh"
+#include "atl/workloads/ocean.hh"
+#include "atl/workloads/photo.hh"
+#include "atl/workloads/random_walk.hh"
+#include "atl/workloads/raytrace.hh"
+#include "atl/workloads/tasks.hh"
+#include "atl/workloads/tsp.hh"
+#include "atl/workloads/typechecker.hh"
+#include "atl/workloads/water.hh"
+
+namespace atl
+{
+namespace
+{
+
+/** Small instances of all ten workloads (mirrors the workload tests). */
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name)
+{
+    if (name == "tasks")
+        return std::make_unique<TasksWorkload>(
+            TasksWorkload::Params{64, 50, 10});
+    if (name == "merge") {
+        MergesortWorkload::Params p;
+        p.elements = 5000;
+        p.cutoff = 100;
+        return std::make_unique<MergesortWorkload>(p);
+    }
+    if (name == "photo") {
+        PhotoWorkload::Params p;
+        p.width = 128;
+        p.height = 64;
+        return std::make_unique<PhotoWorkload>(p);
+    }
+    if (name == "tsp") {
+        TspWorkload::Params p;
+        p.cities = 24;
+        p.depth = 5;
+        return std::make_unique<TspWorkload>(p);
+    }
+    if (name == "barnes") {
+        BarnesWorkload::Params p;
+        p.bodies = 2048;
+        p.treeDepth = 3;
+        p.passes = 1;
+        return std::make_unique<BarnesWorkload>(p);
+    }
+    if (name == "ocean") {
+        OceanWorkload::Params p;
+        p.edge = 66;
+        p.iterations = 2;
+        return std::make_unique<OceanWorkload>(p);
+    }
+    if (name == "water") {
+        WaterWorkload::Params p;
+        p.molecules = 512;
+        p.cellEdge = 4;
+        p.passes = 1;
+        return std::make_unique<WaterWorkload>(p);
+    }
+    if (name == "raytrace") {
+        RaytraceWorkload::Params p;
+        p.rays = 400;
+        p.steps = 16;
+        p.hotLines = 512;
+        return std::make_unique<RaytraceWorkload>(p);
+    }
+    if (name == "typechecker") {
+        TypecheckerWorkload::Params p;
+        p.typeNodes = 2048;
+        p.astNodes = 4096;
+        return std::make_unique<TypecheckerWorkload>(p);
+    }
+    if (name == "random-walk") {
+        RandomWalkWorkload::Params p;
+        p.walkerLines = 4096;
+        p.steps = 20000;
+        p.sleepers.push_back({500, 0.25, 400});
+        return std::make_unique<RandomWalkWorkload>(p);
+    }
+    return nullptr;
+}
+
+const char *allWorkloads[] = {"tasks",  "merge", "photo",
+                              "tsp",    "barnes", "ocean",
+                              "water",  "raytrace", "typechecker",
+                              "random-walk"};
+
+RunMetrics
+runFaulted(const std::string &workload, PolicyKind policy,
+           unsigned n_cpus, FaultInjector *faults)
+{
+    auto w = makeWorkload(workload);
+    MachineConfig cfg;
+    cfg.numCpus = n_cpus;
+    cfg.policy = policy;
+    cfg.faults = faults;
+    return runWorkload(*w, cfg, true);
+}
+
+TEST(FaultPlanTest, EmptyAndCannedPlans)
+{
+    EXPECT_TRUE(FaultPlan{}.empty());
+    EXPECT_FALSE(FaultPlan::counterChaos().empty());
+    EXPECT_FALSE(FaultPlan::annotationChaos().empty());
+    EXPECT_FALSE(FaultPlan::fullChaos().empty());
+    FaultPlan wrap_only;
+    wrap_only.picWrapBias = true;
+    EXPECT_FALSE(wrap_only.empty());
+
+    EXPECT_FALSE(FaultInjector(FaultPlan{}).active());
+    EXPECT_TRUE(FaultInjector(FaultPlan::counterChaos()).active());
+}
+
+TEST(FaultInjectorTest, EmptyPlanIsBitIdenticalToNoInjector)
+{
+    // The core degradation contract: wiring an inert injector into the
+    // machine must not change a single modelled counter.
+    for (PolicyKind policy : {PolicyKind::LFF, PolicyKind::CRT}) {
+        RunMetrics bare = runFaulted("merge", policy, 2, nullptr);
+        FaultInjector inert((FaultPlan()));
+        RunMetrics with = runFaulted("merge", policy, 2, &inert);
+        EXPECT_EQ(bare, with) << policyName(policy);
+        EXPECT_EQ(inert.stats().total(), 0u);
+        EXPECT_EQ(with.degradation, DegradationStats{});
+    }
+}
+
+TEST(FaultInjectorTest, WrapBiasAloneIsInvisibleToMissDeltas)
+{
+    // Pre-biasing the PICs forces mid-run 32-bit wraps, but the wrap
+    // handling makes interval deltas immune: results stay bit-identical
+    // and no plausibility check fires.
+    FaultPlan plan;
+    plan.picWrapBias = true;
+    for (PolicyKind policy : {PolicyKind::LFF, PolicyKind::CRT}) {
+        RunMetrics bare = runFaulted("photo", policy, 2, nullptr);
+        FaultInjector inj(plan, 7);
+        RunMetrics biased = runFaulted("photo", policy, 2, &inj);
+        EXPECT_GT(inj.stats().picBiases, 0u);
+        // faultEvents records the biasing; everything else matches.
+        EXPECT_GT(biased.degradation.faultEvents, 0u);
+        biased.degradation.faultEvents = 0;
+        EXPECT_EQ(bare, biased) << policyName(policy);
+    }
+}
+
+TEST(FaultInjectorTest, SamePlanAndSeedReplaysIdentically)
+{
+    FaultPlan plan = FaultPlan::fullChaos();
+    FaultInjector a(plan, 42);
+    FaultInjector b(plan, 42);
+    RunMetrics ra = runFaulted("tasks", PolicyKind::LFF, 2, &a);
+    RunMetrics rb = runFaulted("tasks", PolicyKind::LFF, 2, &b);
+    EXPECT_EQ(ra, rb);
+    EXPECT_EQ(a.stats().total(), b.stats().total());
+
+    // A different seed draws a different fault sequence (overwhelmingly
+    // likely over hundreds of opportunities).
+    FaultInjector c(plan, 43);
+    RunMetrics rc = runFaulted("tasks", PolicyKind::LFF, 2, &c);
+    EXPECT_TRUE(rc.verified);
+}
+
+TEST(FaultInjectorTest, PerturbSnapshotClassesBehaveAsDocumented)
+{
+    // Torn reads must produce hits delta > refs delta; sample loss must
+    // freeze or garble the reading; noise must inflate the refs delta.
+    FaultPlan torn;
+    torn.tornSnapshotProb = 1.0;
+    FaultInjector ti(torn, 5);
+    uint32_t refs = 1000, hits = 900;
+    ti.perturbSnapshot(500, 400, refs, hits);
+    EXPECT_GT(static_cast<uint32_t>(hits - 400),
+              static_cast<uint32_t>(refs - 500));
+    EXPECT_EQ(ti.stats().tornSnapshots, 1u);
+
+    FaultPlan noise;
+    noise.readNoiseProb = 1.0;
+    noise.readNoiseFactorMax = 16.0;
+    FaultInjector ni(noise, 5);
+    refs = 1000;
+    hits = 900;
+    ni.perturbSnapshot(500, 400, refs, hits);
+    EXPECT_GT(refs, 1000u); // delta scaled up
+    EXPECT_EQ(ni.stats().readsNoised, 1u);
+
+    FaultPlan loss;
+    loss.sampleLossProb = 1.0;
+    FaultInjector li(loss, 5);
+    for (int i = 0; i < 16; ++i) {
+        refs = 1000;
+        hits = 900;
+        li.perturbSnapshot(500, 400, refs, hits);
+    }
+    EXPECT_EQ(li.stats().samplesLost, 16u);
+}
+
+TEST(FaultInjectorTest, PerturbShareClassesBehaveAsDocumented)
+{
+    FaultPlan drop;
+    drop.shareDropProb = 1.0;
+    FaultInjector di(drop, 9);
+    ThreadId dst = 3;
+    double q = 0.5;
+    EXPECT_TRUE(di.perturbShare(1, dst, q, 8).drop);
+    EXPECT_EQ(di.stats().sharesDropped, 1u);
+
+    FaultPlan wrong;
+    wrong.shareWrongQProb = 1.0;
+    FaultInjector wi(wrong, 9);
+    bool out_of_range = false;
+    for (int i = 0; i < 64; ++i) {
+        q = 0.5;
+        dst = 3;
+        wi.perturbShare(1, dst, q, 8);
+        EXPECT_GE(q, -0.5);
+        EXPECT_LE(q, 1.5);
+        if (q < 0.0 || q > 1.0)
+            out_of_range = true;
+    }
+    EXPECT_TRUE(out_of_range); // the clamp path gets exercised
+    EXPECT_EQ(wi.stats().sharesMisweighted, 64u);
+
+    FaultPlan dangle;
+    dangle.shareDanglingProb = 1.0;
+    FaultInjector gi(dangle, 9);
+    std::set<ThreadId> dsts;
+    for (int i = 0; i < 64; ++i) {
+        q = 0.5;
+        dst = 3;
+        gi.perturbShare(1, dst, q, 8);
+        EXPECT_LT(dst, ThreadId(8 + 4));
+        dsts.insert(dst);
+    }
+    EXPECT_GT(dsts.size(), 1u);
+    EXPECT_EQ(gi.stats().sharesRedirected, 64u);
+
+    FaultPlan churn;
+    churn.shareChurnProb = 1.0;
+    FaultInjector ci(churn, 9);
+    q = 0.5;
+    dst = 3;
+    ShareFault f = ci.perturbShare(1, dst, q, 8);
+    EXPECT_TRUE(f.churn);
+    EXPECT_GE(f.churnQ, 0.0);
+    EXPECT_LE(f.churnQ, 1.0);
+    EXPECT_EQ(ci.stats().sharesChurned, 1u);
+}
+
+TEST(FaultInjectorTest, CounterChaosDegradesGracefullyAndRecovers)
+{
+    // The flagship scenario: aggressive counter corruption. Output must
+    // verify, the plausibility checks must fire, the scheduler must dip
+    // into fallback and climb back out.
+    for (PolicyKind policy : {PolicyKind::LFF, PolicyKind::CRT}) {
+        FaultInjector inj(FaultPlan::counterChaos(), 11);
+        RunMetrics r = runFaulted("merge", policy, 2, &inj);
+        EXPECT_TRUE(r.verified) << policyName(policy);
+        EXPECT_GT(r.degradation.faultEvents, 0u);
+        EXPECT_GT(r.degradation.implausibleSamples, 0u);
+        EXPECT_GE(r.degradation.fallbackActivations, 1u)
+            << policyName(policy);
+        EXPECT_GE(r.degradation.fallbackRecoveries, 1u)
+            << policyName(policy);
+        EXPECT_GT(r.degradation.fallbackIntervals, 0u);
+    }
+}
+
+TEST(FaultInjectorTest, AnnotationChaosNeverAffectsCorrectness)
+{
+    // Annotations are hints: corrupting every at_share() call may cost
+    // locality but must not touch correctness or trip the counter
+    // plausibility checks (the counter surface is untouched).
+    setLogThrowMode(false); // dangling-id warnings are expected
+    FaultInjector inj(FaultPlan::annotationChaos(), 13);
+    RunMetrics r = runFaulted("merge", PolicyKind::LFF, 2, &inj);
+    EXPECT_TRUE(r.verified);
+    EXPECT_GT(r.degradation.faultEvents, 0u);
+    const FaultStats &s = inj.stats();
+    EXPECT_GT(s.sharesDropped + s.sharesMisweighted +
+                  s.sharesRedirected + s.sharesChurned,
+              0u);
+    EXPECT_EQ(r.degradation.implausibleSamples, 0u);
+    EXPECT_EQ(r.degradation.fallbackActivations, 0u);
+}
+
+TEST(FaultInjectorTest, FullChaosEveryWorkloadTerminatesVerified)
+{
+    // Never crash, never hang, never wrong output — across all ten
+    // workloads under the kitchen-sink plan.
+    for (const char *name : allWorkloads) {
+        FaultInjector inj(FaultPlan::fullChaos(),
+                          SweepRunner::deriveSeed(0xc4a05, 1));
+        RunMetrics r = runFaulted(name, PolicyKind::LFF, 2, &inj);
+        EXPECT_TRUE(r.verified) << name;
+        EXPECT_GT(r.degradation.faultEvents, 0u) << name;
+    }
+}
+
+TEST(FaultInjectorTest, JobFaultDecisionsAreStablePerIndex)
+{
+    FaultPlan plan;
+    plan.jobThrowProb = 0.5;
+    plan.jobHangProb = 0.25;
+    FaultInjector a(plan, 17);
+    FaultInjector b(plan, 17);
+    bool saw_throw = false, saw_hang = false, saw_none = false;
+    for (size_t i = 0; i < 64; ++i) {
+        FaultInjector::JobFault fa = a.jobFault(i);
+        FaultInjector::JobFault fb = b.jobFault(i);
+        EXPECT_EQ(static_cast<int>(fa.kind), static_cast<int>(fb.kind));
+        switch (fa.kind) {
+          case FaultInjector::JobFaultKind::Throw: saw_throw = true; break;
+          case FaultInjector::JobFaultKind::Hang:
+            saw_hang = true;
+            EXPECT_DOUBLE_EQ(fa.seconds, plan.jobHangSeconds);
+            break;
+          case FaultInjector::JobFaultKind::None: saw_none = true; break;
+        }
+    }
+    EXPECT_TRUE(saw_throw);
+    EXPECT_TRUE(saw_hang);
+    EXPECT_TRUE(saw_none);
+}
+
+TEST(FaultInjectorTest, InjectJobFaultsExercisesSweepHardening)
+{
+    // Sabotage a sweep with injected throws and hangs; the hardened
+    // runner must retry past them (throws are sticky per index, so the
+    // survivors are exactly the un-sabotaged jobs) and collect the rest
+    // into an ordered failure list.
+    FaultPlan plan;
+    plan.jobThrowProb = 0.4;
+    plan.jobHangSeconds = 0.01;
+    plan.jobHangProb = 0.3;
+    FaultInjector inj(plan, 23);
+
+    constexpr size_t n = 24;
+    std::vector<SweepJob> jobs;
+    for (size_t i = 0; i < n; ++i) {
+        jobs.push_back({"job" + std::to_string(i), [i] {
+                            RunMetrics m;
+                            m.makespan = i;
+                            m.verified = true;
+                            return m;
+                        }});
+    }
+    injectJobFaults(jobs, inj);
+    EXPECT_GT(inj.stats().jobsThrown, 0u);
+    EXPECT_GT(inj.stats().jobsHung, 0u);
+
+    SweepOptions options;
+    options.maxAttempts = 2;
+    SweepOutcome outcome = SweepRunner(4).runCollect(jobs, options);
+    ASSERT_EQ(outcome.results.size(), n);
+    EXPECT_FALSE(outcome.complete());
+    size_t failed = 0;
+    for (size_t i = 0; i < n; ++i) {
+        FaultInjector::JobFault f = FaultInjector(plan, 23).jobFault(i);
+        if (f.kind == FaultInjector::JobFaultKind::Throw) {
+            EXPECT_FALSE(outcome.ok[i]) << i;
+            ++failed;
+        } else {
+            // Hung jobs just run slower; no timeout configured here.
+            EXPECT_TRUE(outcome.ok[i]) << i;
+            EXPECT_EQ(outcome.results[i].makespan, i);
+        }
+    }
+    ASSERT_EQ(outcome.failures.size(), failed);
+    for (const SweepJobFailure &f : outcome.failures) {
+        EXPECT_EQ(f.attempts, 2u);
+        EXPECT_NE(f.message.find("injected fault"), std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace atl

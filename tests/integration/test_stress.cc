@@ -124,6 +124,10 @@ fuzz(PolicyKind policy, unsigned n_cpus, uint64_t seed)
     result->counter = result->counter;
     FuzzResult out = *result;
     out.completed = result->completed;
+    // The worker closure captures make_worker by value so children can
+    // recurse; break that shared_ptr cycle or the whole capture set
+    // (mutex, semaphore, result) outlives the test.
+    *make_worker = nullptr;
     return out;
 }
 

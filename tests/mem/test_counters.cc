@@ -91,11 +91,38 @@ TEST(PerfCountersTest, MissesBetweenHandlesBothWrapping)
               256u);
 }
 
-TEST(PerfCountersTest, MoreHitsThanRefsPanics)
+// Satellite regression (torn counter reads): a snapshot pair where the
+// hit delta exceeds the ref delta is physically impossible on a sane
+// read, but a torn read (PIC0 and PIC1 sampled at different points of a
+// racing interval) can produce it. The old code asserted; the hardened
+// version clamps to 0 misses rather than underflowing to ~2^32.
+TEST(PerfCountersTest, TornReadClampsToZero)
 {
-    setLogThrowMode(true);
-    EXPECT_THROW(PerfCounters::missesBetween(0, 0, 10, 20), LogError);
+    setLogThrowMode(true); // would surface any leftover assert
+    EXPECT_EQ(PerfCounters::missesBetween(0, 0, 10, 20), 0u);
     setLogThrowMode(false);
+}
+
+TEST(PerfCountersTest, TornReadClampsAcrossSingleWrap)
+{
+    // refs wrapped during the interval (delta 20) but the torn hits
+    // delta (100) is even larger — still 0, not 2^32 - 80.
+    uint32_t refs_before = 0xfffffff0u, refs_now = 4; // +20
+    uint32_t hits_before = 50, hits_now = 150;        // +100 (torn)
+    EXPECT_EQ(PerfCounters::missesBetween(refs_before, hits_before,
+                                          refs_now, hits_now),
+              0u);
+}
+
+TEST(PerfCountersTest, TornReadClampsAcrossDoubleWrap)
+{
+    // Both counters wrap; modular hit delta (512) still exceeds the
+    // modular ref delta (256).
+    uint32_t refs_before = 0xffffff80u, refs_now = 0x00000080u; // +256
+    uint32_t hits_before = 0xffffff00u, hits_now = 0x00000100u; // +512
+    EXPECT_EQ(PerfCounters::missesBetween(refs_before, hits_before,
+                                          refs_now, hits_now),
+              0u);
 }
 
 TEST(PerfCountersTest, PicIndexOutOfRangePanics)

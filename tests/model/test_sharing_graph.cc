@@ -7,7 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <utility>
+
 #include "atl/model/sharing_graph.hh"
+#include "atl/util/logging.hh"
+#include "atl/util/rng.hh"
 
 namespace atl
 {
@@ -162,6 +168,79 @@ TEST(SharingGraphTest, ManyThreadsStressAndCleanup)
     for (ThreadId t = 0; t < n; ++t)
         g.removeThread(t);
     EXPECT_EQ(g.edgeCount(), 0u);
+}
+
+TEST(SharingGraphTest, PropertyFuzzAgainstShadowModel)
+{
+    // Satellite: 10,000 random operations — shares with out-of-range
+    // coefficients, self-edges, dangling destinations and interleaved
+    // removeThread calls — checked against a trivially correct shadow
+    // map. The graph must clamp instead of throwing (setLogThrowMode
+    // turns any stray atl_panic/atl_fatal into a test failure) and its
+    // aggregate invariants must hold after every batch.
+    setLogThrowMode(true);
+    SharingGraph g;
+    std::map<std::pair<ThreadId, ThreadId>, double> shadow;
+    Rng rng(0xf0221);
+    constexpr ThreadId kIds = 32;
+
+    auto checkInvariants = [&] {
+        EXPECT_EQ(g.edgeCount(), shadow.size());
+        for (const auto &[key, q] : shadow) {
+            EXPECT_DOUBLE_EQ(g.coefficient(key.first, key.second), q);
+            EXPECT_GE(q, 0.0);
+            EXPECT_LE(q, 1.0);
+        }
+        // Per-node consistency: out-degree matches the shadow and
+        // every edge weight is in range.
+        for (ThreadId t = 0; t < kIds; ++t) {
+            size_t shadow_deg = 0;
+            for (const auto &[key, q] : shadow)
+                if (key.first == t)
+                    ++shadow_deg;
+            EXPECT_EQ(g.outDegree(t), shadow_deg);
+            for (const SharingEdge &e : g.outEdges(t)) {
+                EXPECT_GE(e.q, 0.0);
+                EXPECT_LE(e.q, 1.0);
+                EXPECT_NE(e.dest, t);
+            }
+        }
+    };
+
+    for (unsigned op = 0; op < 10000; ++op) {
+        if (rng.chance(0.05)) {
+            // Reap a random thread (sometimes one with no edges, and
+            // sometimes an id the graph has never seen).
+            ThreadId victim = ThreadId(rng.below(kIds + 8));
+            g.removeThread(victim);
+            for (auto it = shadow.begin(); it != shadow.end();) {
+                if (it->first.first == victim ||
+                    it->first.second == victim)
+                    it = shadow.erase(it);
+                else
+                    ++it;
+            }
+        } else {
+            ThreadId src = ThreadId(rng.below(kIds));
+            // ~10% dangling destinations beyond the live id range.
+            ThreadId dst = ThreadId(rng.below(kIds + 3));
+            // q spans [-1, 2): roughly a third of samples out of range.
+            double q = -1.0 + rng.uniform() * 3.0;
+            g.share(src, dst, q);
+            if (src == dst)
+                continue; // self-arcs ignored
+            double clamped = std::clamp(q, 0.0, 1.0);
+            if (clamped == 0.0)
+                shadow.erase({src, dst});
+            else
+                shadow[{src, dst}] = clamped;
+        }
+        if (op % 500 == 0)
+            checkInvariants();
+    }
+    checkInvariants();
+    EXPECT_GT(g.clampCount(), 0u);
+    setLogThrowMode(false);
 }
 
 } // namespace

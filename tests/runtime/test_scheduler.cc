@@ -370,6 +370,96 @@ TEST(SchedulerTest, ZeroThresholdKeepsEverythingInHeaps)
     EXPECT_EQ(done, 16);
 }
 
+TEST(SchedulerTest, CleanSamplesNeverTouchDegradationState)
+{
+    // The graceful-degradation machinery must be invisible on plausible
+    // samples: full confidence, no fallback, all counters zero.
+    // The machine has no miss history yet, so the only plausible
+    // sample carries zero misses (interval misses are bounded by the
+    // processor's cumulative total).
+    Machine m(policyCfg(PolicyKind::LFF));
+    ThreadId t = m.spawn([] {});
+    Scheduler &sched = m.scheduler();
+    for (int i = 0; i < 50; ++i)
+        sched.onBlock(m.thread(t), 0, /*misses=*/0,
+                      /*instructions=*/1000, /*refs=*/500, /*hits=*/490);
+    EXPECT_DOUBLE_EQ(sched.confidence(0), 1.0);
+    EXPECT_FALSE(sched.inFallback(0));
+    EXPECT_EQ(sched.degradation(), DegradationStats{});
+}
+
+TEST(SchedulerTest, ImplausibleSamplesDecayConfidenceIntoFallback)
+{
+    MachineConfig cfg = policyCfg(PolicyKind::LFF);
+    Machine m(cfg);
+    ThreadId t = m.spawn([] {});
+    Scheduler &sched = m.scheduler();
+
+    // Torn sample: hits > refs AND misses > refs. One hit at decay 0.5
+    // drops confidence to 0.5, below the 0.75 threshold.
+    sched.onBlock(m.thread(t), 0, /*misses=*/100, /*instructions=*/50,
+                  /*refs=*/40, /*hits=*/60);
+    EXPECT_LT(sched.confidence(0), cfg.confidenceThreshold);
+    EXPECT_TRUE(sched.inFallback(0));
+    const DegradationStats &d = sched.degradation();
+    EXPECT_EQ(d.implausibleSamples, 1u);
+    EXPECT_EQ(d.tornSamples, 1u);
+    EXPECT_GE(d.clampedMisses, 1u);
+    EXPECT_EQ(d.fallbackActivations, 1u);
+    EXPECT_EQ(d.fallbackRecoveries, 0u);
+
+    // Sane samples accumulate confidence back above the threshold.
+    int recovery_intervals = 0;
+    while (sched.inFallback(0) && recovery_intervals < 100) {
+        sched.onBlock(m.thread(t), 0, 0, 1000, 500, 490);
+        ++recovery_intervals;
+    }
+    EXPECT_FALSE(sched.inFallback(0));
+    EXPECT_EQ(sched.degradation().fallbackRecoveries, 1u);
+    // At 0.0625 recovery per sample, 0.5 -> 0.75 takes 4 samples. The
+    // torn interval plus the three spent below threshold ran in
+    // fallback mode; the fourth recovers before dispatch.
+    EXPECT_EQ(recovery_intervals, 4);
+    EXPECT_EQ(sched.degradation().fallbackIntervals, 4u);
+    // Degradation state is per-cpu: cpu-local damage stays local.
+    EXPECT_DOUBLE_EQ(sched.confidence(0), 0.75);
+}
+
+TEST(SchedulerTest, MissClampsCoverBothBounds)
+{
+    Machine m(policyCfg(PolicyKind::LFF));
+    ThreadId t = m.spawn([] {});
+    Scheduler &sched = m.scheduler();
+
+    // misses > refs (noisy read): clamped to refs.
+    sched.onBlock(m.thread(t), 0, /*misses=*/900, /*instructions=*/1000,
+                  /*refs=*/100, /*hits=*/50);
+    EXPECT_EQ(sched.degradation().clampedMisses, 1u);
+    // misses > instructions with refs unknown (legacy caller): clamped
+    // to the instruction count.
+    sched.onBlock(m.thread(t), 0, /*misses=*/5000, /*instructions=*/200);
+    EXPECT_EQ(sched.degradation().clampedMisses, 2u);
+    // Ratio-plausible but exceeding the cpu's cumulative miss history
+    // (zero on this idle machine): still clamped.
+    sched.onBlock(m.thread(t), 0, /*misses=*/50, /*instructions=*/1000,
+                  /*refs=*/500, /*hits=*/400);
+    EXPECT_EQ(sched.degradation().clampedMisses, 3u);
+    EXPECT_EQ(sched.degradation().tornSamples, 0u);
+    EXPECT_EQ(sched.degradation().implausibleSamples, 3u);
+}
+
+TEST(SchedulerTest, FcfsIgnoresCounterSamplesEntirely)
+{
+    // FCFS never reads the counters, so even garbage samples must not
+    // move the degradation state.
+    Machine m(policyCfg(PolicyKind::FCFS));
+    ThreadId t = m.spawn([] {});
+    Scheduler &sched = m.scheduler();
+    sched.onBlock(m.thread(t), 0, 100000, 1, 1, 100000);
+    EXPECT_EQ(sched.degradation(), DegradationStats{});
+    EXPECT_DOUBLE_EQ(sched.confidence(0), 1.0);
+}
+
 TEST(SchedulerTest, ExtensionsComposeWithRealWorkload)
 {
     // Fairness bypass + anomaly heuristic + locality policy together on

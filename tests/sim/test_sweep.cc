@@ -9,12 +9,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <stdexcept>
+#include <thread>
 
 #include "atl/sim/sweep.hh"
 #include "atl/util/json.hh"
+#include "atl/util/logging.hh"
 #include "atl/workloads/mergesort.hh"
 #include "atl/workloads/photo.hh"
 #include "atl/workloads/tasks.hh"
@@ -130,6 +133,150 @@ TEST(SweepRunnerTest, ExceptionsPropagateAfterDraining)
     EXPECT_EQ(completed.load(), 15u);
 }
 
+TEST(SweepRunnerTest, ForEachCollectsEveryFailure)
+{
+    // Multiple failing indices must all be reported, in index order,
+    // not just whichever worker threw first.
+    SweepRunner runner(4);
+    try {
+        runner.forEach(20, [](size_t i) {
+            if (i % 5 == 0)
+                throw std::runtime_error("idx " + std::to_string(i));
+        });
+        FAIL() << "expected SweepFailure";
+    } catch (const SweepFailure &e) {
+        ASSERT_EQ(e.failures().size(), 4u);
+        for (size_t k = 0; k < 4; ++k) {
+            EXPECT_EQ(e.failures()[k].index, k * 5);
+            EXPECT_NE(e.failures()[k].message.find(
+                          "idx " + std::to_string(k * 5)),
+                      std::string::npos);
+        }
+    }
+}
+
+TEST(SweepRunnerTest, ChurnOfFailingJobsDoesNotLoseSurvivors)
+{
+    // Satellite: N jobs where every 3rd throws. The pool must neither
+    // deadlock nor drop the surviving runs, and results stay in job
+    // order with failed slots flagged.
+    constexpr size_t n = 32;
+    std::vector<SweepJob> jobs;
+    for (size_t i = 0; i < n; ++i) {
+        jobs.push_back({"churn" + std::to_string(i), [i]() -> RunMetrics {
+                            if (i % 3 == 0)
+                                throw std::runtime_error(
+                                    "churn " + std::to_string(i));
+                            RunMetrics m;
+                            m.workload = "churn" + std::to_string(i);
+                            m.makespan = i;
+                            return m;
+                        }});
+    }
+    SweepOutcome outcome = SweepRunner(4).runCollect(jobs);
+    ASSERT_EQ(outcome.results.size(), n);
+    ASSERT_EQ(outcome.ok.size(), n);
+    EXPECT_FALSE(outcome.complete());
+    size_t expected_failures = 0;
+    for (size_t i = 0; i < n; ++i) {
+        if (i % 3 == 0) {
+            EXPECT_FALSE(outcome.ok[i]);
+            ++expected_failures;
+        } else {
+            EXPECT_TRUE(outcome.ok[i]);
+            EXPECT_EQ(outcome.results[i].workload,
+                      "churn" + std::to_string(i));
+            EXPECT_EQ(outcome.results[i].makespan, i);
+        }
+    }
+    ASSERT_EQ(outcome.failures.size(), expected_failures);
+    // Failures arrive sorted by job index with the job's name attached.
+    for (size_t k = 0; k < outcome.failures.size(); ++k) {
+        EXPECT_EQ(outcome.failures[k].index, k * 3);
+        EXPECT_EQ(outcome.failures[k].name,
+                  "churn" + std::to_string(k * 3));
+    }
+
+    // run() on the same jobs throws one SweepFailure carrying them all.
+    try {
+        SweepRunner(4).run(jobs);
+        FAIL() << "expected SweepFailure";
+    } catch (const SweepFailure &e) {
+        EXPECT_EQ(e.failures().size(), expected_failures);
+        EXPECT_NE(std::string(e.what()).find("churn 0"),
+                  std::string::npos);
+    }
+}
+
+TEST(SweepRunnerTest, TimeoutAbandonsHungJob)
+{
+    std::vector<SweepJob> jobs;
+    jobs.push_back({"hung", []() -> RunMetrics {
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(500));
+                        return RunMetrics{};
+                    }});
+    jobs.push_back({"quick", [] {
+                        RunMetrics m;
+                        m.workload = "quick";
+                        return m;
+                    }});
+    SweepOptions options;
+    options.timeoutSeconds = 0.05;
+    SweepOutcome outcome = SweepRunner(2).runCollect(jobs, options);
+    ASSERT_EQ(outcome.failures.size(), 1u);
+    EXPECT_EQ(outcome.failures[0].index, 0u);
+    EXPECT_TRUE(outcome.failures[0].timedOut);
+    EXPECT_NE(outcome.failures[0].message.find("timed out"),
+              std::string::npos);
+    EXPECT_TRUE(outcome.ok[1]);
+    EXPECT_EQ(outcome.results[1].workload, "quick");
+    // Give the abandoned detached thread time to finish before the test
+    // binary exits (it holds only copies, so this is pure hygiene).
+    std::this_thread::sleep_for(std::chrono::milliseconds(600));
+}
+
+TEST(SweepRunnerTest, RetryReseedsSeededBody)
+{
+    // A seeded job that fails on its first derived seed must be retried
+    // with a fresh one and succeed, recording the attempt count.
+    SweepOptions options;
+    options.maxAttempts = 3;
+    options.retrySeedBase = 99;
+    uint64_t seed0 =
+        SweepRunner::deriveSeed(SweepRunner::deriveSeed(99, 0), 0);
+    uint64_t seed1 =
+        SweepRunner::deriveSeed(SweepRunner::deriveSeed(99, 0), 1);
+    ASSERT_NE(seed0, seed1);
+
+    std::vector<SweepJob> jobs;
+    SweepJob job;
+    job.name = "flaky";
+    job.seededBody = [seed0](uint64_t seed) -> RunMetrics {
+        if (seed == seed0)
+            throw std::runtime_error("bad first seed");
+        RunMetrics m;
+        m.makespan = seed;
+        return m;
+    };
+    jobs.push_back(job);
+    SweepOutcome outcome = SweepRunner(1).runCollect(jobs, options);
+    EXPECT_TRUE(outcome.complete());
+    ASSERT_TRUE(outcome.ok[0]);
+    EXPECT_EQ(outcome.results[0].makespan, seed1);
+
+    // With retries exhausted the failure reports the attempt count.
+    SweepJob hopeless;
+    hopeless.name = "hopeless";
+    hopeless.seededBody = [](uint64_t) -> RunMetrics {
+        throw std::runtime_error("always");
+    };
+    std::vector<SweepJob> bad_jobs{hopeless};
+    SweepOutcome bad = SweepRunner(1).runCollect(bad_jobs, options);
+    ASSERT_EQ(bad.failures.size(), 1u);
+    EXPECT_EQ(bad.failures[0].attempts, 3u);
+}
+
 TEST(SweepRunnerTest, DeriveSeedIsDeterministicAndSpread)
 {
     EXPECT_EQ(SweepRunner::deriveSeed(1, 0), SweepRunner::deriveSeed(1, 0));
@@ -168,6 +315,13 @@ TEST(BenchReportTest, MetricsRoundTripThroughJsonText)
     m.refsIssued = 48000;
     m.refBlocks = 1500;
     m.hostSeconds = 0.25;
+    m.degradation.implausibleSamples = 7;
+    m.degradation.tornSamples = 2;
+    m.degradation.clampedMisses = 5;
+    m.degradation.fallbackActivations = 1;
+    m.degradation.fallbackRecoveries = 1;
+    m.degradation.fallbackIntervals = 40;
+    m.degradation.faultEvents = 12;
 
     // Serialise -> dump to text -> parse -> deserialise.
     std::string text = BenchReport::toJson(m).dump();
@@ -186,6 +340,12 @@ TEST(BenchReportTest, MetricsRoundTripThroughJsonText)
     EXPECT_DOUBLE_EQ(parsed.at("refs_per_sec").asNumber(), 48000.0 / 0.25);
     EXPECT_DOUBLE_EQ(parsed.at("batch_occupancy").asNumber(),
                      48000.0 / 1500.0);
+
+    // Schema-3 degradation counters round-trip too (covered by the
+    // EXPECT_EQ above via operator==, spot-check the document keys).
+    EXPECT_EQ(parsed.at("implausible_samples").asUint(), 7u);
+    EXPECT_EQ(parsed.at("fault_events").asUint(), 12u);
+    EXPECT_EQ(back.degradation, m.degradation);
 }
 
 TEST(BenchReportTest, FromJsonRejectsMalformedDocuments)
@@ -214,10 +374,63 @@ TEST(BenchReportTest, DocumentCarriesBenchNameAndRuns)
 
     const Json &doc = report.document();
     EXPECT_EQ(doc.at("bench").asString(), "bench_unit_test");
-    EXPECT_EQ(doc.at("schema").asUint(), 2u);
+    EXPECT_EQ(doc.at("schema").asUint(), 3u);
+    EXPECT_TRUE(doc.at("complete").asBool());
+    EXPECT_EQ(doc.at("failed_runs").items().size(), 0u);
     EXPECT_EQ(doc.at("platform").asString(), "test");
     ASSERT_EQ(doc.at("runs").items().size(), 2u);
     EXPECT_EQ(doc.at("runs").items()[0].at("workload").asString(), "w");
+}
+
+TEST(BenchReportTest, NoteOutcomeRecordsPartialSweeps)
+{
+    SweepOutcome outcome;
+    RunMetrics good;
+    good.workload = "survivor";
+    outcome.results = {good, RunMetrics{}};
+    outcome.ok = {1, 0};
+    SweepJobFailure f;
+    f.index = 1;
+    f.name = "victim";
+    f.message = "injected fault";
+    f.attempts = 2;
+    f.timedOut = true;
+    outcome.failures = {f};
+
+    BenchReport report("bench_unit_test");
+    report.noteOutcome(outcome);
+    const Json &doc = report.document();
+    EXPECT_FALSE(doc.at("complete").asBool());
+    ASSERT_EQ(doc.at("runs").items().size(), 1u);
+    EXPECT_EQ(doc.at("runs").items()[0].at("workload").asString(),
+              "survivor");
+    ASSERT_EQ(doc.at("failed_runs").items().size(), 1u);
+    const Json &fr = doc.at("failed_runs").items()[0];
+    EXPECT_EQ(fr.at("index").asUint(), 1u);
+    EXPECT_EQ(fr.at("name").asString(), "victim");
+    EXPECT_EQ(fr.at("message").asString(), "injected fault");
+    EXPECT_EQ(fr.at("attempts").asUint(), 2u);
+    EXPECT_TRUE(fr.at("timed_out").asBool());
+}
+
+TEST(BenchReportTest, WriteFailureIsFatalAndNamesThePath)
+{
+    // /dev/null/sub fails with ENOTDIR even when running as root, so
+    // this exercises the satellite's "clear error with path" contract
+    // without relying on permission bits.
+    setenv("ATL_RESULTS_DIR", "/dev/null/sub", 1);
+    setLogThrowMode(true);
+    BenchReport report("bench_unit_test");
+    try {
+        report.write();
+        FAIL() << "expected LogError from unwritable results dir";
+    } catch (const LogError &e) {
+        EXPECT_NE(std::string(e.what()).find("/dev/null/sub"),
+                  std::string::npos)
+            << e.what();
+    }
+    setLogThrowMode(false);
+    unsetenv("ATL_RESULTS_DIR");
 }
 
 TEST(BenchReportTest, WriteHonoursResultsDirOverride)
