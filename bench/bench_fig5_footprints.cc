@@ -13,10 +13,17 @@
  * generally good.
  */
 
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <memory>
+#include <sstream>
 
+#include "atl/obs/export.hh"
 #include "atl/sim/experiment.hh"
 #include "atl/sim/sweep.hh"
 #include "atl/util/table.hh"
@@ -76,6 +83,86 @@ runMonitored(MonitoredWorkload &w)
         r.finalPredicted = r.samples.back().predicted;
     }
     return r;
+}
+
+/**
+ * The fig5 barnes run again, under a locality policy and with an event
+ * log attached: the telemetry path of the same experiment. The
+ * Residual events the monitor emits must reproduce the figure's
+ * accuracy number exactly — summarizeTrace() with the same floor is
+ * just another reader of the same samples.
+ */
+AppResult
+runTracedBarnes(PolicyKind policy, EventLog &log)
+{
+    BarnesWorkload w(
+        {.bodies = 16384, .treeDepth = 4, .passes = 4, .seed = 31});
+
+    MachineConfig cfg;
+    cfg.numCpus = 1;
+    cfg.policy = policy;
+    cfg.modelSchedulerFootprint = false;
+    cfg.telemetry = &log;
+    Machine machine(cfg);
+    Tracer tracer(machine);
+    FootprintMonitor monitor(machine, tracer, 0, 128);
+
+    WorkloadEnv env{machine, &tracer};
+    w.setup(env);
+    w.onWorkStart([&] {
+        machine.flushAllCaches();
+        monitor.setDriver(w.workTid());
+        monitor.track(w.workTid(), FootprintMonitor::Kind::Executing);
+    });
+    machine.run();
+
+    AppResult r;
+    r.name = w.name();
+    r.verified = w.verify();
+    r.samples = monitor.samples(w.workTid());
+    r.meanError =
+        monitor.meanAbsRelError(w.workTid(), 128.0, &r.floorExcluded);
+    if (!r.samples.empty()) {
+        r.finalObserved = r.samples.back().observed;
+        r.finalPredicted = r.samples.back().predicted;
+    }
+    return r;
+}
+
+/** Write one text file under the results dir, loudly. */
+void
+writeResultsFile(const std::string &stem, const std::string &content)
+{
+    std::string dir = BenchReport::resultsDir();
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    std::string path = dir + "/" + stem;
+    std::ofstream out(path, std::ios::trunc);
+    out << content;
+    out.flush();
+    if (!out) {
+        std::cerr << "FAIL: cannot write " << path << "\n";
+        ++failures;
+        return;
+    }
+    std::cout << "wrote " << path << "\n";
+}
+
+/** Policies the ATL_TRACE_POLICY env selects (default: lff only). */
+std::vector<PolicyKind>
+tracedPolicies()
+{
+    const char *env = std::getenv("ATL_TRACE_POLICY");
+    std::string sel = env ? env : "lff";
+    if (sel == "all")
+        return {PolicyKind::FCFS, PolicyKind::LFF, PolicyKind::CRT};
+    if (sel == "fcfs")
+        return {PolicyKind::FCFS};
+    if (sel == "crt")
+        return {PolicyKind::CRT};
+    if (sel == "none")
+        return {};
+    return {PolicyKind::LFF};
 }
 
 /**
@@ -256,6 +343,53 @@ main()
     }
     table.print(std::cout);
     report.set("curves", std::move(curves));
+
+    // ---- Traced run: the barnes experiment with telemetry attached --
+    // The monitor's Residual events are the figure's samples seen
+    // through the event log; summarising them with the same floor must
+    // land on the same accuracy number, bit for bit — the telemetry
+    // path adds a reader, never a different answer.
+    for (PolicyKind policy : tracedPolicies()) {
+        EventLog log(TelemetryConfig{.capacity = 1 << 18});
+        AppResult traced = runTracedBarnes(policy, log);
+        std::string tag = policyName(policy);
+        for (char &c : tag)
+            c = static_cast<char>(std::tolower(c));
+
+        TraceSummary summary = summarizeTrace(log, 128.0);
+        if (log.dropped() != 0) {
+            std::cerr << "FAIL: trace(" << tag << ") dropped "
+                      << log.dropped() << " events\n";
+            ++failures;
+        }
+        if (!traced.verified) {
+            std::cerr << "FAIL: traced barnes(" << tag
+                      << ") did not verify\n";
+            ++failures;
+        }
+        double gap = std::fabs(summary.residualMeanAbsRelError -
+                               traced.meanError);
+        if (gap > 1e-9 ||
+            summary.residualSamplesUsed + summary.residualSamplesBelowFloor !=
+                traced.samples.size()) {
+            std::cerr << "FAIL: trace(" << tag << ") residual error "
+                      << summary.residualMeanAbsRelError
+                      << " disagrees with the monitor's "
+                      << traced.meanError << "\n";
+            ++failures;
+        }
+
+        writeResultsFile("trace_fig5_" + tag + ".json",
+                         perfettoTrace(log, "fig5-barnes-" + tag).dump());
+        std::ostringstream text;
+        printTraceSummary(summary, text, "fig5 barnes under " +
+                                             std::string(policyName(policy)));
+        writeResultsFile("trace_fig5_" + tag + "_summary.txt", text.str());
+        std::cout << text.str();
+        if (policy == PolicyKind::LFF)
+            report.set("telemetry", traceSummaryJson(summary));
+    }
+
     report.write();
 
     if (failures) {

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "atl/obs/event_log.hh"
 #include "atl/runtime/context.hh"
 #include "atl/runtime/machine.hh"
 #include "atl/runtime/refbatch.hh"
@@ -112,6 +113,42 @@ BM_HotPathRefThroughput(benchmark::State &state)
         dt * 1e9 / static_cast<double>(target);
 }
 BENCHMARK(BM_HotPathRefThroughput)->Iterations(1);
+
+void
+BM_HotPathRefThroughputTelemetry(benchmark::State &state)
+{
+    // The same stream with an event log attached: telemetry records
+    // only at scheduling points, so even the *enabled* feature must be
+    // invisible on the per-reference path (perf_gate.sh holds this
+    // within 2% of BM_HotPathRefThroughput, which also bounds the
+    // disabled path — a null-pointer test per interval — from above).
+    MachineConfig cfg;
+    cfg.modelSchedulerFootprint = false;
+    EventLog log;
+    cfg.telemetry = &log;
+    Machine m(cfg);
+    constexpr uint64_t lines = 4096;
+    constexpr uint64_t target = 4000000;
+    VAddr va = m.alloc(lines * 64, 64);
+    m.spawn([&] {
+        RefBatch batch(m);
+        for (uint64_t i = 0; i < target; ++i)
+            batch.read(va + (i % lines) * 64, 4);
+    });
+    auto t0 = std::chrono::steady_clock::now();
+    m.run();
+    auto dt = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dt);
+    state.counters["refs_per_sec"] = static_cast<double>(target) / dt;
+    state.counters["ns_per_ref"] =
+        dt * 1e9 / static_cast<double>(target);
+    state.counters["events_recorded"] =
+        static_cast<double>(log.recorded());
+}
+BENCHMARK(BM_HotPathRefThroughputTelemetry)->Iterations(1);
 
 void
 BM_HotPathScalarRefThroughput(benchmark::State &state)

@@ -9,11 +9,13 @@
 #ifndef ATL_BENCH_POLICY_MATRIX_HH
 #define ATL_BENCH_POLICY_MATRIX_HH
 
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "atl/obs/event_log.hh"
 #include "atl/sim/experiment.hh"
 #include "atl/sim/sweep.hh"
 #include "atl/util/table.hh"
@@ -97,18 +99,33 @@ runMatrix(unsigned n_cpus, int &failures,
     constexpr PolicyKind policies[] = {PolicyKind::FCFS, PolicyKind::LFF,
                                        PolicyKind::CRT};
 
+    // ATL_TRACE=1 attaches an event log to the first application's run
+    // under each policy; the sweep engine prints their
+    // atl-trace-summary blocks once the pool is quiet. Logs are owned
+    // here so they outlive the sweep that fills and summarises them.
+    const char *trace_env = std::getenv("ATL_TRACE");
+    bool trace = trace_env && *trace_env && std::string(trace_env) != "0";
+    std::vector<std::unique_ptr<EventLog>> logs;
+
     std::vector<SweepJob> jobs;
     for (const char *app : apps) {
         for (PolicyKind policy : policies) {
             std::string name =
                 std::string(app) + "/" + policyName(policy);
-            jobs.push_back({name, [app, policy, n_cpus] {
+            EventLog *log = nullptr;
+            if (trace && app == apps[0]) {
+                logs.push_back(std::make_unique<EventLog>(
+                    TelemetryConfig{.capacity = 1 << 16}));
+                log = logs.back().get();
+            }
+            jobs.push_back({name, [app, policy, n_cpus, log] {
                                 auto workload = makeTable4Workload(app);
-                                return runWorkload(
-                                    *workload,
-                                    platformConfig(n_cpus, policy),
-                                    false);
+                                MachineConfig cfg =
+                                    platformConfig(n_cpus, policy);
+                                cfg.telemetry = log;
+                                return runWorkload(*workload, cfg, false);
                             }});
+            jobs.back().trace = log;
         }
     }
 

@@ -3,20 +3,27 @@
 # regenerate every paper table/figure through the sweep engine. Exits
 # non-zero on the first failed shape check.
 #
-# Usage: check.sh [--jobs N] [--perf] [--asan]
+# Usage: check.sh [--jobs N] [--perf] [--asan] [--trace]
 #   --jobs N   worker threads per bench sweep (exported as
 #              ATL_SWEEP_JOBS; default: all cores)
 #   --perf     also run scripts/perf_gate.sh (hot-path throughput
-#              against the committed baseline; fails on >10% regression)
+#              against the committed baseline; fails on >10% regression,
+#              or >2% telemetry overhead on the reference hot path)
 #   --asan     build into build-asan/ with AddressSanitizer + UBSan
 #              (-DATL_SANITIZE=ON) and run the full test suite — the
 #              tier-1 tests plus the fault-injection suite — under the
 #              sanitizers, then exit (benches are skipped)
+#   --trace    build, then run the fig5 bench with ATL_TRACE_POLICY=all
+#              and validate every exported Perfetto trace (well-formed
+#              trace_event JSON, monotonic ts per track, non-negative
+#              slice durations) plus the report's schema-4 telemetry
+#              keys, then exit (other benches are skipped)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUN_PERF=0
 RUN_ASAN=0
+RUN_TRACE=0
 
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -37,6 +44,10 @@ while [ $# -gt 0 ]; do
         RUN_ASAN=1
         shift
         ;;
+      --trace)
+        RUN_TRACE=1
+        shift
+        ;;
       *)
         echo "unknown argument: $1" >&2
         exit 2
@@ -49,6 +60,82 @@ if [ "$RUN_ASAN" -eq 1 ]; then
     cmake --build build-asan
     ctest --test-dir build-asan -j "$(nproc)" --output-on-failure
     echo "ASAN/UBSAN CHECKS PASSED"
+    exit 0
+fi
+
+if [ "$RUN_TRACE" -eq 1 ]; then
+    cmake -B build -G Ninja
+    cmake --build build
+    echo "==== trace validation: fig5 under ATL_TRACE_POLICY=all"
+    ATL_TRACE_POLICY=all build/bench/bench_fig5_footprints > /dev/null
+    python3 - <<'PYEOF'
+import json, sys
+from collections import defaultdict
+
+failed = 0
+for tag in ("fcfs", "lff", "crt"):
+    path = f"results/trace_fig5_{tag}.json"
+    try:
+        doc = json.load(open(path))
+    except (OSError, ValueError) as e:
+        print(f"{path}: {e}", file=sys.stderr)
+        failed = 1
+        continue
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        print(f"{path}: no traceEvents array", file=sys.stderr)
+        failed = 1
+        continue
+    last = defaultdict(lambda: None)
+    for e in events:
+        ph = e.get("ph")
+        if ph not in ("M", "X", "i", "C"):
+            print(f"{path}: unexpected phase {ph!r}", file=sys.stderr)
+            failed = 1
+            break
+        if ph == "M":
+            continue  # metadata records carry no timestamp ordering
+        track = (e.get("pid"), e.get("tid"))
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)):
+            print(f"{path}: event without ts: {e}", file=sys.stderr)
+            failed = 1
+            break
+        if last[track] is not None and ts < last[track]:
+            print(f"{path}: ts went backwards on track {track}: "
+                  f"{last[track]} -> {ts}", file=sys.stderr)
+            failed = 1
+            break
+        last[track] = ts
+        if ph == "X" and e.get("dur", 0) < 0:
+            print(f"{path}: negative slice duration: {e}",
+                  file=sys.stderr)
+            failed = 1
+            break
+    else:
+        print(f"{path}: OK ({len(events)} events)")
+
+report = json.load(open("results/bench_fig5_footprints.json"))
+if report.get("schema") != 4:
+    print(f"fig5 report: schema is {report.get('schema')!r}, expected 4",
+          file=sys.stderr)
+    failed = 1
+telemetry = report.get("telemetry")
+if not isinstance(telemetry, dict):
+    print("fig5 report: no schema-4 'telemetry' object", file=sys.stderr)
+    failed = 1
+else:
+    for key in ("events", "counts", "residuals", "interval_cycles",
+                "switch_cost_cycles", "fallback_timeline"):
+        if key not in telemetry:
+            print(f"fig5 report: telemetry is missing '{key}'",
+                  file=sys.stderr)
+            failed = 1
+if failed:
+    sys.exit(1)
+print("trace validation OK")
+PYEOF
+    echo "TRACE CHECKS PASSED"
     exit 0
 fi
 
@@ -84,17 +171,18 @@ for b in build/bench/bench_*; do
         echo "MISSING: $json" >&2
         missing=1
     elif command -v python3 >/dev/null 2>&1; then
-        # Parse, and hold every RunMetrics entry to the schema-3
-        # contract (host diagnostics and degradation counters included).
-        # An incomplete sweep (lost runs) is a bench failure even when
-        # the binary itself exited zero.
+        # Parse, and hold every RunMetrics entry to the schema-4
+        # contract (host diagnostics and degradation counters included;
+        # the schema-4 "telemetry" object is optional per bench). An
+        # incomplete sweep (lost runs) is a bench failure even when the
+        # binary itself exited zero.
         if ! python3 - "$json" <<'PYEOF' >&2
 import json, sys
 doc = json.load(open(sys.argv[1]))
 if "bench" not in doc:
     sys.exit(0)  # google-benchmark native format, not a BenchReport
-if doc.get("schema") != 3:
-    print(f"{sys.argv[1]}: schema is {doc.get('schema')!r}, expected 3")
+if doc.get("schema") != 4:
+    print(f"{sys.argv[1]}: schema is {doc.get('schema')!r}, expected 4")
     sys.exit(1)
 if doc.get("complete") is not True:
     print(f"{sys.argv[1]}: sweep incomplete, failed runs: "

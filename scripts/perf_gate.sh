@@ -6,6 +6,13 @@
 # regresses more than 10% against the committed baseline in
 # scripts/perf_baseline.json.
 #
+# Also gates telemetry overhead on the reference hot path: the paired
+# BM_HotPathRefThroughputTelemetry run (same stream, event log attached)
+# must stay within 2% of BM_HotPathRefThroughput. Telemetry records only
+# at scheduling points, so the per-reference path may not slow down even
+# with the feature enabled — which bounds the disabled path (one null
+# check per interval) from above. Self-relative, so machine-independent.
+#
 # Usage: perf_gate.sh [--repeats N] [--update-baseline] [--allow-regression]
 #   --repeats N         passes per benchmark; best-of-N is kept (default 5)
 #   --update-baseline   rewrite scripts/perf_baseline.json from this run
@@ -109,8 +116,25 @@ for name, floor in sorted(baseline.items()):
                       f"{100 * (1 - got / floor):.0f}% below the "
                       f"baseline {floor / 1e6:.1f} Mrefs/s")
 
+# Telemetry overhead gate: self-relative, best-of-N on both sides.
+plain = best.get("BM_HotPathRefThroughput")
+telem = best.get("BM_HotPathRefThroughputTelemetry")
+if plain is None or telem is None:
+    failed.append("telemetry gate: BM_HotPathRefThroughput{,Telemetry} "
+                  "pair missing from run")
+elif telem < 0.98 * plain:
+    failed.append(f"telemetry overhead: {telem / 1e6:.1f} Mrefs/s with "
+                  f"an event log attached is "
+                  f"{100 * (1 - telem / plain):.1f}% below the plain "
+                  f"hot path {plain / 1e6:.1f} Mrefs/s (limit 2%)")
+else:
+    print(f"perf_gate: telemetry overhead "
+          f"{100 * (1 - telem / plain):+.1f}% on the ref hot path "
+          "(limit 2%)")
+
 if failed:
-    print("perf_gate: REGRESSION (>10% below baseline)", file=sys.stderr)
+    print("perf_gate: REGRESSION (>10% below baseline, "
+          "or telemetry overhead >2%)", file=sys.stderr)
     for line in failed:
         print(f"  {line}", file=sys.stderr)
     if os.environ["ALLOW"] == "1":

@@ -77,12 +77,12 @@ FaultInjector::picBias(CpuId cpu, unsigned pic)
     return 0xFFFF0000u + static_cast<uint32_t>(_rng.below(0x8000));
 }
 
-void
+bool
 FaultInjector::perturbSnapshot(uint32_t refs_snap, uint32_t hits_snap,
                                uint32_t &refs_now, uint32_t &hits_now)
 {
     if (!_active)
-        return;
+        return false;
     if (_plan.sampleLossProb > 0.0 && _rng.chance(_plan.sampleLossProb)) {
         _stats.samplesLost++;
         if (_rng.chance(0.5)) {
@@ -95,7 +95,7 @@ FaultInjector::perturbSnapshot(uint32_t refs_snap, uint32_t hits_snap,
             refs_now = static_cast<uint32_t>(_rng.next());
             hits_now = static_cast<uint32_t>(_rng.next());
         }
-        return;
+        return true;
     }
     if (_plan.readNoiseProb > 0.0 && _rng.chance(_plan.readNoiseProb)) {
         _stats.readsNoised++;
@@ -105,7 +105,7 @@ FaultInjector::perturbSnapshot(uint32_t refs_snap, uint32_t hits_snap,
         refs_now = refs_snap +
                    static_cast<uint32_t>(static_cast<double>(refs_delta) *
                                          factor);
-        return;
+        return true;
     }
     if (_plan.tornSnapshotProb > 0.0 && _rng.chance(_plan.tornSnapshotProb)) {
         _stats.tornSnapshots++;
@@ -114,7 +114,9 @@ FaultInjector::perturbSnapshot(uint32_t refs_snap, uint32_t hits_snap,
         uint32_t refs_delta = refs_now - refs_snap;
         hits_now = hits_snap + refs_delta + 1 +
                    static_cast<uint32_t>(_rng.below(64));
+        return true;
     }
+    return false;
 }
 
 ShareFault

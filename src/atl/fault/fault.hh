@@ -155,8 +155,10 @@ class FaultInjector
      * Perturb an end-of-interval PIC reading in place. The snapshot
      * taken at dispatch is the reference point; only the reading is
      * corrupted, never the counters themselves.
+     * @return true when the reading was perturbed (the machine tags the
+     *         interval's telemetry sample as faulted)
      */
-    void perturbSnapshot(uint32_t refs_snap, uint32_t hits_snap,
+    bool perturbSnapshot(uint32_t refs_snap, uint32_t hits_snap,
                          uint32_t &refs_now, uint32_t &hits_now);
 
     /**

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Fixed-capacity telemetry ring buffer. A machine (or experiment
+ * driver) holding an EventLog pointer records typed events at its
+ * existing hook points; with no log attached the entire subsystem
+ * costs one pointer test per hook (the disabled-path invariant the
+ * telemetry tests assert: RunMetrics are bit-identical with and
+ * without a log).
+ *
+ * Overflow policy: the ring overwrites the *oldest* events and counts
+ * what it dropped — a trace of the end of a long run is worth more
+ * than a trace of its warm-up, and the recorded/dropped counters let
+ * exporters say exactly what the window covers. Recording never
+ * allocates after construction except for the warning string table.
+ */
+
+#ifndef ATL_OBS_EVENT_LOG_HH
+#define ATL_OBS_EVENT_LOG_HH
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "atl/obs/event.hh"
+
+namespace atl
+{
+
+/** What a log captures. All categories on by default; the single
+ *  telemetry branch in each hook also tests its category flag. */
+struct TelemetryConfig
+{
+    /** Ring capacity in events (must be >= 1). */
+    size_t capacity = 1 << 16;
+    /** Record dispatches (Switch events). */
+    bool switches = true;
+    /** Record PIC samples and interval ends. */
+    bool intervals = true;
+    /** Record anomaly / fallback transitions. */
+    bool degradation = true;
+    /** Record fault-injector perturbations. */
+    bool faults = true;
+    /** Record model-residual samples. */
+    bool residuals = true;
+    /** Capture logged warnings as events. */
+    bool warnings = true;
+};
+
+/** Bounded event ring with overwrite-oldest overflow. */
+class EventLog
+{
+  public:
+    explicit EventLog(const TelemetryConfig &config = TelemetryConfig());
+
+    /** Configuration in force. */
+    const TelemetryConfig &config() const { return _config; }
+
+    /** Append one event (overwrites the oldest beyond capacity). */
+    void record(const Event &event);
+
+    /** Record a Warning event, interning the message. Messages beyond
+     *  the string-table cap reuse slot 0 ("<message table full>"). */
+    void recordWarning(Cycles time, std::string_view message);
+
+    /** Events currently retained (<= capacity). */
+    size_t size() const { return _events.size(); }
+
+    /** Events ever recorded, dropped ones included. */
+    uint64_t recorded() const { return _recorded; }
+
+    /** Events the ring overwrote (recorded - retained). */
+    uint64_t dropped() const { return _recorded - _events.size(); }
+
+    /** Retained events, oldest first. */
+    std::vector<Event> events() const;
+
+    /** i-th retained event, oldest first (no bounds check). */
+    const Event &at(size_t i) const
+    {
+        return _events[(_head + i) % _events.size()];
+    }
+
+    /** Warning string by table index. */
+    const std::string &string(uint64_t index) const;
+
+    /** Warning string table size. */
+    size_t stringCount() const { return _strings.size(); }
+
+    /** Total warnings recorded (for the Warning event payload). */
+    uint64_t warningCount() const { return _warnings; }
+
+    /** Forget everything (config and capacity kept). */
+    void clear();
+
+  private:
+    TelemetryConfig _config;
+    std::vector<Event> _events;
+    /** Index of the oldest retained event once the ring has wrapped. */
+    size_t _head = 0;
+    uint64_t _recorded = 0;
+    uint64_t _warnings = 0;
+    std::vector<std::string> _strings;
+};
+
+} // namespace atl
+
+#endif // ATL_OBS_EVENT_LOG_HH

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "atl/fault/fault.hh"
+#include "atl/obs/event_log.hh"
 #include "atl/util/logging.hh"
 
 namespace atl
@@ -115,8 +116,22 @@ Machine::share(ThreadId src, ThreadId dst, double q)
     // or churn them, and the run must still terminate with correct
     // workload output (the paper's §2.3 contract).
     if (_config.faults) {
+        uint64_t faults_before = _config.faults->stats().total();
         ShareFault fault =
             _config.faults->perturbShare(src, dst, q, _threads.size());
+        if (EventLog *log = _config.telemetry;
+            log && log->config().faults &&
+            _config.faults->stats().total() != faults_before) {
+            Event event;
+            event.kind = EventKind::Fault;
+            event.flag = static_cast<uint8_t>(FaultSurface::Share);
+            event.cpu = _current ? static_cast<uint16_t>(_currentCpu)
+                                 : InvalidCpuId16;
+            event.tid = src;
+            event.time = now();
+            event.n = _config.faults->stats().total();
+            log->record(event);
+        }
         if (fault.drop)
             return;
         shareOne(src, dst, q);
@@ -133,13 +148,8 @@ Machine::shareOne(ThreadId src, ThreadId dst, double q)
     if (src >= _threads.size() || dst >= _threads.size()) {
         // Throttled: fault plans and buggy programs can produce
         // thousands of dangling annotations, and each is harmless.
-        ++_shareWarnings;
-        if (_shareWarnings <= 8) {
-            atl_warn("at_share with unknown thread id ignored",
-                     _shareWarnings == 8
-                         ? " (further warnings suppressed)"
-                         : "");
-        }
+        if (const char *suffix = _shareThrottle.tick())
+            atl_warn("at_share with unknown thread id ignored", suffix);
         return;
     }
     _graph.share(src, dst, q);
@@ -718,9 +728,13 @@ void
 Machine::beginInterval(Cpu &cpu, Thread &thread)
 {
     cpu.clock = std::max(cpu.clock, thread.readyTime);
+    Cycles switch_start = cpu.clock;
     cpu.clock += _config.contextSwitchCycles;
     chargeSchedWork(cpu); // pickNext's heap work
     schedPollution(cpu);
+
+    if (_config.telemetry)
+        emitSwitchEvent(cpu, thread, switch_start);
 
     if (!thread.started) {
         thread.started = true;
@@ -737,6 +751,7 @@ Machine::beginInterval(Cpu &cpu, Thread &thread)
     cpu.hitsSnap = cpu.perf.read(1);
     cpu.instrSnap = thread.stats.instructions;
     cpu.sliceStart = cpu.clock;
+    cpu.intervalStart = cpu.clock;
     cpu.current = &thread;
     _scheduler->setCpuBusy(cpu.id, true);
     ++cpu.switches;
@@ -768,9 +783,10 @@ Machine::endInterval(Cpu &cpu, Thread &thread)
     // the damage is confined to this interval's model inputs.
     uint32_t refs_now = cpu.perf.read(0);
     uint32_t hits_now = cpu.perf.read(1);
+    bool sample_faulted = false;
     if (_config.faults) {
-        _config.faults->perturbSnapshot(cpu.refsSnap, cpu.hitsSnap,
-                                        refs_now, hits_now);
+        sample_faulted = _config.faults->perturbSnapshot(
+            cpu.refsSnap, cpu.hitsSnap, refs_now, hits_now);
     }
     uint64_t misses = PerfCounters::missesBetween(cpu.refsSnap,
                                                   cpu.hitsSnap, refs_now,
@@ -780,9 +796,28 @@ Machine::endInterval(Cpu &cpu, Thread &thread)
     uint64_t refs_delta = static_cast<uint32_t>(refs_now - cpu.refsSnap);
     uint64_t hits_delta = static_cast<uint32_t>(hits_now - cpu.hitsSnap);
 
+    EventLog *log = _config.telemetry;
+    if (log)
+        emitSampleEvents(cpu, thread, misses, refs_delta, hits_delta,
+                         sample_faulted);
+
+    // Degradation transitions surface as deltas across onBlock: the
+    // scheduler has no clock, so the machine compares its counters and
+    // fallback state before and after the sample lands.
+    DegradationStats deg_before;
+    bool fallback_before = false;
+    if (log && log->config().degradation) {
+        deg_before = _scheduler->degradation();
+        fallback_before = _scheduler->inFallback(cpu.id);
+    }
+
     _scheduler->onBlock(thread, cpu.id, misses, instructions, refs_delta,
                         hits_delta);
     chargeSchedWork(cpu); // onBlock's O(d) priority work
+
+    if (log)
+        emitPostBlockEvents(cpu, thread, misses, instructions, deg_before,
+                            fallback_before);
 
     cpu.current = nullptr;
     _scheduler->setCpuBusy(cpu.id, false);
@@ -821,12 +856,136 @@ Machine::endInterval(Cpu &cpu, Thread &thread)
 }
 
 void
+Machine::emitSwitchEvent(const Cpu &cpu, const Thread &thread,
+                         Cycles switch_start)
+{
+    EventLog *log = _config.telemetry;
+    if (!log->config().switches)
+        return;
+    const DispatchInfo &pick = _scheduler->lastDispatch();
+    Event event;
+    event.kind = EventKind::Switch;
+    event.flag = static_cast<uint8_t>(pick.source);
+    event.cpu = static_cast<uint16_t>(cpu.id);
+    event.tid = thread.id;
+    event.time = cpu.clock;
+    event.t0 = _scheduler->globalQueueSize();
+    event.n = cpu.clock - switch_start;
+    event.m = _scheduler->heapValidSize(cpu.id);
+    event.value = _scheduler->expectedFootprint(thread, cpu.id);
+    event.aux = pick.priority;
+    log->record(event);
+}
+
+void
+Machine::emitSampleEvents(const Cpu &cpu, const Thread &thread,
+                          uint64_t misses, uint64_t refs_delta,
+                          uint64_t hits_delta, bool sample_faulted)
+{
+    EventLog *log = _config.telemetry;
+    if (log->config().intervals) {
+        Event event;
+        event.kind = EventKind::PicSample;
+        event.flag = sample_faulted ? 1 : 0;
+        event.cpu = static_cast<uint16_t>(cpu.id);
+        event.tid = thread.id;
+        event.time = cpu.clock;
+        event.t0 = misses;
+        event.n = refs_delta;
+        event.m = hits_delta;
+        log->record(event);
+    }
+    if (log->config().faults && sample_faulted) {
+        Event event;
+        event.kind = EventKind::Fault;
+        event.flag = static_cast<uint8_t>(FaultSurface::Snapshot);
+        event.cpu = static_cast<uint16_t>(cpu.id);
+        event.tid = thread.id;
+        event.time = cpu.clock;
+        event.n = _config.faults->stats().total();
+        log->record(event);
+    }
+}
+
+void
+Machine::emitPostBlockEvents(const Cpu &cpu, const Thread &thread,
+                             uint64_t misses, uint64_t instructions,
+                             const DegradationStats &before,
+                             bool fallback_before)
+{
+    EventLog *log = _config.telemetry;
+    if (log->config().degradation) {
+        const DegradationStats &deg = _scheduler->degradation();
+        double confidence = _scheduler->confidence(cpu.id);
+        if (deg.implausibleSamples != before.implausibleSamples) {
+            Event event;
+            event.kind = EventKind::CounterAnomaly;
+            event.flag = static_cast<uint8_t>(
+                (deg.tornSamples != before.tornSamples ? 1 : 0) |
+                (deg.clampedMisses != before.clampedMisses ? 2 : 0));
+            event.cpu = static_cast<uint16_t>(cpu.id);
+            event.tid = thread.id;
+            event.time = cpu.clock;
+            event.value = confidence;
+            log->record(event);
+        }
+        bool fallback_now = _scheduler->inFallback(cpu.id);
+        if (fallback_now != fallback_before) {
+            Event event;
+            event.kind = fallback_now ? EventKind::FallbackEnter
+                                      : EventKind::FallbackLeave;
+            event.cpu = static_cast<uint16_t>(cpu.id);
+            event.tid = thread.id;
+            event.time = cpu.clock;
+            event.value = confidence;
+            log->record(event);
+        }
+    }
+    if (log->config().intervals) {
+        Event event;
+        event.kind = EventKind::IntervalEnd;
+        event.flag = static_cast<uint8_t>(thread.switchReason);
+        event.cpu = static_cast<uint16_t>(cpu.id);
+        event.tid = thread.id;
+        event.time = cpu.clock;
+        event.t0 = cpu.intervalStart;
+        event.n = misses;
+        event.m = instructions;
+        event.value = _scheduler->expectedFootprint(thread, cpu.id);
+        event.aux = _scheduler->confidence(cpu.id);
+        log->record(event);
+    }
+}
+
+void
 Machine::run()
 {
     atl_assert(!_running, "machine is already running");
     _running = true;
     Machine *prev_active = activeMachine;
     activeMachine = this;
+
+    // Capture warnings logged during the run as telemetry events. The
+    // sink is thread-local (sweep jobs run concurrently) and restored
+    // by RAII so a throwing run cannot leak it onto the worker.
+    struct SinkGuard
+    {
+        WarnSink previous;
+        bool active = false;
+        ~SinkGuard()
+        {
+            if (active)
+                setWarnSink(std::move(previous));
+        }
+    } sink_guard;
+    if (EventLog *log = _config.telemetry;
+        log && log->config().warnings) {
+        sink_guard.previous =
+            setWarnSink([this, log](LogLevel, const std::string &message) {
+                log->recordWarning(now(), message);
+            });
+        sink_guard.active = true;
+    }
 
     while (_liveThreads > 0) {
         CpuId choice = chooseCpu();

@@ -34,11 +34,13 @@
 #include "atl/perf/counters.hh"
 #include "atl/runtime/scheduler.hh"
 #include "atl/runtime/thread.hh"
+#include "atl/util/throttle.hh"
 
 namespace atl
 {
 
 class FaultInjector;
+class EventLog;
 
 /** Full machine configuration. Defaults model the paper's platforms. */
 struct MachineConfig
@@ -102,6 +104,14 @@ struct MachineConfig
      *  faults; not owned, must outlive the machine). An injector with
      *  an empty plan is equivalent to null. */
     FaultInjector *faults = nullptr;
+
+    /** Telemetry event log recording scheduler decisions, interval
+     *  samples, degradation transitions and captured warnings (null =
+     *  telemetry off; not owned, must outlive the machine). With no
+     *  log attached every hook is a single pointer test, and the run's
+     *  modelled state is bit-identical to a machine that never heard
+     *  of telemetry. */
+    EventLog *telemetry = nullptr;
 
     /** Host stack bytes per fiber. */
     size_t stackBytes = 128 * 1024;
@@ -294,7 +304,34 @@ class Machine
         uint64_t instructions = 0;
         Cycles schedOverhead = 0;
         VAddr schedStateVa = 0;
+        /** Dispatch-completion time of the running interval (unlike
+         *  sliceStart, not reset by simulation slice yields). Last:
+         *  only touched at interval boundaries, and appending keeps
+         *  the hot per-reference fields at their established offsets. */
+        Cycles intervalStart = 0;
     };
+
+    /** @name Telemetry emission.
+     * Outlined and cold so the interval bookkeeping stays compact in
+     * the instruction stream: the hot functions pay one pointer test
+     * and the event assembly lives off the fall-through path. Each
+     * checks its own per-category config flag. @{ */
+    [[gnu::cold]] void emitSwitchEvent(const Cpu &cpu,
+                                       const Thread &thread,
+                                       Cycles switch_start);
+    [[gnu::cold]] void emitSampleEvents(const Cpu &cpu,
+                                        const Thread &thread,
+                                        uint64_t misses,
+                                        uint64_t refs_delta,
+                                        uint64_t hits_delta,
+                                        bool sample_faulted);
+    [[gnu::cold]] void emitPostBlockEvents(const Cpu &cpu,
+                                           const Thread &thread,
+                                           uint64_t misses,
+                                           uint64_t instructions,
+                                           const DegradationStats &before,
+                                           bool fallback_before);
+    /** @} */
 
     /** Calling-thread sanity check. */
     Thread &requireCurrent() const;
@@ -372,9 +409,9 @@ class Machine
     VAddr _nextVa = 0x100000;
     MemoryObserver *_observer = nullptr;
     AccessHook _accessHook;
-    /** Unknown-thread-id share() warnings emitted (throttled: fault
-     *  plans can produce thousands of dangling annotations). */
-    uint64_t _shareWarnings = 0;
+    /** Unknown-thread-id share() warnings (throttled: fault plans can
+     *  produce thousands of dangling annotations). */
+    ThrottledWarn _shareThrottle;
     std::vector<std::unique_ptr<FiberStack>> _stackPool;
     uint64_t _refsIssued = 0;
     uint64_t _refBlocks = 0;

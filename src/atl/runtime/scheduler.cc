@@ -192,6 +192,7 @@ Thread *
 Scheduler::pickNext(CpuId cpu)
 {
     ++_dispatchCount[cpu];
+    _lastDispatch = {};
 
     // 0. Fairness escape hatch: periodically serve the global FIFO
     // first so threads with no cached state anywhere cannot starve
@@ -205,6 +206,7 @@ Scheduler::pickNext(CpuId cpu)
             t.inGlobalQueue = false;
             if (t.state != ThreadState::Runnable)
                 continue;
+            _lastDispatch.source = DispatchSource::FairnessBypass;
             dispatch(t, cpu);
             return &t;
         }
@@ -219,8 +221,10 @@ Scheduler::pickNext(CpuId cpu)
         HeapEntry entry = heap.top();
         heap.pop();
         noteRemoved(entry, cpu);
-        if (!entryValid(entry, cpu))
+        if (!entryValid(entry, cpu)) {
+            ++_lastDispatch.staleSkipped;
             continue;
+        }
         Thread &t = *_threads[entry.tid];
         double ef =
             _scheme->expectedFootprint(t.records[cpu], _missTotals[cpu]);
@@ -233,6 +237,8 @@ Scheduler::pickNext(CpuId cpu)
             pushGlobal(t);
             continue;
         }
+        _lastDispatch.source = DispatchSource::Heap;
+        _lastDispatch.priority = entry.priority;
         dispatch(t, cpu);
         return &t;
     }
@@ -245,6 +251,7 @@ Scheduler::pickNext(CpuId cpu)
         t.inGlobalQueue = false;
         if (t.state != ThreadState::Runnable)
             continue;
+        _lastDispatch.source = DispatchSource::Global;
         dispatch(t, cpu);
         return &t;
     }
@@ -301,6 +308,9 @@ Scheduler::steal(CpuId thief)
     noteRemoved(entry, best_cpu);
     Thread &t = *_threads[entry.tid];
     ++_steals;
+    _lastDispatch.source = DispatchSource::Steal;
+    _lastDispatch.priority = best_priority;
+    _lastDispatch.victim = best_cpu;
     dispatch(t, thief);
     return &t;
 }

@@ -24,6 +24,7 @@
 
 #include "atl/model/priority.hh"
 #include "atl/model/sharing_graph.hh"
+#include "atl/obs/event.hh"
 #include "atl/runtime/policy.hh"
 #include "atl/runtime/thread.hh"
 
@@ -86,6 +87,25 @@ struct DegradationStats
     uint64_t faultEvents = 0;
 
     bool operator==(const DegradationStats &) const = default;
+};
+
+/**
+ * How the most recent successful pickNext() resolved: where the thread
+ * came from, at what heap priority, and how many dead hints the pop
+ * loop stepped over on the way. Plain bookkeeping (a few stores per
+ * dispatch); the machine folds it into Switch telemetry events, and
+ * the scheduler tests assert on it directly.
+ */
+struct DispatchInfo
+{
+    DispatchSource source = DispatchSource::None;
+    /** Heap-entry priority the pick was made at (heap/steal sources;
+     *  0 for the FIFO paths). */
+    double priority = 0.0;
+    /** Stale heap entries popped before the pick. */
+    uint32_t staleSkipped = 0;
+    /** Processor robbed, when source is Steal. */
+    CpuId victim = InvalidCpuId;
 };
 
 /** Work performed during one context switch, for overhead accounting. */
@@ -213,6 +233,9 @@ class Scheduler
     /** Intervals the nonstationary heuristic classified as quiet. */
     uint64_t quietIntervals() const { return _quietIntervals; }
 
+    /** How the most recent successful pickNext() resolved. */
+    const DispatchInfo &lastDispatch() const { return _lastDispatch; }
+
     /** Graceful-degradation counters (all zero on a clean run). */
     const DegradationStats &degradation() const { return _degradation; }
 
@@ -279,6 +302,7 @@ class Scheduler
     /** Per-processor fallback flag (confidence below threshold). */
     std::vector<uint8_t> _degraded;
     DegradationStats _degradation;
+    DispatchInfo _lastDispatch;
     size_t _runnable = 0;
     uint64_t _steals = 0;
     uint64_t _quietIntervals = 0;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "atl/fault/fault.hh"
+#include "atl/obs/event_log.hh"
 #include "atl/util/logging.hh"
 
 namespace atl
@@ -114,7 +115,8 @@ runWorkload(Workload &workload, const MachineConfig &config, bool trace,
 
 FootprintMonitor::FootprintMonitor(Machine &machine, Tracer &tracer,
                                    CpuId cpu, uint64_t sample_every)
-    : _machine(machine), _tracer(tracer), _cpu(cpu),
+    : _machine(machine), _tracer(tracer),
+      _telemetry(machine.config().telemetry), _cpu(cpu),
       _sampleEvery(sample_every)
 {
     atl_assert(sample_every > 0, "sample interval must be positive");
@@ -199,6 +201,19 @@ FootprintMonitor::sample(ThreadId tid, Target &target, uint64_t instr)
         break;
     }
     target.samples.push_back(sample);
+
+    if (_telemetry && _telemetry->config().residuals) {
+        Event event;
+        event.kind = EventKind::Residual;
+        event.cpu = static_cast<uint16_t>(_cpu);
+        event.tid = tid;
+        event.time = _machine.now();
+        event.n = sample.misses;
+        event.m = sample.instructions;
+        event.value = sample.observed;
+        event.aux = sample.predicted;
+        _telemetry->record(event);
+    }
 }
 
 const std::vector<FootprintSample> &

@@ -22,6 +22,8 @@
 namespace atl
 {
 
+class EventLog;
+
 /** Headline metrics of one workload run. */
 struct RunMetrics
 {
@@ -185,6 +187,9 @@ class FootprintMonitor
 
     Machine &_machine;
     Tracer &_tracer;
+    /** Machine's event log, cached at construction (null when telemetry
+     *  is off); every sample doubles as a Residual telemetry event. */
+    EventLog *_telemetry = nullptr;
     CpuId _cpu;
     uint64_t _sampleEvery;
     ThreadId _driver = InvalidThreadId;

@@ -9,11 +9,13 @@
 #include <filesystem>
 #include <fstream>
 #include <future>
+#include <iostream>
 #include <memory>
 #include <mutex>
 #include <thread>
 
 #include "atl/fault/fault.hh"
+#include "atl/obs/export.hh"
 #include "atl/util/logging.hh"
 
 namespace atl
@@ -247,6 +249,15 @@ SweepRunner::runCollect(const std::vector<SweepJob> &sweep,
               [](const SweepJobFailure &a, const SweepJobFailure &b) {
                   return a.index < b.index;
               });
+
+    // Traced jobs: print their atl-trace-summary blocks in job order
+    // (after the pool is quiet, so the output never interleaves).
+    for (size_t i = 0; i < sweep.size(); ++i) {
+        if (sweep[i].trace && outcome.ok[i]) {
+            printTraceSummary(summarizeTrace(*sweep[i].trace), std::cout,
+                              sweep[i].name);
+        }
+    }
     return outcome;
 }
 
@@ -264,7 +275,9 @@ BenchReport::BenchReport(std::string bench_name)
     : _name(std::move(bench_name)), _doc(Json::object())
 {
     _doc["bench"] = Json(_name);
-    _doc["schema"] = Json(3);
+    // Schema 4 adds the optional top-level "telemetry" object (see
+    // traceSummaryJson) to benches run with an event log attached.
+    _doc["schema"] = Json(4);
     _doc["runs"] = Json::array();
     // Partial-result status (schema 3): noteFailure clears the flag,
     // so a report that lost cells says so instead of passing silently.

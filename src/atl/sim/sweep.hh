@@ -45,6 +45,11 @@ struct SweepJob
      *  from (SweepOptions::retrySeedBase, job index, attempt) — so a
      *  run wedged by one unlucky seed can succeed on the next. */
     std::function<RunMetrics(uint64_t seed)> seededBody = nullptr;
+    /** Event log this job's body records into (owned by the caller,
+     *  wired into the job's MachineConfig by the body itself). Jobs
+     *  must not share a log. When set, runCollect() prints the
+     *  atl-trace-summary block for the job after the sweep. */
+    EventLog *trace = nullptr;
 };
 
 /** Failure-handling knobs for a sweep. Defaults reproduce the classic

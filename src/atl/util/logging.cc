@@ -10,6 +10,9 @@ namespace
 
 bool throwMode = false;
 
+/** Per-thread warn/inform observer (sweep jobs run concurrently). */
+thread_local WarnSink warnSink;
+
 const char *
 levelName(LogLevel level)
 {
@@ -36,6 +39,14 @@ setLogThrowMode(bool enabled)
     throwMode = enabled;
 }
 
+WarnSink
+setWarnSink(WarnSink sink)
+{
+    WarnSink previous = std::move(warnSink);
+    warnSink = std::move(sink);
+    return previous;
+}
+
 namespace detail
 {
 
@@ -45,6 +56,9 @@ logMessage(LogLevel level, const char *file, int line,
 {
     std::fprintf(stderr, "%s: %s (%s:%d)\n", levelName(level),
                  message.c_str(), file, line);
+
+    if ((level == LogLevel::Warn || level == LogLevel::Inform) && warnSink)
+        warnSink(level, message);
 
     if (level == LogLevel::Panic) {
         if (throwMode)

@@ -14,6 +14,7 @@
 #define ATL_UTIL_LOGGING_HH
 
 #include <cstdlib>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -65,6 +66,20 @@ bool logThrowMode();
  * assert on failure paths without forking death tests.
  */
 void setLogThrowMode(bool enabled);
+
+/**
+ * Observer invoked for every Warn/Inform record (after the stderr
+ * line, before any terminal action). Thread-local so concurrent sweep
+ * jobs can each capture their own machine's warnings into telemetry
+ * without locking or cross-talk.
+ */
+using WarnSink = std::function<void(LogLevel, const std::string &)>;
+
+/**
+ * Install a warn sink on the calling thread.
+ * @return the previously installed sink (restore it when done)
+ */
+WarnSink setWarnSink(WarnSink sink);
 
 /** Exception raised by panic()/fatal() while in throw mode. */
 class LogError : public std::runtime_error

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reusable warning throttle. Several subsystems can be driven into
+ * emitting the same harmless warning thousands of times (fault plans
+ * produce dangling annotations and out-of-range coefficients by the
+ * bucket); each call site wants "warn the first few times, then note
+ * the suppression once, but keep counting". ThrottledWarn packages
+ * that pattern so the count stays exact while the log stays readable.
+ *
+ * Usage:
+ *     if (const char *suffix = _throttle.tick())
+ *         atl_warn("something odd", suffix);
+ * tick() returns nullptr once the limit has passed (stay silent), the
+ * suppression notice on the limit-th call, and "" before it.
+ */
+
+#ifndef ATL_UTIL_THROTTLE_HH
+#define ATL_UTIL_THROTTLE_HH
+
+#include <cstdint>
+
+namespace atl
+{
+
+/** Counts every occurrence but only licenses the first few warnings. */
+class ThrottledWarn
+{
+  public:
+    /** @param limit warnings allowed before going silent */
+    explicit ThrottledWarn(uint64_t limit = 8) : _limit(limit) {}
+
+    /**
+     * Record one occurrence. @return nullptr when the warning should be
+     * suppressed; otherwise the suffix to append to the message ("" for
+     * an ordinary warning, the suppression notice on the last licensed
+     * one).
+     */
+    const char *
+    tick()
+    {
+        ++_count;
+        if (_count > _limit)
+            return nullptr;
+        return _count == _limit ? " (further warnings suppressed)" : "";
+    }
+
+    /** Occurrences recorded, suppressed ones included. */
+    uint64_t count() const { return _count; }
+
+  private:
+    uint64_t _count = 0;
+    uint64_t _limit;
+};
+
+} // namespace atl
+
+#endif // ATL_UTIL_THROTTLE_HH

@@ -35,6 +35,40 @@ TEST(RunMetricsTest, DerivedQuantities)
     EXPECT_EQ(RunMetrics::speedup(base, zero), 0.0);
 }
 
+TEST(RunMetricsTest, EqualityIgnoresHostSideDiagnostics)
+{
+    // operator== must compare only modelled state: two runs of the
+    // same simulation on different hosts (or batched versus scalar)
+    // report different throughput diagnostics but identical results.
+    RunMetrics a;
+    a.workload = "w";
+    a.policy = PolicyKind::LFF;
+    a.numCpus = 4;
+    a.makespan = 123456;
+    a.eMisses = 100;
+    a.eRefs = 1000;
+    a.instructions = 5000;
+    a.contextSwitches = 7;
+    a.schedOverheadCycles = 99;
+    a.verified = true;
+    a.degradation.implausibleSamples = 2;
+
+    RunMetrics b = a;
+    b.refsIssued = a.refsIssued + 100;
+    b.refBlocks = a.refBlocks + 10;
+    b.hostSeconds = a.hostSeconds + 3.5;
+    EXPECT_TRUE(a == b);
+    EXPECT_FALSE(a != b);
+
+    // While every modelled field still participates.
+    RunMetrics c = a;
+    c.eMisses += 1;
+    EXPECT_TRUE(a != c);
+    RunMetrics d = a;
+    d.degradation.fallbackActivations = 1;
+    EXPECT_TRUE(a != d);
+}
+
 TEST(ExperimentTest, RunWorkloadCollectsAndVerifies)
 {
     TasksWorkload w({.numTasks = 16, .linesPerTask = 50, .periods = 5});

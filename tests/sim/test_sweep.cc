@@ -374,7 +374,7 @@ TEST(BenchReportTest, DocumentCarriesBenchNameAndRuns)
 
     const Json &doc = report.document();
     EXPECT_EQ(doc.at("bench").asString(), "bench_unit_test");
-    EXPECT_EQ(doc.at("schema").asUint(), 3u);
+    EXPECT_EQ(doc.at("schema").asUint(), 4u);
     EXPECT_TRUE(doc.at("complete").asBool());
     EXPECT_EQ(doc.at("failed_runs").items().size(), 0u);
     EXPECT_EQ(doc.at("platform").asString(), "test");

@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "atl/util/logging.hh"
 
 namespace atl
@@ -80,6 +84,51 @@ TEST_F(LoggingTest, ConcatFormatsMixedTypes)
 {
     EXPECT_EQ(detail::concat("a", 1, "b", 2.5), "a1b2.5");
     EXPECT_EQ(detail::concat(), "");
+}
+
+TEST_F(LoggingTest, WarnSinkObservesWarnAndInform)
+{
+    std::vector<std::pair<LogLevel, std::string>> seen;
+    WarnSink previous = setWarnSink(
+        [&](LogLevel level, const std::string &message) {
+            seen.emplace_back(level, message);
+        });
+    EXPECT_FALSE(previous) << "no sink should be installed by default";
+
+    atl_warn("w ", 1);
+    atl_inform("i ", 2);
+    setWarnSink(std::move(previous));
+    atl_warn("after removal");
+
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0].first, LogLevel::Warn);
+    EXPECT_EQ(seen[0].second, "w 1");
+    EXPECT_EQ(seen[1].first, LogLevel::Inform);
+    EXPECT_EQ(seen[1].second, "i 2");
+}
+
+TEST_F(LoggingTest, WarnSinkDoesNotSeeTerminalLevels)
+{
+    int calls = 0;
+    setWarnSink([&](LogLevel, const std::string &) { ++calls; });
+    EXPECT_THROW(atl_panic("boom"), LogError);
+    EXPECT_THROW(atl_fatal("bad"), LogError);
+    setWarnSink({});
+    EXPECT_EQ(calls, 0);
+}
+
+TEST_F(LoggingTest, SetWarnSinkReturnsThePreviousSink)
+{
+    int first = 0, second = 0;
+    setWarnSink([&](LogLevel, const std::string &) { ++first; });
+    WarnSink prev =
+        setWarnSink([&](LogLevel, const std::string &) { ++second; });
+    atl_warn("to the second sink");
+    setWarnSink(std::move(prev));
+    atl_warn("back to the first");
+    setWarnSink({});
+    EXPECT_EQ(first, 1);
+    EXPECT_EQ(second, 1);
 }
 
 } // namespace

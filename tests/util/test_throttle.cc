@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Tests for the warning throttle.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "atl/util/throttle.hh"
+
+namespace atl
+{
+namespace
+{
+
+TEST(ThrottledWarnTest, PassesUpToTheLimitThenSuppresses)
+{
+    ThrottledWarn throttle(3);
+    EXPECT_STREQ(throttle.tick(), "");
+    EXPECT_STREQ(throttle.tick(), "");
+    EXPECT_STREQ(throttle.tick(), " (further warnings suppressed)");
+    EXPECT_EQ(throttle.tick(), nullptr);
+    EXPECT_EQ(throttle.tick(), nullptr);
+}
+
+TEST(ThrottledWarnTest, CountsEverythingIncludingSuppressed)
+{
+    ThrottledWarn throttle(2);
+    for (int i = 0; i < 10; ++i)
+        throttle.tick();
+    EXPECT_EQ(throttle.count(), 10u);
+}
+
+TEST(ThrottledWarnTest, LimitOneAnnouncesSuppressionImmediately)
+{
+    ThrottledWarn throttle(1);
+    const char *suffix = throttle.tick();
+    ASSERT_NE(suffix, nullptr);
+    EXPECT_NE(std::string(suffix).find("suppressed"), std::string::npos);
+    EXPECT_EQ(throttle.tick(), nullptr);
+}
+
+TEST(ThrottledWarnTest, DefaultLimitIsEight)
+{
+    ThrottledWarn throttle;
+    int emitted = 0;
+    for (int i = 0; i < 20; ++i) {
+        if (throttle.tick())
+            ++emitted;
+    }
+    EXPECT_EQ(emitted, 8);
+}
+
+} // namespace
+} // namespace atl
