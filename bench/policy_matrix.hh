@@ -17,6 +17,7 @@
 
 #include "atl/obs/event_log.hh"
 #include "atl/sim/experiment.hh"
+#include "atl/sim/journal.hh"
 #include "atl/sim/sweep.hh"
 #include "atl/util/table.hh"
 #include "atl/workloads/mergesort.hh"
@@ -129,11 +130,31 @@ runMatrix(unsigned n_cpus, int &failures,
         }
     }
 
+    // The crash-resilience knobs (isolation, timeout, retries, journal)
+    // come from the environment so every matrix bench honours them
+    // uniformly: ATL_ISOLATE=1 forks each attempt, ATL_JOURNAL=1
+    // journals completed cells so an interrupted matrix resumes.
+    SweepOptions options = sweepOptionsFromEnv();
+    std::unique_ptr<SweepJournal> journal;
+    const char *journal_env = std::getenv("ATL_JOURNAL");
+    if (journal_env && *journal_env && std::string(journal_env) != "0") {
+        journal = std::make_unique<SweepJournal>(
+            "matrix_" + std::to_string(n_cpus) + "cpu");
+        options.journal = journal.get();
+    }
+
     SweepRunner runner;
-    SweepOutcome outcome = runner.runCollect(jobs);
+    SweepOutcome outcome = runner.runCollect(jobs, options);
     for (const SweepJobFailure &f : outcome.failures) {
         std::cerr << "FAIL: job '" << f.name << "' " << f.message
                   << "\n";
+        ++failures;
+    }
+    if (outcome.interrupted) {
+        std::cerr << "INTERRUPTED: matrix stopped early; "
+                  << outcome.resumedRuns()
+                  << " cell(s) were replayed from the journal and the "
+                     "rest resume on the next run\n";
         ++failures;
     }
 

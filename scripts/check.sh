@@ -3,7 +3,7 @@
 # regenerate every paper table/figure through the sweep engine. Exits
 # non-zero on the first failed shape check.
 #
-# Usage: check.sh [--jobs N] [--perf] [--asan] [--trace]
+# Usage: check.sh [--jobs N] [--perf] [--asan] [--trace] [--crash]
 #   --jobs N   worker threads per bench sweep (exported as
 #              ATL_SWEEP_JOBS; default: all cores)
 #   --perf     also run scripts/perf_gate.sh (hot-path throughput
@@ -18,12 +18,19 @@
 #              trace_event JSON, monotonic ts per track, non-negative
 #              slice durations) plus the report's schema-4 telemetry
 #              keys, then exit (other benches are skipped)
+#   --crash    build, then exercise crash isolation end to end: run the
+#              crash-fault matrix (forked attempts, SIGSEGV / abort /
+#              silent _exit / spin faults) and require a complete
+#              report; then SIGKILL the sweep halfway through, resume
+#              it from the durable journal, and diff the resumed report
+#              against the clean one (modulo host timing); then exit
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUN_PERF=0
 RUN_ASAN=0
 RUN_TRACE=0
+RUN_CRASH=0
 
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -46,6 +53,10 @@ while [ $# -gt 0 ]; do
         ;;
       --trace)
         RUN_TRACE=1
+        shift
+        ;;
+      --crash)
+        RUN_CRASH=1
         shift
         ;;
       *)
@@ -116,13 +127,13 @@ for tag in ("fcfs", "lff", "crt"):
         print(f"{path}: OK ({len(events)} events)")
 
 report = json.load(open("results/bench_fig5_footprints.json"))
-if report.get("schema") != 4:
-    print(f"fig5 report: schema is {report.get('schema')!r}, expected 4",
+if report.get("schema") != 5:
+    print(f"fig5 report: schema is {report.get('schema')!r}, expected 5",
           file=sys.stderr)
     failed = 1
 telemetry = report.get("telemetry")
 if not isinstance(telemetry, dict):
-    print("fig5 report: no schema-4 'telemetry' object", file=sys.stderr)
+    print("fig5 report: no 'telemetry' object", file=sys.stderr)
     failed = 1
 else:
     for key in ("events", "counts", "residuals", "interval_cycles",
@@ -136,6 +147,80 @@ if failed:
 print("trace validation OK")
 PYEOF
     echo "TRACE CHECKS PASSED"
+    exit 0
+fi
+
+if [ "$RUN_CRASH" -eq 1 ]; then
+    cmake -B build -G Ninja
+    cmake --build build
+
+    report=results/bench_crash_matrix.json
+    journal=results/bench_crash_matrix.journal.jsonl
+
+    echo "==== crash containment: crash-fault matrix under isolation"
+    rm -f "$journal"
+    build/bench/bench_crash_matrix
+    cp "$report" results/bench_crash_matrix.clean.json
+
+    echo "==== journal resume: SIGKILL the sweep after 5 cells, rerun"
+    rm -f "$journal"
+    rc=0
+    ATL_SWEEP_KILL_AFTER=5 build/bench/bench_crash_matrix || rc=$?
+    if [ "$rc" -eq 0 ]; then
+        echo "kill run: expected the sweep to die, but it exited 0" >&2
+        exit 1
+    fi
+    echo "kill run: exited $rc as expected"
+    if [ ! -s "$journal" ]; then
+        echo "kill run: no journal survived at $journal" >&2
+        exit 1
+    fi
+    build/bench/bench_crash_matrix
+
+    python3 - "$report" results/bench_crash_matrix.clean.json <<'PYEOF'
+import json, sys
+
+resumed = json.load(open(sys.argv[1]))
+clean = json.load(open(sys.argv[2]))
+
+if resumed.get("resumed_runs", 0) < 1:
+    print("resume run: report shows no resumed cells", file=sys.stderr)
+    sys.exit(1)
+for tag, doc in (("clean", clean), ("resumed", resumed)):
+    if doc.get("complete") is not True:
+        print(f"{tag} run: sweep incomplete: {doc.get('failed_runs')}",
+              file=sys.stderr)
+        sys.exit(1)
+
+# The resumed sweep must reproduce the clean sweep cell for cell;
+# only host-timing diagnostics may differ between the two machines'
+# worth of wall clock.
+host_keys = ("host_seconds", "refs_per_sec", "batch_occupancy",
+             "refs_issued", "ref_blocks")
+clean_runs = clean.get("runs", [])
+resumed_runs = resumed.get("runs", [])
+if len(clean_runs) != len(resumed_runs):
+    print(f"run count differs: clean {len(clean_runs)} vs "
+          f"resumed {len(resumed_runs)}", file=sys.stderr)
+    sys.exit(1)
+for i, (a, b) in enumerate(zip(clean_runs, resumed_runs)):
+    a = {k: v for k, v in a.items() if k not in host_keys}
+    b = {k: v for k, v in b.items() if k not in host_keys}
+    if a != b:
+        diff = {k for k in set(a) | set(b) if a.get(k) != b.get(k)}
+        print(f"cell {i} differs after resume: {sorted(diff)}",
+              file=sys.stderr)
+        sys.exit(1)
+print(f"resume run OK: {resumed['resumed_runs']} cell(s) replayed "
+      f"from the journal, all {len(clean_runs)} cells match the "
+      f"clean sweep")
+PYEOF
+    if [ -e "$journal" ]; then
+        echo "resume run: journal was not removed after completion" >&2
+        exit 1
+    fi
+    rm -f results/bench_crash_matrix.clean.json
+    echo "CRASH CHECKS PASSED"
     exit 0
 fi
 
@@ -171,19 +256,31 @@ for b in build/bench/bench_*; do
         echo "MISSING: $json" >&2
         missing=1
     elif command -v python3 >/dev/null 2>&1; then
-        # Parse, and hold every RunMetrics entry to the schema-4
+        # Parse, and hold every RunMetrics entry to the schema-5
         # contract (host diagnostics and degradation counters included;
-        # the schema-4 "telemetry" object is optional per bench). An
-        # incomplete sweep (lost runs) is a bench failure even when the
-        # binary itself exited zero.
+        # the "telemetry" object is optional per bench). An incomplete
+        # sweep (lost runs) is a bench failure even when the binary
+        # itself exited zero, and any failed_runs entries must carry
+        # the full crash attribution.
         if ! python3 - "$json" <<'PYEOF' >&2
 import json, sys
 doc = json.load(open(sys.argv[1]))
 if "bench" not in doc:
     sys.exit(0)  # google-benchmark native format, not a BenchReport
-if doc.get("schema") != 4:
-    print(f"{sys.argv[1]}: schema is {doc.get('schema')!r}, expected 4")
+if doc.get("schema") != 5:
+    print(f"{sys.argv[1]}: schema is {doc.get('schema')!r}, expected 5")
     sys.exit(1)
+if not isinstance(doc.get("resumed_runs"), int):
+    print(f"{sys.argv[1]}: schema-5 report has no 'resumed_runs' count")
+    sys.exit(1)
+failure_keys = ("index", "name", "message", "attempts", "timed_out",
+                "crashed", "exit_signal", "exit_code",
+                "attempts_backoff_ms")
+for failure in doc.get("failed_runs", []):
+    for key in failure_keys:
+        if key not in failure:
+            print(f"{sys.argv[1]}: failed_runs entry is missing '{key}'")
+            sys.exit(1)
 if doc.get("complete") is not True:
     print(f"{sys.argv[1]}: sweep incomplete, failed runs: "
           f"{doc.get('failed_runs')}")

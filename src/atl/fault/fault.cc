@@ -1,7 +1,35 @@
 #include "atl/fault/fault.hh"
 
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <thread>
+
+#include <unistd.h>
+
 namespace atl
 {
+
+namespace
+{
+
+/** splitmix64 finaliser: one well-mixed word from a seed. */
+uint64_t
+mix64(uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Uniform [0, 1) from a mixed word. */
+double
+unitRoll(uint64_t z)
+{
+    return static_cast<double>(z >> 11) * (1.0 / 9007199254740992.0);
+}
+
+} // namespace
 
 bool
 FaultPlan::empty() const
@@ -9,7 +37,8 @@ FaultPlan::empty() const
     return !picWrapBias && sampleLossProb == 0.0 && readNoiseProb == 0.0 &&
            tornSnapshotProb == 0.0 && shareDropProb == 0.0 &&
            shareWrongQProb == 0.0 && shareDanglingProb == 0.0 &&
-           shareChurnProb == 0.0 && jobThrowProb == 0.0 && jobHangProb == 0.0;
+           shareChurnProb == 0.0 && jobThrowProb == 0.0 &&
+           jobHangProb == 0.0 && jobCrashProb == 0.0;
 }
 
 FaultPlan
@@ -51,12 +80,25 @@ FaultPlan::fullChaos()
     return plan;
 }
 
+FaultPlan
+FaultPlan::crashChaos()
+{
+    FaultPlan plan;
+    // Most cells crash-prone, each attempt a coin flip: with 8
+    // attempts a cell is lost only with probability 2^-8, so a seeded
+    // matrix completes after retries while still exercising every
+    // crash kind and the backoff machinery.
+    plan.jobCrashProb = 0.75;
+    plan.jobCrashPerAttemptProb = 0.5;
+    return plan;
+}
+
 uint64_t
 FaultStats::total() const
 {
     return picBiases + samplesLost + readsNoised + tornSnapshots +
            sharesDropped + sharesMisweighted + sharesRedirected +
-           sharesChurned + jobsThrown + jobsHung;
+           sharesChurned + jobsThrown + jobsHung + jobsCrashProne;
 }
 
 FaultInjector::FaultInjector(const FaultPlan &plan, uint64_t seed)
@@ -174,8 +216,52 @@ FaultInjector::jobFault(size_t index)
         _stats.jobsHung++;
         fault.kind = JobFaultKind::Hang;
         fault.seconds = _plan.jobHangSeconds;
+    } else if (roll < _plan.jobThrowProb + _plan.jobHangProb +
+                          _plan.jobCrashProb) {
+        _stats.jobsCrashProne++;
+        fault.kind = JobFaultKind::Crash;
+        fault.perAttemptProb = _plan.jobCrashPerAttemptProb;
     }
     return fault;
+}
+
+FaultInjector::CrashKind
+FaultInjector::crashDecision(double per_attempt_prob, uint64_t attempt_seed)
+{
+    // Two independent words from the attempt seed: one decides *if*
+    // this attempt crashes, the other *how*. Same seed, same fate —
+    // retries only recover because they get a different attempt seed.
+    uint64_t z = mix64(attempt_seed ^ 0xc2b2ae3d27d4eb4full);
+    if (unitRoll(z) >= per_attempt_prob)
+        return CrashKind::None;
+    switch (mix64(z) & 3u) {
+      case 0: return CrashKind::Segv;
+      case 1: return CrashKind::Abort;
+      case 2: return CrashKind::SilentExit;
+      default: return CrashKind::Spin;
+    }
+}
+
+void
+FaultInjector::executeCrash(CrashKind kind)
+{
+    switch (kind) {
+      case CrashKind::None:
+        return;
+      case CrashKind::Segv:
+        ::raise(SIGSEGV);
+        // Sanitizer builds intercept SIGSEGV and exit instead of dying
+        // by signal; make sure we never fall through to the job body.
+        ::_exit(1);
+      case CrashKind::Abort:
+        std::abort();
+      case CrashKind::SilentExit:
+        ::_exit(kSilentExitCode);
+      case CrashKind::Spin:
+        // Wedge until the supervisor's timeout SIGKILLs the child.
+        for (;;)
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
 }
 
 } // namespace atl

@@ -11,8 +11,10 @@
  *   annotations - dropped at_share() calls, wrong (even out-of-range)
  *                 coefficients, dangling/stale destination ids,
  *                 re-annotation churn;
- *   sweep jobs  - injected exceptions and simulated hangs, consumed by
- *                 the SweepRunner timeout/retry machinery.
+ *   sweep jobs  - injected exceptions, simulated hangs, and (under
+ *                 SweepOptions::isolate) hard crashes — SIGSEGV, abort,
+ *                 silent _exit, infinite loop — consumed by the
+ *                 SweepRunner supervisor/timeout/retry machinery.
  *
  * A FaultPlan describes *what* can go wrong and how often; the
  * FaultInjector rolls the dice from a seed, so a (plan, seed) pair
@@ -79,6 +81,18 @@ struct FaultPlan
     double jobHangProb = 0.0;
     /** Simulated hang duration in host seconds. */
     double jobHangSeconds = 0.05;
+    /** Per job: the job becomes crash-prone — each *attempt* rolls
+     *  jobCrashPerAttemptProb against its seed and, on a hit, dies by a
+     *  seed-chosen CrashKind (SIGSEGV, abort, silent _exit, or an
+     *  infinite loop the per-attempt timeout must reclaim). Crash
+     *  faults require SweepOptions::isolate: in-process they would
+     *  take the whole bench down, which is exactly what isolation
+     *  exists to contain. */
+    double jobCrashProb = 0.0;
+    /** Given a crash-prone job, per-attempt probability the attempt
+     *  actually crashes; values < 1 make retries-with-backoff recover
+     *  the cell deterministically. */
+    double jobCrashPerAttemptProb = 1.0;
     /** @} */
 
     /** True when no fault class is enabled (the inert plan). */
@@ -92,6 +106,10 @@ struct FaultPlan
     static FaultPlan annotationChaos();
     /** Everything at once, including job faults. */
     static FaultPlan fullChaos();
+    /** Hard crashes on the job surface (isolation required): most jobs
+     *  crash-prone, each attempt crashing with probability 1/2, so
+     *  retries recover every cell with overwhelming odds. */
+    static FaultPlan crashChaos();
     /** @} */
 };
 
@@ -108,6 +126,9 @@ struct FaultStats
     uint64_t sharesChurned = 0;
     uint64_t jobsThrown = 0;
     uint64_t jobsHung = 0;
+    /** Jobs made crash-prone (actual crashes are per-attempt and
+     *  happen inside the forked child). */
+    uint64_t jobsCrashProne = 0;
 
     /** Total events across every class. */
     uint64_t total() const;
@@ -175,7 +196,22 @@ class FaultInjector
         None,
         Throw,
         Hang,
+        /** Crash-prone: per-attempt crash rolls inside the child. */
+        Crash,
     };
+
+    /** How a crashing attempt dies (chosen per attempt from its seed). */
+    enum class CrashKind : uint8_t
+    {
+        None,
+        Segv,       ///< raise SIGSEGV
+        Abort,      ///< std::abort (SIGABRT)
+        SilentExit, ///< _exit(kSilentExitCode), no report
+        Spin,       ///< never returns; the timeout must SIGKILL it
+    };
+
+    /** Exit code of the SilentExit crash kind. */
+    static constexpr int kSilentExitCode = 66;
 
     /** Per-job fault decision, derived from seed and index only. */
     struct JobFault
@@ -183,10 +219,26 @@ class FaultInjector
         JobFaultKind kind = JobFaultKind::None;
         /** Hang duration when kind is Hang. */
         double seconds = 0.0;
+        /** Per-attempt crash probability when kind is Crash. */
+        double perAttemptProb = 1.0;
     };
 
     /** Decide the fault for sweep job `index` (stable per injector). */
     JobFault jobFault(size_t index);
+
+    /**
+     * Per-attempt crash decision for a crash-prone job, derived from
+     * the attempt seed alone so retries of the same cell reproduce
+     * (seed -> same roll, same kind) while distinct attempts differ.
+     * @return CrashKind::None when this attempt survives
+     */
+    static CrashKind crashDecision(double per_attempt_prob,
+                                   uint64_t attempt_seed);
+
+    /** Die by the given kind. Returns only for CrashKind::None; Spin
+     *  loops forever (sleeping) until SIGKILLed. Must only ever run in
+     *  a supervised child. */
+    static void executeCrash(CrashKind kind);
 
   private:
     FaultPlan _plan;

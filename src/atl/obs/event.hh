@@ -109,6 +109,30 @@ enum class EventKind : uint8_t
      * recorded so far.
      */
     Warning,
+
+    /**
+     * A crash-isolated sweep attempt died abnormally (child killed by a
+     * signal, silent nonzero _exit, or SIGKILLed on timeout). Recorded
+     * by the sweep engine, not a machine, so time = 0 and
+     * cpu = InvalidCpuId16. n = job index, m = attempt (0-based),
+     * t0 = killing signal when there was one, else the exit code.
+     */
+    SweepCrash,
+
+    /**
+     * A sweep job is about to be retried. n = job index, m = attempt
+     * about to run (1-based from the first retry), t0 = backoff delay
+     * in milliseconds (after jitter; 0 when backoff is disabled).
+     * time = 0, cpu = InvalidCpuId16.
+     */
+    SweepRetry,
+
+    /**
+     * A sweep cell was replayed from a durable journal instead of
+     * executed (resume after an interrupted or crashed sweep).
+     * n = job index; time = 0, cpu = InvalidCpuId16.
+     */
+    SweepResume,
 };
 
 /** Printable name of an event kind. */

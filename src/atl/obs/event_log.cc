@@ -27,6 +27,9 @@ eventKindName(EventKind kind)
       case EventKind::Fault: return "fault";
       case EventKind::Residual: return "residual";
       case EventKind::Warning: return "warning";
+      case EventKind::SweepCrash: return "sweep_crash";
+      case EventKind::SweepRetry: return "sweep_retry";
+      case EventKind::SweepResume: return "sweep_resume";
     }
     return "?";
 }

@@ -137,6 +137,15 @@ summarizeTrace(const EventLog &log, double residual_floor)
           case EventKind::Warning:
             ++s.warnings;
             break;
+          case EventKind::SweepCrash:
+            ++s.sweepCrashes;
+            break;
+          case EventKind::SweepRetry:
+            ++s.sweepRetries;
+            break;
+          case EventKind::SweepResume:
+            ++s.sweepResumes;
+            break;
         }
     }
     if (s.residualSamplesUsed > 0) {
@@ -159,6 +168,11 @@ printTraceSummary(const TraceSummary &s, std::ostream &os,
     os << "  anomalies " << s.anomalies << ", fallback enter/leave "
        << s.fallbackEnters << "/" << s.fallbackLeaves << ", faults "
        << s.faults << ", warnings " << s.warnings << "\n";
+    if (s.sweepCrashes || s.sweepRetries || s.sweepResumes) {
+        os << "  sweep recovery: crashes " << s.sweepCrashes
+           << ", retries " << s.sweepRetries << ", resumes "
+           << s.sweepResumes << "\n";
+    }
     if (s.residualSamplesUsed > 0) {
         os << "  model residual: mean |pred-obs|/obs = "
            << s.residualMeanAbsRelError << " over "
@@ -204,6 +218,9 @@ traceSummaryJson(const TraceSummary &s)
     counts["faults"] = Json(s.faults);
     counts["residual_samples"] = Json(s.residuals);
     counts["warnings"] = Json(s.warnings);
+    counts["sweep_crashes"] = Json(s.sweepCrashes);
+    counts["sweep_retries"] = Json(s.sweepRetries);
+    counts["sweep_resumes"] = Json(s.sweepResumes);
     out["counts"] = std::move(counts);
 
     Json residuals = Json::object();
@@ -421,6 +438,29 @@ perfettoTrace(const EventLog &log, const std::string &process_name)
             j["s"] = Json("g");
             Json args = Json::object();
             args["message"] = Json(log.string(e.t0));
+            j["args"] = std::move(args);
+            pending.push_back({ts, std::move(j)});
+            break;
+          }
+          case EventKind::SweepCrash:
+          case EventKind::SweepRetry:
+          case EventKind::SweepResume: {
+            // Host-side sweep recovery: no simulated clock, so these
+            // land at ts 0 on the global "events" track.
+            const char *name =
+                e.kind == EventKind::SweepCrash
+                    ? "sweep crash"
+                    : (e.kind == EventKind::SweepRetry ? "sweep retry"
+                                                       : "sweep resume");
+            Json j = baseEvent(name, "sweep", "i", ts, InvalidCpuId16);
+            j["s"] = Json("g");
+            Json args = Json::object();
+            args["job"] = Json(e.n);
+            args["attempt"] = Json(e.m);
+            if (e.kind == EventKind::SweepCrash)
+                args["signal_or_code"] = Json(e.t0);
+            else if (e.kind == EventKind::SweepRetry)
+                args["backoff_ms"] = Json(e.t0);
             j["args"] = std::move(args);
             pending.push_back({ts, std::move(j)});
             break;

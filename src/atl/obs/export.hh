@@ -86,6 +86,12 @@ struct TraceSummary
     uint64_t faults = 0;
     uint64_t residuals = 0;
     uint64_t warnings = 0;
+    /** Crash-isolated sweep attempts that died abnormally. */
+    uint64_t sweepCrashes = 0;
+    /** Sweep attempts re-run after a failure. */
+    uint64_t sweepRetries = 0;
+    /** Sweep cells replayed from a durable journal. */
+    uint64_t sweepResumes = 0;
     /** @} */
 
     /** @name Model-residual accuracy (Fig. 5 made continuous) @{ */

@@ -20,7 +20,9 @@
 #endif
 
 #ifdef ATL_ASAN
+#include <pthread.h>
 #include <sanitizer/asan_interface.h>
+#include <sanitizer/common_interface_defs.h>
 #endif
 
 namespace atl
@@ -44,6 +46,58 @@ unpoisonStackMemory(void *low, size_t bytes)
 #else
     (void)low;
     (void)bytes;
+#endif
+}
+
+/**
+ * ASan fiber-switch annotations. Without them ASan keeps believing the
+ * code runs on the OS thread's stack; any no-return path taken on a
+ * fiber (panic, a throwing atl_fatal) then makes __asan_handle_no_return
+ * unpoison a garbage "stack" range and report wild stack-buffer errors
+ * from inside the sanitizer runtime itself.
+ */
+inline void
+sanitizerStartSwitch(void **fake_stack_save, const void *bottom,
+                     size_t size)
+{
+#ifdef ATL_ASAN
+    __sanitizer_start_switch_fiber(fake_stack_save, bottom, size);
+#else
+    (void)fake_stack_save;
+    (void)bottom;
+    (void)size;
+#endif
+}
+
+inline void
+sanitizerFinishSwitch(void *fake_stack)
+{
+#ifdef ATL_ASAN
+    __sanitizer_finish_switch_fiber(fake_stack, nullptr, nullptr);
+#else
+    (void)fake_stack;
+#endif
+}
+
+/** Bounds of the calling OS thread's own stack (for the engine fiber,
+ *  which runs on it rather than on a FiberStack). */
+inline void
+threadStackBounds(const void **bottom, size_t *size)
+{
+#ifdef ATL_ASAN
+    pthread_attr_t attr;
+    if (pthread_getattr_np(pthread_self(), &attr) != 0)
+        return;
+    void *addr = nullptr;
+    size_t bytes = 0;
+    if (pthread_attr_getstack(&attr, &addr, &bytes) == 0) {
+        *bottom = addr;
+        *size = bytes;
+    }
+    pthread_attr_destroy(&attr);
+#else
+    (void)bottom;
+    (void)size;
 #endif
 }
 
@@ -152,6 +206,9 @@ Fiber::arm(FiberStack &stack, std::function<void()> entry)
 {
     _entry = std::move(entry);
     _armed = true;
+    _stackBottom = static_cast<char *>(stack.top()) - stack.size();
+    _stackSize = stack.size();
+    _fakeStack = nullptr;
     unpoisonStackMemory(static_cast<char *>(stack.top()) - stack.size(),
                         stack.size());
 
@@ -175,12 +232,26 @@ Fiber::switchTo(Fiber &from, Fiber &to)
         // First resumption: the trampoline needs to find the fiber.
         startingFiber = &to;
     }
+    // An engine fiber has no FiberStack; it runs on the OS thread's
+    // stack, whose bounds are discovered the first time it switches
+    // away. Any fiber being switched *to* has bounds by construction:
+    // either arm() set them or it was a `from` before.
+    if (!from._stackBottom)
+        threadStackBounds(&from._stackBottom, &from._stackSize);
+    sanitizerStartSwitch(&from._fakeStack, to._stackBottom,
+                         to._stackSize);
     atl_ctx_switch(&from._impl->sp, to._impl->sp);
+    // Back on from's stack: somebody switched into us again.
+    sanitizerFinishSwitch(from._fakeStack);
+    from._fakeStack = nullptr;
 }
 
 void
 Fiber::runEntry()
 {
+    // First landing on this fiber's stack.
+    sanitizerFinishSwitch(_fakeStack);
+    _fakeStack = nullptr;
     // The closure stays owned by the Fiber: entry() never returns, so a
     // stack-local copy could never be destroyed and would leak for any
     // closure too large for std::function's small-buffer optimisation.
@@ -220,6 +291,9 @@ Fiber::arm(FiberStack &stack, std::function<void()> entry)
 {
     _entry = std::move(entry);
     _armed = true;
+    _stackBottom = static_cast<char *>(stack.top()) - stack.size();
+    _stackSize = stack.size();
+    _fakeStack = nullptr;
     unpoisonStackMemory(static_cast<char *>(stack.top()) - stack.size(),
                         stack.size());
     getcontext(&_impl->ctx);
@@ -236,12 +310,21 @@ Fiber::switchTo(Fiber &from, Fiber &to)
 {
     if (to._armed && to._entry)
         startingFiber = &to;
+    // See the x86-64 switchTo for the sanitizer protocol.
+    if (!from._stackBottom)
+        threadStackBounds(&from._stackBottom, &from._stackSize);
+    sanitizerStartSwitch(&from._fakeStack, to._stackBottom,
+                         to._stackSize);
     swapcontext(&from._impl->ctx, &to._impl->ctx);
+    sanitizerFinishSwitch(from._fakeStack);
+    from._fakeStack = nullptr;
 }
 
 void
 Fiber::runEntry()
 {
+    sanitizerFinishSwitch(_fakeStack);
+    _fakeStack = nullptr;
     // See the x86-64 runEntry: the Fiber keeps owning the closure so it
     // can be released even though entry() never returns.
     _armed = false;

@@ -92,6 +92,13 @@ class Fiber
     std::unique_ptr<Impl> _impl;
     std::function<void()> _entry;
     bool _armed = false;
+    // Sanitizer fiber-switch bookkeeping (maintained unconditionally,
+    // consulted only in ASan builds — see context.cc). ASan must be
+    // told about every stack switch, or any no-return path (panic,
+    // throw) running on a fiber computes garbage stack bounds.
+    void *_fakeStack = nullptr;        ///< fake-stack handle, suspended
+    const void *_stackBottom = nullptr; ///< lowest usable stack address
+    size_t _stackSize = 0;              ///< usable stack bytes
 };
 
 } // namespace atl

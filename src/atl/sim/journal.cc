@@ -1,0 +1,264 @@
+#include "atl/sim/journal.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "atl/util/logging.hh"
+
+namespace atl
+{
+
+namespace
+{
+
+/** FNV-1a 64-bit over a byte string. */
+uint64_t
+fnv1a(uint64_t hash, const void *data, size_t size)
+{
+    const unsigned char *bytes = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001B3ull;
+    }
+    return hash;
+}
+
+uint64_t
+fnv1aString(uint64_t hash, const std::string &s)
+{
+    hash = fnv1a(hash, s.data(), s.size());
+    // Separator byte so {"ab","c"} and {"a","bc"} hash differently.
+    unsigned char sep = 0xFF;
+    return fnv1a(hash, &sep, 1);
+}
+
+/** Hex text of the config hash. JSON numbers are doubles, which cannot
+ *  carry a full 64-bit hash exactly, so the header stores it as a
+ *  string and the match is a string compare. */
+std::string
+hashText(uint64_t hash)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return buf;
+}
+
+} // namespace
+
+SweepJournal::SweepJournal(std::string bench_name, std::string path)
+    : _bench(std::move(bench_name)), _path(std::move(path))
+{
+    if (_path.empty())
+        _path = BenchReport::resultsDir() + "/" + _bench + ".journal.jsonl";
+}
+
+SweepJournal::~SweepJournal()
+{
+    if (_fd >= 0)
+        ::close(_fd);
+}
+
+uint64_t
+SweepJournal::configHash(const std::string &bench_name,
+                         const std::vector<SweepJob> &sweep)
+{
+    uint64_t hash = 0xcbf29ce484222325ull;
+    hash = fnv1aString(hash, bench_name);
+    uint64_t count = sweep.size();
+    hash = fnv1a(hash, &count, sizeof(count));
+    for (const SweepJob &job : sweep)
+        hash = fnv1aString(hash, job.name);
+    return hash;
+}
+
+size_t
+SweepJournal::beginSweep(uint64_t config_hash, size_t job_count)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _completed.clear();
+    if (_fd >= 0) {
+        ::close(_fd);
+        _fd = -1;
+    }
+
+    // Replay pass: accept the file only when its header matches this
+    // sweep's shape. A malformed line (torn tail of a crashed writer)
+    // ends the replay; everything before it counts.
+    bool header_ok = false;
+    {
+        std::ifstream in(_path);
+        std::string line;
+        bool first = true;
+        while (in && std::getline(in, line)) {
+            if (line.empty())
+                continue;
+            Json record;
+            if (!Json::parse(line, record) || !record.isObject() ||
+                !record.at("kind").isString())
+                break;
+            const std::string &kind = record.at("kind").asString();
+            if (first) {
+                first = false;
+                if (kind != "begin" ||
+                    !record.at("bench").isString() ||
+                    record.at("bench").asString() != _bench ||
+                    !record.at("config_hash").isString() ||
+                    record.at("config_hash").asString() !=
+                        hashText(config_hash) ||
+                    !record.at("jobs").isNumber() ||
+                    record.at("jobs").asUint() != job_count) {
+                    break; // stale journal from another sweep shape
+                }
+                header_ok = true;
+                continue;
+            }
+            if (kind == "done" && record.has("index") &&
+                record.has("metrics")) {
+                RunMetrics metrics;
+                if (BenchReport::fromJson(record.at("metrics"), metrics)) {
+                    size_t index =
+                        static_cast<size_t>(record.at("index").asUint());
+                    if (index < job_count)
+                        _completed[index] = std::move(metrics);
+                }
+            }
+            // "start" and "failed" records carry no replayable state:
+            // those cells simply run again.
+        }
+    }
+    if (!header_ok)
+        _completed.clear();
+
+    std::error_code ec;
+    std::filesystem::path dir =
+        std::filesystem::path(_path).parent_path();
+    if (!dir.empty())
+        std::filesystem::create_directories(dir, ec);
+
+    int flags = O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC;
+    if (!header_ok)
+        flags |= O_TRUNC;
+    _fd = ::open(_path.c_str(), flags, 0644);
+    if (_fd < 0) {
+        atl_fatal("cannot open sweep journal '", _path,
+                  "': ", std::strerror(errno));
+    }
+    if (!header_ok) {
+        Json header = Json::object();
+        header["kind"] = Json("begin");
+        header["bench"] = Json(_bench);
+        header["config_hash"] = Json(hashText(config_hash));
+        header["jobs"] = Json(static_cast<uint64_t>(job_count));
+        std::string line = header.dumpCompact();
+        line += '\n';
+        ssize_t n = ::write(_fd, line.data(), line.size());
+        (void) n;
+        ::fsync(_fd);
+    }
+    return _completed.size();
+}
+
+bool
+SweepJournal::completedMetrics(size_t index, RunMetrics &out) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto it = _completed.find(index);
+    if (it == _completed.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+size_t
+SweepJournal::completedCount() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _completed.size();
+}
+
+void
+SweepJournal::appendRecord(const Json &record)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (_fd < 0)
+        return;
+    std::string line = record.dumpCompact();
+    line += '\n';
+    // One write per record keeps lines atomic for same-process readers;
+    // the fsync makes the record durable before the sweep moves on, so
+    // a SIGKILL right after a job completes can never lose that cell.
+    size_t off = 0;
+    while (off < line.size()) {
+        ssize_t n = ::write(_fd, line.data() + off, line.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            atl_warn("sweep journal write to '", _path,
+                     "' failed: ", std::strerror(errno));
+            return;
+        }
+        off += static_cast<size_t>(n);
+    }
+    ::fsync(_fd);
+}
+
+void
+SweepJournal::noteStart(size_t index, const std::string &name)
+{
+    Json record = Json::object();
+    record["kind"] = Json("start");
+    record["index"] = Json(static_cast<uint64_t>(index));
+    record["name"] = Json(name);
+    appendRecord(record);
+}
+
+void
+SweepJournal::noteDone(size_t index, const RunMetrics &metrics)
+{
+    Json record = Json::object();
+    record["kind"] = Json("done");
+    record["index"] = Json(static_cast<uint64_t>(index));
+    record["metrics"] = BenchReport::toJson(metrics);
+    appendRecord(record);
+}
+
+void
+SweepJournal::noteFailed(const SweepJobFailure &failure)
+{
+    Json record = Json::object();
+    record["kind"] = Json("failed");
+    record["index"] = Json(static_cast<uint64_t>(failure.index));
+    record["name"] = Json(failure.name);
+    record["message"] = Json(failure.message);
+    record["attempts"] = Json(static_cast<uint64_t>(failure.attempts));
+    record["timed_out"] = Json(failure.timedOut);
+    record["crashed"] = Json(failure.crashed);
+    record["exit_signal"] =
+        Json(static_cast<int64_t>(failure.exitSignal));
+    record["exit_code"] = Json(static_cast<int64_t>(failure.exitCode));
+    record["attempts_backoff_ms"] = Json(failure.attemptsBackoffMs);
+    appendRecord(record);
+}
+
+void
+SweepJournal::remove()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (_fd >= 0) {
+        ::close(_fd);
+        _fd = -1;
+    }
+    std::error_code ec;
+    std::filesystem::remove(_path, ec);
+    _completed.clear();
+}
+
+} // namespace atl

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Durable, resumable sweep journal. An append-only JSONL file records
+ * every job transition of a sweep — start, done (with the full
+ * RunMetrics), failed — each line fsync'd before the engine moves on,
+ * so the journal survives SIGKILL, power loss and crashes of the sweep
+ * process itself. A rerun replays the completed cells straight from the
+ * journal and executes only the rest; a sweep that finishes clean
+ * removes its journal so the next run starts fresh.
+ *
+ * Record stream (one JSON object per line):
+ *
+ *   {"kind":"begin","bench":NAME,"config_hash":H,"jobs":N}
+ *   {"kind":"start","index":I,"name":JOB}
+ *   {"kind":"done","index":I,"metrics":{...BenchReport::toJson...}}
+ *   {"kind":"failed","index":I,"name":JOB,"message":...,...}
+ *
+ * The begin header keys the journal to (bench name, config hash, job
+ * count): a journal written by a different sweep shape is discarded
+ * instead of replayed, so resume can never stitch cells from two
+ * different experiments together. A truncated final line (the crash
+ * happened mid-write) is ignored; everything before it replays.
+ */
+
+#ifndef ATL_SIM_JOURNAL_HH
+#define ATL_SIM_JOURNAL_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "atl/sim/sweep.hh"
+
+namespace atl
+{
+
+/** Append-only JSONL journal for one sweep (thread-safe: pool workers
+ *  append concurrently). */
+class SweepJournal
+{
+  public:
+    /**
+     * @param bench_name sweep identity (also the default file stem)
+     * @param path journal file; empty derives
+     *        "<results dir>/<bench_name>.journal.jsonl"
+     */
+    explicit SweepJournal(std::string bench_name, std::string path = "");
+    ~SweepJournal();
+
+    SweepJournal(const SweepJournal &) = delete;
+    SweepJournal &operator=(const SweepJournal &) = delete;
+
+    /** Journal file path. */
+    const std::string &path() const { return _path; }
+
+    /**
+     * Open the journal for a sweep of the given shape: load any
+     * existing file, keep its completed cells when the begin header
+     * matches (bench, config_hash, job_count), otherwise discard it and
+     * write a fresh header. Called by SweepRunner::runCollect.
+     * @return number of completed cells available for replay
+     */
+    size_t beginSweep(uint64_t config_hash, size_t job_count);
+
+    /** Replay the metrics of a completed cell.
+     *  @retval false when the journal has no done-record for index */
+    bool completedMetrics(size_t index, RunMetrics &out) const;
+
+    /** Completed cells loaded from disk (replayable on resume). */
+    size_t completedCount() const;
+
+    /** Record that job `index` is about to run (fsync'd). */
+    void noteStart(size_t index, const std::string &name);
+
+    /** Record a completed job with its metrics (fsync'd). */
+    void noteDone(size_t index, const RunMetrics &metrics);
+
+    /** Record a failed job after its last attempt (fsync'd). Failed
+     *  cells are *not* replayed on resume — they run again. */
+    void noteFailed(const SweepJobFailure &failure);
+
+    /** Delete the journal (the sweep completed; a rerun starts fresh). */
+    void remove();
+
+    /** Stable hash of a sweep's shape: bench name, job count and every
+     *  job name (FNV-1a 64). */
+    static uint64_t configHash(const std::string &bench_name,
+                               const std::vector<SweepJob> &sweep);
+
+  private:
+    void appendRecord(const Json &record);
+
+    std::string _bench;
+    std::string _path;
+    int _fd = -1;
+    mutable std::mutex _mutex;
+    /** Cells replayable from the loaded journal, by job index. */
+    std::unordered_map<size_t, RunMetrics> _completed;
+};
+
+} // namespace atl
+
+#endif // ATL_SIM_JOURNAL_HH

@@ -1,0 +1,258 @@
+#include "atl/sim/supervisor.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <exception>
+
+#include <poll.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "atl/sim/sweep.hh"
+#include "atl/util/json.hh"
+
+namespace atl
+{
+
+namespace
+{
+
+using SteadyClock = std::chrono::steady_clock;
+
+/** Write the whole buffer, retrying on EINTR/partial writes. Best
+ *  effort: the child has nowhere to report a pipe error anyway. */
+void
+writeAll(int fd, const std::string &data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        off += static_cast<size_t>(n);
+    }
+}
+
+/** Child side: run the body, marshal metrics (or the exception text)
+ *  into the pipe, and _exit. Never returns. _exit (not exit) so the
+ *  duplicated stdio buffers and atexit handlers of the parent are not
+ *  replayed. */
+[[noreturn]] void
+childMain(int fd, const std::function<RunMetrics()> &body)
+{
+    int code = 0;
+    std::string payload;
+    try {
+        RunMetrics metrics = body();
+        payload = BenchReport::toJson(metrics).dumpCompact();
+    } catch (const std::exception &e) {
+        payload = e.what();
+        code = kSupervisedExceptionExit;
+    } catch (...) {
+        payload = "unknown exception";
+        code = kSupervisedExceptionExit;
+    }
+    writeAll(fd, payload);
+    ::close(fd);
+    ::_exit(code);
+}
+
+/** Reap the child, retrying on EINTR. */
+int
+reap(pid_t pid)
+{
+    int status = 0;
+    for (;;) {
+        pid_t r = ::waitpid(pid, &status, 0);
+        if (r == pid)
+            return status;
+        if (r < 0 && errno == EINTR)
+            continue;
+        // ECHILD and friends: nothing left to reap; synthesise a clean
+        // exit so the caller's status decoding stays well-defined.
+        return 0;
+    }
+}
+
+} // namespace
+
+SupervisedResult
+runSupervised(const std::function<RunMetrics()> &body, double timeout_s)
+{
+    SupervisedResult result;
+
+    int fds[2];
+    if (::pipe(fds) != 0) {
+        result.message = std::string("pipe failed: ") +
+                         std::strerror(errno);
+        return result;
+    }
+
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        result.message = std::string("fork failed: ") +
+                         std::strerror(errno);
+        ::close(fds[0]);
+        ::close(fds[1]);
+        return result;
+    }
+    if (pid == 0) {
+        ::close(fds[0]);
+        childMain(fds[1], body);
+    }
+    ::close(fds[1]);
+
+    // Read the child's payload until EOF or the deadline. EOF arrives
+    // when the child _exits *or* dies abnormally (the kernel closes its
+    // end either way), so this loop also doubles as the death watch.
+    SteadyClock::time_point deadline{};
+    bool bounded = timeout_s > 0.0;
+    if (bounded) {
+        deadline = SteadyClock::now() +
+                   std::chrono::duration_cast<SteadyClock::duration>(
+                       std::chrono::duration<double>(timeout_s));
+    }
+
+    std::string output;
+    char buf[4096];
+    for (;;) {
+        int wait_ms = -1;
+        if (bounded) {
+            auto left = std::chrono::duration_cast<
+                std::chrono::milliseconds>(deadline - SteadyClock::now());
+            if (left.count() <= 0) {
+                result.timedOut = true;
+                break;
+            }
+            wait_ms = static_cast<int>(left.count()) + 1;
+        }
+        struct pollfd p = {fds[0], POLLIN, 0};
+        int pr = ::poll(&p, 1, wait_ms);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // poll error: fall through to reap with what we have
+        }
+        if (pr == 0) {
+            result.timedOut = true;
+            break;
+        }
+        ssize_t n = ::read(fds[0], buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (n == 0)
+            break; // EOF: the child is done (or dead)
+        output.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fds[0]);
+
+    if (result.timedOut) {
+        // A timeout really reclaims the attempt: the child is killed
+        // outright and reaped, not abandoned to keep burning a core.
+        ::kill(pid, SIGKILL);
+        reap(pid);
+        result.message = "timed out after " + std::to_string(timeout_s) +
+                         "s (child killed)";
+        result.exitSignal = SIGKILL;
+        return result;
+    }
+
+    int status = reap(pid);
+    if (WIFSIGNALED(status)) {
+        int sig = WTERMSIG(status);
+        result.crashed = true;
+        result.exitSignal = sig;
+        const char *name = strsignal(sig);
+        result.message = "child killed by signal " + std::to_string(sig) +
+                         (name ? std::string(" (") + name + ")" : "");
+        return result;
+    }
+
+    int code = WIFEXITED(status) ? WEXITSTATUS(status) : 0;
+    if (code == kSupervisedExceptionExit) {
+        result.exitCode = code;
+        result.message = output.empty() ? "child exception" : output;
+        return result;
+    }
+    if (code != 0) {
+        // Silent death: the body (or an injected fault) called _exit
+        // without reporting anything.
+        result.crashed = true;
+        result.exitCode = code;
+        result.message = "child exited with code " + std::to_string(code) +
+                         " without reporting metrics";
+        return result;
+    }
+
+    Json parsed;
+    std::string error;
+    if (!Json::parse(output, parsed, &error) ||
+        !BenchReport::fromJson(parsed, result.metrics)) {
+        result.crashed = true;
+        result.message = "child exited 0 but its metrics did not parse" +
+                         (error.empty() ? std::string()
+                                        : ": " + error);
+        return result;
+    }
+    result.ok = true;
+    return result;
+}
+
+// ---------------------------------------------------------------------
+// SweepSignalGuard
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Set by the handler; read by the sweep engine between jobs. */
+volatile sig_atomic_t g_interrupted = 0;
+/** Live guard count; handlers installed on 0 -> 1, restored on 1 -> 0.
+ *  Guards are constructed on the sweep's calling thread only, so a
+ *  plain counter is enough. */
+int g_guardDepth = 0;
+
+void
+onSweepSignal(int)
+{
+    g_interrupted = 1;
+}
+
+} // namespace
+
+SweepSignalGuard::SweepSignalGuard() : _oldInt(), _oldTerm()
+{
+    if (g_guardDepth++ > 0)
+        return;
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = onSweepSignal;
+    sigemptyset(&action.sa_mask);
+    ::sigaction(SIGINT, &action, &_oldInt);
+    ::sigaction(SIGTERM, &action, &_oldTerm);
+}
+
+SweepSignalGuard::~SweepSignalGuard()
+{
+    if (--g_guardDepth > 0)
+        return;
+    ::sigaction(SIGINT, &_oldInt, nullptr);
+    ::sigaction(SIGTERM, &_oldTerm, nullptr);
+    g_interrupted = 0;
+}
+
+bool
+SweepSignalGuard::interrupted()
+{
+    return g_interrupted != 0;
+}
+
+} // namespace atl

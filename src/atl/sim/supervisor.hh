@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Process isolation for sweep jobs. A sweep cell that SIGSEGVs, aborts,
+ * silently _exit()s, is OOM-killed or wedges must cost the sweep one
+ * failed cell, never the process: runSupervised() forks a child that
+ * executes the job body and marshals its RunMetrics back over a pipe as
+ * JSON (BenchReport::toJson / fromJson), while the parent reads with a
+ * deadline, reclaims a wedged child with SIGKILL, and reaps it with
+ * waitpid — turning every way a child can die into an ordinary,
+ * attributable SupervisedResult.
+ *
+ * The companion SweepSignalGuard traps SIGINT/SIGTERM for the duration
+ * of a sweep so an interrupted run can flush a partial report (and its
+ * journal survives for resume) instead of vanishing mid-write.
+ */
+
+#ifndef ATL_SIM_SUPERVISOR_HH
+#define ATL_SIM_SUPERVISOR_HH
+
+#include <csignal>
+#include <functional>
+#include <string>
+
+#include "atl/sim/experiment.hh"
+
+namespace atl
+{
+
+/** Everything the parent learned about one supervised attempt. */
+struct SupervisedResult
+{
+    /** Child exited 0 and its metrics parsed. */
+    bool ok = false;
+    /** Valid only when ok. */
+    RunMetrics metrics;
+    /** Human-readable failure description (exception text from the
+     *  child, signal name, exit code, or timeout note). */
+    std::string message;
+    /** Deadline expired; the child was killed with SIGKILL and reaped. */
+    bool timedOut = false;
+    /** The child died abnormally: killed by a signal, or exited nonzero
+     *  without reporting an exception (silent _exit). */
+    bool crashed = false;
+    /** Terminating signal (WTERMSIG), 0 when the child exited. */
+    int exitSignal = 0;
+    /** Exit status (WEXITSTATUS), 0 when killed by a signal. */
+    int exitCode = 0;
+};
+
+/**
+ * Run one job body in a forked child and reap it.
+ *
+ * The child runs body(), serialises the metrics as JSON into a pipe and
+ * _exit()s; an exception is marshalled as its what() text with a
+ * reserved exit code. The parent polls the pipe with the given deadline
+ * (0 disables), SIGKILLs the child when the deadline expires, and
+ * always waitpid()s — no zombies, no abandoned threads. Fork-fatal
+ * setup errors (pipe/fork failure) come back as ordinary failures.
+ *
+ * The body must be self-contained (sweep-job contract): nothing it
+ * mutates in the child is visible to the parent except the marshalled
+ * metrics.
+ */
+SupervisedResult runSupervised(const std::function<RunMetrics()> &body,
+                               double timeout_s);
+
+/** Exit code the child uses to report a caught exception (its what()
+ *  text travels over the pipe). Distinct from any small code a silent
+ *  `_exit` fault is likely to use. */
+inline constexpr int kSupervisedExceptionExit = 113;
+
+/**
+ * RAII trap for SIGINT/SIGTERM around a sweep. While at least one
+ * guard is alive, the first signal sets a process-wide flag instead of
+ * killing the process; the sweep engine stops claiming new jobs, the
+ * bench flushes a partial (complete=false) report, and a journalled
+ * sweep resumes from disk on the next run. Nested guards share one
+ * installation; the outermost destructor restores the previous
+ * handlers and clears the flag.
+ */
+class SweepSignalGuard
+{
+  public:
+    SweepSignalGuard();
+    ~SweepSignalGuard();
+
+    SweepSignalGuard(const SweepSignalGuard &) = delete;
+    SweepSignalGuard &operator=(const SweepSignalGuard &) = delete;
+
+    /** True once SIGINT/SIGTERM arrived under any live guard. */
+    static bool interrupted();
+
+  private:
+    struct sigaction _oldInt;
+    struct sigaction _oldTerm;
+};
+
+} // namespace atl
+
+#endif // ATL_SIM_SUPERVISOR_HH

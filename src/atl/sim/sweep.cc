@@ -14,8 +14,16 @@
 #include <mutex>
 #include <thread>
 
+#include <csignal>
+#include <cstdio>
+
+#include <fcntl.h>
+#include <unistd.h>
+
 #include "atl/fault/fault.hh"
 #include "atl/obs/export.hh"
+#include "atl/sim/journal.hh"
+#include "atl/sim/supervisor.hh"
 #include "atl/util/logging.hh"
 
 namespace atl
@@ -50,6 +58,9 @@ struct AttemptResult
     RunMetrics metrics;
     std::string message;
     bool timedOut = false;
+    bool crashed = false;
+    int exitSignal = 0;
+    int exitCode = 0;
 };
 
 AttemptResult
@@ -76,8 +87,26 @@ callAttempt(const std::function<RunMetrics()> &call)
  * abandoned.
  */
 AttemptResult
-runAttempt(const std::function<RunMetrics()> &call, double timeout_s)
+runAttempt(const std::function<RunMetrics()> &call, double timeout_s,
+           bool isolate)
 {
+    if (isolate) {
+        // Crash-isolated attempt: fork, marshal, reap. Every abnormal
+        // child death (signal, silent _exit, OOM-kill) and every
+        // timeout comes back as an attributable failure; the wedged
+        // child is SIGKILLed, not abandoned.
+        SupervisedResult s = runSupervised(call, timeout_s);
+        AttemptResult result;
+        result.ok = s.ok;
+        result.metrics = std::move(s.metrics);
+        result.message = std::move(s.message);
+        result.timedOut = s.timedOut;
+        result.crashed = s.crashed;
+        result.exitSignal = s.exitSignal;
+        result.exitCode = s.exitCode;
+        return result;
+    }
+
     if (timeout_s <= 0.0)
         return callAttempt(call);
 
@@ -102,6 +131,39 @@ runAttempt(const std::function<RunMetrics()> &call, double timeout_s)
 }
 
 } // namespace
+
+SweepOptions
+sweepOptionsFromEnv(SweepOptions base)
+{
+    auto envDouble = [](const char *name, double &out) {
+        if (const char *env = std::getenv(name)) {
+            char *end = nullptr;
+            double v = std::strtod(env, &end);
+            if (end && end != env && *end == '\0' && v >= 0.0)
+                out = v;
+            else
+                atl_warn("ignoring malformed ", name, "='", env, "'");
+        }
+    };
+    auto envUnsigned = [](const char *name, unsigned &out) {
+        if (const char *env = std::getenv(name)) {
+            char *end = nullptr;
+            unsigned long v = std::strtoul(env, &end, 10);
+            if (end && end != env && *end == '\0')
+                out = static_cast<unsigned>(v);
+            else
+                atl_warn("ignoring malformed ", name, "='", env, "'");
+        }
+    };
+    if (const char *env = std::getenv("ATL_ISOLATE")) {
+        base.isolate = *env && std::string(env) != "0";
+    }
+    envDouble("ATL_SWEEP_TIMEOUT", base.timeoutSeconds);
+    envUnsigned("ATL_SWEEP_ATTEMPTS", base.maxAttempts);
+    envDouble("ATL_SWEEP_BACKOFF_MS", base.backoffBaseMs);
+    envUnsigned("ATL_SWEEP_KILL_AFTER", base.selfKillAfter);
+    return base;
+}
 
 SweepFailure::SweepFailure(std::vector<SweepJobFailure> failures)
     : std::runtime_error(summariseFailures(failures)),
@@ -209,15 +271,91 @@ SweepRunner::runCollect(const std::vector<SweepJob> &sweep,
     SweepOutcome outcome;
     outcome.results.resize(sweep.size());
     outcome.ok.assign(sweep.size(), 0);
+    outcome.resumed.assign(sweep.size(), 0);
     std::mutex failures_mutex;
+    std::mutex telemetry_mutex;
+    std::atomic<unsigned> jobs_completed{0};
     const unsigned max_attempts = std::max(1u, options.maxAttempts);
+
+    // SIGINT/SIGTERM during the sweep stop the engine from *starting*
+    // jobs (in-flight ones finish) so the caller can flush a partial
+    // report and, with a journal, resume from it on the next run.
+    SweepSignalGuard signal_guard;
+
+    if (options.journal) {
+        options.journal->beginSweep(
+            SweepJournal::configHash("sweep", sweep),
+            sweep.size());
+    }
+
+    // Sweep-level recovery telemetry: the pool records from every
+    // worker, so unlike per-job logs this one needs a lock. Crashes,
+    // retries and resumes are rare, so contention is irrelevant.
+    auto emit = [&](EventKind kind, size_t index, uint64_t attempt,
+                    uint64_t detail) {
+        if (!options.telemetry)
+            return;
+        Event e;
+        e.kind = kind;
+        e.cpu = InvalidCpuId16;
+        e.n = index;
+        e.m = attempt;
+        e.t0 = detail;
+        std::lock_guard<std::mutex> lock(telemetry_mutex);
+        options.telemetry->record(e);
+    };
 
     forEach(sweep.size(), [&](size_t i) {
         const SweepJob &job = sweep[i];
+
+        if (options.journal) {
+            RunMetrics replayed;
+            if (options.journal->completedMetrics(i, replayed)) {
+                outcome.results[i] = std::move(replayed);
+                outcome.ok[i] = 1;
+                outcome.resumed[i] = 1;
+                emit(EventKind::SweepResume, i, 0, 0);
+                return;
+            }
+        }
+        if (SweepSignalGuard::interrupted())
+            return; // skipped; the journal resumes it next run
+
+        if (options.journal)
+            options.journal->noteStart(i, job.name);
+
         SweepJobFailure failure;
         failure.index = i;
         failure.name = job.name;
         for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+            if (attempt > 0) {
+                // Exponential backoff with seeded jitter: doubling
+                // spreads load off a struggling host, jitter keeps many
+                // retrying jobs from re-colliding, and deriving it from
+                // (retrySeedBase, index, attempt) keeps reruns
+                // bit-reproducible.
+                uint64_t wait_ms = 0;
+                if (options.backoffBaseMs > 0.0) {
+                    double ms = options.backoffBaseMs *
+                                static_cast<double>(1ull << std::min(
+                                    attempt - 1, 20u));
+                    ms = std::min(ms, options.backoffMaxMs);
+                    uint64_t z = deriveSeed(
+                        deriveSeed(options.retrySeedBase ^
+                                       0x6a09e667f3bcc908ull, i),
+                        attempt);
+                    double jitter =
+                        0.5 + static_cast<double>(z >> 11) *
+                                  (1.0 / 9007199254740992.0);
+                    wait_ms = static_cast<uint64_t>(ms * jitter);
+                    failure.attemptsBackoffMs += wait_ms;
+                }
+                emit(EventKind::SweepRetry, i, attempt, wait_ms);
+                if (wait_ms > 0) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(wait_ms));
+                }
+            }
             std::function<RunMetrics()> call;
             if (job.seededBody) {
                 // Fresh derived seed per attempt: a job wedged by one
@@ -231,19 +369,52 @@ SweepRunner::runCollect(const std::vector<SweepJob> &sweep,
                 call = job.body;
             }
             AttemptResult result =
-                runAttempt(call, options.timeoutSeconds);
+                runAttempt(call, options.timeoutSeconds,
+                           options.isolate);
             failure.attempts = attempt + 1;
             if (result.ok) {
                 outcome.results[i] = std::move(result.metrics);
                 outcome.ok[i] = 1;
+                if (options.journal)
+                    options.journal->noteDone(i, outcome.results[i]);
+                if (options.selfKillAfter &&
+                    jobs_completed.fetch_add(1) + 1 >=
+                        options.selfKillAfter) {
+                    // Chaos knob: simulate the sweep process dying hard
+                    // mid-run. The journal's fsync'd records are all
+                    // that survives — exactly what resume tests need.
+                    ::raise(SIGKILL);
+                }
                 return;
             }
             failure.message = std::move(result.message);
             failure.timedOut = result.timedOut;
+            failure.crashed = result.crashed;
+            failure.exitSignal = result.exitSignal;
+            failure.exitCode = result.exitCode;
+            if (result.crashed || (result.timedOut && options.isolate)) {
+                emit(EventKind::SweepCrash, i, attempt,
+                     static_cast<uint64_t>(
+                         result.exitSignal > 0
+                             ? result.exitSignal
+                             : result.exitCode));
+            }
+            if (SweepSignalGuard::interrupted())
+                break;
         }
+        if (options.journal)
+            options.journal->noteFailed(failure);
         std::lock_guard<std::mutex> lock(failures_mutex);
         outcome.failures.push_back(std::move(failure));
     });
+
+    outcome.interrupted = SweepSignalGuard::interrupted();
+    if (options.journal && outcome.complete()) {
+        // Clean end-to-end sweep: the journal has served its purpose;
+        // removing it makes the next run start fresh instead of
+        // replaying stale cells.
+        options.journal->remove();
+    }
 
     std::sort(outcome.failures.begin(), outcome.failures.end(),
               [](const SweepJobFailure &a, const SweepJobFailure &b) {
@@ -275,14 +446,18 @@ BenchReport::BenchReport(std::string bench_name)
     : _name(std::move(bench_name)), _doc(Json::object())
 {
     _doc["bench"] = Json(_name);
-    // Schema 4 adds the optional top-level "telemetry" object (see
-    // traceSummaryJson) to benches run with an event log attached.
-    _doc["schema"] = Json(4);
+    // Schema 5 adds crash-isolation fields: per-failure exit_signal /
+    // exit_code / crashed / attempts_backoff_ms, and the top-level
+    // resumed_runs count of cells replayed from a sweep journal.
+    // (Schema 4 added the optional top-level "telemetry" object, see
+    // traceSummaryJson.)
+    _doc["schema"] = Json(5);
     _doc["runs"] = Json::array();
     // Partial-result status (schema 3): noteFailure clears the flag,
     // so a report that lost cells says so instead of passing silently.
     _doc["complete"] = Json(true);
     _doc["failed_runs"] = Json::array();
+    _doc["resumed_runs"] = Json(static_cast<uint64_t>(0));
 }
 
 void
@@ -307,6 +482,11 @@ BenchReport::noteFailure(const SweepJobFailure &failure)
     entry["message"] = Json(failure.message);
     entry["attempts"] = Json(static_cast<uint64_t>(failure.attempts));
     entry["timed_out"] = Json(failure.timedOut);
+    // Schema 5: how the job died, when it died abnormally.
+    entry["crashed"] = Json(failure.crashed);
+    entry["exit_signal"] = Json(static_cast<int64_t>(failure.exitSignal));
+    entry["exit_code"] = Json(static_cast<int64_t>(failure.exitCode));
+    entry["attempts_backoff_ms"] = Json(failure.attemptsBackoffMs);
     _doc["failed_runs"].push(std::move(entry));
 }
 
@@ -319,6 +499,15 @@ BenchReport::noteOutcome(const SweepOutcome &outcome)
     }
     for (const SweepJobFailure &failure : outcome.failures)
         noteFailure(failure);
+    _doc["resumed_runs"] =
+        Json(static_cast<uint64_t>(outcome.resumedRuns()));
+    if (outcome.interrupted) {
+        // A sweep cut short by SIGINT/SIGTERM: the skipped cells have
+        // no failure entries, so the flag (not failed_runs) is what
+        // marks this report partial.
+        _doc["complete"] = Json(false);
+        _doc["interrupted"] = Json(true);
+    }
 }
 
 Json
@@ -453,18 +642,51 @@ BenchReport::write() const
                   "': ", ec.message());
     }
 
+    // Crash-safe write: the document goes to a uniquely-named temp
+    // file, is fsync'd, and only then rename()d over the target. A
+    // sweep killed mid-write leaves the old report (or no report) in
+    // place — never a truncated JSON that downstream tooling would
+    // choke on — and rename atomicity means concurrent writers can
+    // interleave freely with readers always seeing a complete file.
     std::string path = dir + "/" + _name + ".json";
-    errno = 0;
-    std::ofstream out(path, std::ios::trunc);
-    if (!out) {
-        atl_fatal("cannot open '", path, "' for writing: ",
+    static std::atomic<unsigned> write_counter{0};
+    std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                      std::to_string(write_counter.fetch_add(1));
+
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                    0644);
+    if (fd < 0) {
+        atl_fatal("cannot open '", tmp, "' for writing: ",
                   std::strerror(errno ? errno : EIO));
     }
-    out << _doc.dump();
-    out.flush();
-    if (!out) {
-        atl_fatal("error writing '", path, "': ",
-                  std::strerror(errno ? errno : EIO));
+    std::string text = _doc.dump();
+    size_t off = 0;
+    while (off < text.size()) {
+        ssize_t n = ::write(fd, text.data() + off, text.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            int err = errno;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            atl_fatal("error writing '", tmp, "': ",
+                      std::strerror(err ? err : EIO));
+        }
+        off += static_cast<size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        int err = errno;
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        atl_fatal("fsync of '", tmp, "' failed: ",
+                  std::strerror(err ? err : EIO));
+    }
+    ::close(fd);
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        int err = errno;
+        ::unlink(tmp.c_str());
+        atl_fatal("cannot rename '", tmp, "' to '", path, "': ",
+                  std::strerror(err ? err : EIO));
     }
     return path;
 }
@@ -500,6 +722,30 @@ injectJobFaults(std::vector<SweepJob> &jobs, FaultInjector &faults)
                 jobs[i].body = [inner, seconds]() {
                     std::this_thread::sleep_for(
                         std::chrono::duration<double>(seconds));
+                    return inner();
+                };
+            }
+            break;
+          }
+          case FaultInjector::JobFaultKind::Crash: {
+            // Crash-prone cell: every attempt rolls its own fate from
+            // the attempt seed, so the wrapper must be a seededBody —
+            // that is how the sweep hands each retry a fresh seed. A
+            // plain body is simply called ignoring the seed.
+            double prob = fault.perAttemptProb;
+            if (jobs[i].seededBody) {
+                auto inner = jobs[i].seededBody;
+                jobs[i].seededBody = [inner, prob](uint64_t seed) {
+                    FaultInjector::executeCrash(
+                        FaultInjector::crashDecision(prob, seed));
+                    return inner(seed);
+                };
+            } else {
+                auto inner = jobs[i].body;
+                jobs[i].body = nullptr;
+                jobs[i].seededBody = [inner, prob](uint64_t seed) {
+                    FaultInjector::executeCrash(
+                        FaultInjector::crashDecision(prob, seed));
                     return inner();
                 };
             }

@@ -30,7 +30,9 @@
 namespace atl
 {
 
+class EventLog;
 class FaultInjector;
+class SweepJournal;
 
 /** One independent simulation of a sweep. */
 struct SweepJob
@@ -57,17 +59,61 @@ struct SweepJob
 struct SweepOptions
 {
     /** Attempts per job (>= 1). Retries only help jobs with a
-     *  seededBody; a plain body is deterministic and simply re-runs. */
+     *  seededBody; a plain body is deterministic and simply re-runs —
+     *  unless it crashes or times out under isolation, where a retry
+     *  gets a fresh child. */
     unsigned maxAttempts = 1;
     /** Per-attempt wall-clock timeout in seconds; 0 disables. A timed
-     *  out attempt counts as a failure (and may be retried). The
-     *  abandoned attempt's host thread is left to finish detached —
-     *  C++ cannot kill it — so timeouts are for surviving stragglers,
-     *  not for reclaiming their cpu. */
+     *  out attempt counts as a failure (and may be retried). Under
+     *  isolate the wedged child is SIGKILLed and reaped, really
+     *  reclaiming the attempt; in-process the abandoned attempt's host
+     *  thread is left to finish detached — C++ cannot kill it — so
+     *  in-process timeouts are for surviving stragglers only. */
     double timeoutSeconds = 0.0;
-    /** Base seed mixed into retry seeds for seededBody jobs. */
+    /** Base seed mixed into retry seeds for seededBody jobs (and into
+     *  the backoff jitter). */
     uint64_t retrySeedBase = 0;
+    /** Run each attempt in a forked child (see sim/supervisor.hh):
+     *  SIGSEGV / abort / silent _exit / OOM-kill in a job become an
+     *  ordinary SweepJobFailure instead of killing the sweep. false
+     *  keeps the classic in-process path, bit-identical to before the
+     *  supervisor existed. */
+    bool isolate = false;
+    /** First retry delay in milliseconds; 0 disables backoff. Attempt
+     *  k waits backoffBaseMs * 2^(k-1), capped at backoffMaxMs and
+     *  scaled by a seeded jitter factor in [0.5, 1.5) so synchronized
+     *  retries of many jobs spread out deterministically. */
+    double backoffBaseMs = 0.0;
+    /** Backoff ceiling per retry, in milliseconds. */
+    double backoffMaxMs = 2000.0;
+    /** Durable journal (owned by the caller). When set, completed cells
+     *  recorded by a previous interrupted/crashed run of the same sweep
+     *  shape are replayed instead of re-run, every transition is
+     *  fsync'd as it happens, and a fully-clean sweep removes the
+     *  journal file. */
+    SweepJournal *journal = nullptr;
+    /** Sweep-level telemetry (owned by the caller, distinct from any
+     *  per-job log): crash, retry and journal-resume transitions are
+     *  recorded as SweepCrash/SweepRetry/SweepResume events. */
+    EventLog *telemetry = nullptr;
+    /** Fault-injection self-test knob: after this many completed jobs
+     *  the sweep process raises SIGKILL against itself, simulating a
+     *  hard mid-sweep crash (journal-resume smoke in check.sh --crash).
+     *  0 disables. */
+    unsigned selfKillAfter = 0;
 };
+
+/**
+ * Overlay environment knobs onto a base SweepOptions, so every bench
+ * honours the same switches without per-bench plumbing:
+ *   ATL_ISOLATE=1            run attempts in forked children
+ *   ATL_SWEEP_TIMEOUT=<s>    per-attempt timeout, seconds
+ *   ATL_SWEEP_ATTEMPTS=<n>   attempts per job
+ *   ATL_SWEEP_BACKOFF_MS=<m> base retry backoff, milliseconds
+ *   ATL_SWEEP_KILL_AFTER=<n> self-SIGKILL after n completed jobs
+ * Journal attachment stays with the caller (it owns the object).
+ */
+SweepOptions sweepOptionsFromEnv(SweepOptions base = {});
 
 /** What one failed sweep job looked like after its last attempt. */
 struct SweepJobFailure
@@ -82,6 +128,16 @@ struct SweepJobFailure
     unsigned attempts = 0;
     /** True when the last attempt timed out rather than threw. */
     bool timedOut = false;
+    /** True when the last attempt's child died abnormally (killed by a
+     *  signal, or a silent nonzero _exit). Only possible under
+     *  SweepOptions::isolate. */
+    bool crashed = false;
+    /** Signal that killed the last attempt's child (0 = none). */
+    int exitSignal = 0;
+    /** Nonzero exit status of the last attempt's child (0 = none). */
+    int exitCode = 0;
+    /** Total milliseconds spent in retry backoff across attempts. */
+    uint64_t attemptsBackoffMs = 0;
 };
 
 /**
@@ -117,11 +173,26 @@ struct SweepOutcome
     std::vector<RunMetrics> results;
     /** Per-job success flags, in job order. */
     std::vector<uint8_t> ok;
+    /** Per-job replay flags: 1 when the cell's metrics came from the
+     *  journal of a previous run instead of executing. */
+    std::vector<uint8_t> resumed;
     /** Failures, ordered by job index; empty on a clean sweep. */
     std::vector<SweepJobFailure> failures;
+    /** SIGINT/SIGTERM arrived mid-sweep: jobs not yet started were
+     *  skipped (their ok stays 0 with no failure entry). */
+    bool interrupted = false;
 
     /** True when every job succeeded. */
-    bool complete() const { return failures.empty(); }
+    bool complete() const { return failures.empty() && !interrupted; }
+
+    /** Cells replayed from a journal instead of executed. */
+    size_t resumedRuns() const
+    {
+        size_t n = 0;
+        for (uint8_t r : resumed)
+            n += r;
+        return n;
+    }
 };
 
 /**

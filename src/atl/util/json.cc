@@ -193,6 +193,56 @@ Json::dump() const
     return out;
 }
 
+void
+Json::dumpCompactTo(std::string &out) const
+{
+    switch (_kind) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += _bool ? "true" : "false";
+        break;
+      case Kind::Number:
+        out += numberText(_number);
+        break;
+      case Kind::String:
+        escapeInto(out, _string);
+        break;
+      case Kind::Array: {
+        out += '[';
+        for (size_t i = 0; i < _array.size(); ++i) {
+            if (i)
+                out += ',';
+            _array[i].dumpCompactTo(out);
+        }
+        out += ']';
+        break;
+      }
+      case Kind::Object: {
+        out += '{';
+        size_t i = 0;
+        for (const auto &[key, value] : _object) {
+            if (i++)
+                out += ',';
+            escapeInto(out, key);
+            out += ':';
+            value.dumpCompactTo(out);
+        }
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+Json::dumpCompact() const
+{
+    std::string out;
+    dumpCompactTo(out);
+    return out;
+}
+
 // ---------------------------------------------------------------------
 // Parser: a plain recursive-descent over the text.
 // ---------------------------------------------------------------------

@@ -48,6 +48,8 @@ class Json
     bool isNull() const { return _kind == Kind::Null; }
     bool isObject() const { return _kind == Kind::Object; }
     bool isArray() const { return _kind == Kind::Array; }
+    bool isString() const { return _kind == Kind::String; }
+    bool isNumber() const { return _kind == Kind::Number; }
 
     /** @name Scalar accessors (assert on kind mismatch) @{ */
     bool asBool() const;
@@ -82,6 +84,10 @@ class Json
     /** Serialise with 2-space indentation and a trailing newline. */
     std::string dump() const;
 
+    /** Serialise on one line with no whitespace — the JSONL form the
+     *  sweep journal and the child-process metrics pipe use. */
+    std::string dumpCompact() const;
+
     /**
      * Parse a JSON text.
      * @param text the document
@@ -93,6 +99,7 @@ class Json
 
   private:
     void dumpTo(std::string &out, int indent) const;
+    void dumpCompactTo(std::string &out) const;
 
     Kind _kind = Kind::Null;
     bool _bool = false;

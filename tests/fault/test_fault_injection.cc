@@ -338,6 +338,10 @@ TEST(FaultInjectorTest, JobFaultDecisionsAreStablePerIndex)
             EXPECT_DOUBLE_EQ(fa.seconds, plan.jobHangSeconds);
             break;
           case FaultInjector::JobFaultKind::None: saw_none = true; break;
+          case FaultInjector::JobFaultKind::Crash:
+            // jobCrashProb is 0 in this plan, so Crash never rolls.
+            FAIL() << "crash fault rolled with jobCrashProb == 0";
+            break;
         }
     }
     EXPECT_TRUE(saw_throw);

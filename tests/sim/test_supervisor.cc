@@ -1,0 +1,480 @@
+/**
+ * @file
+ * Tests for crash-isolated sweep execution and the durable journal: a
+ * SIGSEGV in one cell must cost exactly that cell (the others stay
+ * bit-identical to a clean serial run), a timed-out child must be
+ * SIGKILLed and reaped (no zombies), and an interrupted journalled
+ * sweep must resume to the same outcome an uninterrupted run produces.
+ *
+ * Signal-death assertions are sanitizer-tolerant: ASan intercepts
+ * SIGSEGV and turns it into a nonzero exit, so the tests assert
+ * "crashed" (signal death *or* silent nonzero exit), not a specific
+ * signal number.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "atl/fault/fault.hh"
+#include "atl/obs/event_log.hh"
+#include "atl/obs/export.hh"
+#include "atl/sim/journal.hh"
+#include "atl/sim/supervisor.hh"
+#include "atl/sim/sweep.hh"
+#include "atl/workloads/tasks.hh"
+
+namespace atl
+{
+namespace
+{
+
+/** One small real simulation per policy; deterministic per policy. */
+std::vector<SweepJob>
+policyJobs()
+{
+    std::vector<SweepJob> jobs;
+    for (PolicyKind policy :
+         {PolicyKind::FCFS, PolicyKind::LFF, PolicyKind::CRT}) {
+        jobs.push_back({std::string("tasks/") + policyName(policy),
+                        [policy] {
+                            TasksWorkload w(
+                                TasksWorkload::Params{64, 100, 4});
+                            MachineConfig cfg;
+                            cfg.numCpus = 2;
+                            cfg.policy = policy;
+                            return runWorkload(w, cfg, false);
+                        }});
+    }
+    return jobs;
+}
+
+std::string
+makeTempDir(const char *tag)
+{
+    std::string dir = ::testing::TempDir() + "/" + tag + "_XXXXXX";
+    std::vector<char> tmpl(dir.begin(), dir.end());
+    tmpl.push_back('\0');
+    if (!mkdtemp(tmpl.data()))
+        return {};
+    return tmpl.data();
+}
+
+TEST(SupervisorTest, CleanBodyRoundTripsMetricsThroughTheChild)
+{
+    RunMetrics expected;
+    expected.workload = "supervised";
+    expected.policy = PolicyKind::CRT;
+    expected.numCpus = 4;
+    expected.makespan = 987654321;
+    expected.eMisses = 1234;
+    expected.eRefs = 5678;
+    expected.instructions = 424242;
+    expected.contextSwitches = 17;
+    expected.schedOverheadCycles = 99;
+    expected.verified = true;
+
+    SupervisedResult r =
+        runSupervised([expected] { return expected; }, 0.0);
+    ASSERT_TRUE(r.ok) << r.message;
+    EXPECT_FALSE(r.crashed);
+    EXPECT_FALSE(r.timedOut);
+    // operator== ignores host-side timing, so the pipe round-trip must
+    // preserve equality exactly.
+    EXPECT_EQ(r.metrics, expected);
+}
+
+TEST(SupervisorTest, ChildExceptionMarshalsItsMessage)
+{
+    SupervisedResult r = runSupervised(
+        []() -> RunMetrics {
+            throw std::runtime_error("boom from the child");
+        },
+        0.0);
+    EXPECT_FALSE(r.ok);
+    EXPECT_FALSE(r.crashed); // a *reported* failure, not a crash
+    EXPECT_EQ(r.exitCode, kSupervisedExceptionExit);
+    EXPECT_NE(r.message.find("boom from the child"), std::string::npos);
+}
+
+TEST(SupervisorTest, ChildCrashIsContainedAndAttributed)
+{
+    SupervisedResult r = runSupervised(
+        []() -> RunMetrics {
+            ::raise(SIGSEGV);
+            ::_exit(1); // sanitizer builds exit instead of dying
+        },
+        0.0);
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(r.crashed);
+    EXPECT_TRUE(r.exitSignal != 0 || r.exitCode != 0);
+    EXPECT_FALSE(r.message.empty());
+}
+
+TEST(SupervisorTest, SilentExitIsACrashNotASuccess)
+{
+    SupervisedResult r = runSupervised(
+        []() -> RunMetrics {
+            ::_exit(FaultInjector::kSilentExitCode);
+        },
+        0.0);
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(r.crashed);
+    EXPECT_EQ(r.exitCode, FaultInjector::kSilentExitCode);
+}
+
+TEST(SupervisorTest, TimeoutKillsAndReapsTheChild)
+{
+    SupervisedResult r = runSupervised(
+        []() -> RunMetrics {
+            for (;;)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(50));
+        },
+        0.2);
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(r.timedOut);
+    EXPECT_EQ(r.exitSignal, SIGKILL);
+
+    // The supervisor must have reaped the child: no zombies left for
+    // this process. ECHILD proves there is nothing to wait for.
+    int status = 0;
+    pid_t w = ::waitpid(-1, &status, WNOHANG);
+    EXPECT_EQ(w, -1);
+    EXPECT_EQ(errno, ECHILD);
+}
+
+TEST(SupervisorTest, SegvCellCostsOneCellOthersMatchSerialReference)
+{
+    // Clean serial reference first: the contract is that isolation and
+    // one crashing neighbour change *nothing* about healthy cells.
+    std::vector<SweepJob> clean = policyJobs();
+    std::vector<RunMetrics> reference = SweepRunner(1).run(clean);
+
+    std::vector<SweepJob> jobs = policyJobs();
+    jobs.push_back({"crasher", []() -> RunMetrics {
+                        ::raise(SIGSEGV);
+                        ::_exit(1);
+                    }});
+    SweepOptions options;
+    options.isolate = true;
+    SweepOutcome outcome = SweepRunner(2).runCollect(jobs, options);
+
+    ASSERT_EQ(outcome.failures.size(), 1u);
+    const SweepJobFailure &f = outcome.failures[0];
+    EXPECT_EQ(f.index, 3u);
+    EXPECT_EQ(f.name, "crasher");
+    EXPECT_TRUE(f.crashed);
+    EXPECT_TRUE(f.exitSignal != 0 || f.exitCode != 0);
+    for (size_t i = 0; i < reference.size(); ++i) {
+        ASSERT_TRUE(outcome.ok[i]) << jobs[i].name;
+        EXPECT_EQ(outcome.results[i], reference[i]) << jobs[i].name;
+    }
+}
+
+TEST(SupervisorTest, IsolatedCleanSweepMatchesInProcessSweep)
+{
+    // isolate=true must be invisible to results: forking and the JSON
+    // pipe round-trip may not change a single simulated counter.
+    std::vector<SweepJob> jobs = policyJobs();
+    std::vector<RunMetrics> in_process = SweepRunner(1).run(jobs);
+    SweepOptions options;
+    options.isolate = true;
+    std::vector<RunMetrics> isolated =
+        SweepRunner(1).run(jobs, options);
+    ASSERT_EQ(in_process.size(), isolated.size());
+    for (size_t i = 0; i < in_process.size(); ++i)
+        EXPECT_EQ(in_process[i], isolated[i]) << jobs[i].name;
+}
+
+TEST(SupervisorTest, TimedOutSweepJobLeavesNoZombie)
+{
+    std::vector<SweepJob> jobs;
+    jobs.push_back({"wedged", []() -> RunMetrics {
+                        for (;;)
+                            std::this_thread::sleep_for(
+                                std::chrono::milliseconds(50));
+                    }});
+    SweepOptions options;
+    options.isolate = true;
+    options.timeoutSeconds = 0.2;
+    SweepOutcome outcome = SweepRunner(1).runCollect(jobs, options);
+    ASSERT_EQ(outcome.failures.size(), 1u);
+    EXPECT_TRUE(outcome.failures[0].timedOut);
+    EXPECT_EQ(outcome.failures[0].exitSignal, SIGKILL);
+
+    int status = 0;
+    pid_t w = ::waitpid(-1, &status, WNOHANG);
+    EXPECT_EQ(w, -1);
+    EXPECT_EQ(errno, ECHILD);
+}
+
+TEST(SupervisorTest, RetryBackoffIsRecordedAndDeterministic)
+{
+    EventLog telemetry(TelemetryConfig{.capacity = 256});
+    std::vector<SweepJob> jobs;
+    jobs.push_back({"hopeless", []() -> RunMetrics {
+                        throw std::runtime_error("always fails");
+                    }});
+    SweepOptions options;
+    options.maxAttempts = 3;
+    options.backoffBaseMs = 4.0;
+    options.backoffMaxMs = 100.0;
+    options.retrySeedBase = 7;
+    options.telemetry = &telemetry;
+    SweepOutcome outcome = SweepRunner(1).runCollect(jobs, options);
+    ASSERT_EQ(outcome.failures.size(), 1u);
+    const SweepJobFailure &f = outcome.failures[0];
+    EXPECT_EQ(f.attempts, 3u);
+    // Two retries: base*1 and base*2, each jittered into [0.5, 1.5).
+    EXPECT_GE(f.attemptsBackoffMs, 4u);
+    EXPECT_LE(f.attemptsBackoffMs, 18u);
+
+    uint64_t retries = 0;
+    for (size_t i = 0; i < telemetry.size(); ++i) {
+        if (telemetry.at(i).kind == EventKind::SweepRetry)
+            ++retries;
+    }
+    EXPECT_EQ(retries, 2u);
+    EXPECT_EQ(summarizeTrace(telemetry).sweepRetries, 2u);
+
+    // Same options, same sweep: the jittered backoff total must
+    // reproduce exactly (seeded, not wall-clock randomness).
+    SweepOutcome again = SweepRunner(1).runCollect(jobs, options);
+    ASSERT_EQ(again.failures.size(), 1u);
+    EXPECT_EQ(again.failures[0].attemptsBackoffMs, f.attemptsBackoffMs);
+}
+
+TEST(SupervisorTest, CrashDecisionIsSeedDeterministic)
+{
+    EXPECT_EQ(FaultInjector::crashDecision(1.0, 42),
+              FaultInjector::crashDecision(1.0, 42));
+    EXPECT_EQ(FaultInjector::crashDecision(0.0, 42),
+              FaultInjector::CrashKind::None);
+    EXPECT_NE(FaultInjector::crashDecision(1.0, 42),
+              FaultInjector::CrashKind::None);
+    // Different attempt seeds must eventually roll a survival at
+    // prob 0.5 — that is what makes retries recover crash-prone cells.
+    bool survived = false;
+    for (uint64_t attempt = 0; attempt < 32 && !survived; ++attempt) {
+        survived = FaultInjector::crashDecision(0.5, attempt) ==
+                   FaultInjector::CrashKind::None;
+    }
+    EXPECT_TRUE(survived);
+}
+
+TEST(SweepJournalTest, ReplaysCompletedCellsAndDiscardsStaleShapes)
+{
+    std::string dir = makeTempDir("atl_journal");
+    ASSERT_FALSE(dir.empty());
+    std::string path = dir + "/unit.journal.jsonl";
+
+    RunMetrics m;
+    m.workload = "cell0";
+    m.policy = PolicyKind::LFF;
+    m.numCpus = 2;
+    m.makespan = 777;
+    m.verified = true;
+
+    {
+        SweepJournal journal("unit", path);
+        EXPECT_EQ(journal.beginSweep(0x1234, 3), 0u);
+        journal.noteStart(0, "cell0");
+        journal.noteDone(0, m);
+    }
+    {
+        // Same shape: the done cell replays.
+        SweepJournal journal("unit", path);
+        EXPECT_EQ(journal.beginSweep(0x1234, 3), 1u);
+        RunMetrics back;
+        ASSERT_TRUE(journal.completedMetrics(0, back));
+        EXPECT_EQ(back, m);
+        EXPECT_FALSE(journal.completedMetrics(1, back));
+    }
+    {
+        // Different config hash: stale journal is discarded, not
+        // stitched into an unrelated sweep.
+        SweepJournal journal("unit", path);
+        EXPECT_EQ(journal.beginSweep(0x9999, 3), 0u);
+    }
+}
+
+TEST(SweepJournalTest, ToleratesATornFinalLine)
+{
+    std::string dir = makeTempDir("atl_journal_torn");
+    ASSERT_FALSE(dir.empty());
+    std::string path = dir + "/torn.journal.jsonl";
+
+    RunMetrics m;
+    m.workload = "cell1";
+    m.policy = PolicyKind::FCFS;
+    m.numCpus = 1;
+    m.verified = true;
+    {
+        SweepJournal journal("torn", path);
+        journal.beginSweep(0xabc, 4);
+        journal.noteDone(1, m);
+    }
+    // Simulate a crash mid-append: a half-written record at the tail.
+    {
+        std::ofstream out(path, std::ios::app);
+        out << "{\"kind\":\"done\",\"index\":2,\"metr";
+    }
+    SweepJournal journal("torn", path);
+    EXPECT_EQ(journal.beginSweep(0xabc, 4), 1u);
+    RunMetrics back;
+    EXPECT_TRUE(journal.completedMetrics(1, back));
+    EXPECT_FALSE(journal.completedMetrics(2, back));
+}
+
+TEST(SupervisorTest, InterruptedJournalledSweepResumesToSameOutcome)
+{
+    // The tentpole end-to-end contract, for all three policies: run a
+    // journalled sweep, interrupt it after the first cell, run it again
+    // — the combined outcome must equal an uninterrupted run, with the
+    // completed cell replayed from disk instead of re-executed.
+    std::string dir = makeTempDir("atl_resume");
+    ASSERT_FALSE(dir.empty());
+    std::string path = dir + "/resume.journal.jsonl";
+
+    std::vector<SweepJob> clean = policyJobs();
+    SweepOutcome reference = SweepRunner(1).runCollect(clean);
+    ASSERT_TRUE(reference.complete());
+
+    // First run: cell 0's body raises SIGINT *after* computing, so the
+    // cell completes and is journaled while cells 1..2 are skipped.
+    std::vector<SweepJob> interrupting = policyJobs();
+    auto inner = interrupting[0].body;
+    interrupting[0].body = [inner]() {
+        RunMetrics m = inner();
+        ::raise(SIGINT);
+        return m;
+    };
+    {
+        SweepJournal journal("resume", path);
+        SweepOptions options;
+        options.journal = &journal;
+        EventLog telemetry(TelemetryConfig{.capacity = 256});
+        options.telemetry = &telemetry;
+        SweepOutcome first =
+            SweepRunner(1).runCollect(interrupting, options);
+        EXPECT_TRUE(first.interrupted);
+        EXPECT_FALSE(first.complete());
+        EXPECT_TRUE(first.ok[0]);
+        EXPECT_FALSE(first.ok[1]);
+        EXPECT_FALSE(first.ok[2]);
+        EXPECT_TRUE(first.failures.empty()); // skipped, not failed
+        EXPECT_TRUE(std::filesystem::exists(path));
+    }
+
+    // Second run (a "new process"): fresh journal object, same path,
+    // clean bodies. Cell 0 replays; 1..2 execute.
+    {
+        SweepJournal journal("resume", path);
+        SweepOptions options;
+        options.journal = &journal;
+        EventLog telemetry(TelemetryConfig{.capacity = 256});
+        options.telemetry = &telemetry;
+        SweepOutcome resumed =
+            SweepRunner(1).runCollect(clean, options);
+        ASSERT_TRUE(resumed.complete());
+        EXPECT_EQ(resumed.resumedRuns(), 1u);
+        EXPECT_TRUE(resumed.resumed[0]);
+        EXPECT_EQ(summarizeTrace(telemetry).sweepResumes, 1u);
+        ASSERT_EQ(resumed.results.size(), reference.results.size());
+        for (size_t i = 0; i < reference.results.size(); ++i) {
+            EXPECT_EQ(resumed.results[i], reference.results[i])
+                << clean[i].name;
+        }
+        // Clean completion removes the journal: the next run is fresh.
+        EXPECT_FALSE(std::filesystem::exists(path));
+    }
+}
+
+TEST(SupervisorTest, ResumeAfterCrashedCellReRunsOnlyThatCell)
+{
+    // A journalled sweep whose cell 1 crashes: rerunning with a fixed
+    // body must replay cells 0 and 2 and execute only cell 1.
+    std::string dir = makeTempDir("atl_resume_crash");
+    ASSERT_FALSE(dir.empty());
+    std::string path = dir + "/crash.journal.jsonl";
+
+    std::vector<SweepJob> clean = policyJobs();
+    SweepOutcome reference = SweepRunner(1).runCollect(clean);
+
+    std::vector<SweepJob> crashing = policyJobs();
+    crashing[1].body = []() -> RunMetrics {
+        ::raise(SIGSEGV);
+        ::_exit(1);
+    };
+    {
+        SweepJournal journal("crashcell", path);
+        SweepOptions options;
+        options.journal = &journal;
+        options.isolate = true;
+        SweepOutcome first =
+            SweepRunner(1).runCollect(crashing, options);
+        EXPECT_FALSE(first.complete());
+        ASSERT_EQ(first.failures.size(), 1u);
+        EXPECT_TRUE(first.failures[0].crashed);
+    }
+    {
+        SweepJournal journal("crashcell", path);
+        SweepOptions options;
+        options.journal = &journal;
+        options.isolate = true;
+        SweepOutcome resumed =
+            SweepRunner(1).runCollect(clean, options);
+        ASSERT_TRUE(resumed.complete());
+        EXPECT_EQ(resumed.resumedRuns(), 2u);
+        EXPECT_TRUE(resumed.resumed[0]);
+        EXPECT_FALSE(resumed.resumed[1]); // the crashed cell re-ran
+        EXPECT_TRUE(resumed.resumed[2]);
+        for (size_t i = 0; i < reference.results.size(); ++i) {
+            EXPECT_EQ(resumed.results[i], reference.results[i])
+                << clean[i].name;
+        }
+    }
+}
+
+TEST(SupervisorTest, EnvOverlayParsesTheSweepKnobs)
+{
+    setenv("ATL_ISOLATE", "1", 1);
+    setenv("ATL_SWEEP_TIMEOUT", "2.5", 1);
+    setenv("ATL_SWEEP_ATTEMPTS", "4", 1);
+    setenv("ATL_SWEEP_BACKOFF_MS", "12", 1);
+    setenv("ATL_SWEEP_KILL_AFTER", "3", 1);
+    SweepOptions options = sweepOptionsFromEnv();
+    EXPECT_TRUE(options.isolate);
+    EXPECT_DOUBLE_EQ(options.timeoutSeconds, 2.5);
+    EXPECT_EQ(options.maxAttempts, 4u);
+    EXPECT_DOUBLE_EQ(options.backoffBaseMs, 12.0);
+    EXPECT_EQ(options.selfKillAfter, 3u);
+
+    setenv("ATL_ISOLATE", "0", 1);
+    EXPECT_FALSE(sweepOptionsFromEnv().isolate);
+
+    unsetenv("ATL_ISOLATE");
+    unsetenv("ATL_SWEEP_TIMEOUT");
+    unsetenv("ATL_SWEEP_ATTEMPTS");
+    unsetenv("ATL_SWEEP_BACKOFF_MS");
+    unsetenv("ATL_SWEEP_KILL_AFTER");
+    SweepOptions defaults = sweepOptionsFromEnv();
+    EXPECT_FALSE(defaults.isolate);
+    EXPECT_EQ(defaults.maxAttempts, 1u);
+}
+
+} // namespace
+} // namespace atl

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
 #include <thread>
@@ -374,9 +375,10 @@ TEST(BenchReportTest, DocumentCarriesBenchNameAndRuns)
 
     const Json &doc = report.document();
     EXPECT_EQ(doc.at("bench").asString(), "bench_unit_test");
-    EXPECT_EQ(doc.at("schema").asUint(), 4u);
+    EXPECT_EQ(doc.at("schema").asUint(), 5u);
     EXPECT_TRUE(doc.at("complete").asBool());
     EXPECT_EQ(doc.at("failed_runs").items().size(), 0u);
+    EXPECT_EQ(doc.at("resumed_runs").asUint(), 0u);
     EXPECT_EQ(doc.at("platform").asString(), "test");
     ASSERT_EQ(doc.at("runs").items().size(), 2u);
     EXPECT_EQ(doc.at("runs").items()[0].at("workload").asString(), "w");
@@ -395,6 +397,10 @@ TEST(BenchReportTest, NoteOutcomeRecordsPartialSweeps)
     f.message = "injected fault";
     f.attempts = 2;
     f.timedOut = true;
+    f.crashed = true;
+    f.exitSignal = 11;
+    f.exitCode = 0;
+    f.attemptsBackoffMs = 75;
     outcome.failures = {f};
 
     BenchReport report("bench_unit_test");
@@ -411,6 +417,30 @@ TEST(BenchReportTest, NoteOutcomeRecordsPartialSweeps)
     EXPECT_EQ(fr.at("message").asString(), "injected fault");
     EXPECT_EQ(fr.at("attempts").asUint(), 2u);
     EXPECT_TRUE(fr.at("timed_out").asBool());
+    // Schema 5: abnormal-death attribution and backoff accounting.
+    EXPECT_TRUE(fr.at("crashed").asBool());
+    EXPECT_EQ(fr.at("exit_signal").asUint(), 11u);
+    EXPECT_EQ(fr.at("exit_code").asUint(), 0u);
+    EXPECT_EQ(fr.at("attempts_backoff_ms").asUint(), 75u);
+}
+
+TEST(BenchReportTest, NoteOutcomeMarksInterruptedAndResumedSweeps)
+{
+    SweepOutcome outcome;
+    RunMetrics m;
+    m.workload = "replayed";
+    outcome.results = {m, RunMetrics{}};
+    outcome.ok = {1, 0};
+    outcome.resumed = {1, 0};
+    outcome.interrupted = true; // job 1 was skipped, not failed
+
+    BenchReport report("bench_unit_test");
+    report.noteOutcome(outcome);
+    const Json &doc = report.document();
+    EXPECT_FALSE(doc.at("complete").asBool());
+    EXPECT_TRUE(doc.at("interrupted").asBool());
+    EXPECT_EQ(doc.at("resumed_runs").asUint(), 1u);
+    EXPECT_EQ(doc.at("failed_runs").items().size(), 0u);
 }
 
 TEST(BenchReportTest, WriteFailureIsFatalAndNamesThePath)
@@ -431,6 +461,72 @@ TEST(BenchReportTest, WriteFailureIsFatalAndNamesThePath)
     }
     setLogThrowMode(false);
     unsetenv("ATL_RESULTS_DIR");
+}
+
+TEST(BenchReportTest, ConcurrentWritersNeverExposeATornReport)
+{
+    // Satellite: write() stages through a fsync'd temp file and
+    // rename()s it into place, so a reader racing many writers must
+    // always parse a complete document — never a truncated one.
+    std::string dir = ::testing::TempDir() + "/atl_atomic_XXXXXX";
+    std::vector<char> tmpl(dir.begin(), dir.end());
+    tmpl.push_back('\0');
+    ASSERT_NE(mkdtemp(tmpl.data()), nullptr);
+    dir = tmpl.data();
+    setenv("ATL_RESULTS_DIR", dir.c_str(), 1);
+
+    constexpr int kWriters = 4;
+    constexpr int kRounds = 25;
+    std::atomic<bool> stop{false};
+    std::atomic<int> parse_failures{0};
+    std::atomic<int> reads{0};
+
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w) {
+        writers.emplace_back([w] {
+            for (int r = 0; r < kRounds; ++r) {
+                BenchReport report("bench_atomic_test");
+                report.set("writer", Json(static_cast<uint64_t>(w)));
+                RunMetrics m;
+                m.workload = "round" + std::to_string(r);
+                // A fat payload makes a non-atomic write observable.
+                for (int i = 0; i < 50; ++i)
+                    report.addRun(m);
+                report.write();
+            }
+        });
+    }
+    std::thread reader([&] {
+        std::string path = dir + "/bench_atomic_test.json";
+        while (!stop.load()) {
+            std::ifstream in(path);
+            if (!in.good())
+                continue; // not written yet
+            std::string text((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+            Json parsed;
+            if (!Json::parse(text, parsed))
+                ++parse_failures;
+            ++reads;
+        }
+    });
+    for (std::thread &t : writers)
+        t.join();
+    stop = true;
+    reader.join();
+    unsetenv("ATL_RESULTS_DIR");
+
+    EXPECT_EQ(parse_failures.load(), 0);
+    EXPECT_GT(reads.load(), 0);
+
+    // The directory holds exactly the report: no leaked .tmp files.
+    size_t entries = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir)) {
+        (void) entry;
+        ++entries;
+    }
+    EXPECT_EQ(entries, 1u);
 }
 
 TEST(BenchReportTest, WriteHonoursResultsDirOverride)
