@@ -110,6 +110,23 @@ main()
     options.telemetry = &telemetry;
     options = sweepOptionsFromEnv(options);
 
+    // Journal keying: the cell names repeat across any parameter
+    // change, so the fingerprint carries everything else that shapes a
+    // cell's metrics — workload parameters, machine width, fault plan
+    // and seeds. A journal from an older parameterisation is then
+    // discarded instead of replayed.
+    std::string fingerprint = "crashChaos seed=0xc4a54 retrySeed=";
+    fingerprint += std::to_string(options.retrySeedBase);
+    fingerprint += " 2cpu";
+    for (const char *app : {"tasks", "merge", "photo"}) {
+        fingerprint += ";";
+        fingerprint += app;
+        fingerprint += "{";
+        fingerprint += makeSmallWorkload(app)->parameters();
+        fingerprint += "}";
+    }
+    options.configFingerprint = std::move(fingerprint);
+
     SweepRunner runner;
     SweepOutcome outcome = runner.runCollect(jobs, options);
     for (const SweepJobFailure &f : outcome.failures) {

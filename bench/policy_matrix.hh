@@ -141,6 +141,17 @@ runMatrix(unsigned n_cpus, int &failures,
         journal = std::make_unique<SweepJournal>(
             "matrix_" + std::to_string(n_cpus) + "cpu");
         options.journal = journal.get();
+        // Job names encode app x policy but not the workload
+        // parameters or platform width, so fold those into the
+        // fingerprint: editing makeTable4Workload (or the machine)
+        // invalidates a stale journal instead of replaying its old
+        // metrics as current results.
+        std::string fingerprint = std::to_string(n_cpus) + "cpu";
+        for (const char *app : apps) {
+            fingerprint += ";" + std::string(app) + "{" +
+                           makeTable4Workload(app)->parameters() + "}";
+        }
+        options.configFingerprint = std::move(fingerprint);
     }
 
     SweepRunner runner;

@@ -68,10 +68,12 @@ SweepJournal::~SweepJournal()
 
 uint64_t
 SweepJournal::configHash(const std::string &bench_name,
-                         const std::vector<SweepJob> &sweep)
+                         const std::vector<SweepJob> &sweep,
+                         const std::string &config_fingerprint)
 {
     uint64_t hash = 0xcbf29ce484222325ull;
     hash = fnv1aString(hash, bench_name);
+    hash = fnv1aString(hash, config_fingerprint);
     uint64_t count = sweep.size();
     hash = fnv1a(hash, &count, sizeof(count));
     for (const SweepJob &job : sweep)

@@ -16,9 +16,12 @@
  *   {"kind":"failed","index":I,"name":JOB,"message":...,...}
  *
  * The begin header keys the journal to (bench name, config hash, job
- * count): a journal written by a different sweep shape is discarded
- * instead of replayed, so resume can never stitch cells from two
- * different experiments together. A truncated final line (the crash
+ * count), where the config hash also folds in the caller's
+ * configuration fingerprint (workload parameters, machine config,
+ * seeds — anything that changes a cell's metrics without renaming it):
+ * a journal written by a different sweep shape *or* parameterisation
+ * is discarded instead of replayed, so resume can never stitch cells
+ * from two different experiments together. A truncated final line (the crash
  * happened mid-write) is ignored; everything before it replays.
  */
 
@@ -84,10 +87,17 @@ class SweepJournal
     /** Delete the journal (the sweep completed; a rerun starts fresh). */
     void remove();
 
-    /** Stable hash of a sweep's shape: bench name, job count and every
-     *  job name (FNV-1a 64). */
+    /** Stable hash of a sweep's shape: bench name, job count, every
+     *  job name, and the caller's configuration fingerprint (FNV-1a
+     *  64). Job names alone cannot distinguish two sweeps whose cells
+     *  differ only in parameters (workload sizes, MachineConfig,
+     *  policy tuning, fault plan/seed), so callers must fold anything
+     *  that changes a cell's metrics into the fingerprint — otherwise
+     *  a stale journal would replay old metrics as current results
+     *  (see SweepOptions::configFingerprint). */
     static uint64_t configHash(const std::string &bench_name,
-                               const std::vector<SweepJob> &sweep);
+                               const std::vector<SweepJob> &sweep,
+                               const std::string &config_fingerprint);
 
   private:
     void appendRecord(const Json &record);

@@ -1,9 +1,12 @@
 #include "atl/sim/supervisor.hh"
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <exception>
+#include <mutex>
 
 #include <poll.h>
 #include <sys/types.h>
@@ -20,6 +23,24 @@ namespace
 {
 
 using SteadyClock = std::chrono::steady_clock;
+
+/**
+ * Serialises pipe() -> fork() -> close(write end) across the sweep
+ * pool's worker threads. Without it, a sibling worker forking in the
+ * window between this call's pipe() and the parent-side close of the
+ * write end would inherit a copy of that write end (there is no exec,
+ * so CLOEXEC cannot help), and the parent's EOF — its primary death
+ * watch — would be delayed until the *sibling's* child exits too:
+ * cleanly-received metrics would be misreported as timeouts, and an
+ * unbounded attempt could block on a wedged stranger forever.
+ */
+std::mutex g_forkMutex;
+
+/** Poll tick for the waitpid(WNOHANG) death-watch: an upper bound on
+ *  how long child death can go unnoticed when pipe EOF never arrives
+ *  (e.g. a grandchild forked by the job body keeps the write end
+ *  open). */
+constexpr int kDeathWatchTickMs = 100;
 
 /** Write the whole buffer, retrying on EINTR/partial writes. Best
  *  effort: the child has nowhere to report a pipe error anyway. */
@@ -41,7 +62,19 @@ writeAll(int fd, const std::string &data)
 /** Child side: run the body, marshal metrics (or the exception text)
  *  into the pipe, and _exit. Never returns. _exit (not exit) so the
  *  duplicated stdio buffers and atexit handlers of the parent are not
- *  replayed. */
+ *  replayed.
+ *
+ *  Forked from a multi-threaded parent, so POSIX only guarantees
+ *  async-signal-safe functions here; running a full C++ job body
+ *  relies on glibc reinitialising its malloc arenas via its internal
+ *  fork handlers (documented assumption — see "Crash isolation" in
+ *  docs/INTERNALS.md). The corollary contract: nothing on this path,
+ *  job body included, may block on a process-global lock that another
+ *  parent thread could have held at fork time. The library keeps its
+ *  side of that bargain — the warn sink is thread-local, and the
+ *  sweep engine's telemetry/journal mutexes are never held across
+ *  runSupervised() — and sweep-job bodies are self-contained machine
+ *  builds by contract. */
 [[noreturn]] void
 childMain(int fd, const std::function<RunMetrics()> &body)
 {
@@ -87,29 +120,42 @@ runSupervised(const std::function<RunMetrics()> &body, double timeout_s)
     SupervisedResult result;
 
     int fds[2];
-    if (::pipe(fds) != 0) {
-        result.message = std::string("pipe failed: ") +
-                         std::strerror(errno);
-        return result;
-    }
+    pid_t pid;
+    {
+        // pipe -> fork -> close(write end) happens atomically with
+        // respect to every other runSupervised() call (see g_forkMutex
+        // above): at any fork, the only write end open in the parent is
+        // the forking call's own, so pipe EOF reliably means *this*
+        // child is done. The child inherits the locked mutex but never
+        // touches it (it runs childMain and _exits).
+        std::lock_guard<std::mutex> lock(g_forkMutex);
+        if (::pipe(fds) != 0) {
+            result.message = std::string("pipe failed: ") +
+                             std::strerror(errno);
+            return result;
+        }
 
-    pid_t pid = ::fork();
-    if (pid < 0) {
-        result.message = std::string("fork failed: ") +
-                         std::strerror(errno);
-        ::close(fds[0]);
+        pid = ::fork();
+        if (pid < 0) {
+            result.message = std::string("fork failed: ") +
+                             std::strerror(errno);
+            ::close(fds[0]);
+            ::close(fds[1]);
+            return result;
+        }
+        if (pid == 0) {
+            ::close(fds[0]);
+            childMain(fds[1], body);
+        }
         ::close(fds[1]);
-        return result;
     }
-    if (pid == 0) {
-        ::close(fds[0]);
-        childMain(fds[1], body);
-    }
-    ::close(fds[1]);
 
     // Read the child's payload until EOF or the deadline. EOF arrives
     // when the child _exits *or* dies abnormally (the kernel closes its
-    // end either way), so this loop also doubles as the death watch.
+    // end either way), so this loop doubles as the primary death watch;
+    // a periodic waitpid(WNOHANG) backs it up for the one case EOF
+    // cannot cover — a grandchild forked by the job body outliving the
+    // child with an inherited copy of the write end.
     SteadyClock::time_point deadline{};
     bool bounded = timeout_s > 0.0;
     if (bounded) {
@@ -120,8 +166,10 @@ runSupervised(const std::function<RunMetrics()> &body, double timeout_s)
 
     std::string output;
     char buf[4096];
+    int status = 0;
+    bool reaped = false;
     for (;;) {
-        int wait_ms = -1;
+        int wait_ms = kDeathWatchTickMs;
         if (bounded) {
             auto left = std::chrono::duration_cast<
                 std::chrono::milliseconds>(deadline - SteadyClock::now());
@@ -129,7 +177,8 @@ runSupervised(const std::function<RunMetrics()> &body, double timeout_s)
                 result.timedOut = true;
                 break;
             }
-            wait_ms = static_cast<int>(left.count()) + 1;
+            wait_ms = static_cast<int>(std::min<long long>(
+                left.count() + 1, kDeathWatchTickMs));
         }
         struct pollfd p = {fds[0], POLLIN, 0};
         int pr = ::poll(&p, 1, wait_ms);
@@ -138,19 +187,36 @@ runSupervised(const std::function<RunMetrics()> &body, double timeout_s)
                 continue;
             break; // poll error: fall through to reap with what we have
         }
-        if (pr == 0) {
-            result.timedOut = true;
+        if (pr > 0) {
+            ssize_t n = ::read(fds[0], buf, sizeof(buf));
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                break;
+            }
+            if (n == 0)
+                break; // EOF: the child is done (or dead)
+            output.append(buf, static_cast<size_t>(n));
+            continue;
+        }
+        // Poll tick expired without data: the deadline is re-checked at
+        // the top of the loop; here, notice a child that died without
+        // its EOF ever reaching us.
+        pid_t r = ::waitpid(pid, &status, WNOHANG);
+        if (r == pid) {
+            reaped = true;
+            // Drain whatever the child flushed before dying.
+            for (;;) {
+                struct pollfd q = {fds[0], POLLIN, 0};
+                if (::poll(&q, 1, 0) <= 0)
+                    break;
+                ssize_t n = ::read(fds[0], buf, sizeof(buf));
+                if (n <= 0)
+                    break;
+                output.append(buf, static_cast<size_t>(n));
+            }
             break;
         }
-        ssize_t n = ::read(fds[0], buf, sizeof(buf));
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            break;
-        }
-        if (n == 0)
-            break; // EOF: the child is done (or dead)
-        output.append(buf, static_cast<size_t>(n));
     }
     ::close(fds[0]);
 
@@ -165,7 +231,8 @@ runSupervised(const std::function<RunMetrics()> &body, double timeout_s)
         return result;
     }
 
-    int status = reap(pid);
+    if (!reaped)
+        status = reap(pid);
     if (WIFSIGNALED(status)) {
         int sig = WTERMSIG(status);
         result.crashed = true;
@@ -213,8 +280,14 @@ runSupervised(const std::function<RunMetrics()> &body, double timeout_s)
 namespace
 {
 
-/** Set by the handler; read by the sweep engine between jobs. */
-volatile sig_atomic_t g_interrupted = 0;
+/** Set by the handler; read by the sweep engine's worker threads
+ *  between jobs. A lock-free atomic rather than volatile sig_atomic_t:
+ *  the handler can run on any thread while every pool worker polls the
+ *  flag, and volatile gives neither cross-thread visibility nor
+ *  data-race freedom. Lock-free atomic stores are async-signal-safe. */
+std::atomic<int> g_interrupted{0};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "signal handler needs a lock-free flag");
 /** Live guard count; handlers installed on 0 -> 1, restored on 1 -> 0.
  *  Guards are constructed on the sweep's calling thread only, so a
  *  plain counter is enough. */
@@ -223,7 +296,7 @@ int g_guardDepth = 0;
 void
 onSweepSignal(int)
 {
-    g_interrupted = 1;
+    g_interrupted.store(1, std::memory_order_relaxed);
 }
 
 } // namespace
@@ -246,13 +319,13 @@ SweepSignalGuard::~SweepSignalGuard()
         return;
     ::sigaction(SIGINT, &_oldInt, nullptr);
     ::sigaction(SIGTERM, &_oldTerm, nullptr);
-    g_interrupted = 0;
+    g_interrupted.store(0, std::memory_order_relaxed);
 }
 
 bool
 SweepSignalGuard::interrupted()
 {
-    return g_interrupted != 0;
+    return g_interrupted.load(std::memory_order_relaxed) != 0;
 }
 
 } // namespace atl

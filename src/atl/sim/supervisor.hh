@@ -60,6 +60,17 @@ struct SupervisedResult
  * The body must be self-contained (sweep-job contract): nothing it
  * mutates in the child is visible to the parent except the marshalled
  * metrics.
+ *
+ * Safe to call concurrently from sweep-pool workers: pipe creation,
+ * fork, and the parent-side close of the write end are serialised
+ * process-wide, so no child ever inherits a sibling attempt's pipe
+ * write end (which would delay that sibling's EOF death-watch), and a
+ * periodic waitpid(WNOHANG) detects child death independently of the
+ * pipe. Because the fork happens in a multi-threaded process, the
+ * child formally gets only async-signal-safe guarantees from POSIX;
+ * running a C++ body there assumes glibc (whose fork handlers
+ * reinitialise malloc), and the body must not block on a process-wide
+ * lock another thread could hold at fork time — see docs/INTERNALS.md.
  */
 SupervisedResult runSupervised(const std::function<RunMetrics()> &body,
                                double timeout_s);

@@ -10,6 +10,7 @@
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -147,12 +148,18 @@ sweepOptionsFromEnv(SweepOptions base)
     };
     auto envUnsigned = [](const char *name, unsigned &out) {
         if (const char *env = std::getenv(name)) {
+            // strtoul silently wraps a negative string ("-1" becomes
+            // ULONG_MAX), so reject any sign character up front, and
+            // range-check against unsigned.
             char *end = nullptr;
             unsigned long v = std::strtoul(env, &end, 10);
-            if (end && end != env && *end == '\0')
+            if (!std::strchr(env, '-') && !std::strchr(env, '+') &&
+                end && end != env && *end == '\0' &&
+                v <= std::numeric_limits<unsigned>::max()) {
                 out = static_cast<unsigned>(v);
-            else
+            } else {
                 atl_warn("ignoring malformed ", name, "='", env, "'");
+            }
         }
     };
     if (const char *env = std::getenv("ATL_ISOLATE")) {
@@ -284,7 +291,8 @@ SweepRunner::runCollect(const std::vector<SweepJob> &sweep,
 
     if (options.journal) {
         options.journal->beginSweep(
-            SweepJournal::configHash("sweep", sweep),
+            SweepJournal::configHash("sweep", sweep,
+                                     options.configFingerprint),
             sweep.size());
     }
 

@@ -92,6 +92,15 @@ struct SweepOptions
      *  fsync'd as it happens, and a fully-clean sweep removes the
      *  journal file. */
     SweepJournal *journal = nullptr;
+    /** Configuration fingerprint folded into the journal's config
+     *  hash. Job names alone key only the sweep's *shape*; anything
+     *  else that changes a cell's metrics — workload parameters,
+     *  MachineConfig, policy tuning, fault plan and seeds — must be
+     *  serialised into this string (any stable text form), or a
+     *  journal from a run with different parameters would silently
+     *  replay its stale metrics as current results. Ignored without a
+     *  journal. */
+    std::string configFingerprint;
     /** Sweep-level telemetry (owned by the caller, distinct from any
      *  per-job log): crash, retry and journal-resume transitions are
      *  recorded as SweepCrash/SweepRetry/SweepResume events. */

@@ -221,6 +221,45 @@ TEST(SupervisorTest, TimedOutSweepJobLeavesNoZombie)
     EXPECT_EQ(errno, ECHILD);
 }
 
+TEST(SupervisorTest, ConcurrentFastCellsClearAWedgedSibling)
+{
+    // Regression: a child forked while a sibling attempt's pipe write
+    // end was momentarily open in the parent inherited a copy of it,
+    // holding the sibling's EOF hostage until the inheritor exited —
+    // fully-received metrics were then misreported as timeouts once a
+    // wedged inheritor was SIGKILLed. With pipe+fork+close serialised
+    // (plus the waitpid death-watch), every fast cell must come back
+    // ok while only the spinner times out.
+    RunMetrics quick;
+    quick.workload = "quick";
+    quick.policy = PolicyKind::FCFS;
+    quick.numCpus = 1;
+    quick.verified = true;
+
+    std::vector<SweepJob> jobs;
+    for (int i = 0; i < 8; ++i) {
+        jobs.push_back(
+            {"quick" + std::to_string(i), [quick] { return quick; }});
+    }
+    jobs.push_back({"spinner", []() -> RunMetrics {
+                        for (;;)
+                            std::this_thread::sleep_for(
+                                std::chrono::milliseconds(20));
+                    }});
+
+    SweepOptions options;
+    options.isolate = true;
+    options.timeoutSeconds = 1.0;
+    SweepOutcome outcome = SweepRunner(4).runCollect(jobs, options);
+    ASSERT_EQ(outcome.failures.size(), 1u);
+    EXPECT_EQ(outcome.failures[0].name, "spinner");
+    EXPECT_TRUE(outcome.failures[0].timedOut);
+    for (size_t i = 0; i + 1 < jobs.size(); ++i) {
+        ASSERT_TRUE(outcome.ok[i]) << jobs[i].name;
+        EXPECT_EQ(outcome.results[i], quick) << jobs[i].name;
+    }
+}
+
 TEST(SupervisorTest, RetryBackoffIsRecordedAndDeterministic)
 {
     EventLog telemetry(TelemetryConfig{.capacity = 256});
@@ -308,6 +347,57 @@ TEST(SweepJournalTest, ReplaysCompletedCellsAndDiscardsStaleShapes)
         // stitched into an unrelated sweep.
         SweepJournal journal("unit", path);
         EXPECT_EQ(journal.beginSweep(0x9999, 3), 0u);
+    }
+}
+
+TEST(SweepJournalTest, ConfigFingerprintChangesTheHash)
+{
+    // Job names alone cannot tell two parameterisations of the same
+    // sweep apart; the caller's fingerprint must be part of the key.
+    std::vector<SweepJob> jobs = policyJobs();
+    uint64_t a = SweepJournal::configHash("bench", jobs, "elements=100");
+    uint64_t b = SweepJournal::configHash("bench", jobs, "elements=200");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a,
+              SweepJournal::configHash("bench", jobs, "elements=100"));
+    EXPECT_NE(a, SweepJournal::configHash("bench", jobs, ""));
+}
+
+TEST(SupervisorTest, ChangedFingerprintDiscardsTheJournal)
+{
+    // An interrupted sweep leaves a journal; rerunning with the same
+    // job names but a different configuration fingerprint must execute
+    // every cell instead of replaying the stale metrics.
+    std::string dir = makeTempDir("atl_fingerprint");
+    ASSERT_FALSE(dir.empty());
+    std::string path = dir + "/fp.journal.jsonl";
+
+    std::vector<SweepJob> clean = policyJobs();
+    std::vector<SweepJob> interrupting = policyJobs();
+    auto inner = interrupting[0].body;
+    interrupting[0].body = [inner]() {
+        RunMetrics m = inner();
+        ::raise(SIGINT);
+        return m;
+    };
+    {
+        SweepJournal journal("fp", path);
+        SweepOptions options;
+        options.journal = &journal;
+        options.configFingerprint = "elements=100";
+        SweepOutcome first =
+            SweepRunner(1).runCollect(interrupting, options);
+        EXPECT_TRUE(first.interrupted);
+        EXPECT_TRUE(first.ok[0]);
+    }
+    {
+        SweepJournal journal("fp", path);
+        SweepOptions options;
+        options.journal = &journal;
+        options.configFingerprint = "elements=200";
+        SweepOutcome rerun = SweepRunner(1).runCollect(clean, options);
+        ASSERT_TRUE(rerun.complete());
+        EXPECT_EQ(rerun.resumedRuns(), 0u); // stale cell not replayed
     }
 }
 
@@ -465,6 +555,13 @@ TEST(SupervisorTest, EnvOverlayParsesTheSweepKnobs)
 
     setenv("ATL_ISOLATE", "0", 1);
     EXPECT_FALSE(sweepOptionsFromEnv().isolate);
+
+    // strtoul would wrap "-1" to UINT_MAX (an effectively infinite
+    // retry loop); the overlay must reject it as malformed instead.
+    setenv("ATL_SWEEP_ATTEMPTS", "-1", 1);
+    EXPECT_EQ(sweepOptionsFromEnv().maxAttempts, 1u);
+    setenv("ATL_SWEEP_ATTEMPTS", "99999999999999999999", 1);
+    EXPECT_EQ(sweepOptionsFromEnv().maxAttempts, 1u);
 
     unsetenv("ATL_ISOLATE");
     unsetenv("ATL_SWEEP_TIMEOUT");
