@@ -18,8 +18,10 @@
 #include "atl/runtime/context.hh"
 #include "atl/runtime/machine.hh"
 #include "atl/runtime/refbatch.hh"
+#include "atl/sim/experiment.hh"
 #include "atl/sim/sweep.hh"
 #include "atl/sim/tracer.hh"
+#include "atl/workloads/tasks.hh"
 
 using namespace atl;
 
@@ -238,6 +240,36 @@ BM_HotPathMonitoredMissHeavy(benchmark::State &state)
         dt * 1e9 / static_cast<double>(target);
 }
 BENCHMARK(BM_HotPathMonitoredMissHeavy)->Iterations(1);
+
+void
+BM_MachineParallelSpeedup(benchmark::State &state)
+{
+    // Wall-clock effect of host sharding on a monitored wide-machine
+    // run: the 64-cpu epoch engine at 4 shards versus 1 shard (the
+    // shard counts are metrics-identical, so this is pure host
+    // throughput). On hosts with fewer free cores than shards the
+    // "speedup" is honestly <= 1 — barrier traffic with nothing to
+    // overlap; the gate baselines refs_per_sec of the sharded run.
+    auto runOnce = [](unsigned shards) {
+        MachineConfig cfg;
+        cfg.numCpus = 64;
+        cfg.policy = PolicyKind::LFF;
+        cfg.engine = EngineKind::Epoch;
+        cfg.hostShards = shards;
+        TasksWorkload workload(TasksWorkload::Params{256, 100, 20});
+        return runWorkload(workload, cfg, true, true);
+    };
+    RunMetrics one = runOnce(1);
+    RunMetrics four = runOnce(4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(four.makespan);
+    state.counters["refs_per_sec"] = four.refsPerSec();
+    state.counters["speedup_vs_one_shard"] =
+        four.hostSeconds > 0.0 ? one.hostSeconds / four.hostSeconds
+                               : 0.0;
+    state.counters["metrics_identical"] = one == four ? 1.0 : 0.0;
+}
+BENCHMARK(BM_MachineParallelSpeedup)->Iterations(1);
 
 void
 BM_ThreadCreateJoin(benchmark::State &state)

@@ -36,6 +36,17 @@ platformConfig(unsigned n_cpus, PolicyKind policy)
     MachineConfig cfg;
     cfg.numCpus = n_cpus;
     cfg.policy = policy;
+    // ATL_HOST_SHARDS=N runs every matrix cell on the epoch engine
+    // with N host worker threads (epoch metrics are bit-identical for
+    // any N, so the charts are unaffected; only wall time changes).
+    if (const char *shards_env = std::getenv("ATL_HOST_SHARDS")) {
+        unsigned shards =
+            static_cast<unsigned>(std::strtoul(shards_env, nullptr, 10));
+        if (shards > 1) {
+            cfg.engine = EngineKind::Epoch;
+            cfg.hostShards = shards;
+        }
+    }
     return cfg; // the miss-cost split is applied automatically by width
 }
 

@@ -3,7 +3,8 @@
 # regenerate every paper table/figure through the sweep engine. Exits
 # non-zero on the first failed shape check.
 #
-# Usage: check.sh [--jobs N] [--perf] [--asan] [--trace] [--crash]
+# Usage: check.sh [--jobs N] [--perf] [--asan] [--parallel] [--trace]
+#                  [--crash]
 #   --jobs N   worker threads per bench sweep (exported as
 #              ATL_SWEEP_JOBS; default: all cores)
 #   --perf     also run scripts/perf_gate.sh (hot-path throughput
@@ -13,6 +14,12 @@
 #              (-DATL_SANITIZE=ON) and run the full test suite — the
 #              tier-1 tests plus the fault-injection suite — under the
 #              sanitizers, then exit (benches are skipped)
+#   --parallel build into build-tsan/ with ThreadSanitizer
+#              (-DATL_SANITIZE=thread) and run the epoch-engine
+#              equivalence suite (the Parallel* tests: all workloads x
+#              policies x shard counts, telemetry byte-identity, config
+#              normalisation) under TSan, then exit — the race check
+#              for the sharded execution engine
 #   --trace    build, then run the fig5 bench with ATL_TRACE_POLICY=all
 #              and validate every exported Perfetto trace (well-formed
 #              trace_event JSON, monotonic ts per track, non-negative
@@ -29,6 +36,7 @@ cd "$(dirname "$0")/.."
 
 RUN_PERF=0
 RUN_ASAN=0
+RUN_PARALLEL=0
 RUN_TRACE=0
 RUN_CRASH=0
 
@@ -51,6 +59,10 @@ while [ $# -gt 0 ]; do
         RUN_ASAN=1
         shift
         ;;
+      --parallel)
+        RUN_PARALLEL=1
+        shift
+        ;;
       --trace)
         RUN_TRACE=1
         shift
@@ -71,6 +83,20 @@ if [ "$RUN_ASAN" -eq 1 ]; then
     cmake --build build-asan
     ctest --test-dir build-asan -j "$(nproc)" --output-on-failure
     echo "ASAN/UBSAN CHECKS PASSED"
+    exit 0
+fi
+
+if [ "$RUN_PARALLEL" -eq 1 ]; then
+    cmake -B build-tsan -G Ninja -DATL_SANITIZE=thread
+    cmake --build build-tsan --target atl_runtime_tests
+    # The equivalence suite spawns real host worker threads through
+    # every shard count; any unsynchronised cross-shard access trips
+    # TSan (fiber switches are annotated, so fiber-local state does
+    # not false-positive). history_size: the epoch protocol keeps many
+    # threads with long quiescent spans alive.
+    TSAN_OPTIONS="halt_on_error=1 history_size=7" \
+        ctest --test-dir build-tsan -R 'Parallel' --output-on-failure
+    echo "TSAN PARALLEL CHECKS PASSED"
     exit 0
 fi
 

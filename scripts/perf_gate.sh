@@ -51,9 +51,10 @@ mkdir -p "$RESULTS"
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 
-echo "perf_gate: $REPEATS passes of BM_HotPath*"
+echo "perf_gate: $REPEATS passes of BM_HotPath* + BM_MachineParallelSpeedup"
 for i in $(seq 1 "$REPEATS"); do
-    "$BENCH" --benchmark_filter='BM_HotPath' --benchmark_format=json \
+    "$BENCH" --benchmark_filter='BM_HotPath|BM_MachineParallelSpeedup' \
+        --benchmark_format=json \
         > "$tmpdir/pass_$i.json" 2>/dev/null
 done
 

@@ -12,6 +12,9 @@ namespace
  *  into the overflow slot so a warning storm cannot grow the log. */
 constexpr size_t kMaxStrings = 256;
 
+/** Active deferral buffer for this OS thread (see EventLog::deferTo). */
+thread_local EventLog::Deferral *activeDeferral = nullptr;
+
 } // namespace
 
 const char *
@@ -42,8 +45,30 @@ EventLog::EventLog(const TelemetryConfig &config) : _config(config)
 }
 
 void
+EventLog::deferTo(Deferral *d)
+{
+    activeDeferral = d;
+}
+
+void
+EventLog::drain(Deferral &d)
+{
+    atl_assert(activeDeferral == nullptr,
+               "drain with deferral still active would self-feed");
+    for (const Event &event : d.events)
+        record(event);
+    for (const auto &[time, message] : d.warnings)
+        recordWarning(time, message);
+    d.clear();
+}
+
+void
 EventLog::record(const Event &event)
 {
+    if (Deferral *d = activeDeferral) {
+        d->events.push_back(event);
+        return;
+    }
     ++_recorded;
     if (_events.size() < _config.capacity) {
         _events.push_back(event);
@@ -56,6 +81,10 @@ EventLog::record(const Event &event)
 void
 EventLog::recordWarning(Cycles time, std::string_view message)
 {
+    if (Deferral *d = activeDeferral) {
+        d->warnings.emplace_back(time, std::string(message));
+        return;
+    }
     ++_warnings;
     uint64_t index = 0;
     for (size_t i = 1; i < _strings.size(); ++i) {

@@ -56,6 +56,37 @@ class EventLog
     /** Configuration in force. */
     const TelemetryConfig &config() const { return _config; }
 
+    /**
+     * Per-OS-thread deferral buffer for epoch-sharded execution: while
+     * a buffer is installed via deferTo(), record()/recordWarning()
+     * park their payloads here instead of touching the ring. The epoch
+     * engine drains the buffers in canonical processor order at each
+     * commit, so the retained stream (ring contents, drop accounting,
+     * string-table order) is byte-identical for any shard count.
+     */
+    struct Deferral
+    {
+        std::vector<Event> events;
+        std::vector<std::pair<Cycles, std::string>> warnings;
+
+        bool empty() const { return events.empty() && warnings.empty(); }
+        void clear()
+        {
+            events.clear();
+            warnings.clear();
+        }
+    };
+
+    /** Route record()/recordWarning() issued on the calling OS thread
+     *  into `d` (null restores direct recording). Affects every log the
+     *  thread touches; the epoch engine installs one buffer per worker
+     *  and each machine drains only its own events. */
+    static void deferTo(Deferral *d);
+
+    /** Replay a deferral buffer into this log in order, then clear it.
+     *  Must be called with deferral disabled on this thread. */
+    void drain(Deferral &d);
+
     /** Append one event (overwrites the oldest beyond capacity). */
     void record(const Event &event);
 

@@ -15,14 +15,26 @@
 #if __has_feature(address_sanitizer)
 #define ATL_ASAN 1
 #endif
-#elif defined(__SANITIZE_ADDRESS__)
+#if __has_feature(thread_sanitizer)
+#define ATL_TSAN 1
+#endif
+#else
+#if defined(__SANITIZE_ADDRESS__)
 #define ATL_ASAN 1
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define ATL_TSAN 1
+#endif
 #endif
 
 #ifdef ATL_ASAN
 #include <pthread.h>
 #include <sanitizer/asan_interface.h>
 #include <sanitizer/common_interface_defs.h>
+#endif
+
+#ifdef ATL_TSAN
+#include <sanitizer/tsan_interface.h>
 #endif
 
 namespace atl
@@ -76,6 +88,55 @@ sanitizerFinishSwitch(void *fake_stack)
     __sanitizer_finish_switch_fiber(fake_stack, nullptr, nullptr);
 #else
     (void)fake_stack;
+#endif
+}
+
+/**
+ * TSan fiber-switch annotations, the TSan analogue of the ASan protocol
+ * above. Without them TSan attributes every fiber's accesses to the OS
+ * thread's stack context and reports wild races the moment the epoch
+ * engine migrates a fiber across host threads (a legal operation:
+ * barriers order every such migration).
+ */
+inline void
+tsanArmFiber(void **handle, bool *owned)
+{
+#ifdef ATL_TSAN
+    if (*owned && *handle)
+        __tsan_destroy_fiber(*handle);
+    *handle = __tsan_create_fiber(0);
+    *owned = true;
+#else
+    (void)handle;
+    (void)owned;
+#endif
+}
+
+inline void
+tsanReleaseFiber(void *handle, bool owned)
+{
+#ifdef ATL_TSAN
+    if (owned && handle)
+        __tsan_destroy_fiber(handle);
+#else
+    (void)handle;
+    (void)owned;
+#endif
+}
+
+inline void
+tsanSwitchFiber(void **from_handle, void *to_handle)
+{
+#ifdef ATL_TSAN
+    // An engine fiber switching away for the first time borrows the OS
+    // thread's implicit fiber handle (never destroyed by us).
+    if (!*from_handle)
+        *from_handle = __tsan_get_current_fiber();
+    if (to_handle)
+        __tsan_switch_to_fiber(to_handle, 0);
+#else
+    (void)from_handle;
+    (void)to_handle;
 #endif
 }
 
@@ -199,7 +260,11 @@ struct Fiber::Impl
 };
 
 Fiber::Fiber() : _impl(std::make_unique<Impl>()) {}
-Fiber::~Fiber() = default;
+
+Fiber::~Fiber()
+{
+    tsanReleaseFiber(_tsanFiber, _tsanOwned);
+}
 
 void
 Fiber::arm(FiberStack &stack, std::function<void()> entry)
@@ -209,6 +274,7 @@ Fiber::arm(FiberStack &stack, std::function<void()> entry)
     _stackBottom = static_cast<char *>(stack.top()) - stack.size();
     _stackSize = stack.size();
     _fakeStack = nullptr;
+    tsanArmFiber(&_tsanFiber, &_tsanOwned);
     unpoisonStackMemory(static_cast<char *>(stack.top()) - stack.size(),
                         stack.size());
 
@@ -240,6 +306,7 @@ Fiber::switchTo(Fiber &from, Fiber &to)
         threadStackBounds(&from._stackBottom, &from._stackSize);
     sanitizerStartSwitch(&from._fakeStack, to._stackBottom,
                          to._stackSize);
+    tsanSwitchFiber(&from._tsanFiber, to._tsanFiber);
     atl_ctx_switch(&from._impl->sp, to._impl->sp);
     // Back on from's stack: somebody switched into us again.
     sanitizerFinishSwitch(from._fakeStack);
@@ -284,7 +351,11 @@ struct Fiber::Impl
 };
 
 Fiber::Fiber() : _impl(std::make_unique<Impl>()) {}
-Fiber::~Fiber() = default;
+
+Fiber::~Fiber()
+{
+    tsanReleaseFiber(_tsanFiber, _tsanOwned);
+}
 
 void
 Fiber::arm(FiberStack &stack, std::function<void()> entry)
@@ -294,6 +365,7 @@ Fiber::arm(FiberStack &stack, std::function<void()> entry)
     _stackBottom = static_cast<char *>(stack.top()) - stack.size();
     _stackSize = stack.size();
     _fakeStack = nullptr;
+    tsanArmFiber(&_tsanFiber, &_tsanOwned);
     unpoisonStackMemory(static_cast<char *>(stack.top()) - stack.size(),
                         stack.size());
     getcontext(&_impl->ctx);
@@ -315,6 +387,7 @@ Fiber::switchTo(Fiber &from, Fiber &to)
         threadStackBounds(&from._stackBottom, &from._stackSize);
     sanitizerStartSwitch(&from._fakeStack, to._stackBottom,
                          to._stackSize);
+    tsanSwitchFiber(&from._tsanFiber, to._tsanFiber);
     swapcontext(&from._impl->ctx, &to._impl->ctx);
     sanitizerFinishSwitch(from._fakeStack);
     from._fakeStack = nullptr;

@@ -99,6 +99,11 @@ class Fiber
     void *_fakeStack = nullptr;        ///< fake-stack handle, suspended
     const void *_stackBottom = nullptr; ///< lowest usable stack address
     size_t _stackSize = 0;              ///< usable stack bytes
+    // TSan fiber bookkeeping (consulted only in TSan builds). Armed
+    // fibers own a __tsan_create_fiber handle; engine fibers borrow the
+    // OS thread's own fiber handle the first time they switch away.
+    void *_tsanFiber = nullptr;   ///< TSan fiber handle
+    bool _tsanOwned = false;      ///< handle came from create (destroy it)
 };
 
 } // namespace atl

@@ -5,6 +5,7 @@
 
 #include "atl/fault/fault.hh"
 #include "atl/obs/event_log.hh"
+#include "atl/runtime/epoch.hh"
 #include "atl/util/logging.hh"
 
 namespace atl
@@ -18,10 +19,61 @@ thread_local Machine *activeMachine = nullptr;
 
 } // namespace
 
+/** Per-OS-thread execution context (several epoch workers drive one
+ *  machine concurrently; the classic engine is the 1-thread case). */
+thread_local Machine::ExecCtx Machine::_ctx;
+
 Machine *
 Machine::active()
 {
     return activeMachine;
+}
+
+Machine *
+Machine::swapActive(Machine *machine)
+{
+    Machine *previous = activeMachine;
+    activeMachine = machine;
+    return previous;
+}
+
+// ---------------------------------------------------------------------
+// GlobalSection
+// ---------------------------------------------------------------------
+
+Machine::GlobalSection::GlobalSection(Machine &machine)
+    : _machine(nullptr)
+{
+    // No-op outside an epoch run, outside any simulated thread, or on a
+    // machine other than the caller's (sweep workers interleave).
+    if (!machine._epoch || _ctx.machine != &machine || !_ctx.thread)
+        return;
+    Thread &t = *_ctx.thread;
+    _machine = &machine;
+    _thread = &t;
+    _prev = t.globalDepth;
+    // A fresh top-level section parks so its body runs inside the
+    // single-threaded commit; sections opened while already committing
+    // (nested, or from a commit-resumed body) run inline.
+    _parked = _prev == 0 && !machine._epoch->inCommit;
+    if (_parked)
+        machine.switchOut(SwitchReason::GlobalOp);
+    t.globalDepth = _prev + 1;
+}
+
+Machine::GlobalSection::~GlobalSection()
+{
+    if (!_machine)
+        return;
+    Thread &t = *_thread;
+    // A blocking operation inside the section dissolved it (depth
+    // reset to 0): the thread was unscheduled and is now mid-epoch
+    // again; there is nothing to leave.
+    if (t.globalDepth <= _prev)
+        return;
+    t.globalDepth = _prev;
+    if (_parked)
+        _machine->switchOut(SwitchReason::GlobalDone);
 }
 
 Machine::Machine(const MachineConfig &config)
@@ -33,6 +85,28 @@ Machine::Machine(const MachineConfig &config)
       _missTotals(config.numCpus, 0), _cpus(config.numCpus)
 {
     atl_assert(config.numCpus >= 1, "machine needs at least one cpu");
+
+    // Normalise the parallel-engine knobs once so the rest of the code
+    // can trust them: shards are clamped to the machine width, asking
+    // for more than one shard selects the epoch engine, and the epoch
+    // length defaults to the fairness slice.
+    if (_config.hostShards == 0)
+        _config.hostShards = 1;
+    if (_config.hostShards > _config.numCpus)
+        _config.hostShards = _config.numCpus;
+    if (_config.hostShards > 1)
+        _config.engine = EngineKind::Epoch;
+    if (_config.epochCycles == 0)
+        _config.epochCycles = _config.sliceQuantum;
+    if (_config.laxFactor == 0)
+        _config.laxFactor = 1;
+    if (_config.engine == EngineKind::Epoch) {
+        atl_assert(_config.numCpus <= 64,
+                   "epoch engine supports at most 64 cpus "
+                   "(line directory is a 64-bit presence mask)");
+        atl_assert(_config.epochCycles > 0,
+                   "epoch engine requires a nonzero epoch length");
+    }
 
     uint64_t l2_lines =
         config.hierarchy.l2.sizeBytes / config.hierarchy.l2.lineBytes;
@@ -82,6 +156,11 @@ void
 Machine::setObserver(MemoryObserver *observer)
 {
     _observer = observer;
+    // Under the epoch engine the hierarchies carry per-processor
+    // interposers for the duration of the run; they forward to
+    // _observer, so updating the member is enough.
+    if (_epoch)
+        return;
     for (Cpu &cpu : _cpus)
         cpu.hier->setObserver(observer, cpu.id);
 }
@@ -94,7 +173,9 @@ ThreadId
 Machine::spawn(std::function<void()> fn, std::string name)
 {
     atl_assert(fn, "spawn requires a thread body");
-    if (_current && _config.spawnInstructions > 0)
+    GlobalSection section(*this);
+    Thread *caller = callerThread();
+    if (caller && _config.spawnInstructions > 0)
         execute(_config.spawnInstructions);
     ThreadId id = static_cast<ThreadId>(_threads.size());
     if (name.empty())
@@ -103,15 +184,16 @@ Machine::spawn(std::function<void()> fn, std::string name)
                                                 std::move(fn),
                                                 std::move(name)));
     Thread &t = *_threads.back();
-    t.readyTime = _current ? _cpus[_currentCpu].clock : 0;
+    t.readyTime = caller ? _cpus[_ctx.cpu].clock : 0;
     ++_liveThreads;
-    _scheduler->makeRunnable(t, _current ? _currentCpu : InvalidCpuId);
+    _scheduler->makeRunnable(t, caller ? _ctx.cpu : InvalidCpuId);
     return id;
 }
 
 void
 Machine::share(ThreadId src, ThreadId dst, double q)
 {
+    GlobalSection section(*this);
     // Annotations are hints: a fault plan may drop, misweight, redirect
     // or churn them, and the run must still terminate with correct
     // workload output (the paper's §2.3 contract).
@@ -125,8 +207,9 @@ Machine::share(ThreadId src, ThreadId dst, double q)
             Event event;
             event.kind = EventKind::Fault;
             event.flag = static_cast<uint8_t>(FaultSurface::Share);
-            event.cpu = _current ? static_cast<uint16_t>(_currentCpu)
-                                 : InvalidCpuId16;
+            event.cpu = callerThread()
+                            ? static_cast<uint16_t>(_ctx.cpu)
+                            : InvalidCpuId16;
             event.tid = src;
             event.time = now();
             event.n = _config.faults->stats().total();
@@ -165,6 +248,7 @@ void
 Machine::join(ThreadId tid)
 {
     Thread &me = requireCurrent();
+    GlobalSection section(*this);
     atl_assert(tid < _threads.size(), "join on unknown thread");
     atl_assert(tid != me.id, "thread cannot join itself");
     Thread &target = *_threads[tid];
@@ -185,7 +269,7 @@ void
 Machine::sleep(Cycles duration)
 {
     Thread &me = requireCurrent();
-    me.readyTime = _cpus[_currentCpu].clock + duration;
+    me.readyTime = _cpus[_ctx.cpu].clock + duration;
     switchOut(SwitchReason::Sleeping);
 }
 
@@ -199,19 +283,21 @@ Machine::blockCurrent()
 void
 Machine::wake(ThreadId tid)
 {
+    GlobalSection section(*this);
     atl_assert(tid < _threads.size(), "wake on unknown thread");
     Thread &t = *_threads[tid];
     atl_assert(t.state == ThreadState::Blocked,
                "wake on a ", threadStateName(t.state), " thread");
-    t.readyTime = _current ? _cpus[_currentCpu].clock : 0;
+    t.readyTime = callerThread() ? _cpus[_ctx.cpu].clock : 0;
     _scheduler->makeRunnable(t);
 }
 
 Thread &
 Machine::requireCurrent() const
 {
-    atl_assert(_current, "operation requires a calling thread");
-    return *_current;
+    atl_assert(_ctx.machine == this && _ctx.thread,
+               "operation requires a calling thread");
+    return *_ctx.thread;
 }
 
 // ---------------------------------------------------------------------
@@ -221,6 +307,7 @@ Machine::requireCurrent() const
 VAddr
 Machine::alloc(uint64_t bytes, uint64_t align)
 {
+    GlobalSection section(*this);
     atl_assert(bytes > 0, "zero-byte allocation");
     atl_assert(isPowerOf2(align), "alignment must be a power of two");
     _nextVa = alignUp(_nextVa, align);
@@ -233,31 +320,34 @@ void
 Machine::read(VAddr va, uint64_t bytes)
 {
     Thread &me = requireCurrent();
-    ++_refBlocks;
-    accessRange(_cpus[_currentCpu], &me, va, bytes, AccessType::Load);
+    Cpu &cpu = _cpus[_ctx.cpu];
+    ++cpu.refBlocks;
+    accessRange(cpu, &me, va, bytes, AccessType::Load);
 }
 
 void
 Machine::write(VAddr va, uint64_t bytes)
 {
     Thread &me = requireCurrent();
-    ++_refBlocks;
-    accessRange(_cpus[_currentCpu], &me, va, bytes, AccessType::Store);
+    Cpu &cpu = _cpus[_ctx.cpu];
+    ++cpu.refBlocks;
+    accessRange(cpu, &me, va, bytes, AccessType::Store);
 }
 
 void
 Machine::fetch(VAddr va, uint64_t bytes)
 {
     Thread &me = requireCurrent();
-    ++_refBlocks;
-    accessRange(_cpus[_currentCpu], &me, va, bytes, AccessType::IFetch);
+    Cpu &cpu = _cpus[_ctx.cpu];
+    ++cpu.refBlocks;
+    accessRange(cpu, &me, va, bytes, AccessType::IFetch);
 }
 
 void
 Machine::execute(uint64_t instructions)
 {
     Thread &me = requireCurrent();
-    executeOn(_cpus[_currentCpu], me, instructions);
+    executeOn(_cpus[_ctx.cpu], me, instructions);
 }
 
 void
@@ -294,8 +384,8 @@ Machine::access(const RefBlock &block)
     if (block.empty())
         return;
     Thread &me = requireCurrent();
-    ++_refBlocks;
-    Cpu &cpu = _cpus[_currentCpu];
+    Cpu &cpu = _cpus[_ctx.cpu];
+    ++cpu.refBlocks;
     if (_accessHook) {
         // Replay the block through the scalar path so the hook sees the
         // exact per-reference stream (trace recording).
@@ -430,14 +520,15 @@ Machine::issueRuns(Cpu &cpu, Thread &me, const RefRun *runs,
     auto emitGroup = [&](VAddr line_va, AccessType type, uint32_t k) {
         VAddr page = line_va & page_mask;
         PAddr pa;
-        if (page == _issuePage) {
-            pa = line_va + _issueDelta;
+        if (page == cpu.issuePage) {
+            pa = line_va + cpu.issueDelta;
         } else {
-            pa = _vm.translate(line_va);
-            _issuePage = page;
-            _issueDelta = pa - line_va;
+            pa = _epoch ? epochTranslate(line_va)
+                        : _vm.translate(line_va);
+            cpu.issuePage = page;
+            cpu.issueDelta = pa - line_va;
         }
-        _refsIssued += k;
+        cpu.refsIssued += k;
         while (k > 0) {
             // The hit probe only pays off when there is something to
             // coalesce; a lone reference goes straight through the
@@ -490,6 +581,11 @@ Machine::issueRuns(Cpu &cpu, Thread &me, const RefRun *runs,
     };
 
     for (uint32_t i = 0; i < count; ++i) {
+        // Runs are consumed strictly in order and the expansion work per
+        // run can cover many cache lines, which defeats the hardware
+        // stride prefetcher; pull upcoming run descriptors in early.
+        if (i + 4 < count)
+            __builtin_prefetch(&runs[i + 4], 0, 0);
         const RefRun &run = runs[i];
         if (run.op == RefOp::Execute) {
             flushGroup();
@@ -530,6 +626,7 @@ Machine::issueRuns(Cpu &cpu, Thread &me, const RefRun *runs,
 void
 Machine::flushAllCaches()
 {
+    GlobalSection section(*this);
     for (Cpu &cpu : _cpus)
         cpu.hier->flush();
 }
@@ -537,6 +634,11 @@ Machine::flushAllCaches()
 bool
 Machine::remoteCached(CpuId self_cpu, PAddr pa) const
 {
+    // Epoch engine: answer from the epoch-start line directory so the
+    // result is independent of how processors are sharded (peer caches
+    // are being mutated concurrently and must not be probed).
+    if (_epoch)
+        return _epoch->remoteCached(self_cpu, pa);
     for (const Cpu &cpu : _cpus) {
         if (cpu.id != self_cpu && cpu.hier->l2Contains(pa))
             return true;
@@ -547,6 +649,12 @@ Machine::remoteCached(CpuId self_cpu, PAddr pa) const
 void
 Machine::invalidateRemote(CpuId self_cpu, PAddr pa)
 {
+    // Epoch engine: peers' caches belong to other workers mid-epoch;
+    // queue the invalidation for the next commit's canonical replay.
+    if (_epoch) {
+        _epoch->queueInval(self_cpu, pa);
+        return;
+    }
     for (Cpu &cpu : _cpus) {
         if (cpu.id != self_cpu)
             cpu.hier->invalidateLine(pa);
@@ -554,8 +662,23 @@ Machine::invalidateRemote(CpuId self_cpu, PAddr pa)
 }
 
 void
+Machine::PicAcc::flush(PerfCounters &perf)
+{
+    if (!dirty)
+        return;
+    perf.record(PerfEvent::Instructions, instr);
+    perf.record(PerfEvent::Cycles, static_cast<uint32_t>(cycles));
+    perf.record(PerfEvent::L1dRefs, l1dRefs);
+    perf.record(PerfEvent::L1dHits, l1dHits);
+    perf.record(PerfEvent::EcacheRefs, eRefs);
+    perf.record(PerfEvent::EcacheHits, eHits);
+    perf.record(PerfEvent::EcacheMisses, eMisses);
+    *this = PicAcc{};
+}
+
+void
 Machine::accessOne(Cpu &cpu, Thread *attribution, VAddr va,
-                   AccessType type)
+                   AccessType type, PicAcc *acc)
 {
     if (_accessHook) {
         _accessHook(cpu.id,
@@ -563,8 +686,8 @@ Machine::accessOne(Cpu &cpu, Thread *attribution, VAddr va,
                     type);
     }
 
-    ++_refsIssued;
-    PAddr pa = _vm.translate(va);
+    ++cpu.refsIssued;
+    PAddr pa = _epoch ? epochTranslate(va) : _vm.translate(va);
 
     // For a miss that will be serviced remotely we must know whether a
     // peer cache holds the line *before* our access fills it.
@@ -586,25 +709,46 @@ Machine::accessOne(Cpu &cpu, Thread *attribution, VAddr va,
 
     cpu.clock += cost;
     cpu.instructions += 1;
-    cpu.perf.record(PerfEvent::Instructions);
-    cpu.perf.record(PerfEvent::Cycles, static_cast<uint32_t>(cost));
-    if (type != AccessType::IFetch) {
-        cpu.perf.record(PerfEvent::L1dRefs);
-        if (outcome.servicedBy == ServicedBy::L1 && !outcome.l2Referenced)
-            cpu.perf.record(PerfEvent::L1dHits);
-    }
-    if (outcome.l2Referenced) {
-        cpu.perf.record(PerfEvent::EcacheRefs);
-        if (!outcome.l2Missed) {
-            cpu.perf.record(PerfEvent::EcacheHits);
-        } else {
-            cpu.perf.record(PerfEvent::EcacheMisses);
-            ++_missTotals[cpu.id];
-            if (_observer) {
-                _observer->onEMiss(cpu.id, attribution
-                                               ? attribution->id
-                                               : InvalidThreadId);
+    if (acc) {
+        acc->dirty = true;
+        acc->instr += 1;
+        acc->cycles += cost;
+        if (type != AccessType::IFetch) {
+            acc->l1dRefs += 1;
+            if (outcome.servicedBy == ServicedBy::L1 &&
+                !outcome.l2Referenced) {
+                acc->l1dHits += 1;
             }
+        }
+        if (outcome.l2Referenced) {
+            acc->eRefs += 1;
+            if (!outcome.l2Missed)
+                acc->eHits += 1;
+            else
+                acc->eMisses += 1;
+        }
+    } else {
+        cpu.perf.record(PerfEvent::Instructions);
+        cpu.perf.record(PerfEvent::Cycles, static_cast<uint32_t>(cost));
+        if (type != AccessType::IFetch) {
+            cpu.perf.record(PerfEvent::L1dRefs);
+            if (outcome.servicedBy == ServicedBy::L1 &&
+                !outcome.l2Referenced)
+                cpu.perf.record(PerfEvent::L1dHits);
+        }
+        if (outcome.l2Referenced) {
+            cpu.perf.record(PerfEvent::EcacheRefs);
+            if (!outcome.l2Missed)
+                cpu.perf.record(PerfEvent::EcacheHits);
+            else
+                cpu.perf.record(PerfEvent::EcacheMisses);
+        }
+    }
+    if (outcome.l2Referenced && outcome.l2Missed) {
+        ++_missTotals[cpu.id];
+        if (_observer) {
+            _observer->onEMiss(cpu.id, attribution ? attribution->id
+                                                   : InvalidThreadId);
         }
     }
 
@@ -631,14 +775,19 @@ Machine::accessRange(Cpu &cpu, Thread *attribution, VAddr va,
     uint64_t step = _config.hierarchy.l1d.lineBytes;
     VAddr first = alignDown(va, step);
     VAddr last = alignDown(va + bytes - 1, step);
+    // One PIC flush per range (see PicAcc); flushed eagerly before a
+    // slice yield so whatever runs next observes settled counters.
+    PicAcc acc;
     for (VAddr a = first; a <= last; a += step) {
-        accessOne(cpu, attribution, a, type);
+        accessOne(cpu, attribution, a, type, &acc);
         if (attribution && _config.numCpus > 1 &&
             _config.sliceQuantum > 0 &&
             cpu.clock - cpu.sliceStart >= _config.sliceQuantum) {
+            acc.flush(cpu.perf);
             sliceYield(cpu);
         }
     }
+    acc.flush(cpu.perf);
 }
 
 // ---------------------------------------------------------------------
@@ -648,7 +797,7 @@ Machine::accessRange(Cpu &cpu, Thread *attribution, VAddr va,
 void
 Machine::sliceYield(Cpu &cpu)
 {
-    atl_assert(_current && cpu.current == _current,
+    atl_assert(_ctx.thread && cpu.current == _ctx.thread,
                "slice yield outside the current fiber");
     switchOut(SwitchReason::SliceEnd);
 }
@@ -656,11 +805,24 @@ Machine::sliceYield(Cpu &cpu)
 void
 Machine::switchOut(SwitchReason reason)
 {
-    Thread &me = *_current;
+    Thread &me = *_ctx.thread;
     me.switchReason = reason;
-    Fiber::switchTo(me.fiber, _engineFiber);
-    // Resumed: the engine has re-dispatched us (possibly on another
-    // processor). Nothing to restore; the engine set _current.
+    // A blocking park dissolves any enclosing GlobalSection: the thread
+    // is leaving its processor, so the section's single-threaded body
+    // is over whether or not its destructor ever runs (the enclosing
+    // RAII object sees the reset depth and does not park again).
+    if (reason == SwitchReason::Blocked ||
+        reason == SwitchReason::Sleeping ||
+        reason == SwitchReason::Exited) {
+        me.globalDepth = 0;
+    } else if (reason == SwitchReason::Yielded) {
+        atl_assert(me.globalDepth == 0,
+                   "yield inside a global section");
+    }
+    Fiber::switchTo(me.fiber, *_ctx.engine);
+    // Resumed: an engine has re-dispatched us (possibly on another
+    // processor or host thread). Nothing to restore; the resuming
+    // engine set _ctx for its own OS thread.
 }
 
 CpuId
@@ -761,11 +923,11 @@ void
 Machine::resumeOn(Cpu &cpu)
 {
     Thread &thread = *cpu.current;
-    _current = &thread;
-    _currentCpu = cpu.id;
+    _ctx.thread = &thread;
+    _ctx.cpu = cpu.id;
     Fiber::switchTo(_engineFiber, thread.fiber);
-    _current = nullptr;
-    _currentCpu = InvalidCpuId;
+    _ctx.thread = nullptr;
+    _ctx.cpu = InvalidCpuId;
 
     if (thread.switchReason == SwitchReason::SliceEnd) {
         cpu.sliceStart = cpu.clock;
@@ -987,6 +1149,21 @@ Machine::run()
         sink_guard.active = true;
     }
 
+    // Execution context for this OS thread (the classic engine; also
+    // the epoch leader). Restored on exit so nested runs compose.
+    ExecCtx prev_ctx = _ctx;
+    _ctx = ExecCtx{};
+    _ctx.machine = this;
+    _ctx.engine = &_engineFiber;
+
+    if (_config.engine == EngineKind::Epoch) {
+        runEpochEngine();
+        _ctx = prev_ctx;
+        activeMachine = prev_active;
+        _running = false;
+        return;
+    }
+
     while (_liveThreads > 0) {
         CpuId choice = chooseCpu();
         if (choice == InvalidCpuId) {
@@ -1043,6 +1220,7 @@ Machine::run()
         resumeOn(cpu);
     }
 
+    _ctx = prev_ctx;
     activeMachine = prev_active;
     _running = false;
 }
@@ -1083,8 +1261,8 @@ Machine::takeStack()
 Cycles
 Machine::now() const
 {
-    if (_current)
-        return _cpus[_currentCpu].clock;
+    if (callerThread())
+        return _cpus[_ctx.cpu].clock;
     return makespan();
 }
 
@@ -1092,7 +1270,7 @@ CpuId
 Machine::currentCpu() const
 {
     requireCurrent();
-    return _currentCpu;
+    return _ctx.cpu;
 }
 
 CpuStats
@@ -1153,6 +1331,24 @@ Machine::makespan() const
     for (const Cpu &c : _cpus)
         max_clock = std::max(max_clock, c.clock);
     return max_clock;
+}
+
+uint64_t
+Machine::refsIssued() const
+{
+    uint64_t total = 0;
+    for (const Cpu &c : _cpus)
+        total += c.refsIssued;
+    return total;
+}
+
+uint64_t
+Machine::refBlocks() const
+{
+    uint64_t total = 0;
+    for (const Cpu &c : _cpus)
+        total += c.refBlocks;
+    return total;
 }
 
 Thread &

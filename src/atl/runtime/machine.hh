@@ -10,11 +10,16 @@
  * through read()/write()/execute(), which advance the owning processor's
  * cycle clock and drive the caches (the paper captured the same
  * reference stream implicitly with the Shade instruction-set simulator).
- * All fibers are serialised onto the calling OS thread; the engine
- * always advances the processor with the smallest local clock and bounds
- * clock skew with a simulation-only slice quantum, so runs are
+ * Two engines drive the processors (EngineKind). The classic engine
+ * serialises all fibers onto the calling OS thread and always advances
+ * the processor with the smallest local clock, bounding skew with a
+ * simulation-only slice quantum. The epoch engine partitions the
+ * processors into shards driven by host worker threads that advance in
+ * epoch lockstep, committing cross-processor effects at barriers in a
+ * canonical processor order — bit-identical results for any shard
+ * count (see docs/INTERNALS.md "The parallel epoch engine"). Both are
  * deterministic and portable while preserving multiprocessor timing to
- * within one slice.
+ * within one slice (classic) or one epoch (epoch).
  */
 
 #ifndef ATL_RUNTIME_MACHINE_HH
@@ -41,6 +46,22 @@ namespace atl
 
 class FaultInjector;
 class EventLog;
+struct EpochState;
+
+/** Which execution engine drives the simulated processors. */
+enum class EngineKind
+{
+    /** All fibers serialised onto the calling OS thread; the engine
+     *  always advances the min-clock processor (the original engine).
+     *  Reference semantics for every pre-existing test and baseline. */
+    Classic,
+    /** Processors are partitioned into shards driven by host worker
+     *  threads advancing in epoch lockstep; cross-processor effects
+     *  (coherence, scheduling, telemetry) commit at epoch barriers in
+     *  a canonical processor order. Results are bit-identical for any
+     *  shard count, including one. */
+    Epoch,
+};
 
 /** Full machine configuration. Defaults model the paper's platforms. */
 struct MachineConfig
@@ -117,6 +138,24 @@ struct MachineConfig
     size_t stackBytes = 128 * 1024;
     /** Seed for machine-internal randomness (page placement). */
     uint64_t seed = 1;
+
+    /** @name Parallel (epoch) execution engine @{ */
+    /** Engine selection. hostShards > 1 forces Epoch. */
+    EngineKind engine = EngineKind::Classic;
+    /** Host worker threads sharding the simulated processors (epoch
+     *  engine only; clamped to numCpus). Any value produces the same
+     *  simulation results — only wall-clock time changes. */
+    unsigned hostShards = 1;
+    /** Epoch length in cycles (0 = sliceQuantum). Part of the modelled
+     *  semantics: commit points land every epoch boundary. */
+    Cycles epochCycles = 0;
+    /** Lax mode: stretch the epoch horizon to laxFactor * epochCycles,
+     *  trading commit frequency (and thus coherence/scheduling
+     *  precision) for speed. 1 = strict epochs. Unlike Graphite's lax
+     *  synchronisation this remains fully deterministic; accuracy drift
+     *  relative to laxFactor=1 is measured, not raced. */
+    unsigned laxFactor = 1;
+    /** @} */
 };
 
 /** Per-processor statistics snapshot. */
@@ -239,11 +278,11 @@ class Machine
     Cycles makespan() const;
 
     /** Modelled line references issued machine-wide (batch diagnostics). */
-    uint64_t refsIssued() const { return _refsIssued; }
+    uint64_t refsIssued() const;
 
     /** Reference blocks issued machine-wide; each scalar
      *  read()/write()/fetch() counts as a one-run block. */
-    uint64_t refBlocks() const { return _refBlocks; }
+    uint64_t refBlocks() const;
 
     /** Thread table access. */
     Thread &thread(ThreadId tid);
@@ -282,6 +321,32 @@ class Machine
      *  by the at_* free-function facade. */
     static Machine *active();
 
+    /**
+     * RAII marker for a machine-global operation under the epoch
+     * engine: the constructor parks the calling fiber until the next
+     * epoch commit, where the leader resumes it so the section body
+     * executes single-threaded in canonical order; the destructor parks
+     * again so the caller continues concurrently next epoch. Nested
+     * sections and the classic engine are no-ops; blocking inside a
+     * section (blockCurrent/sleep) dissolves it. Instrumentation layers
+     * (e.g. the tracer) use this to make mid-run bookkeeping safe and
+     * deterministic under sharded execution.
+     */
+    class GlobalSection
+    {
+      public:
+        explicit GlobalSection(Machine &machine);
+        ~GlobalSection();
+        GlobalSection(const GlobalSection &) = delete;
+        GlobalSection &operator=(const GlobalSection &) = delete;
+
+      private:
+        Machine *_machine; ///< null when the section is a no-op
+        Thread *_thread = nullptr;
+        unsigned _prev = 0;
+        bool _parked = false; ///< entry parked (so exit must park too)
+    };
+
     /** @} */
 
   private:
@@ -289,7 +354,10 @@ class Machine
      *  throttled warnings, graph update). */
     void shareOne(ThreadId src, ThreadId dst, double q);
 
-    struct Cpu
+    /** Cache-line aligned: under the epoch engine each processor's hot
+     *  fields are written by its own host worker, and adjacent
+     *  processors must not false-share. */
+    struct alignas(64) Cpu
     {
         CpuId id = 0;
         Cycles clock = 0;
@@ -309,6 +377,18 @@ class Machine
          *  only touched at interval boundaries, and appending keeps
          *  the hot per-reference fields at their established offsets. */
         Cycles intervalStart = 0;
+        /** @name Per-processor host diagnostics and memo.
+         * Formerly machine-global; per-processor so concurrent shards
+         * never contend (summed by the public accessors). @{ */
+        uint64_t refsIssued = 0;
+        uint64_t refBlocks = 0;
+        /** One-entry translation memo for the batched pipeline: frames
+         *  are never reclaimed, so a cached (page base → pa-va delta)
+         *  stays valid for the machine's lifetime. ~0 marks "empty"
+         *  (modelled addresses start far below it). */
+        VAddr issuePage = ~0ull;
+        uint64_t issueDelta = 0;
+        /** @} */
     };
 
     /** @name Telemetry emission.
@@ -336,9 +416,32 @@ class Machine
     /** Calling-thread sanity check. */
     Thread &requireCurrent() const;
 
-    /** One modelled reference plus all its consequences. */
+    /** Simulated thread calling into this machine on this OS thread
+     *  (null when called from outside any thread, or from a thread of
+     *  a different machine). */
+    Thread *callerThread() const
+    {
+        return _ctx.machine == this ? _ctx.thread : nullptr;
+    }
+
+    /** Deferred PIC accumulation: batches counter updates across the
+     *  references of one block/range and flushes before any point that
+     *  could read the counters (slice yields, block end). Sum-equal to
+     *  per-reference recording, so snapshots are bit-identical. */
+    struct PicAcc
+    {
+        uint32_t instr = 0;
+        Cycles cycles = 0;
+        uint32_t l1dRefs = 0, l1dHits = 0;
+        uint32_t eRefs = 0, eHits = 0, eMisses = 0;
+        bool dirty = false;
+        void flush(PerfCounters &perf);
+    };
+
+    /** One modelled reference plus all its consequences. PIC updates
+     *  go through `acc` when given (the caller flushes). */
     void accessOne(Cpu &cpu, Thread *attribution, VAddr va,
-                   AccessType type);
+                   AccessType type, PicAcc *acc = nullptr);
 
     /** Issue references covering a range at L1-line granularity. */
     void accessRange(Cpu &cpu, Thread *attribution, VAddr va,
@@ -393,6 +496,54 @@ class Machine
     /** Take a pooled or fresh fiber stack. */
     std::unique_ptr<FiberStack> takeStack();
 
+    /** @name Epoch engine (epoch.cc) @{ */
+
+    /** Engine loop: shard workers + barrier-committed epochs. */
+    void runEpochEngine();
+
+    /** Body of one non-leader host worker thread. */
+    void epochWorkerMain(unsigned shard);
+
+    /** Install `machine` as this OS thread's active machine; @return
+     *  the previous occupant (worker threads save/restore it). */
+    static Machine *swapActive(Machine *machine);
+
+    /** Advance every processor of one shard to the epoch horizon. */
+    void epochAdvanceShard(unsigned shard, Fiber &engine);
+
+    /** Single-threaded commit: replay coherence deltas, drain parks and
+     *  telemetry, schedule, advance the horizon. @return false when the
+     *  simulation is complete */
+    bool epochCommit();
+
+    /** Resume a fiber inside the commit phase until it parks with a
+     *  non-SliceEnd reason; @return that reason. */
+    SwitchReason commitResume(Cpu &cpu);
+
+    /** Dispatch runnable threads onto idle processors (commit phase). */
+    void epochDispatch();
+
+    /** Translate under the epoch engine: parks on first touch mid-epoch
+     *  so page placement stays a commit-ordered effect. */
+    PAddr epochTranslate(VAddr va);
+
+    /** @} */
+
+    /** Per-OS-thread execution context: the thread/processor a worker
+     *  is currently running and the engine fiber to park into. Several
+     *  workers execute the same machine concurrently under the epoch
+     *  engine, so this state cannot live in the machine itself. */
+    struct ExecCtx
+    {
+        Machine *machine = nullptr;
+        Thread *thread = nullptr;
+        CpuId cpu = InvalidCpuId;
+        Fiber *engine = nullptr;
+    };
+    static thread_local ExecCtx _ctx;
+
+    friend struct EpochState;
+
     MachineConfig _config;
     Vm _vm;
     std::unique_ptr<FootprintModel> _model;
@@ -402,8 +553,6 @@ class Machine
     std::unique_ptr<Scheduler> _scheduler;
     std::vector<Cpu> _cpus;
     Fiber _engineFiber;
-    Thread *_current = nullptr;
-    CpuId _currentCpu = InvalidCpuId;
     size_t _liveThreads = 0;
     bool _running = false;
     VAddr _nextVa = 0x100000;
@@ -413,14 +562,10 @@ class Machine
      *  produce thousands of dangling annotations). */
     ThrottledWarn _shareThrottle;
     std::vector<std::unique_ptr<FiberStack>> _stackPool;
-    uint64_t _refsIssued = 0;
-    uint64_t _refBlocks = 0;
-    /** One-entry translation memo for the batched pipeline: frames are
-     *  never reclaimed, so a cached (page base → pa-va delta) stays
-     *  valid for the machine's lifetime. ~0 marks "empty" (modelled
-     *  addresses start far below it). */
-    VAddr _issuePage = ~0ull;
-    uint64_t _issueDelta = 0;
+    /** Epoch-engine run state; non-null only while runEpochEngine() is
+     *  active. Hot paths test this pointer to route cross-processor
+     *  effects through the commit protocol. */
+    std::unique_ptr<EpochState> _epoch;
 
     /** (wake time, thread) min-ordered. */
     using Timer = std::pair<Cycles, ThreadId>;

@@ -12,6 +12,11 @@ namespace atl
 void
 Mutex::lock()
 {
+    // Epoch engine: the whole operation is a machine-global section —
+    // it reads and writes waiter queues shared across processors, so
+    // it executes in the single-threaded commit phase (a no-op under
+    // the classic engine).
+    Machine::GlobalSection section(_machine);
     _machine.execute(syncOpInstructions);
     ThreadId me = _machine.self();
     atl_assert(_owner != me, "recursive lock of a non-recursive mutex");
@@ -28,6 +33,7 @@ Mutex::lock()
 bool
 Mutex::tryLock()
 {
+    Machine::GlobalSection section(_machine);
     _machine.execute(syncOpInstructions);
     if (_owner != InvalidThreadId)
         return false;
@@ -38,6 +44,7 @@ Mutex::tryLock()
 void
 Mutex::unlock()
 {
+    Machine::GlobalSection section(_machine);
     _machine.execute(syncOpInstructions);
     atl_assert(_owner == _machine.self(),
                "unlock by non-owner thread ", _machine.self());
@@ -57,6 +64,7 @@ Mutex::unlock()
 void
 Semaphore::wait()
 {
+    Machine::GlobalSection section(_machine);
     _machine.execute(syncOpInstructions);
     if (_count > 0) {
         --_count;
@@ -70,6 +78,7 @@ Semaphore::wait()
 bool
 Semaphore::tryWait()
 {
+    Machine::GlobalSection section(_machine);
     _machine.execute(syncOpInstructions);
     if (_count == 0)
         return false;
@@ -80,6 +89,7 @@ Semaphore::tryWait()
 void
 Semaphore::post()
 {
+    Machine::GlobalSection section(_machine);
     _machine.execute(syncOpInstructions);
     if (!_waiters.empty()) {
         ThreadId next = _waiters.front();
@@ -103,6 +113,7 @@ Barrier::Barrier(Machine &machine, unsigned parties)
 void
 Barrier::arrive()
 {
+    Machine::GlobalSection section(_machine);
     _machine.execute(syncOpInstructions);
     ++_arrived;
     if (_arrived == _parties) {
@@ -126,6 +137,7 @@ Barrier::arrive()
 void
 CondVar::wait(Mutex &mutex)
 {
+    Machine::GlobalSection section(_machine);
     _machine.execute(syncOpInstructions);
     atl_assert(mutex.owner() == _machine.self(),
                "condition wait without holding the mutex");
@@ -138,6 +150,7 @@ CondVar::wait(Mutex &mutex)
 void
 CondVar::signal()
 {
+    Machine::GlobalSection section(_machine);
     _machine.execute(syncOpInstructions);
     if (_waiters.empty())
         return;
@@ -149,6 +162,7 @@ CondVar::signal()
 void
 CondVar::broadcast()
 {
+    Machine::GlobalSection section(_machine);
     _machine.execute(syncOpInstructions);
     while (!_waiters.empty()) {
         ThreadId tid = _waiters.front();

@@ -46,6 +46,16 @@ enum class SwitchReason
     Sleeping, ///< waits on a timer
     Exited,   ///< entry returned
     SliceEnd, ///< simulation slice quantum expired (not a real switch)
+
+    /** @name Epoch-engine parks (never reach endInterval).
+     * Used only when the machine runs the epoch engine: the fiber
+     * pauses so the leader can perform a machine-global operation (or a
+     * page-table walk) inside the single-threaded commit phase, then
+     * resumes where it left off. @{ */
+    GlobalOp,   ///< entering a GlobalSection; body runs at commit
+    GlobalDone, ///< leaving a GlobalSection; resumes next epoch
+    PageFault,  ///< first touch of an unmapped page (see pendingVa)
+    /** @} */
 };
 
 /** Per-thread execution statistics. */
@@ -119,6 +129,17 @@ class Thread
 
     /** True once the fiber has been armed with the entry function. */
     bool started = false;
+
+    /** @name Epoch-engine state (unused by the classic engine). @{ */
+    /** GlobalSection nesting depth. Nonzero only between a GlobalOp
+     *  park and the matching GlobalDone, i.e. while the section body
+     *  executes inside the commit phase; blocking operations dissolve
+     *  the section (reset to 0) before parking. */
+    unsigned globalDepth = 0;
+    /** Faulting virtual address of a PageFault park; the leader maps it
+     *  during commit and the fiber retries its translation. */
+    VAddr pendingVa = 0;
+    /** @} */
 
     /** Accounting. */
     ThreadStats stats;

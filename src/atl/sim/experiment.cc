@@ -131,7 +131,7 @@ FootprintMonitor::~FootprintMonitor()
 void
 FootprintMonitor::setDriver(ThreadId tid)
 {
-    _driver = tid;
+    _driver.store(tid, std::memory_order_relaxed);
     _driverMisses = 0;
     _instrBaseline = _machine.thread(tid).stats.instructions;
     auto it = _targets.find(tid);
@@ -147,14 +147,14 @@ FootprintMonitor::track(ThreadId tid, Kind kind, double q)
     target.s0 = static_cast<double>(_tracer.footprint(tid, _cpu));
     Target &slot = _targets[tid];
     slot = std::move(target);
-    if (tid == _driver)
+    if (tid == _driver.load(std::memory_order_relaxed))
         _driverTarget = &slot;
 }
 
 void
 FootprintMonitor::onMiss(CpuId cpu, ThreadId tid)
 {
-    if (cpu != _cpu || tid != _driver)
+    if (cpu != _cpu || tid != _driver.load(std::memory_order_relaxed))
         return;
     ++_driverMisses;
     if (_driverMisses % _sampleEvery == 0)
@@ -164,14 +164,15 @@ FootprintMonitor::onMiss(CpuId cpu, ThreadId tid)
 void
 FootprintMonitor::sampleAll()
 {
+    ThreadId driver = _driver.load(std::memory_order_relaxed);
     uint64_t instr =
-        _machine.thread(_driver).stats.instructions - _instrBaseline;
+        _machine.thread(driver).stats.instructions - _instrBaseline;
 
     // The driver's own entry goes through the cached pointer, so the
     // common "monitor the executing thread alone" setup never touches
     // the hash table between setDriver() and the end of the run.
     if (_driverTarget)
-        sample(_driver, *_driverTarget, instr);
+        sample(driver, *_driverTarget, instr);
     if (_targets.size() <= (_driverTarget ? 1u : 0u))
         return;
     for (auto &[tid, target] : _targets) {

@@ -10,6 +10,7 @@
 #ifndef ATL_SIM_EXPERIMENT_HH
 #define ATL_SIM_EXPERIMENT_HH
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -192,7 +193,13 @@ class FootprintMonitor
     EventLog *_telemetry = nullptr;
     CpuId _cpu;
     uint64_t _sampleEvery;
-    ThreadId _driver = InvalidThreadId;
+    /** Atomic because under the epoch engine the miss callback fires on
+     *  whichever host worker drives the missing processor, while the
+     *  driver designation is written from the workload's own worker;
+     *  misses on other processors must be filterable without a race.
+     *  Monitor state beyond this guard is only touched for misses on
+     *  _cpu, which a single worker drives. */
+    std::atomic<ThreadId> _driver{InvalidThreadId};
     uint64_t _driverMisses = 0;
     uint64_t _instrBaseline = 0;
     std::unordered_map<ThreadId, Target> _targets;

@@ -10,7 +10,7 @@ namespace atl
 Tracer::Tracer(Machine &machine)
     : _machine(machine),
       _lineBytes(machine.config().hierarchy.l2.lineBytes),
-      _numCpus(machine.numCpus())
+      _numCpus(machine.numCpus()), _footprints(machine.numCpus())
 {
     _machine.setObserver(this);
 }
@@ -23,6 +23,10 @@ Tracer::~Tracer()
 void
 Tracer::registerState(ThreadId tid, VAddr va, uint64_t bytes)
 {
+    // Registration mutates the shared owner/region tables and probes
+    // every processor's cache; under the epoch engine it must run in
+    // the single-threaded commit phase.
+    Machine::GlobalSection section(_machine);
     atl_assert(bytes > 0, "empty state region");
     uint64_t first = va / _lineBytes;
     uint64_t last = (va + bytes - 1) / _lineBytes;
@@ -123,10 +127,10 @@ Tracer::ownersGrow(uint64_t vline)
 uint64_t &
 Tracer::counter(ThreadId tid, CpuId cpu)
 {
-    size_t index = static_cast<size_t>(tid) * _numCpus + cpu;
-    if (index >= _footprints.size())
-        _footprints.resize((static_cast<size_t>(tid) + 1) * _numCpus, 0);
-    return _footprints[index];
+    std::vector<uint64_t> &counts = _footprints[cpu].counts;
+    if (tid >= counts.size())
+        counts.resize(static_cast<size_t>(tid) + 1, 0);
+    return counts[tid];
 }
 
 void
@@ -169,8 +173,8 @@ uint64_t
 Tracer::footprint(ThreadId tid, CpuId cpu) const
 {
     atl_assert(cpu < _numCpus, "cpu id out of range");
-    size_t index = static_cast<size_t>(tid) * _numCpus + cpu;
-    return index < _footprints.size() ? _footprints[index] : 0;
+    const std::vector<uint64_t> &counts = _footprints[cpu].counts;
+    return tid < counts.size() ? counts[tid] : 0;
 }
 
 namespace

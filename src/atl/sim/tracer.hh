@@ -169,6 +169,21 @@ class Tracer : public MemoryObserver
     /** Footprint counter of (tid, cpu), ensuring allocation. */
     uint64_t &counter(ThreadId tid, CpuId cpu);
 
+    /**
+     * One processor's footprint counters, indexed by thread id and
+     * cache-line aligned. Fill/evict events for a processor fire only
+     * on the host worker driving it (or on the single engine thread),
+     * so per-processor shards make the hot counters private: no false
+     * sharing between adjacent processors' counts, and growing one
+     * processor's vector never moves another's out from under a
+     * concurrent reader (the flat tid*numCpus+cpu layout used before
+     * reallocated every processor's counters on any growth).
+     */
+    struct alignas(64) CpuFootprints
+    {
+        std::vector<uint64_t> counts; ///< lines resident, by thread id
+    };
+
     Machine &_machine;
     uint64_t _lineBytes;
     unsigned _numCpus;
@@ -179,8 +194,8 @@ class Tracer : public MemoryObserver
     std::unordered_map<ThreadId,
                        std::vector<std::pair<uint64_t, uint64_t>>>
         _regions; ///< per-thread [first, last] vline intervals
-    /** Footprint counters, flattened as tid * numCpus + cpu. */
-    std::vector<uint64_t> _footprints;
+    /** Per-processor footprint counter shards. */
+    std::vector<CpuFootprints> _footprints;
     std::function<void(CpuId, ThreadId)> _missCallback;
     bool _autoInfer = false;
     double _autoInferMinQ = 0.05;

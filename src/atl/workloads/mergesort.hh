@@ -18,6 +18,8 @@
 #ifndef ATL_WORKLOADS_MERGESORT_HH
 #define ATL_WORKLOADS_MERGESORT_HH
 
+#include <atomic>
+
 #include <cstdint>
 
 #include "atl/workloads/workload.hh"
@@ -85,7 +87,7 @@ class MergesortWorkload : public Workload
     std::unique_ptr<ModelledArray<int32_t>> _data;
     std::unique_ptr<ModelledArray<int32_t>> _scratch;
     uint64_t _checksum = 0;
-    uint64_t _threadsCreated = 0;
+    std::atomic<uint64_t> _threadsCreated{0}; ///< bumped by fibers on any host worker
     ThreadId _rootTid = InvalidThreadId;
     std::function<void()> _rootMergeHook;
 };

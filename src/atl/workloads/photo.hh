@@ -12,6 +12,8 @@
 #ifndef ATL_WORKLOADS_PHOTO_HH
 #define ATL_WORKLOADS_PHOTO_HH
 
+#include <atomic>
+
 #include "atl/workloads/workload.hh"
 
 namespace atl
@@ -81,7 +83,7 @@ class PhotoWorkload : public Workload
     std::vector<uint8_t> _in;
     std::vector<uint8_t> _out;
     std::vector<ThreadId> _rowTids;
-    uint64_t _rowsDone = 0;
+    std::atomic<uint64_t> _rowsDone{0}; ///< bumped by fibers on any host worker
     unsigned _monitorRow = ~0u;
     std::function<void()> _rowStartHook;
 };

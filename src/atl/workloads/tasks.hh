@@ -12,6 +12,8 @@
 #ifndef ATL_WORKLOADS_TASKS_HH
 #define ATL_WORKLOADS_TASKS_HH
 
+#include <atomic>
+
 #include "atl/workloads/workload.hh"
 
 namespace atl
@@ -42,7 +44,7 @@ class TasksWorkload : public Workload
 
   private:
     Params _params;
-    uint64_t _periodsDone = 0;
+    std::atomic<uint64_t> _periodsDone{0}; ///< bumped by fibers on any host worker
 };
 
 } // namespace atl

@@ -18,6 +18,8 @@
 #ifndef ATL_WORKLOADS_TSP_HH
 #define ATL_WORKLOADS_TSP_HH
 
+#include <atomic>
+
 #include "atl/runtime/sync.hh"
 #include "atl/workloads/workload.hh"
 
@@ -105,7 +107,7 @@ class TspWorkload : public Workload
     std::vector<unsigned> _bestTour;
 
     std::vector<uint32_t> _distance; ///< ground-truth distances
-    uint64_t _threadsCreated = 0;
+    std::atomic<uint64_t> _threadsCreated{0}; ///< bumped by fibers on any host worker
     uint64_t _monitorNode = 0;
     std::function<void()> _nodeStartHook;
 };
