@@ -4,7 +4,7 @@
 # non-zero on the first failed shape check.
 #
 # Usage: check.sh [--jobs N] [--perf] [--asan] [--parallel] [--trace]
-#                  [--crash]
+#                  [--crash] [--hot]
 #   --jobs N   worker threads per bench sweep (exported as
 #              ATL_SWEEP_JOBS; default: all cores)
 #   --perf     also run scripts/perf_gate.sh (hot-path throughput
@@ -25,6 +25,13 @@
 #              trace_event JSON, monotonic ts per track, non-negative
 #              slice durations) plus the report's schema-4 telemetry
 #              keys, then exit (other benches are skipped)
+#   --hot      the hot-path bundle: run the perf gate (which writes
+#              results/BENCH_hotpath.json), validate that report and
+#              the committed baseline against the v2 schema (host_cpus
+#              + nested best rates), then run the memory-safety and
+#              race checks that guard the hot-path data structures —
+#              the full test suite under ASan/UBSan and the epoch
+#              equivalence suite under TSan — and exit
 #   --crash    build, then exercise crash isolation end to end: run the
 #              crash-fault matrix (forked attempts, SIGSEGV / abort /
 #              silent _exit / spin faults) and require a complete
@@ -39,6 +46,7 @@ RUN_ASAN=0
 RUN_PARALLEL=0
 RUN_TRACE=0
 RUN_CRASH=0
+RUN_HOT=0
 
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -71,12 +79,92 @@ while [ $# -gt 0 ]; do
         RUN_CRASH=1
         shift
         ;;
+      --hot)
+        RUN_HOT=1
+        shift
+        ;;
       *)
         echo "unknown argument: $1" >&2
         exit 2
         ;;
     esac
 done
+
+if [ "$RUN_HOT" -eq 1 ]; then
+    cmake -B build -G Ninja
+    cmake --build build
+
+    echo "==== hot path: perf gate"
+    scripts/perf_gate.sh
+
+    echo "==== hot path: report + baseline schema validation"
+    python3 - <<'PYEOF'
+import json, sys
+
+hot_benches = ("BM_HotPathMissHeavy", "BM_HotPathMonitoredMissHeavy",
+               "BM_HotPathRefThroughput", "BM_HotPathRefThroughputTelemetry",
+               "BM_HotPathScalarRefThroughput", "BM_MachineParallelSpeedup")
+
+failed = 0
+
+def check_rates(path, best):
+    global failed
+    if not isinstance(best, dict):
+        print(f"{path}: 'best' is not an object", file=sys.stderr)
+        failed = 1
+        return
+    for name in hot_benches:
+        rate = best.get(name)
+        if not isinstance(rate, (int, float)) or rate <= 0:
+            print(f"{path}: best[{name!r}] is {rate!r}, expected a "
+                  "positive rate", file=sys.stderr)
+            failed = 1
+
+path = "results/BENCH_hotpath.json"
+doc = json.load(open(path))
+for key in ("bench", "schema", "host_cpus", "repeats", "rounds",
+            "statistic", "best"):
+    if key not in doc:
+        print(f"{path}: missing '{key}'", file=sys.stderr)
+        failed = 1
+if doc.get("bench") != "BENCH_hotpath":
+    print(f"{path}: bench is {doc.get('bench')!r}", file=sys.stderr)
+    failed = 1
+if not isinstance(doc.get("host_cpus"), int) or doc.get("host_cpus", 0) < 1:
+    print(f"{path}: host_cpus is {doc.get('host_cpus')!r}, expected a "
+          "positive integer", file=sys.stderr)
+    failed = 1
+check_rates(path, doc.get("best"))
+
+path = "scripts/perf_baseline.json"
+doc = json.load(open(path))
+for key in ("schema", "host_cpus", "best"):
+    if key not in doc:
+        print(f"{path}: missing '{key}' (v1 flat baseline? rerun "
+              "perf_gate.sh --update-baseline)", file=sys.stderr)
+        failed = 1
+if failed == 0:
+    check_rates(path, doc.get("best"))
+
+if failed:
+    sys.exit(1)
+print("hotpath report + baseline schema OK")
+PYEOF
+
+    echo "==== hot path: full suite under ASan/UBSan"
+    cmake -B build-asan -G Ninja -DATL_SANITIZE=ON
+    cmake --build build-asan
+    ctest --test-dir build-asan -j "$(nproc)" --output-on-failure
+
+    echo "==== hot path: epoch equivalence under TSan"
+    cmake -B build-tsan -G Ninja -DATL_SANITIZE=thread
+    cmake --build build-tsan --target atl_runtime_tests
+    TSAN_OPTIONS="halt_on_error=1 history_size=7" \
+        ctest --test-dir build-tsan -R 'Parallel' --output-on-failure
+
+    echo "HOT PATH CHECKS PASSED"
+    exit 0
+fi
 
 if [ "$RUN_ASAN" -eq 1 ]; then
     cmake -B build-asan -G Ninja -DATL_SANITIZE=ON

@@ -6,6 +6,11 @@
 # regresses more than 10% against the committed baseline in
 # scripts/perf_baseline.json.
 #
+# A first-round failure is not trusted: the gate re-runs the full
+# best-of-N measurement once more and re-evaluates over the union of
+# both rounds (best-of-2N), so a transient host stall has two chances to
+# be out-raced before the gate calls a regression real.
+#
 # Also gates telemetry overhead on the reference hot path: the paired
 # BM_HotPathRefThroughputTelemetry run (same stream, event log attached)
 # must stay within 2% of BM_HotPathRefThroughput. Telemetry records only
@@ -51,21 +56,30 @@ mkdir -p "$RESULTS"
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 
-echo "perf_gate: $REPEATS passes of BM_HotPath* + BM_MachineParallelSpeedup"
-for i in $(seq 1 "$REPEATS"); do
-    "$BENCH" --benchmark_filter='BM_HotPath|BM_MachineParallelSpeedup' \
-        --benchmark_format=json \
-        > "$tmpdir/pass_$i.json" 2>/dev/null
-done
+run_round() {
+    local round="$1"
+    mkdir -p "$tmpdir/round_$round"
+    for i in $(seq 1 "$REPEATS"); do
+        "$BENCH" --benchmark_filter='BM_HotPath|BM_MachineParallelSpeedup' \
+            --benchmark_format=json \
+            > "$tmpdir/round_$round/pass_$i.json" 2>/dev/null
+    done
+}
 
-REPEATS="$REPEATS" UPDATE="$UPDATE" ALLOW="$ALLOW" \
-RESULTS="$RESULTS" TMPDIR_JSON="$tmpdir" \
-python3 - <<'EOF'
+# Merge every pass of every round run so far, write the report, and
+# evaluate against the baseline. Exit codes: 0 ok, 1 regression, 2 setup.
+evaluate() {
+    local rounds="$1"
+    REPEATS="$REPEATS" UPDATE="$UPDATE" ALLOW="$ALLOW" ROUNDS="$rounds" \
+    RESULTS="$RESULTS" TMPDIR_JSON="$tmpdir" \
+    python3 - <<'EOF'
 import json, glob, os, sys
 
 repeats = int(os.environ["REPEATS"])
+rounds = int(os.environ["ROUNDS"])
 best = {}
-for path in glob.glob(os.path.join(os.environ["TMPDIR_JSON"], "pass_*.json")):
+for path in glob.glob(
+        os.path.join(os.environ["TMPDIR_JSON"], "round_*", "pass_*.json")):
     with open(path) as f:
         doc = json.load(f)
     for bench in doc.get("benchmarks", []):
@@ -80,31 +94,47 @@ if not best:
           file=sys.stderr)
     sys.exit(2)
 
-out = {"bench": "BENCH_hotpath", "repeats": repeats,
+host_cpus = os.cpu_count() or 1
+schema_note = ("refs_per_sec is best-of-N across rounds x repeats passes; "
+               "rates are host-specific (host_cpus records the measuring "
+               "host's core count) - compare only same-host runs, the "
+               "telemetry gate is the machine-independent check")
+out = {"bench": "BENCH_hotpath", "schema": schema_note,
+       "host_cpus": host_cpus, "repeats": repeats, "rounds": rounds,
        "statistic": "best-of-N refs_per_sec", "best": best}
 out_path = os.path.join(os.environ["RESULTS"], "BENCH_hotpath.json")
 with open(out_path, "w") as f:
     json.dump(out, f, indent=2, sort_keys=True)
     f.write("\n")
-print(f"perf_gate: wrote {out_path}")
-for name in sorted(best):
-    print(f"  {name:38s} {best[name] / 1e6:8.1f} Mrefs/s")
+print(f"perf_gate: wrote {out_path} (round {rounds})")
 
 baseline_path = "scripts/perf_baseline.json"
+baseline = {}
+if os.path.exists(baseline_path):
+    with open(baseline_path) as f:
+        doc = json.load(f)
+    # v2 schema nests the rates under "best"; v1 was the bare mapping.
+    baseline = doc.get("best", doc) if isinstance(doc, dict) else {}
+
+for name in sorted(best):
+    line = f"  {name:38s} {best[name] / 1e6:8.1f} Mrefs/s"
+    floor = baseline.get(name)
+    if floor:
+        line += f"  ({100 * (best[name] / floor - 1):+6.1f}% vs baseline)"
+    print(line)
+
 if os.environ["UPDATE"] == "1":
+    doc = {"schema": schema_note, "host_cpus": host_cpus, "best": best}
     with open(baseline_path, "w") as f:
-        json.dump(best, f, indent=2, sort_keys=True)
+        json.dump(doc, f, indent=2, sort_keys=True)
         f.write("\n")
     print(f"perf_gate: baseline rewritten at {baseline_path}")
     sys.exit(0)
 
-if not os.path.exists(baseline_path):
+if not baseline:
     print(f"perf_gate: no baseline at {baseline_path}; "
           "run with --update-baseline to create one", file=sys.stderr)
     sys.exit(2)
-
-with open(baseline_path) as f:
-    baseline = json.load(f)
 
 failed = []
 for name, floor in sorted(baseline.items()):
@@ -138,13 +168,38 @@ if failed:
           "or telemetry overhead >2%)", file=sys.stderr)
     for line in failed:
         print(f"  {line}", file=sys.stderr)
-    if os.environ["ALLOW"] == "1":
-        print("perf_gate: override active, not failing", file=sys.stderr)
-        sys.exit(0)
-    print("perf_gate: rerun with --allow-regression (or set "
-          "ATL_PERF_OVERRIDE=1) to override, or --update-baseline "
-          "after an intentional change", file=sys.stderr)
     sys.exit(1)
 
 print("perf_gate: OK (all benches within 10% of baseline)")
 EOF
+}
+
+echo "perf_gate: $REPEATS passes of BM_HotPath* + BM_MachineParallelSpeedup"
+run_round 1
+status=0
+evaluate 1 || status=$?
+if [ "$status" -eq 0 ]; then
+    exit 0
+elif [ "$status" -eq 2 ]; then
+    exit 2
+fi
+
+if [ "$ALLOW" = "1" ]; then
+    echo "perf_gate: override active, not failing" >&2
+    exit 0
+fi
+
+echo "perf_gate: first round regressed; confirming with a fresh" \
+     "best-of-$REPEATS round before failing" >&2
+run_round 2
+status=0
+evaluate 2 || status=$?
+if [ "$status" -eq 0 ]; then
+    exit 0
+elif [ "$status" -eq 2 ]; then
+    exit 2
+fi
+echo "perf_gate: regression confirmed over two rounds; rerun with" \
+     "--allow-regression (or set ATL_PERF_OVERRIDE=1) to override, or" \
+     "--update-baseline after an intentional change" >&2
+exit 1

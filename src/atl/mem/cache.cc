@@ -8,7 +8,9 @@ namespace atl
 Cache::Cache(const CacheConfig &config)
     : _config(config), _lineBytes(config.lineBytes),
       _lineShift(log2Exact(config.lineBytes)),
-      _ways(config.ways ? config.ways : 1)
+      _ways(config.ways ? config.ways : 1), _directMapped(_ways == 1),
+      _writeBack(config.writePolicy == WritePolicy::WriteBack),
+      _allocateOnWrite(config.allocateOnWrite)
 {
     atl_assert(isPowerOf2(config.sizeBytes), "cache size must be 2^k");
     atl_assert(isPowerOf2(config.lineBytes), "line size must be 2^k");
@@ -17,7 +19,9 @@ Cache::Cache(const CacheConfig &config)
     _numSets = config.sizeBytes / (config.lineBytes * _ways);
     atl_assert(isPowerOf2(_numSets), "set count must be 2^k");
     _setShift = log2Exact(_numSets);
-    _lines.resize(_numSets * _ways);
+    _meta.resize(_numSets * _ways, 0);
+    if (!_directMapped)
+        _lastUse.resize(_numSets * _ways, 0);
 }
 
 uint64_t
@@ -30,15 +34,14 @@ PAddr
 Cache::lineAddrOf(size_t index) const
 {
     uint64_t set = index / _ways;
-    uint64_t tag = _lines[index].tag;
-    return ((tag << _setShift) | set) << _lineShift;
+    return ((tagOf(_meta[index]) << _setShift) | set) << _lineShift;
 }
 
 bool
 Cache::contains(PAddr pa) const
 {
     uint64_t line_no = pa >> _lineShift;
-    return findWay(line_no & (_numSets - 1), line_no >> _setShift) >= 0;
+    return probe(line_no & (_numSets - 1), line_no >> _setShift) >= 0;
 }
 
 bool
@@ -46,35 +49,19 @@ Cache::isDirty(PAddr pa) const
 {
     uint64_t line_no = pa >> _lineShift;
     uint64_t set = line_no & (_numSets - 1);
-    int way = findWay(set, line_no >> _setShift);
+    int way = probe(set, line_no >> _setShift);
     if (way < 0)
         return false;
-    return _lines[lineIndex(set, static_cast<unsigned>(way))].dirty;
-}
-
-bool
-Cache::invalidate(PAddr pa)
-{
-    uint64_t line_no = pa >> _lineShift;
-    uint64_t set = line_no & (_numSets - 1);
-    int way = findWay(set, line_no >> _setShift);
-    if (way < 0)
-        return false;
-    Line &line = _lines[lineIndex(set, static_cast<unsigned>(way))];
-    line.valid = false;
-    line.dirty = false;
-    --_resident;
-    ++_stats.invalidations;
-    return true;
+    return (_meta[lineIndex(set, static_cast<unsigned>(way))] &
+            kDirtyBit) != 0;
 }
 
 void
 Cache::flush()
 {
-    for (auto &line : _lines) {
-        if (line.valid) {
-            line.valid = false;
-            line.dirty = false;
+    for (uint64_t &meta : _meta) {
+        if (meta & kValidBit) {
+            meta &= ~(kValidBit | kDirtyBit);
             ++_stats.invalidations;
         }
     }

@@ -5,7 +5,15 @@
  * write-back or write-through, with optional write-allocation.
  *
  * The cache tracks only metadata (tags and state bits), never data: the
- * simulation needs residency, eviction and dirtiness, not values.
+ * simulation needs residency, eviction and dirtiness, not values. Per
+ * line that metadata is one packed 64-bit word — tag<<2 | dirty<<1 |
+ * valid — so the hit probe is a single load + mask + compare with no
+ * per-way field juggling, and a direct-mapped cache's whole tag store
+ * is an eighth the size of the old array-of-structs layout (one word
+ * per line instead of a 24-byte struct plus LRU stamp). LRU recency
+ * stamps live in a separate parallel array that direct-mapped caches
+ * never allocate or touch: with one way there is no replacement choice
+ * to remember.
  */
 
 #ifndef ATL_MEM_CACHE_HH
@@ -136,8 +144,8 @@ class Cache
     void
     forEachResident(F f) const
     {
-        for (size_t i = 0; i < _lines.size(); ++i) {
-            if (_lines[i].valid)
+        for (size_t i = 0; i < _meta.size(); ++i) {
+            if (_meta[i] & kValidBit)
                 f(lineAddrOf(i));
         }
     }
@@ -170,16 +178,56 @@ class Cache
     PAddr lineAlign(PAddr pa) const { return pa & ~(_lineBytes - 1); }
 
   private:
-    struct Line
-    {
-        uint64_t tag = 0;
-        uint64_t lastUse = 0;
-        bool valid = false;
-        bool dirty = false;
-    };
+    /** Packed line-metadata word layout. */
+    static constexpr uint64_t kValidBit = 1ull;
+    static constexpr uint64_t kDirtyBit = 2ull;
+    static constexpr unsigned kTagShift = 2;
 
-    /** Find the way holding pa within its set, or -1. */
-    int findWay(uint64_t set, uint64_t tag) const;
+    /** Metadata word of a resident clean line holding `tag`. */
+    static constexpr uint64_t
+    packedKey(uint64_t tag)
+    {
+        return (tag << kTagShift) | kValidBit;
+    }
+
+    /** Tag stored in a metadata word. */
+    static constexpr uint64_t tagOf(uint64_t meta)
+    {
+        return meta >> kTagShift;
+    }
+
+    /**
+     * The one probe used by every scan (access, accessHits, fill,
+     * contains, isDirty, invalidate): way holding (set, tag), or -1.
+     * A hit means the word equals the packed key once the dirty bit is
+     * masked off — valid and tag match in a single compare. The
+     * `_directMapped` branch is decided once per cache at construction
+     * and perfectly predicted thereafter; it exists so the one-way
+     * geometry (the paper's L1D and E-cache) compiles to a single
+     * load-mask-compare with no loop.
+     */
+    int
+    probe(uint64_t set, uint64_t tag) const
+    {
+        const uint64_t key = packedKey(tag);
+        const uint64_t *meta = &_meta[set * _ways];
+        if (_directMapped)
+            return (meta[0] & ~kDirtyBit) == key ? 0 : -1;
+        for (unsigned w = 0; w < _ways; ++w) {
+            if ((meta[w] & ~kDirtyBit) == key)
+                return static_cast<int>(w);
+        }
+        return -1;
+    }
+
+    /** Stamp LRU recency. Direct-mapped caches keep no recency array
+     *  (victimWay never consults one), so this is a no-op for them. */
+    void
+    touch(uint64_t set, unsigned way)
+    {
+        if (!_directMapped)
+            _lastUse[set * _ways + way] = _tick;
+    }
 
     /** Choose the victim way (invalid first, then LRU). */
     unsigned victimWay(uint64_t set) const;
@@ -199,38 +247,58 @@ class Cache
     uint64_t _numSets;
     unsigned _setShift;
     unsigned _ways;
+    /** Construction-time specialization flags (hot paths test these
+     *  instead of re-deriving them from _config every reference). */
+    bool _directMapped;
+    bool _writeBack;
+    bool _allocateOnWrite;
     uint64_t _tick = 0;
     uint64_t _resident = 0;
     CacheStats _stats;
-    std::vector<Line> _lines;
+    /** Per-line packed word: tag<<2 | dirty<<1 | valid (0 = invalid). */
+    std::vector<uint64_t> _meta;
+    /** Per-line LRU stamps; empty when direct-mapped. */
+    std::vector<uint64_t> _lastUse;
 };
 
 // The reference-path methods live in the header so the hierarchy's and
 // machine's fused loops inline the whole probe/fill chain; everything
 // colder (invalidate, flush, geometry) stays in cache.cc.
 
-inline int
-Cache::findWay(uint64_t set, uint64_t tag) const
+inline bool
+Cache::invalidate(PAddr pa)
 {
-    for (unsigned w = 0; w < _ways; ++w) {
-        const Line &line = _lines[lineIndex(set, w)];
-        if (line.valid && line.tag == tag)
-            return static_cast<int>(w);
-    }
-    return -1;
+    // Inline despite being a coherence-path operation: every E-cache
+    // replacement runs the L1 inclusion sweep, so on miss-heavy streams
+    // this probe is as hot as access() itself (and usually misses).
+    uint64_t line_no = pa >> _lineShift;
+    uint64_t set = line_no & (_numSets - 1);
+    int way = probe(set, line_no >> _setShift);
+    if (way < 0)
+        return false;
+    // Clearing valid+dirty is enough; the stale tag bits are never read
+    // while the valid bit is off.
+    _meta[lineIndex(set, static_cast<unsigned>(way))] &=
+        ~(kValidBit | kDirtyBit);
+    --_resident;
+    ++_stats.invalidations;
+    return true;
 }
 
 inline unsigned
 Cache::victimWay(uint64_t set) const
 {
+    if (_directMapped)
+        return 0;
     unsigned victim = 0;
     uint64_t oldest = ~0ull;
+    const uint64_t *meta = &_meta[set * _ways];
+    const uint64_t *use = &_lastUse[set * _ways];
     for (unsigned w = 0; w < _ways; ++w) {
-        const Line &line = _lines[lineIndex(set, w)];
-        if (!line.valid)
+        if (!(meta[w] & kValidBit))
             return w;
-        if (line.lastUse < oldest) {
-            oldest = line.lastUse;
+        if (use[w] < oldest) {
+            oldest = use[w];
             victim = w;
         }
     }
@@ -247,46 +315,38 @@ Cache::access(PAddr pa, bool is_write)
     uint64_t set = line_no & (_numSets - 1);
     uint64_t tag = line_no >> _setShift;
 
-    // Hit fast path: scan the set inline; most references hit and the
-    // first way wins outright for direct-mapped caches (the modelled
-    // L1D and E-cache).
-    Line *base = &_lines[set * _ways];
-    for (unsigned w = 0; w < _ways; ++w) {
-        Line &line = base[w];
-        if (line.valid && line.tag == tag) {
-            line.lastUse = _tick;
-            if (is_write && _config.writePolicy == WritePolicy::WriteBack)
-                line.dirty = true;
-            ++_stats.hits;
-            AccessResult result;
-            result.hit = true;
-            return result;
-        }
+    int way = probe(set, tag);
+    if (way >= 0) {
+        unsigned w = static_cast<unsigned>(way);
+        touch(set, w);
+        if (is_write && _writeBack)
+            _meta[lineIndex(set, w)] |= kDirtyBit;
+        ++_stats.hits;
+        AccessResult result;
+        result.hit = true;
+        return result;
     }
 
     AccessResult result;
     // Miss. Allocate unless this is a non-allocating write.
-    if (is_write && !_config.allocateOnWrite)
+    if (is_write && !_allocateOnWrite)
         return result;
 
     unsigned victim = victimWay(set);
-    Line &line = _lines[lineIndex(set, victim)];
-    if (line.valid) {
+    uint64_t &meta = _meta[lineIndex(set, victim)];
+    if (meta & kValidBit) {
         result.victim.valid = true;
         result.victim.lineAddr =
-            ((line.tag << _setShift) | set) << _lineShift;
-        result.victim.dirty = line.dirty;
+            ((tagOf(meta) << _setShift) | set) << _lineShift;
+        result.victim.dirty = (meta & kDirtyBit) != 0;
         ++_stats.evictions;
-        if (line.dirty)
+        if (result.victim.dirty)
             ++_stats.writebacks;
     } else {
         ++_resident;
     }
-    line.valid = true;
-    line.tag = tag;
-    line.lastUse = _tick;
-    line.dirty =
-        is_write && _config.writePolicy == WritePolicy::WriteBack;
+    meta = packedKey(tag) | ((is_write && _writeBack) ? kDirtyBit : 0);
+    touch(set, victim);
     result.filled = true;
     return result;
 }
@@ -298,21 +358,17 @@ Cache::accessHits(PAddr pa, uint32_t count)
     uint64_t set = line_no & (_numSets - 1);
     uint64_t tag = line_no >> _setShift;
 
-    Line *base = &_lines[set * _ways];
-    for (unsigned w = 0; w < _ways; ++w) {
-        Line &line = base[w];
-        if (line.valid && line.tag == tag) {
-            // `count` scalar read hits in a row are indistinguishable
-            // from this except for intermediate lastUse values, which
-            // nothing can observe before the final one lands.
-            _tick += count;
-            line.lastUse = _tick;
-            _stats.refs += count;
-            _stats.hits += count;
-            return true;
-        }
-    }
-    return false;
+    int way = probe(set, tag);
+    if (way < 0)
+        return false;
+    // `count` scalar read hits in a row are indistinguishable from
+    // this except for intermediate lastUse values, which nothing can
+    // observe before the final one lands.
+    _tick += count;
+    touch(set, static_cast<unsigned>(way));
+    _stats.refs += count;
+    _stats.hits += count;
+    return true;
 }
 
 inline EvictInfo
@@ -324,30 +380,29 @@ Cache::fill(PAddr pa, bool dirty)
     uint64_t tag = line_no >> _setShift;
 
     EvictInfo info;
-    int way = findWay(set, tag);
+    int way = probe(set, tag);
     if (way >= 0) {
-        Line &line = _lines[lineIndex(set, static_cast<unsigned>(way))];
-        line.lastUse = _tick;
-        line.dirty = line.dirty || dirty;
+        unsigned w = static_cast<unsigned>(way);
+        touch(set, w);
+        if (dirty)
+            _meta[lineIndex(set, w)] |= kDirtyBit;
         return info;
     }
 
     unsigned victim = victimWay(set);
-    Line &line = _lines[lineIndex(set, victim)];
-    if (line.valid) {
+    uint64_t &meta = _meta[lineIndex(set, victim)];
+    if (meta & kValidBit) {
         info.valid = true;
-        info.lineAddr = ((line.tag << _setShift) | set) << _lineShift;
-        info.dirty = line.dirty;
+        info.lineAddr = ((tagOf(meta) << _setShift) | set) << _lineShift;
+        info.dirty = (meta & kDirtyBit) != 0;
         ++_stats.evictions;
-        if (line.dirty)
+        if (info.dirty)
             ++_stats.writebacks;
     } else {
         ++_resident;
     }
-    line.valid = true;
-    line.tag = tag;
-    line.lastUse = _tick;
-    line.dirty = dirty;
+    meta = packedKey(tag) | (dirty ? kDirtyBit : 0);
+    touch(set, victim);
     return info;
 }
 

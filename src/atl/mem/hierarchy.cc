@@ -46,19 +46,6 @@ Hierarchy::resetStats()
 }
 
 void
-Hierarchy::invalidateL1Range(PAddr l2_line_addr)
-{
-    for (PAddr a = l2_line_addr; a < l2_line_addr + _l2.lineBytes();
-         a += _l1d.lineBytes()) {
-        _l1d.invalidate(a);
-    }
-    for (PAddr a = l2_line_addr; a < l2_line_addr + _l2.lineBytes();
-         a += _l1i.lineBytes()) {
-        _l1i.invalidate(a);
-    }
-}
-
-void
 Hierarchy::notifyEvict(PAddr line_addr)
 {
     if (_observer)

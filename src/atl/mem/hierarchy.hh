@@ -39,6 +39,21 @@ class MemoryObserver
     /** A line left the E-cache of a processor (eviction/invalidation). */
     virtual void onL2Evict(CpuId cpu, PAddr line_addr) = 0;
 
+    /**
+     * A fill that displaced a valid line: the common steady-state miss
+     * event, delivered as one call so hot observers (the tracer) pay a
+     * single virtual dispatch instead of an evict + fill pair. The
+     * default forwards to onL2Evict then onL2Fill — the order the
+     * split events fired in — so observers that don't care can ignore
+     * it.
+     */
+    virtual void
+    onL2Replace(CpuId cpu, PAddr fill_addr, PAddr victim_addr)
+    {
+        onL2Evict(cpu, victim_addr);
+        onL2Fill(cpu, fill_addr);
+    }
+
     /** A demand E-cache miss by a thread on a processor. */
     virtual void onEMiss(CpuId cpu, ThreadId tid)
     {
@@ -161,8 +176,21 @@ class Hierarchy
     }
 
   private:
-    /** Enforce inclusion: drop L1 copies covered by an evicted L2 line. */
-    void invalidateL1Range(PAddr l2_line_addr);
+    /** Enforce inclusion: drop L1 copies covered by an evicted L2 line.
+     *  Inline: it runs on every E-cache replacement, and the sweep is
+     *  a handful of packed-word probes that almost always miss. */
+    void
+    invalidateL1Range(PAddr l2_line_addr)
+    {
+        for (PAddr a = l2_line_addr; a < l2_line_addr + _l2.lineBytes();
+             a += _l1d.lineBytes()) {
+            _l1d.invalidate(a);
+        }
+        for (PAddr a = l2_line_addr; a < l2_line_addr + _l2.lineBytes();
+             a += _l1i.lineBytes()) {
+            _l1i.invalidate(a);
+        }
+    }
 
     /** Notify the evict hook, if set. */
     void notifyEvict(PAddr line_addr);
@@ -219,10 +247,12 @@ Hierarchy::access(PAddr pa, AccessType type)
     if (l2_result.filled) {
         if (l2_result.victim.valid) {
             invalidateL1Range(l2_result.victim.lineAddr);
-            notifyEvict(l2_result.victim.lineAddr);
-        }
-        if (_observer)
+            if (_observer)
+                _observer->onL2Replace(_cpuId, _l2.lineAlign(pa),
+                                       l2_result.victim.lineAddr);
+        } else if (_observer) {
             _observer->onL2Fill(_cpuId, _l2.lineAlign(pa));
+        }
     }
     outcome.l2Missed = !l2_result.hit;
     outcome.servicedBy = l2_result.hit ? ServicedBy::L2 : ServicedBy::Memory;

@@ -262,7 +262,7 @@ Machine::epochCommit()
             break;
         if (_timers.empty())
             reportDeadlock();
-        wakeDueTimers(_timers.top().first);
+        wakeDueTimers(_timers.topKey().first);
         epochDispatch();
     }
 

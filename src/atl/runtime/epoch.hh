@@ -96,6 +96,18 @@ struct EpochState
         }
 
         void
+        onL2Replace(CpuId cpu, PAddr fill_addr,
+                    PAddr victim_addr) override
+        {
+            // Same delta order the split events produced: the victim
+            // leaves before the fill lands.
+            self->deltas.push_back({victim_addr, false});
+            self->deltas.push_back({fill_addr, true});
+            if (MemoryObserver *o = *external)
+                o->onL2Replace(cpu, fill_addr, victim_addr);
+        }
+
+        void
         onEMiss(CpuId cpu, ThreadId tid) override
         {
             if (MemoryObserver *o = *external)

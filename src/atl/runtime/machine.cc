@@ -21,7 +21,7 @@ thread_local Machine *activeMachine = nullptr;
 
 /** Per-OS-thread execution context (several epoch workers drive one
  *  machine concurrently; the classic engine is the 1-thread case). */
-thread_local Machine::ExecCtx Machine::_ctx;
+thread_local constinit Machine::ExecCtx Machine::_ctx;
 
 Machine *
 Machine::active()
@@ -843,8 +843,8 @@ Machine::chooseCpu() const
 void
 Machine::wakeDueTimers(Cycles time)
 {
-    while (!_timers.empty() && _timers.top().first <= time) {
-        ThreadId tid = _timers.top().second;
+    while (!_timers.empty() && _timers.topKey().first <= time) {
+        ThreadId tid = _timers.topId();
         _timers.pop();
         Thread &t = *_threads[tid];
         atl_assert(t.state == ThreadState::Sleeping,
@@ -994,7 +994,7 @@ Machine::endInterval(Cpu &cpu, Thread &thread)
         break;
       case SwitchReason::Sleeping:
         thread.state = ThreadState::Sleeping;
-        _timers.emplace(thread.readyTime, thread.id);
+        _timers.push(thread.id, Timer(thread.readyTime, thread.id));
         break;
       case SwitchReason::Exited: {
         thread.state = ThreadState::Exited;
@@ -1177,7 +1177,7 @@ Machine::run()
                     idle = c;
             }
             _cpus[idle].clock =
-                std::max(_cpus[idle].clock, _timers.top().first);
+                std::max(_cpus[idle].clock, _timers.topKey().first);
             wakeDueTimers(_cpus[idle].clock);
             continue;
         }
@@ -1204,7 +1204,7 @@ Machine::run()
                 }
                 if (!_timers.empty()) {
                     cpu.clock =
-                        std::max(cpu.clock, _timers.top().first);
+                        std::max(cpu.clock, _timers.topKey().first);
                     wakeDueTimers(cpu.clock);
                 } else {
                     bool any_current = false;

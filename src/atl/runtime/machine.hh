@@ -27,8 +27,8 @@
 
 #include <functional>
 #include <memory>
-#include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "atl/mem/hierarchy.hh"
@@ -39,6 +39,7 @@
 #include "atl/perf/counters.hh"
 #include "atl/runtime/scheduler.hh"
 #include "atl/runtime/thread.hh"
+#include "atl/util/minheap.hh"
 #include "atl/util/throttle.hh"
 
 namespace atl
@@ -540,7 +541,11 @@ class Machine
         CpuId cpu = InvalidCpuId;
         Fiber *engine = nullptr;
     };
-    static thread_local ExecCtx _ctx;
+    /* constinit: every member initializer is a constant expression, so
+     * demand constant initialization. Without it the compiler must
+     * assume dynamic init and routes cross-TU accesses (epoch.cc)
+     * through a TLS init wrapper, which UBSan's null checks flag. */
+    static thread_local constinit ExecCtx _ctx;
 
     friend struct EpochState;
 
@@ -567,9 +572,13 @@ class Machine
      *  effects through the commit protocol. */
     std::unique_ptr<EpochState> _epoch;
 
-    /** (wake time, thread) min-ordered. */
+    /** (wake time, thread) min-ordered. A sleeping thread holds exactly
+     *  one timer, so the thread id doubles as the heap index; the
+     *  (time, tid) pair key is a duplicate-free total order, which
+     *  makes the pop sequence independent of the heap's internal
+     *  layout. */
     using Timer = std::pair<Cycles, ThreadId>;
-    std::priority_queue<Timer, std::vector<Timer>, std::greater<>> _timers;
+    MinHeap<Timer, ThreadId> _timers;
 };
 
 } // namespace atl

@@ -1,64 +1,123 @@
 #include "atl/runtime/policy.hh"
 
-#include <algorithm>
-
 #include "atl/util/logging.hh"
 
 namespace atl
 {
 
-namespace
-{
-
-struct ByPriority
-{
-    bool
-    operator()(const HeapEntry &a, const HeapEntry &b) const
-    {
-        return a.priority < b.priority;
-    }
-};
-
-} // namespace
+// The three routines below are the libstdc++ hole-insertion heap
+// algorithms (__push_heap, __adjust_heap, __make_heap) transcribed onto
+// the structure-of-arrays storage, comparing only the priority array.
+// Equal-priority tie-break order is part of the simulation contract —
+// see the class comment in policy.hh before changing any of them.
 
 void
 LocalHeap::push(const HeapEntry &entry)
 {
-    _entries.push_back(entry);
-    std::push_heap(_entries.begin(), _entries.end(), ByPriority());
+    _prio.push_back(entry.priority);
+    _tids.push_back(entry.tid);
+    _gens.push_back(entry.generation);
+
+    // __push_heap(first, holeIndex = len-1, topIndex = 0, value).
+    size_t hole = _prio.size() - 1;
+    while (hole > 0) {
+        size_t parent = (hole - 1) / 2;
+        if (!(_prio[parent] < entry.priority))
+            break;
+        moveEntry(parent, hole);
+        hole = parent;
+    }
+    setEntry(hole, entry);
     ++_ops;
 }
 
-const HeapEntry &
+HeapEntry
 LocalHeap::top() const
 {
-    atl_assert(!_entries.empty(), "top() on empty heap");
-    return _entries.front();
+    atl_assert(!_prio.empty(), "top() on empty heap");
+    return at(0);
 }
 
 void
 LocalHeap::pop()
 {
-    atl_assert(!_entries.empty(), "pop() on empty heap");
-    std::pop_heap(_entries.begin(), _entries.end(), ByPriority());
-    _entries.pop_back();
+    atl_assert(!_prio.empty(), "pop() on empty heap");
+    // pop_heap: move the last entry into a value buffer, the root into
+    // the freed last slot, then re-sink the buffered value from the
+    // root over the remaining len-1 positions.
+    size_t len = _prio.size();
+    if (len > 1) {
+        HeapEntry value = at(len - 1);
+        moveEntry(0, len - 1);
+        adjustHeap(0, len - 1, value);
+    }
+    _prio.pop_back();
+    _tids.pop_back();
+    _gens.pop_back();
     ++_ops;
 }
 
 void
 LocalHeap::removeAt(size_t index)
 {
-    atl_assert(index < _entries.size(), "removeAt out of range");
-    _entries[index] = _entries.back();
-    _entries.pop_back();
+    atl_assert(index < _prio.size(), "removeAt out of range");
+    moveEntry(_prio.size() - 1, index);
+    _prio.pop_back();
+    _tids.pop_back();
+    _gens.pop_back();
     rebuild();
-    _ops += 1 + _entries.size() / 8; // sift work, amortised
+    _ops += 1 + _prio.size() / 8; // sift work, amortised
+}
+
+void
+LocalHeap::adjustHeap(size_t hole, size_t len, const HeapEntry &value)
+{
+    // __adjust_heap: sink the hole to a leaf along the larger-child
+    // path, then bubble `value` back up from there. The leaf-then-up
+    // shape performs one comparison per level on the way down (vs two
+    // for the textbook sift) and its exact move sequence decides
+    // equal-priority order.
+    const size_t top = hole;
+    size_t second = hole;
+    while (second < (len - 1) / 2) {
+        second = 2 * (second + 1);
+        if (_prio[second] < _prio[second - 1])
+            --second;
+        moveEntry(second, hole);
+        hole = second;
+    }
+    if ((len & 1) == 0 && second == (len - 2) / 2) {
+        second = 2 * (second + 1);
+        moveEntry(second - 1, hole);
+        hole = second - 1;
+    }
+
+    // __push_heap(first, holeIndex = hole, topIndex = top, value).
+    while (hole > top) {
+        size_t parent = (hole - 1) / 2;
+        if (!(_prio[parent] < value.priority))
+            break;
+        moveEntry(parent, hole);
+        hole = parent;
+    }
+    setEntry(hole, value);
 }
 
 void
 LocalHeap::rebuild()
 {
-    std::make_heap(_entries.begin(), _entries.end(), ByPriority());
+    // __make_heap: bottom-up heapify from the last internal node.
+    const size_t len = _prio.size();
+    if (len < 2)
+        return;
+    size_t parent = (len - 2) / 2;
+    while (true) {
+        HeapEntry value = at(parent);
+        adjustHeap(parent, len, value);
+        if (parent == 0)
+            return;
+        --parent;
+    }
 }
 
 } // namespace atl

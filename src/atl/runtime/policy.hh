@@ -35,9 +35,22 @@ struct HeapEntry
 };
 
 /**
- * Max-heap over HeapEntry ordered by priority. A thin wrapper over the
- * standard heap algorithms with an operation counter so the scheduler
- * can charge heap work to the context-switch cycle cost.
+ * Max-heap over HeapEntry ordered by priority, stored as a flat
+ * structure-of-arrays: the priority keys live in their own contiguous
+ * array (the only one the sift comparisons touch), with the thread-id
+ * and generation payloads in parallel arrays moved in lockstep. An
+ * operation counter lets the scheduler charge heap work to the
+ * context-switch cycle cost.
+ *
+ * The sift routines implement the libstdc++ push_heap / pop_heap /
+ * make_heap hole-insertion algorithms verbatim. That is a behavioural
+ * contract, not an implementation detail: entries with equal priority
+ * are dispatched in the order those specific sifts produce, and the
+ * committed golden run fingerprints (tests/integration/
+ * hotpath_golden.inc) pin that order. Hand-rolling the sifts here makes
+ * the tie-break independent of the host C++ standard library. Do not
+ * "simplify" them to the textbook two-child sift-down: it performs
+ * fewer moves in a different order and reorders equal-priority ties.
  */
 class LocalHeap
 {
@@ -46,23 +59,38 @@ class LocalHeap
     void push(const HeapEntry &entry);
 
     /** True when no entries remain (valid or stale). */
-    bool empty() const { return _entries.empty(); }
+    bool empty() const { return _prio.empty(); }
 
     /** Number of entries, including stale ones. */
-    size_t size() const { return _entries.size(); }
+    size_t size() const { return _prio.size(); }
+
+    /** Entry at a position in heap (not sorted) order, for stealers. */
+    HeapEntry
+    at(size_t index) const
+    {
+        return HeapEntry{_prio[index], _tids[index], _gens[index]};
+    }
 
     /** Highest-priority entry; heap must be nonempty. */
-    const HeapEntry &top() const;
+    HeapEntry top() const;
 
     /** Remove the highest-priority entry. */
     void pop();
 
-    /** All entries in heap (not sorted) order, for scans by stealers. */
-    const std::vector<HeapEntry> &entries() const { return _entries; }
+    /** Materialise all entries in heap (not sorted) order. */
+    std::vector<HeapEntry>
+    snapshot() const
+    {
+        std::vector<HeapEntry> all;
+        all.reserve(size());
+        for (size_t i = 0; i < size(); ++i)
+            all.push_back(at(i));
+        return all;
+    }
 
     /**
-     * Remove one specific entry by position in entries() and restore the
-     * heap property (used when a stealer takes a victim).
+     * Remove one specific entry by position and restore the heap
+     * property (used when a stealer takes a victim).
      */
     void removeAt(size_t index);
 
@@ -77,17 +105,27 @@ class LocalHeap
     compact(Pred keep)
     {
         std::vector<HeapEntry> rejected;
-        std::vector<HeapEntry> kept;
-        kept.reserve(_entries.size());
-        for (const HeapEntry &e : _entries) {
-            if (keep(e))
-                kept.push_back(e);
-            else
+        std::vector<double> kept_prio;
+        std::vector<ThreadId> kept_tids;
+        std::vector<uint64_t> kept_gens;
+        kept_prio.reserve(size());
+        kept_tids.reserve(size());
+        kept_gens.reserve(size());
+        for (size_t i = 0; i < size(); ++i) {
+            HeapEntry e = at(i);
+            if (keep(e)) {
+                kept_prio.push_back(e.priority);
+                kept_tids.push_back(e.tid);
+                kept_gens.push_back(e.generation);
+            } else {
                 rejected.push_back(e);
+            }
         }
-        _entries.swap(kept);
+        _prio.swap(kept_prio);
+        _tids.swap(kept_tids);
+        _gens.swap(kept_gens);
         rebuild();
-        _ops += _entries.size();
+        _ops += _prio.size();
         return rejected;
     }
 
@@ -95,10 +133,33 @@ class LocalHeap
     uint64_t opCount() const { return _ops; }
 
   private:
+    /** Copy the entry at `from` over the entry at `to`. */
+    void
+    moveEntry(size_t from, size_t to)
+    {
+        _prio[to] = _prio[from];
+        _tids[to] = _tids[from];
+        _gens[to] = _gens[from];
+    }
+
+    /** Write `e` into position `index`. */
+    void
+    setEntry(size_t index, const HeapEntry &e)
+    {
+        _prio[index] = e.priority;
+        _tids[index] = e.tid;
+        _gens[index] = e.generation;
+    }
+
+    /** libstdc++ __adjust_heap over the first `len` positions. */
+    void adjustHeap(size_t hole, size_t len, const HeapEntry &value);
+
     /** Restore the heap property over the whole array. */
     void rebuild();
 
-    std::vector<HeapEntry> _entries;
+    std::vector<double> _prio;
+    std::vector<ThreadId> _tids;
+    std::vector<uint64_t> _gens;
     uint64_t _ops = 0;
 };
 

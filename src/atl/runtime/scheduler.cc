@@ -125,7 +125,7 @@ Scheduler::boundHeap(CpuId cpu)
     ++_compactions;
 
     if (heap.size() > _config.maxHeapSize) {
-        std::vector<HeapEntry> all = heap.entries();
+        std::vector<HeapEntry> all = heap.snapshot();
         std::sort(all.begin(), all.end(),
                   [](const HeapEntry &a, const HeapEntry &b) {
                       return a.priority > b.priority;
@@ -288,22 +288,22 @@ Scheduler::steal(CpuId thief)
     for (CpuId victim = 0; victim < _config.numCpus; ++victim) {
         if (victim == thief || !_busy[victim])
             continue;
-        const auto &entries = _heaps[victim].entries();
-        for (size_t i = 0; i < entries.size(); ++i) {
-            if (!entryValid(entries[i], victim))
+        const LocalHeap &heap = _heaps[victim];
+        for (size_t i = 0; i < heap.size(); ++i) {
+            HeapEntry e = heap.at(i);
+            if (!entryValid(e, victim))
                 continue;
-            if (best_cpu == InvalidCpuId ||
-                entries[i].priority < best_priority) {
+            if (best_cpu == InvalidCpuId || e.priority < best_priority) {
                 best_cpu = victim;
                 best_index = i;
-                best_priority = entries[i].priority;
+                best_priority = e.priority;
             }
         }
     }
     if (best_cpu == InvalidCpuId)
         return nullptr;
 
-    HeapEntry entry = _heaps[best_cpu].entries()[best_index];
+    HeapEntry entry = _heaps[best_cpu].at(best_index);
     _heaps[best_cpu].removeAt(best_index);
     noteRemoved(entry, best_cpu);
     Thread &t = *_threads[entry.tid];

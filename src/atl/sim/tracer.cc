@@ -10,6 +10,7 @@ namespace atl
 Tracer::Tracer(Machine &machine)
     : _machine(machine),
       _lineBytes(machine.config().hierarchy.l2.lineBytes),
+      _lineShift(log2Exact(machine.config().hierarchy.l2.lineBytes)),
       _numCpus(machine.numCpus()), _footprints(machine.numCpus())
 {
     _machine.setObserver(this);
@@ -28,27 +29,27 @@ Tracer::registerState(ThreadId tid, VAddr va, uint64_t bytes)
     // the single-threaded commit phase.
     Machine::GlobalSection section(_machine);
     atl_assert(bytes > 0, "empty state region");
-    uint64_t first = va / _lineBytes;
-    uint64_t last = (va + bytes - 1) / _lineBytes;
+    uint64_t first = va >> _lineShift;
+    uint64_t last = (va + bytes - 1) >> _lineShift;
     _regions[tid].emplace_back(first, last);
     std::vector<ThreadId> co_owners;
     for (uint64_t vline = first; vline <= last; ++vline) {
-        OwnerSet &owners = ownersGrow(vline);
+        HotOwners &owners = ownersGrow(vline);
         if (_autoInfer) {
             // Collect with duplicates; dedup once after the scan
             // instead of a quadratic membership probe per line.
-            owners.forEach([&](ThreadId other) {
+            ownersForEach(owners, vline, [&](ThreadId other) {
                 if (other != tid)
                     co_owners.push_back(other);
             });
         }
-        if (owners.contains(tid))
+        if (ownersContain(owners, vline, tid))
             continue;
-        owners.add(tid);
+        ownersAdd(owners, vline, tid);
         // Lines already resident when their ownership is declared must
         // be credited now: later evictions will debit them.
         PAddr pa;
-        if (!_machine.vm().translateIfMapped(vline * _lineBytes, pa))
+        if (!_machine.vm().translateIfMapped(vline << _lineShift, pa))
             continue;
         for (CpuId cpu = 0; cpu < _numCpus; ++cpu) {
             if (_machine.hierarchy(cpu).l2Contains(pa))
@@ -89,11 +90,41 @@ Tracer::vlineOf(PAddr pa, uint64_t &vline) const
     VAddr va;
     if (!_machine.vm().reverse(pa, va))
         return false;
-    vline = va / _lineBytes;
+    vline = va >> _lineShift;
     return true;
 }
 
-const Tracer::OwnerSet *
+bool
+Tracer::ownersContain(const HotOwners &hot, uint64_t vline,
+                      ThreadId tid) const
+{
+    unsigned n = hot.count < HotOwners::kInline ? hot.count
+                                                : HotOwners::kInline;
+    for (unsigned i = 0; i < n; ++i) {
+        if (hot.own[i] == tid)
+            return true;
+    }
+    if (hot.count > HotOwners::kInline) {
+        auto it = _spill.find(vline);
+        for (ThreadId t : it->second) {
+            if (t == tid)
+                return true;
+        }
+    }
+    return false;
+}
+
+void
+Tracer::ownersAdd(HotOwners &hot, uint64_t vline, ThreadId tid)
+{
+    if (hot.count < HotOwners::kInline)
+        hot.own[hot.count] = tid;
+    else
+        _spill[vline].push_back(tid);
+    ++hot.count;
+}
+
+const Tracer::HotOwners *
 Tracer::ownersAt(uint64_t vline) const
 {
     if (vline < _ownerBase || vline - _ownerBase >= _owners.size())
@@ -101,7 +132,7 @@ Tracer::ownersAt(uint64_t vline) const
     return &_owners[vline - _ownerBase];
 }
 
-Tracer::OwnerSet &
+Tracer::HotOwners &
 Tracer::ownersGrow(uint64_t vline)
 {
     if (_owners.empty()) {
@@ -111,9 +142,11 @@ Tracer::ownersGrow(uint64_t vline)
     }
     if (vline < _ownerBase) {
         // Registration below the current base: shift the table up.
-        // Registration is setup-time work, so the O(n) move is fine.
+        // Registration is setup-time work, so the O(n) move is fine
+        // (and the records are 16-byte PODs, so it is a memmove). The
+        // spill map is keyed by absolute vline and needs no rekeying.
         size_t grow = static_cast<size_t>(_ownerBase - vline);
-        std::vector<OwnerSet> shifted(grow + _owners.size());
+        std::vector<HotOwners> shifted(grow + _owners.size());
         std::move(_owners.begin(), _owners.end(),
                   shifted.begin() + grow);
         _owners = std::move(shifted);
@@ -139,10 +172,15 @@ Tracer::onL2Fill(CpuId cpu, PAddr line_addr)
     uint64_t vline;
     if (!vlineOf(line_addr, vline))
         return;
-    const OwnerSet *owners = ownersAt(vline);
+    const HotOwners *owners = ownersAt(vline);
     if (!owners || owners->count == 0)
         return;
-    owners->forEach([&](ThreadId tid) { ++counter(tid, cpu); });
+    std::vector<uint64_t> &counts = _footprints[cpu].counts;
+    ownersForEach(*owners, vline, [&](ThreadId tid) {
+        if (tid >= counts.size())
+            counts.resize(static_cast<size_t>(tid) + 1, 0);
+        ++counts[tid];
+    });
 }
 
 void
@@ -151,15 +189,52 @@ Tracer::onL2Evict(CpuId cpu, PAddr line_addr)
     uint64_t vline;
     if (!vlineOf(line_addr, vline))
         return;
-    const OwnerSet *owners = ownersAt(vline);
+    const HotOwners *owners = ownersAt(vline);
     if (!owners || owners->count == 0)
         return;
-    owners->forEach([&](ThreadId tid) {
-        uint64_t &lines = counter(tid, cpu);
+    std::vector<uint64_t> &counts = _footprints[cpu].counts;
+    ownersForEach(*owners, vline, [&](ThreadId tid) {
+        if (tid >= counts.size())
+            counts.resize(static_cast<size_t>(tid) + 1, 0);
+        uint64_t &lines = counts[tid];
         atl_assert(lines > 0, "footprint underflow for thread ", tid,
                    " on cpu ", cpu);
         --lines;
     });
+}
+
+void
+Tracer::onL2Replace(CpuId cpu, PAddr fill_addr, PAddr victim_addr)
+{
+    // The steady-state miss event: one virtual call covers the evict
+    // and the fill, sharing the processor's counter shard across both
+    // halves. Bookkeeping order matches the split events (victim debit
+    // first), so footprint values are identical either way.
+    std::vector<uint64_t> &counts = _footprints[cpu].counts;
+    uint64_t vline;
+    if (vlineOf(victim_addr, vline)) {
+        const HotOwners *owners = ownersAt(vline);
+        if (owners && owners->count != 0) {
+            ownersForEach(*owners, vline, [&](ThreadId tid) {
+                if (tid >= counts.size())
+                    counts.resize(static_cast<size_t>(tid) + 1, 0);
+                uint64_t &lines = counts[tid];
+                atl_assert(lines > 0, "footprint underflow for thread ",
+                           tid, " on cpu ", cpu);
+                --lines;
+            });
+        }
+    }
+    if (vlineOf(fill_addr, vline)) {
+        const HotOwners *owners = ownersAt(vline);
+        if (owners && owners->count != 0) {
+            ownersForEach(*owners, vline, [&](ThreadId tid) {
+                if (tid >= counts.size())
+                    counts.resize(static_cast<size_t>(tid) + 1, 0);
+                ++counts[tid];
+            });
+        }
+    }
 }
 
 void

@@ -19,7 +19,6 @@
 
 #include <array>
 #include <functional>
-#include <memory>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -91,80 +90,64 @@ class Tracer : public MemoryObserver
     /** @name MemoryObserver interface @{ */
     void onL2Fill(CpuId cpu, PAddr line_addr) override;
     void onL2Evict(CpuId cpu, PAddr line_addr) override;
+    void onL2Replace(CpuId cpu, PAddr fill_addr,
+                     PAddr victim_addr) override;
     void onEMiss(CpuId cpu, ThreadId tid) override;
     /** @} */
 
   private:
     /**
-     * Owners of one virtual line. Regions usually overlap 0-3 threads,
-     * so the first few owners live inline; rare wider sharing spills
-     * into a heap vector. This keeps the fill/evict hot path free of
-     * hash lookups and pointer chasing for the common case.
+     * Hot half of one virtual line's owner set: a 16-byte POD holding
+     * the owner count and the first few owner ids inline. Regions
+     * usually overlap 0-3 threads, so the fill/evict hot path reads one
+     * 16-byte record from a flat array — no pointers, no hash lookups,
+     * and the whole table is memmove-able when the bump base shifts.
+     * Wider sharing (count > kInline) spills the *remaining* owners
+     * into the cold per-vline map, touched only for those rare lines.
      */
-    struct OwnerSet
+    struct HotOwners
     {
         /** Inline capacity before spilling (covers the usual 0-3). */
         static constexpr unsigned kInline = 3;
 
-        uint16_t count = 0;
-        std::array<ThreadId, kInline> inlined{};
-        /** Owners beyond kInline, allocated only when needed. */
-        std::unique_ptr<std::vector<ThreadId>> spill;
-
-        bool
-        contains(ThreadId tid) const
-        {
-            unsigned n = count < kInline ? count : kInline;
-            for (unsigned i = 0; i < n; ++i) {
-                if (inlined[i] == tid)
-                    return true;
-            }
-            if (spill) {
-                for (ThreadId t : *spill) {
-                    if (t == tid)
-                        return true;
-                }
-            }
-            return false;
-        }
-
-        /** Append an owner (caller checks contains() first). */
-        void
-        add(ThreadId tid)
-        {
-            if (count < kInline) {
-                inlined[count] = tid;
-            } else {
-                if (!spill)
-                    spill = std::make_unique<std::vector<ThreadId>>();
-                spill->push_back(tid);
-            }
-            ++count;
-        }
-
-        /** Invoke f(tid) for every owner. */
-        template <typename F>
-        void
-        forEach(F f) const
-        {
-            unsigned n = count < kInline ? count : kInline;
-            for (unsigned i = 0; i < n; ++i)
-                f(inlined[i]);
-            if (spill) {
-                for (ThreadId t : *spill)
-                    f(t);
-            }
-        }
+        uint32_t count = 0;
+        std::array<ThreadId, kInline> own{};
     };
+    static_assert(sizeof(HotOwners) == 16,
+                  "hot owner record must stay one 16-byte load");
+
+    /** True when tid already owns the vline behind `hot`. */
+    bool ownersContain(const HotOwners &hot, uint64_t vline,
+                       ThreadId tid) const;
+
+    /** Append an owner (caller checks ownersContain() first). */
+    void ownersAdd(HotOwners &hot, uint64_t vline, ThreadId tid);
+
+    /** Invoke f(tid) for every owner, inline ids first then spill in
+     *  insertion order (the order the old AoS layout produced). */
+    template <typename F>
+    void
+    ownersForEach(const HotOwners &hot, uint64_t vline, F f) const
+    {
+        unsigned n = hot.count < HotOwners::kInline ? hot.count
+                                                    : HotOwners::kInline;
+        for (unsigned i = 0; i < n; ++i)
+            f(hot.own[i]);
+        if (hot.count > HotOwners::kInline) {
+            auto it = _spill.find(vline);
+            for (ThreadId t : it->second)
+                f(t);
+        }
+    }
 
     /** Resolve a physical line to its virtual line number, if mapped. */
     bool vlineOf(PAddr pa, uint64_t &vline) const;
 
-    /** Owner set of a vline, or null when none was ever registered. */
-    const OwnerSet *ownersAt(uint64_t vline) const;
+    /** Hot owner record of a vline, or null when none was registered. */
+    const HotOwners *ownersAt(uint64_t vline) const;
 
-    /** Owner set of a vline, growing the table to cover it. */
-    OwnerSet &ownersGrow(uint64_t vline);
+    /** Hot owner record of a vline, growing the table to cover it. */
+    HotOwners &ownersGrow(uint64_t vline);
 
     /** Footprint counter of (tid, cpu), ensuring allocation. */
     uint64_t &counter(ThreadId tid, CpuId cpu);
@@ -186,11 +169,17 @@ class Tracer : public MemoryObserver
 
     Machine &_machine;
     uint64_t _lineBytes;
+    /** log2(_lineBytes): the hot path shifts, never divides. */
+    unsigned _lineShift;
     unsigned _numCpus;
-    /** Owner sets indexed by (vline - _ownerBase); the bump allocator
-     *  hands out dense addresses, so the table stays compact. */
-    std::vector<OwnerSet> _owners;
+    /** Hot owner records indexed by (vline - _ownerBase); the bump
+     *  allocator hands out dense addresses, so the table stays
+     *  compact. */
+    std::vector<HotOwners> _owners;
     uint64_t _ownerBase = 0;
+    /** Cold spill: owners beyond HotOwners::kInline, keyed by absolute
+     *  vline so base shifts never rekey it. */
+    std::unordered_map<uint64_t, std::vector<ThreadId>> _spill;
     std::unordered_map<ThreadId,
                        std::vector<std::pair<uint64_t, uint64_t>>>
         _regions; ///< per-thread [first, last] vline intervals

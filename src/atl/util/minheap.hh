@@ -1,0 +1,202 @@
+/**
+ * @file
+ * A flat indexed binary min-heap: contiguous key/id arrays plus a
+ * dense position index, giving O(1) top and membership, O(log n)
+ * push/pop/erase/update (decrease- or increase-key), and O(1)
+ * create/teardown (three vectors, no nodes). The same shape Graphite
+ * uses for its event queue.
+ *
+ * Ids are small dense integers chosen by the caller (thread ids here);
+ * the position index is a plain vector grown on demand, so ids should
+ * be compact. Each id may be present at most once.
+ *
+ * Pop order is fully determined by the key ordering only when keys are
+ * totally ordered with no duplicates (e.g. a (time, id) pair). With
+ * duplicate keys, ties pop in an order that depends on the insertion
+ * history — callers that need a deterministic tie-break must
+ * disambiguate inside the key.
+ */
+
+#ifndef ATL_UTIL_MINHEAP_HH
+#define ATL_UTIL_MINHEAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "atl/util/logging.hh"
+
+namespace atl
+{
+
+template <typename Key, typename Id = uint32_t,
+          typename Less = std::less<Key>>
+class MinHeap
+{
+  public:
+    /** True when the heap holds no entries. */
+    bool empty() const { return _ids.empty(); }
+
+    /** Number of entries. */
+    size_t size() const { return _ids.size(); }
+
+    /** Smallest key; heap must be nonempty. */
+    const Key &
+    topKey() const
+    {
+        atl_assert(!_ids.empty(), "topKey() on empty heap");
+        return _keys[0];
+    }
+
+    /** Id carrying the smallest key; heap must be nonempty. */
+    Id
+    topId() const
+    {
+        atl_assert(!_ids.empty(), "topId() on empty heap");
+        return _ids[0];
+    }
+
+    /** True when `id` is currently in the heap. */
+    bool
+    contains(Id id) const
+    {
+        size_t slot = static_cast<size_t>(id);
+        return slot < _pos.size() && _pos[slot] != kNone;
+    }
+
+    /** Key of a present id. */
+    const Key &
+    keyOf(Id id) const
+    {
+        atl_assert(contains(id), "keyOf() on absent id");
+        return _keys[_pos[static_cast<size_t>(id)]];
+    }
+
+    /** Insert `id` with `key`; `id` must not already be present. */
+    void
+    push(Id id, const Key &key)
+    {
+        atl_assert(!contains(id), "push() of id already in heap");
+        size_t slot = static_cast<size_t>(id);
+        if (slot >= _pos.size())
+            _pos.resize(slot + 1, kNone);
+        _keys.push_back(key);
+        _ids.push_back(id);
+        siftUp(_ids.size() - 1);
+    }
+
+    /** Remove the smallest entry; heap must be nonempty. */
+    void
+    pop()
+    {
+        atl_assert(!_ids.empty(), "pop() on empty heap");
+        removeSlot(0);
+    }
+
+    /** Remove a present id from anywhere in the heap. */
+    void
+    erase(Id id)
+    {
+        atl_assert(contains(id), "erase() of absent id");
+        removeSlot(_pos[static_cast<size_t>(id)]);
+    }
+
+    /** Change the key of a present id (decrease or increase). */
+    void
+    update(Id id, const Key &key)
+    {
+        atl_assert(contains(id), "update() of absent id");
+        uint32_t slot = _pos[static_cast<size_t>(id)];
+        _keys[slot] = key;
+        // At most one of the sifts moves the entry; the other is a
+        // single comparison.
+        siftUp(slot);
+        siftDown(_pos[static_cast<size_t>(id)]);
+    }
+
+    /** Remove every entry; keeps the index storage for reuse. */
+    void
+    clear()
+    {
+        for (Id id : _ids)
+            _pos[static_cast<size_t>(id)] = kNone;
+        _keys.clear();
+        _ids.clear();
+    }
+
+  private:
+    static constexpr uint32_t kNone = ~uint32_t(0);
+
+    void
+    place(size_t slot, const Key &key, Id id)
+    {
+        _keys[slot] = key;
+        _ids[slot] = id;
+        _pos[static_cast<size_t>(id)] = static_cast<uint32_t>(slot);
+    }
+
+    void
+    siftUp(size_t slot)
+    {
+        Key key = _keys[slot];
+        Id id = _ids[slot];
+        while (slot > 0) {
+            size_t parent = (slot - 1) / 2;
+            if (!_less(key, _keys[parent]))
+                break;
+            place(slot, _keys[parent], _ids[parent]);
+            slot = parent;
+        }
+        place(slot, key, id);
+    }
+
+    void
+    siftDown(size_t slot)
+    {
+        const size_t len = _ids.size();
+        Key key = _keys[slot];
+        Id id = _ids[slot];
+        while (true) {
+            size_t child = 2 * slot + 1;
+            if (child >= len)
+                break;
+            if (child + 1 < len && _less(_keys[child + 1], _keys[child]))
+                ++child;
+            if (!_less(_keys[child], key))
+                break;
+            place(slot, _keys[child], _ids[child]);
+            slot = child;
+        }
+        place(slot, key, id);
+    }
+
+    /** Remove the entry at `slot`, refilling the hole from the back. */
+    void
+    removeSlot(size_t slot)
+    {
+        _pos[static_cast<size_t>(_ids[slot])] = kNone;
+        size_t last = _ids.size() - 1;
+        if (slot != last) {
+            Key key = _keys[last];
+            Id id = _ids[last];
+            _keys.pop_back();
+            _ids.pop_back();
+            place(slot, key, id);
+            siftUp(slot);
+            siftDown(_pos[static_cast<size_t>(id)]);
+        } else {
+            _keys.pop_back();
+            _ids.pop_back();
+        }
+    }
+
+    std::vector<Key> _keys;
+    std::vector<Id> _ids;
+    std::vector<uint32_t> _pos;
+    Less _less;
+};
+
+} // namespace atl
+
+#endif // ATL_UTIL_MINHEAP_HH

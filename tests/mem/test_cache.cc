@@ -262,5 +262,296 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u),
                        ::testing::Values(4096ull, 65536ull)));
 
+/**
+ * Shadow reference model: the pre-packed-word array-of-structs cache
+ * (one {valid, dirty, tag, lastUse} record per line, per-way scans,
+ * invalid-first-then-LRU victims). The production cache packs the same
+ * state into one word per line and specializes the one-way probe; this
+ * model pins the behaviour they must share, step for step.
+ */
+class ShadowCache
+{
+  public:
+    explicit ShadowCache(const CacheConfig &config)
+        : _lineBytes(config.lineBytes), _ways(config.ways),
+          _writeBack(config.writePolicy == WritePolicy::WriteBack),
+          _allocateOnWrite(config.allocateOnWrite)
+    {
+        _numSets = config.sizeBytes / (config.lineBytes * _ways);
+        uint64_t n = _numSets;
+        _setShift = 0;
+        while (n > 1) {
+            n >>= 1;
+            ++_setShift;
+        }
+        uint64_t lb = _lineBytes;
+        _lineShift = 0;
+        while (lb > 1) {
+            lb >>= 1;
+            ++_lineShift;
+        }
+        _lines.resize(_numSets * _ways);
+    }
+
+    Cache::AccessResult
+    access(PAddr pa, bool is_write)
+    {
+        ++_refs;
+        ++_tick;
+        uint64_t set, tag;
+        split(pa, set, tag);
+        Cache::AccessResult result;
+        int way = find(set, tag);
+        if (way >= 0) {
+            Line &line = at(set, static_cast<unsigned>(way));
+            line.lastUse = _tick;
+            if (is_write && _writeBack)
+                line.dirty = true;
+            ++_hits;
+            result.hit = true;
+            return result;
+        }
+        if (is_write && !_allocateOnWrite)
+            return result;
+        unsigned victim = victimWay(set);
+        Line &line = at(set, victim);
+        if (line.valid) {
+            result.victim.valid = true;
+            result.victim.lineAddr =
+                ((line.tag << _setShift) | set) << _lineShift;
+            result.victim.dirty = line.dirty;
+        }
+        line.valid = true;
+        line.dirty = is_write && _writeBack;
+        line.tag = tag;
+        line.lastUse = _tick;
+        result.filled = true;
+        return result;
+    }
+
+    bool
+    accessHits(PAddr pa, uint32_t count)
+    {
+        uint64_t set, tag;
+        split(pa, set, tag);
+        int way = find(set, tag);
+        if (way < 0)
+            return false;
+        _tick += count;
+        at(set, static_cast<unsigned>(way)).lastUse = _tick;
+        _refs += count;
+        _hits += count;
+        return true;
+    }
+
+    EvictInfo
+    fill(PAddr pa, bool dirty)
+    {
+        ++_tick;
+        uint64_t set, tag;
+        split(pa, set, tag);
+        EvictInfo info;
+        int way = find(set, tag);
+        if (way >= 0) {
+            Line &line = at(set, static_cast<unsigned>(way));
+            line.lastUse = _tick;
+            line.dirty = line.dirty || dirty;
+            return info;
+        }
+        unsigned victim = victimWay(set);
+        Line &line = at(set, victim);
+        if (line.valid) {
+            info.valid = true;
+            info.lineAddr = ((line.tag << _setShift) | set) << _lineShift;
+            info.dirty = line.dirty;
+        }
+        line.valid = true;
+        line.dirty = dirty;
+        line.tag = tag;
+        line.lastUse = _tick;
+        return info;
+    }
+
+    bool
+    invalidate(PAddr pa)
+    {
+        uint64_t set, tag;
+        split(pa, set, tag);
+        int way = find(set, tag);
+        if (way < 0)
+            return false;
+        Line &line = at(set, static_cast<unsigned>(way));
+        line.valid = false;
+        line.dirty = false;
+        return true;
+    }
+
+    bool
+    contains(PAddr pa) const
+    {
+        uint64_t set, tag;
+        split(pa, set, tag);
+        return find(set, tag) >= 0;
+    }
+
+    bool
+    isDirty(PAddr pa) const
+    {
+        uint64_t set, tag;
+        split(pa, set, tag);
+        int way = find(set, tag);
+        return way >= 0 && at(set, static_cast<unsigned>(way)).dirty;
+    }
+
+    uint64_t refs() const { return _refs; }
+    uint64_t hits() const { return _hits; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        uint64_t tag = 0;
+        uint64_t lastUse = 0;
+    };
+
+    void
+    split(PAddr pa, uint64_t &set, uint64_t &tag) const
+    {
+        uint64_t line_no = pa >> _lineShift;
+        set = line_no & (_numSets - 1);
+        tag = line_no >> _setShift;
+    }
+
+    Line &at(uint64_t set, unsigned way) { return _lines[set * _ways + way]; }
+    const Line &
+    at(uint64_t set, unsigned way) const
+    {
+        return _lines[set * _ways + way];
+    }
+
+    int
+    find(uint64_t set, uint64_t tag) const
+    {
+        for (unsigned w = 0; w < _ways; ++w) {
+            const Line &line = at(set, w);
+            if (line.valid && line.tag == tag)
+                return static_cast<int>(w);
+        }
+        return -1;
+    }
+
+    unsigned
+    victimWay(uint64_t set) const
+    {
+        unsigned victim = 0;
+        uint64_t oldest = ~0ull;
+        for (unsigned w = 0; w < _ways; ++w) {
+            const Line &line = at(set, w);
+            if (!line.valid)
+                return w;
+            if (line.lastUse < oldest) {
+                oldest = line.lastUse;
+                victim = w;
+            }
+        }
+        return victim;
+    }
+
+    uint64_t _lineBytes;
+    unsigned _lineShift;
+    uint64_t _numSets;
+    unsigned _setShift;
+    unsigned _ways;
+    bool _writeBack;
+    bool _allocateOnWrite;
+    uint64_t _tick = 0;
+    uint64_t _refs = 0;
+    uint64_t _hits = 0;
+    std::vector<Line> _lines;
+};
+
+/** (ways, write policy, allocate-on-write). */
+using ShadowParam = std::tuple<unsigned, WritePolicy, bool>;
+
+class CacheShadowTest : public ::testing::TestWithParam<ShadowParam>
+{
+};
+
+TEST_P(CacheShadowTest, MatchesShadowModelStepForStep)
+{
+    auto [ways, policy, allocate] = GetParam();
+    CacheConfig config{"shadow", 4096, 64, ways, policy, allocate};
+    Cache cache(config);
+    ShadowCache shadow(config);
+
+    // Deterministic xorshift stream over 8x the cache's address reach,
+    // mixing scalar accesses, batched hits, lower-level fills and
+    // coherence invalidations. Every step compares the full result and
+    // the observable line state on both models.
+    uint64_t state = 0x9e3779b97f4a7c15ull + ways;
+    auto next = [&state]() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    };
+    for (int step = 0; step < 50000; ++step) {
+        PAddr pa = (next() % (config.sizeBytes * 8)) & ~63ull;
+        switch (next() % 8) {
+          case 0: {
+            // Batched read hits (the pipeline's accessHits path).
+            uint32_t count = 1 + static_cast<uint32_t>(next() % 7);
+            ASSERT_EQ(cache.accessHits(pa, count),
+                      shadow.accessHits(pa, count));
+            break;
+          }
+          case 1: {
+            bool dirty = next() & 1;
+            EvictInfo got = cache.fill(pa, dirty);
+            EvictInfo want = shadow.fill(pa, dirty);
+            ASSERT_EQ(got.valid, want.valid) << "step " << step;
+            if (got.valid) {
+                ASSERT_EQ(got.lineAddr, want.lineAddr) << "step " << step;
+                ASSERT_EQ(got.dirty, want.dirty) << "step " << step;
+            }
+            break;
+          }
+          case 2:
+            ASSERT_EQ(cache.invalidate(pa), shadow.invalidate(pa));
+            break;
+          default: {
+            bool is_write = next() & 1;
+            Cache::AccessResult got = cache.access(pa, is_write);
+            Cache::AccessResult want = shadow.access(pa, is_write);
+            ASSERT_EQ(got.hit, want.hit) << "step " << step;
+            ASSERT_EQ(got.filled, want.filled) << "step " << step;
+            ASSERT_EQ(got.victim.valid, want.victim.valid)
+                << "step " << step;
+            if (got.victim.valid) {
+                ASSERT_EQ(got.victim.lineAddr, want.victim.lineAddr)
+                    << "step " << step;
+                ASSERT_EQ(got.victim.dirty, want.victim.dirty)
+                    << "step " << step;
+            }
+            break;
+          }
+        }
+        ASSERT_EQ(cache.contains(pa), shadow.contains(pa)) << "step "
+                                                           << step;
+        ASSERT_EQ(cache.isDirty(pa), shadow.isDirty(pa)) << "step "
+                                                         << step;
+    }
+    EXPECT_EQ(cache.stats().refs, shadow.refs());
+    EXPECT_EQ(cache.stats().hits, shadow.hits());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheShadowTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u),
+                       ::testing::Values(WritePolicy::WriteBack,
+                                         WritePolicy::WriteThrough),
+                       ::testing::Values(true, false)));
+
 } // namespace
 } // namespace atl

@@ -57,8 +57,8 @@ TEST(LocalHeapTest, RemoveAtPreservesHeapProperty)
 
     // Remove some middle entry by scanning for priority 3.0.
     size_t idx = 0;
-    for (size_t i = 0; i < heap.entries().size(); ++i) {
-        if (heap.entries()[i].priority == 3.0)
+    for (size_t i = 0; i < heap.size(); ++i) {
+        if (heap.at(i).priority == 3.0)
             idx = i;
     }
     heap.removeAt(idx);

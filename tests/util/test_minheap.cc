@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the flat indexed min-heap: basic ordering, the id index,
+ * and a churn storm (the machine's timer pattern: park, wake, re-park,
+ * tear down) checked against a shadow ordered map at every step.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "atl/util/logging.hh"
+#include "atl/util/minheap.hh"
+
+namespace atl
+{
+namespace
+{
+
+using Key = std::pair<uint64_t, uint32_t>;
+using Heap = MinHeap<Key, uint32_t>;
+
+TEST(MinHeapTest, PopsInKeyOrder)
+{
+    Heap heap;
+    EXPECT_TRUE(heap.empty());
+    uint32_t id = 0;
+    for (uint64_t t : {40ull, 10ull, 30ull, 20ull, 50ull}) {
+        heap.push(id, Key{t, id});
+        ++id;
+    }
+    EXPECT_EQ(heap.size(), 5u);
+    uint64_t prev = 0;
+    while (!heap.empty()) {
+        EXPECT_GE(heap.topKey().first, prev);
+        EXPECT_EQ(heap.topKey().second, heap.topId());
+        prev = heap.topKey().first;
+        heap.pop();
+    }
+}
+
+TEST(MinHeapTest, ContainsAndKeyOf)
+{
+    Heap heap;
+    heap.push(7, Key{100, 7});
+    EXPECT_TRUE(heap.contains(7));
+    EXPECT_FALSE(heap.contains(6));
+    EXPECT_FALSE(heap.contains(8000)); // beyond the index, not UB
+    EXPECT_EQ(heap.keyOf(7).first, 100u);
+    heap.erase(7);
+    EXPECT_FALSE(heap.contains(7));
+    EXPECT_TRUE(heap.empty());
+}
+
+TEST(MinHeapTest, UpdateMovesBothDirections)
+{
+    Heap heap;
+    for (uint32_t id = 0; id < 8; ++id)
+        heap.push(id, Key{10ull * (id + 1), id});
+    heap.update(7, Key{1, 7}); // decrease: 80 -> 1, becomes top
+    EXPECT_EQ(heap.topId(), 7u);
+    heap.update(7, Key{999, 7}); // increase: sinks to the bottom
+    EXPECT_EQ(heap.topId(), 0u);
+    uint32_t last = ~0u;
+    while (!heap.empty()) {
+        last = heap.topId();
+        heap.pop();
+    }
+    EXPECT_EQ(last, 7u);
+}
+
+TEST(MinHeapTest, MisuseAsserts)
+{
+    setLogThrowMode(true);
+    Heap heap;
+    EXPECT_THROW(heap.pop(), LogError);
+    EXPECT_THROW(heap.topKey(), LogError);
+    EXPECT_THROW(heap.erase(3), LogError);
+    heap.push(3, Key{5, 3});
+    EXPECT_THROW(heap.push(3, Key{6, 3}), LogError);
+    setLogThrowMode(false);
+}
+
+/**
+ * Churn storm against a shadow priority map. Ids cycle through the
+ * timer lifecycle — pushed (thread parks), popped (timer fires),
+ * erased (teardown while parked), re-keyed (re-park) — with the heap's
+ * top compared against the shadow's minimum after every operation.
+ * (time, id) keys are a duplicate-free total order, so the two
+ * structures must agree exactly, not just heap-property-wise.
+ */
+TEST(MinHeapTest, ChurnStormMatchesShadowMap)
+{
+    Heap heap;
+    std::set<Key> shadow;
+    std::map<uint32_t, Key> keys; // id -> live key
+    constexpr uint32_t kIds = 64;
+
+    uint64_t state = 0x2545f4914f6cdd1dull;
+    auto next = [&state]() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    };
+
+    for (int step = 0; step < 200000; ++step) {
+        uint32_t id = static_cast<uint32_t>(next() % kIds);
+        Key key{next() % 4096, id};
+        switch (next() % 4) {
+          case 0: // park (or re-park if already parked)
+            if (keys.count(id)) {
+                shadow.erase(keys[id]);
+                heap.update(id, key);
+            } else {
+                heap.push(id, key);
+            }
+            shadow.insert(key);
+            keys[id] = key;
+            break;
+          case 1: // earliest timer fires
+            if (!heap.empty()) {
+                ASSERT_EQ(heap.topKey(), *shadow.begin());
+                uint32_t fired = heap.topId();
+                ASSERT_EQ(fired, shadow.begin()->second);
+                heap.pop();
+                shadow.erase(shadow.begin());
+                keys.erase(fired);
+            }
+            break;
+          case 2: // teardown while parked
+            if (keys.count(id)) {
+                heap.erase(id);
+                shadow.erase(keys[id]);
+                keys.erase(id);
+            }
+            break;
+          default: // membership probes
+            ASSERT_EQ(heap.contains(id), keys.count(id) == 1);
+            if (keys.count(id)) {
+                ASSERT_EQ(heap.keyOf(id), keys[id]);
+            }
+            break;
+        }
+        ASSERT_EQ(heap.size(), shadow.size());
+        if (!heap.empty()) {
+            ASSERT_EQ(heap.topKey(), *shadow.begin());
+        }
+    }
+
+    // Drain: the survivors must come out in exact key order.
+    while (!heap.empty()) {
+        ASSERT_EQ(heap.topKey(), *shadow.begin());
+        heap.pop();
+        shadow.erase(shadow.begin());
+    }
+    EXPECT_TRUE(shadow.empty());
+}
+
+} // namespace
+} // namespace atl

@@ -144,5 +144,51 @@ INSTANTIATE_TEST_SUITE_P(
         return name + "_" + policyName(std::get<1>(info.param));
     });
 
+/**
+ * Same equivalence off the paper's Table-1 geometry: a set-associative
+ * E-cache takes the looped probe/LRU path instead of the direct-mapped
+ * single-compare specialization, and batching must remain a pure
+ * host-side optimisation there too.
+ */
+class BatchEquivalenceAssoc
+    : public ::testing::TestWithParam<std::tuple<const char *, unsigned>>
+{};
+
+TEST_P(BatchEquivalenceAssoc, MetricsBitIdenticalOffTableGeometry)
+{
+    auto [name, ways] = GetParam();
+    MachineConfig cfg;
+    cfg.numCpus = 2;
+    cfg.policy = PolicyKind::LFF;
+    cfg.hierarchy.l2.ways = ways;
+
+    auto batched_w = makeSmall(name);
+    auto scalar_w = makeSmall(name);
+    ASSERT_NE(batched_w, nullptr);
+
+    RunMetrics batched = runWorkload(*batched_w, cfg, true, true);
+    RunMetrics scalar = runWorkload(*scalar_w, cfg, true, false);
+
+    EXPECT_EQ(batched, scalar)
+        << name << " with a " << ways
+        << "-way E-cache diverged between batched and scalar issue";
+    EXPECT_TRUE(batched.verified) << name;
+    EXPECT_EQ(batched.refsIssued, scalar.refsIssued) << name;
+    EXPECT_LE(batched.refBlocks, scalar.refBlocks) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SetAssociativeECache, BatchEquivalenceAssoc,
+    ::testing::Combine(::testing::Values("tasks", "merge", "raytrace",
+                                         "random-walk"),
+                       ::testing::Values(2u, 4u)),
+    [](const auto &info) {
+        std::string name = std::get<0>(info.param);
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name + "_l2w" + std::to_string(std::get<1>(info.param));
+    });
+
 } // namespace
 } // namespace atl
