@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Distributed-fabric matrix: runs small workloads x all three policies
+ * on the sweep fabric (sim/fabric.hh) and proves the fabric's core
+ * invariant — the merged outcome is bit-identical (modulo host timing)
+ * to a serial in-process run of the same cells — across worker counts
+ * and under chaos (seeded worker self-kills plus one deterministic
+ * coordinator-driven SIGKILL).
+ *
+ * Two modes:
+ *   - Standalone (no ATL_FABRIC_WORKERS): three internal legs — 2
+ *     workers clean, 4 workers clean, 4 workers with
+ *     FaultPlan::workerChaos() and killWorkerAfterCells — each checked
+ *     against the serial reference.
+ *   - Driven (ATL_FABRIC_WORKERS set): one leg with all knobs taken
+ *     from the environment (ATL_FABRIC_CHAOS, ATL_FABRIC_KILL_AFTER,
+ *     ATL_FABRIC_COORD_KILL_AFTER, plus the usual sweep knobs for the
+ *     per-cell options). ATL_FABRIC_COORD_KILL_AFTER=n makes this the
+ *     fabric's resume smoke: the coordinator SIGKILLs itself after n
+ *     cells and a rerun must recover the journalled cells from the
+ *     worker shards and finish with the same report (check.sh --fabric
+ *     drives both halves).
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "atl/fault/fault.hh"
+#include "atl/obs/event_log.hh"
+#include "atl/obs/export.hh"
+#include "atl/sim/experiment.hh"
+#include "atl/sim/fabric.hh"
+#include "atl/sim/sweep.hh"
+#include "atl/util/table.hh"
+#include "atl/workloads/mergesort.hh"
+#include "atl/workloads/photo.hh"
+#include "atl/workloads/tasks.hh"
+
+using namespace atl;
+
+namespace
+{
+
+std::unique_ptr<Workload>
+makeSmallWorkload(const std::string &name)
+{
+    if (name == "tasks")
+        return std::make_unique<TasksWorkload>(
+            TasksWorkload::Params{64, 50, 10});
+    if (name == "merge") {
+        MergesortWorkload::Params p;
+        p.elements = 5000;
+        p.cutoff = 100;
+        return std::make_unique<MergesortWorkload>(p);
+    }
+    PhotoWorkload::Params p;
+    p.width = 128;
+    p.height = 64;
+    return std::make_unique<PhotoWorkload>(p);
+}
+
+std::vector<SweepJob>
+matrixJobs()
+{
+    std::vector<SweepJob> jobs;
+    for (const char *app : {"tasks", "merge", "photo"}) {
+        for (PolicyKind policy :
+             {PolicyKind::FCFS, PolicyKind::LFF, PolicyKind::CRT}) {
+            jobs.push_back({std::string(app) + "/" + policyName(policy),
+                            [app, policy] {
+                                auto workload = makeSmallWorkload(app);
+                                MachineConfig cfg;
+                                cfg.numCpus = 2;
+                                cfg.policy = policy;
+                                return runWorkload(*workload, cfg,
+                                                   false);
+                            }});
+        }
+    }
+    return jobs;
+}
+
+std::string
+matrixFingerprint()
+{
+    std::string fingerprint = "2cpu";
+    for (const char *app : {"tasks", "merge", "photo"}) {
+        fingerprint += ";";
+        fingerprint += app;
+        fingerprint += "{";
+        fingerprint += makeSmallWorkload(app)->parameters();
+        fingerprint += "}";
+    }
+    return fingerprint;
+}
+
+/** One fabric leg, checked cell-by-cell against the serial reference.
+ *  @return check failures added */
+int
+runLeg(const std::string &label, const FabricOptions &options,
+       const std::vector<RunMetrics> &reference, FabricOutcome &out)
+{
+    int failures = 0;
+    std::vector<SweepJob> jobs = matrixJobs();
+    std::cout << "--- leg '" << label << "': " << options.workers
+              << " worker(s), workerCrashProb="
+              << options.faults.workerCrashProb
+              << ", killAfter=" << options.killWorkerAfterCells
+              << ", coordKillAfter=" << options.coordinatorKillAfterCells
+              << "\n";
+    out = runFabric(jobs, options);
+
+    if (!out.sweep.complete()) {
+        std::cerr << "FAIL: leg '" << label
+                  << "' did not complete (interrupted="
+                  << out.sweep.interrupted << ", "
+                  << out.sweep.failures.size() << " cell failure(s))\n";
+        for (const SweepJobFailure &f : out.sweep.failures)
+            std::cerr << "      cell '" << f.name << "': " << f.message
+                      << "\n";
+        ++failures;
+    }
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        if (!out.sweep.ok[i]) {
+            std::cerr << "FAIL: leg '" << label << "' lost cell '"
+                      << jobs[i].name << "'\n";
+            ++failures;
+            continue;
+        }
+        if (!(out.sweep.results[i] == reference[i])) {
+            std::cerr << "FAIL: leg '" << label << "' cell '"
+                      << jobs[i].name
+                      << "' diverged from the serial reference\n";
+            ++failures;
+        }
+        if (!out.sweep.results[i].verified) {
+            std::cerr << "FAIL: leg '" << label << "' cell '"
+                      << jobs[i].name << "' did not verify\n";
+            ++failures;
+        }
+    }
+    std::cout << "    " << out.workers << " worker(s), "
+              << out.stolenRuns << " stolen run(s), "
+              << out.workerFailures.size() << " worker death(s), "
+              << out.mergedFromShards << " cell(s) merged from shards\n";
+    return failures;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Distributed-fabric matrix (3 apps x 3 policies, "
+                 "forked worker pool)\n\n";
+    int failures = 0;
+
+    // Serial in-process ground truth: what every fabric leg must
+    // reproduce bit-identically (modulo host timing).
+    std::vector<RunMetrics> reference = SweepRunner(1).run(matrixJobs());
+
+    EventLog telemetry(TelemetryConfig{.capacity = 1 << 12});
+    FabricOptions base;
+    base.benchName = "bench_fabric_matrix";
+    base.configFingerprint = matrixFingerprint();
+    base.cell = sweepOptionsFromEnv();
+    base.faultSeed = 0xfab1ull;
+    base.telemetry = &telemetry;
+
+    FabricOutcome last;
+    bool driven = std::getenv("ATL_FABRIC_WORKERS") != nullptr;
+    if (driven) {
+        // check.sh mode: one leg, all knobs from the environment.
+        failures += runLeg("env", fabricOptionsFromEnv(base), reference,
+                           last);
+    } else {
+        FabricOptions two = base;
+        two.workers = 2;
+        failures += runLeg("2-clean", two, reference, last);
+
+        FabricOptions four = base;
+        four.workers = 4;
+        failures += runLeg("4-clean", four, reference, last);
+
+        FabricOptions chaos = base;
+        chaos.workers = 4;
+        chaos.faults = FaultPlan::workerChaos();
+        chaos.killWorkerAfterCells = 3;
+        failures += runLeg("4-chaos", chaos, reference, last);
+        if (last.workerFailures.empty()) {
+            std::cerr << "FAIL: chaos leg killed no worker — the "
+                         "matrix is not exercising the fabric's "
+                         "death path\n";
+            ++failures;
+        }
+    }
+
+    TraceSummary summary = summarizeTrace(telemetry);
+    std::cout << "\nfabric telemetry: " << summary.workerDeaths
+              << " worker death(s), " << summary.cellsStolen
+              << " steal(s), " << summary.sweepResumes
+              << " resume(s)\n";
+
+    TextTable table("Fabric containment per cell (last leg)");
+    table.header({"cell", "status", "resumed"});
+    std::vector<SweepJob> jobs = matrixJobs();
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        table.row({jobs[i].name,
+                   i < last.sweep.ok.size() && last.sweep.ok[i]
+                       ? "ok"
+                       : "LOST",
+                   i < last.sweep.resumed.size() && last.sweep.resumed[i]
+                       ? "yes"
+                       : "no"});
+    }
+    table.print(std::cout);
+
+    BenchReport report("bench_fabric_matrix");
+    report.set("telemetry", traceSummaryJson(summary));
+    noteFabricReport(report, last);
+    std::string path = report.write();
+    if (!path.empty())
+        std::cout << "\nwrote " << path << "\n";
+
+    if (failures) {
+        std::cerr << "fabric-matrix: " << failures
+                  << " check(s) FAILED\n";
+        return 1;
+    }
+    std::cout << "fabric-matrix: OK — every leg reproduced the serial "
+                 "reference bit-for-bit\n";
+    return 0;
+}

@@ -27,12 +27,13 @@ main()
                  "42-cycle E-miss)\n\n";
     WallTimer timer;
     SweepOutcome outcome;
-    std::vector<MatrixRow> rows = runMatrix(1, failures, &outcome);
+    FabricOutcome fabric;
+    std::vector<MatrixRow> rows = runMatrix(1, failures, &outcome, &fabric);
     std::cout << "matrix swept in " << timer.seconds() << " s on "
               << SweepRunner::defaultJobs() << " worker(s)\n\n";
     printCharts("1-cpu Ultra-1", rows);
     writeMatrixReport("bench_fig8_uniprocessor", "1-cpu Ultra-1", 1,
-                      outcome);
+                      outcome, fabric.workers ? &fabric : nullptr);
 
     for (const MatrixRow &r : rows) {
         double lff_elim = RunMetrics::missesEliminated(r.fcfs, r.lff);

@@ -22,11 +22,13 @@ main()
                  "model, 50/80-cycle E-miss)\n\n";
     WallTimer timer;
     SweepOutcome outcome;
-    std::vector<MatrixRow> rows = runMatrix(8, failures, &outcome);
+    FabricOutcome fabric;
+    std::vector<MatrixRow> rows = runMatrix(8, failures, &outcome, &fabric);
     std::cout << "matrix swept in " << timer.seconds() << " s on "
               << SweepRunner::defaultJobs() << " worker(s)\n\n";
     printCharts("8-cpu E5000", rows);
-    writeMatrixReport("bench_fig9_smp", "8-cpu E5000", 8, outcome);
+    writeMatrixReport("bench_fig9_smp", "8-cpu E5000", 8, outcome,
+                      fabric.workers ? &fabric : nullptr);
 
     for (const MatrixRow &r : rows) {
         double crt_elim = RunMetrics::missesEliminated(r.fcfs, r.crt);

@@ -4,7 +4,7 @@
 # non-zero on the first failed shape check.
 #
 # Usage: check.sh [--jobs N] [--perf] [--asan] [--parallel] [--trace]
-#                  [--crash] [--hot]
+#                  [--crash] [--fabric] [--hot]
 #   --jobs N   worker threads per bench sweep (exported as
 #              ATL_SWEEP_JOBS; default: all cores)
 #   --perf     also run scripts/perf_gate.sh (hot-path throughput
@@ -38,6 +38,15 @@
 #              report; then SIGKILL the sweep halfway through, resume
 #              it from the durable journal, and diff the resumed report
 #              against the clean one (modulo host timing); then exit
+#   --fabric   build, then exercise the distributed sweep fabric end to
+#              end: a clean multi-worker run, a chaos run (seeded worker
+#              self-kills plus a deterministic SIGKILL at cell 5), and a
+#              coordinator-crash + resume pair (SIGKILL the whole fabric
+#              after 5 cells, rerun, recover the rest from the fsync'd
+#              worker shards). Every report's runs must match the clean
+#              one modulo host timing, carry the schema-6 fabric keys,
+#              and the resumed run must leave no shards behind; then
+#              exit
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -46,6 +55,7 @@ RUN_ASAN=0
 RUN_PARALLEL=0
 RUN_TRACE=0
 RUN_CRASH=0
+RUN_FABRIC=0
 RUN_HOT=0
 
 while [ $# -gt 0 ]; do
@@ -77,6 +87,10 @@ while [ $# -gt 0 ]; do
         ;;
       --crash)
         RUN_CRASH=1
+        shift
+        ;;
+      --fabric)
+        RUN_FABRIC=1
         shift
         ;;
       --hot)
@@ -241,8 +255,8 @@ for tag in ("fcfs", "lff", "crt"):
         print(f"{path}: OK ({len(events)} events)")
 
 report = json.load(open("results/bench_fig5_footprints.json"))
-if report.get("schema") != 5:
-    print(f"fig5 report: schema is {report.get('schema')!r}, expected 5",
+if report.get("schema") != 6:
+    print(f"fig5 report: schema is {report.get('schema')!r}, expected 6",
           file=sys.stderr)
     failed = 1
 telemetry = report.get("telemetry")
@@ -338,6 +352,130 @@ PYEOF
     exit 0
 fi
 
+if [ "$RUN_FABRIC" -eq 1 ]; then
+    cmake -B build -G Ninja
+    cmake --build build
+
+    report=results/bench_fabric_matrix.json
+    shards='results/bench_fabric_matrix.fabric.w*.journal.jsonl'
+
+    # Helper: diff two fabric reports cell for cell (modulo host-timing
+    # diagnostics) and validate the schema-6 fabric keys of the first.
+    fabric_diff() {
+        python3 - "$1" "$2" "$3" "$4" <<'PYEOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+clean = json.load(open(sys.argv[2]))
+tag = sys.argv[3]
+want_deaths = sys.argv[4] == "deaths"
+
+failed = 0
+if doc.get("schema") != 6:
+    print(f"{tag}: schema is {doc.get('schema')!r}, expected 6",
+          file=sys.stderr)
+    failed = 1
+if not isinstance(doc.get("workers"), int) or doc["workers"] < 1:
+    print(f"{tag}: 'workers' is {doc.get('workers')!r}, expected a "
+          "positive count", file=sys.stderr)
+    failed = 1
+if not isinstance(doc.get("stolen_runs"), int):
+    print(f"{tag}: no 'stolen_runs' count", file=sys.stderr)
+    failed = 1
+deaths = doc.get("worker_failures")
+if not isinstance(deaths, list):
+    print(f"{tag}: no 'worker_failures' list", file=sys.stderr)
+    failed = 1
+else:
+    for d in deaths:
+        for key in ("slot", "pid", "exit_signal", "exit_code",
+                    "cells_lost"):
+            if key not in d:
+                print(f"{tag}: worker_failures entry missing '{key}'",
+                      file=sys.stderr)
+                failed = 1
+    if want_deaths and not deaths:
+        print(f"{tag}: chaos run recorded no worker deaths — the "
+              "fabric's death path was not exercised", file=sys.stderr)
+        failed = 1
+if doc.get("complete") is not True:
+    print(f"{tag}: sweep incomplete: {doc.get('failed_runs')}",
+          file=sys.stderr)
+    failed = 1
+
+host_keys = ("host_seconds", "refs_per_sec", "batch_occupancy",
+             "refs_issued", "ref_blocks")
+a_runs = clean.get("runs", [])
+b_runs = doc.get("runs", [])
+if len(a_runs) != len(b_runs):
+    print(f"{tag}: run count differs: clean {len(a_runs)} vs "
+          f"{len(b_runs)}", file=sys.stderr)
+    failed = 1
+else:
+    for i, (a, b) in enumerate(zip(a_runs, b_runs)):
+        a = {k: v for k, v in a.items() if k not in host_keys}
+        b = {k: v for k, v in b.items() if k not in host_keys}
+        if a != b:
+            diff = {k for k in set(a) | set(b) if a.get(k) != b.get(k)}
+            print(f"{tag}: cell {i} diverged: {sorted(diff)}",
+                  file=sys.stderr)
+            failed = 1
+if failed:
+    sys.exit(1)
+print(f"{tag}: OK — {len(b_runs)} cell(s), {doc['workers']} worker(s), "
+      f"{doc['stolen_runs']} steal(s), {len(deaths)} worker death(s), "
+      f"{doc.get('resumed_runs', 0)} resumed")
+PYEOF
+    }
+
+    echo "==== fabric: clean 3-worker run"
+    rm -f $shards
+    ATL_FABRIC_WORKERS=3 build/bench/bench_fabric_matrix
+    cp "$report" results/bench_fabric_matrix.clean.json
+    fabric_diff "$report" results/bench_fabric_matrix.clean.json \
+        "clean run" nodeaths
+
+    echo "==== fabric: chaos run (seeded self-kills + SIGKILL at cell 5)"
+    rm -f $shards
+    ATL_FABRIC_WORKERS=4 ATL_FABRIC_CHAOS=1 ATL_FABRIC_KILL_AFTER=5 \
+        build/bench/bench_fabric_matrix
+    fabric_diff "$report" results/bench_fabric_matrix.clean.json \
+        "chaos run" deaths
+
+    echo "==== fabric: coordinator crash after 5 cells, then resume"
+    rm -f $shards
+    rc=0
+    ATL_FABRIC_WORKERS=2 ATL_FABRIC_COORD_KILL_AFTER=5 \
+        build/bench/bench_fabric_matrix || rc=$?
+    if [ "$rc" -eq 0 ]; then
+        echo "coordinator kill: expected the fabric to die, got exit 0" >&2
+        exit 1
+    fi
+    echo "coordinator kill: exited $rc as expected"
+    if ! ls $shards >/dev/null 2>&1; then
+        echo "coordinator kill: no worker shards survived" >&2
+        exit 1
+    fi
+    ATL_FABRIC_WORKERS=2 build/bench/bench_fabric_matrix
+    fabric_diff "$report" results/bench_fabric_matrix.clean.json \
+        "resumed run" nodeaths
+    python3 - "$report" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+if doc.get("resumed_runs", 0) < 1:
+    print("resumed run: report shows no cells recovered from shards",
+          file=sys.stderr)
+    sys.exit(1)
+PYEOF
+    if ls $shards >/dev/null 2>&1; then
+        echo "resumed run: shards were not removed after completion" >&2
+        exit 1
+    fi
+    rm -f results/bench_fabric_matrix.clean.json
+    echo "FABRIC CHECKS PASSED"
+    exit 0
+fi
+
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build -j "$(nproc)"
@@ -370,9 +508,10 @@ for b in build/bench/bench_*; do
         echo "MISSING: $json" >&2
         missing=1
     elif command -v python3 >/dev/null 2>&1; then
-        # Parse, and hold every RunMetrics entry to the schema-5
+        # Parse, and hold every RunMetrics entry to the schema-6
         # contract (host diagnostics and degradation counters included;
-        # the "telemetry" object is optional per bench). An incomplete
+        # the "telemetry" object is optional per bench, as are the
+        # fabric keys — validated when present). An incomplete
         # sweep (lost runs) is a bench failure even when the binary
         # itself exited zero, and any failed_runs entries must carry
         # the full crash attribution.
@@ -381,12 +520,27 @@ import json, sys
 doc = json.load(open(sys.argv[1]))
 if "bench" not in doc:
     sys.exit(0)  # google-benchmark native format, not a BenchReport
-if doc.get("schema") != 5:
-    print(f"{sys.argv[1]}: schema is {doc.get('schema')!r}, expected 5")
+if doc.get("schema") != 6:
+    print(f"{sys.argv[1]}: schema is {doc.get('schema')!r}, expected 6")
     sys.exit(1)
 if not isinstance(doc.get("resumed_runs"), int):
-    print(f"{sys.argv[1]}: schema-5 report has no 'resumed_runs' count")
+    print(f"{sys.argv[1]}: schema-6 report has no 'resumed_runs' count")
     sys.exit(1)
+if "workers" in doc:
+    # Fabric-produced report (schema 6): validate the fabric keys.
+    if not isinstance(doc["workers"], int):
+        print(f"{sys.argv[1]}: 'workers' is not an integer")
+        sys.exit(1)
+    if not isinstance(doc.get("stolen_runs"), int):
+        print(f"{sys.argv[1]}: fabric report has no 'stolen_runs'")
+        sys.exit(1)
+    for d in doc.get("worker_failures", []):
+        for key in ("slot", "pid", "exit_signal", "exit_code",
+                    "cells_lost"):
+            if key not in d:
+                print(f"{sys.argv[1]}: worker_failures entry is "
+                      f"missing '{key}'")
+                sys.exit(1)
 failure_keys = ("index", "name", "message", "attempts", "timed_out",
                 "crashed", "exit_signal", "exit_code",
                 "attempts_backoff_ms")

@@ -38,7 +38,8 @@ FaultPlan::empty() const
            tornSnapshotProb == 0.0 && shareDropProb == 0.0 &&
            shareWrongQProb == 0.0 && shareDanglingProb == 0.0 &&
            shareChurnProb == 0.0 && jobThrowProb == 0.0 &&
-           jobHangProb == 0.0 && jobCrashProb == 0.0;
+           jobHangProb == 0.0 && jobCrashProb == 0.0 &&
+           workerCrashProb == 0.0;
 }
 
 FaultPlan
@@ -90,6 +91,17 @@ FaultPlan::crashChaos()
     // crash kind and the backoff machinery.
     plan.jobCrashProb = 0.75;
     plan.jobCrashPerAttemptProb = 0.5;
+    return plan;
+}
+
+FaultPlan
+FaultPlan::workerChaos()
+{
+    FaultPlan plan;
+    // Per (worker, cell) claim: with 4 workers over ~10 cells this
+    // kills a worker or two per sweep, and respawned generations
+    // re-roll, so the fabric still finishes every cell.
+    plan.workerCrashProb = 0.15;
     return plan;
 }
 

@@ -95,6 +95,18 @@ struct FaultPlan
     double jobCrashPerAttemptProb = 1.0;
     /** @} */
 
+    /** @name Fabric surface @{ */
+    /** Per (worker, cell) claim in the distributed sweep fabric: the
+     *  worker process SIGKILLs itself — half the time before running
+     *  the cell (the cell is lost and re-leased), half the time right
+     *  after journalling it (exercising duplicate-tolerant shard
+     *  merge). Rolls are seeded by (fabric fault seed, worker slot,
+     *  worker generation, cell index), so a respawned worker re-rolls
+     *  its own fate and the fabric converges. Consumed by runFabric,
+     *  not by FaultInjector. */
+    double workerCrashProb = 0.0;
+    /** @} */
+
     /** True when no fault class is enabled (the inert plan). */
     bool empty() const;
 
@@ -110,6 +122,10 @@ struct FaultPlan
      *  crash-prone, each attempt crashing with probability 1/2, so
      *  retries recover every cell with overwhelming odds. */
     static FaultPlan crashChaos();
+    /** Fabric chaos: worker processes self-SIGKILL around cell
+     *  boundaries with moderate probability, exercising re-lease,
+     *  respawn and duplicate shard records without losing cells. */
+    static FaultPlan workerChaos();
     /** @} */
 };
 

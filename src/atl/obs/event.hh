@@ -133,6 +133,23 @@ enum class EventKind : uint8_t
      * n = job index; time = 0, cpu = InvalidCpuId16.
      */
     SweepResume,
+
+    /**
+     * A fabric worker process died (crashed, chaos-killed, or reclaimed
+     * as wedged) and its unfinished cells were requeued. Recorded by
+     * the fabric coordinator, so time = 0 and cpu = InvalidCpuId16.
+     * n = worker slot, m = worker pid, t0 = killing signal when there
+     * was one, else the exit code.
+     */
+    WorkerDeath,
+
+    /**
+     * An in-flight fabric cell was re-leased to an idle worker (work
+     * stealing from the slowest lease). n = cell index, m = thief
+     * worker slot, t0 = victim worker slot. time = 0,
+     * cpu = InvalidCpuId16.
+     */
+    CellStolen,
 };
 
 /** Printable name of an event kind. */

@@ -33,6 +33,8 @@ eventKindName(EventKind kind)
       case EventKind::SweepCrash: return "sweep_crash";
       case EventKind::SweepRetry: return "sweep_retry";
       case EventKind::SweepResume: return "sweep_resume";
+      case EventKind::WorkerDeath: return "worker_death";
+      case EventKind::CellStolen: return "cell_stolen";
     }
     return "?";
 }

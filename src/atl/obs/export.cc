@@ -146,6 +146,12 @@ summarizeTrace(const EventLog &log, double residual_floor)
           case EventKind::SweepResume:
             ++s.sweepResumes;
             break;
+          case EventKind::WorkerDeath:
+            ++s.workerDeaths;
+            break;
+          case EventKind::CellStolen:
+            ++s.cellsStolen;
+            break;
         }
     }
     if (s.residualSamplesUsed > 0) {
@@ -172,6 +178,10 @@ printTraceSummary(const TraceSummary &s, std::ostream &os,
         os << "  sweep recovery: crashes " << s.sweepCrashes
            << ", retries " << s.sweepRetries << ", resumes "
            << s.sweepResumes << "\n";
+    }
+    if (s.workerDeaths || s.cellsStolen) {
+        os << "  fabric: worker deaths " << s.workerDeaths
+           << ", cells stolen " << s.cellsStolen << "\n";
     }
     if (s.residualSamplesUsed > 0) {
         os << "  model residual: mean |pred-obs|/obs = "
@@ -221,6 +231,8 @@ traceSummaryJson(const TraceSummary &s)
     counts["sweep_crashes"] = Json(s.sweepCrashes);
     counts["sweep_retries"] = Json(s.sweepRetries);
     counts["sweep_resumes"] = Json(s.sweepResumes);
+    counts["worker_deaths"] = Json(s.workerDeaths);
+    counts["cells_stolen"] = Json(s.cellsStolen);
     out["counts"] = std::move(counts);
 
     Json residuals = Json::object();
@@ -461,6 +473,32 @@ perfettoTrace(const EventLog &log, const std::string &process_name)
                 args["signal_or_code"] = Json(e.t0);
             else if (e.kind == EventKind::SweepRetry)
                 args["backoff_ms"] = Json(e.t0);
+            j["args"] = std::move(args);
+            pending.push_back({ts, std::move(j)});
+            break;
+          }
+          case EventKind::WorkerDeath: {
+            // Fabric coordinator events: host-side like the sweep
+            // recovery kinds, so ts 0 on the global track.
+            Json j = baseEvent("worker death", "fabric", "i", ts,
+                               InvalidCpuId16);
+            j["s"] = Json("g");
+            Json args = Json::object();
+            args["worker"] = Json(e.n);
+            args["pid"] = Json(e.m);
+            args["signal_or_code"] = Json(e.t0);
+            j["args"] = std::move(args);
+            pending.push_back({ts, std::move(j)});
+            break;
+          }
+          case EventKind::CellStolen: {
+            Json j = baseEvent("cell stolen", "fabric", "i", ts,
+                               InvalidCpuId16);
+            j["s"] = Json("g");
+            Json args = Json::object();
+            args["cell"] = Json(e.n);
+            args["thief"] = Json(e.m);
+            args["victim"] = Json(e.t0);
             j["args"] = std::move(args);
             pending.push_back({ts, std::move(j)});
             break;

@@ -92,6 +92,10 @@ struct TraceSummary
     uint64_t sweepRetries = 0;
     /** Sweep cells replayed from a durable journal. */
     uint64_t sweepResumes = 0;
+    /** Fabric worker processes that died mid-sweep. */
+    uint64_t workerDeaths = 0;
+    /** Fabric cells re-leased from a slow worker to an idle one. */
+    uint64_t cellsStolen = 0;
     /** @} */
 
     /** @name Model-residual accuracy (Fig. 5 made continuous) @{ */

@@ -1,0 +1,1168 @@
+#include "atl/sim/fabric.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <iostream>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include "atl/obs/event_log.hh"
+#include "atl/sim/journal.hh"
+#include "atl/sim/supervisor.hh"
+#include "atl/util/logging.hh"
+
+namespace atl
+{
+
+namespace
+{
+
+using SteadyClock = std::chrono::steady_clock;
+
+constexpr size_t kNoCell = std::numeric_limits<size_t>::max();
+
+/** Coordinator poll tick: bounds how long a worker death or a newly
+ *  idle worker can go unnoticed. */
+constexpr int kFabricTickMs = 20;
+
+/** Grace between asking workers to exit and SIGKILLing stragglers. */
+constexpr double kExitGraceSeconds = 5.0;
+
+/** Host CLOCK_MONOTONIC in microseconds: system-wide on Linux, so
+ *  attempt stamps from different worker processes are comparable —
+ *  which is what lets merged-shard dedupe pick the earliest attempt. */
+uint64_t
+monotonicMicros()
+{
+    struct timespec ts;
+    ::clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<uint64_t>(ts.tv_sec) * 1000000ull +
+           static_cast<uint64_t>(ts.tv_nsec) / 1000ull;
+}
+
+/** Write one line (terminated here) to a pipe, retrying EINTR. Any
+ *  other error means the peer is gone; the caller's death machinery
+ *  (EOF / waitpid / SIGPIPE-as-EPIPE) picks it up. */
+bool
+writeLine(int fd, std::string line)
+{
+    line += '\n';
+    size_t off = 0;
+    while (off < line.size()) {
+        ssize_t n = ::write(fd, line.data() + off, line.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+/** Seeded per-(slot, generation, cell) chaos roll for
+ *  FaultPlan::workerCrashProb. 0 = survive, 1 = SIGKILL before running
+ *  the cell (it is lost and re-leased), 2 = SIGKILL right after
+ *  journalling it (the shard keeps a record the coordinator never saw,
+ *  exercising duplicate-tolerant merge). */
+int
+workerCrashRoll(double prob, uint64_t seed, unsigned slot, unsigned gen,
+                size_t cell)
+{
+    if (prob <= 0.0)
+        return 0;
+    uint64_t z = SweepRunner::deriveSeed(
+        SweepRunner::deriveSeed(
+            SweepRunner::deriveSeed(seed ^ 0x9e3779b97f4a7c15ull, slot),
+            gen),
+        cell);
+    double u = static_cast<double>(z >> 11) * (1.0 / 9007199254740992.0);
+    if (u >= prob)
+        return 0;
+    return (z & 1) ? 1 : 2;
+}
+
+// ---------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------
+
+/** Serialises writes to the worker's event pipe between the lease loop
+ *  and the heartbeat thread. Every line is < PIPE_BUF so each write is
+ *  atomic kernel-side; the mutex only keeps the two writers' lines
+ *  from interleaving inside this process's writeAll loop. */
+struct EventPipe
+{
+    int fd = -1;
+    std::mutex mutex;
+
+    void
+    send(const Json &msg)
+    {
+        std::string line = msg.dumpCompact();
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!writeLine(fd, std::move(line))) {
+            // Coordinator gone (EPIPE with SIGPIPE ignored): an
+            // orphaned worker has nobody to report to — stop instead
+            // of burning the host.
+            ::_exit(0);
+        }
+    }
+};
+
+/** Blocking newline-framed reader for the worker's command pipe. */
+class LineReader
+{
+  public:
+    explicit LineReader(int fd) : _fd(fd) {}
+
+    /** @retval false on EOF or a read error (coordinator died) */
+    bool
+    next(std::string &line)
+    {
+        for (;;) {
+            size_t nl = _buf.find('\n');
+            if (nl != std::string::npos) {
+                line.assign(_buf, 0, nl);
+                _buf.erase(0, nl + 1);
+                return true;
+            }
+            char tmp[4096];
+            ssize_t n = ::read(_fd, tmp, sizeof(tmp));
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            if (n == 0)
+                return false;
+            _buf.append(tmp, static_cast<size_t>(n));
+        }
+    }
+
+  private:
+    int _fd;
+    std::string _buf;
+};
+
+/** Everything fabricWorkerMain needs, bundled for readability. */
+struct WorkerSetup
+{
+    unsigned slot = 0;
+    unsigned gen = 0;
+    int cmdFd = -1;
+    int evtFd = -1;
+    uint64_t configHash = 0;
+    std::string shardPath;
+};
+
+/**
+ * Worker process main loop: journal shard + heartbeat thread + lease
+ * loop. Runs in a fresh fork of the coordinator; never returns.
+ */
+[[noreturn]] void
+fabricWorkerMain(const WorkerSetup &setup,
+                 const std::vector<SweepJob> &sweep,
+                 const FabricOptions &options)
+{
+    EventPipe evt;
+    evt.fd = setup.evtFd;
+
+    // The shard journal: global cell indices under the fabric's own
+    // config hash, so a respawned generation (same path, matching
+    // header) appends to its predecessor's records and a coordinator
+    // restart replays them all.
+    SweepJournal shard(options.benchName, setup.shardPath);
+    shard.beginSweep(setup.configHash, sweep.size());
+
+    {
+        Json hello = Json::object();
+        hello["kind"] = Json("hello");
+        hello["worker"] = Json(static_cast<uint64_t>(setup.slot));
+        hello["pid"] = Json(static_cast<int64_t>(::getpid()));
+        evt.send(hello);
+    }
+
+    // Heartbeat thread: liveness proof while a long cell runs. The
+    // counter is relaxed — the beat's payload is advisory; the beat
+    // itself is the signal.
+    std::atomic<uint64_t> cells_done{0};
+    std::thread([&evt, &cells_done, &options] {
+        for (;;) {
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                std::max(options.heartbeatSeconds, 0.005)));
+            Json hb = Json::object();
+            hb["kind"] = Json("hb");
+            hb["done"] =
+                Json(cells_done.load(std::memory_order_relaxed));
+            evt.send(hb);
+        }
+    }).detach();
+
+    double crash_prob = options.faults.workerCrashProb;
+    LineReader commands(setup.cmdFd);
+    std::string line;
+    while (commands.next(line)) {
+        Json cmd;
+        if (line.empty() || !Json::parse(line, cmd) || !cmd.isObject() ||
+            !cmd.at("kind").isString())
+            continue;
+        const std::string &kind = cmd.at("kind").asString();
+        if (kind == "exit")
+            break;
+        if (kind != "lease" || !cmd.at("cells").isArray())
+            continue;
+
+        for (const Json &item : cmd.at("cells").items()) {
+            size_t gi = static_cast<size_t>(item.asUint());
+            if (gi >= sweep.size())
+                continue;
+            int roll = workerCrashRoll(crash_prob, options.faultSeed,
+                                       setup.slot, setup.gen, gi);
+            if (roll == 1)
+                ::raise(SIGKILL); // chaos: die before running the cell
+
+            {
+                Json msg = Json::object();
+                msg["kind"] = Json("cell_start");
+                msg["index"] = Json(static_cast<uint64_t>(gi));
+                evt.send(msg);
+            }
+
+            // One-cell sub-sweep through the standard machinery:
+            // isolation, timeout, retries and backoff all behave as
+            // they would in the serial sweep, and seedIndexOffset
+            // reproduces the serial sweep's per-attempt seeds for
+            // cell gi exactly (the bit-identity invariant).
+            std::vector<SweepJob> one = {sweep[gi]};
+            SweepOptions cell_options = options.cell;
+            cell_options.journal = nullptr;
+            cell_options.telemetry = nullptr;
+            cell_options.selfKillAfter = 0;
+            cell_options.seedIndexOffset = gi;
+            SweepRunner runner(1);
+            SweepOutcome so = runner.runCollect(one, cell_options);
+
+            if (so.ok.size() == 1 && so.ok[0]) {
+                uint64_t ts = monotonicMicros();
+                // Durable before reported: a worker killed between the
+                // fsync and the send leaves a record the coordinator
+                // never saw — it re-leases the cell, the re-run
+                // appends a second record, and the merge's
+                // earliest-attempt dedupe resolves it. The chaos roll
+                // dies in exactly that window.
+                shard.noteDone(gi, so.results[0], ts);
+                if (roll == 2)
+                    ::raise(SIGKILL);
+                Json msg = Json::object();
+                msg["kind"] = Json("cell");
+                msg["index"] = Json(static_cast<uint64_t>(gi));
+                msg["ts"] = Json(ts);
+                msg["metrics"] = BenchReport::toJson(so.results[0]);
+                evt.send(msg);
+            } else if (!so.failures.empty()) {
+                const SweepJobFailure &f = so.failures.front();
+                Json msg = Json::object();
+                msg["kind"] = Json("cell_fail");
+                msg["index"] = Json(static_cast<uint64_t>(gi));
+                msg["message"] = Json(f.message);
+                msg["attempts"] =
+                    Json(static_cast<uint64_t>(f.attempts));
+                msg["timed_out"] = Json(f.timedOut);
+                msg["crashed"] = Json(f.crashed);
+                msg["exit_signal"] =
+                    Json(static_cast<int64_t>(f.exitSignal));
+                msg["exit_code"] =
+                    Json(static_cast<int64_t>(f.exitCode));
+                msg["attempts_backoff_ms"] = Json(f.attemptsBackoffMs);
+                evt.send(msg);
+            } else {
+                // Interrupted before the cell ran (SIGINT reached the
+                // whole process group): leave the cell non-terminal
+                // and stop; the coordinator is shutting down too.
+                ::_exit(0);
+            }
+            cells_done.fetch_add(1, std::memory_order_relaxed);
+        }
+        // No end-of-lease message: the coordinator retires a lease
+        // cell-by-cell from the per-cell reports. (An explicit
+        // lease-done marker would race the next lease: the coordinator
+        // assigns it the moment the last cell's report arrives, and a
+        // marker still in flight would then refer to the *previous*
+        // lease.)
+    }
+    ::_exit(0);
+}
+
+// ---------------------------------------------------------------------
+// Coordinator side
+// ---------------------------------------------------------------------
+
+/** Coordinator's view of one worker slot. */
+struct WorkerState
+{
+    unsigned slot = 0;
+    unsigned gen = 0;
+    pid_t pid = -1;
+    int cmdFd = -1; ///< parent write end
+    int evtFd = -1; ///< parent read end
+    bool alive = false;
+    bool exitSent = false;
+    std::string buf;
+    /** Cells of the current lease not yet reported terminal. */
+    std::vector<size_t> lease;
+    /** True when the current lease was stolen from another worker. */
+    bool leaseStolen = false;
+    /** Cell named by the last cell_start without a terminal report. */
+    size_t running = kNoCell;
+    SteadyClock::time_point leaseStart{};
+    SteadyClock::time_point lastBeat{};
+};
+
+void
+closeFd(int &fd)
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+/** Scan dir for this bench's fabric shards, sorted by filename. */
+std::vector<std::string>
+listShards(const std::string &dir, const std::string &bench_name)
+{
+    std::vector<std::string> paths;
+    std::string prefix = bench_name + ".fabric.w";
+    std::string suffix = ".journal.jsonl";
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec)
+        return paths;
+    for (const auto &entry : it) {
+        if (!entry.is_regular_file(ec))
+            continue;
+        std::string name = entry.path().filename().string();
+        if (name.size() >= prefix.size() + suffix.size() &&
+            name.compare(0, prefix.size(), prefix) == 0 &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+            paths.push_back(entry.path().string());
+        }
+    }
+    std::sort(paths.begin(), paths.end());
+    return paths;
+}
+
+/** Worker slot parsed from a shard filename ("...fabric.w<slot>...");
+ *  UINT_MAX when malformed (still merged, lowest tie-break priority). */
+unsigned
+shardSlot(const std::string &path)
+{
+    std::string name = std::filesystem::path(path).filename().string();
+    size_t w = name.rfind(".fabric.w");
+    if (w == std::string::npos)
+        return std::numeric_limits<unsigned>::max();
+    const char *digits = name.c_str() + w + 9;
+    char *end = nullptr;
+    unsigned long slot = std::strtoul(digits, &end, 10);
+    if (end == digits || slot > std::numeric_limits<unsigned>::max())
+        return std::numeric_limits<unsigned>::max();
+    return static_cast<unsigned>(slot);
+}
+
+uint64_t
+msgUint(const Json &msg, const char *key)
+{
+    return msg.has(key) && msg.at(key).isNumber() ? msg.at(key).asUint()
+                                                  : 0;
+}
+
+} // namespace
+
+std::string
+fabricShardPath(const std::string &dir, const std::string &bench_name,
+                unsigned slot)
+{
+    return dir + "/" + bench_name + ".fabric.w" + std::to_string(slot) +
+           ".journal.jsonl";
+}
+
+std::map<size_t, ReplayedCell>
+mergeFabricShards(const std::string &dir, const std::string &bench_name,
+                  uint64_t config_hash, size_t job_count)
+{
+    struct Winner
+    {
+        ReplayedCell cell;
+        unsigned slot = 0;
+    };
+    std::map<size_t, Winner> winners;
+    bool removed_any = false;
+    for (const std::string &path : listShards(dir, bench_name)) {
+        std::vector<ReplayedCell> cells;
+        if (!SweepJournal::replay(path, bench_name, config_hash,
+                                  job_count, cells)) {
+            // Superseded shard (other fingerprint, other job count, or
+            // an unreadable header): it can never be replayed again —
+            // reap it instead of orphaning it in the results dir.
+            std::error_code ec;
+            std::filesystem::remove(path, ec);
+            removed_any = true;
+            continue;
+        }
+        unsigned slot = shardSlot(path);
+        for (ReplayedCell &cell : cells) {
+            auto it = winners.find(cell.index);
+            // Exactly-once rule: the earliest attempt timestamp wins;
+            // ties (including legacy ts-less records) break towards
+            // the lower worker slot, so the merge is deterministic
+            // regardless of scan order.
+            if (it == winners.end() || cell.ts < it->second.cell.ts ||
+                (cell.ts == it->second.cell.ts &&
+                 slot < it->second.slot)) {
+                winners[cell.index] = {std::move(cell), slot};
+            }
+        }
+    }
+    if (removed_any)
+        fsyncParentDir(dir + "/shard");
+    std::map<size_t, ReplayedCell> merged;
+    for (auto &entry : winners)
+        merged[entry.first] = std::move(entry.second.cell);
+    return merged;
+}
+
+void
+noteFabricReport(BenchReport &report, const FabricOutcome &outcome)
+{
+    report.noteOutcome(outcome.sweep);
+    report.set("workers",
+               Json(static_cast<uint64_t>(outcome.workers)));
+    report.set("stolen_runs", Json(outcome.stolenRuns));
+    Json failures = Json::array();
+    for (const FabricWorkerFailure &f : outcome.workerFailures) {
+        Json entry = Json::object();
+        entry["slot"] = Json(static_cast<uint64_t>(f.slot));
+        entry["pid"] = Json(static_cast<int64_t>(f.pid));
+        entry["exit_signal"] = Json(static_cast<int64_t>(f.exitSignal));
+        entry["exit_code"] = Json(static_cast<int64_t>(f.exitCode));
+        Json cells = Json::array();
+        for (size_t c : f.cellsLost)
+            cells.push(Json(static_cast<uint64_t>(c)));
+        entry["cells_lost"] = std::move(cells);
+        failures.push(std::move(entry));
+    }
+    report.set("worker_failures", std::move(failures));
+}
+
+FabricOptions
+fabricOptionsFromEnv(FabricOptions base)
+{
+    auto envUnsigned = [](const char *name, unsigned &out) {
+        if (const char *env = std::getenv(name)) {
+            char *end = nullptr;
+            unsigned long v = std::strtoul(env, &end, 10);
+            if (!std::strchr(env, '-') && !std::strchr(env, '+') &&
+                end && end != env && *end == '\0' &&
+                v <= std::numeric_limits<unsigned>::max()) {
+                out = static_cast<unsigned>(v);
+            } else {
+                atl_warn("ignoring malformed ", name, "='", env, "'");
+            }
+        }
+    };
+    envUnsigned("ATL_FABRIC_WORKERS", base.workers);
+    if (const char *env = std::getenv("ATL_FABRIC_CHAOS")) {
+        if (*env && std::string(env) != "0")
+            base.faults.workerCrashProb =
+                FaultPlan::workerChaos().workerCrashProb;
+    }
+    envUnsigned("ATL_FABRIC_KILL_AFTER", base.killWorkerAfterCells);
+    envUnsigned("ATL_FABRIC_COORD_KILL_AFTER",
+                base.coordinatorKillAfterCells);
+    return base;
+}
+
+FabricOutcome
+runFabric(const std::vector<SweepJob> &sweep,
+          const FabricOptions &options)
+{
+    for (const SweepJob &job : sweep) {
+        atl_assert(job.body || job.seededBody, "fabric job '", job.name,
+                   "' has no body");
+    }
+
+    FabricOutcome outcome;
+    size_t n = sweep.size();
+    outcome.sweep.results.resize(n);
+    outcome.sweep.ok.assign(n, 0);
+    outcome.sweep.resumed.assign(n, 0);
+    if (n == 0)
+        return outcome;
+
+    std::string dir = options.shardDir.empty()
+                          ? BenchReport::resultsDir()
+                          : options.shardDir;
+    {
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+    }
+    uint64_t config_hash = SweepJournal::configHash(
+        options.benchName, sweep, options.configFingerprint);
+
+    auto emit = [&](EventKind kind, uint64_t en, uint64_t em,
+                    uint64_t t0) {
+        if (!options.telemetry)
+            return;
+        Event e;
+        e.kind = kind;
+        e.cpu = InvalidCpuId16;
+        e.n = en;
+        e.m = em;
+        e.t0 = t0;
+        options.telemetry->record(e);
+    };
+
+    // Resume: merge every shard a previous coordinator left behind.
+    std::vector<uint8_t> terminal(n, 0);
+    size_t terminal_count = 0;
+    for (auto &entry :
+         mergeFabricShards(dir, options.benchName, config_hash, n)) {
+        size_t i = entry.first;
+        outcome.sweep.results[i] = std::move(entry.second.metrics);
+        outcome.sweep.ok[i] = 1;
+        outcome.sweep.resumed[i] = 1;
+        terminal[i] = 1;
+        ++terminal_count;
+        ++outcome.mergedFromShards;
+        emit(EventKind::SweepResume, i, 0, 0);
+    }
+
+    std::deque<size_t> pending;
+    for (size_t i = 0; i < n; ++i) {
+        if (!terminal[i])
+            pending.push_back(i);
+    }
+
+    auto remove_shards = [&] {
+        bool removed = false;
+        for (const std::string &path :
+             listShards(dir, options.benchName)) {
+            std::error_code ec;
+            std::filesystem::remove(path, ec);
+            removed = true;
+        }
+        if (removed)
+            fsyncParentDir(dir + "/shard");
+    };
+
+    if (pending.empty()) {
+        // Fully resumable from shards: nothing to fork.
+        remove_shards();
+        return outcome;
+    }
+
+    SweepSignalGuard signal_guard;
+
+    // Writing a lease to a worker that just died must come back as
+    // EPIPE, not kill the coordinator; workers inherit the ignore and
+    // map their own EPIPE to a clean exit (orphan shutdown).
+    struct sigaction ignore_pipe, old_pipe;
+    std::memset(&ignore_pipe, 0, sizeof(ignore_pipe));
+    ignore_pipe.sa_handler = SIG_IGN;
+    sigemptyset(&ignore_pipe.sa_mask);
+    ::sigaction(SIGPIPE, &ignore_pipe, &old_pipe);
+
+    unsigned worker_count = std::max(1u, options.workers);
+    worker_count = static_cast<unsigned>(std::min<size_t>(
+        worker_count, pending.size()));
+    outcome.workers = worker_count;
+
+    // ATL_FABRIC_DEBUG=1: narrate every coordinator transition (lease,
+    // steal, report, death, requeue) to stderr — the first tool to
+    // reach for when a fabric run wedges or loses a cell.
+    const char *debug_env = std::getenv("ATL_FABRIC_DEBUG");
+    bool debug = debug_env && *debug_env && std::string(debug_env) != "0";
+    auto dbg = [&](const std::string &text) {
+        if (debug)
+            std::cerr << "[fabric] " << text << "\n";
+    };
+
+    std::vector<WorkerState> workers(worker_count);
+    std::vector<unsigned> cell_deaths(n, 0);
+    size_t executed_done = 0; ///< cells completed this run (not merged)
+    unsigned respawns_used = 0;
+    bool kill_one_fired = options.killWorkerAfterCells == 0;
+    bool coord_kill_armed = options.coordinatorKillAfterCells > 0;
+    /** Live workers holding cell i in their lease. */
+    std::vector<unsigned> claims(n, 0);
+
+    auto spawn = [&](unsigned slot, unsigned gen) -> bool {
+        WorkerState &w = workers[slot];
+        w.slot = slot;
+        w.gen = gen;
+        w.buf.clear();
+        w.lease.clear();
+        w.leaseStolen = false;
+        w.running = kNoCell;
+        w.exitSent = false;
+
+        int cmd[2], evt[2];
+        pid_t pid = -1;
+        {
+            // Same serialisation contract as runSupervised (see
+            // forkSerializeMutex): no worker may inherit an in-flight
+            // supervised attempt's pipe write end, and no supervised
+            // fork may race this pipe window.
+            std::lock_guard<std::mutex> lock(forkSerializeMutex());
+            if (::pipe(cmd) != 0)
+                return false;
+            if (::pipe(evt) != 0) {
+                ::close(cmd[0]);
+                ::close(cmd[1]);
+                return false;
+            }
+            pid = ::fork();
+            if (pid < 0) {
+                for (int fd : {cmd[0], cmd[1], evt[0], evt[1]})
+                    ::close(fd);
+                return false;
+            }
+            if (pid == 0) {
+                // Child. The clone of the locked fork mutex belongs to
+                // the very thread we are a clone of; release it so the
+                // worker's own supervised attempts can take it (glibc
+                // semantics, same assumption as fork-from-threads in
+                // the supervisor).
+                forkSerializeMutex().unlock();
+                // Drop every sibling's pipe ends: a worker holding a
+                // sibling's evt write end would delay that sibling's
+                // EOF death signal until *this* worker also exited.
+                for (WorkerState &other : workers) {
+                    closeFd(other.cmdFd);
+                    closeFd(other.evtFd);
+                }
+                ::close(cmd[1]);
+                ::close(evt[0]);
+                WorkerSetup setup;
+                setup.slot = slot;
+                setup.gen = gen;
+                setup.cmdFd = cmd[0];
+                setup.evtFd = evt[1];
+                setup.configHash = config_hash;
+                setup.shardPath =
+                    fabricShardPath(dir, options.benchName, slot);
+                fabricWorkerMain(setup, sweep, options);
+            }
+            ::close(cmd[0]);
+            ::close(evt[1]);
+        }
+        // Non-blocking event reads: the poll loop drains whatever is
+        // buffered without ever hanging on a half-written line.
+        int fl = ::fcntl(evt[0], F_GETFL, 0);
+        ::fcntl(evt[0], F_SETFL, fl | O_NONBLOCK);
+        w.pid = pid;
+        w.cmdFd = cmd[1];
+        w.evtFd = evt[0];
+        w.alive = true;
+        w.lastBeat = SteadyClock::now();
+        return true;
+    };
+
+    for (unsigned slot = 0; slot < worker_count; ++slot) {
+        if (!spawn(slot, 0))
+            atl_warn("fabric: could not spawn worker ", slot);
+    }
+
+    auto send_lease = [&](WorkerState &w, std::vector<size_t> cells,
+                          bool stolen) {
+        Json msg = Json::object();
+        msg["kind"] = Json("lease");
+        Json arr = Json::array();
+        for (size_t c : cells) {
+            arr.push(Json(static_cast<uint64_t>(c)));
+            ++claims[c];
+        }
+        msg["cells"] = std::move(arr);
+        w.lease = std::move(cells);
+        w.leaseStolen = stolen;
+        w.leaseStart = SteadyClock::now();
+        if (debug) {
+            std::string text = std::string(stolen ? "steal" : "lease") +
+                               " -> slot " + std::to_string(w.slot) +
+                               " gen " + std::to_string(w.gen) + ":";
+            for (size_t c : w.lease)
+                text += " " + std::to_string(c) + "(claims " +
+                        std::to_string(claims[c]) + ")";
+            dbg(text);
+        }
+        writeLine(w.cmdFd, msg.dumpCompact());
+    };
+
+    auto send_exit = [&](WorkerState &w) {
+        if (w.exitSent || !w.alive)
+            return;
+        Json msg = Json::object();
+        msg["kind"] = Json("exit");
+        writeLine(w.cmdFd, msg.dumpCompact());
+        w.exitSent = true;
+    };
+
+    /** Hand work to every idle live worker: pending cells first, then
+     *  steal the in-flight cells of the slowest lease. */
+    auto assign_work = [&] {
+        if (SweepSignalGuard::interrupted())
+            return;
+        for (WorkerState &w : workers) {
+            if (!w.alive || w.exitSent || !w.lease.empty())
+                continue;
+            if (!pending.empty()) {
+                std::vector<size_t> cells;
+                size_t take = std::max<size_t>(1, options.leaseCells);
+                while (!pending.empty() && cells.size() < take) {
+                    cells.push_back(pending.front());
+                    pending.pop_front();
+                }
+                send_lease(w, std::move(cells), false);
+                continue;
+            }
+            // Steal from the slowest lease: the live worker whose
+            // current lease started longest ago and still holds
+            // singly-claimed, non-terminal cells. The victim keeps
+            // running — first terminal report wins; the loser's
+            // duplicate is discarded.
+            WorkerState *victim = nullptr;
+            for (WorkerState &v : workers) {
+                if (!v.alive || &v == &w || v.lease.empty())
+                    continue;
+                bool stealable = false;
+                for (size_t c : v.lease) {
+                    if (!terminal[c] && claims[c] == 1) {
+                        stealable = true;
+                        break;
+                    }
+                }
+                if (!stealable)
+                    continue;
+                if (!victim || v.leaseStart < victim->leaseStart)
+                    victim = &v;
+            }
+            if (!victim)
+                continue;
+            std::vector<size_t> cells;
+            for (size_t c : victim->lease) {
+                if (!terminal[c] && claims[c] == 1)
+                    cells.push_back(c);
+            }
+            for (size_t c : cells)
+                emit(EventKind::CellStolen, c, w.slot, victim->slot);
+            outcome.stolenRuns += cells.size();
+            send_lease(w, std::move(cells), true);
+        }
+    };
+
+    auto drop_claim = [&](size_t cell) {
+        if (claims[cell] > 0)
+            --claims[cell];
+    };
+
+    /** A cell reached its terminal state (done or failed) this run. */
+    auto note_executed = [&] {
+        ++executed_done;
+        if (!kill_one_fired &&
+            executed_done >= options.killWorkerAfterCells) {
+            kill_one_fired = true;
+            for (WorkerState &w : workers) {
+                if (w.alive) {
+                    ::kill(w.pid, SIGKILL);
+                    break;
+                }
+            }
+        }
+        if (coord_kill_armed &&
+            executed_done >= options.coordinatorKillAfterCells) {
+            // Chaos: the coordinator itself dies hard. The fsync'd
+            // shards (and orphan workers' SIGPIPE shutdown) are the
+            // recovery story, exercised by the resume leg.
+            ::raise(SIGKILL);
+        }
+    };
+
+    auto handle_message = [&](WorkerState &w, const Json &msg) {
+        if (!msg.isObject() || !msg.at("kind").isString())
+            return;
+        const std::string &kind = msg.at("kind").asString();
+        w.lastBeat = SteadyClock::now();
+        if (kind == "hb" || kind == "hello")
+            return;
+        if (kind == "cell_start") {
+            w.running = static_cast<size_t>(msgUint(msg, "index"));
+            return;
+        }
+        if (kind == "lease_done") {
+            // Legacy end-of-lease marker (older workers). It MUST be a
+            // no-op: the pipe is FIFO, so every report of the batch it
+            // closes has already been processed and the lease it refers
+            // to is already empty. Anything still in w.lease here
+            // belongs to a lease issued *after* that batch — clearing
+            // it would orphan those cells (claims drop to zero while no
+            // lease and no pending entry holds them) and livelock the
+            // coordinator.
+            return;
+        }
+        if (kind != "cell" && kind != "cell_fail")
+            return;
+
+        size_t gi = static_cast<size_t>(msgUint(msg, "index"));
+        if (gi >= n)
+            return;
+        dbg("report <- slot " + std::to_string(w.slot) + " gen " +
+            std::to_string(w.gen) + ": " + kind + " " +
+            std::to_string(gi) +
+            (terminal[gi] ? " (duplicate, discarded)" : ""));
+        auto in_lease = std::find(w.lease.begin(), w.lease.end(), gi);
+        if (in_lease != w.lease.end()) {
+            w.lease.erase(in_lease);
+            drop_claim(gi);
+        }
+        if (w.running == gi)
+            w.running = kNoCell;
+        if (terminal[gi])
+            return; // duplicate of a stolen cell: first report won
+        if (kind == "cell") {
+            RunMetrics metrics;
+            if (!msg.has("metrics") ||
+                !BenchReport::fromJson(msg.at("metrics"), metrics)) {
+                atl_warn("fabric: worker ", w.slot,
+                         " sent unparsable metrics for cell ", gi);
+                return;
+            }
+            terminal[gi] = 1;
+            ++terminal_count;
+            outcome.sweep.results[gi] = std::move(metrics);
+            outcome.sweep.ok[gi] = 1;
+            note_executed();
+            return;
+        }
+        SweepJobFailure f;
+        f.index = gi;
+        f.name = sweep[gi].name;
+        f.message = msg.has("message") && msg.at("message").isString()
+                        ? msg.at("message").asString()
+                        : "fabric cell failed";
+        f.attempts = static_cast<unsigned>(msgUint(msg, "attempts"));
+        f.timedOut = msg.has("timed_out") && msg.at("timed_out").asBool();
+        f.crashed = msg.has("crashed") && msg.at("crashed").asBool();
+        f.exitSignal = static_cast<int>(msgUint(msg, "exit_signal"));
+        f.exitCode = static_cast<int>(msgUint(msg, "exit_code"));
+        f.attemptsBackoffMs = msgUint(msg, "attempts_backoff_ms");
+        terminal[gi] = 1;
+        ++terminal_count;
+        outcome.sweep.failures.push_back(std::move(f));
+        note_executed();
+    };
+
+    /** Reap a dead worker: account the failure, requeue its cells,
+     *  respawn the slot while work remains. */
+    auto handle_death = [&](WorkerState &w, int status) {
+        w.alive = false;
+        closeFd(w.cmdFd);
+        closeFd(w.evtFd);
+
+        bool signalled = WIFSIGNALED(status);
+        int code = WIFEXITED(status) ? WEXITSTATUS(status) : 0;
+        bool abnormal = signalled || code != 0;
+
+        if (debug) {
+            std::string text =
+                "death: slot " + std::to_string(w.slot) + " gen " +
+                std::to_string(w.gen) + " pid " + std::to_string(w.pid) +
+                (signalled ? " sig " + std::to_string(WTERMSIG(status))
+                           : " code " + std::to_string(code)) +
+                " running " +
+                (w.running == kNoCell ? std::string("-")
+                                      : std::to_string(w.running)) +
+                " lease:";
+            for (size_t c : w.lease)
+                text += " " + std::to_string(c) + "(claims " +
+                        std::to_string(claims[c]) + ", terminal " +
+                        std::to_string(terminal[c]) + ")";
+            dbg(text);
+        }
+
+        std::vector<size_t> lost;
+        for (size_t c : w.lease) {
+            drop_claim(c);
+            if (!terminal[c])
+                lost.push_back(c);
+        }
+        w.lease.clear();
+
+        if (abnormal) {
+            FabricWorkerFailure f;
+            f.slot = w.slot;
+            f.pid = static_cast<int>(w.pid);
+            f.exitSignal = signalled ? WTERMSIG(status) : 0;
+            f.exitCode = code;
+            f.cellsLost = lost;
+            emit(EventKind::WorkerDeath, w.slot,
+                 static_cast<uint64_t>(w.pid),
+                 static_cast<uint64_t>(signalled ? WTERMSIG(status)
+                                                 : code));
+            outcome.workerFailures.push_back(std::move(f));
+
+            // Poison-cell watch: a cell that keeps killing the worker
+            // running it must not be re-leased forever.
+            if (w.running != kNoCell && w.running < n &&
+                !terminal[w.running]) {
+                size_t c = w.running;
+                if (++cell_deaths[c] >= options.cellDeathLimit) {
+                    SweepJobFailure f2;
+                    f2.index = c;
+                    f2.name = sweep[c].name;
+                    f2.message =
+                        "fabric: worker died " +
+                        std::to_string(cell_deaths[c]) +
+                        " times while running this cell (poison cell)";
+                    f2.crashed = true;
+                    f2.exitSignal =
+                        signalled ? WTERMSIG(status) : 0;
+                    f2.exitCode = code;
+                    f2.attempts = cell_deaths[c];
+                    terminal[c] = 1;
+                    ++terminal_count;
+                    outcome.sweep.failures.push_back(std::move(f2));
+                    note_executed();
+                    lost.erase(std::remove(lost.begin(), lost.end(), c),
+                               lost.end());
+                }
+            }
+        }
+        w.running = kNoCell;
+
+        // Requeue at the front — these cells have been waiting longest
+        // — unless a thief still holds a claim (it will report them).
+        for (auto it = lost.rbegin(); it != lost.rend(); ++it) {
+            if (claims[*it] == 0 && !terminal[*it])
+                pending.push_front(*it);
+        }
+
+        if (SweepSignalGuard::interrupted())
+            return;
+        bool work_left = terminal_count < n;
+        if (work_left && respawns_used < options.maxRespawns) {
+            ++respawns_used;
+            if (spawn(w.slot, w.gen + 1))
+                return;
+            atl_warn("fabric: could not respawn worker ", w.slot);
+        }
+        // No respawn: if this was the last live worker, every pending
+        // cell is unreachable — fail them so the run terminates with
+        // attributable losses instead of spinning.
+        bool any_alive = false;
+        for (const WorkerState &other : workers)
+            any_alive = any_alive || other.alive;
+        if (!any_alive) {
+            while (!pending.empty()) {
+                size_t c = pending.front();
+                pending.pop_front();
+                if (terminal[c])
+                    continue;
+                SweepJobFailure f;
+                f.index = c;
+                f.name = sweep[c].name;
+                f.message = "fabric: no workers left (respawn budget "
+                            "exhausted)";
+                f.crashed = true;
+                terminal[c] = 1;
+                ++terminal_count;
+                outcome.sweep.failures.push_back(std::move(f));
+            }
+        }
+    };
+
+    // ------------------------------------------------------------------
+    // Event loop
+    // ------------------------------------------------------------------
+    while (terminal_count < n) {
+        if (SweepSignalGuard::interrupted())
+            break;
+        assign_work();
+
+        std::vector<struct pollfd> fds;
+        std::vector<unsigned> fd_slots;
+        for (WorkerState &w : workers) {
+            if (w.alive && w.evtFd >= 0) {
+                fds.push_back({w.evtFd, POLLIN, 0});
+                fd_slots.push_back(w.slot);
+            }
+        }
+        if (fds.empty()) {
+            // Nobody alive and nothing terminal-izable: handle_death
+            // has already failed the pending cells, so only in-flight
+            // bookkeeping bugs could land here — bail out rather than
+            // spin.
+            if (terminal_count < n)
+                break;
+            continue;
+        }
+        int pr = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                        kFabricTickMs);
+        if (pr < 0 && errno != EINTR)
+            break;
+
+        std::vector<unsigned> eof_slots;
+        if (pr > 0) {
+            for (size_t k = 0; k < fds.size(); ++k) {
+                if (!(fds[k].revents & (POLLIN | POLLHUP | POLLERR)))
+                    continue;
+                WorkerState &w = workers[fd_slots[k]];
+                char buf[4096];
+                for (;;) {
+                    ssize_t r = ::read(w.evtFd, buf, sizeof(buf));
+                    if (r > 0) {
+                        w.buf.append(buf, static_cast<size_t>(r));
+                        continue;
+                    }
+                    if (r == 0) {
+                        eof_slots.push_back(w.slot);
+                        break;
+                    }
+                    if (errno == EINTR)
+                        continue;
+                    break; // EAGAIN: drained
+                }
+                size_t start = 0;
+                for (;;) {
+                    size_t nl = w.buf.find('\n', start);
+                    if (nl == std::string::npos)
+                        break;
+                    std::string line = w.buf.substr(start, nl - start);
+                    start = nl + 1;
+                    Json msg;
+                    if (!line.empty() && Json::parse(line, msg))
+                        handle_message(w, msg);
+                }
+                w.buf.erase(0, start);
+            }
+        }
+
+        // Death watch: reap EOF'd workers and any death the pipe
+        // missed (a grandchild holding the write end open).
+        for (WorkerState &w : workers) {
+            if (!w.alive)
+                continue;
+            int status = 0;
+            pid_t r = ::waitpid(w.pid, &status, WNOHANG);
+            if (r == w.pid) {
+                handle_death(w, status);
+            } else if (std::find(eof_slots.begin(), eof_slots.end(),
+                                 w.slot) != eof_slots.end()) {
+                // EOF but not yet reaped: block briefly for the status
+                // (the process is in exit; this cannot hang).
+                for (;;) {
+                    r = ::waitpid(w.pid, &status, 0);
+                    if (r == w.pid || errno != EINTR)
+                        break;
+                }
+                handle_death(w, r == w.pid ? status : 0);
+            }
+        }
+
+        // Wedge watch: a silent worker (no heartbeat, not dead) is
+        // reclaimed with SIGKILL; the next tick reaps it like any
+        // other death and its cells are re-leased.
+        if (options.livenessTimeoutSeconds > 0.0) {
+            auto now = SteadyClock::now();
+            for (WorkerState &w : workers) {
+                if (!w.alive)
+                    continue;
+                std::chrono::duration<double> quiet = now - w.lastBeat;
+                if (quiet.count() > options.livenessTimeoutSeconds)
+                    ::kill(w.pid, SIGKILL);
+            }
+        }
+    }
+
+    outcome.sweep.interrupted = SweepSignalGuard::interrupted();
+
+    // Shutdown: ask politely, then reclaim stragglers. Idle workers
+    // block in their command read and exit immediately; a worker still
+    // mid-cell (interrupt path) gets the grace window, then SIGKILL —
+    // its journalled cells survive either way.
+    for (WorkerState &w : workers)
+        send_exit(w);
+    SteadyClock::time_point grace_deadline =
+        SteadyClock::now() +
+        std::chrono::duration_cast<SteadyClock::duration>(
+            std::chrono::duration<double>(kExitGraceSeconds));
+    for (;;) {
+        bool any_alive = false;
+        for (WorkerState &w : workers) {
+            if (!w.alive)
+                continue;
+            int status = 0;
+            pid_t r = ::waitpid(w.pid, &status, WNOHANG);
+            if (r == w.pid)
+                handle_death(w, status);
+            else
+                any_alive = true;
+        }
+        if (!any_alive)
+            break;
+        if (SteadyClock::now() >= grace_deadline) {
+            for (WorkerState &w : workers) {
+                if (w.alive)
+                    ::kill(w.pid, SIGKILL);
+            }
+            for (WorkerState &w : workers) {
+                if (!w.alive)
+                    continue;
+                int status = 0;
+                for (;;) {
+                    pid_t r = ::waitpid(w.pid, &status, 0);
+                    if (r == w.pid || errno != EINTR)
+                        break;
+                }
+                handle_death(w, status);
+            }
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    for (WorkerState &w : workers) {
+        closeFd(w.cmdFd);
+        closeFd(w.evtFd);
+    }
+    ::sigaction(SIGPIPE, &old_pipe, nullptr);
+
+    std::sort(outcome.sweep.failures.begin(),
+              outcome.sweep.failures.end(),
+              [](const SweepJobFailure &a, const SweepJobFailure &b) {
+                  return a.index < b.index;
+              });
+
+    if (outcome.sweep.complete()) {
+        // Every cell accounted exactly once: the shards have served
+        // their purpose; remove them so the next run starts fresh.
+        remove_shards();
+    }
+    return outcome;
+}
+
+} // namespace atl

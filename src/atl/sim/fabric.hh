@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Distributed sweep fabric: a coordinator that shards a sweep's cells
+ * across N forked worker processes, each running the existing
+ * supervised/journalled runCollect machinery over leased cells. The
+ * fabric generalises the crash isolation of sim/supervisor.hh from
+ * "one cell can die" to "a whole worker process can die":
+ *
+ *   - **Leases.** The coordinator hands each idle worker a lease (a
+ *     slice of cell indices) over a per-worker command pipe; the worker
+ *     reports progress (heartbeats, cell_start / cell / cell_fail
+ *     lines) over its event pipe; a lease retires cell-by-cell as the
+ *     reports arrive. One JSON object per line;
+ *     every worker line is shorter than PIPE_BUF, so writes are atomic
+ *     and the heartbeat thread can interleave with the lease loop.
+ *
+ *   - **Liveness.** The coordinator polls every event pipe and ticks a
+ *     waitpid(WNOHANG) death watch. A worker that dies (crash, chaos
+ *     kill, OOM) is reaped, its unfinished cells are requeued, and a
+ *     fresh worker generation is respawned in its slot while work
+ *     remains. A worker whose heartbeats stop for
+ *     livenessTimeoutSeconds is SIGKILLed first (wedged, not dead).
+ *
+ *   - **Work stealing.** An idle worker with an empty queue steals the
+ *     in-flight cells of the slowest lease (oldest lease start), so a
+ *     straggling worker cannot stall the sweep's tail. A stolen cell
+ *     may complete on both workers; the first terminal report wins and
+ *     the duplicate is discarded.
+ *
+ *   - **Exactly-once accounting.** Each worker appends completed cells
+ *     to its own fsync'd SweepJournal shard
+ *     ("<results>/<bench>.fabric.w<slot>.journal.jsonl", global cell
+ *     indices, "ts" attempt stamps). On start the coordinator replays
+ *     and merges every shard, resolving duplicate completions of a
+ *     cell by the earliest attempt timestamp, and garbage-collects
+ *     shards whose header no longer matches the sweep's config hash.
+ *     A clean run removes all shards; an interrupted or killed run
+ *     leaves them for exact resume.
+ *
+ * Invariant (the fabric's acceptance bar): the outcome is bit-identical
+ * to a serial SweepRunner(1).runCollect of the same sweep — for every
+ * cell the same RunMetrics (under RunMetrics::operator==, which
+ * excludes host-side timing) — regardless of worker count, worker
+ * crashes, steals, or resume. Seeded jobs keep their serial seeds via
+ * SweepOptions::seedIndexOffset.
+ *
+ * Fork safety: worker forks hold forkSerializeMutex() (see
+ * sim/supervisor.hh) so no worker inherits a concurrent supervised
+ * attempt's pipe write end, and each worker closes every sibling's
+ * pipe fds before running. Workers fork from whatever thread calls
+ * runFabric — the same glibc fork-from-threads assumptions as the
+ * supervisor apply (docs/INTERNALS.md "Distributed sweep fabric").
+ */
+
+#ifndef ATL_SIM_FABRIC_HH
+#define ATL_SIM_FABRIC_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "atl/fault/fault.hh"
+#include "atl/sim/journal.hh"
+#include "atl/sim/sweep.hh"
+
+namespace atl
+{
+
+class EventLog;
+
+/** Knobs for one fabric run. */
+struct FabricOptions
+{
+    /** Worker processes to fork (>= 1; clamped to the cell count). */
+    unsigned workers = 2;
+    /** Per-cell execution knobs applied *inside* each worker (isolate,
+     *  attempts, timeout, backoff, retrySeedBase). The journal,
+     *  telemetry, selfKillAfter and seedIndexOffset fields are
+     *  ignored: shards replace the journal, telemetry is
+     *  coordinator-side, and the fabric sets the seed offset itself. */
+    SweepOptions cell;
+    /** Report/journal identity: shards are named
+     *  "<bench>.fabric.w<slot>.journal.jsonl" under resultsDir. */
+    std::string benchName = "fabric";
+    /** Folded into the shard config hash exactly like
+     *  SweepOptions::configFingerprint. */
+    std::string configFingerprint;
+    /** Override for the shard directory; empty uses
+     *  BenchReport::resultsDir(). */
+    std::string shardDir;
+    /** Worker heartbeat period, seconds. */
+    double heartbeatSeconds = 0.05;
+    /** Reclaim a worker whose heartbeats stop for this long (wedged
+     *  but not dead): SIGKILL + requeue, like any other death.
+     *  0 disables; process death is still detected immediately. */
+    double livenessTimeoutSeconds = 0.0;
+    /** Cells per lease. 1 (the default) gives per-cell durability,
+     *  stealing and liveness granularity; larger leases amortise
+     *  coordinator round-trips for very cheap cells. */
+    size_t leaseCells = 1;
+    /** Worker generations the coordinator may respawn across the whole
+     *  run before giving up on lost cells. */
+    unsigned maxRespawns = 64;
+    /** A cell whose claimant worker died this many times is marked
+     *  failed (poison cell) instead of re-leased forever. */
+    unsigned cellDeathLimit = 3;
+    /** Chaos: FaultPlan::workerCrashProb makes workers self-SIGKILL
+     *  around cell boundaries (seeded; see the plan field). Other plan
+     *  fields are ignored here — apply them to the jobs themselves via
+     *  injectJobFaults. */
+    FaultPlan faults;
+    /** Seed for the worker-crash rolls. */
+    uint64_t faultSeed = 1;
+    /** Chaos: once this many cells have completed, SIGKILL one live
+     *  worker (the lowest slot), once. Deterministic counterpart to
+     *  workerCrashProb for CI ("kill a worker at cell N"). 0 disables. */
+    unsigned killWorkerAfterCells = 0;
+    /** Chaos: the *coordinator* raises SIGKILL against the whole
+     *  process after this many cells are accounted, simulating a hard
+     *  mid-fabric crash; the fsync'd shards are what survives for
+     *  resume. 0 disables. */
+    unsigned coordinatorKillAfterCells = 0;
+    /** Coordinator-side telemetry (owned by the caller): WorkerDeath /
+     *  CellStolen events, plus SweepResume per merged shard cell. */
+    EventLog *telemetry = nullptr;
+};
+
+/** One dead worker process, as the coordinator accounted it. */
+struct FabricWorkerFailure
+{
+    /** Worker slot (stable across respawns). */
+    unsigned slot = 0;
+    /** Pid of the dead generation. */
+    int pid = 0;
+    /** Terminating signal (0 when it exited). */
+    int exitSignal = 0;
+    /** Exit status (0 when killed by a signal). */
+    int exitCode = 0;
+    /** Cells that were in flight on the worker when it died and had to
+     *  be requeued or were already covered by a thief. */
+    std::vector<size_t> cellsLost;
+};
+
+/** Everything a fabric run produced. */
+struct FabricOutcome
+{
+    /** Merged per-cell outcome, bit-identical to a serial runCollect
+     *  (resumed[i] set for cells replayed from journal shards). */
+    SweepOutcome sweep;
+    /** Worker processes actually forked (first generations). */
+    unsigned workers = 0;
+    /** Steal re-leases issued (cells handed to a second worker while
+     *  still in flight on the first). */
+    uint64_t stolenRuns = 0;
+    /** Worker deaths, in the order the coordinator reaped them. */
+    std::vector<FabricWorkerFailure> workerFailures;
+    /** Cells recovered from journal shards instead of executed. */
+    size_t mergedFromShards = 0;
+};
+
+/**
+ * Run a sweep on the fabric. Blocks until every cell is terminal
+ * (done or failed), the run is interrupted (SIGINT/SIGTERM — shards
+ * survive for resume), or all respawn budget is exhausted.
+ */
+FabricOutcome runFabric(const std::vector<SweepJob> &sweep,
+                        const FabricOptions &options);
+
+/**
+ * Replay and merge every journal shard of a fabric sweep
+ * ("<dir>/<bench>.fabric.w*.journal.jsonl"): cells come back deduped —
+ * when two shards completed the same cell (a stolen cell finishing
+ * twice), the record with the earliest attempt timestamp wins, ties
+ * broken by lower worker slot. Shards whose begin header does not
+ * match (bench, config_hash, job_count) are unlinked (superseded-
+ * journal GC), matching SweepJournal::beginSweep's discard semantics.
+ * Torn shard tails are tolerated per SweepJournal::replay.
+ * @return cell index -> winning replayed cell
+ */
+std::map<size_t, ReplayedCell>
+mergeFabricShards(const std::string &dir, const std::string &bench_name,
+                  uint64_t config_hash, size_t job_count);
+
+/** Path of one worker's journal shard. */
+std::string fabricShardPath(const std::string &dir,
+                            const std::string &bench_name, unsigned slot);
+
+/** Fold a fabric outcome into a report: noteOutcome(sweep) plus the
+ *  schema-6 fabric keys — "workers", "stolen_runs" and
+ *  "worker_failures" [{slot, pid, exit_signal, exit_code, cells_lost}]. */
+void noteFabricReport(BenchReport &report, const FabricOutcome &outcome);
+
+/**
+ * Overlay fabric environment knobs onto base options, mirroring
+ * sweepOptionsFromEnv:
+ *   ATL_FABRIC_WORKERS=<n>          worker count
+ *   ATL_FABRIC_CHAOS=1              apply FaultPlan::workerChaos()
+ *   ATL_FABRIC_KILL_AFTER=<n>       SIGKILL one worker after n cells
+ *   ATL_FABRIC_COORD_KILL_AFTER=<n> coordinator self-SIGKILL after n
+ * The per-cell knobs (isolate, timeout, ...) still come from
+ * sweepOptionsFromEnv applied to FabricOptions::cell by the caller.
+ */
+FabricOptions fabricOptionsFromEnv(FabricOptions base = {});
+
+} // namespace atl
+
+#endif // ATL_SIM_FABRIC_HH

@@ -53,8 +53,22 @@ hashText(uint64_t hash)
 
 } // namespace
 
+void
+fsyncParentDir(const std::string &file_path)
+{
+    std::filesystem::path dir =
+        std::filesystem::path(file_path).parent_path();
+    std::string name = dir.empty() ? "." : dir.string();
+    int fd = ::open(name.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0)
+        return;
+    ::fsync(fd);
+    ::close(fd);
+}
+
 SweepJournal::SweepJournal(std::string bench_name, std::string path)
-    : _bench(std::move(bench_name)), _path(std::move(path))
+    : _bench(std::move(bench_name)), _path(std::move(path)),
+      _gcSiblings(_path.empty())
 {
     if (_path.empty())
         _path = BenchReport::resultsDir() + "/" + _bench + ".journal.jsonl";
@@ -81,6 +95,118 @@ SweepJournal::configHash(const std::string &bench_name,
     return hash;
 }
 
+bool
+SweepJournal::replay(const std::string &path,
+                     const std::string &bench_name, uint64_t config_hash,
+                     size_t job_count, std::vector<ReplayedCell> &out)
+{
+    out.clear();
+
+    // Accept the file only when its header matches the sweep's shape.
+    // A malformed line (torn tail of a crashed writer) ends the
+    // replay; everything before it counts.
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    bool header_ok = false;
+    std::string line;
+    bool first = true;
+    while (in && std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        Json record;
+        if (!Json::parse(line, record) || !record.isObject() ||
+            !record.at("kind").isString())
+            break;
+        const std::string &kind = record.at("kind").asString();
+        if (first) {
+            first = false;
+            if (kind != "begin" || !record.at("bench").isString() ||
+                record.at("bench").asString() != bench_name ||
+                !record.at("config_hash").isString() ||
+                record.at("config_hash").asString() !=
+                    hashText(config_hash) ||
+                !record.at("jobs").isNumber() ||
+                record.at("jobs").asUint() != job_count) {
+                break; // stale journal from another sweep shape
+            }
+            header_ok = true;
+            continue;
+        }
+        if (kind == "done" && record.has("index") &&
+            record.has("metrics")) {
+            ReplayedCell cell;
+            if (BenchReport::fromJson(record.at("metrics"),
+                                      cell.metrics)) {
+                cell.index =
+                    static_cast<size_t>(record.at("index").asUint());
+                if (record.has("ts") && record.at("ts").isNumber())
+                    cell.ts = record.at("ts").asUint();
+                if (cell.index < job_count)
+                    out.push_back(std::move(cell));
+            }
+        }
+        // "start" and "failed" records carry no replayable state:
+        // those cells simply run again.
+    }
+    if (!header_ok)
+        out.clear();
+    return header_ok;
+}
+
+size_t
+SweepJournal::gcStale(const std::string &dir,
+                      const std::string &bench_name, uint64_t keep_hash)
+{
+    size_t removed = 0;
+    std::string prefix = bench_name + ".";
+    std::string suffix = "journal.jsonl";
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec)
+        return 0;
+    for (const auto &entry : it) {
+        if (!entry.is_regular_file(ec))
+            continue;
+        std::string name = entry.path().filename().string();
+        if (name.size() < prefix.size() + suffix.size() ||
+            name.compare(0, prefix.size(), prefix) != 0 ||
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) != 0)
+            continue;
+        // Keep any journal this (bench, hash) pair could still resume
+        // from; everything else for this bench key is superseded. The
+        // header check is intentionally loose about job count — a
+        // mismatched count also mismatches the hash in practice, and
+        // an unreadable/torn header means the file is unreplayable
+        // garbage either way.
+        bool keep = false;
+        std::ifstream in(entry.path());
+        std::string line;
+        if (in && std::getline(in, line)) {
+            Json record;
+            if (Json::parse(line, record) && record.isObject() &&
+                record.at("kind").isString() &&
+                record.at("kind").asString() == "begin" &&
+                record.at("bench").isString() &&
+                record.at("bench").asString() == bench_name &&
+                record.at("config_hash").isString() &&
+                record.at("config_hash").asString() ==
+                    hashText(keep_hash)) {
+                keep = true;
+            }
+        }
+        if (!keep) {
+            std::filesystem::remove(entry.path(), ec);
+            if (!ec)
+                ++removed;
+        }
+    }
+    if (removed)
+        fsyncParentDir(dir + "/.");
+    return removed;
+}
+
 size_t
 SweepJournal::beginSweep(uint64_t config_hash, size_t job_count)
 {
@@ -91,53 +217,13 @@ SweepJournal::beginSweep(uint64_t config_hash, size_t job_count)
         _fd = -1;
     }
 
-    // Replay pass: accept the file only when its header matches this
-    // sweep's shape. A malformed line (torn tail of a crashed writer)
-    // ends the replay; everything before it counts.
-    bool header_ok = false;
-    {
-        std::ifstream in(_path);
-        std::string line;
-        bool first = true;
-        while (in && std::getline(in, line)) {
-            if (line.empty())
-                continue;
-            Json record;
-            if (!Json::parse(line, record) || !record.isObject() ||
-                !record.at("kind").isString())
-                break;
-            const std::string &kind = record.at("kind").asString();
-            if (first) {
-                first = false;
-                if (kind != "begin" ||
-                    !record.at("bench").isString() ||
-                    record.at("bench").asString() != _bench ||
-                    !record.at("config_hash").isString() ||
-                    record.at("config_hash").asString() !=
-                        hashText(config_hash) ||
-                    !record.at("jobs").isNumber() ||
-                    record.at("jobs").asUint() != job_count) {
-                    break; // stale journal from another sweep shape
-                }
-                header_ok = true;
-                continue;
-            }
-            if (kind == "done" && record.has("index") &&
-                record.has("metrics")) {
-                RunMetrics metrics;
-                if (BenchReport::fromJson(record.at("metrics"), metrics)) {
-                    size_t index =
-                        static_cast<size_t>(record.at("index").asUint());
-                    if (index < job_count)
-                        _completed[index] = std::move(metrics);
-                }
-            }
-            // "start" and "failed" records carry no replayable state:
-            // those cells simply run again.
-        }
-    }
-    if (!header_ok)
-        _completed.clear();
+    std::vector<ReplayedCell> cells;
+    bool header_ok =
+        replay(_path, _bench, config_hash, job_count, cells);
+    // Later records for the same index win, matching historic replay
+    // order (within one file they carry identical metrics anyway).
+    for (ReplayedCell &cell : cells)
+        _completed[cell.index] = std::move(cell.metrics);
 
     std::error_code ec;
     std::filesystem::path dir =
@@ -164,7 +250,17 @@ SweepJournal::beginSweep(uint64_t config_hash, size_t job_count)
         ssize_t n = ::write(_fd, line.data(), line.size());
         (void) n;
         ::fsync(_fd);
+        // The header's bytes are durable; make the directory entry for
+        // a freshly-created journal durable too, or a power cut could
+        // forget the file existed at all.
+        fsyncParentDir(_path);
     }
+
+    // Reap superseded sibling journals (old fingerprints, old fabric
+    // shards) for this bench key; see _gcSiblings for why explicit-path
+    // shards leave this to their coordinator.
+    if (_gcSiblings)
+        gcStale(dir.empty() ? "." : dir.string(), _bench, config_hash);
     return _completed.size();
 }
 
@@ -223,11 +319,14 @@ SweepJournal::noteStart(size_t index, const std::string &name)
 }
 
 void
-SweepJournal::noteDone(size_t index, const RunMetrics &metrics)
+SweepJournal::noteDone(size_t index, const RunMetrics &metrics,
+                       uint64_t attempt_ts)
 {
     Json record = Json::object();
     record["kind"] = Json("done");
     record["index"] = Json(static_cast<uint64_t>(index));
+    if (attempt_ts)
+        record["ts"] = Json(attempt_ts);
     record["metrics"] = BenchReport::toJson(metrics);
     appendRecord(record);
 }

@@ -15,6 +15,12 @@
  *   {"kind":"done","index":I,"metrics":{...BenchReport::toJson...}}
  *   {"kind":"failed","index":I,"name":JOB,"message":...,...}
  *
+ * A "done" record may also carry "ts", a host CLOCK_MONOTONIC
+ * microsecond stamp of the completing attempt. The sweep fabric's
+ * per-worker journal shards use it to resolve duplicate completions of
+ * the same cell (a stolen cell can finish on two workers): merged
+ * replay keeps the earliest attempt.
+ *
  * The begin header keys the journal to (bench name, config hash, job
  * count), where the config hash also folds in the caller's
  * configuration fingerprint (workload parameters, machine config,
@@ -38,6 +44,26 @@
 
 namespace atl
 {
+
+/**
+ * Best-effort fsync of a file's parent directory, making a preceding
+ * create/rename/unlink of the file itself durable (fsyncing the file
+ * persists its bytes; only fsyncing the directory persists the *entry*
+ * pointing at them). No-op on errors: directory-entry durability is a
+ * crash-consistency hardening, not a correctness requirement.
+ */
+void fsyncParentDir(const std::string &file_path);
+
+/** One completed cell recovered from a journal replay. */
+struct ReplayedCell
+{
+    /** Job index within the sweep. */
+    size_t index = 0;
+    /** Attempt timestamp (CLOCK_MONOTONIC microseconds) from the
+     *  record's "ts" key; 0 when the record carried none. */
+    uint64_t ts = 0;
+    RunMetrics metrics;
+};
 
 /** Append-only JSONL journal for one sweep (thread-safe: pool workers
  *  append concurrently). */
@@ -77,8 +103,12 @@ class SweepJournal
     /** Record that job `index` is about to run (fsync'd). */
     void noteStart(size_t index, const std::string &name);
 
-    /** Record a completed job with its metrics (fsync'd). */
-    void noteDone(size_t index, const RunMetrics &metrics);
+    /** Record a completed job with its metrics (fsync'd).
+     *  @param attempt_ts optional CLOCK_MONOTONIC microsecond stamp of
+     *         the completing attempt ("ts" key; omitted when 0), used
+     *         by merged-shard replay to dedupe by earliest attempt */
+    void noteDone(size_t index, const RunMetrics &metrics,
+                  uint64_t attempt_ts = 0);
 
     /** Record a failed job after its last attempt (fsync'd). Failed
      *  cells are *not* replayed on resume — they run again. */
@@ -99,11 +129,46 @@ class SweepJournal
                                const std::vector<SweepJob> &sweep,
                                const std::string &config_fingerprint);
 
+    /**
+     * Replay one journal file without opening it for writing: collect
+     * every "done" record (later records for the same index are kept —
+     * callers dedupe across *files*, not within one) in file order.
+     * Torn tails are tolerated exactly as beginSweep tolerates them: a
+     * malformed line ends the replay, everything before it counts.
+     * @retval false when the file is missing or its begin header does
+     *         not match (bench_name, config_hash, job_count); out is
+     *         then empty
+     */
+    static bool replay(const std::string &path,
+                       const std::string &bench_name,
+                       uint64_t config_hash, size_t job_count,
+                       std::vector<ReplayedCell> &out);
+
+    /**
+     * Garbage-collect superseded journal files for one bench key:
+     * unlink every "<bench_name>.*journal.jsonl" in dir whose begin
+     * header no longer matches (bench_name, keep_hash) — a journal (or
+     * fabric shard) left behind by a run with a different config
+     * fingerprint can never be replayed again, so orphaning it in the
+     * results directory only accumulates confusing stale state.
+     * Files whose header matches keep_hash are resumable and kept.
+     * @return number of files removed
+     */
+    static size_t gcStale(const std::string &dir,
+                          const std::string &bench_name,
+                          uint64_t keep_hash);
+
   private:
     void appendRecord(const Json &record);
 
     std::string _bench;
     std::string _path;
+    /** True when the path was derived from the bench name: beginSweep
+     *  then also garbage-collects superseded sibling journals. Shards
+     *  opened at explicit paths (fabric workers) skip the GC — their
+     *  coordinator does it once, before any worker runs, so workers
+     *  never race each other unlinking files. */
+    bool _gcSiblings = false;
     int _fd = -1;
     mutable std::mutex _mutex;
     /** Cells replayable from the loaded journal, by job index. */

@@ -33,6 +33,7 @@ using SteadyClock = std::chrono::steady_clock;
  * watch — would be delayed until the *sibling's* child exits too:
  * cleanly-received metrics would be misreported as timeouts, and an
  * unbounded attempt could block on a wedged stranger forever.
+ * Exposed to other forking subsystems via forkSerializeMutex().
  */
 std::mutex g_forkMutex;
 
@@ -113,6 +114,12 @@ reap(pid_t pid)
 }
 
 } // namespace
+
+std::mutex &
+forkSerializeMutex()
+{
+    return g_forkMutex;
+}
 
 SupervisedResult
 runSupervised(const std::function<RunMetrics()> &body, double timeout_s)

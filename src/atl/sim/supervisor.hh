@@ -19,6 +19,7 @@
 
 #include <csignal>
 #include <functional>
+#include <mutex>
 #include <string>
 
 #include "atl/sim/experiment.hh"
@@ -79,6 +80,19 @@ SupervisedResult runSupervised(const std::function<RunMetrics()> &body,
  *  text travels over the pipe). Distinct from any small code a silent
  *  `_exit` fault is likely to use. */
 inline constexpr int kSupervisedExceptionExit = 113;
+
+/**
+ * The process-wide mutex serialising pipe() -> fork() -> close(write
+ * end) inside runSupervised(). Any *other* code that forks from a
+ * process that may concurrently run supervised attempts (the sweep
+ * fabric forking its worker pool) must hold this mutex across its own
+ * pipe/fork/close window for the same reason runSupervised does:
+ * otherwise its child would inherit an in-flight attempt's pipe write
+ * end and delay that attempt's EOF death-watch (and vice versa). The
+ * forked child inherits the locked mutex but must simply never touch
+ * it (it proceeds to its own work or _exit, like childMain does).
+ */
+std::mutex &forkSerializeMutex();
 
 /**
  * RAII trap for SIGINT/SIGTERM around a sweep. While at least one

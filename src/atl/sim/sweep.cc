@@ -350,7 +350,8 @@ SweepRunner::runCollect(const std::vector<SweepJob> &sweep,
                     ms = std::min(ms, options.backoffMaxMs);
                     uint64_t z = deriveSeed(
                         deriveSeed(options.retrySeedBase ^
-                                       0x6a09e667f3bcc908ull, i),
+                                       0x6a09e667f3bcc908ull,
+                                   options.seedIndexOffset + i),
                         attempt);
                     double jitter =
                         0.5 + static_cast<double>(z >> 11) *
@@ -370,7 +371,9 @@ SweepRunner::runCollect(const std::vector<SweepJob> &sweep,
                 // unlucky seed can succeed on the next try, still
                 // reproducibly.
                 uint64_t seed = deriveSeed(
-                    deriveSeed(options.retrySeedBase, i), attempt);
+                    deriveSeed(options.retrySeedBase,
+                               options.seedIndexOffset + i),
+                    attempt);
                 auto body = job.seededBody;
                 call = [body, seed] { return body(seed); };
             } else {
@@ -454,12 +457,15 @@ BenchReport::BenchReport(std::string bench_name)
     : _name(std::move(bench_name)), _doc(Json::object())
 {
     _doc["bench"] = Json(_name);
-    // Schema 5 adds crash-isolation fields: per-failure exit_signal /
+    // Schema 6 adds the optional fabric fields written by
+    // noteFabricReport: top-level workers / stolen_runs and the
+    // worker_failures array (slot, pid, exit signal/code, cells lost).
+    // (Schema 5 added crash-isolation fields: per-failure exit_signal /
     // exit_code / crashed / attempts_backoff_ms, and the top-level
-    // resumed_runs count of cells replayed from a sweep journal.
-    // (Schema 4 added the optional top-level "telemetry" object, see
+    // resumed_runs count of cells replayed from a sweep journal;
+    // schema 4 the optional top-level "telemetry" object, see
     // traceSummaryJson.)
-    _doc["schema"] = Json(5);
+    _doc["schema"] = Json(6);
     _doc["runs"] = Json::array();
     // Partial-result status (schema 3): noteFailure clears the flag,
     // so a report that lost cells says so instead of passing silently.
@@ -696,6 +702,11 @@ BenchReport::write() const
         atl_fatal("cannot rename '", tmp, "' to '", path, "': ",
                   std::strerror(err ? err : EIO));
     }
+    // The fsync above made the *bytes* durable; only an fsync of the
+    // directory makes the rename itself durable. Without it a power
+    // cut can resurrect the old report (or none) even though write()
+    // already returned the new path.
+    fsyncParentDir(path);
     return path;
 }
 

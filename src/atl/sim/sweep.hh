@@ -73,6 +73,14 @@ struct SweepOptions
     /** Base seed mixed into retry seeds for seededBody jobs (and into
      *  the backoff jitter). */
     uint64_t retrySeedBase = 0;
+    /** Added to each job's index when deriving per-attempt seeds and
+     *  backoff jitter. The sweep fabric runs cell i of a larger sweep
+     *  as a single-job sub-sweep inside a worker process; offsetting
+     *  the index makes that sub-sweep reproduce exactly the seeds the
+     *  serial sweep would have used for cell i — the fabric's
+     *  bit-identity invariant for seeded jobs. 0 (the default) keeps
+     *  classic behaviour. */
+    uint64_t seedIndexOffset = 0;
     /** Run each attempt in a forked child (see sim/supervisor.hh):
      *  SIGSEGV / abort / silent _exit / OOM-kill in a job become an
      *  ordinary SweepJobFailure instead of killing the sweep. false

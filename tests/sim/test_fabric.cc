@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Tests for the distributed sweep fabric (sim/fabric.hh): merged shard
+ * replay must be exactly-once across interleaved writers, duplicate
+ * completions and torn tails; a fabric run must reproduce a serial
+ * runCollect bit-identically across worker counts, chaos kills, forced
+ * steals and shard resume; and a cell that kills every worker that
+ * touches it must be fenced as a poison cell instead of livelocking
+ * the coordinator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "atl/fault/fault.hh"
+#include "atl/obs/event_log.hh"
+#include "atl/obs/export.hh"
+#include "atl/sim/fabric.hh"
+#include "atl/sim/journal.hh"
+#include "atl/sim/sweep.hh"
+#include "atl/workloads/tasks.hh"
+
+namespace atl
+{
+namespace
+{
+
+std::string
+makeTempDir(const char *tag)
+{
+    std::string dir = ::testing::TempDir() + "/" + tag + "_XXXXXX";
+    std::vector<char> tmpl(dir.begin(), dir.end());
+    tmpl.push_back('\0');
+    if (!mkdtemp(tmpl.data()))
+        return {};
+    return tmpl.data();
+}
+
+/** Six small real simulations: two task mixes x three policies. */
+std::vector<SweepJob>
+fabricJobs()
+{
+    std::vector<SweepJob> jobs;
+    for (unsigned mix : {0u, 1u}) {
+        for (PolicyKind policy :
+             {PolicyKind::FCFS, PolicyKind::LFF, PolicyKind::CRT}) {
+            std::string name = "tasks" + std::to_string(mix) + "/" +
+                               policyName(policy);
+            jobs.push_back({name, [mix, policy] {
+                                TasksWorkload w(
+                                    mix == 0
+                                        ? TasksWorkload::Params{64, 50,
+                                                                10}
+                                        : TasksWorkload::Params{32, 40,
+                                                                8});
+                                MachineConfig cfg;
+                                cfg.numCpus = 2;
+                                cfg.policy = policy;
+                                return runWorkload(w, cfg, false);
+                            }});
+        }
+    }
+    return jobs;
+}
+
+RunMetrics
+syntheticMetrics(uint64_t makespan)
+{
+    RunMetrics m;
+    m.workload = "synthetic";
+    m.policy = PolicyKind::FCFS;
+    m.numCpus = 1;
+    m.makespan = makespan;
+    m.eMisses = makespan / 2;
+    m.eRefs = makespan * 3;
+    m.verified = true;
+    return m;
+}
+
+FabricOptions
+baseOptions(const std::string &dir)
+{
+    FabricOptions options;
+    options.benchName = "test_fabric";
+    options.shardDir = dir;
+    options.configFingerprint = "test";
+    // Cells are milliseconds; a tight heartbeat keeps the tests quick.
+    options.heartbeatSeconds = 0.005;
+    return options;
+}
+
+void
+expectMatchesReference(const char *label, const FabricOutcome &out,
+                       const std::vector<SweepJob> &jobs,
+                       const std::vector<RunMetrics> &reference)
+{
+    EXPECT_TRUE(out.sweep.complete())
+        << label << ": interrupted=" << out.sweep.interrupted << ", "
+        << out.sweep.failures.size() << " failure(s)";
+    ASSERT_EQ(out.sweep.results.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_TRUE(out.sweep.ok[i])
+            << label << ": lost cell " << jobs[i].name;
+        EXPECT_EQ(out.sweep.results[i], reference[i])
+            << label << ": cell " << jobs[i].name
+            << " diverged from the serial reference";
+    }
+}
+
+TEST(FabricShardTest, MergeIsExactlyOnceAcrossWritersAndTornTail)
+{
+    std::string dir = makeTempDir("atl_fabric_merge");
+    ASSERT_FALSE(dir.empty());
+    const std::string bench = "merge_test";
+    const size_t jobs = 6;
+    const uint64_t hash = 0xabcdef12u;
+
+    // Two workers journalled interleaved cells; cell 2 completed on
+    // both (a stolen cell finishing twice) with different attempt
+    // stamps and different (stale vs fresh) metrics.
+    std::string path0 = fabricShardPath(dir, bench, 0);
+    std::string path1 = fabricShardPath(dir, bench, 1);
+    {
+        SweepJournal w0(bench, path0);
+        SweepJournal w1(bench, path1);
+        ASSERT_EQ(w0.beginSweep(hash, jobs), 0u);
+        ASSERT_EQ(w1.beginSweep(hash, jobs), 0u);
+        w0.noteDone(0, syntheticMetrics(100), 1000);
+        w1.noteDone(1, syntheticMetrics(200), 1500);
+        w0.noteDone(4, syntheticMetrics(300), 2000);
+        w1.noteDone(2, syntheticMetrics(777), 3000); // earliest attempt
+        w0.noteDone(2, syntheticMetrics(888), 5000); // late duplicate
+        w1.noteDone(3, syntheticMetrics(400), 6000);
+    }
+    // Crash mid-append: a torn final record on shard 0 must not poison
+    // the cells before it.
+    {
+        std::ofstream torn(path0, std::ios::app);
+        torn << "{\"kind\":\"done\",\"index\":5,\"metr";
+    }
+    // A shard from a different configuration is unreplayable garbage;
+    // the merge garbage-collects it.
+    std::string stale = fabricShardPath(dir, bench, 2);
+    {
+        SweepJournal w2(bench, stale);
+        w2.beginSweep(hash ^ 0xff, jobs);
+        w2.noteDone(5, syntheticMetrics(999), 100);
+    }
+
+    std::map<size_t, ReplayedCell> merged =
+        mergeFabricShards(dir, bench, hash, jobs);
+
+    ASSERT_EQ(merged.size(), 5u); // cells 0..4 exactly once, no cell 5
+    EXPECT_EQ(merged.at(0).metrics.makespan, 100u);
+    EXPECT_EQ(merged.at(1).metrics.makespan, 200u);
+    EXPECT_EQ(merged.at(3).metrics.makespan, 400u);
+    EXPECT_EQ(merged.at(4).metrics.makespan, 300u);
+    // The duplicate resolves to the earliest attempt, not file order.
+    EXPECT_EQ(merged.at(2).metrics.makespan, 777u);
+    EXPECT_EQ(merged.at(2).ts, 3000u);
+    EXPECT_FALSE(std::filesystem::exists(stale))
+        << "mismatched-header shard should have been unlinked";
+    EXPECT_TRUE(std::filesystem::exists(path0));
+}
+
+TEST(FabricTest, MatchesSerialAcrossWorkerCounts)
+{
+    std::vector<SweepJob> jobs = fabricJobs();
+    SweepOutcome serial =
+        SweepRunner(1).runCollect(fabricJobs(), SweepOptions{});
+    ASSERT_TRUE(serial.complete());
+
+    for (unsigned workers : {2u, 4u}) {
+        std::string dir = makeTempDir("atl_fabric_clean");
+        ASSERT_FALSE(dir.empty());
+        FabricOptions options = baseOptions(dir);
+        options.workers = workers;
+        FabricOutcome out = runFabric(fabricJobs(), options);
+        std::string label = std::to_string(workers) + " workers";
+        expectMatchesReference(label.c_str(), out, jobs,
+                               serial.results);
+        EXPECT_EQ(out.workers, workers);
+        EXPECT_TRUE(out.workerFailures.empty());
+        // A completed fabric removes its shards.
+        EXPECT_TRUE(mergeFabricShards(
+                        dir, options.benchName,
+                        SweepJournal::configHash(options.benchName,
+                                                 jobs, "test"),
+                        jobs.size())
+                        .empty());
+    }
+}
+
+TEST(FabricTest, ChaosKillsReproduceTheSerialOutcome)
+{
+    std::vector<SweepJob> jobs = fabricJobs();
+    SweepOutcome serial =
+        SweepRunner(1).runCollect(fabricJobs(), SweepOptions{});
+    ASSERT_TRUE(serial.complete());
+
+    std::string dir = makeTempDir("atl_fabric_chaos");
+    ASSERT_FALSE(dir.empty());
+    EventLog telemetry(TelemetryConfig{.capacity = 1 << 12});
+    FabricOptions options = baseOptions(dir);
+    options.workers = 4;
+    options.faults = FaultPlan::workerChaos();
+    options.faultSeed = 0xfab1u;
+    options.killWorkerAfterCells = 1;
+    options.telemetry = &telemetry;
+    FabricOutcome out = runFabric(fabricJobs(), options);
+
+    expectMatchesReference("chaos", out, jobs, serial.results);
+    // killWorkerAfterCells guarantees at least one death even if every
+    // seeded roll stays under the crash probability.
+    EXPECT_GE(out.workerFailures.size(), 1u);
+    TraceSummary summary = summarizeTrace(telemetry);
+    EXPECT_GE(summary.workerDeaths, 1u);
+}
+
+TEST(FabricTest, IdleWorkerStealsTheSlowLease)
+{
+    // One deliberately slow cell plus fast ones: the worker that drains
+    // the fast cells goes idle while the slow lease is in flight and
+    // must steal it rather than sit out the tail.
+    std::vector<SweepJob> jobs;
+    jobs.push_back({"slow", [] {
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(400));
+                        return syntheticMetrics(1);
+                    }});
+    for (int i = 0; i < 4; ++i)
+        jobs.push_back({"fast" + std::to_string(i),
+                        [i] { return syntheticMetrics(10 + i); }});
+    SweepOutcome serial = SweepRunner(1).runCollect(jobs, SweepOptions{});
+    ASSERT_TRUE(serial.complete());
+
+    std::string dir = makeTempDir("atl_fabric_steal");
+    ASSERT_FALSE(dir.empty());
+    EventLog telemetry(TelemetryConfig{.capacity = 1 << 12});
+    FabricOptions options = baseOptions(dir);
+    options.workers = 2;
+    options.telemetry = &telemetry;
+    FabricOutcome out = runFabric(jobs, options);
+
+    expectMatchesReference("steal", out, jobs, serial.results);
+    EXPECT_GE(out.stolenRuns, 1u);
+    EXPECT_GE(summarizeTrace(telemetry).cellsStolen, 1u);
+}
+
+TEST(FabricTest, ResumesJournalledCellsWithoutExecutingThem)
+{
+    // Pre-write shards covering every cell, then hand the fabric job
+    // bodies that would kill their worker if executed: completing
+    // cleanly proves the cells were replayed from the shards, not run.
+    std::vector<SweepJob> jobs;
+    for (int i = 0; i < 4; ++i)
+        jobs.push_back({"cell" + std::to_string(i), []() -> RunMetrics {
+                            ::raise(SIGKILL);
+                            return {};
+                        }});
+
+    std::string dir = makeTempDir("atl_fabric_resume");
+    ASSERT_FALSE(dir.empty());
+    EventLog telemetry(TelemetryConfig{.capacity = 1 << 12});
+    FabricOptions options = baseOptions(dir);
+    options.workers = 2;
+    options.telemetry = &telemetry;
+    uint64_t hash = SweepJournal::configHash(
+        options.benchName, jobs, options.configFingerprint);
+    {
+        SweepJournal w0(options.benchName,
+                        fabricShardPath(dir, options.benchName, 0));
+        SweepJournal w1(options.benchName,
+                        fabricShardPath(dir, options.benchName, 1));
+        w0.beginSweep(hash, jobs.size());
+        w1.beginSweep(hash, jobs.size());
+        w0.noteDone(0, syntheticMetrics(10), 100);
+        w1.noteDone(1, syntheticMetrics(20), 200);
+        w0.noteDone(2, syntheticMetrics(30), 300);
+        w1.noteDone(3, syntheticMetrics(40), 400);
+    }
+
+    FabricOutcome out = runFabric(jobs, options);
+    EXPECT_TRUE(out.sweep.complete());
+    EXPECT_EQ(out.mergedFromShards, jobs.size());
+    EXPECT_EQ(out.sweep.resumedRuns(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_TRUE(out.sweep.ok[i]);
+        EXPECT_TRUE(out.sweep.resumed[i]);
+        EXPECT_EQ(out.sweep.results[i].makespan, (i + 1) * 10);
+    }
+    EXPECT_EQ(summarizeTrace(telemetry).sweepResumes, jobs.size());
+}
+
+TEST(FabricTest, PoisonCellIsFencedAfterTheDeathLimit)
+{
+    // A cell that SIGKILLs whichever worker runs it must be marked
+    // failed after cellDeathLimit worker deaths — not re-leased
+    // forever — and must not take the healthy cells with it.
+    std::vector<SweepJob> jobs;
+    jobs.push_back({"poison", []() -> RunMetrics {
+                        ::raise(SIGKILL);
+                        return {};
+                    }});
+    for (int i = 0; i < 3; ++i)
+        jobs.push_back({"healthy" + std::to_string(i),
+                        [i] { return syntheticMetrics(50 + i); }});
+
+    std::string dir = makeTempDir("atl_fabric_poison");
+    ASSERT_FALSE(dir.empty());
+    FabricOptions options = baseOptions(dir);
+    options.workers = 2;
+    options.cellDeathLimit = 2;
+    FabricOutcome out = runFabric(jobs, options);
+
+    EXPECT_FALSE(out.sweep.interrupted);
+    ASSERT_EQ(out.sweep.failures.size(), 1u);
+    EXPECT_EQ(out.sweep.failures[0].name, "poison");
+    EXPECT_FALSE(out.sweep.ok[0]);
+    EXPECT_GE(out.workerFailures.size(), 2u);
+    for (size_t i = 1; i < jobs.size(); ++i) {
+        EXPECT_TRUE(out.sweep.ok[i]) << jobs[i].name;
+        EXPECT_EQ(out.sweep.results[i].makespan, 49 + i);
+    }
+}
+
+} // namespace
+} // namespace atl
