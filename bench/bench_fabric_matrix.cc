@@ -31,6 +31,7 @@
 #include "atl/fault/fault.hh"
 #include "atl/obs/event_log.hh"
 #include "atl/obs/export.hh"
+#include "atl/obs/metrics.hh"
 #include "atl/sim/experiment.hh"
 #include "atl/sim/fabric.hh"
 #include "atl/sim/sweep.hh"
@@ -62,22 +63,36 @@ makeSmallWorkload(const std::string &name)
     return std::make_unique<PhotoWorkload>(p);
 }
 
+/** The matrix cells. When `registries` is given, every job gets its
+ *  own MetricsRegistry (per-job, per the SweepJob::metrics contract)
+ *  wired into its machine, so the leg's merged registry can be checked
+ *  bit-for-bit against the serial merge. */
 std::vector<SweepJob>
-matrixJobs()
+matrixJobs(std::vector<std::unique_ptr<MetricsRegistry>> *registries =
+               nullptr)
 {
     std::vector<SweepJob> jobs;
     for (const char *app : {"tasks", "merge", "photo"}) {
         for (PolicyKind policy :
              {PolicyKind::FCFS, PolicyKind::LFF, PolicyKind::CRT}) {
-            jobs.push_back({std::string(app) + "/" + policyName(policy),
-                            [app, policy] {
-                                auto workload = makeSmallWorkload(app);
-                                MachineConfig cfg;
-                                cfg.numCpus = 2;
-                                cfg.policy = policy;
-                                return runWorkload(*workload, cfg,
-                                                   false);
-                            }});
+            MetricsRegistry *reg = nullptr;
+            if (registries) {
+                registries->push_back(
+                    std::make_unique<MetricsRegistry>());
+                reg = registries->back().get();
+            }
+            SweepJob job;
+            job.name = std::string(app) + "/" + policyName(policy);
+            job.body = [app, policy, reg] {
+                auto workload = makeSmallWorkload(app);
+                MachineConfig cfg;
+                cfg.numCpus = 2;
+                cfg.policy = policy;
+                cfg.metrics = reg;
+                return runWorkload(*workload, cfg, false);
+            };
+            job.metrics = reg;
+            jobs.push_back(std::move(job));
         }
     }
     return jobs;
@@ -98,20 +113,29 @@ matrixFingerprint()
 }
 
 /** One fabric leg, checked cell-by-cell against the serial reference.
+ *  The coordinator-merged metrics registry must also reproduce the
+ *  serial fold bit-for-bit (`reference_metrics`); on a complete leg the
+ *  merged snapshot is left in `metrics_json` for the report.
  *  @return check failures added */
 int
 runLeg(const std::string &label, const FabricOptions &options,
-       const std::vector<RunMetrics> &reference, FabricOutcome &out)
+       const std::vector<RunMetrics> &reference,
+       const std::string &reference_metrics, FabricOutcome &out,
+       Json &metrics_json)
 {
     int failures = 0;
-    std::vector<SweepJob> jobs = matrixJobs();
+    std::vector<std::unique_ptr<MetricsRegistry>> job_registries;
+    std::vector<SweepJob> jobs = matrixJobs(&job_registries);
+    MetricsRegistry merged_metrics;
+    FabricOptions leg_options = options;
+    leg_options.metrics = &merged_metrics;
     std::cout << "--- leg '" << label << "': " << options.workers
               << " worker(s), workerCrashProb="
               << options.faults.workerCrashProb
               << ", killAfter=" << options.killWorkerAfterCells
               << ", coordKillAfter=" << options.coordinatorKillAfterCells
               << "\n";
-    out = runFabric(jobs, options);
+    out = runFabric(jobs, leg_options);
 
     if (!out.sweep.complete()) {
         std::cerr << "FAIL: leg '" << label
@@ -142,6 +166,15 @@ runLeg(const std::string &label, const FabricOptions &options,
             ++failures;
         }
     }
+    if (out.sweep.complete()) {
+        metrics_json = merged_metrics.json();
+        if (metrics_json.dumpCompact() != reference_metrics) {
+            std::cerr << "FAIL: leg '" << label
+                      << "' merged metrics registry diverged from the "
+                         "serial fold\n";
+            ++failures;
+        }
+    }
     std::cout << "    " << out.workers << " worker(s), "
               << out.stolenRuns << " stolen run(s), "
               << out.workerFailures.size() << " worker death(s), "
@@ -159,8 +192,16 @@ main()
     int failures = 0;
 
     // Serial in-process ground truth: what every fabric leg must
-    // reproduce bit-identically (modulo host timing).
-    std::vector<RunMetrics> reference = SweepRunner(1).run(matrixJobs());
+    // reproduce bit-identically (modulo host timing). The per-job
+    // metrics registries folded in index order are the ground truth for
+    // the coordinator-merged registry of every leg.
+    std::vector<std::unique_ptr<MetricsRegistry>> ref_registries;
+    std::vector<SweepJob> ref_jobs = matrixJobs(&ref_registries);
+    std::vector<RunMetrics> reference = SweepRunner(1).run(ref_jobs);
+    MetricsRegistry ref_merged;
+    for (const auto &reg : ref_registries)
+        ref_merged.merge(*reg);
+    std::string reference_metrics = ref_merged.json().dumpCompact();
 
     EventLog telemetry(TelemetryConfig{.capacity = 1 << 12});
     FabricOptions base;
@@ -171,25 +212,29 @@ main()
     base.telemetry = &telemetry;
 
     FabricOutcome last;
+    Json last_metrics;
     bool driven = std::getenv("ATL_FABRIC_WORKERS") != nullptr;
     if (driven) {
         // check.sh mode: one leg, all knobs from the environment.
         failures += runLeg("env", fabricOptionsFromEnv(base), reference,
-                           last);
+                           reference_metrics, last, last_metrics);
     } else {
         FabricOptions two = base;
         two.workers = 2;
-        failures += runLeg("2-clean", two, reference, last);
+        failures += runLeg("2-clean", two, reference, reference_metrics,
+                           last, last_metrics);
 
         FabricOptions four = base;
         four.workers = 4;
-        failures += runLeg("4-clean", four, reference, last);
+        failures += runLeg("4-clean", four, reference, reference_metrics,
+                           last, last_metrics);
 
         FabricOptions chaos = base;
         chaos.workers = 4;
         chaos.faults = FaultPlan::workerChaos();
         chaos.killWorkerAfterCells = 3;
-        failures += runLeg("4-chaos", chaos, reference, last);
+        failures += runLeg("4-chaos", chaos, reference, reference_metrics,
+                           last, last_metrics);
         if (last.workerFailures.empty()) {
             std::cerr << "FAIL: chaos leg killed no worker — the "
                          "matrix is not exercising the fabric's "
@@ -221,6 +266,10 @@ main()
     BenchReport report("bench_fabric_matrix");
     report.set("telemetry", traceSummaryJson(summary));
     noteFabricReport(report, last);
+    // Simulation-derived metrics only, so a fabric report diffs clean
+    // against a serial run of the same matrix (check.sh --fabric).
+    if (last_metrics.isObject())
+        report.set("metrics", last_metrics);
     std::string path = report.write();
     if (!path.empty())
         std::cout << "\nwrote " << path << "\n";

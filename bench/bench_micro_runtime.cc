@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "atl/obs/event_log.hh"
+#include "atl/obs/metrics.hh"
 #include "atl/runtime/context.hh"
 #include "atl/runtime/machine.hh"
 #include "atl/runtime/refbatch.hh"
@@ -151,6 +152,46 @@ BM_HotPathRefThroughputTelemetry(benchmark::State &state)
         static_cast<double>(log.recorded());
 }
 BENCHMARK(BM_HotPathRefThroughputTelemetry)->Iterations(1);
+
+void
+BM_HotPathRefThroughputMetrics(benchmark::State &state)
+{
+    // The same stream with the full observability stack on: a metrics
+    // registry attached to the machine *and* the phase profiler armed.
+    // Metrics record only at interval/switch boundaries and the
+    // profiler's scopes wrap the coarse phases, so even fully enabled
+    // the per-reference path must stay within 2% of
+    // BM_HotPathRefThroughput (perf_gate.sh holds this self-relative,
+    // mirroring the telemetry gate).
+    MachineConfig cfg;
+    cfg.modelSchedulerFootprint = false;
+    MetricsRegistry registry;
+    cfg.metrics = &registry;
+    PhaseProfiler::setEnabled(true);
+    Machine m(cfg);
+    constexpr uint64_t lines = 4096;
+    constexpr uint64_t target = 4000000;
+    VAddr va = m.alloc(lines * 64, 64);
+    m.spawn([&] {
+        RefBatch batch(m);
+        for (uint64_t i = 0; i < target; ++i)
+            batch.read(va + (i % lines) * 64, 4);
+    });
+    auto t0 = std::chrono::steady_clock::now();
+    m.run();
+    auto dt = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    PhaseProfiler::setEnabled(false);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dt);
+    state.counters["refs_per_sec"] = static_cast<double>(target) / dt;
+    state.counters["ns_per_ref"] =
+        dt * 1e9 / static_cast<double>(target);
+    state.counters["intervals_counted"] = static_cast<double>(
+        registry.counterTotal("machine.intervals"));
+}
+BENCHMARK(BM_HotPathRefThroughputMetrics)->Iterations(1);
 
 void
 BM_HotPathScalarRefThroughput(benchmark::State &state)

@@ -4,7 +4,7 @@
 # non-zero on the first failed shape check.
 #
 # Usage: check.sh [--jobs N] [--perf] [--asan] [--parallel] [--trace]
-#                  [--crash] [--fabric] [--hot]
+#                  [--crash] [--fabric] [--hot] [--metrics]
 #   --jobs N   worker threads per bench sweep (exported as
 #              ATL_SWEEP_JOBS; default: all cores)
 #   --perf     also run scripts/perf_gate.sh (hot-path throughput
@@ -44,9 +44,19 @@
 #              coordinator-crash + resume pair (SIGKILL the whole fabric
 #              after 5 cells, rerun, recover the rest from the fsync'd
 #              worker shards). Every report's runs must match the clean
-#              one modulo host timing, carry the schema-6 fabric keys,
+#              one modulo host timing, carry the schema-7 fabric keys,
 #              and the resumed run must leave no shards behind; then
 #              exit
+#   --metrics  build, then exercise the metrics layer end to end: a
+#              fabric run under ATL_FABRIC_WORKERS with
+#              ATL_FABRIC_STATUS=1 must stream "atl-fabric:" status
+#              lines and embed a merged schema-7 "metrics" object
+#              (counters / gauges / histograms) in its report; then the
+#              observability overhead gate — BM_HotPathRefThroughput
+#              with a metrics registry and the phase profiler on must
+#              stay within 2% of the plain run (self-relative,
+#              best-of-N, confirmed over a second round before
+#              failing); then exit
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -57,6 +67,7 @@ RUN_TRACE=0
 RUN_CRASH=0
 RUN_FABRIC=0
 RUN_HOT=0
+RUN_METRICS=0
 
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -95,6 +106,10 @@ while [ $# -gt 0 ]; do
         ;;
       --hot)
         RUN_HOT=1
+        shift
+        ;;
+      --metrics)
+        RUN_METRICS=1
         shift
         ;;
       *)
@@ -255,8 +270,8 @@ for tag in ("fcfs", "lff", "crt"):
         print(f"{path}: OK ({len(events)} events)")
 
 report = json.load(open("results/bench_fig5_footprints.json"))
-if report.get("schema") != 6:
-    print(f"fig5 report: schema is {report.get('schema')!r}, expected 6",
+if report.get("schema") != 7:
+    print(f"fig5 report: schema is {report.get('schema')!r}, expected 7",
           file=sys.stderr)
     failed = 1
 telemetry = report.get("telemetry")
@@ -360,7 +375,7 @@ if [ "$RUN_FABRIC" -eq 1 ]; then
     shards='results/bench_fabric_matrix.fabric.w*.journal.jsonl'
 
     # Helper: diff two fabric reports cell for cell (modulo host-timing
-    # diagnostics) and validate the schema-6 fabric keys of the first.
+    # diagnostics) and validate the schema-7 fabric keys of the first.
     fabric_diff() {
         python3 - "$1" "$2" "$3" "$4" <<'PYEOF'
 import json, sys
@@ -371,8 +386,8 @@ tag = sys.argv[3]
 want_deaths = sys.argv[4] == "deaths"
 
 failed = 0
-if doc.get("schema") != 6:
-    print(f"{tag}: schema is {doc.get('schema')!r}, expected 6",
+if doc.get("schema") != 7:
+    print(f"{tag}: schema is {doc.get('schema')!r}, expected 7",
           file=sys.stderr)
     failed = 1
 if not isinstance(doc.get("workers"), int) or doc["workers"] < 1:
@@ -476,6 +491,131 @@ PYEOF
     exit 0
 fi
 
+if [ "$RUN_METRICS" -eq 1 ]; then
+    cmake -B build -G Ninja
+    cmake --build build
+
+    report=results/bench_fabric_matrix.json
+    shards='results/bench_fabric_matrix.fabric.w*.journal.jsonl'
+
+    echo "==== metrics: fabric run with live status + merged registry"
+    rm -f $shards
+    status_log=$(mktemp)
+    ATL_FABRIC_WORKERS=3 ATL_FABRIC_STATUS=1 ATL_PROF=1 \
+        build/bench/bench_fabric_matrix 2> "$status_log"
+    if ! grep -q "atl-fabric:" "$status_log"; then
+        echo "metrics: no 'atl-fabric:' status lines on stderr" >&2
+        cat "$status_log" >&2
+        rm -f "$status_log"
+        exit 1
+    fi
+    echo "live status: $(grep -c 'atl-fabric:' "$status_log") update line(s)"
+    grep "atl-fabric:" "$status_log" | tail -n 1
+    if ! grep -q "atl-prof" "$status_log"; then
+        echo "metrics: ATL_PROF=1 produced no phase profile on stderr" >&2
+        cat "$status_log" >&2
+        rm -f "$status_log"
+        exit 1
+    fi
+    rm -f "$status_log"
+
+    python3 - "$report" <<'PYEOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+failed = 0
+if doc.get("schema") != 7:
+    print(f"fabric report: schema is {doc.get('schema')!r}, expected 7",
+          file=sys.stderr)
+    failed = 1
+m = doc.get("metrics")
+if not isinstance(m, dict):
+    print("fabric report: no merged 'metrics' object", file=sys.stderr)
+    sys.exit(1)
+for kind in ("counters", "gauges", "histograms"):
+    if not isinstance(m.get(kind), dict):
+        print(f"fabric report: metrics.{kind} missing", file=sys.stderr)
+        failed = 1
+for name in ("machine.intervals", "machine.dispatch.heap",
+             "machine.dispatch.global"):
+    if name not in m.get("counters", {}):
+        print(f"fabric report: metrics counter '{name}' missing",
+              file=sys.stderr)
+        failed = 1
+if m.get("counters", {}).get("machine.intervals", 0) <= 0:
+    print("fabric report: machine.intervals merged to zero",
+          file=sys.stderr)
+    failed = 1
+for name in ("machine.interval_cycles", "machine.switch_cost_cycles"):
+    h = m.get("histograms", {}).get(name)
+    if not isinstance(h, dict) or not all(
+            k in h for k in ("total", "sum", "buckets")):
+        print(f"fabric report: histogram '{name}' malformed: {h!r}",
+              file=sys.stderr)
+        failed = 1
+if failed:
+    sys.exit(1)
+print(f"merged metrics OK: {len(m['counters'])} counter(s), "
+      f"{len(m['gauges'])} gauge(s), {len(m['histograms'])} "
+      f"histogram(s), machine.intervals="
+      f"{m['counters']['machine.intervals']}")
+PYEOF
+
+    echo "==== metrics: observability overhead gate (self-relative)"
+    tmpdir=$(mktemp -d)
+    trap 'rm -rf "$tmpdir"' EXIT
+    run_overhead_round() {
+        local round="$1"
+        for i in 1 2 3; do
+            build/bench/bench_micro_runtime \
+                --benchmark_filter='BM_HotPathRefThroughput(Metrics)?/' \
+                --benchmark_format=json \
+                > "$tmpdir/overhead_r${round}_p${i}.json" 2>/dev/null
+        done
+    }
+    check_overhead() {
+        TMPDIR_JSON="$tmpdir" python3 - <<'PYEOF'
+import glob, json, os, sys
+
+best = {}
+for path in glob.glob(
+        os.path.join(os.environ["TMPDIR_JSON"], "overhead_*.json")):
+    with open(path) as f:
+        doc = json.load(f)
+    for bench in doc.get("benchmarks", []):
+        name = bench["name"].split("/")[0]
+        rate = bench.get("refs_per_sec")
+        if rate is not None:
+            best[name] = max(best.get(name, 0.0), rate)
+
+plain = best.get("BM_HotPathRefThroughput")
+metered = best.get("BM_HotPathRefThroughputMetrics")
+if plain is None or metered is None:
+    print("overhead gate: benchmark pair missing from run",
+          file=sys.stderr)
+    sys.exit(2)
+overhead = 1 - metered / plain
+print(f"metrics+profiler overhead: {100 * overhead:+.1f}% "
+      f"({metered / 1e6:.1f} vs {plain / 1e6:.1f} Mrefs/s, limit 2%)")
+sys.exit(1 if metered < 0.98 * plain else 0)
+PYEOF
+    }
+    run_overhead_round 1
+    if ! check_overhead; then
+        echo "metrics: first round exceeded 2%; confirming with a" \
+             "second best-of-3 round" >&2
+        run_overhead_round 2
+        if ! check_overhead; then
+            echo "metrics: observability overhead >2% confirmed over" \
+                 "two rounds" >&2
+            exit 1
+        fi
+    fi
+
+    echo "METRICS CHECKS PASSED"
+    exit 0
+fi
+
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build -j "$(nproc)"
@@ -508,10 +648,10 @@ for b in build/bench/bench_*; do
         echo "MISSING: $json" >&2
         missing=1
     elif command -v python3 >/dev/null 2>&1; then
-        # Parse, and hold every RunMetrics entry to the schema-6
+        # Parse, and hold every RunMetrics entry to the schema-7
         # contract (host diagnostics and degradation counters included;
-        # the "telemetry" object is optional per bench, as are the
-        # fabric keys — validated when present). An incomplete
+        # the "telemetry" and "metrics" objects are optional per bench,
+        # as are the fabric keys — validated when present). An incomplete
         # sweep (lost runs) is a bench failure even when the binary
         # itself exited zero, and any failed_runs entries must carry
         # the full crash attribution.
@@ -520,14 +660,24 @@ import json, sys
 doc = json.load(open(sys.argv[1]))
 if "bench" not in doc:
     sys.exit(0)  # google-benchmark native format, not a BenchReport
-if doc.get("schema") != 6:
-    print(f"{sys.argv[1]}: schema is {doc.get('schema')!r}, expected 6")
+if doc.get("schema") != 7:
+    print(f"{sys.argv[1]}: schema is {doc.get('schema')!r}, expected 7")
     sys.exit(1)
 if not isinstance(doc.get("resumed_runs"), int):
-    print(f"{sys.argv[1]}: schema-6 report has no 'resumed_runs' count")
+    print(f"{sys.argv[1]}: schema-7 report has no 'resumed_runs' count")
     sys.exit(1)
+if "metrics" in doc:
+    # Optional schema-7 merged metrics object: counters / gauges /
+    # histograms keyed by metric name.
+    m = doc["metrics"]
+    if not isinstance(m, dict) or not all(
+            isinstance(m.get(k), dict)
+            for k in ("counters", "gauges", "histograms")):
+        print(f"{sys.argv[1]}: 'metrics' is not a "
+              "{counters, gauges, histograms} object")
+        sys.exit(1)
 if "workers" in doc:
-    # Fabric-produced report (schema 6): validate the fabric keys.
+    # Fabric-produced report (schema 7): validate the fabric keys.
     if not isinstance(doc["workers"], int):
         print(f"{sys.argv[1]}: 'workers' is not an integer")
         sys.exit(1)

@@ -11,12 +11,21 @@
 # both rounds (best-of-2N), so a transient host stall has two chances to
 # be out-raced before the gate calls a regression real.
 #
-# Also gates telemetry overhead on the reference hot path: the paired
-# BM_HotPathRefThroughputTelemetry run (same stream, event log attached)
-# must stay within 2% of BM_HotPathRefThroughput. Telemetry records only
-# at scheduling points, so the per-reference path may not slow down even
-# with the feature enabled — which bounds the disabled path (one null
-# check per interval) from above. Self-relative, so machine-independent.
+# Also gates two self-relative (machine-independent) overhead bounds on
+# the reference hot path:
+#   - telemetry: BM_HotPathRefThroughputTelemetry (same stream, event
+#     log attached) must stay within 2% of BM_HotPathRefThroughput.
+#     Telemetry records only at scheduling points, so the per-reference
+#     path may not slow down even with the feature enabled — which
+#     bounds the disabled path (one null check per interval) from above.
+#   - metrics + profiler: BM_HotPathRefThroughputMetrics (metrics
+#     registry attached, phase profiler armed) must also stay within 2%
+#     — metrics record at interval/switch boundaries only.
+#
+# Every evaluated run is appended to results/history/hotpath.jsonl
+# ({sha, date, host_cpus, best}) via scripts/perf_history.py, which also
+# reports drift against the recorded same-host history (informational;
+# the committed baseline is what gates).
 #
 # Usage: perf_gate.sh [--repeats N] [--update-baseline] [--allow-regression]
 #   --repeats N         passes per benchmark; best-of-N is kept (default 5)
@@ -56,6 +65,11 @@ mkdir -p "$RESULTS"
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 
+# Capture provenance for the report, the baseline and the history
+# (schema v2: git_sha + date ride along with the rates).
+GIT_SHA=$(git rev-parse HEAD 2>/dev/null || echo unknown)
+CAPTURE_DATE=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+
 run_round() {
     local round="$1"
     mkdir -p "$tmpdir/round_$round"
@@ -72,6 +86,7 @@ evaluate() {
     local rounds="$1"
     REPEATS="$REPEATS" UPDATE="$UPDATE" ALLOW="$ALLOW" ROUNDS="$rounds" \
     RESULTS="$RESULTS" TMPDIR_JSON="$tmpdir" \
+    GIT_SHA="$GIT_SHA" CAPTURE_DATE="$CAPTURE_DATE" \
     python3 - <<'EOF'
 import json, glob, os, sys
 
@@ -101,7 +116,9 @@ schema_note = ("refs_per_sec is best-of-N across rounds x repeats passes; "
                "telemetry gate is the machine-independent check")
 out = {"bench": "BENCH_hotpath", "schema": schema_note,
        "host_cpus": host_cpus, "repeats": repeats, "rounds": rounds,
-       "statistic": "best-of-N refs_per_sec", "best": best}
+       "statistic": "best-of-N refs_per_sec", "best": best,
+       "git_sha": os.environ.get("GIT_SHA", "unknown"),
+       "date": os.environ.get("CAPTURE_DATE", "")}
 out_path = os.path.join(os.environ["RESULTS"], "BENCH_hotpath.json")
 with open(out_path, "w") as f:
     json.dump(out, f, indent=2, sort_keys=True)
@@ -124,7 +141,9 @@ for name in sorted(best):
     print(line)
 
 if os.environ["UPDATE"] == "1":
-    doc = {"schema": schema_note, "host_cpus": host_cpus, "best": best}
+    doc = {"schema": schema_note, "host_cpus": host_cpus, "best": best,
+           "git_sha": os.environ.get("GIT_SHA", "unknown"),
+           "date": os.environ.get("CAPTURE_DATE", "")}
     with open(baseline_path, "w") as f:
         json.dump(doc, f, indent=2, sort_keys=True)
         f.write("\n")
@@ -163,9 +182,26 @@ else:
           f"{100 * (1 - telem / plain):+.1f}% on the ref hot path "
           "(limit 2%)")
 
+# Metrics + profiler overhead gate: same bound, same statistic, with
+# the registry attached and the phase profiler armed.
+with_metrics = best.get("BM_HotPathRefThroughputMetrics")
+if plain is None or with_metrics is None:
+    failed.append("metrics gate: BM_HotPathRefThroughput{,Metrics} "
+                  "pair missing from run")
+elif with_metrics < 0.98 * plain:
+    failed.append(f"metrics overhead: {with_metrics / 1e6:.1f} Mrefs/s "
+                  f"with a metrics registry and the phase profiler on "
+                  f"is {100 * (1 - with_metrics / plain):.1f}% below "
+                  f"the plain hot path {plain / 1e6:.1f} Mrefs/s "
+                  f"(limit 2%)")
+else:
+    print(f"perf_gate: metrics+profiler overhead "
+          f"{100 * (1 - with_metrics / plain):+.1f}% on the ref hot "
+          "path (limit 2%)")
+
 if failed:
     print("perf_gate: REGRESSION (>10% below baseline, "
-          "or telemetry overhead >2%)", file=sys.stderr)
+          "or telemetry/metrics overhead >2%)", file=sys.stderr)
     for line in failed:
         print(f"  {line}", file=sys.stderr)
     sys.exit(1)
@@ -174,11 +210,20 @@ print("perf_gate: OK (all benches within 10% of baseline)")
 EOF
 }
 
+# Append the evaluated run to the perf history (informational drift
+# report; the committed baseline is what gates).
+record_history() {
+    python3 scripts/perf_history.py append \
+        --report "$RESULTS/BENCH_hotpath.json" \
+        --history-dir "$RESULTS/history" || true
+}
+
 echo "perf_gate: $REPEATS passes of BM_HotPath* + BM_MachineParallelSpeedup"
 run_round 1
 status=0
 evaluate 1 || status=$?
 if [ "$status" -eq 0 ]; then
+    record_history
     exit 0
 elif [ "$status" -eq 2 ]; then
     exit 2
@@ -195,10 +240,12 @@ run_round 2
 status=0
 evaluate 2 || status=$?
 if [ "$status" -eq 0 ]; then
+    record_history
     exit 0
 elif [ "$status" -eq 2 ]; then
     exit 2
 fi
+record_history
 echo "perf_gate: regression confirmed over two rounds; rerun with" \
      "--allow-regression (or set ATL_PERF_OVERRIDE=1) to override, or" \
      "--update-baseline after an intentional change" >&2

@@ -523,6 +523,25 @@ perfettoTrace(const EventLog &log, const std::string &process_name)
         p["args"] = std::move(args);
         trace_events.push(std::move(p));
     }
+    {
+        Json p =
+            baseEvent("process_sort_index", "__metadata", "M", 0.0, 0);
+        Json args = Json::object();
+        args["sort_index"] = Json(static_cast<uint64_t>(0));
+        p["args"] = std::move(args);
+        trace_events.push(std::move(p));
+    }
+    // thread_sort_index pins tracks to numeric cpu order (the viewer
+    // otherwise sorts names lexically: cpu10 before cpu2), with the
+    // catch-all "events" track after every cpu.
+    auto sortIndexEvent = [&](uint16_t tid, uint64_t index) {
+        Json t = baseEvent("thread_sort_index", "__metadata", "M", 0.0,
+                           tid);
+        Json args = Json::object();
+        args["sort_index"] = Json(index);
+        t["args"] = std::move(args);
+        trace_events.push(std::move(t));
+    };
     for (size_t c = 0; c < cpu_seen.size(); ++c) {
         if (!cpu_seen[c])
             continue;
@@ -532,6 +551,7 @@ perfettoTrace(const EventLog &log, const std::string &process_name)
         args["name"] = Json("cpu" + std::to_string(c));
         t["args"] = std::move(args);
         trace_events.push(std::move(t));
+        sortIndexEvent(static_cast<uint16_t>(c), c);
     }
     {
         Json t = baseEvent("thread_name", "__metadata", "M", 0.0,
@@ -540,6 +560,7 @@ perfettoTrace(const EventLog &log, const std::string &process_name)
         args["name"] = Json("events");
         t["args"] = std::move(args);
         trace_events.push(std::move(t));
+        sortIndexEvent(InvalidCpuId16, cpu_seen.size());
     }
     for (PendingEvent &p : pending)
         trace_events.push(std::move(p.json));

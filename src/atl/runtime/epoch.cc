@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "atl/obs/metrics.hh"
 #include "atl/util/logging.hh"
 
 namespace atl
@@ -122,6 +123,7 @@ Machine::commitResume(Cpu &cpu)
 void
 Machine::epochDispatch()
 {
+    ScopedPhase schedule_phase(HostPhase::Schedule);
     // Repeated passes because one dispatch can expose another (global
     // queue refills, work made runnable by a commit body). Idle
     // processors are offered work in (clock, id) order, mirroring the
@@ -153,6 +155,7 @@ Machine::epochDispatch()
 bool
 Machine::epochCommit()
 {
+    ScopedPhase commit_phase(HostPhase::Commit);
     EpochState &es = *_epoch;
     es.inCommit = true;
 

@@ -5,6 +5,7 @@
 
 #include "atl/fault/fault.hh"
 #include "atl/obs/event_log.hh"
+#include "atl/obs/metrics.hh"
 #include "atl/runtime/epoch.hh"
 #include "atl/util/logging.hh"
 
@@ -147,6 +148,34 @@ Machine::Machine(const MachineConfig &config)
         }
         // Modelled storage for the scheduler's own data structures.
         cpu.schedStateVa = alloc(8192, 64);
+    }
+
+    if (MetricsRegistry *reg = _config.metrics) {
+        // One shard per simulated processor: whichever host thread
+        // drives a processor is the sole writer of its shard, so the
+        // merged totals cannot depend on hostShards.
+        reg->ensureShards(_config.numCpus);
+        _metricIds.dispatch[size_t(DispatchSource::None)] =
+            reg->counter("machine.dispatch.none");
+        _metricIds.dispatch[size_t(DispatchSource::Heap)] =
+            reg->counter("machine.dispatch.heap");
+        _metricIds.dispatch[size_t(DispatchSource::Global)] =
+            reg->counter("machine.dispatch.global");
+        _metricIds.dispatch[size_t(DispatchSource::Steal)] =
+            reg->counter("machine.dispatch.steal");
+        _metricIds.dispatch[size_t(DispatchSource::FairnessBypass)] =
+            reg->counter("machine.dispatch.fairness_bypass");
+        _metricIds.intervals = reg->counter("machine.intervals");
+        _metricIds.fallbackIntervals =
+            reg->counter("machine.fallback.intervals");
+        _metricIds.fallbackEnters =
+            reg->counter("machine.fallback.enters");
+        _metricIds.fallbackLeaves =
+            reg->counter("machine.fallback.leaves");
+        _metricIds.intervalCycles =
+            reg->histogram("machine.interval_cycles");
+        _metricIds.switchCostCycles =
+            reg->histogram("machine.switch_cost_cycles");
     }
 }
 
@@ -414,6 +443,7 @@ void
 Machine::issueRuns(Cpu &cpu, Thread &me, const RefRun *runs,
                    uint32_t count)
 {
+    ScopedPhase access_phase(HostPhase::Access);
     const uint64_t step = _config.hierarchy.l1d.lineBytes;
     const VAddr page_mask = ~(_config.pageBytes - 1);
     const bool multi = _config.numCpus > 1;
@@ -523,6 +553,7 @@ Machine::issueRuns(Cpu &cpu, Thread &me, const RefRun *runs,
         if (page == cpu.issuePage) {
             pa = line_va + cpu.issueDelta;
         } else {
+            ScopedPhase translate_phase(HostPhase::Translate);
             pa = _epoch ? epochTranslate(line_va)
                         : _vm.translate(line_va);
             cpu.issuePage = page;
@@ -687,7 +718,11 @@ Machine::accessOne(Cpu &cpu, Thread *attribution, VAddr va,
     }
 
     ++cpu.refsIssued;
-    PAddr pa = _epoch ? epochTranslate(va) : _vm.translate(va);
+    PAddr pa;
+    {
+        ScopedPhase translate_phase(HostPhase::Translate);
+        pa = _epoch ? epochTranslate(va) : _vm.translate(va);
+    }
 
     // For a miss that will be serviced remotely we must know whether a
     // peer cache holds the line *before* our access fills it.
@@ -889,6 +924,7 @@ Machine::schedPollution(Cpu &cpu)
 void
 Machine::beginInterval(Cpu &cpu, Thread &thread)
 {
+    ScopedPhase schedule_phase(HostPhase::Schedule);
     cpu.clock = std::max(cpu.clock, thread.readyTime);
     Cycles switch_start = cpu.clock;
     cpu.clock += _config.contextSwitchCycles;
@@ -897,6 +933,8 @@ Machine::beginInterval(Cpu &cpu, Thread &thread)
 
     if (_config.telemetry)
         emitSwitchEvent(cpu, thread, switch_start);
+    if (_config.metrics)
+        recordSwitchMetrics(cpu, switch_start);
 
     if (!thread.started) {
         thread.started = true;
@@ -972,14 +1010,22 @@ Machine::endInterval(Cpu &cpu, Thread &thread)
         deg_before = _scheduler->degradation();
         fallback_before = _scheduler->inFallback(cpu.id);
     }
+    bool metrics_fallback_before = false;
+    if (_config.metrics)
+        metrics_fallback_before = _scheduler->inFallback(cpu.id);
 
-    _scheduler->onBlock(thread, cpu.id, misses, instructions, refs_delta,
-                        hits_delta);
-    chargeSchedWork(cpu); // onBlock's O(d) priority work
+    {
+        ScopedPhase schedule_phase(HostPhase::Schedule);
+        _scheduler->onBlock(thread, cpu.id, misses, instructions,
+                            refs_delta, hits_delta);
+        chargeSchedWork(cpu); // onBlock's O(d) priority work
+    }
 
     if (log)
         emitPostBlockEvents(cpu, thread, misses, instructions, deg_before,
                             fallback_before);
+    if (_config.metrics)
+        recordIntervalMetrics(cpu, metrics_fallback_before);
 
     cpu.current = nullptr;
     _scheduler->setCpuBusy(cpu.id, false);
@@ -1120,6 +1166,35 @@ Machine::emitPostBlockEvents(const Cpu &cpu, const Thread &thread,
 }
 
 void
+Machine::recordSwitchMetrics(const Cpu &cpu, Cycles switch_start)
+{
+    MetricsRegistry &reg = *_config.metrics;
+    unsigned shard = cpu.id;
+    const DispatchInfo &pick = _scheduler->lastDispatch();
+    reg.add(_metricIds.dispatch[static_cast<size_t>(pick.source)], 1,
+            shard);
+    reg.observe(_metricIds.switchCostCycles, cpu.clock - switch_start,
+                shard);
+}
+
+void
+Machine::recordIntervalMetrics(const Cpu &cpu, bool fallback_before)
+{
+    MetricsRegistry &reg = *_config.metrics;
+    unsigned shard = cpu.id;
+    reg.add(_metricIds.intervals, 1, shard);
+    reg.observe(_metricIds.intervalCycles, cpu.clock - cpu.intervalStart,
+                shard);
+    bool fallback_now = _scheduler->inFallback(cpu.id);
+    if (fallback_now)
+        reg.add(_metricIds.fallbackIntervals, 1, shard);
+    if (fallback_now && !fallback_before)
+        reg.add(_metricIds.fallbackEnters, 1, shard);
+    else if (!fallback_now && fallback_before)
+        reg.add(_metricIds.fallbackLeaves, 1, shard);
+}
+
+void
 Machine::run()
 {
     atl_assert(!_running, "machine is already running");
@@ -1186,7 +1261,11 @@ Machine::run()
         wakeDueTimers(cpu.clock);
 
         if (!cpu.current) {
-            Thread *next = _scheduler->pickNext(cpu.id);
+            Thread *next;
+            {
+                ScopedPhase schedule_phase(HostPhase::Schedule);
+                next = _scheduler->pickNext(cpu.id);
+            }
             if (!next) {
                 if (_scheduler->runnableCount() > 0) {
                     // Runnable work exists, but only in an *idle*

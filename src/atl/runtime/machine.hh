@@ -47,6 +47,7 @@ namespace atl
 
 class FaultInjector;
 class EventLog;
+class MetricsRegistry;
 struct EpochState;
 
 /** Which execution engine drives the simulated processors. */
@@ -134,6 +135,18 @@ struct MachineConfig
      *  modelled state is bit-identical to a machine that never heard
      *  of telemetry. */
     EventLog *telemetry = nullptr;
+
+    /** Metrics registry accumulating interval-level aggregates —
+     *  per-source dispatch counters, fallback occupancy, interval and
+     *  switch-cost histograms (null = metrics off; not owned, must
+     *  outlive the machine). The machine grows the registry to one
+     *  shard per simulated processor and updates shard `cpu` only from
+     *  the host thread driving that processor, so accumulation is
+     *  lock-free and the merged totals are identical for any
+     *  hostShards count. Like telemetry, a null registry costs one
+     *  pointer test per hook and attaching one never changes modelled
+     *  state. */
+    MetricsRegistry *metrics = nullptr;
 
     /** Host stack bytes per fiber. */
     size_t stackBytes = 128 * 1024;
@@ -414,6 +427,29 @@ class Machine
                                            bool fallback_before);
     /** @} */
 
+    /** @name Metrics recording.
+     * Outlined and cold like the telemetry emitters: the interval
+     * functions pay one pointer test, the registry updates live off
+     * the fall-through path. Updates target shard `cpu.id` — the
+     * single-writer-per-shard contract. @{ */
+    /** Cached registry metric handles (registered at construction). */
+    struct MetricIds
+    {
+        /** Dispatch counters, indexed by DispatchSource. */
+        uint32_t dispatch[5] = {};
+        uint32_t intervals = 0;
+        uint32_t fallbackIntervals = 0;
+        uint32_t fallbackEnters = 0;
+        uint32_t fallbackLeaves = 0;
+        uint32_t intervalCycles = 0;   ///< histogram
+        uint32_t switchCostCycles = 0; ///< histogram
+    };
+    [[gnu::cold]] void recordSwitchMetrics(const Cpu &cpu,
+                                           Cycles switch_start);
+    [[gnu::cold]] void recordIntervalMetrics(const Cpu &cpu,
+                                             bool fallback_before);
+    /** @} */
+
     /** Calling-thread sanity check. */
     Thread &requireCurrent() const;
 
@@ -557,6 +593,8 @@ class Machine
     std::vector<uint64_t> _missTotals;
     std::unique_ptr<Scheduler> _scheduler;
     std::vector<Cpu> _cpus;
+    /** Registry handles, valid only when _config.metrics is set. */
+    MetricIds _metricIds{};
     Fiber _engineFiber;
     size_t _liveThreads = 0;
     bool _running = false;

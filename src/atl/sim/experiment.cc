@@ -5,6 +5,7 @@
 
 #include "atl/fault/fault.hh"
 #include "atl/obs/event_log.hh"
+#include "atl/obs/metrics.hh"
 #include "atl/util/logging.hh"
 
 namespace atl
@@ -116,10 +117,13 @@ runWorkload(Workload &workload, const MachineConfig &config, bool trace,
 FootprintMonitor::FootprintMonitor(Machine &machine, Tracer &tracer,
                                    CpuId cpu, uint64_t sample_every)
     : _machine(machine), _tracer(tracer),
-      _telemetry(machine.config().telemetry), _cpu(cpu),
+      _telemetry(machine.config().telemetry),
+      _metrics(machine.config().metrics), _cpu(cpu),
       _sampleEvery(sample_every)
 {
     atl_assert(sample_every > 0, "sample interval must be positive");
+    if (_metrics)
+        _mareGauge = _metrics->gauge("model.residual_mare");
     _tracer.setMissCallback([this](CpuId c, ThreadId t) { onMiss(c, t); });
 }
 
@@ -214,6 +218,22 @@ FootprintMonitor::sample(ThreadId tid, Target &target, uint64_t instr)
         event.value = sample.observed;
         event.aux = sample.predicted;
         _telemetry->record(event);
+    }
+
+    // Live residual MARE: the same floor-filtered running mean a
+    // meanAbsRelError(tid) call would compute at its default floor,
+    // published after every accepted sample. Only the host worker
+    // driving _cpu reaches here (onMiss filters), so shard _cpu keeps
+    // its single writer.
+    if (_metrics && sample.observed >= 32.0) {
+        _residualSum +=
+            std::fabs(sample.predicted - sample.observed) /
+            sample.observed;
+        ++_residualUsed;
+        _metrics->set(_mareGauge,
+                      _residualSum /
+                          static_cast<double>(_residualUsed),
+                      _cpu);
     }
 }
 

@@ -24,6 +24,7 @@ namespace atl
 {
 
 class EventLog;
+class MetricsRegistry;
 
 /** Headline metrics of one workload run. */
 struct RunMetrics
@@ -191,6 +192,17 @@ class FootprintMonitor
     /** Machine's event log, cached at construction (null when telemetry
      *  is off); every sample doubles as a Residual telemetry event. */
     EventLog *_telemetry = nullptr;
+    /** Machine's metrics registry, cached at construction (null when
+     *  metrics are off); the running residual MARE is published as the
+     *  "model.residual_mare" gauge on shard _cpu after every sample —
+     *  the same floor-filtered figure meanAbsRelError(driver) reports
+     *  at its default floor, kept live instead of recomputed. */
+    MetricsRegistry *_metrics = nullptr;
+    /** "model.residual_mare" gauge handle. */
+    uint32_t _mareGauge = 0;
+    /** Running |pred-obs|/obs accumulation behind the gauge. */
+    double _residualSum = 0.0;
+    uint64_t _residualUsed = 0;
     CpuId _cpu;
     uint64_t _sampleEvery;
     /** Atomic because under the epoch engine the miss callback fires on

@@ -22,6 +22,7 @@
 #include <unistd.h>
 
 #include "atl/obs/event_log.hh"
+#include "atl/obs/metrics.hh"
 #include "atl/sim/journal.hh"
 #include "atl/sim/supervisor.hh"
 #include "atl/util/logging.hh"
@@ -102,9 +103,10 @@ workerCrashRoll(double prob, uint64_t seed, unsigned slot, unsigned gen,
 // ---------------------------------------------------------------------
 
 /** Serialises writes to the worker's event pipe between the lease loop
- *  and the heartbeat thread. Every line is < PIPE_BUF so each write is
- *  atomic kernel-side; the mutex only keeps the two writers' lines
- *  from interleaving inside this process's writeAll loop. */
+ *  and the heartbeat thread — the only two writers this pipe has, so
+ *  holding the mutex across the whole writeLine loop keeps lines from
+ *  interleaving even when a cell report (RunMetrics plus an optional
+ *  registry snapshot) grows past PIPE_BUF's atomic-write guarantee. */
 struct EventPipe
 {
     int fd = -1;
@@ -252,6 +254,9 @@ fabricWorkerMain(const WorkerSetup &setup,
             SweepOptions cell_options = options.cell;
             cell_options.journal = nullptr;
             cell_options.telemetry = nullptr;
+            // Sweep-level host metrics stay coordinator-side: the
+            // forked copy of any caller registry dies with the worker.
+            cell_options.metrics = nullptr;
             cell_options.selfKillAfter = 0;
             cell_options.seedIndexOffset = gi;
             SweepRunner runner(1);
@@ -259,13 +264,22 @@ fabricWorkerMain(const WorkerSetup &setup,
 
             if (so.ok.size() == 1 && so.ok[0]) {
                 uint64_t ts = monotonicMicros();
+                // The cell's per-job registry (if any) accumulated in
+                // this worker only; snapshot it for both the durable
+                // record and the live report so the coordinator's
+                // merged registry matches a serial sweep's.
+                Json registry;
+                if (one[0].metrics)
+                    registry = one[0].metrics->json();
                 // Durable before reported: a worker killed between the
                 // fsync and the send leaves a record the coordinator
                 // never saw — it re-leases the cell, the re-run
                 // appends a second record, and the merge's
                 // earliest-attempt dedupe resolves it. The chaos roll
                 // dies in exactly that window.
-                shard.noteDone(gi, so.results[0], ts);
+                shard.noteDone(gi, so.results[0], ts,
+                               registry.isObject() ? &registry
+                                                   : nullptr);
                 if (roll == 2)
                     ::raise(SIGKILL);
                 Json msg = Json::object();
@@ -273,6 +287,8 @@ fabricWorkerMain(const WorkerSetup &setup,
                 msg["index"] = Json(static_cast<uint64_t>(gi));
                 msg["ts"] = Json(ts);
                 msg["metrics"] = BenchReport::toJson(so.results[0]);
+                if (registry.isObject())
+                    msg["registry"] = std::move(registry);
                 evt.send(msg);
             } else if (!so.failures.empty()) {
                 const SweepJobFailure &f = so.failures.front();
@@ -415,8 +431,20 @@ mergeFabricShards(const std::string &dir, const std::string &bench_name,
     bool removed_any = false;
     for (const std::string &path : listShards(dir, bench_name)) {
         std::vector<ReplayedCell> cells;
+        std::string io_error;
         if (!SweepJournal::replay(path, bench_name, config_hash,
-                                  job_count, cells)) {
+                                  job_count, cells, &io_error)) {
+            if (!io_error.empty()) {
+                // The shard exists but the OS refused to open it: its
+                // completed cells are about to be silently lost and
+                // re-run. Fail loudly with the path and errno instead
+                // — the operator can fix permissions / the disk and
+                // resume exactly.
+                SweepJobFailure f;
+                f.message =
+                    "fabric journal shard unreadable: " + io_error;
+                throw SweepFailure({std::move(f)});
+            }
             // Superseded shard (other fingerprint, other job count, or
             // an unreadable header): it can never be replayed again —
             // reap it instead of orphaning it in the results dir.
@@ -550,6 +578,14 @@ runFabric(const std::vector<SweepJob> &sweep,
         terminal[i] = 1;
         ++terminal_count;
         ++outcome.mergedFromShards;
+        // The cell never re-executes, so its registry contribution
+        // comes from the shard's done-record snapshot.
+        if (options.metrics && entry.second.registry.isObject() &&
+            !options.metrics->mergeJson(entry.second.registry)) {
+            atl_warn("fabric: malformed metrics registry in shard ",
+                     "record for cell ", i,
+                     "; its registry contribution is lost");
+        }
         emit(EventKind::SweepResume, i, 0, 0);
     }
 
@@ -611,6 +647,73 @@ runFabric(const std::vector<SweepJob> &sweep,
     bool coord_kill_armed = options.coordinatorKillAfterCells > 0;
     /** Live workers holding cell i in their lease. */
     std::vector<unsigned> claims(n, 0);
+
+    // Live status line. TTY stderr rewrites one line in place; forced
+    // on without a TTY (ATL_FABRIC_STATUS=1 in CI) emits one
+    // grep-friendly line per update instead.
+    bool status_tty = ::isatty(STDERR_FILENO) != 0;
+    bool status_on;
+    if (options.liveStatus >= 0) {
+        status_on = options.liveStatus > 0;
+    } else if (const char *env = std::getenv("ATL_FABRIC_STATUS")) {
+        status_on = *env && std::string(env) != "0";
+    } else {
+        status_on = status_tty;
+    }
+    /** cell_start receive stamp, for coordinator-observed latency. */
+    std::vector<SteadyClock::time_point> cell_started(n);
+    MetricHistogram latency_hist;
+    SteadyClock::time_point last_status{};
+    auto render_status = [&](bool final_line) {
+        if (!status_on)
+            return;
+        auto now = SteadyClock::now();
+        if (!final_line &&
+            now - last_status < std::chrono::milliseconds(250))
+            return;
+        last_status = now;
+        unsigned live = 0;
+        for (const WorkerState &w : workers)
+            live += w.alive ? 1 : 0;
+        std::string line =
+            "atl-fabric: " + std::to_string(terminal_count) + "/" +
+            std::to_string(n) + " cells (" +
+            std::to_string(outcome.stolenRuns) + " stolen, " +
+            std::to_string(outcome.sweep.failures.size()) + " failed, " +
+            std::to_string(outcome.mergedFromShards) +
+            " merged), workers " + std::to_string(live);
+        if (latency_hist.total > 0) {
+            char buf[64];
+            std::snprintf(
+                buf, sizeof(buf), ", p50 %.1fms p95 %.1fms",
+                static_cast<double>(
+                    latency_hist.quantileUpperBound(0.50)) /
+                    1000.0,
+                static_cast<double>(
+                    latency_hist.quantileUpperBound(0.95)) /
+                    1000.0);
+            line += buf;
+            size_t remaining = n - terminal_count;
+            if (remaining > 0 && live > 0) {
+                // Median pace extrapolated across the live workers: a
+                // coarse but honest tail estimate (bucket upper
+                // bounds, coordinator-observed).
+                double eta_s =
+                    static_cast<double>(remaining) *
+                    static_cast<double>(
+                        latency_hist.quantileUpperBound(0.50)) /
+                    1e6 / static_cast<double>(live);
+                std::snprintf(buf, sizeof(buf), ", eta %.1fs", eta_s);
+                line += buf;
+            }
+        }
+        if (status_tty) {
+            std::cerr << "\r" << line << "\x1b[K"
+                      << (final_line ? "\n" : "") << std::flush;
+        } else {
+            std::cerr << line << "\n";
+        }
+    };
 
     auto spawn = [&](unsigned slot, unsigned gen) -> bool {
         WorkerState &w = workers[slot];
@@ -812,6 +915,8 @@ runFabric(const std::vector<SweepJob> &sweep,
             return;
         if (kind == "cell_start") {
             w.running = static_cast<size_t>(msgUint(msg, "index"));
+            if (w.running < n)
+                cell_started[w.running] = SteadyClock::now();
             return;
         }
         if (kind == "lease_done") {
@@ -844,6 +949,12 @@ runFabric(const std::vector<SweepJob> &sweep,
             w.running = kNoCell;
         if (terminal[gi])
             return; // duplicate of a stolen cell: first report won
+        if (cell_started[gi] != SteadyClock::time_point{}) {
+            std::chrono::duration<double, std::micro> lat =
+                SteadyClock::now() - cell_started[gi];
+            latency_hist.observe(
+                static_cast<uint64_t>(std::max(0.0, lat.count())));
+        }
         if (kind == "cell") {
             RunMetrics metrics;
             if (!msg.has("metrics") ||
@@ -851,6 +962,15 @@ runFabric(const std::vector<SweepJob> &sweep,
                 atl_warn("fabric: worker ", w.slot,
                          " sent unparsable metrics for cell ", gi);
                 return;
+            }
+            // First terminal report wins, so each cell's registry
+            // snapshot is folded in exactly once.
+            if (options.metrics && msg.has("registry") &&
+                !options.metrics->mergeJson(msg.at("registry"))) {
+                atl_warn("fabric: worker ", w.slot,
+                         " sent a malformed metrics registry for ",
+                         "cell ", gi,
+                         "; its registry contribution is lost");
             }
             terminal[gi] = 1;
             ++terminal_count;
@@ -1097,7 +1217,11 @@ runFabric(const std::vector<SweepJob> &sweep,
                     ::kill(w.pid, SIGKILL);
             }
         }
+
+        render_status(false);
     }
+
+    render_status(true);
 
     outcome.sweep.interrupted = SweepSignalGuard::interrupted();
 

@@ -10,9 +10,11 @@
  *     slice of cell indices) over a per-worker command pipe; the worker
  *     reports progress (heartbeats, cell_start / cell / cell_fail
  *     lines) over its event pipe; a lease retires cell-by-cell as the
- *     reports arrive. One JSON object per line;
- *     every worker line is shorter than PIPE_BUF, so writes are atomic
- *     and the heartbeat thread can interleave with the lease loop.
+ *     reports arrive. One JSON object per line; a per-process mutex
+ *     serialises the lease loop's and the heartbeat thread's writes,
+ *     so lines never interleave even when a cell report grows past
+ *     PIPE_BUF (it carries full RunMetrics, and a registry snapshot
+ *     when the job has one).
  *
  *   - **Liveness.** The coordinator polls every event pipe and ticks a
  *     waitpid(WNOHANG) death watch. A worker that dies (crash, chaos
@@ -76,9 +78,10 @@ struct FabricOptions
     unsigned workers = 2;
     /** Per-cell execution knobs applied *inside* each worker (isolate,
      *  attempts, timeout, backoff, retrySeedBase). The journal,
-     *  telemetry, selfKillAfter and seedIndexOffset fields are
-     *  ignored: shards replace the journal, telemetry is
-     *  coordinator-side, and the fabric sets the seed offset itself. */
+     *  telemetry, metrics, selfKillAfter and seedIndexOffset fields
+     *  are ignored: shards replace the journal, telemetry and host
+     *  metrics are coordinator-side, and the fabric sets the seed
+     *  offset itself. */
     SweepOptions cell;
     /** Report/journal identity: shards are named
      *  "<bench>.fabric.w<slot>.journal.jsonl" under resultsDir. */
@@ -124,6 +127,20 @@ struct FabricOptions
     /** Coordinator-side telemetry (owned by the caller): WorkerDeath /
      *  CellStolen events, plus SweepResume per merged shard cell. */
     EventLog *telemetry = nullptr;
+    /** Merged metrics registry (owned by the caller). Workers stream
+     *  each completed cell's per-job registry snapshot over the event
+     *  pipe ("registry" key of the cell message, also journalled in
+     *  the shard's done-record); the coordinator folds every snapshot
+     *  in with mergeJson — arrival order is irrelevant because the
+     *  merge is commutative and associative, so for simulation-derived
+     *  metrics the result is bit-identical to folding the per-job
+     *  registries of a serial sweep together in index order. */
+    MetricsRegistry *metrics = nullptr;
+    /** Live status line on stderr (cells done/stolen/failed, p50/p95
+     *  cell latency, ETA): 1 on (newline per update, grep-friendly),
+     *  0 off, -1 auto — on when ATL_FABRIC_STATUS=1, or when stderr is
+     *  a TTY (carriage-return updates in place). */
+    int liveStatus = -1;
 };
 
 /** One dead worker process, as the coordinator accounted it. */
@@ -176,6 +193,13 @@ FabricOutcome runFabric(const std::vector<SweepJob> &sweep,
  * match (bench, config_hash, job_count) are unlinked (superseded-
  * journal GC), matching SweepJournal::beginSweep's discard semantics.
  * Torn shard tails are tolerated per SweepJournal::replay.
+ *
+ * A shard that exists but cannot be *opened* (EACCES, EIO, ...) is a
+ * different story from a stale one: completed cells are about to be
+ * silently lost and re-run. That raises a SweepFailure carrying one
+ * SweepJobFailure whose message holds the shard path and the OS error,
+ * so the operator sees *which* file and *why* instead of a quietly
+ * slower resume.
  * @return cell index -> winning replayed cell
  */
 std::map<size_t, ReplayedCell>
@@ -187,7 +211,7 @@ std::string fabricShardPath(const std::string &dir,
                             const std::string &bench_name, unsigned slot);
 
 /** Fold a fabric outcome into a report: noteOutcome(sweep) plus the
- *  schema-6 fabric keys — "workers", "stolen_runs" and
+ *  schema-7 fabric keys — "workers", "stolen_runs" and
  *  "worker_failures" [{slot, pid, exit_signal, exit_code, cells_lost}]. */
 void noteFabricReport(BenchReport &report, const FabricOutcome &outcome);
 

@@ -98,9 +98,26 @@ SweepJournal::configHash(const std::string &bench_name,
 bool
 SweepJournal::replay(const std::string &path,
                      const std::string &bench_name, uint64_t config_hash,
-                     size_t job_count, std::vector<ReplayedCell> &out)
+                     size_t job_count, std::vector<ReplayedCell> &out,
+                     std::string *io_error)
 {
     out.clear();
+    if (io_error)
+        io_error->clear();
+
+    // Probe with open(2) first: ifstream's failure state hides *why*
+    // the open failed, and callers that just listed the file in a
+    // directory scan (the fabric's shard merge) must distinguish an
+    // unreadable shard — completed cells are about to be lost — from
+    // the ordinary no-journal case. ENOENT stays quiet: it is the
+    // normal first-run state.
+    int probe = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (probe < 0) {
+        if (io_error && errno != ENOENT)
+            *io_error = path + ": " + std::strerror(errno);
+        return false;
+    }
+    ::close(probe);
 
     // Accept the file only when its header matches the sweep's shape.
     // A malformed line (torn tail of a crashed writer) ends the
@@ -142,6 +159,9 @@ SweepJournal::replay(const std::string &path,
                     static_cast<size_t>(record.at("index").asUint());
                 if (record.has("ts") && record.at("ts").isNumber())
                     cell.ts = record.at("ts").asUint();
+                if (record.has("registry") &&
+                    record.at("registry").isObject())
+                    cell.registry = record.at("registry");
                 if (cell.index < job_count)
                     out.push_back(std::move(cell));
             }
@@ -222,8 +242,10 @@ SweepJournal::beginSweep(uint64_t config_hash, size_t job_count)
         replay(_path, _bench, config_hash, job_count, cells);
     // Later records for the same index win, matching historic replay
     // order (within one file they carry identical metrics anyway).
-    for (ReplayedCell &cell : cells)
-        _completed[cell.index] = std::move(cell.metrics);
+    for (ReplayedCell &cell : cells) {
+        size_t index = cell.index;
+        _completed[index] = std::move(cell);
+    }
 
     std::error_code ec;
     std::filesystem::path dir =
@@ -265,13 +287,16 @@ SweepJournal::beginSweep(uint64_t config_hash, size_t job_count)
 }
 
 bool
-SweepJournal::completedMetrics(size_t index, RunMetrics &out) const
+SweepJournal::completedMetrics(size_t index, RunMetrics &out,
+                               Json *registry) const
 {
     std::lock_guard<std::mutex> lock(_mutex);
     auto it = _completed.find(index);
     if (it == _completed.end())
         return false;
-    out = it->second;
+    out = it->second.metrics;
+    if (registry)
+        *registry = it->second.registry;
     return true;
 }
 
@@ -320,7 +345,7 @@ SweepJournal::noteStart(size_t index, const std::string &name)
 
 void
 SweepJournal::noteDone(size_t index, const RunMetrics &metrics,
-                       uint64_t attempt_ts)
+                       uint64_t attempt_ts, const Json *registry)
 {
     Json record = Json::object();
     record["kind"] = Json("done");
@@ -328,6 +353,8 @@ SweepJournal::noteDone(size_t index, const RunMetrics &metrics,
     if (attempt_ts)
         record["ts"] = Json(attempt_ts);
     record["metrics"] = BenchReport::toJson(metrics);
+    if (registry && registry->isObject())
+        record["registry"] = *registry;
     appendRecord(record);
 }
 

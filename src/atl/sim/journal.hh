@@ -63,6 +63,10 @@ struct ReplayedCell
      *  record's "ts" key; 0 when the record carried none. */
     uint64_t ts = 0;
     RunMetrics metrics;
+    /** MetricsRegistry::json() snapshot from the record's "registry"
+     *  key (null when the record carried none), so resume restores a
+     *  replayed cell's metrics registry, not only its RunMetrics. */
+    Json registry;
 };
 
 /** Append-only JSONL journal for one sweep (thread-safe: pool workers
@@ -94,8 +98,12 @@ class SweepJournal
     size_t beginSweep(uint64_t config_hash, size_t job_count);
 
     /** Replay the metrics of a completed cell.
+     *  @param registry when non-null, receives the cell's recorded
+     *         MetricsRegistry::json() snapshot (null Json when the
+     *         done-record carried none)
      *  @retval false when the journal has no done-record for index */
-    bool completedMetrics(size_t index, RunMetrics &out) const;
+    bool completedMetrics(size_t index, RunMetrics &out,
+                          Json *registry = nullptr) const;
 
     /** Completed cells loaded from disk (replayable on resume). */
     size_t completedCount() const;
@@ -106,9 +114,13 @@ class SweepJournal
     /** Record a completed job with its metrics (fsync'd).
      *  @param attempt_ts optional CLOCK_MONOTONIC microsecond stamp of
      *         the completing attempt ("ts" key; omitted when 0), used
-     *         by merged-shard replay to dedupe by earliest attempt */
+     *         by merged-shard replay to dedupe by earliest attempt
+     *  @param registry optional MetricsRegistry::json() snapshot of
+     *         the cell's metrics registry ("registry" key), restored
+     *         on resume via completedMetrics/ReplayedCell */
     void noteDone(size_t index, const RunMetrics &metrics,
-                  uint64_t attempt_ts = 0);
+                  uint64_t attempt_ts = 0,
+                  const Json *registry = nullptr);
 
     /** Record a failed job after its last attempt (fsync'd). Failed
      *  cells are *not* replayed on resume — they run again. */
@@ -135,6 +147,13 @@ class SweepJournal
      * callers dedupe across *files*, not within one) in file order.
      * Torn tails are tolerated exactly as beginSweep tolerates them: a
      * malformed line ends the replay, everything before it counts.
+     * @param io_error when non-null, receives "<path>: <strerror>" if
+     *        the file exists in name only for the OS — open(2) failed
+     *        (EACCES, EIO, a race with unlink...) — and is left empty
+     *        for the two legitimate skip cases (no file was ever
+     *        written, or a stale header from another sweep shape).
+     *        Callers use it to tell "unreadable shard: fail loudly"
+     *        from "stale shard: discard quietly".
      * @retval false when the file is missing or its begin header does
      *         not match (bench_name, config_hash, job_count); out is
      *         then empty
@@ -142,7 +161,8 @@ class SweepJournal
     static bool replay(const std::string &path,
                        const std::string &bench_name,
                        uint64_t config_hash, size_t job_count,
-                       std::vector<ReplayedCell> &out);
+                       std::vector<ReplayedCell> &out,
+                       std::string *io_error = nullptr);
 
     /**
      * Garbage-collect superseded journal files for one bench key:
@@ -172,7 +192,7 @@ class SweepJournal
     int _fd = -1;
     mutable std::mutex _mutex;
     /** Cells replayable from the loaded journal, by job index. */
-    std::unordered_map<size_t, RunMetrics> _completed;
+    std::unordered_map<size_t, ReplayedCell> _completed;
 };
 
 } // namespace atl

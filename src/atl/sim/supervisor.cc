@@ -13,6 +13,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "atl/obs/metrics.hh"
 #include "atl/sim/sweep.hh"
 #include "atl/util/json.hh"
 
@@ -77,13 +78,24 @@ writeAll(int fd, const std::string &data)
  *  runSupervised() — and sweep-job bodies are self-contained machine
  *  builds by contract. */
 [[noreturn]] void
-childMain(int fd, const std::function<RunMetrics()> &body)
+childMain(int fd, const std::function<RunMetrics()> &body,
+          MetricsRegistry *registry)
 {
     int code = 0;
     std::string payload;
     try {
         RunMetrics metrics = body();
-        payload = BenchReport::toJson(metrics).dumpCompact();
+        if (registry) {
+            // Wrapped wire format: the registry updates the body made
+            // in this child would die with it; snapshot them alongside
+            // the metrics so the parent can merge them back.
+            Json doc = Json::object();
+            doc["metrics"] = BenchReport::toJson(metrics);
+            doc["registry"] = registry->json();
+            payload = doc.dumpCompact();
+        } else {
+            payload = BenchReport::toJson(metrics).dumpCompact();
+        }
     } catch (const std::exception &e) {
         payload = e.what();
         code = kSupervisedExceptionExit;
@@ -122,7 +134,8 @@ forkSerializeMutex()
 }
 
 SupervisedResult
-runSupervised(const std::function<RunMetrics()> &body, double timeout_s)
+runSupervised(const std::function<RunMetrics()> &body, double timeout_s,
+              MetricsRegistry *registry)
 {
     SupervisedResult result;
 
@@ -152,7 +165,7 @@ runSupervised(const std::function<RunMetrics()> &body, double timeout_s)
         }
         if (pid == 0) {
             ::close(fds[0]);
-            childMain(fds[1], body);
+            childMain(fds[1], body, registry);
         }
         ::close(fds[1]);
     }
@@ -268,12 +281,31 @@ runSupervised(const std::function<RunMetrics()> &body, double timeout_s)
 
     Json parsed;
     std::string error;
-    if (!Json::parse(output, parsed, &error) ||
-        !BenchReport::fromJson(parsed, result.metrics)) {
+    bool shape_ok = Json::parse(output, parsed, &error);
+    if (shape_ok) {
+        // Wrapped format when a registry rides along (see childMain);
+        // bare BenchReport::toJson otherwise.
+        const Json *metrics_doc = &parsed;
+        if (registry) {
+            shape_ok = parsed.isObject() && parsed.has("metrics") &&
+                       parsed.has("registry");
+            if (shape_ok)
+                metrics_doc = &parsed.at("metrics");
+        }
+        shape_ok = shape_ok &&
+                   BenchReport::fromJson(*metrics_doc, result.metrics);
+    }
+    if (!shape_ok) {
         result.crashed = true;
         result.message = "child exited 0 but its metrics did not parse" +
                          (error.empty() ? std::string()
                                         : ": " + error);
+        return result;
+    }
+    if (registry && !registry->mergeJson(parsed.at("registry"))) {
+        result.crashed = true;
+        result.message =
+            "child exited 0 but its metrics registry did not parse";
         return result;
     }
     result.ok = true;

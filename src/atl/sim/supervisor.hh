@@ -27,6 +27,8 @@
 namespace atl
 {
 
+class MetricsRegistry;
+
 /** Everything the parent learned about one supervised attempt. */
 struct SupervisedResult
 {
@@ -72,9 +74,18 @@ struct SupervisedResult
  * running a C++ body there assumes glibc (whose fork handlers
  * reinitialise malloc), and the body must not block on a process-wide
  * lock another thread could hold at fork time — see docs/INTERNALS.md.
+ *
+ * When `registry` is set, the body's metrics-registry updates — which
+ * would otherwise die with the child — are marshalled too: the child
+ * wraps its payload as {"metrics": ..., "registry": registry->json()}
+ * and the parent folds the snapshot back into the same registry with
+ * mergeJson() on success. A failed attempt's updates are discarded
+ * with the child, which is exactly the retry semantics the in-process
+ * path cannot offer.
  */
 SupervisedResult runSupervised(const std::function<RunMetrics()> &body,
-                               double timeout_s);
+                               double timeout_s,
+                               MetricsRegistry *registry = nullptr);
 
 /** Exit code the child uses to report a caught exception (its what()
  *  text travels over the pipe). Distinct from any small code a silent

@@ -17,12 +17,14 @@
 
 #include <csignal>
 #include <cstdio>
+#include <ctime>
 
 #include <fcntl.h>
 #include <unistd.h>
 
 #include "atl/fault/fault.hh"
 #include "atl/obs/export.hh"
+#include "atl/obs/metrics.hh"
 #include "atl/sim/journal.hh"
 #include "atl/sim/supervisor.hh"
 #include "atl/util/logging.hh"
@@ -50,6 +52,18 @@ summariseFailures(const std::vector<SweepJobFailure> &failures)
         ++shown;
     }
     return msg;
+}
+
+/** Thread CPU time in microseconds (CLOCK_THREAD_CPUTIME_ID); 0 when
+ *  the clock is unavailable. */
+uint64_t
+threadCpuMicros()
+{
+    timespec ts;
+    if (::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0)
+        return 0;
+    return static_cast<uint64_t>(ts.tv_sec) * 1000000ull +
+           static_cast<uint64_t>(ts.tv_nsec) / 1000ull;
 }
 
 /** One attempt's result; metrics valid only when ok. */
@@ -89,14 +103,15 @@ callAttempt(const std::function<RunMetrics()> &call)
  */
 AttemptResult
 runAttempt(const std::function<RunMetrics()> &call, double timeout_s,
-           bool isolate)
+           bool isolate, MetricsRegistry *registry)
 {
     if (isolate) {
         // Crash-isolated attempt: fork, marshal, reap. Every abnormal
         // child death (signal, silent _exit, OOM-kill) and every
         // timeout comes back as an attributable failure; the wedged
-        // child is SIGKILLed, not abandoned.
-        SupervisedResult s = runSupervised(call, timeout_s);
+        // child is SIGKILLed, not abandoned. The job's metrics
+        // registry rides the same pipe (see runSupervised).
+        SupervisedResult s = runSupervised(call, timeout_s, registry);
         AttemptResult result;
         result.ok = s.ok;
         result.metrics = std::move(s.metrics);
@@ -296,6 +311,38 @@ SweepRunner::runCollect(const std::vector<SweepJob> &sweep,
             sweep.size());
     }
 
+    // Sweep-level host metrics: cell timing, retries, backoff, cell
+    // outcomes. Like the telemetry below they are recorded from every
+    // pool worker, so updates share shard 0 under a lock — these are
+    // per-cell events, not a hot path.
+    struct HostMetricIds
+    {
+        MetricsRegistry::Id cellWallUs = 0;
+        MetricsRegistry::Id cellCpuUs = 0;
+        MetricsRegistry::Id retries = 0;
+        MetricsRegistry::Id backoffMs = 0;
+        MetricsRegistry::Id cellsCompleted = 0;
+        MetricsRegistry::Id cellsFailed = 0;
+        MetricsRegistry::Id cellsResumed = 0;
+    } host_ids;
+    std::mutex metrics_mutex;
+    if (options.metrics) {
+        MetricsRegistry &reg = *options.metrics;
+        host_ids.cellWallUs = reg.histogram("sweep.cell_wall_us");
+        host_ids.cellCpuUs = reg.histogram("sweep.cell_cpu_us");
+        host_ids.retries = reg.counter("sweep.retries");
+        host_ids.backoffMs = reg.counter("sweep.backoff_ms");
+        host_ids.cellsCompleted = reg.counter("sweep.cells.completed");
+        host_ids.cellsFailed = reg.counter("sweep.cells.failed");
+        host_ids.cellsResumed = reg.counter("sweep.cells.resumed");
+    }
+    auto count = [&](MetricsRegistry::Id id, uint64_t delta) {
+        if (!options.metrics)
+            return;
+        std::lock_guard<std::mutex> lock(metrics_mutex);
+        options.metrics->add(id, delta);
+    };
+
     // Sweep-level recovery telemetry: the pool records from every
     // worker, so unlike per-job logs this one needs a lock. Crashes,
     // retries and resumes are rare, so contention is irrelevant.
@@ -318,10 +365,21 @@ SweepRunner::runCollect(const std::vector<SweepJob> &sweep,
 
         if (options.journal) {
             RunMetrics replayed;
-            if (options.journal->completedMetrics(i, replayed)) {
+            Json replayed_registry;
+            if (options.journal->completedMetrics(i, replayed,
+                                                  &replayed_registry)) {
                 outcome.results[i] = std::move(replayed);
                 outcome.ok[i] = 1;
                 outcome.resumed[i] = 1;
+                // The cell never executes, so its registry updates
+                // come from the done-record snapshot instead.
+                if (job.metrics && replayed_registry.isObject() &&
+                    !job.metrics->mergeJson(replayed_registry)) {
+                    atl_warn("sweep job '", job.name, "': malformed ",
+                             "metrics registry in journal; replayed ",
+                             "cell loses its registry contribution");
+                }
+                count(host_ids.cellsResumed, 1);
                 emit(EventKind::SweepResume, i, 0, 0);
                 return;
             }
@@ -331,6 +389,23 @@ SweepRunner::runCollect(const std::vector<SweepJob> &sweep,
 
         if (options.journal)
             options.journal->noteStart(i, job.name);
+
+        // Cell timing covers every attempt plus backoff sleeps: the
+        // cost of getting the cell done, not of its best attempt.
+        auto cell_wall_start = std::chrono::steady_clock::now();
+        uint64_t cell_cpu_start = threadCpuMicros();
+        auto record_cell_time = [&] {
+            if (!options.metrics)
+                return;
+            std::chrono::duration<double, std::micro> wall =
+                std::chrono::steady_clock::now() - cell_wall_start;
+            uint64_t cpu_us = threadCpuMicros() - cell_cpu_start;
+            std::lock_guard<std::mutex> lock(metrics_mutex);
+            options.metrics->observe(
+                host_ids.cellWallUs,
+                static_cast<uint64_t>(std::max(0.0, wall.count())));
+            options.metrics->observe(host_ids.cellCpuUs, cpu_us);
+        };
 
         SweepJobFailure failure;
         failure.index = i;
@@ -359,6 +434,8 @@ SweepRunner::runCollect(const std::vector<SweepJob> &sweep,
                     wait_ms = static_cast<uint64_t>(ms * jitter);
                     failure.attemptsBackoffMs += wait_ms;
                 }
+                count(host_ids.retries, 1);
+                count(host_ids.backoffMs, wait_ms);
                 emit(EventKind::SweepRetry, i, attempt, wait_ms);
                 if (wait_ms > 0) {
                     std::this_thread::sleep_for(
@@ -381,13 +458,23 @@ SweepRunner::runCollect(const std::vector<SweepJob> &sweep,
             }
             AttemptResult result =
                 runAttempt(call, options.timeoutSeconds,
-                           options.isolate);
+                           options.isolate, job.metrics);
             failure.attempts = attempt + 1;
             if (result.ok) {
                 outcome.results[i] = std::move(result.metrics);
                 outcome.ok[i] = 1;
-                if (options.journal)
-                    options.journal->noteDone(i, outcome.results[i]);
+                record_cell_time();
+                count(host_ids.cellsCompleted, 1);
+                if (options.journal) {
+                    if (job.metrics) {
+                        Json snapshot = job.metrics->json();
+                        options.journal->noteDone(i, outcome.results[i],
+                                                  0, &snapshot);
+                    } else {
+                        options.journal->noteDone(i,
+                                                  outcome.results[i]);
+                    }
+                }
                 if (options.selfKillAfter &&
                     jobs_completed.fetch_add(1) + 1 >=
                         options.selfKillAfter) {
@@ -413,6 +500,8 @@ SweepRunner::runCollect(const std::vector<SweepJob> &sweep,
             if (SweepSignalGuard::interrupted())
                 break;
         }
+        record_cell_time();
+        count(host_ids.cellsFailed, 1);
         if (options.journal)
             options.journal->noteFailed(failure);
         std::lock_guard<std::mutex> lock(failures_mutex);
@@ -457,15 +546,18 @@ BenchReport::BenchReport(std::string bench_name)
     : _name(std::move(bench_name)), _doc(Json::object())
 {
     _doc["bench"] = Json(_name);
-    // Schema 6 adds the optional fabric fields written by
+    // Schema 7 adds the optional top-level "metrics" object written by
+    // noteMetrics: a merged MetricsRegistry snapshot ({"counters",
+    // "gauges", "histograms"}, see obs/metrics.hh).
+    // (Schema 6 added the optional fabric fields written by
     // noteFabricReport: top-level workers / stolen_runs and the
-    // worker_failures array (slot, pid, exit signal/code, cells lost).
-    // (Schema 5 added crash-isolation fields: per-failure exit_signal /
+    // worker_failures array (slot, pid, exit signal/code, cells lost);
+    // schema 5 crash-isolation fields: per-failure exit_signal /
     // exit_code / crashed / attempts_backoff_ms, and the top-level
     // resumed_runs count of cells replayed from a sweep journal;
     // schema 4 the optional top-level "telemetry" object, see
     // traceSummaryJson.)
-    _doc["schema"] = Json(6);
+    _doc["schema"] = Json(7);
     _doc["runs"] = Json::array();
     // Partial-result status (schema 3): noteFailure clears the flag,
     // so a report that lost cells says so instead of passing silently.
@@ -522,6 +614,12 @@ BenchReport::noteOutcome(const SweepOutcome &outcome)
         _doc["complete"] = Json(false);
         _doc["interrupted"] = Json(true);
     }
+}
+
+void
+BenchReport::noteMetrics(const MetricsRegistry &metrics)
+{
+    _doc["metrics"] = metrics.json();
 }
 
 Json

@@ -32,6 +32,7 @@ namespace atl
 
 class EventLog;
 class FaultInjector;
+class MetricsRegistry;
 class SweepJournal;
 
 /** One independent simulation of a sweep. */
@@ -52,6 +53,17 @@ struct SweepJob
      *  must not share a log. When set, runCollect() prints the
      *  atl-trace-summary block for the job after the sweep. */
     EventLog *trace = nullptr;
+    /** Metrics registry this job's body accumulates into (owned by the
+     *  caller, wired into the job's MachineConfig by the body itself).
+     *  Jobs must not share a registry — two concurrent cells would
+     *  contend for the same shards. When set: under SweepOptions::
+     *  isolate the forked child marshals the registry snapshot back
+     *  and the engine merges it here (a crashed attempt's updates are
+     *  discarded with the child); journalled sweeps persist the
+     *  snapshot in the cell's done-record and restore it on resume.
+     *  After the sweep, callers fold per-job registries together in
+     *  job order (the merge is order-independent anyway). */
+    MetricsRegistry *metrics = nullptr;
 };
 
 /** Failure-handling knobs for a sweep. Defaults reproduce the classic
@@ -113,6 +125,17 @@ struct SweepOptions
      *  per-job log): crash, retry and journal-resume transitions are
      *  recorded as SweepCrash/SweepRetry/SweepResume events. */
     EventLog *telemetry = nullptr;
+    /** Sweep-level *host* metrics (owned by the caller, distinct from
+     *  any per-job registry): per-cell wall/CPU time histograms
+     *  (sweep.cell_wall_us / sweep.cell_cpu_us), retry and backoff
+     *  counters (sweep.retries / sweep.backoff_ms), and cell outcome
+     *  counters (sweep.cells.{completed,failed,resumed}). These
+     *  measure the *host*, so they are never bit-reproducible — keep
+     *  them out of registries used for determinism comparisons. CPU
+     *  time is the pool worker thread's (CLOCK_THREAD_CPUTIME_ID); an
+     *  isolated child's cycles are spent in another process and show
+     *  up only in the wall figure. */
+    MetricsRegistry *metrics = nullptr;
     /** Fault-injection self-test knob: after this many completed jobs
      *  the sweep process raises SIGKILL against itself, simulating a
      *  hard mid-sweep crash (journal-resume smoke in check.sh --crash).
@@ -314,6 +337,12 @@ class BenchReport
     /** Append a whole sweep outcome: successful runs via addRun (in
      *  job order), failures via noteFailure. */
     void noteOutcome(const SweepOutcome &outcome);
+
+    /** Embed a merged metrics registry as the top-level "metrics"
+     *  object (schema 7). Benches that compare reports across serial
+     *  and fabric execution must embed only simulation-derived
+     *  registries here — host-timing metrics differ run to run. */
+    void noteMetrics(const MetricsRegistry &metrics);
 
     /** Serialise RunMetrics to a JSON object. */
     static Json toJson(const RunMetrics &metrics);

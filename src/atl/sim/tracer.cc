@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "atl/obs/metrics.hh"
 #include "atl/util/logging.hh"
 
 namespace atl
@@ -169,6 +170,7 @@ Tracer::counter(ThreadId tid, CpuId cpu)
 void
 Tracer::onL2Fill(CpuId cpu, PAddr line_addr)
 {
+    ScopedPhase trace_phase(HostPhase::Trace);
     uint64_t vline;
     if (!vlineOf(line_addr, vline))
         return;
@@ -186,6 +188,7 @@ Tracer::onL2Fill(CpuId cpu, PAddr line_addr)
 void
 Tracer::onL2Evict(CpuId cpu, PAddr line_addr)
 {
+    ScopedPhase trace_phase(HostPhase::Trace);
     uint64_t vline;
     if (!vlineOf(line_addr, vline))
         return;
@@ -206,6 +209,7 @@ Tracer::onL2Evict(CpuId cpu, PAddr line_addr)
 void
 Tracer::onL2Replace(CpuId cpu, PAddr fill_addr, PAddr victim_addr)
 {
+    ScopedPhase trace_phase(HostPhase::Trace);
     // The steady-state miss event: one virtual call covers the evict
     // and the fill, sharing the processor's counter shard across both
     // halves. Bookkeeping order matches the split events (victim debit

@@ -16,6 +16,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "atl/fault/fault.hh"
 #include "atl/obs/event_log.hh"
 #include "atl/obs/export.hh"
+#include "atl/obs/metrics.hh"
 #include "atl/sim/fabric.hh"
 #include "atl/sim/journal.hh"
 #include "atl/sim/sweep.hh"
@@ -298,6 +300,71 @@ TEST(FabricTest, ResumesJournalledCellsWithoutExecutingThem)
         EXPECT_EQ(out.sweep.results[i].makespan, (i + 1) * 10);
     }
     EXPECT_EQ(summarizeTrace(telemetry).sweepResumes, jobs.size());
+}
+
+TEST(FabricTest, MergedMetricsRegistryMatchesTheSerialFold)
+{
+    // Per-job metrics registries: the coordinator's fold of the worker
+    // snapshots must be byte-identical to folding the per-job
+    // registries of a serial sweep in index order — including under
+    // chaos, where cells re-run and stolen cells report twice (first
+    // terminal report wins).
+    auto buildJobs =
+        [](std::vector<std::unique_ptr<MetricsRegistry>> &registries) {
+            std::vector<SweepJob> jobs;
+            for (PolicyKind policy :
+                 {PolicyKind::FCFS, PolicyKind::LFF, PolicyKind::CRT}) {
+                registries.push_back(
+                    std::make_unique<MetricsRegistry>());
+                MetricsRegistry *reg = registries.back().get();
+                SweepJob job;
+                job.name = std::string("tasks/") + policyName(policy);
+                job.body = [policy, reg] {
+                    TasksWorkload w(TasksWorkload::Params{64, 50, 10});
+                    MachineConfig cfg;
+                    cfg.numCpus = 2;
+                    cfg.policy = policy;
+                    cfg.metrics = reg;
+                    return runWorkload(w, cfg, false);
+                };
+                job.metrics = reg;
+                jobs.push_back(std::move(job));
+            }
+            return jobs;
+        };
+
+    std::vector<std::unique_ptr<MetricsRegistry>> serial_registries;
+    std::vector<SweepJob> serial_jobs = buildJobs(serial_registries);
+    SweepOutcome serial =
+        SweepRunner(1).runCollect(serial_jobs, SweepOptions{});
+    ASSERT_TRUE(serial.complete());
+    MetricsRegistry serial_merged;
+    for (const auto &reg : serial_registries)
+        serial_merged.merge(*reg);
+    std::string reference = serial_merged.json().dumpCompact();
+
+    for (bool chaos : {false, true}) {
+        std::string dir = makeTempDir("atl_fabric_metrics");
+        ASSERT_FALSE(dir.empty());
+        std::vector<std::unique_ptr<MetricsRegistry>> registries;
+        std::vector<SweepJob> jobs = buildJobs(registries);
+        MetricsRegistry merged;
+        FabricOptions options = baseOptions(dir);
+        options.workers = 2;
+        options.metrics = &merged;
+        if (chaos) {
+            options.faults = FaultPlan::workerChaos();
+            options.faultSeed = 0xfab2u;
+            options.killWorkerAfterCells = 1;
+        }
+        FabricOutcome out = runFabric(jobs, options);
+        expectMatchesReference(chaos ? "metrics-chaos" : "metrics",
+                               out, jobs, serial.results);
+        EXPECT_EQ(merged.json().dumpCompact(), reference)
+            << (chaos ? "chaos" : "clean")
+            << " fabric registry diverged from the serial fold";
+        EXPECT_GT(merged.counterTotal("machine.intervals"), 0u);
+    }
 }
 
 TEST(FabricTest, PoisonCellIsFencedAfterTheDeathLimit)
