@@ -4,7 +4,7 @@
 # non-zero on the first failed shape check.
 #
 # Usage: check.sh [--jobs N] [--perf] [--asan] [--parallel] [--trace]
-#                  [--crash] [--fabric] [--hot] [--metrics]
+#                  [--crash] [--fabric] [--hot] [--metrics] [--checkpoint]
 #   --jobs N   worker threads per bench sweep (exported as
 #              ATL_SWEEP_JOBS; default: all cores)
 #   --perf     also run scripts/perf_gate.sh (hot-path throughput
@@ -38,19 +38,30 @@
 #              report; then SIGKILL the sweep halfway through, resume
 #              it from the durable journal, and diff the resumed report
 #              against the clean one (modulo host timing); then exit
+#   --checkpoint
+#              build, then exercise mid-cell checkpoint/restore end to
+#              end: a clean run of the crash matrix must show the
+#              checkpointed column resuming (schema-8
+#              checkpoint_resumes / checkpoint_cycles_saved > 0 plus
+#              sweep_checkpoints / sweep_ckpt_resumes telemetry
+#              counts); then SIGKILL the sweep after 5 cells with
+#              ATL_CKPT_CYCLES armed, resume from the journal, and the
+#              resumed report must match the clean one cell for cell
+#              (modulo host timing) with identical checkpoint
+#              accounting; then exit
 #   --fabric   build, then exercise the distributed sweep fabric end to
 #              end: a clean multi-worker run, a chaos run (seeded worker
 #              self-kills plus a deterministic SIGKILL at cell 5), and a
 #              coordinator-crash + resume pair (SIGKILL the whole fabric
 #              after 5 cells, rerun, recover the rest from the fsync'd
 #              worker shards). Every report's runs must match the clean
-#              one modulo host timing, carry the schema-7 fabric keys,
+#              one modulo host timing, carry the schema-8 fabric keys,
 #              and the resumed run must leave no shards behind; then
 #              exit
 #   --metrics  build, then exercise the metrics layer end to end: a
 #              fabric run under ATL_FABRIC_WORKERS with
 #              ATL_FABRIC_STATUS=1 must stream "atl-fabric:" status
-#              lines and embed a merged schema-7 "metrics" object
+#              lines and embed a merged schema-8 "metrics" object
 #              (counters / gauges / histograms) in its report; then the
 #              observability overhead gate — BM_HotPathRefThroughput
 #              with a metrics registry and the phase profiler on must
@@ -68,6 +79,7 @@ RUN_CRASH=0
 RUN_FABRIC=0
 RUN_HOT=0
 RUN_METRICS=0
+RUN_CKPT=0
 
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -110,6 +122,10 @@ while [ $# -gt 0 ]; do
         ;;
       --metrics)
         RUN_METRICS=1
+        shift
+        ;;
+      --checkpoint)
+        RUN_CKPT=1
         shift
         ;;
       *)
@@ -270,8 +286,8 @@ for tag in ("fcfs", "lff", "crt"):
         print(f"{path}: OK ({len(events)} events)")
 
 report = json.load(open("results/bench_fig5_footprints.json"))
-if report.get("schema") != 7:
-    print(f"fig5 report: schema is {report.get('schema')!r}, expected 7",
+if report.get("schema") != 8:
+    print(f"fig5 report: schema is {report.get('schema')!r}, expected 8",
           file=sys.stderr)
     failed = 1
 telemetry = report.get("telemetry")
@@ -367,6 +383,136 @@ PYEOF
     exit 0
 fi
 
+if [ "$RUN_CKPT" -eq 1 ]; then
+    cmake -B build -G Ninja
+    cmake --build build
+
+    report=results/bench_crash_matrix.json
+    journal=results/bench_crash_matrix.journal.jsonl
+    ckpt_journal=results/bench_crash_matrix_ckpt.journal.jsonl
+
+    echo "==== checkpoint: clean run (mid-run chaos, calibrated cadence)"
+    rm -f "$journal" "$ckpt_journal"
+    build/bench/bench_crash_matrix
+    cp "$report" results/bench_crash_matrix.clean.json
+
+    python3 - "$report" <<'PYEOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+failed = 0
+if doc.get("schema") != 8:
+    print(f"checkpoint: schema is {doc.get('schema')!r}, expected 8",
+          file=sys.stderr)
+    failed = 1
+for key in ("checkpoint_resumes", "checkpoint_cycles_saved"):
+    if not isinstance(doc.get(key), int):
+        print(f"checkpoint: report has no integer '{key}'",
+              file=sys.stderr)
+        failed = 1
+# The checkpointed column's bar: mid-run deaths resumed from a COW
+# holder instead of re-running, so simulated cycles were saved.
+if doc.get("checkpoint_resumes", 0) < 1:
+    print("checkpoint: report shows no mid-cell resumes",
+          file=sys.stderr)
+    failed = 1
+if doc.get("checkpoint_cycles_saved", 0) < 1:
+    print("checkpoint: resumes saved no simulated cycles",
+          file=sys.stderr)
+    failed = 1
+counts = doc.get("telemetry", {}).get("counts", {})
+for key in ("sweep_checkpoints", "sweep_ckpt_resumes"):
+    if counts.get(key, 0) < 1:
+        print(f"checkpoint: telemetry count '{key}' is "
+              f"{counts.get(key)!r}, expected >= 1", file=sys.stderr)
+        failed = 1
+for failure in doc.get("failed_runs", []):
+    for key in ("stalled", "checkpoint_resumes", "resumed_from_cycle"):
+        if key not in failure:
+            print(f"checkpoint: failed_runs entry is missing '{key}'",
+                  file=sys.stderr)
+            failed = 1
+if failed:
+    sys.exit(1)
+print(f"clean run OK: {doc['checkpoint_resumes']} mid-cell resume(s), "
+      f"{doc['checkpoint_cycles_saved']} simulated cycle(s) saved")
+PYEOF
+
+    echo "==== checkpoint: SIGKILL the sweep after 5 cells, then resume"
+    rm -f "$journal" "$ckpt_journal"
+    rc=0
+    ATL_SWEEP_KILL_AFTER=5 ATL_CKPT_CYCLES=20000 \
+        build/bench/bench_crash_matrix || rc=$?
+    if [ "$rc" -eq 0 ]; then
+        echo "kill run: expected the sweep to die, but it exited 0" >&2
+        exit 1
+    fi
+    echo "kill run: exited $rc as expected"
+    if [ ! -s "$journal" ]; then
+        echo "kill run: no journal survived at $journal" >&2
+        exit 1
+    fi
+    ATL_CKPT_CYCLES=20000 build/bench/bench_crash_matrix
+
+    python3 - "$report" results/bench_crash_matrix.clean.json <<'PYEOF'
+import json, sys
+
+resumed = json.load(open(sys.argv[1]))
+clean = json.load(open(sys.argv[2]))
+
+if resumed.get("resumed_runs", 0) < 1:
+    print("resume run: report shows no resumed cells", file=sys.stderr)
+    sys.exit(1)
+for tag, doc in (("clean", clean), ("resumed", resumed)):
+    if doc.get("complete") is not True:
+        print(f"{tag} run: sweep incomplete: {doc.get('failed_runs')}",
+              file=sys.stderr)
+        sys.exit(1)
+
+# Mid-cell resume accounting is simulation-deterministic (seeded
+# crashes, calibrated cadence), so the journal-resumed sweep must
+# reproduce the clean sweep's totals exactly — the journal round-trips
+# per-cell ckpt_resumes / ckpt_cycles_saved for replayed cells, and
+# ATL_CKPT_CYCLES only arms holders on the classic column's healthy
+# cells, which never resume.
+for key in ("checkpoint_resumes", "checkpoint_cycles_saved"):
+    if resumed.get(key) != clean.get(key):
+        print(f"{key} diverged after resume: clean {clean.get(key)!r} "
+              f"vs resumed {resumed.get(key)!r}", file=sys.stderr)
+        sys.exit(1)
+
+host_keys = ("host_seconds", "refs_per_sec", "batch_occupancy",
+             "refs_issued", "ref_blocks")
+clean_runs = clean.get("runs", [])
+resumed_runs = resumed.get("runs", [])
+if len(clean_runs) != len(resumed_runs):
+    print(f"run count differs: clean {len(clean_runs)} vs "
+          f"resumed {len(resumed_runs)}", file=sys.stderr)
+    sys.exit(1)
+for i, (a, b) in enumerate(zip(clean_runs, resumed_runs)):
+    a = {k: v for k, v in a.items() if k not in host_keys}
+    b = {k: v for k, v in b.items() if k not in host_keys}
+    if a != b:
+        diff = {k for k in set(a) | set(b) if a.get(k) != b.get(k)}
+        print(f"cell {i} differs after resume: {sorted(diff)}",
+              file=sys.stderr)
+        sys.exit(1)
+print(f"resume run OK: {resumed['resumed_runs']} cell(s) replayed from "
+      f"the journal, checkpoint accounting identical "
+      f"({resumed['checkpoint_resumes']} resume(s), "
+      f"{resumed['checkpoint_cycles_saved']} cycle(s) saved)")
+PYEOF
+    for j in "$journal" "$ckpt_journal"; do
+        if [ -e "$j" ]; then
+            echo "resume run: journal $j was not removed after completion" >&2
+            exit 1
+        fi
+    done
+    rm -f results/bench_crash_matrix.clean.json
+    echo "CHECKPOINT CHECKS PASSED"
+    exit 0
+fi
+
 if [ "$RUN_FABRIC" -eq 1 ]; then
     cmake -B build -G Ninja
     cmake --build build
@@ -375,7 +521,7 @@ if [ "$RUN_FABRIC" -eq 1 ]; then
     shards='results/bench_fabric_matrix.fabric.w*.journal.jsonl'
 
     # Helper: diff two fabric reports cell for cell (modulo host-timing
-    # diagnostics) and validate the schema-7 fabric keys of the first.
+    # diagnostics) and validate the schema-8 fabric keys of the first.
     fabric_diff() {
         python3 - "$1" "$2" "$3" "$4" <<'PYEOF'
 import json, sys
@@ -386,8 +532,8 @@ tag = sys.argv[3]
 want_deaths = sys.argv[4] == "deaths"
 
 failed = 0
-if doc.get("schema") != 7:
-    print(f"{tag}: schema is {doc.get('schema')!r}, expected 7",
+if doc.get("schema") != 8:
+    print(f"{tag}: schema is {doc.get('schema')!r}, expected 8",
           file=sys.stderr)
     failed = 1
 if not isinstance(doc.get("workers"), int) or doc["workers"] < 1:
@@ -524,8 +670,8 @@ import json, sys
 
 doc = json.load(open(sys.argv[1]))
 failed = 0
-if doc.get("schema") != 7:
-    print(f"fabric report: schema is {doc.get('schema')!r}, expected 7",
+if doc.get("schema") != 8:
+    print(f"fabric report: schema is {doc.get('schema')!r}, expected 8",
           file=sys.stderr)
     failed = 1
 m = doc.get("metrics")
@@ -648,7 +794,7 @@ for b in build/bench/bench_*; do
         echo "MISSING: $json" >&2
         missing=1
     elif command -v python3 >/dev/null 2>&1; then
-        # Parse, and hold every RunMetrics entry to the schema-7
+        # Parse, and hold every RunMetrics entry to the schema-8
         # contract (host diagnostics and degradation counters included;
         # the "telemetry" and "metrics" objects are optional per bench,
         # as are the fabric keys — validated when present). An incomplete
@@ -660,14 +806,20 @@ import json, sys
 doc = json.load(open(sys.argv[1]))
 if "bench" not in doc:
     sys.exit(0)  # google-benchmark native format, not a BenchReport
-if doc.get("schema") != 7:
-    print(f"{sys.argv[1]}: schema is {doc.get('schema')!r}, expected 7")
+if doc.get("schema") != 8:
+    print(f"{sys.argv[1]}: schema is {doc.get('schema')!r}, expected 8")
     sys.exit(1)
 if not isinstance(doc.get("resumed_runs"), int):
-    print(f"{sys.argv[1]}: schema-7 report has no 'resumed_runs' count")
+    print(f"{sys.argv[1]}: schema-8 report has no 'resumed_runs' count")
     sys.exit(1)
+# Schema 8: mid-cell checkpoint/restore accounting rides on every
+# report (zero when checkpointing was off).
+for key in ("checkpoint_resumes", "checkpoint_cycles_saved"):
+    if not isinstance(doc.get(key), int):
+        print(f"{sys.argv[1]}: schema-8 report has no integer '{key}'")
+        sys.exit(1)
 if "metrics" in doc:
-    # Optional schema-7 merged metrics object: counters / gauges /
+    # Optional schema-8 merged metrics object: counters / gauges /
     # histograms keyed by metric name.
     m = doc["metrics"]
     if not isinstance(m, dict) or not all(
@@ -677,7 +829,7 @@ if "metrics" in doc:
               "{counters, gauges, histograms} object")
         sys.exit(1)
 if "workers" in doc:
-    # Fabric-produced report (schema 7): validate the fabric keys.
+    # Fabric-produced report: validate the fabric keys (schema 6).
     if not isinstance(doc["workers"], int):
         print(f"{sys.argv[1]}: 'workers' is not an integer")
         sys.exit(1)
@@ -693,7 +845,10 @@ if "workers" in doc:
                 sys.exit(1)
 failure_keys = ("index", "name", "message", "attempts", "timed_out",
                 "crashed", "exit_signal", "exit_code",
-                "attempts_backoff_ms")
+                "attempts_backoff_ms",
+                # Schema 8: stall-watchdog and mid-cell resume
+                # attribution.
+                "stalled", "checkpoint_resumes", "resumed_from_cycle")
 for failure in doc.get("failed_runs", []):
     for key in failure_keys:
         if key not in failure:

@@ -1,5 +1,6 @@
 #include "atl/fault/fault.hh"
 
+#include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdlib>
@@ -39,6 +40,7 @@ FaultPlan::empty() const
            shareWrongQProb == 0.0 && shareDanglingProb == 0.0 &&
            shareChurnProb == 0.0 && jobThrowProb == 0.0 &&
            jobHangProb == 0.0 && jobCrashProb == 0.0 &&
+           jobCrashAtCycle == 0 && cycleCrashProb == 0.0 &&
            workerCrashProb == 0.0;
 }
 
@@ -82,9 +84,18 @@ FaultPlan::fullChaos()
 }
 
 FaultPlan
-FaultPlan::crashChaos()
+FaultPlan::crashChaos(bool mid_run)
 {
     FaultPlan plan;
+    if (mid_run) {
+        // Mid-simulation deaths at commit boundaries instead of
+        // attempt-start rolls: with a boundary every dispatch interval
+        // and a small per-boundary probability, most attempts die a
+        // few checkpoints into the run — exactly the input that makes
+        // `checkpoint_cycles_saved` nonzero when resume works.
+        plan.cycleCrashProb = 0.002;
+        return plan;
+    }
     // Most cells crash-prone, each attempt a coin flip: with 8
     // attempts a cell is lost only with probability 2^-8, so a seeded
     // matrix completes after retries while still exercising every
@@ -114,7 +125,10 @@ FaultStats::total() const
 }
 
 FaultInjector::FaultInjector(const FaultPlan &plan, uint64_t seed)
-    : _plan(plan), _active(!plan.empty()), _seed(seed), _rng(seed)
+    : _plan(plan), _active(!plan.empty()),
+      _cycleCrashArmed(plan.jobCrashAtCycle != 0 ||
+                       plan.cycleCrashProb > 0.0),
+      _seed(seed), _rng(seed)
 {
 }
 
@@ -251,6 +265,51 @@ FaultInjector::crashDecision(double per_attempt_prob, uint64_t attempt_seed)
       case 1: return CrashKind::Abort;
       case 2: return CrashKind::SilentExit;
       default: return CrashKind::Spin;
+    }
+}
+
+namespace
+{
+
+/** Set by disarmCycleCrashes() in a resumed checkpoint holder; checked
+ *  before every mid-run crash roll. Atomic for form — the supervised
+ *  child is single-threaded when it flips this, but the flag outlives
+ *  the flip into worker threads the epoch engine respawns. */
+std::atomic<bool> g_cycleCrashesDisarmed{false};
+
+} // namespace
+
+void
+FaultInjector::disarmCycleCrashes()
+{
+    g_cycleCrashesDisarmed.store(true, std::memory_order_relaxed);
+}
+
+bool
+FaultInjector::cycleCrashesDisarmed()
+{
+    return g_cycleCrashesDisarmed.load(std::memory_order_relaxed);
+}
+
+void
+FaultInjector::cycleCrashSlow(Cycles now)
+{
+    if (g_cycleCrashesDisarmed.load(std::memory_order_relaxed))
+        return;
+    if (_plan.jobCrashAtCycle != 0 && now >= _plan.jobCrashAtCycle) {
+        // Only the hard-death kinds: a mid-run SilentExit or Spin would
+        // test the timeout machinery, not checkpoint restore.
+        uint64_t z = mix64(_seed ^ 0xa0761d6478bd642full);
+        executeCrash((z & 1) ? CrashKind::Segv : CrashKind::Abort);
+    }
+    if (_plan.cycleCrashProb > 0.0) {
+        // Stateless per-boundary roll: (seed, now) decides, the RNG
+        // stream is untouched, so every other fault class reproduces
+        // bit-identically whether or not this surface is armed.
+        uint64_t z = mix64(_seed ^ now ^ 0xe7037ed1a0b428dbull);
+        if (unitRoll(z) < _plan.cycleCrashProb)
+            executeCrash((mix64(z) & 1) ? CrashKind::Segv
+                                        : CrashKind::Abort);
     }
 }
 

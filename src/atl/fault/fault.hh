@@ -95,6 +95,25 @@ struct FaultPlan
     double jobCrashPerAttemptProb = 1.0;
     /** @} */
 
+    /** @name Mid-run crash surface (commit boundaries) @{ */
+    /** Die (SIGSEGV or abort, seed-chosen) at the first commit-boundary
+     *  safe point at or past this simulated cycle; 0 disables. Unlike
+     *  the per-attempt crash rolls above — which fire *before* the job
+     *  body runs — this kills the attempt mid-simulation, which is the
+     *  reproducible input the checkpoint/restore tests need. A resumed
+     *  checkpoint holder disarms it process-wide (see
+     *  FaultInjector::disarmCycleCrashes) so the resume does not die at
+     *  the very cycle it resumed past. Requires SweepOptions::isolate
+     *  for the same reason the attempt crashes do. */
+    uint64_t jobCrashAtCycle = 0;
+    /** Per commit boundary: probability of dying mid-run (SIGSEGV or
+     *  abort). Each roll is derived statelessly from (seed, boundary
+     *  cycle) — the injector's RNG stream is never consumed — so
+     *  arming this perturbs nothing else, and a (plan, seed) pair
+     *  reproduces the same crash cycle. */
+    double cycleCrashProb = 0.0;
+    /** @} */
+
     /** @name Fabric surface @{ */
     /** Per (worker, cell) claim in the distributed sweep fabric: the
      *  worker process SIGKILLs itself — half the time before running
@@ -120,8 +139,13 @@ struct FaultPlan
     static FaultPlan fullChaos();
     /** Hard crashes on the job surface (isolation required): most jobs
      *  crash-prone, each attempt crashing with probability 1/2, so
-     *  retries recover every cell with overwhelming odds. */
-    static FaultPlan crashChaos();
+     *  retries recover every cell with overwhelming odds. With
+     *  `mid_run` set, the attempt-start crashes are replaced by
+     *  seeded per-commit-boundary crashes (cycleCrashProb) — the
+     *  variant the checkpointed bench_crash_matrix column runs, where
+     *  attempts die mid-simulation and only checkpoint resume (or a
+     *  lucky retry) can finish the cell. */
+    static FaultPlan crashChaos(bool mid_run = false);
     /** Fabric chaos: worker processes self-SIGKILL around cell
      *  boundaries with moderate probability, exercising re-lease,
      *  respawn and duplicate shard records without losing cells. */
@@ -256,9 +280,42 @@ class FaultInjector
      *  a supervised child. */
     static void executeCrash(CrashKind kind);
 
+    /**
+     * Commit-boundary hook: die here when the plan says so
+     * (jobCrashAtCycle / cycleCrashProb). Called by both engines at
+     * every safe point; the armed check is inline so an injector
+     * without a mid-run crash surface costs one load + branch. The
+     * rolls are stateless (derived from the seed and `now` only), so
+     * arming this surface leaves every other fault stream
+     * bit-identical.
+     */
+    void maybeCycleCrash(Cycles now)
+    {
+        if (!_cycleCrashArmed)
+            return;
+        cycleCrashSlow(now);
+    }
+
+    /** True when the plan has a mid-run crash surface. */
+    bool cycleCrashArmed() const { return _cycleCrashArmed; }
+
+    /**
+     * Process-wide kill switch for the mid-run crash surface, thrown by
+     * a resumed checkpoint holder: the holder's image was forked
+     * *before* the crash fired, so without this the resume would
+     * deterministically re-die at the same boundary it resumed past.
+     * Survives into further holders (they inherit the flag via fork).
+     */
+    static void disarmCycleCrashes();
+    /** True once disarmCycleCrashes() ran in this process. */
+    static bool cycleCrashesDisarmed();
+
   private:
+    [[gnu::cold]] void cycleCrashSlow(Cycles now);
+
     FaultPlan _plan;
     bool _active;
+    bool _cycleCrashArmed = false;
     uint64_t _seed;
     Rng _rng;
     FaultStats _stats;

@@ -150,6 +150,26 @@ enum class EventKind : uint8_t
      * cpu = InvalidCpuId16.
      */
     CellStolen,
+
+    /**
+     * A checkpointed sweep attempt forked a frozen holder at a
+     * commit-boundary safe point (mid-cell checkpoint/restore, see
+     * sim/supervisor.hh). Recorded by the sweep engine from the
+     * supervisor's parent-side frame parser — never by the machine —
+     * so the child's own telemetry stays bit-identical to an
+     * uncheckpointed run. n = job index, m = attempt (0-based),
+     * t0 = simulated cycle of the snapshot. time = 0,
+     * cpu = InvalidCpuId16.
+     */
+    SweepCheckpoint,
+
+    /**
+     * A crashed/stalled/timed-out checkpointed attempt was resumed
+     * from its newest holder instead of retried from scratch.
+     * n = job index, m = attempt (0-based), t0 = simulated cycle the
+     * holder continues from. time = 0, cpu = InvalidCpuId16.
+     */
+    SweepCkptResume,
 };
 
 /** Printable name of an event kind. */

@@ -35,6 +35,8 @@ eventKindName(EventKind kind)
       case EventKind::SweepResume: return "sweep_resume";
       case EventKind::WorkerDeath: return "worker_death";
       case EventKind::CellStolen: return "cell_stolen";
+      case EventKind::SweepCheckpoint: return "sweep_checkpoint";
+      case EventKind::SweepCkptResume: return "sweep_ckpt_resume";
     }
     return "?";
 }

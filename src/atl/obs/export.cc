@@ -152,6 +152,12 @@ summarizeTrace(const EventLog &log, double residual_floor)
           case EventKind::CellStolen:
             ++s.cellsStolen;
             break;
+          case EventKind::SweepCheckpoint:
+            ++s.sweepCheckpoints;
+            break;
+          case EventKind::SweepCkptResume:
+            ++s.sweepCkptResumes;
+            break;
         }
     }
     if (s.residualSamplesUsed > 0) {
@@ -178,6 +184,11 @@ printTraceSummary(const TraceSummary &s, std::ostream &os,
         os << "  sweep recovery: crashes " << s.sweepCrashes
            << ", retries " << s.sweepRetries << ", resumes "
            << s.sweepResumes << "\n";
+    }
+    if (s.sweepCheckpoints || s.sweepCkptResumes) {
+        os << "  mid-cell checkpoint/restore: checkpoints "
+           << s.sweepCheckpoints << ", resumes " << s.sweepCkptResumes
+           << "\n";
     }
     if (s.workerDeaths || s.cellsStolen) {
         os << "  fabric: worker deaths " << s.workerDeaths
@@ -233,6 +244,8 @@ traceSummaryJson(const TraceSummary &s)
     counts["sweep_resumes"] = Json(s.sweepResumes);
     counts["worker_deaths"] = Json(s.workerDeaths);
     counts["cells_stolen"] = Json(s.cellsStolen);
+    counts["sweep_checkpoints"] = Json(s.sweepCheckpoints);
+    counts["sweep_ckpt_resumes"] = Json(s.sweepCkptResumes);
     out["counts"] = std::move(counts);
 
     Json residuals = Json::object();
@@ -499,6 +512,23 @@ perfettoTrace(const EventLog &log, const std::string &process_name)
             args["cell"] = Json(e.n);
             args["thief"] = Json(e.m);
             args["victim"] = Json(e.t0);
+            j["args"] = std::move(args);
+            pending.push_back({ts, std::move(j)});
+            break;
+          }
+          case EventKind::SweepCheckpoint:
+          case EventKind::SweepCkptResume: {
+            // Mid-cell checkpoint/restore: host-side like the other
+            // sweep recovery kinds, so ts 0 on the "sweep" track.
+            const char *name = e.kind == EventKind::SweepCheckpoint
+                                   ? "sweep checkpoint"
+                                   : "sweep ckpt resume";
+            Json j = baseEvent(name, "sweep", "i", ts, InvalidCpuId16);
+            j["s"] = Json("g");
+            Json args = Json::object();
+            args["job"] = Json(e.n);
+            args["attempt"] = Json(e.m);
+            args["cycle"] = Json(e.t0);
             j["args"] = std::move(args);
             pending.push_back({ts, std::move(j)});
             break;

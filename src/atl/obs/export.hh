@@ -96,6 +96,10 @@ struct TraceSummary
     uint64_t workerDeaths = 0;
     /** Fabric cells re-leased from a slow worker to an idle one. */
     uint64_t cellsStolen = 0;
+    /** Mid-cell checkpoint holders forked by supervised attempts. */
+    uint64_t sweepCheckpoints = 0;
+    /** Dead attempts resumed from a checkpoint holder mid-cell. */
+    uint64_t sweepCkptResumes = 0;
     /** @} */
 
     /** @name Model-residual accuracy (Fig. 5 made continuous) @{ */

@@ -1,0 +1,37 @@
+#include "atl/runtime/checkpoint.hh"
+
+namespace atl
+{
+
+namespace ckpt_detail
+{
+SafePointSink *g_sink = nullptr;
+Cycles g_nextDue = ~Cycles(0);
+Cycles g_nextForkDue = ~Cycles(0);
+} // namespace ckpt_detail
+
+void
+installSafePoint(SafePointSink *sink, Cycles first_due,
+                 Cycles first_fork_due)
+{
+    ckpt_detail::g_nextDue = first_due;
+    ckpt_detail::g_nextForkDue = first_fork_due;
+    ckpt_detail::g_sink = sink;
+}
+
+void
+setSafePointDue(Cycles next_due, Cycles next_fork_due)
+{
+    ckpt_detail::g_nextDue = next_due;
+    ckpt_detail::g_nextForkDue = next_fork_due;
+}
+
+void
+uninstallSafePoint()
+{
+    ckpt_detail::g_sink = nullptr;
+    ckpt_detail::g_nextDue = ~Cycles(0);
+    ckpt_detail::g_nextForkDue = ~Cycles(0);
+}
+
+} // namespace atl

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Commit-boundary safe points: the hook the mid-cell checkpoint/restore
+ * layer (sim/supervisor.hh) uses to observe — and fork — a running
+ * simulation at moments when its state is quiescent.
+ *
+ * A *safe point* is a simulated-cycle boundary at which no fiber is
+ * mid-switch and no engine data structure is half-updated: the classic
+ * engine reaches one at the top of every dispatch interval, the epoch
+ * engine at every epoch commit (with its worker pool parked at the
+ * start barrier). At such a boundary a fork() snapshots the entire
+ * process image — fiber stacks included — as an exact, copy-on-write
+ * checkpoint; nothing needs to be serialised, and nothing *could* be
+ * (fiber stacks hold raw frame pointers into themselves).
+ *
+ * The layer is a process-global installed sink, not a Machine member,
+ * because the party that cares (the supervised child) wraps a body it
+ * cannot see inside: the sink is installed around body() in the child
+ * and every machine the body builds reports to it. Only one supervised
+ * attempt runs per child process, so a global is exactly the right
+ * scope. The hot-path contract is one load + compare per dispatch
+ * iteration when armed, one null check when not (the default): the
+ * sink maintains a cached next-due cycle and the engine only calls
+ * safePointReached() when the boundary clock passes it.
+ *
+ * Two due-cycles are tracked separately: *beacons* (progress reports —
+ * a pipe write, safe while the epoch pool is parked at its barrier)
+ * and *forks* (checkpoint holders — the epoch engine must drain its
+ * worker pool to fork single-threaded, so it checks safePointForkDue()
+ * to decide whether a boundary needs the expensive pause or just the
+ * cheap beacon). The classic engine is single-threaded and ignores the
+ * distinction.
+ */
+
+#ifndef ATL_RUNTIME_CHECKPOINT_HH
+#define ATL_RUNTIME_CHECKPOINT_HH
+
+#include "atl/mem/address.hh"
+
+namespace atl
+{
+
+/** Receiver for safe-point callbacks. Implemented by the supervised
+ *  child's checkpoint driver (and by tests/benches with counting
+ *  stubs). reached() runs on the engine thread while the simulation is
+ *  quiescent — it may write pipes, fork, or block, and must call
+ *  setSafePointDue() before returning or it will be called at every
+ *  subsequent boundary. */
+class SafePointSink
+{
+  public:
+    virtual ~SafePointSink() = default;
+    /** A safe point at simulated cycle `now` is being crossed. For the
+     *  epoch engine, worker threads are either joined (fork due) or
+     *  parked at the start barrier (beacon only). */
+    virtual void reached(Cycles now) = 0;
+};
+
+namespace ckpt_detail
+{
+/** Installed sink; null = layer disarmed (the default, and the only
+ *  state the hot path pays for: one null check). */
+extern SafePointSink *g_sink;
+/** Next cycle at which reached() wants to run (min of beacon and fork
+ *  due-cycles). ~0 = never. */
+extern Cycles g_nextDue;
+/** Next cycle at which reached() will *fork* — the epoch engine drains
+ *  its worker pool before crossing this one. ~0 = never. */
+extern Cycles g_nextForkDue;
+} // namespace ckpt_detail
+
+/** True when a sink is installed (checkpoint/stall mode). */
+inline bool
+safePointArmed()
+{
+    return ckpt_detail::g_sink != nullptr;
+}
+
+/** Hot-path poll: does the boundary at `now` need a callback? */
+inline bool
+safePointDue(Cycles now)
+{
+    return ckpt_detail::g_sink != nullptr && now >= ckpt_detail::g_nextDue;
+}
+
+/** Does the boundary at `now` involve a fork (epoch engine: drain the
+ *  worker pool first)? */
+inline bool
+safePointForkDue(Cycles now)
+{
+    return ckpt_detail::g_sink != nullptr &&
+           now >= ckpt_detail::g_nextForkDue;
+}
+
+/** Cross the safe point: invoke the installed sink. Call only when
+ *  safePointDue() held. */
+inline void
+safePointReached(Cycles now)
+{
+    ckpt_detail::g_sink->reached(now);
+}
+
+/** Arm the layer. `first_due` / `first_fork_due` seed the cached
+ *  due-cycles (~0 = never). Not thread-safe: install before the
+ *  simulation starts, from the thread that will run it. */
+void installSafePoint(SafePointSink *sink, Cycles first_due,
+                      Cycles first_fork_due);
+
+/** Update the cached due-cycles (the sink calls this from reached()). */
+void setSafePointDue(Cycles next_due, Cycles next_fork_due);
+
+/** Disarm the layer (idempotent). */
+void uninstallSafePoint();
+
+} // namespace atl
+
+#endif // ATL_RUNTIME_CHECKPOINT_HH

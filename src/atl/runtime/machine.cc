@@ -6,6 +6,7 @@
 #include "atl/fault/fault.hh"
 #include "atl/obs/event_log.hh"
 #include "atl/obs/metrics.hh"
+#include "atl/runtime/checkpoint.hh"
 #include "atl/runtime/epoch.hh"
 #include "atl/util/logging.hh"
 
@@ -1259,6 +1260,15 @@ Machine::run()
 
         Cpu &cpu = _cpus[choice];
         wakeDueTimers(cpu.clock);
+
+        // Commit-boundary safe point: no fiber is mid-switch and the
+        // engine owns the thread, so the checkpoint layer may write a
+        // beacon or fork a holder here. One load + compare when armed,
+        // a null check when not (the default).
+        if (safePointDue(cpu.clock))
+            safePointReached(cpu.clock);
+        if (_config.faults)
+            _config.faults->maybeCycleCrash(cpu.clock);
 
         if (!cpu.current) {
             Thread *next;

@@ -279,7 +279,9 @@ fabricWorkerMain(const WorkerSetup &setup,
                 // dies in exactly that window.
                 shard.noteDone(gi, so.results[0], ts,
                                registry.isObject() ? &registry
-                                                   : nullptr);
+                                                   : nullptr,
+                               so.checkpointResumes,
+                               so.checkpointCyclesSaved);
                 if (roll == 2)
                     ::raise(SIGKILL);
                 Json msg = Json::object();
@@ -289,6 +291,12 @@ fabricWorkerMain(const WorkerSetup &setup,
                 msg["metrics"] = BenchReport::toJson(so.results[0]);
                 if (registry.isObject())
                     msg["registry"] = std::move(registry);
+                if (so.checkpointResumes)
+                    msg["ckpt_resumes"] = Json(so.checkpointResumes);
+                if (so.checkpointCyclesSaved) {
+                    msg["ckpt_cycles_saved"] =
+                        Json(so.checkpointCyclesSaved);
+                }
                 evt.send(msg);
             } else if (!so.failures.empty()) {
                 const SweepJobFailure &f = so.failures.front();
@@ -305,6 +313,14 @@ fabricWorkerMain(const WorkerSetup &setup,
                 msg["exit_code"] =
                     Json(static_cast<int64_t>(f.exitCode));
                 msg["attempts_backoff_ms"] = Json(f.attemptsBackoffMs);
+                msg["stalled"] = Json(f.stalled);
+                msg["ckpt_resumes"] = Json(f.checkpointResumes);
+                msg["resumed_from_cycle"] = Json(f.resumedFromCycle);
+                // Failed attempts' resumes still saved re-execution;
+                // the sub-sweep total keeps the coordinator's report
+                // matching a serial sweep of the same cells.
+                msg["ckpt_cycles_saved"] =
+                    Json(so.checkpointCyclesSaved);
                 evt.send(msg);
             } else {
                 // Interrupted before the cell ran (SIGINT reached the
@@ -578,6 +594,11 @@ runFabric(const std::vector<SweepJob> &sweep,
         terminal[i] = 1;
         ++terminal_count;
         ++outcome.mergedFromShards;
+        // Replayed checkpoint accounting keeps a resumed fabric's
+        // schema-8 totals equal to the run that earned them.
+        outcome.sweep.checkpointResumes += entry.second.ckptResumes;
+        outcome.sweep.checkpointCyclesSaved +=
+            entry.second.ckptCyclesSaved;
         // The cell never re-executes, so its registry contribution
         // comes from the shard's done-record snapshot.
         if (options.metrics && entry.second.registry.isObject() &&
@@ -976,6 +997,9 @@ runFabric(const std::vector<SweepJob> &sweep,
             ++terminal_count;
             outcome.sweep.results[gi] = std::move(metrics);
             outcome.sweep.ok[gi] = 1;
+            outcome.sweep.checkpointResumes += msgUint(msg, "ckpt_resumes");
+            outcome.sweep.checkpointCyclesSaved +=
+                msgUint(msg, "ckpt_cycles_saved");
             note_executed();
             return;
         }
@@ -991,6 +1015,14 @@ runFabric(const std::vector<SweepJob> &sweep,
         f.exitSignal = static_cast<int>(msgUint(msg, "exit_signal"));
         f.exitCode = static_cast<int>(msgUint(msg, "exit_code"));
         f.attemptsBackoffMs = msgUint(msg, "attempts_backoff_ms");
+        f.stalled = msg.has("stalled") && msg.at("stalled").asBool();
+        f.checkpointResumes = msgUint(msg, "ckpt_resumes");
+        f.resumedFromCycle = msgUint(msg, "resumed_from_cycle");
+        // A failed cell's resumes still saved re-execution; fold them
+        // into the sweep totals like the serial engine does.
+        outcome.sweep.checkpointResumes += f.checkpointResumes;
+        outcome.sweep.checkpointCyclesSaved +=
+            msgUint(msg, "ckpt_cycles_saved");
         terminal[gi] = 1;
         ++terminal_count;
         outcome.sweep.failures.push_back(std::move(f));

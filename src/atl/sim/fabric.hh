@@ -210,9 +210,10 @@ mergeFabricShards(const std::string &dir, const std::string &bench_name,
 std::string fabricShardPath(const std::string &dir,
                             const std::string &bench_name, unsigned slot);
 
-/** Fold a fabric outcome into a report: noteOutcome(sweep) plus the
- *  schema-7 fabric keys — "workers", "stolen_runs" and
- *  "worker_failures" [{slot, pid, exit_signal, exit_code, cells_lost}]. */
+/** Fold a fabric outcome into a report: noteOutcome(sweep) — which
+ *  carries the schema-8 checkpoint accounting — plus the fabric keys
+ *  (schema 6) — "workers", "stolen_runs" and "worker_failures"
+ *  [{slot, pid, exit_signal, exit_code, cells_lost}]. */
 void noteFabricReport(BenchReport &report, const FabricOutcome &outcome);
 
 /**

@@ -162,6 +162,14 @@ SweepJournal::replay(const std::string &path,
                 if (record.has("registry") &&
                     record.at("registry").isObject())
                     cell.registry = record.at("registry");
+                if (record.has("ckpt_resumes") &&
+                    record.at("ckpt_resumes").isNumber())
+                    cell.ckptResumes =
+                        record.at("ckpt_resumes").asUint();
+                if (record.has("ckpt_cycles_saved") &&
+                    record.at("ckpt_cycles_saved").isNumber())
+                    cell.ckptCyclesSaved =
+                        record.at("ckpt_cycles_saved").asUint();
                 if (cell.index < job_count)
                     out.push_back(std::move(cell));
             }
@@ -288,7 +296,8 @@ SweepJournal::beginSweep(uint64_t config_hash, size_t job_count)
 
 bool
 SweepJournal::completedMetrics(size_t index, RunMetrics &out,
-                               Json *registry) const
+                               Json *registry, uint64_t *ckpt_resumes,
+                               uint64_t *ckpt_cycles_saved) const
 {
     std::lock_guard<std::mutex> lock(_mutex);
     auto it = _completed.find(index);
@@ -297,6 +306,10 @@ SweepJournal::completedMetrics(size_t index, RunMetrics &out,
     out = it->second.metrics;
     if (registry)
         *registry = it->second.registry;
+    if (ckpt_resumes)
+        *ckpt_resumes = it->second.ckptResumes;
+    if (ckpt_cycles_saved)
+        *ckpt_cycles_saved = it->second.ckptCyclesSaved;
     return true;
 }
 
@@ -345,7 +358,8 @@ SweepJournal::noteStart(size_t index, const std::string &name)
 
 void
 SweepJournal::noteDone(size_t index, const RunMetrics &metrics,
-                       uint64_t attempt_ts, const Json *registry)
+                       uint64_t attempt_ts, const Json *registry,
+                       uint64_t ckpt_resumes, uint64_t ckpt_cycles_saved)
 {
     Json record = Json::object();
     record["kind"] = Json("done");
@@ -355,6 +369,12 @@ SweepJournal::noteDone(size_t index, const RunMetrics &metrics,
     record["metrics"] = BenchReport::toJson(metrics);
     if (registry && registry->isObject())
         record["registry"] = *registry;
+    // Omitted when zero: uncheckpointed journals stay byte-identical
+    // to what PR 9 wrote, and old readers ignore unknown keys anyway.
+    if (ckpt_resumes)
+        record["ckpt_resumes"] = Json(ckpt_resumes);
+    if (ckpt_cycles_saved)
+        record["ckpt_cycles_saved"] = Json(ckpt_cycles_saved);
     appendRecord(record);
 }
 

@@ -15,8 +15,9 @@
  *   {"kind":"done","index":I,"metrics":{...BenchReport::toJson...}}
  *   {"kind":"failed","index":I,"name":JOB,"message":...,...}
  *
- * A "done" record may also carry "ts", a host CLOCK_MONOTONIC
- * microsecond stamp of the completing attempt. The sweep fabric's
+ * A "done" record may also carry "ckpt_resumes" / "ckpt_cycles_saved"
+ * (mid-cell checkpoint accounting, omitted when zero) and "ts", a host
+ * CLOCK_MONOTONIC microsecond stamp of the completing attempt. The sweep fabric's
  * per-worker journal shards use it to resolve duplicate completions of
  * the same cell (a stolen cell can finish on two workers): merged
  * replay keeps the earliest attempt.
@@ -67,6 +68,12 @@ struct ReplayedCell
      *  key (null when the record carried none), so resume restores a
      *  replayed cell's metrics registry, not only its RunMetrics. */
     Json registry;
+    /** Mid-cell checkpoint resumes the cell accrued before completing
+     *  ("ckpt_resumes" key, 0 when absent) — replayed so a resumed
+     *  sweep's schema-8 accounting matches the run that earned it. */
+    uint64_t ckptResumes = 0;
+    /** Simulated cycles those resumes saved ("ckpt_cycles_saved"). */
+    uint64_t ckptCyclesSaved = 0;
 };
 
 /** Append-only JSONL journal for one sweep (thread-safe: pool workers
@@ -101,9 +108,14 @@ class SweepJournal
      *  @param registry when non-null, receives the cell's recorded
      *         MetricsRegistry::json() snapshot (null Json when the
      *         done-record carried none)
+     *  @param ckpt_resumes / @param ckpt_cycles_saved when non-null,
+     *         receive the cell's mid-cell checkpoint accounting (0
+     *         when the record carried none)
      *  @retval false when the journal has no done-record for index */
     bool completedMetrics(size_t index, RunMetrics &out,
-                          Json *registry = nullptr) const;
+                          Json *registry = nullptr,
+                          uint64_t *ckpt_resumes = nullptr,
+                          uint64_t *ckpt_cycles_saved = nullptr) const;
 
     /** Completed cells loaded from disk (replayable on resume). */
     size_t completedCount() const;
@@ -117,10 +129,16 @@ class SweepJournal
      *         by merged-shard replay to dedupe by earliest attempt
      *  @param registry optional MetricsRegistry::json() snapshot of
      *         the cell's metrics registry ("registry" key), restored
-     *         on resume via completedMetrics/ReplayedCell */
+     *         on resume via completedMetrics/ReplayedCell
+     *  @param ckpt_resumes / @param ckpt_cycles_saved the cell's
+     *         mid-cell checkpoint accounting ("ckpt_resumes" /
+     *         "ckpt_cycles_saved" keys, omitted when both are 0 so
+     *         uncheckpointed journals stay byte-identical) */
     void noteDone(size_t index, const RunMetrics &metrics,
                   uint64_t attempt_ts = 0,
-                  const Json *registry = nullptr);
+                  const Json *registry = nullptr,
+                  uint64_t ckpt_resumes = 0,
+                  uint64_t ckpt_cycles_saved = 0);
 
     /** Record a failed job after its last attempt (fsync'd). Failed
      *  cells are *not* replayed on resume — they run again. */

@@ -5,15 +5,23 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <deque>
 #include <exception>
 #include <mutex>
+#include <vector>
 
 #include <poll.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+#include "atl/fault/fault.hh"
 #include "atl/obs/metrics.hh"
+#include "atl/runtime/checkpoint.hh"
 #include "atl/sim/sweep.hh"
 #include "atl/util/json.hh"
 
@@ -43,6 +51,8 @@ std::mutex g_forkMutex;
  *  (e.g. a grandchild forked by the job body keeps the write end
  *  open). */
 constexpr int kDeathWatchTickMs = 100;
+
+void closeInheritedLifelines(); // defined with the checkpointed mode
 
 /** Write the whole buffer, retrying on EINTR/partial writes. Best
  *  effort: the child has nowhere to report a pipe error anyway. */
@@ -81,6 +91,10 @@ writeAll(int fd, const std::string &data)
 childMain(int fd, const std::function<RunMetrics()> &body,
           MetricsRegistry *registry)
 {
+    // A concurrent *checkpointed* attempt's lifeline write end must not
+    // survive in this unrelated child (see g_lifelineFds below); a
+    // no-op when no checkpointed attempts are in flight.
+    closeInheritedLifelines();
     int code = 0;
     std::string payload;
     try {
@@ -123,6 +137,626 @@ reap(pid_t pid)
         // exit so the caller's status decoding stays well-defined.
         return 0;
     }
+}
+
+// ---------------------------------------------------------------------
+// Checkpointed mode (SupervisorOptions::checkpointCycles /
+// stallTimeoutSeconds)
+// ---------------------------------------------------------------------
+
+/** Framed wire protocol on the payload pipe. Every B/K frame is one
+ *  write() far under PIPE_BUF, hence atomic: a writer SIGKILLed
+ *  mid-run can never tear a frame. The F frame's header is atomic too;
+ *  its JSON body may span writes, but it is the writer's last act, and
+ *  the parent discards a torn tail before waking a holder. */
+constexpr char kFrameBeacon = 'B'; ///< + u64 cycle (progress)
+constexpr char kFrameCkpt = 'K';   ///< + u64 cycle + i32 holder pid
+constexpr char kFrameFinal = 'F';  ///< + u32 len + payload bytes
+
+/** Beacon cadence (simulated cycles) when only the stall watchdog is
+ *  on: frequent enough that a live cell is never mistaken for a wedged
+ *  one, rare enough that the pipe writes stay off the hot path. With
+ *  checkpointing on, beacons ride at checkpointCycles / 4 instead. */
+constexpr uint64_t kStallBeaconCycles = 65536;
+
+/** Lifeline *write* fds of every in-flight checkpointed attempt,
+ *  guarded by g_forkMutex (all mutation happens inside the same
+ *  critical section as the fork). A freshly forked child closes every
+ *  registered fd: a sibling attempt's lifeline write end surviving in
+ *  an unrelated child would keep that sibling's orphaned holders from
+ *  ever seeing EOF — the same fd-leak hazard g_forkMutex exists for,
+ *  one pipe over. */
+std::vector<int> g_lifelineFds;
+
+void
+closeInheritedLifelines()
+{
+    // Called in a just-forked child; the fork happened under
+    // g_forkMutex, so this snapshot is consistent without locking (and
+    // the child must never touch the inherited mutex anyway).
+    for (int fd : g_lifelineFds)
+        ::close(fd);
+}
+
+/** Mark this process a child subreaper (idempotent): checkpoint
+ *  holders are *grandchildren* while the active child lives, and the
+ *  only way to reap them after it dies is to inherit them. Without the
+ *  flag (non-Linux), orphaned holders reparent to init, which reaps
+ *  them — the chain still cannot leak, we just cannot observe it. */
+void
+becomeSubreaper()
+{
+#ifdef PR_SET_CHILD_SUBREAPER
+    static std::once_flag once;
+    std::call_once(once,
+                   [] { ::prctl(PR_SET_CHILD_SUBREAPER, 1, 0, 0, 0); });
+#endif
+}
+
+void
+noopSignalHandler(int)
+{
+}
+
+/**
+ * The child's safe-point sink: beacons, checkpoints, and — on the other
+ * side of a fork — the frozen holder itself. reached() runs at commit
+ * boundaries with the simulation quiescent and (epoch engine) the
+ * worker pool drained for fork boundaries.
+ */
+struct CheckpointDriver final : SafePointSink
+{
+    int payloadFd = -1;
+    int lifelineFd = -1;
+    uint64_t ckptCycles = 0;
+    uint64_t beaconCycles = 0;
+    Cycles nextCkpt = ~Cycles(0);
+    Cycles nextBeacon = 0;
+
+    void
+    writeFrame(char tag, uint64_t cycle, int32_t pid = 0)
+    {
+        char frame[1 + sizeof(uint64_t) + sizeof(int32_t)];
+        frame[0] = tag;
+        std::memcpy(frame + 1, &cycle, sizeof(cycle));
+        size_t len = 1 + sizeof(cycle);
+        if (tag == kFrameCkpt) {
+            std::memcpy(frame + len, &pid, sizeof(pid));
+            len += sizeof(pid);
+        }
+        // One write, <= PIPE_BUF: atomic. Best effort, like writeAll —
+        // if the supervisor is gone the child dies of SIGPIPE, which is
+        // the orphan behaviour we want anyway.
+        for (;;) {
+            ssize_t n = ::write(payloadFd, frame, len);
+            if (n >= 0 || errno != EINTR)
+                return;
+        }
+    }
+
+    /** Holder side: park until the supervisor wakes us (SIGUSR1) or
+     *  dies (lifeline EOF). SIGUSR1 is blocked process-wide
+     *  (childCheckpointMain), so a wake sent before we reach ppoll
+     *  stays *pending* and is delivered the instant ppoll atomically
+     *  unblocks it — no lost-wakeup window. */
+    void
+    holdUntilWake()
+    {
+        sigset_t mask;
+        ::pthread_sigmask(SIG_SETMASK, nullptr, &mask);
+        ::sigdelset(&mask, SIGUSR1);
+        for (;;) {
+            struct pollfd p = {lifelineFd, POLLIN, 0};
+            int r = ::ppoll(&p, 1, nullptr, &mask);
+            if (r < 0 && errno == EINTR)
+                return; // woken: this snapshot is the attempt now
+            if (r >= 0)
+                ::_exit(0); // lifeline EOF/HUP: supervisor is gone
+        }
+    }
+
+    void
+    reached(Cycles now) override
+    {
+        bool resumed_here = false;
+        if (ckptCycles != 0 && now >= nextCkpt) {
+            pid_t holder = ::fork();
+            if (holder == 0) {
+                holdUntilWake();
+                // The snapshot predates whatever killed the incarnation
+                // we are replacing; an injected mid-run crash would
+                // deterministically re-fire at the same boundary.
+                FaultInjector::disarmCycleCrashes();
+                resumed_here = true;
+            } else if (holder > 0) {
+                writeFrame(kFrameCkpt, now, static_cast<int32_t>(holder));
+            }
+            // (fork failure: skip this checkpoint, retry next cadence.)
+            nextCkpt = now + ckptCycles;
+        }
+        if (resumed_here || now >= nextBeacon) {
+            // A woken holder announces progress immediately so the
+            // parent's stall clock has a fresh reference.
+            writeFrame(kFrameBeacon, now);
+            nextBeacon = now + beaconCycles;
+        }
+        setSafePointDue(std::min(nextBeacon, nextCkpt), nextCkpt);
+    }
+};
+
+/** Child side of the checkpointed protocol: arm the safe-point layer,
+ *  run the body, wrap the classic JSON payload in an F frame. The
+ *  resumed-holder path re-enters the body mid-flight via
+ *  CheckpointDriver::reached and exits through this same tail. */
+[[noreturn]] void
+childCheckpointMain(int payload_fd, int lifeline_fd,
+                    const std::function<RunMetrics()> &body,
+                    MetricsRegistry *registry,
+                    const SupervisorOptions &options)
+{
+    // SIGUSR1: install a no-op handler (the default action would
+    // terminate) and block it; holders unblock it only inside ppoll.
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = noopSignalHandler;
+    sigemptyset(&action.sa_mask);
+    ::sigaction(SIGUSR1, &action, nullptr);
+    sigset_t block;
+    sigemptyset(&block);
+    sigaddset(&block, SIGUSR1);
+    ::pthread_sigmask(SIG_BLOCK, &block, nullptr);
+
+    CheckpointDriver driver;
+    driver.payloadFd = payload_fd;
+    driver.lifelineFd = lifeline_fd;
+    driver.ckptCycles = options.checkpointCycles;
+    driver.beaconCycles =
+        driver.ckptCycles != 0
+            ? std::max<uint64_t>(1, driver.ckptCycles / 4)
+            : kStallBeaconCycles;
+    driver.nextCkpt =
+        driver.ckptCycles != 0 ? driver.ckptCycles : ~Cycles(0);
+    driver.nextBeacon = 0; // announce liveness at the first boundary
+    installSafePoint(&driver, 0, driver.nextCkpt);
+
+    int code = 0;
+    std::string payload;
+    try {
+        RunMetrics metrics = body();
+        if (registry) {
+            Json doc = Json::object();
+            doc["metrics"] = BenchReport::toJson(metrics);
+            doc["registry"] = registry->json();
+            payload = doc.dumpCompact();
+        } else {
+            payload = BenchReport::toJson(metrics).dumpCompact();
+        }
+    } catch (const std::exception &e) {
+        payload = e.what();
+        code = kSupervisedExceptionExit;
+    } catch (...) {
+        payload = "unknown exception";
+        code = kSupervisedExceptionExit;
+    }
+    uninstallSafePoint();
+
+    char header[1 + sizeof(uint32_t)];
+    header[0] = kFrameFinal;
+    uint32_t len = static_cast<uint32_t>(payload.size());
+    std::memcpy(header + 1, &len, sizeof(len));
+    writeAll(payload_fd, std::string(header, sizeof(header)));
+    writeAll(payload_fd, payload);
+    ::close(payload_fd);
+    ::_exit(code);
+}
+
+/** A live checkpoint holder, newest at the back of the chain. */
+struct Holder
+{
+    pid_t pid = 0;
+    uint64_t cycle = 0;
+};
+
+SupervisedResult
+runSupervisedCheckpointed(const std::function<RunMetrics()> &body,
+                          const SupervisorOptions &options)
+{
+    SupervisedResult result;
+
+    int fds[2] = {-1, -1};
+    int lifeline[2] = {-1, -1};
+    pid_t active = -1;
+    {
+        std::lock_guard<std::mutex> lock(g_forkMutex);
+        becomeSubreaper();
+        if (::pipe(fds) != 0 || ::pipe(lifeline) != 0) {
+            result.message =
+                std::string("pipe failed: ") + std::strerror(errno);
+            for (int fd : {fds[0], fds[1], lifeline[0], lifeline[1]}) {
+                if (fd >= 0)
+                    ::close(fd);
+            }
+            return result;
+        }
+        g_lifelineFds.push_back(lifeline[1]);
+        active = ::fork();
+        if (active < 0) {
+            result.message =
+                std::string("fork failed: ") + std::strerror(errno);
+            g_lifelineFds.pop_back();
+            ::close(fds[0]);
+            ::close(fds[1]);
+            ::close(lifeline[0]);
+            ::close(lifeline[1]);
+            return result;
+        }
+        if (active == 0) {
+            ::close(fds[0]);
+            // Our own registered write end included: only the
+            // supervisor may hold the lifeline open, or holders never
+            // see EOF when it dies.
+            closeInheritedLifelines();
+            childCheckpointMain(fds[1], lifeline[0], body,
+                                options.registry, options);
+        }
+        ::close(fds[1]);
+        ::close(lifeline[0]);
+    }
+
+    using Duration = SteadyClock::duration;
+    const bool bounded = options.timeoutSeconds > 0.0;
+    const bool stall_bounded = options.stallTimeoutSeconds > 0.0;
+    const Duration timeout_dur =
+        std::chrono::duration_cast<Duration>(
+            std::chrono::duration<double>(options.timeoutSeconds));
+    const Duration stall_dur = std::chrono::duration_cast<Duration>(
+        std::chrono::duration<double>(options.stallTimeoutSeconds));
+    SteadyClock::time_point deadline = SteadyClock::now() + timeout_dur;
+    SteadyClock::time_point last_progress = SteadyClock::now();
+
+    std::deque<Holder> holders;
+    std::vector<pid_t> graveyard; // SIGKILLed holders awaiting reap
+    const unsigned keep = std::max(1u, options.checkpointKeep);
+
+    // Holders are grandchildren while the active incarnation lives:
+    // SIGKILL is immediate but the zombie is only reapable once it
+    // reparents to us (subreaper) at the active's death, so reaping is
+    // deferred and retried.
+    auto kill_holder = [&](pid_t pid) {
+        ::kill(pid, SIGKILL);
+        graveyard.push_back(pid);
+    };
+    auto reap_graveyard = [&] {
+        for (auto it = graveyard.begin(); it != graveyard.end();) {
+            pid_t r = ::waitpid(*it, nullptr, WNOHANG);
+            if (r == *it)
+                it = graveyard.erase(it);
+            else
+                ++it; // 0 (alive) or ECHILD (not reparented yet): retry
+        }
+    };
+
+    // Frame reassembly. buf may end mid-frame between reads (reads are
+    // chunked); that is normal streaming state. Only after a death is
+    // a leftover partial frame garbage — handle_death() drops it.
+    std::string buf;
+    std::string final_payload;
+    uint32_t final_want = 0;
+    bool final_header = false;
+    bool final_done = false;
+
+    auto parse_frames = [&] {
+        for (;;) {
+            if (final_header && !final_done) {
+                size_t take = std::min<size_t>(
+                    final_want - final_payload.size(), buf.size());
+                final_payload.append(buf, 0, take);
+                buf.erase(0, take);
+                final_done = final_payload.size() == final_want;
+                if (!final_done)
+                    return;
+            }
+            if (buf.empty())
+                return;
+            char tag = buf[0];
+            if (tag == kFrameBeacon) {
+                if (buf.size() < 1 + sizeof(uint64_t))
+                    return;
+                buf.erase(0, 1 + sizeof(uint64_t));
+            } else if (tag == kFrameCkpt) {
+                if (buf.size() < 1 + sizeof(uint64_t) + sizeof(int32_t))
+                    return;
+                uint64_t cycle = 0;
+                int32_t pid = 0;
+                std::memcpy(&cycle, buf.data() + 1, sizeof(cycle));
+                std::memcpy(&pid, buf.data() + 1 + sizeof(cycle),
+                            sizeof(pid));
+                buf.erase(0, 1 + sizeof(cycle) + sizeof(pid));
+                holders.push_back(
+                    {static_cast<pid_t>(pid), cycle});
+                result.checkpointsTaken++;
+                if (options.onCheckpoint)
+                    options.onCheckpoint(cycle);
+                while (holders.size() > keep) {
+                    kill_holder(holders.front().pid);
+                    holders.pop_front();
+                }
+            } else if (tag == kFrameFinal) {
+                if (buf.size() < 1 + sizeof(uint32_t))
+                    return;
+                std::memcpy(&final_want, buf.data() + 1,
+                            sizeof(final_want));
+                buf.erase(0, 1 + sizeof(final_want));
+                final_payload.clear();
+                final_header = true;
+                final_done = final_want == 0;
+            } else {
+                // Unreachable by construction (frames are atomic);
+                // skip the byte rather than wedge.
+                buf.erase(0, 1);
+            }
+        }
+    };
+
+    char rbuf[4096];
+    int status = 0;
+    bool killed_timeout = false;
+    bool killed_stall = false;
+
+    // Death verdict: resume from the newest live holder, or go
+    // terminal. The active incarnation is already reaped when this
+    // runs, so every holder has reparented to us and its own liveness
+    // is observable with waitpid(WNOHANG).
+    enum class After
+    {
+        Resumed,
+        Terminal,
+    };
+    auto handle_death = [&](bool timed_out, bool stalled) -> After {
+        // Drain what the dead incarnation flushed: last-second K
+        // frames still register usable (older-state) holders. Then
+        // drop the torn tail — the next incarnation starts clean.
+        for (;;) {
+            struct pollfd q = {fds[0], POLLIN, 0};
+            if (::poll(&q, 1, 0) <= 0)
+                break;
+            ssize_t n = ::read(fds[0], rbuf, sizeof(rbuf));
+            if (n <= 0)
+                break;
+            buf.append(rbuf, static_cast<size_t>(n));
+        }
+        parse_frames();
+        reap_graveyard();
+
+        int code = WIFEXITED(status) ? WEXITSTATUS(status) : 0;
+        bool abnormal = timed_out || stalled || WIFSIGNALED(status) ||
+                        (code != 0 && code != kSupervisedExceptionExit) ||
+                        (code == 0 && !final_done);
+        if (!abnormal)
+            return After::Terminal; // clean payload or exception
+
+        while (!holders.empty() && result.resumes < options.maxResumes) {
+            Holder h = holders.back();
+            holders.pop_back();
+            if (::waitpid(h.pid, nullptr, WNOHANG) != 0)
+                continue; // holder itself died (OOM?): try an older one
+            ::kill(h.pid, SIGUSR1);
+            active = h.pid;
+            result.resumes++;
+            result.resumedFromCycle = h.cycle;
+            result.cyclesSaved += h.cycle;
+            if (options.onResume)
+                options.onResume(h.cycle, result.resumes);
+            // Fresh budgets for the continuation; forget the torn tail.
+            buf.clear();
+            final_payload.clear();
+            final_header = final_done = false;
+            final_want = 0;
+            SteadyClock::time_point now = SteadyClock::now();
+            deadline = now + timeout_dur;
+            last_progress = now;
+            return After::Resumed;
+        }
+        killed_timeout = timed_out;
+        killed_stall = stalled;
+        return After::Terminal;
+    };
+
+    for (;;) {
+        SteadyClock::time_point now = SteadyClock::now();
+        if (bounded && now >= deadline) {
+            ::kill(active, SIGKILL);
+            status = reap(active);
+            if (handle_death(true, false) == After::Resumed)
+                continue;
+            break;
+        }
+        if (stall_bounded && now - last_progress >= stall_dur) {
+            ::kill(active, SIGKILL);
+            status = reap(active);
+            if (handle_death(false, true) == After::Resumed)
+                continue;
+            break;
+        }
+
+        long long wait_ms = kDeathWatchTickMs;
+        if (bounded) {
+            auto left = std::chrono::duration_cast<
+                std::chrono::milliseconds>(deadline - now);
+            wait_ms = std::min<long long>(wait_ms, left.count() + 1);
+        }
+        if (stall_bounded) {
+            auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    last_progress + stall_dur - now);
+            wait_ms = std::min<long long>(wait_ms, left.count() + 1);
+        }
+        wait_ms = std::max<long long>(wait_ms, 0);
+
+        struct pollfd p = {fds[0], POLLIN, 0};
+        int pr = ::poll(&p, 1, static_cast<int>(wait_ms));
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            // Unreachable poll failure: reclaim and report, never hang.
+            ::kill(active, SIGKILL);
+            status = reap(active);
+            result.message = std::string("supervisor poll failed: ") +
+                             std::strerror(errno);
+            break;
+        }
+        if (pr > 0) {
+            ssize_t n = ::read(fds[0], rbuf, sizeof(rbuf));
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                ::kill(active, SIGKILL);
+                status = reap(active);
+                result.message =
+                    std::string("supervisor read failed: ") +
+                    std::strerror(errno);
+                break;
+            }
+            if (n > 0) {
+                buf.append(rbuf, static_cast<size_t>(n));
+                parse_frames();
+                // Any bytes count as progress: only our child (or its
+                // successor holder) holds the write end.
+                last_progress = SteadyClock::now();
+                if (final_done) {
+                    // The child _exits right after the F frame.
+                    status = reap(active);
+                    if (handle_death(false, false) == After::Resumed)
+                        continue;
+                    break;
+                }
+                continue;
+            }
+            // n == 0: EOF — every write end is closed, so the active
+            // incarnation *and* every holder are dead. Reap and decide
+            // (the holder chain is all corpses; resume will skip them).
+            status = reap(active);
+            if (handle_death(false, false) == After::Resumed)
+                continue;
+            break;
+        }
+        // Poll tick: death watch for an incarnation that died without
+        // EOF (holders keep the write end open by design).
+        pid_t r = ::waitpid(active, &status, WNOHANG);
+        if (r == active) {
+            if (handle_death(false, false) == After::Resumed)
+                continue;
+            break;
+        }
+        reap_graveyard();
+    }
+    ::close(fds[0]);
+
+    // Tear down the holder chain: SIGKILL everything still frozen,
+    // close the lifeline (the EOF backstop for anything we missed),
+    // and reap — the active incarnation is dead, so every holder has
+    // reparented to this process and *must* be collectable. ECHILD
+    // means it was already reaped (or adopted by init on non-Linux).
+    {
+        std::lock_guard<std::mutex> lock(g_forkMutex);
+        g_lifelineFds.erase(std::remove(g_lifelineFds.begin(),
+                                        g_lifelineFds.end(), lifeline[1]),
+                            g_lifelineFds.end());
+    }
+    ::close(lifeline[1]);
+    for (const Holder &h : holders)
+        kill_holder(h.pid);
+    holders.clear();
+    for (pid_t pid : graveyard) {
+        for (;;) {
+            pid_t r = ::waitpid(pid, nullptr, 0);
+            if (r == pid)
+                break;
+            if (r < 0 && errno == EINTR)
+                continue;
+            break; // ECHILD: already gone
+        }
+    }
+
+    // Terminal decode, mirroring the classic supervisor's verdicts.
+    if (!result.message.empty())
+        return result; // pipe/poll failure recorded above
+    if (killed_timeout) {
+        result.timedOut = true;
+        result.exitSignal = SIGKILL;
+        result.message = "timed out after " +
+                         std::to_string(options.timeoutSeconds) +
+                         "s (child killed)";
+        return result;
+    }
+    if (killed_stall) {
+        result.stalled = true;
+        result.crashed = true;
+        result.exitSignal = SIGKILL;
+        result.message = "stalled: no progress for " +
+                         std::to_string(options.stallTimeoutSeconds) +
+                         "s (child killed)";
+        return result;
+    }
+    if (WIFSIGNALED(status)) {
+        int sig = WTERMSIG(status);
+        result.crashed = true;
+        result.exitSignal = sig;
+        const char *name = strsignal(sig);
+        result.message = "child killed by signal " + std::to_string(sig) +
+                         (name ? std::string(" (") + name + ")" : "");
+        return result;
+    }
+    int code = WIFEXITED(status) ? WEXITSTATUS(status) : 0;
+    if (code == kSupervisedExceptionExit) {
+        result.exitCode = code;
+        result.message =
+            final_payload.empty() ? "child exception" : final_payload;
+        return result;
+    }
+    if (code != 0) {
+        result.crashed = true;
+        result.exitCode = code;
+        result.message = "child exited with code " + std::to_string(code) +
+                         " without reporting metrics";
+        return result;
+    }
+    if (!final_done) {
+        result.crashed = true;
+        result.message =
+            "child exited 0 without a complete final payload";
+        return result;
+    }
+
+    Json parsed;
+    std::string error;
+    bool shape_ok = Json::parse(final_payload, parsed, &error);
+    if (shape_ok) {
+        const Json *metrics_doc = &parsed;
+        if (options.registry) {
+            shape_ok = parsed.isObject() && parsed.has("metrics") &&
+                       parsed.has("registry");
+            if (shape_ok)
+                metrics_doc = &parsed.at("metrics");
+        }
+        shape_ok = shape_ok &&
+                   BenchReport::fromJson(*metrics_doc, result.metrics);
+    }
+    if (!shape_ok) {
+        result.crashed = true;
+        result.message = "child exited 0 but its metrics did not parse" +
+                         (error.empty() ? std::string() : ": " + error);
+        return result;
+    }
+    if (options.registry &&
+        !options.registry->mergeJson(parsed.at("registry"))) {
+        result.crashed = true;
+        result.message =
+            "child exited 0 but its metrics registry did not parse";
+        return result;
+    }
+    result.ok = true;
+    return result;
 }
 
 } // namespace
@@ -310,6 +944,21 @@ runSupervised(const std::function<RunMetrics()> &body, double timeout_s,
     }
     result.ok = true;
     return result;
+}
+
+SupervisedResult
+runSupervised(const std::function<RunMetrics()> &body,
+              const SupervisorOptions &options)
+{
+    // Both checkpoint knobs off: the classic unframed protocol,
+    // byte-for-byte (the bit-identity contract of ATL_CKPT_CYCLES
+    // unset).
+    if (options.checkpointCycles == 0 &&
+        options.stallTimeoutSeconds <= 0.0) {
+        return runSupervised(body, options.timeoutSeconds,
+                             options.registry);
+    }
+    return runSupervisedCheckpointed(body, options);
 }
 
 // ---------------------------------------------------------------------

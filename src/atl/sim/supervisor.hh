@@ -9,6 +9,22 @@
  * waitpid — turning every way a child can die into an ordinary,
  * attributable SupervisedResult.
  *
+ * The checkpointed mode (SupervisorOptions::checkpointCycles, env
+ * ATL_CKPT_CYCLES) upgrades "failed cell" to "resumed cell": at
+ * commit-boundary safe points (runtime/checkpoint.hh) the child forks
+ * frozen *checkpoint holders* — copy-on-write snapshots of the entire
+ * process image, fiber stacks included — and the parent keeps the
+ * newest few alive. When the child crashes, stalls, or times out, the
+ * parent wakes the newest holder with SIGUSR1 and the simulation
+ * continues from that snapshot instead of restarting from cycle zero;
+ * because the image is exact and the simulation deterministic, the
+ * resumed RunMetrics and telemetry are bit-identical to an
+ * uninterrupted run. The same mode carries framed progress beacons
+ * that feed a stall watchdog (stallTimeoutSeconds, env
+ * ATL_SWEEP_STALL_TIMEOUT) able to tell a wedged cell from a slow one.
+ * Both knobs default off, in which case runSupervised is byte-for-byte
+ * the classic single-shot supervisor.
+ *
  * The companion SweepSignalGuard traps SIGINT/SIGTERM for the duration
  * of a sweep so an interrupted run can flush a partial report (and its
  * journal survives for resume) instead of vanishing mid-write.
@@ -18,6 +34,7 @@
 #define ATL_SIM_SUPERVISOR_HH
 
 #include <csignal>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <string>
@@ -48,6 +65,56 @@ struct SupervisedResult
     int exitSignal = 0;
     /** Exit status (WEXITSTATUS), 0 when killed by a signal. */
     int exitCode = 0;
+    /** The stall watchdog killed the attempt: progress beacons stopped
+     *  for stallTimeoutSeconds while the wall-clock deadline had not
+     *  expired. Implies crashed (the kill is a SIGKILL). */
+    bool stalled = false;
+    /** Checkpoint holders forked across the attempt, resumes included
+     *  (checkpointed mode only). */
+    uint64_t checkpointsTaken = 0;
+    /** Times the attempt was resumed from a checkpoint holder. */
+    unsigned resumes = 0;
+    /** Simulated cycle of the newest resume (0 when none). */
+    uint64_t resumedFromCycle = 0;
+    /** Simulated cycles *not* re-executed thanks to resumes: the sum of
+     *  resumed-from cycles (each resume skips re-running [0, cycle)). */
+    uint64_t cyclesSaved = 0;
+};
+
+/** Knobs for one supervised attempt (the richer face of
+ *  runSupervised; the 3-argument overload below is the classic
+ *  subset). */
+struct SupervisorOptions
+{
+    /** Wall-clock deadline in seconds; 0 disables. In checkpointed
+     *  mode the deadline restarts at every resume (each continuation
+     *  gets a full budget), bounded by maxResumes. */
+    double timeoutSeconds = 0.0;
+    /** Merge the child's metrics-registry updates back on success. */
+    MetricsRegistry *registry = nullptr;
+    /** Checkpoint cadence in simulated cycles: the child forks a
+     *  frozen holder at the first safe point past each multiple.
+     *  0 disables checkpointing (the default — and with
+     *  stallTimeoutSeconds also 0, the attempt runs the classic
+     *  unframed protocol, byte-identical to the 3-argument overload). */
+    uint64_t checkpointCycles = 0;
+    /** Holder-chain depth: the newest N holders are kept alive; older
+     *  ones are SIGKILLed as new checkpoints arrive. */
+    unsigned checkpointKeep = 2;
+    /** Kill the child when no progress beacon (a strictly newer
+     *  simulated cycle) arrives for this long; 0 disables. Beacons
+     *  flow whenever checkpointing *or* this watchdog is on. */
+    double stallTimeoutSeconds = 0.0;
+    /** Resume budget: after this many holder wakes the next death is
+     *  terminal. Bounds the deadline-restart loop. */
+    unsigned maxResumes = 16;
+    /** Called in the parent as each checkpoint frame arrives (cycle of
+     *  the holder's snapshot). Used by the sweep engine to emit
+     *  SweepCheckpoint telemetry. */
+    std::function<void(uint64_t cycle)> onCheckpoint;
+    /** Called in the parent at each resume (snapshot cycle, resume
+     *  ordinal starting at 1). */
+    std::function<void(uint64_t cycle, unsigned resumes)> onResume;
 };
 
 /**
@@ -86,6 +153,48 @@ struct SupervisedResult
 SupervisedResult runSupervised(const std::function<RunMetrics()> &body,
                                double timeout_s,
                                MetricsRegistry *registry = nullptr);
+
+/**
+ * The full-options overload. With checkpointCycles and
+ * stallTimeoutSeconds both 0 this is exactly the classic overload;
+ * with either set, the attempt runs the framed checkpoint/stall
+ * protocol:
+ *
+ *   - The child installs a safe-point sink (runtime/checkpoint.hh) and
+ *     speaks a framed wire protocol on the payload pipe: 'B' progress
+ *     beacons (current simulated cycle), 'K' checkpoint announcements
+ *     (cycle + holder pid), and one final 'F' frame wrapping the
+ *     classic JSON payload. Each B/K frame is a single write() under
+ *     PIPE_BUF, so frames are never torn even when the writer is
+ *     SIGKILLed mid-run.
+ *
+ *   - A checkpoint forks a *holder*: the fork child parks in ppoll on
+ *     a lifeline pipe with SIGUSR1 unblocked only inside the wait
+ *     (signals sent early stay pending — no wake can be lost). SIGUSR1
+ *     resumes the simulation from the snapshot; lifeline EOF means the
+ *     supervisor itself died and the orphan _exits. The parent keeps
+ *     the newest checkpointKeep holders and SIGKILLs older ones.
+ *
+ *   - On child death (crash, silent exit, stall kill, timeout kill)
+ *     the parent wakes the newest holder instead of reporting failure,
+ *     up to maxResumes times; the woken holder *becomes* the child —
+ *     it keeps simulating, checkpointing, and finally writes the 'F'
+ *     payload. SupervisedResult carries the accounting
+ *     (checkpointsTaken, resumes, resumedFromCycle, cyclesSaved).
+ *
+ *   - The supervisor marks itself a child subreaper
+ *     (PR_SET_CHILD_SUBREAPER) so holders — grandchildren while the
+ *     active child lives — reparent to it when the child dies and can
+ *     always be reaped: no holder outlives the call.
+ *
+ * Determinism contract: the snapshot is the exact process image and
+ * the safe-point layer never perturbs simulation state, so a resumed
+ * run's RunMetrics and telemetry are bit-identical to an uninterrupted
+ * one (tests/sim/test_checkpoint.cc pins this against the hot-path
+ * identity goldens).
+ */
+SupervisedResult runSupervised(const std::function<RunMetrics()> &body,
+                               const SupervisorOptions &options);
 
 /** Exit code the child uses to report a caught exception (its what()
  *  text travels over the pipe). Distinct from any small code a silent

@@ -76,6 +76,11 @@ struct AttemptResult
     bool crashed = false;
     int exitSignal = 0;
     int exitCode = 0;
+    bool stalled = false;
+    uint64_t checkpointsTaken = 0;
+    unsigned checkpointResumes = 0;
+    uint64_t resumedFromCycle = 0;
+    uint64_t checkpointCyclesSaved = 0;
 };
 
 AttemptResult
@@ -102,16 +107,30 @@ callAttempt(const std::function<RunMetrics()> &call)
  * abandoned.
  */
 AttemptResult
-runAttempt(const std::function<RunMetrics()> &call, double timeout_s,
-           bool isolate, MetricsRegistry *registry)
+runAttempt(const std::function<RunMetrics()> &call,
+           const SweepOptions &options, MetricsRegistry *registry,
+           const std::function<void(uint64_t)> &on_checkpoint,
+           const std::function<void(uint64_t, unsigned)> &on_resume)
 {
-    if (isolate) {
+    double timeout_s = options.timeoutSeconds;
+    if (options.isolate) {
         // Crash-isolated attempt: fork, marshal, reap. Every abnormal
         // child death (signal, silent _exit, OOM-kill) and every
         // timeout comes back as an attributable failure; the wedged
         // child is SIGKILLed, not abandoned. The job's metrics
-        // registry rides the same pipe (see runSupervised).
-        SupervisedResult s = runSupervised(call, timeout_s, registry);
+        // registry rides the same pipe, and with checkpointCycles /
+        // stallTimeoutSeconds set the attempt runs the checkpointed
+        // protocol (holders, beacons, mid-cell resume) — see
+        // runSupervised(body, SupervisorOptions).
+        SupervisorOptions sup;
+        sup.timeoutSeconds = timeout_s;
+        sup.registry = registry;
+        sup.checkpointCycles = options.checkpointCycles;
+        sup.checkpointKeep = options.checkpointKeep;
+        sup.stallTimeoutSeconds = options.stallTimeoutSeconds;
+        sup.onCheckpoint = on_checkpoint;
+        sup.onResume = on_resume;
+        SupervisedResult s = runSupervised(call, sup);
         AttemptResult result;
         result.ok = s.ok;
         result.metrics = std::move(s.metrics);
@@ -120,6 +139,11 @@ runAttempt(const std::function<RunMetrics()> &call, double timeout_s,
         result.crashed = s.crashed;
         result.exitSignal = s.exitSignal;
         result.exitCode = s.exitCode;
+        result.stalled = s.stalled;
+        result.checkpointsTaken = s.checkpointsTaken;
+        result.checkpointResumes = s.resumes;
+        result.resumedFromCycle = s.resumedFromCycle;
+        result.checkpointCyclesSaved = s.cyclesSaved;
         return result;
     }
 
@@ -177,6 +201,18 @@ sweepOptionsFromEnv(SweepOptions base)
             }
         }
     };
+    auto envUint64 = [](const char *name, uint64_t &out) {
+        if (const char *env = std::getenv(name)) {
+            char *end = nullptr;
+            unsigned long long v = std::strtoull(env, &end, 10);
+            if (!std::strchr(env, '-') && !std::strchr(env, '+') &&
+                end && end != env && *end == '\0') {
+                out = static_cast<uint64_t>(v);
+            } else {
+                atl_warn("ignoring malformed ", name, "='", env, "'");
+            }
+        }
+    };
     if (const char *env = std::getenv("ATL_ISOLATE")) {
         base.isolate = *env && std::string(env) != "0";
     }
@@ -184,6 +220,9 @@ sweepOptionsFromEnv(SweepOptions base)
     envUnsigned("ATL_SWEEP_ATTEMPTS", base.maxAttempts);
     envDouble("ATL_SWEEP_BACKOFF_MS", base.backoffBaseMs);
     envUnsigned("ATL_SWEEP_KILL_AFTER", base.selfKillAfter);
+    envUint64("ATL_CKPT_CYCLES", base.checkpointCycles);
+    envUnsigned("ATL_CKPT_KEEP", base.checkpointKeep);
+    envDouble("ATL_SWEEP_STALL_TIMEOUT", base.stallTimeoutSeconds);
     return base;
 }
 
@@ -294,6 +333,8 @@ SweepRunner::runCollect(const std::vector<SweepJob> &sweep,
     outcome.results.resize(sweep.size());
     outcome.ok.assign(sweep.size(), 0);
     outcome.resumed.assign(sweep.size(), 0);
+    std::atomic<uint64_t> ckpt_resumes_total{0};
+    std::atomic<uint64_t> ckpt_cycles_saved_total{0};
     std::mutex failures_mutex;
     std::mutex telemetry_mutex;
     std::atomic<unsigned> jobs_completed{0};
@@ -366,8 +407,11 @@ SweepRunner::runCollect(const std::vector<SweepJob> &sweep,
         if (options.journal) {
             RunMetrics replayed;
             Json replayed_registry;
-            if (options.journal->completedMetrics(i, replayed,
-                                                  &replayed_registry)) {
+            uint64_t replayed_ckpt_resumes = 0;
+            uint64_t replayed_ckpt_saved = 0;
+            if (options.journal->completedMetrics(
+                    i, replayed, &replayed_registry,
+                    &replayed_ckpt_resumes, &replayed_ckpt_saved)) {
                 outcome.results[i] = std::move(replayed);
                 outcome.ok[i] = 1;
                 outcome.resumed[i] = 1;
@@ -379,6 +423,11 @@ SweepRunner::runCollect(const std::vector<SweepJob> &sweep,
                              "metrics registry in journal; replayed ",
                              "cell loses its registry contribution");
                 }
+                // Checkpoint accounting rides the done-record so a
+                // journal-resumed sweep reports the same totals as the
+                // run that actually earned them.
+                ckpt_resumes_total += replayed_ckpt_resumes;
+                ckpt_cycles_saved_total += replayed_ckpt_saved;
                 count(host_ids.cellsResumed, 1);
                 emit(EventKind::SweepResume, i, 0, 0);
                 return;
@@ -410,6 +459,8 @@ SweepRunner::runCollect(const std::vector<SweepJob> &sweep,
         SweepJobFailure failure;
         failure.index = i;
         failure.name = job.name;
+        uint64_t cell_ckpt_resumes = 0;
+        uint64_t cell_ckpt_saved = 0;
         for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
             if (attempt > 0) {
                 // Exponential backoff with seeded jitter: doubling
@@ -456,10 +507,22 @@ SweepRunner::runCollect(const std::vector<SweepJob> &sweep,
             } else {
                 call = job.body;
             }
-            AttemptResult result =
-                runAttempt(call, options.timeoutSeconds,
-                           options.isolate, job.metrics);
+            AttemptResult result = runAttempt(
+                call, options, job.metrics,
+                [&](uint64_t cycle) {
+                    emit(EventKind::SweepCheckpoint, i, attempt, cycle);
+                },
+                [&](uint64_t cycle, unsigned) {
+                    emit(EventKind::SweepCkptResume, i, attempt, cycle);
+                });
             failure.attempts = attempt + 1;
+            // Mid-cell resumes saved re-execution whether or not the
+            // cell ultimately succeeds, so accounting accumulates
+            // across attempts.
+            cell_ckpt_resumes += result.checkpointResumes;
+            cell_ckpt_saved += result.checkpointCyclesSaved;
+            ckpt_resumes_total += result.checkpointResumes;
+            ckpt_cycles_saved_total += result.checkpointCyclesSaved;
             if (result.ok) {
                 outcome.results[i] = std::move(result.metrics);
                 outcome.ok[i] = 1;
@@ -469,10 +532,14 @@ SweepRunner::runCollect(const std::vector<SweepJob> &sweep,
                     if (job.metrics) {
                         Json snapshot = job.metrics->json();
                         options.journal->noteDone(i, outcome.results[i],
-                                                  0, &snapshot);
+                                                  0, &snapshot,
+                                                  cell_ckpt_resumes,
+                                                  cell_ckpt_saved);
                     } else {
-                        options.journal->noteDone(i,
-                                                  outcome.results[i]);
+                        options.journal->noteDone(i, outcome.results[i],
+                                                  0, nullptr,
+                                                  cell_ckpt_resumes,
+                                                  cell_ckpt_saved);
                     }
                 }
                 if (options.selfKillAfter &&
@@ -490,6 +557,9 @@ SweepRunner::runCollect(const std::vector<SweepJob> &sweep,
             failure.crashed = result.crashed;
             failure.exitSignal = result.exitSignal;
             failure.exitCode = result.exitCode;
+            failure.stalled = result.stalled;
+            failure.checkpointResumes = cell_ckpt_resumes;
+            failure.resumedFromCycle = result.resumedFromCycle;
             if (result.crashed || (result.timedOut && options.isolate)) {
                 emit(EventKind::SweepCrash, i, attempt,
                      static_cast<uint64_t>(
@@ -508,6 +578,8 @@ SweepRunner::runCollect(const std::vector<SweepJob> &sweep,
         outcome.failures.push_back(std::move(failure));
     });
 
+    outcome.checkpointResumes = ckpt_resumes_total.load();
+    outcome.checkpointCyclesSaved = ckpt_cycles_saved_total.load();
     outcome.interrupted = SweepSignalGuard::interrupted();
     if (options.journal && outcome.complete()) {
         // Clean end-to-end sweep: the journal has served its purpose;
@@ -546,10 +618,14 @@ BenchReport::BenchReport(std::string bench_name)
     : _name(std::move(bench_name)), _doc(Json::object())
 {
     _doc["bench"] = Json(_name);
-    // Schema 7 adds the optional top-level "metrics" object written by
-    // noteMetrics: a merged MetricsRegistry snapshot ({"counters",
-    // "gauges", "histograms"}, see obs/metrics.hh).
-    // (Schema 6 added the optional fabric fields written by
+    // Schema 8 adds mid-cell checkpoint/restore accounting: top-level
+    // checkpoint_resumes / checkpoint_cycles_saved (holder wakes and
+    // simulated cycles not re-executed, see sim/supervisor.hh), and
+    // per-failure stalled / checkpoint_resumes / resumed_from_cycle.
+    // (Schema 7 added the optional top-level "metrics" object written
+    // by noteMetrics: a merged MetricsRegistry snapshot ({"counters",
+    // "gauges", "histograms"}, see obs/metrics.hh);
+    // schema 6 the optional fabric fields written by
     // noteFabricReport: top-level workers / stolen_runs and the
     // worker_failures array (slot, pid, exit signal/code, cells lost);
     // schema 5 crash-isolation fields: per-failure exit_signal /
@@ -557,13 +633,15 @@ BenchReport::BenchReport(std::string bench_name)
     // resumed_runs count of cells replayed from a sweep journal;
     // schema 4 the optional top-level "telemetry" object, see
     // traceSummaryJson.)
-    _doc["schema"] = Json(7);
+    _doc["schema"] = Json(8);
     _doc["runs"] = Json::array();
     // Partial-result status (schema 3): noteFailure clears the flag,
     // so a report that lost cells says so instead of passing silently.
     _doc["complete"] = Json(true);
     _doc["failed_runs"] = Json::array();
     _doc["resumed_runs"] = Json(static_cast<uint64_t>(0));
+    _doc["checkpoint_resumes"] = Json(static_cast<uint64_t>(0));
+    _doc["checkpoint_cycles_saved"] = Json(static_cast<uint64_t>(0));
 }
 
 void
@@ -593,6 +671,10 @@ BenchReport::noteFailure(const SweepJobFailure &failure)
     entry["exit_signal"] = Json(static_cast<int64_t>(failure.exitSignal));
     entry["exit_code"] = Json(static_cast<int64_t>(failure.exitCode));
     entry["attempts_backoff_ms"] = Json(failure.attemptsBackoffMs);
+    // Schema 8: stall-watchdog and mid-cell resume attribution.
+    entry["stalled"] = Json(failure.stalled);
+    entry["checkpoint_resumes"] = Json(failure.checkpointResumes);
+    entry["resumed_from_cycle"] = Json(failure.resumedFromCycle);
     _doc["failed_runs"].push(std::move(entry));
 }
 
@@ -605,8 +687,18 @@ BenchReport::noteOutcome(const SweepOutcome &outcome)
     }
     for (const SweepJobFailure &failure : outcome.failures)
         noteFailure(failure);
+    // Accumulate rather than overwrite: a bench that runs several
+    // sweeps into one report (bench_crash_matrix and its checkpointed
+    // column) keeps every sweep's recovery accounting.
     _doc["resumed_runs"] =
-        Json(static_cast<uint64_t>(outcome.resumedRuns()));
+        Json(_doc["resumed_runs"].asUint() +
+             static_cast<uint64_t>(outcome.resumedRuns()));
+    _doc["checkpoint_resumes"] =
+        Json(_doc["checkpoint_resumes"].asUint() +
+             outcome.checkpointResumes);
+    _doc["checkpoint_cycles_saved"] =
+        Json(_doc["checkpoint_cycles_saved"].asUint() +
+             outcome.checkpointCyclesSaved);
     if (outcome.interrupted) {
         // A sweep cut short by SIGINT/SIGTERM: the skipped cells have
         // no failure entries, so the flag (not failed_runs) is what

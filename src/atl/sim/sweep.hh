@@ -141,6 +141,22 @@ struct SweepOptions
      *  hard mid-sweep crash (journal-resume smoke in check.sh --crash).
      *  0 disables. */
     unsigned selfKillAfter = 0;
+    /** Mid-cell checkpoint cadence in simulated cycles (requires
+     *  isolate): the supervised child forks a frozen copy-on-write
+     *  holder at commit boundaries every this-many cycles, and a
+     *  crashed/stalled/timed-out attempt resumes from its newest
+     *  holder instead of re-running from cycle zero (see
+     *  sim/supervisor.hh). 0 (the default) disables checkpointing and
+     *  keeps the attempt protocol byte-identical to before it
+     *  existed. */
+    uint64_t checkpointCycles = 0;
+    /** Checkpoint holders kept alive per attempt (newest N). */
+    unsigned checkpointKeep = 2;
+    /** Stall watchdog (requires isolate): kill an attempt whose
+     *  progress beacons stop for this many seconds — a wedged cell,
+     *  as opposed to a slow one — and attribute it stalled=true.
+     *  0 disables. */
+    double stallTimeoutSeconds = 0.0;
 };
 
 /**
@@ -151,6 +167,10 @@ struct SweepOptions
  *   ATL_SWEEP_ATTEMPTS=<n>   attempts per job
  *   ATL_SWEEP_BACKOFF_MS=<m> base retry backoff, milliseconds
  *   ATL_SWEEP_KILL_AFTER=<n> self-SIGKILL after n completed jobs
+ *   ATL_CKPT_CYCLES=<c>      mid-cell checkpoint cadence, simulated
+ *                            cycles (0/unset = off)
+ *   ATL_CKPT_KEEP=<n>        checkpoint holders kept per attempt
+ *   ATL_SWEEP_STALL_TIMEOUT=<s> stall watchdog, seconds (0/unset = off)
  * Journal attachment stays with the caller (it owns the object).
  */
 SweepOptions sweepOptionsFromEnv(SweepOptions base = {});
@@ -178,6 +198,15 @@ struct SweepJobFailure
     int exitCode = 0;
     /** Total milliseconds spent in retry backoff across attempts. */
     uint64_t attemptsBackoffMs = 0;
+    /** The stall watchdog killed the last attempt (progress beacons
+     *  stopped; distinct from the wall-clock timeout). */
+    bool stalled = false;
+    /** Checkpoint resumes consumed across the job's attempts — the
+     *  cell failed anyway (resume budget or holder chain exhausted). */
+    uint64_t checkpointResumes = 0;
+    /** Simulated cycle of the last attempt's newest resume (0 when it
+     *  never resumed). */
+    uint64_t resumedFromCycle = 0;
 };
 
 /**
@@ -221,6 +250,13 @@ struct SweepOutcome
     /** SIGINT/SIGTERM arrived mid-sweep: jobs not yet started were
      *  skipped (their ok stays 0 with no failure entry). */
     bool interrupted = false;
+    /** Mid-cell checkpoint resumes across every cell and attempt
+     *  (schema 8): times a crashed/stalled/timed-out attempt continued
+     *  from a forked holder instead of restarting. */
+    uint64_t checkpointResumes = 0;
+    /** Simulated cycles those resumes did *not* re-execute (the sum of
+     *  resumed-from cycles — the work checkpointing salvaged). */
+    uint64_t checkpointCyclesSaved = 0;
 
     /** True when every job succeeded. */
     bool complete() const { return failures.empty() && !interrupted; }

@@ -1,0 +1,484 @@
+/**
+ * @file
+ * Mid-cell checkpoint/restore: a supervised attempt that crashes
+ * mid-simulation must resume from its newest fork-based COW holder and
+ * finish with RunMetrics *and* telemetry bit-identical to an
+ * uninterrupted run — across the classic engine and every epoch shard
+ * count. The chaos matrix kills the attempt at a checkpoint boundary,
+ * between checkpoints, and right at holder handoff; companion tests pin
+ * the stall watchdog's attribution, holder-chain trimming, schema-8
+ * report accounting, journal round-trips of the accounting, and that no
+ * holder process outlives a sweep (ECHILD).
+ *
+ * The child's telemetry cannot cross the process boundary directly, so
+ * each body fingerprints its EventLog (FNV-1a, same enumeration idiom
+ * as tests/integration/test_hotpath_identity.cc) and smuggles the hash
+ * out as two metrics-registry gauges (lo/hi 32 bits: doubles cannot
+ * carry 64 bits exactly).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "atl/fault/fault.hh"
+#include "atl/obs/event_log.hh"
+#include "atl/obs/export.hh"
+#include "atl/obs/metrics.hh"
+#include "atl/sim/journal.hh"
+#include "atl/sim/supervisor.hh"
+#include "atl/sim/sweep.hh"
+#include "atl/workloads/tasks.hh"
+
+namespace atl
+{
+namespace
+{
+
+/** Far enough that the crash never fires, but the injector is armed —
+ *  reference runs keep the exact code paths of the crashing runs. */
+constexpr uint64_t kCrashNever = ~uint64_t(0) / 2;
+
+constexpr uint64_t kFaultSeed = 0x5eedull;
+
+/** FNV-1a over explicitly enumerated fields (never raw struct bytes). */
+struct Fingerprint
+{
+    uint64_t h = 1469598103934665603ull;
+
+    void byte(uint8_t b)
+    {
+        h ^= b;
+        h *= 1099511628211ull;
+    }
+    void u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            byte(static_cast<uint8_t>(v >> (8 * i)));
+    }
+    void f64(double d)
+    {
+        uint64_t bits;
+        std::memcpy(&bits, &d, sizeof(bits));
+        u64(bits);
+    }
+    void str(const std::string &s)
+    {
+        u64(s.size());
+        for (char c : s)
+            byte(static_cast<uint8_t>(c));
+    }
+};
+
+void
+hashTelemetry(Fingerprint &fp, const EventLog &log)
+{
+    fp.u64(log.recorded());
+    fp.u64(log.size());
+    for (size_t i = 0; i < log.size(); ++i) {
+        const Event &e = log.at(i);
+        fp.byte(static_cast<uint8_t>(e.kind));
+        fp.byte(e.flag);
+        fp.u64(e.cpu);
+        fp.u64(e.tid);
+        fp.u64(e.time);
+        fp.u64(e.t0);
+        fp.u64(e.n);
+        fp.u64(e.m);
+        fp.f64(e.value);
+        fp.f64(e.aux);
+    }
+    fp.u64(log.stringCount());
+    for (size_t i = 0; i < log.stringCount(); ++i)
+        fp.str(log.string(i));
+}
+
+/** Host-independent slice of a run, hashed for equality asserts. */
+uint64_t
+metricsFingerprint(const RunMetrics &m)
+{
+    Fingerprint fp;
+    fp.str(m.workload);
+    fp.u64(static_cast<uint64_t>(m.policy));
+    fp.u64(m.numCpus);
+    fp.u64(m.makespan);
+    fp.u64(m.eMisses);
+    fp.u64(m.eRefs);
+    fp.u64(m.instructions);
+    fp.u64(m.contextSwitches);
+    fp.u64(m.schedOverheadCycles);
+    fp.u64(m.verified ? 1 : 0);
+    fp.u64(m.refsIssued);
+    return fp.h;
+}
+
+struct EngineVariant
+{
+    const char *key;
+    EngineKind engine;
+    unsigned shards;
+};
+
+const EngineVariant kVariants[] = {
+    {"classic", EngineKind::Classic, 1},
+    {"epoch1", EngineKind::Epoch, 1},
+    {"epoch2", EngineKind::Epoch, 2},
+    {"epoch4", EngineKind::Epoch, 4},
+};
+
+/** One small deterministic simulation with an armed mid-run fault
+ *  plan; smuggles the telemetry fingerprint out via registry gauges. */
+std::function<RunMetrics()>
+makeBody(const EngineVariant &variant, uint64_t crash_at_cycle,
+         double cycle_crash_prob, MetricsRegistry *registry)
+{
+    return [variant, crash_at_cycle, cycle_crash_prob, registry] {
+        EventLog log(TelemetryConfig{.capacity = 1 << 14});
+        MachineConfig cfg;
+        cfg.numCpus = 4;
+        cfg.policy = PolicyKind::CRT;
+        cfg.engine = variant.engine;
+        cfg.hostShards = variant.shards;
+        cfg.telemetry = &log;
+        FaultPlan plan;
+        plan.jobCrashAtCycle = crash_at_cycle;
+        plan.cycleCrashProb = cycle_crash_prob;
+        FaultInjector injector(plan, kFaultSeed);
+        cfg.faults = &injector;
+        TasksWorkload workload(TasksWorkload::Params{64, 40, 8});
+        RunMetrics metrics = runWorkload(workload, cfg, true, true);
+        if (registry) {
+            Fingerprint fp;
+            hashTelemetry(fp, log);
+            registry->set(registry->gauge("test.telemetry_fp_lo"),
+                          static_cast<double>(fp.h & 0xffffffffull));
+            registry->set(registry->gauge("test.telemetry_fp_hi"),
+                          static_cast<double>(fp.h >> 32));
+        }
+        return metrics;
+    };
+}
+
+/** The smuggled telemetry fingerprint, reassembled; 0 when unset. */
+uint64_t
+telemetryFp(const MetricsRegistry &registry)
+{
+    double lo = 0.0, hi = 0.0;
+    uint64_t updates = 0;
+    if (!registry.gaugeFinal("test.telemetry_fp_lo", lo, updates) ||
+        !registry.gaugeFinal("test.telemetry_fp_hi", hi, updates))
+        return 0;
+    return (static_cast<uint64_t>(hi) << 32) |
+           static_cast<uint64_t>(lo);
+}
+
+struct Reference
+{
+    RunMetrics metrics;
+    uint64_t metricsFp = 0;
+    uint64_t telemetryFp = 0;
+};
+
+/** Uninterrupted run through the *classic* (unframed) supervisor: the
+ *  golden both the armed-but-uncrashed and the crash-and-resume runs
+ *  must match bit-for-bit. */
+Reference
+uninterruptedReference(const EngineVariant &variant)
+{
+    MetricsRegistry registry;
+    registry.gauge("test.telemetry_fp_lo");
+    registry.gauge("test.telemetry_fp_hi");
+    SupervisorOptions options;
+    options.timeoutSeconds = 120.0;
+    options.registry = &registry;
+    SupervisedResult s = runSupervised(
+        makeBody(variant, kCrashNever, 0.0, &registry), options);
+    EXPECT_TRUE(s.ok) << variant.key << ": " << s.message;
+    Reference ref;
+    ref.metrics = s.metrics;
+    ref.metricsFp = metricsFingerprint(s.metrics);
+    ref.telemetryFp = telemetryFp(registry);
+    EXPECT_NE(ref.telemetryFp, 0u) << variant.key;
+    return ref;
+}
+
+/** One checkpointed run; returns the supervised result and checks the
+ *  smuggled fingerprints against the reference. */
+SupervisedResult
+runCheckpointed(const EngineVariant &variant, const Reference &ref,
+                uint64_t crash_at_cycle, double cycle_crash_prob,
+                uint64_t checkpoint_cycles, unsigned keep = 2)
+{
+    MetricsRegistry registry;
+    registry.gauge("test.telemetry_fp_lo");
+    registry.gauge("test.telemetry_fp_hi");
+    SupervisorOptions options;
+    options.timeoutSeconds = 120.0;
+    options.registry = &registry;
+    options.checkpointCycles = checkpoint_cycles;
+    options.checkpointKeep = keep;
+    SupervisedResult s = runSupervised(
+        makeBody(variant, crash_at_cycle, cycle_crash_prob, &registry),
+        options);
+    EXPECT_TRUE(s.ok) << variant.key << ": " << s.message;
+    if (s.ok) {
+        EXPECT_EQ(metricsFingerprint(s.metrics), ref.metricsFp)
+            << variant.key << " crash_at=" << crash_at_cycle;
+        EXPECT_EQ(telemetryFp(registry), ref.telemetryFp)
+            << variant.key << " crash_at=" << crash_at_cycle;
+        EXPECT_EQ(s.metrics.makespan, ref.metrics.makespan);
+        EXPECT_EQ(s.metrics.eMisses, ref.metrics.eMisses);
+        EXPECT_TRUE(s.metrics.verified);
+    }
+    return s;
+}
+
+TEST(CheckpointTest, ResumedRunsAreBitIdenticalAcrossEngines)
+{
+    for (const EngineVariant &variant : kVariants) {
+        SCOPED_TRACE(variant.key);
+        Reference ref = uninterruptedReference(variant);
+        ASSERT_GT(ref.metrics.makespan, 100u);
+        uint64_t cadence =
+            std::max<uint64_t>(1, ref.metrics.makespan / 10);
+
+        // Armed checkpointing with no crash: the safe-point layer must
+        // not perturb the simulation.
+        {
+            SupervisedResult s = runCheckpointed(variant, ref,
+                                                 kCrashNever, 0.0,
+                                                 cadence);
+            EXPECT_GE(s.checkpointsTaken, 3u) << variant.key;
+            EXPECT_EQ(s.resumes, 0u);
+            EXPECT_EQ(s.cyclesSaved, 0u);
+        }
+
+        // Chaos matrix: die between checkpoints, at a checkpoint
+        // boundary (right after the holder handoff — the checkpoint
+        // and the crash fire at the same commit boundary), and deep in
+        // the run's tail.
+        const uint64_t crash_cycles[] = {
+            cadence + cadence / 2,
+            3 * cadence,
+            ref.metrics.makespan - std::max<uint64_t>(1, cadence / 4),
+        };
+        for (uint64_t crash_at : crash_cycles) {
+            SupervisedResult s =
+                runCheckpointed(variant, ref, crash_at, 0.0, cadence);
+            EXPECT_GE(s.resumes, 1u)
+                << variant.key << " crash_at=" << crash_at;
+            EXPECT_GT(s.cyclesSaved, 0u)
+                << variant.key << " crash_at=" << crash_at;
+            // No upper bound on resumedFromCycle vs crash_at: epoch
+            // engines reach safe points (and fire the injected crash)
+            // only at epoch-horizon boundaries, which can land well
+            // past the requested cycle. The bit-identity asserts above
+            // are the real invariant.
+            EXPECT_GT(s.resumedFromCycle, 0u);
+        }
+    }
+}
+
+TEST(CheckpointTest, SeededCycleCrashChaosResumesToTheSameRun)
+{
+    const EngineVariant &variant = kVariants[0];
+    Reference ref = uninterruptedReference(variant);
+    uint64_t cadence = std::max<uint64_t>(1, ref.metrics.makespan / 10);
+    // FaultPlan::crashChaos(mid_run): seeded per-cycle crash rolls.
+    // The roll stream is stateless in the cycle, so the resumed
+    // incarnation (crashes disarmed) replays the exact simulation.
+    FaultPlan chaos = FaultPlan::crashChaos(/*mid_run=*/true);
+    SupervisedResult s = runCheckpointed(
+        variant, ref, 0, chaos.cycleCrashProb, cadence, /*keep=*/3);
+    EXPECT_GE(s.resumes, 1u);
+    EXPECT_GT(s.cyclesSaved, 0u);
+}
+
+TEST(CheckpointTest, HolderChainTrimsToKeepAndStillResumes)
+{
+    const EngineVariant &variant = kVariants[0];
+    Reference ref = uninterruptedReference(variant);
+    uint64_t cadence = std::max<uint64_t>(1, ref.metrics.makespan / 10);
+    // keep=1 with a crash late in the run: older holders must have
+    // been SIGKILLed as the chain advanced, and the resume must come
+    // from the newest snapshot.
+    uint64_t crash_at = ref.metrics.makespan -
+                        std::max<uint64_t>(1, cadence / 2);
+    SupervisedResult s =
+        runCheckpointed(variant, ref, crash_at, 0.0, cadence,
+                        /*keep=*/1);
+    EXPECT_GE(s.checkpointsTaken, 5u);
+    EXPECT_GE(s.resumes, 1u);
+    // Newest-holder resume: the snapshot is at most one cadence (plus
+    // boundary slack) behind the crash point.
+    EXPECT_GT(s.resumedFromCycle, cadence);
+}
+
+TEST(CheckpointTest, StallWatchdogKillsAndAttributesStalledAttempts)
+{
+    SupervisorOptions options;
+    options.timeoutSeconds = 60.0;
+    options.stallTimeoutSeconds = 0.3;
+    // A body that never reaches a safe point: no beacons, so the
+    // watchdog must kill it long before the wall-clock deadline.
+    auto start = std::chrono::steady_clock::now();
+    SupervisedResult s = runSupervised(
+        [] {
+            for (int i = 0; i < 200; ++i) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(100));
+            }
+            return RunMetrics{};
+        },
+        options);
+    auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_FALSE(s.ok);
+    EXPECT_TRUE(s.stalled);
+    EXPECT_TRUE(s.crashed);
+    EXPECT_FALSE(s.timedOut);
+    EXPECT_NE(s.message.find("stalled"), std::string::npos);
+    EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 30.0);
+}
+
+TEST(CheckpointTest, BeaconsKeepALiveCellOffTheStallWatchdog)
+{
+    const EngineVariant &variant = kVariants[0];
+    MetricsRegistry registry;
+    registry.gauge("test.telemetry_fp_lo");
+    registry.gauge("test.telemetry_fp_hi");
+    SupervisorOptions options;
+    options.timeoutSeconds = 120.0;
+    options.registry = &registry;
+    // Stall watchdog armed, checkpointing off: the framed protocol's
+    // beacons (cadence kStallBeaconCycles) are the only liveness
+    // signal, and a healthy run must sail through.
+    options.stallTimeoutSeconds = 5.0;
+    SupervisedResult s = runSupervised(
+        makeBody(variant, kCrashNever, 0.0, &registry), options);
+    EXPECT_TRUE(s.ok) << s.message;
+    EXPECT_FALSE(s.stalled);
+}
+
+TEST(CheckpointTest, SweepReportCarriesSchema8Accounting)
+{
+    // Calibrate a per-policy crash cycle that lands mid-run (the
+    // policies' makespans differ; a shared cycle could fall past a
+    // faster policy's completion and never fire).
+    uint64_t min_makespan = ~uint64_t(0);
+    std::vector<SweepJob> jobs;
+    for (PolicyKind policy :
+         {PolicyKind::FCFS, PolicyKind::LFF, PolicyKind::CRT}) {
+        MachineConfig cfg;
+        cfg.numCpus = 2;
+        cfg.policy = policy;
+        TasksWorkload w(TasksWorkload::Params{64, 100, 4});
+        uint64_t makespan = runWorkload(w, cfg, false).makespan;
+        ASSERT_GT(makespan, 100u) << policyName(policy);
+        min_makespan = std::min(min_makespan, makespan);
+        uint64_t crash_at = makespan / 2;
+        jobs.push_back({std::string("ckpt/") + policyName(policy),
+                        [policy, crash_at] {
+                            FaultPlan plan;
+                            plan.jobCrashAtCycle = crash_at;
+                            FaultInjector injector(plan, kFaultSeed);
+                            MachineConfig cfg;
+                            cfg.numCpus = 2;
+                            cfg.policy = policy;
+                            cfg.faults = &injector;
+                            TasksWorkload w(
+                                TasksWorkload::Params{64, 100, 4});
+                            return runWorkload(w, cfg, false);
+                        }});
+    }
+    uint64_t cadence = std::max<uint64_t>(1, min_makespan / 8);
+
+    EventLog telemetry(TelemetryConfig{.capacity = 1 << 12});
+    SweepOptions options;
+    options.isolate = true;
+    options.maxAttempts = 2;
+    options.timeoutSeconds = 120.0;
+    options.telemetry = &telemetry;
+    options.checkpointCycles = cadence;
+    SweepRunner runner(2);
+    SweepOutcome outcome = runner.runCollect(jobs, options);
+
+    ASSERT_TRUE(outcome.complete());
+    EXPECT_GE(outcome.checkpointResumes, 3u); // one resume per cell
+    EXPECT_GT(outcome.checkpointCyclesSaved, 0u);
+
+    // Every cell crashed once mid-run and resumed mid-cell: same
+    // attempt, no sweep-level retry.
+    TraceSummary summary = summarizeTrace(telemetry);
+    EXPECT_GE(summary.sweepCheckpoints, 3u);
+    EXPECT_GE(summary.sweepCkptResumes, 3u);
+    EXPECT_EQ(summary.sweepRetries, 0u);
+
+    BenchReport report("test_checkpoint_schema");
+    report.noteOutcome(outcome);
+    const Json &doc = report.document();
+    EXPECT_EQ(doc.at("schema").asUint(), 8u);
+    EXPECT_EQ(doc.at("checkpoint_resumes").asUint(),
+              outcome.checkpointResumes);
+    EXPECT_EQ(doc.at("checkpoint_cycles_saved").asUint(),
+              outcome.checkpointCyclesSaved);
+    EXPECT_TRUE(doc.at("complete").asBool());
+
+    // No holder (or any other child) may outlive the sweep: with every
+    // supervised child reaped, wait(-1) must report ECHILD.
+    errno = 0;
+    pid_t r = ::waitpid(-1, nullptr, WNOHANG);
+    EXPECT_EQ(r, -1);
+    EXPECT_EQ(errno, ECHILD);
+}
+
+TEST(CheckpointTest, JournalRoundTripsCheckpointAccounting)
+{
+    std::string dir = ::testing::TempDir();
+    std::string path = dir + "/ckpt_journal_test.journal.jsonl";
+    std::vector<SweepJob> jobs;
+    jobs.push_back({"cell0", [] { return RunMetrics{}; }});
+    jobs.push_back({"cell1", [] { return RunMetrics{}; }});
+    uint64_t hash = SweepJournal::configHash("ckpt_journal", jobs, "");
+
+    RunMetrics metrics;
+    metrics.workload = "ckpt";
+    metrics.policy = PolicyKind::FCFS;
+    metrics.numCpus = 2;
+    metrics.makespan = 1234;
+    metrics.verified = true;
+    {
+        SweepJournal journal("ckpt_journal", path);
+        ASSERT_EQ(journal.beginSweep(hash, jobs.size()), 0u);
+        journal.noteDone(0, metrics, 0, nullptr, /*ckpt_resumes=*/2,
+                         /*ckpt_cycles_saved=*/5000);
+        journal.noteDone(1, metrics); // uncheckpointed cell
+    }
+    {
+        SweepJournal journal("ckpt_journal", path);
+        ASSERT_EQ(journal.beginSweep(hash, jobs.size()), 2u);
+        RunMetrics replayed;
+        uint64_t resumes = 99, saved = 99;
+        ASSERT_TRUE(journal.completedMetrics(0, replayed, nullptr,
+                                             &resumes, &saved));
+        EXPECT_EQ(replayed.makespan, 1234u);
+        EXPECT_EQ(resumes, 2u);
+        EXPECT_EQ(saved, 5000u);
+        ASSERT_TRUE(journal.completedMetrics(1, replayed, nullptr,
+                                             &resumes, &saved));
+        EXPECT_EQ(resumes, 0u);
+        EXPECT_EQ(saved, 0u);
+        journal.remove();
+    }
+}
+
+} // namespace
+} // namespace atl

@@ -375,7 +375,7 @@ TEST(BenchReportTest, DocumentCarriesBenchNameAndRuns)
 
     const Json &doc = report.document();
     EXPECT_EQ(doc.at("bench").asString(), "bench_unit_test");
-    EXPECT_EQ(doc.at("schema").asUint(), 7u);
+    EXPECT_EQ(doc.at("schema").asUint(), 8u);
     EXPECT_TRUE(doc.at("complete").asBool());
     EXPECT_EQ(doc.at("failed_runs").items().size(), 0u);
     EXPECT_EQ(doc.at("resumed_runs").asUint(), 0u);
